@@ -1,0 +1,23 @@
+//! Ablation benches: the design-choice sweeps DESIGN.md calls out.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msweb_bench::{ablation_redirect, ablation_reserve, ablation_staleness, ablation_theta_rule, ExpConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let exp = ExpConfig::quick();
+    c.bench_function("ablation_staleness_sweep", |b| {
+        b.iter(|| black_box(ablation_staleness(&exp)))
+    });
+    c.bench_function("ablation_reserve_sweep", |b| {
+        b.iter(|| black_box(ablation_reserve(&exp)))
+    });
+    c.bench_function("ablation_redirect_pair", |b| {
+        b.iter(|| black_box(ablation_redirect(&exp)))
+    });
+    c.bench_function("ablation_theta_rule", |b| {
+        b.iter(|| black_box(ablation_theta_rule()))
+    });
+}
+
+criterion_group!(name = benches; config = Criterion::default().sample_size(10); targets = bench_ablations);
+criterion_main!(benches);

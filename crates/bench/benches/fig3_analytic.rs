@@ -1,0 +1,11 @@
+//! FIG3: time to evaluate the full analytic Figure 3 grid (both panels).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msweb_bench::fig3;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_full_grid", |b| b.iter(|| black_box(fig3())));
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! TAB1: trace generation throughput for every characterised log.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use msweb_workload::{all_traces, DemandModel};
+
+fn bench_tab1(c: &mut Criterion) {
+    for spec in all_traces() {
+        c.bench_function(&format!("tab1_generate_{}_10k", spec.name), |b| {
+            let d = DemandModel::simulation(40.0);
+            b.iter(|| black_box(spec.generate(10_000, &d, 42)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_tab1);
+criterion_main!(benches);

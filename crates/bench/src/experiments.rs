@@ -1,0 +1,632 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! | function | paper artifact |
+//! |----------|----------------|
+//! | [`fig3`] | Figure 3 — analytic M/S vs Flat and vs M/S′ |
+//! | [`tab1`] | Table 1 — trace characteristics |
+//! | [`tab2`] | Table 2 — workload parameter grid |
+//! | [`fig4`] | Figure 4 — % improvement of M/S over M/S-ns / M/S-nr / M/S-1 |
+//! | [`fig5`] | Figure 5 — fixed-m sensitivity |
+//! | [`tab3`] | Table 3 — live-vs-simulated validation |
+//! | [`ablation_staleness`] / [`ablation_reserve`] / [`ablation_redirect`] / [`ablation_theta_rule`] | design-choice ablations |
+
+use std::time::Duration;
+
+use msweb_cluster::{
+    run_policy, table2_grid, ClusterConfig, GridCell, MasterSelection, PolicyKind, RunSummary,
+};
+use msweb_emu::{run_live, LiveConfig};
+use msweb_queueing::{plan, Fig3Config, Fig3Point, ThetaRule, Workload};
+use msweb_workload::{adl, all_traces, ksu, ucb, DemandModel, Trace, TraceSpec, TraceSummary};
+
+/// Global experiment sizing.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Requests per simulated replay.
+    pub requests: usize,
+    /// Requests per live (wall-clock) replay.
+    pub live_requests: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            requests: 20_000,
+            live_requests: 300,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A fast configuration for smoke tests and criterion benches.
+    pub fn quick() -> Self {
+        ExpConfig {
+            requests: 2_000,
+            live_requests: 120,
+            seed: 42,
+        }
+    }
+}
+
+fn spec_by_name(name: &str) -> TraceSpec {
+    match name {
+        "UCB" => ucb(),
+        "KSU" => ksu(),
+        "ADL" => adl(),
+        other => panic!("unknown trace {other}"),
+    }
+}
+
+/// Build the replay trace for a grid cell.
+fn cell_trace(cell: &GridCell, n: usize, seed: u64) -> Trace {
+    spec_by_name(cell.trace)
+        .generate(n, &DemandModel::simulation(cell.inv_r), seed)
+        .scaled_to_rate(cell.lambda)
+}
+
+/// Run one policy on one cell.
+fn run_cell(cell: &GridCell, trace: &Trace, policy: PolicyKind, m: usize, seed: u64) -> RunSummary {
+    let mut cfg = ClusterConfig::simulation(cell.p, policy);
+    cfg.masters = MasterSelection::Fixed(m);
+    cfg.seed = seed;
+    run_policy(cfg, trace)
+}
+
+// ---------------------------------------------------------------- FIG 3
+
+/// Figure 3: the analytic comparison grid (exact, no simulation).
+pub fn fig3() -> Vec<Fig3Point> {
+    msweb_queueing::figure3(&Fig3Config::default()).expect("paper sweep is feasible")
+}
+
+// ---------------------------------------------------------------- TAB 1
+
+/// One Table 1 row: the paper's published characteristics next to the
+/// measured characteristics of our synthetic regeneration.
+#[derive(Debug, Clone)]
+pub struct Tab1Row {
+    /// The published spec (paper constants).
+    pub spec: TraceSpec,
+    /// Summary of the generated trace.
+    pub generated: TraceSummary,
+}
+
+/// Table 1: regenerate each trace and summarise it.
+pub fn tab1(n: usize, seed: u64) -> Vec<Tab1Row> {
+    all_traces()
+        .into_iter()
+        .map(|spec| {
+            let t = spec.generate(n, &DemandModel::simulation(40.0), seed);
+            Tab1Row {
+                generated: t.summary(),
+                spec,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- TAB 2
+
+/// Table 2: the reconstructed workload parameter grid.
+pub fn tab2() -> Vec<GridCell> {
+    table2_grid()
+}
+
+// ---------------------------------------------------------------- FIG 4
+
+/// One bar group of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// The workload cell.
+    pub cell: GridCell,
+    /// Theorem-1 master count used by all M/S variants.
+    pub m: usize,
+    /// Stretch under the full M/S optimisation.
+    pub ms: RunSummary,
+    /// Stretch without demand sampling.
+    pub ns: RunSummary,
+    /// Stretch without reservation.
+    pub nr: RunSummary,
+    /// Stretch with every node a master (no separation).
+    pub m1: RunSummary,
+}
+
+impl Fig4Row {
+    /// `(S(M/S-ns)/S(M/S) − 1) × 100` — the sampling benefit.
+    pub fn imp_ns_pct(&self) -> f64 {
+        self.ms.improvement_over_pct(&self.ns)
+    }
+    /// The reservation benefit.
+    pub fn imp_nr_pct(&self) -> f64 {
+        self.ms.improvement_over_pct(&self.nr)
+    }
+    /// The separation benefit.
+    pub fn imp_m1_pct(&self) -> f64 {
+        self.ms.improvement_over_pct(&self.m1)
+    }
+}
+
+/// Figure 4 for one cluster size (`p` = 32 for (a), 128 for (b)).
+pub fn fig4(p: usize, exp: &ExpConfig) -> Vec<Fig4Row> {
+    table2_grid()
+        .into_iter()
+        .filter(|c| c.p == p)
+        .map(|cell| fig4_cell(&cell, exp))
+        .collect()
+}
+
+/// One Figure 4 bar group (exposed separately for the benches).
+pub fn fig4_cell(cell: &GridCell, exp: &ExpConfig) -> Fig4Row {
+    let spec = spec_by_name(cell.trace);
+    let trace = cell_trace(cell, exp.requests, exp.seed);
+    let m = msweb_cluster::plan_masters(
+        cell.p,
+        cell.lambda,
+        spec.arrival_ratio_a(),
+        1.0 / cell.inv_r,
+        1200.0,
+    );
+    Fig4Row {
+        m,
+        ms: run_cell(cell, &trace, PolicyKind::MasterSlave, m, exp.seed),
+        ns: run_cell(cell, &trace, PolicyKind::MsNoSampling, m, exp.seed),
+        nr: run_cell(cell, &trace, PolicyKind::MsNoReservation, m, exp.seed),
+        m1: run_cell(cell, &trace, PolicyKind::MsAllMasters, m, exp.seed),
+        cell: cell.clone(),
+    }
+}
+
+// ---------------------------------------------------------------- FIG 5
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// The workload cell.
+    pub cell: GridCell,
+    /// The fixed master count (from the paper's r=1/60, a=0.44 sampling).
+    pub m_fixed: usize,
+    /// The per-cell adaptive master count.
+    pub m_adaptive: usize,
+    /// Stretch with the fixed m.
+    pub fixed: RunSummary,
+    /// Stretch with the adaptive m.
+    pub adaptive: RunSummary,
+}
+
+impl Fig5Row {
+    /// Degradation of fixed-m relative to adaptive-m, percent (positive =
+    /// fixed is worse).
+    pub fn degradation_pct(&self) -> f64 {
+        (self.fixed.stretch / self.adaptive.stretch - 1.0) * 100.0
+    }
+}
+
+/// Figure 5: the twelve bar groups from the paper's caption. The master
+/// count is fixed from sampling `r = 1/60, a = 0.44` at λ = 750 (p = 32)
+/// and λ = 3000 (p = 128) — the paper derives 6 and 25; our cleaner root
+/// derivation gives 5 and 20 — then the traces are replayed across their
+/// full rate range with `1/r` varying inversely ({160, 80, 40, 20}) so
+/// every group stays within the replayable load range (the paper's "r
+/// varies from 1/20 to 1/160, λ varies" sensitivity sweep).
+pub fn fig5(exp: &ExpConfig) -> Vec<Fig5Row> {
+    let m32 = msweb_cluster::plan_masters(32, 750.0, 0.44, 1.0 / 60.0, 1200.0);
+    let m128 = msweb_cluster::plan_masters(128, 3000.0, 0.44, 1.0 / 60.0, 1200.0);
+
+    let groups: [(&str, [f64; 4]); 3] = [
+        ("UCB", [1000.0, 2000.0, 4000.0, 8000.0]),
+        ("KSU", [500.0, 1000.0, 2000.0, 4000.0]),
+        ("ADL", [500.0, 1000.0, 2000.0, 4000.0]),
+    ];
+    let ratios = [160.0, 80.0, 40.0, 20.0];
+
+    let mut rows = Vec::with_capacity(12);
+    for (trace, rates) in groups {
+        for (i, &lambda) in rates.iter().enumerate() {
+            let p = if i < 2 { 32 } else { 128 };
+            let m_fixed = if p == 32 { m32 } else { m128 };
+            let cell = GridCell {
+                trace,
+                p,
+                lambda,
+                inv_r: ratios[i],
+            };
+            let spec = spec_by_name(trace);
+            let trace_data = cell_trace(&cell, exp.requests, exp.seed);
+            let m_adaptive = msweb_cluster::plan_masters(
+                p,
+                lambda,
+                spec.arrival_ratio_a(),
+                1.0 / cell.inv_r,
+                1200.0,
+            );
+            let fixed = run_cell(&cell, &trace_data, PolicyKind::MasterSlave, m_fixed, exp.seed);
+            let adaptive = run_cell(
+                &cell,
+                &trace_data,
+                PolicyKind::MasterSlave,
+                m_adaptive,
+                exp.seed,
+            );
+            rows.push(Fig5Row {
+                cell,
+                m_fixed,
+                m_adaptive,
+                fixed,
+                adaptive,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- TAB 3
+
+/// One Table 3 row: actual (live) and simulated improvement of M/S over
+/// one alternative, for one trace at one rate.
+#[derive(Debug, Clone)]
+pub struct Tab3Row {
+    /// Trace name.
+    pub trace: &'static str,
+    /// Replay rate, requests/second.
+    pub rate: f64,
+    /// The alternative policy M/S is compared against.
+    pub versus: PolicyKind,
+    /// Live (wall-clock) improvement percent.
+    pub actual_pct: f64,
+    /// Simulated improvement percent.
+    pub simulated_pct: f64,
+}
+
+/// Table 3: replay each trace on the six-node live cluster and on the
+/// simulator, comparing M/S against M/S-ns, M/S-nr and M/S-1 — the
+/// paper's §5.2.2 validation (masters: UCB 3, KSU 1, ADL 1; r = 1/40).
+///
+/// `time_scale` compresses the live replay. Use 1.0 (real time, like the
+/// paper's prototype) for faithful numbers: compressed replays shrink the
+/// demands toward the host's thread-wakeup latency and the measurement
+/// drowns in scheduler noise, especially on single-core hosts.
+pub fn tab3(exp: &ExpConfig, time_scale: f64) -> Vec<Tab3Row> {
+    let mut rows = Vec::new();
+    // The paper replays every trace at 20 and 40 req/s. On our substrate
+    // the stable rate range depends strongly on the trace's CGI share
+    // (ADL at 44% CGI saturates six 110-req/s nodes above ~36 req/s), so
+    // each trace runs at rates giving ~30% and ~60% utilisation — the
+    // same load levels the paper's pairs targeted (see EXPERIMENTS.md).
+    let configs: [(TraceSpec, usize, [f64; 2]); 3] = [
+        (ucb(), 3, [40.0, 80.0]),
+        (ksu(), 1, [20.0, 40.0]),
+        (adl(), 1, [10.0, 20.0]),
+    ];
+    for (spec, m, rates) in configs {
+        for rate in rates {
+            let trace = spec
+                .generate(exp.live_requests, &DemandModel::sun_cluster(40.0), exp.seed)
+                .scaled_to_rate(rate);
+
+            let run_one = |policy: PolicyKind| -> (f64, f64) {
+                // Live.
+                let mut live_cfg = LiveConfig::sun_cluster(policy, m);
+                live_cfg.time_scale = time_scale;
+                live_cfg.monitor_period =
+                    Duration::from_secs_f64(0.25 * time_scale.max(0.02));
+                live_cfg.seed = exp.seed;
+                let live = run_live(&live_cfg, &trace);
+                // Simulated.
+                let mut sim_cfg = ClusterConfig::simulation(6, policy);
+                sim_cfg.masters = MasterSelection::Fixed(m);
+                sim_cfg.mu_h = 110.0;
+                sim_cfg.seed = exp.seed;
+                let sim = run_policy(sim_cfg, &trace);
+                (live.stretch, sim.stretch)
+            };
+
+            let (ms_live, ms_sim) = run_one(PolicyKind::MasterSlave);
+            for versus in [
+                PolicyKind::MsNoSampling,
+                PolicyKind::MsNoReservation,
+                PolicyKind::MsAllMasters,
+            ] {
+                let (v_live, v_sim) = run_one(versus);
+                rows.push(Tab3Row {
+                    trace: spec.name,
+                    rate,
+                    versus,
+                    actual_pct: (v_live / ms_live - 1.0) * 100.0,
+                    simulated_pct: (v_sim / ms_sim - 1.0) * 100.0,
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- ablations
+
+/// Staleness ablation: how the load-monitor period affects M/S stretch.
+pub fn ablation_staleness(exp: &ExpConfig) -> Vec<(u64, f64)> {
+    let cell = GridCell {
+        trace: "KSU",
+        p: 32,
+        lambda: 1000.0,
+        inv_r: 80.0,
+    };
+    let trace = cell_trace(&cell, exp.requests, exp.seed);
+    let m = msweb_cluster::plan_masters(32, 1000.0, ksu().arrival_ratio_a(), 1.0 / 80.0, 1200.0);
+    [50u64, 100, 250, 500, 1000, 2000, 4000]
+        .into_iter()
+        .map(|period_ms| {
+            let mut cfg = ClusterConfig::simulation(cell.p, PolicyKind::MasterSlave);
+            cfg.masters = MasterSelection::Fixed(m);
+            cfg.monitor_period = msweb_simcore::SimDuration::from_millis(period_ms);
+            cfg.seed = exp.seed;
+            (period_ms, run_policy(cfg, &trace).stretch)
+        })
+        .collect()
+}
+
+/// Reserve ablation: sweep the master capacity reserve.
+pub fn ablation_reserve(exp: &ExpConfig) -> Vec<(f64, f64)> {
+    let cell = GridCell {
+        trace: "UCB",
+        p: 32,
+        lambda: 2000.0,
+        inv_r: 80.0,
+    };
+    let trace = cell_trace(&cell, exp.requests, exp.seed);
+    let m = msweb_cluster::plan_masters(32, 2000.0, ucb().arrival_ratio_a(), 1.0 / 80.0, 1200.0);
+    [0.0, 0.25, 0.5, 0.75, 0.9]
+        .into_iter()
+        .map(|reserve| {
+            let mut cfg = ClusterConfig::simulation(cell.p, PolicyKind::MasterSlave);
+            cfg.masters = MasterSelection::Fixed(m);
+            cfg.master_reserve = reserve;
+            cfg.seed = exp.seed;
+            (reserve, run_policy(cfg, &trace).stretch)
+        })
+        .collect()
+}
+
+/// Redirect ablation: M/S with low-overhead remote execution vs the
+/// HTTP-redirection alternative the paper rejects (client round-trip per
+/// re-scheduled request).
+pub fn ablation_redirect(exp: &ExpConfig) -> (f64, f64) {
+    let cell = GridCell {
+        trace: "ADL",
+        p: 32,
+        lambda: 1000.0,
+        inv_r: 40.0,
+    };
+    let trace = cell_trace(&cell, exp.requests, exp.seed);
+    let m = msweb_cluster::plan_masters(32, 1000.0, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let ms = run_cell(&cell, &trace, PolicyKind::MasterSlave, m, exp.seed);
+    let redirect = run_cell(&cell, &trace, PolicyKind::Redirect, m, exp.seed);
+    (ms.stretch, redirect.stretch)
+}
+
+/// Front-end ablation (§2's motivation): Flat under ideal DNS rotation,
+/// Flat under cache-skewed DNS, a least-connections switch, and M/S under
+/// the same skewed DNS — showing that (a) skew hurts the flat cluster,
+/// (b) a switch fixes balance but not class mixing, (c) M/S's cost-based
+/// re-scheduling absorbs front-end skew for the expensive class.
+pub fn ablation_frontend(exp: &ExpConfig) -> Vec<(&'static str, f64, f64)> {
+    let trace = ksu()
+        .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
+        .scaled_to_rate(1000.0);
+    let m = msweb_cluster::plan_masters(32, 1000.0, ksu().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let run = |policy: PolicyKind, skew: f64| {
+        let mut cfg = ClusterConfig::simulation(32, policy);
+        cfg.masters = MasterSelection::Fixed(m);
+        cfg.dns_skew = skew;
+        cfg.seed = exp.seed;
+        let s = run_policy(cfg, &trace);
+        (s.stretch, s.node_busy_cv)
+    };
+    let rows = [
+        ("Flat, ideal DNS", PolicyKind::Flat, 0.0),
+        ("Flat, skewed DNS (0.3)", PolicyKind::Flat, 0.3),
+        ("Switch (least conn.)", PolicyKind::Switch, 0.0),
+        ("M/S, skewed DNS (0.3)", PolicyKind::MasterSlave, 0.3),
+        ("M/S, ideal DNS", PolicyKind::MasterSlave, 0.0),
+    ];
+    rows.iter()
+        .map(|&(name, policy, skew)| {
+            let (stretch, cv) = run(policy, skew);
+            (name, stretch, cv)
+        })
+        .collect()
+}
+
+/// Dynamic-content caching ablation (the Swala extension): stretch
+/// without and with the cache, plus the measured hit ratio, on an
+/// ADL-like workload with Zipf query popularity.
+pub fn ablation_cache(exp: &ExpConfig) -> (f64, f64, f64) {
+    let demand = DemandModel::simulation(40.0).with_query_popularity(500, 1.0);
+    let trace = adl()
+        .generate(exp.requests, &demand, exp.seed)
+        .scaled_to_rate(1000.0);
+    let m = msweb_cluster::plan_masters(32, 1000.0, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+
+    let mut base = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
+    base.masters = MasterSelection::Fixed(m);
+    base.seed = exp.seed;
+    let uncached = run_policy(base.clone(), &trace);
+
+    let mut cached_cfg = base;
+    cached_cfg.cache = Some(msweb_cluster::CacheConfig::default_swala());
+    let mut sim = msweb_cluster::ClusterSim::new(cached_cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
+    let cached = sim.run(&trace);
+    let (hits, misses, _, _) = sim.cache_stats().expect("cache enabled");
+    let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+    (uncached.stretch, cached.stretch, hit_ratio)
+}
+
+/// Bursty-arrival ablation: flash-crowd ON/OFF arrivals (3× bursts, 25%
+/// duty cycle) vs Poisson, for Flat and M/S. Returns
+/// `[(label, poisson stretch, bursty stretch)]`. Measured outcome: both
+/// pay only a few percent (transient backlogs drain within the OFF
+/// phase) and the M/S advantage persists through the bursts.
+pub fn ablation_bursty(exp: &ExpConfig) -> Vec<(&'static str, f64, f64)> {
+    let spec = ksu();
+    let lambda = 1200.0;
+    let m = msweb_cluster::plan_masters(32, lambda, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let run = |bursty: bool, policy: PolicyKind| {
+        let mut demand = DemandModel::simulation(40.0);
+        if bursty {
+            demand = demand.with_bursty_arrivals(3.0, 0.25, 40.0);
+        }
+        let trace = spec
+            .generate(exp.requests, &demand, exp.seed)
+            .scaled_to_rate(lambda);
+        let mut cfg = ClusterConfig::simulation(32, policy);
+        cfg.masters = MasterSelection::Fixed(m);
+        cfg.seed = exp.seed;
+        run_policy(cfg, &trace).stretch
+    };
+    vec![
+        ("Flat", run(false, PolicyKind::Flat), run(true, PolicyKind::Flat)),
+        (
+            "M/S",
+            run(false, PolicyKind::MasterSlave),
+            run(true, PolicyKind::MasterSlave),
+        ),
+    ]
+}
+
+/// Heterogeneous-fleet ablation (the paper's §6 extension): simulate a
+/// mixed-speed cluster with slow boxes as masters vs fast boxes as
+/// masters, and return `(analytic stretch, slow-masters stretch,
+/// fast-masters stretch)`.
+pub fn ablation_hetero(exp: &ExpConfig) -> (f64, f64, f64) {
+    use msweb_queueing::HeteroCluster;
+    let mut speeds = vec![0.5; 8];
+    speeds.extend(vec![2.0; 8]);
+    let lambda = 400.0;
+    let spec = ksu();
+    let w = msweb_queueing::Workload::from_ratios(
+        lambda,
+        spec.arrival_ratio_a(),
+        1200.0,
+        1.0 / 40.0,
+    )
+    .expect("valid workload");
+    let (plan, _theta, analytic) =
+        HeteroCluster::plan_masters(&speeds, &w).expect("feasible fleet");
+
+    let trace = spec
+        .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
+        .scaled_to_rate(lambda);
+    let run = |slow_masters: bool| {
+        let mut cfg = ClusterConfig::simulation(speeds.len(), PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(plan.masters.len());
+        let mut s = speeds.clone();
+        if slow_masters {
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        } else {
+            s.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        }
+        cfg.speeds = Some(s);
+        cfg.seed = exp.seed;
+        run_policy(cfg, &trace).stretch
+    };
+    (analytic, run(true), run(false))
+}
+
+/// θ-rule ablation (analytic): the paper's midpoint heuristic vs exact
+/// numerical minimisation, over the Figure 3 grid. Returns
+/// `(mean midpoint stretch, mean numeric stretch)`.
+pub fn ablation_theta_rule() -> (f64, f64) {
+    let cfg = Fig3Config::default();
+    let mut mid_sum = 0.0;
+    let mut num_sum = 0.0;
+    let mut n = 0;
+    for &a in &cfg.a_values {
+        for &inv_r in &cfg.inv_r_values {
+            let w = Workload::from_ratios(cfg.lambda, a, cfg.mu_h, 1.0 / inv_r).unwrap();
+            let mid = plan(&w, cfg.p, ThetaRule::Midpoint).unwrap();
+            let num = plan(&w, cfg.p, ThetaRule::NumericOptimum).unwrap();
+            mid_sum += mid.stretch_ms;
+            num_sum += num.stretch_ms;
+            n += 1;
+        }
+    }
+    (mid_sum / n as f64, num_sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_twelve_points() {
+        assert_eq!(fig3().len(), 12);
+    }
+
+    #[test]
+    fn tab1_matches_paper_constants_roughly() {
+        let rows = tab1(5_000, 1);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                (r.generated.cgi_pct - r.spec.cgi_pct).abs() < 3.0,
+                "{}: CGI% {} vs {}",
+                r.spec.name,
+                r.generated.cgi_pct,
+                r.spec.cgi_pct
+            );
+        }
+    }
+
+    #[test]
+    fn tab2_shape() {
+        // 3 traces x 4 ratios x 4 rates minus the six unstable cells.
+        let grid = tab2();
+        assert_eq!(grid.len(), 42);
+    }
+
+    #[test]
+    fn fig4_quick_cell_ordering() {
+        // One representative cell: M/S should not lose to its ablations
+        // by more than noise.
+        let cell = GridCell {
+            trace: "KSU",
+            p: 32,
+            lambda: 1000.0,
+            inv_r: 80.0,
+        };
+        let row = fig4_cell(&cell, &ExpConfig::quick());
+        assert_eq!(row.ms.completed, 2000);
+        assert!(row.imp_nr_pct() > -10.0);
+        assert!(row.imp_m1_pct() > -10.0);
+    }
+
+    #[test]
+    fn fig5_has_twelve_rows() {
+        let exp = ExpConfig {
+            requests: 1_000,
+            ..ExpConfig::quick()
+        };
+        let rows = fig5(&exp);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.fixed.completed > 0 && r.adaptive.completed > 0);
+        }
+    }
+
+    #[test]
+    fn ablation_theta_rule_numeric_never_worse() {
+        let (mid, num) = ablation_theta_rule();
+        assert!(num <= mid + 1e-9);
+    }
+
+    #[test]
+    fn ablation_redirect_is_worse_or_equal() {
+        let (ms, redirect) = {
+            let exp = ExpConfig::quick();
+            ablation_redirect(&exp)
+        };
+        assert!(redirect >= ms * 0.95, "redirect {redirect} vs M/S {ms}");
+    }
+}

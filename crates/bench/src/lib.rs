@@ -1,0 +1,15 @@
+//! # msweb-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation, shared between the `experiments` binary (which prints the
+//! paper-style rows) and the criterion benches (which time the same
+//! code). See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

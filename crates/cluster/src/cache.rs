@@ -1,0 +1,229 @@
+//! Dynamic-content caching (the Swala extension).
+//!
+//! The testbed the paper builds on is the authors' Swala server with
+//! "cooperative caching of dynamic content"; §6 notes "a simple extension
+//! to consider caching in our scheme can be incorporated". This module is
+//! that extension: a cluster-wide (cooperative) cache of generated CGI
+//! results keyed by query identity. A hit turns a resource-intensive CGI
+//! request into a cheap fetch served at the entry master; a miss runs the
+//! full CGI and installs the result on completion.
+//!
+//! The cache is TTL-bounded ("caching for dynamic content is possible if
+//! content is not changed frequently") and capacity-bounded with LRU
+//! eviction.
+
+use std::collections::HashMap;
+
+use msweb_simcore::{SimDuration, SimTime};
+
+/// Configuration of the dynamic-content cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum number of cached results.
+    pub capacity: usize,
+    /// Freshness lifetime of a cached result.
+    pub ttl: SimDuration,
+    /// Service demand of serving a hit (a memory fetch plus transfer —
+    /// static-fetch scale, not CGI scale).
+    pub hit_service: SimDuration,
+    /// CPU fraction of the hit service.
+    pub hit_cpu_fraction: f64,
+}
+
+impl CacheConfig {
+    /// A sensible default: 10 000 entries, 60 s TTL, hits cost one static
+    /// fetch (1/1200 s, CPU-dominated).
+    pub fn default_swala() -> Self {
+        CacheConfig {
+            capacity: 10_000,
+            ttl: SimDuration::from_secs(60),
+            hit_service: SimDuration::from_secs_f64(1.0 / 1200.0),
+            hit_cpu_fraction: 0.8,
+        }
+    }
+}
+
+/// One cached entry's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// When the result was generated (freshness anchor).
+    generated: SimTime,
+    /// Last access (LRU anchor).
+    last_used: SimTime,
+}
+
+/// A cluster-wide cache of generated dynamic content.
+#[derive(Debug)]
+pub struct DynContentCache {
+    config: CacheConfig,
+    entries: HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+    expirations: u64,
+    evictions: u64,
+}
+
+impl DynContentCache {
+    /// An empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be positive");
+        assert!(!config.ttl.is_zero(), "cache TTL must be positive");
+        DynContentCache {
+            config,
+            entries: HashMap::with_capacity(config.capacity.min(1 << 16)),
+            hits: 0,
+            misses: 0,
+            expirations: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Look up `key` at time `now`, counting the outcome. A fresh entry
+    /// refreshes its LRU position and returns true; a stale entry is
+    /// dropped and counted as an expiration.
+    pub fn lookup(&mut self, key: u64, now: SimTime) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) if now.since(e.generated) <= self.config.ttl => {
+                e.last_used = now;
+                self.hits += 1;
+                true
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.expirations += 1;
+                self.misses += 1;
+                false
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Install a freshly generated result (on CGI completion), evicting
+    /// the least-recently-used entry if full.
+    pub fn insert(&mut self, key: u64, now: SimTime) {
+        if self.entries.len() >= self.config.capacity && !self.entries.contains_key(&key) {
+            // Evict the LRU entry. Linear scan: capacities in the
+            // experiments are small relative to run length, and the scan
+            // only runs when the cache is full.
+            if let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                generated: now,
+                last_used: now,
+            },
+        );
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, expirations, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.expirations, self.evictions)
+    }
+
+    /// Hit ratio over all lookups so far (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, ttl_s: u64) -> DynContentCache {
+        DynContentCache::new(CacheConfig {
+            capacity,
+            ttl: SimDuration::from_secs(ttl_s),
+            hit_service: SimDuration::from_millis(1),
+            hit_cpu_fraction: 0.8,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(10, 60);
+        assert!(!c.lookup(1, SimTime::from_secs(0)));
+        c.insert(1, SimTime::from_secs(0));
+        assert!(c.lookup(1, SimTime::from_secs(10)));
+        assert_eq!(c.stats(), (1, 1, 0, 0));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c = cache(10, 60);
+        c.insert(1, SimTime::from_secs(0));
+        assert!(c.lookup(1, SimTime::from_secs(60)), "exactly at TTL is fresh");
+        assert!(!c.lookup(1, SimTime::from_secs(61)), "past TTL is stale");
+        let (_, _, exp, _) = c.stats();
+        assert_eq!(exp, 1);
+        assert!(c.is_empty(), "stale entry must be dropped");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut c = cache(3, 600);
+        c.insert(1, SimTime::from_secs(1));
+        c.insert(2, SimTime::from_secs(2));
+        c.insert(3, SimTime::from_secs(3));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(1, SimTime::from_secs(4)));
+        c.insert(4, SimTime::from_secs(5));
+        assert_eq!(c.len(), 3);
+        assert!(!c.lookup(2, SimTime::from_secs(6)), "LRU entry 2 evicted");
+        assert!(c.lookup(3, SimTime::from_secs(6)));
+        assert!(c.lookup(4, SimTime::from_secs(6)));
+        let (_, _, _, ev) = c.stats();
+        assert_eq!(ev, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_freshness() {
+        let mut c = cache(10, 60);
+        c.insert(1, SimTime::from_secs(0));
+        c.insert(1, SimTime::from_secs(50));
+        assert!(c.lookup(1, SimTime::from_secs(100)), "regenerated at t=50");
+    }
+
+    #[test]
+    fn insert_when_full_with_existing_key_does_not_evict() {
+        let mut c = cache(2, 600);
+        c.insert(1, SimTime::from_secs(1));
+        c.insert(2, SimTime::from_secs(2));
+        c.insert(1, SimTime::from_secs(3)); // refresh, not a new key
+        assert_eq!(c.len(), 2);
+        let (_, _, _, ev) = c.stats();
+        assert_eq!(ev, 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Cluster configuration: topology, policy selection, and the paper's
+//! Table 2 parameter grid.
+
+use msweb_ossim::OsParams;
+use msweb_simcore::SimDuration;
+
+use crate::cache::CacheConfig;
+
+/// Which scheduling policy drives the cluster (Section 5.2's contenders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Flat architecture: every request to a uniformly random node, CGI
+    /// executed where it lands.
+    Flat,
+    /// The paper's full optimisation: master/slave separation + RSRC cost
+    /// prediction + reservation-based admission of dynamic work on
+    /// masters.
+    MasterSlave,
+    /// M/S-ns: no off-line demand sampling; every request is costed with
+    /// `w = 0.5`.
+    MsNoSampling,
+    /// M/S-nr: no reservation; masters always eligible for dynamic work.
+    MsNoReservation,
+    /// M/S-1: every node is a master (no static/dynamic separation), the
+    /// scheduling algorithm otherwise unchanged — "a flat architecture
+    /// with remote CGI".
+    MsAllMasters,
+    /// M/S′: dynamic requests pinned to a fixed set of nodes, static
+    /// spread over all nodes.
+    MsPrime,
+    /// HTTP-redirection baseline (the alternative the paper rejects):
+    /// like M/S but every re-scheduled request pays a client round-trip
+    /// before re-arriving.
+    Redirect,
+    /// Load-balancing switch baseline (Cisco LocalDirector / BigIP
+    /// style): every request — static or dynamic — goes to the node with
+    /// the fewest open connections. §2: switches "use simple load
+    /// balancing schemes which may not be sufficient for
+    /// resource-intensive dynamic content".
+    Switch,
+}
+
+impl PolicyKind {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Flat => "Flat",
+            PolicyKind::MasterSlave => "M/S",
+            PolicyKind::MsNoSampling => "M/S-ns",
+            PolicyKind::MsNoReservation => "M/S-nr",
+            PolicyKind::MsAllMasters => "M/S-1",
+            PolicyKind::MsPrime => "M/S'",
+            PolicyKind::Redirect => "Redirect",
+            PolicyKind::Switch => "Switch",
+        }
+    }
+}
+
+/// How the master count is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MasterSelection {
+    /// Use exactly this many masters.
+    Fixed(usize),
+    /// Derive from Theorem 1 using the workload parameters sampled in
+    /// advance (arrival ratio `a`, demand ratio `r`, target rate `λ`).
+    Auto {
+        /// Expected total arrival rate, requests/second.
+        lambda: f64,
+        /// Expected arrival ratio `a = λ_c/λ_h`.
+        a: f64,
+        /// Expected service ratio `r = μ_c/μ_h`.
+        r: f64,
+    },
+}
+
+/// Full configuration of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub p: usize,
+    /// Master-count selection (ignored by Flat).
+    pub masters: MasterSelection,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Per-node OS parameters.
+    pub os: OsParams,
+    /// Static service rate of one node, requests/second (`μ_h`); used by
+    /// Theorem-1 planning. The demands themselves come from the trace.
+    pub mu_h: f64,
+    /// Load-information update period (the rstat sampling interval).
+    pub monitor_period: SimDuration,
+    /// Remote CGI dispatch latency, excluding fork (paper: 1 ms TCP
+    /// connection time).
+    pub remote_latency: SimDuration,
+    /// Client round-trip penalty for the Redirect baseline (a 1999 WAN
+    /// RTT; irrelevant to other policies).
+    pub redirect_rtt: SimDuration,
+    /// Fraction of each master's CPU and disk capacity reserved for
+    /// static processing (§4's "reserve a certain amount of CPU and I/O
+    /// ... on each master node"). Dynamic placement sees masters as this
+    /// much busier, so they only absorb CGI overflow once slaves are
+    /// loaded past the reserve. Ignored by Flat/M/S-nr/M/S′.
+    pub master_reserve: f64,
+    /// Per-node CPU speed factors; `None` = homogeneous. Length must be
+    /// `p` when present.
+    pub speeds: Option<Vec<f64>>,
+    /// Dynamic-content cache (the Swala extension); `None` disables
+    /// caching (the paper's main experiments: "Our work in this paper
+    /// does not consider CGI caching").
+    pub cache: Option<CacheConfig>,
+    /// DNS client-side caching skew for the front end, in [0, 1): 0 is
+    /// ideal uniform rotation; larger values concentrate arrivals on the
+    /// nodes whose addresses clients have cached (§2: "DNS round-robin
+    /// rotation does not evenly distribute the load among servers, due to
+    /// ... DNS entry caching"). Entry node i is drawn with weight
+    /// `(1 − skew)^i`.
+    pub dns_skew: f64,
+    /// RNG seed for dispatch decisions.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's simulation defaults for a `p`-node cluster under
+    /// `policy`.
+    pub fn simulation(p: usize, policy: PolicyKind) -> Self {
+        ClusterConfig {
+            p,
+            masters: MasterSelection::Fixed((p / 5).max(1)),
+            policy,
+            os: OsParams::default(),
+            mu_h: 1200.0,
+            monitor_period: SimDuration::from_millis(500),
+            remote_latency: SimDuration::from_millis(1),
+            redirect_rtt: SimDuration::from_millis(80),
+            master_reserve: 0.5,
+            speeds: None,
+            cache: None,
+            dns_skew: 0.0,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Resolve the number of masters for this configuration.
+    pub fn resolve_masters(&self) -> usize {
+        match self.policy {
+            PolicyKind::Flat | PolicyKind::Switch => 0,
+            PolicyKind::MsAllMasters => self.p,
+            _ => match self.masters {
+                MasterSelection::Fixed(m) => m.clamp(1, self.p),
+                MasterSelection::Auto { lambda, a, r } => {
+                    plan_masters(self.p, lambda, a, r, self.mu_h)
+                }
+            },
+        }
+    }
+
+    /// Validate topology and parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.p == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        self.os.validate()?;
+        if !(0.0..1.0).contains(&self.master_reserve) {
+            return Err(format!("master_reserve {} not in [0,1)", self.master_reserve));
+        }
+        if let Some(speeds) = &self.speeds {
+            if speeds.len() != self.p {
+                return Err(format!(
+                    "{} speed factors for {} nodes",
+                    speeds.len(),
+                    self.p
+                ));
+            }
+            if speeds.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+                return Err("node speeds must be positive".into());
+            }
+        }
+        if !(0.0..1.0).contains(&self.dns_skew) {
+            return Err(format!("dns_skew {} not in [0,1)", self.dns_skew));
+        }
+        let m = self.resolve_masters();
+        match self.policy {
+            PolicyKind::Flat | PolicyKind::Switch => {}
+            PolicyKind::MsAllMasters => {}
+            _ => {
+                if m == 0 || m > self.p {
+                    return Err(format!("bad master count {m} for p={}", self.p));
+                }
+                if m == self.p && self.p > 1 {
+                    return Err("M/S needs at least one slave (use MsAllMasters)".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Theorem-1 master planning from sampled workload parameters: pick the
+/// `m` minimising the analytic M/S stretch, subject to a floor that keeps
+/// the static load within the *unreserved* half of the master level
+/// (consistent with the runtime's 50 % master capacity reserve — an
+/// analytic `m` that saturates masters with static work alone would
+/// contradict §4's "static requests can be processed promptly"). Falls
+/// back to `p/4` when the workload overloads every configuration (the
+/// run will saturate anyway).
+pub fn plan_masters(p: usize, lambda: f64, a: f64, r: f64, mu_h: f64) -> usize {
+    let Ok(w) = msweb_queueing::Workload::from_ratios(lambda, a, mu_h, r) else {
+        return (p / 4).max(1);
+    };
+    // Static work must stay comfortably inside the reserved half of the
+    // master level (utilisation of the reserve <= ~70%), or static
+    // promptness — the whole point of the separation — is lost.
+    let m_floor = ((w.lambda_h / (0.35 * mu_h)).ceil() as usize).max(1);
+    let m = match msweb_queueing::plan(&w, p, msweb_queueing::ThetaRule::Midpoint) {
+        Ok(plan) => plan.m,
+        Err(_) => (p / 4).max(1),
+    };
+    m.max(m_floor).min(p.saturating_sub(1).max(1))
+}
+
+/// One cell of the paper's Table 2 grid: a trace replayed at a rate with
+/// a demand ratio on a cluster size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Trace name ("UCB" / "KSU" / "ADL").
+    pub trace: &'static str,
+    /// Cluster size.
+    pub p: usize,
+    /// Replay arrival rate, requests/second.
+    pub lambda: f64,
+    /// Demand ratio `1/r`.
+    pub inv_r: f64,
+}
+
+/// The reconstructed Table 2 grid (see DESIGN.md §4 for the derivation of
+/// the λ values from the Figure 5 caption).
+///
+/// Cells whose offered load exceeds 95 % of the cluster are dropped,
+/// matching the paper's "such a setting creates reasonable loads ...
+/// otherwise, the load would be too light or too heavy": the heaviest
+/// (λ, 1/r) combinations are analytically unstable for the CGI-heavy
+/// traces and were never replayed.
+pub fn table2_grid() -> Vec<GridCell> {
+    let mut cells = Vec::new();
+    let rates: [(&'static str, f64, [f64; 2], [f64; 2]); 3] = [
+        ("UCB", 11.2, [1000.0, 2000.0], [4000.0, 8000.0]),
+        ("KSU", 29.1, [500.0, 1000.0], [2000.0, 4000.0]),
+        ("ADL", 44.3, [500.0, 1000.0], [2000.0, 4000.0]),
+    ];
+    let stable = |cgi_pct: f64, lambda: f64, inv_r: f64, p: usize| -> bool {
+        let a = cgi_pct / (100.0 - cgi_pct);
+        match msweb_queueing::Workload::from_ratios(lambda, a, 1200.0, 1.0 / inv_r) {
+            Ok(w) => w.offered_load() / p as f64 <= 0.95,
+            Err(_) => false,
+        }
+    };
+    for &(trace, cgi_pct, small, large) in &rates {
+        for &inv_r in &[20.0, 40.0, 80.0, 160.0] {
+            for &lambda in &small {
+                if stable(cgi_pct, lambda, inv_r, 32) {
+                    cells.push(GridCell {
+                        trace,
+                        p: 32,
+                        lambda,
+                        inv_r,
+                    });
+                }
+            }
+            for &lambda in &large {
+                if stable(cgi_pct, lambda, inv_r, 128) {
+                    cells.push(GridCell {
+                        trace,
+                        p: 128,
+                        lambda,
+                        inv_r,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        for policy in [
+            PolicyKind::Flat,
+            PolicyKind::MasterSlave,
+            PolicyKind::MsNoSampling,
+            PolicyKind::MsNoReservation,
+            PolicyKind::MsAllMasters,
+            PolicyKind::MsPrime,
+            PolicyKind::Redirect,
+        ] {
+            let c = ClusterConfig::simulation(32, policy);
+            assert!(c.validate().is_ok(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn master_resolution() {
+        let mut c = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
+        c.masters = MasterSelection::Fixed(6);
+        assert_eq!(c.resolve_masters(), 6);
+        c.policy = PolicyKind::Flat;
+        assert_eq!(c.resolve_masters(), 0);
+        c.policy = PolicyKind::MsAllMasters;
+        assert_eq!(c.resolve_masters(), 32);
+    }
+
+    #[test]
+    fn auto_masters_matches_paper_sensitivity_setup() {
+        // §5.2.1: r=1/60, a=0.44, λ=750 on 32 nodes -> 6 masters;
+        // λ=3000 on 128 nodes -> 25 masters.
+        let m32 = plan_masters(32, 750.0, 0.44, 1.0 / 60.0, 1200.0);
+        let m128 = plan_masters(128, 3000.0, 0.44, 1.0 / 60.0, 1200.0);
+        // Exact integers depend on our (cleaner) root derivation; the
+        // paper reports 6 and 25. Accept the immediate neighbourhood and
+        // record the exact values in EXPERIMENTS.md.
+        assert!((4..=9).contains(&m32), "m32 = {m32}");
+        assert!((18..=34).contains(&m128), "m128 = {m128}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_speeds() {
+        let mut c = ClusterConfig::simulation(4, PolicyKind::MasterSlave);
+        c.speeds = Some(vec![1.0; 3]);
+        assert!(c.validate().is_err());
+        c.speeds = Some(vec![1.0, 2.0, 0.0, 1.0]);
+        assert!(c.validate().is_err());
+        c.speeds = Some(vec![1.0, 2.0, 1.5, 1.0]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_all_masters_for_ms() {
+        let mut c = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        c.masters = MasterSelection::Fixed(8);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn table2_grid_shape() {
+        let grid = table2_grid();
+        // 3 traces x 4 ratios x 4 rates, minus the six analytically
+        // unstable heavy cells (each trace's top rate with 1/r=160).
+        assert_eq!(grid.len(), 42);
+        assert!(grid.iter().any(|c| c.trace == "UCB" && c.p == 32 && c.lambda == 1000.0));
+        assert!(grid.iter().any(|c| c.trace == "ADL" && c.p == 128 && c.lambda == 4000.0));
+        assert!(grid.iter().all(|c| [20.0, 40.0, 80.0, 160.0].contains(&c.inv_r)));
+        // Dropped: the overloaded combinations.
+        assert!(!grid
+            .iter()
+            .any(|c| c.trace == "KSU" && c.lambda == 1000.0 && c.inv_r == 160.0));
+        assert!(!grid
+            .iter()
+            .any(|c| c.trace == "ADL" && c.lambda == 1000.0 && c.inv_r == 160.0));
+        // Every kept cell is comfortably replayable.
+        for c in &grid {
+            let a = match c.trace {
+                "UCB" => 11.2 / 88.8,
+                "KSU" => 29.1 / 70.9,
+                _ => 44.3 / 55.7,
+            };
+            let w = msweb_queueing::Workload::from_ratios(c.lambda, a, 1200.0, 1.0 / c.inv_r)
+                .unwrap();
+            assert!(w.offered_load() / c.p as f64 <= 0.95);
+        }
+    }
+}

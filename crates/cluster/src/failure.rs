@@ -1,0 +1,113 @@
+//! Failure injection (the Section 2 motivation for the M/S design):
+//! "If a slave node fails, a master node may need to restart a dynamic
+//! content process on another node."
+//!
+//! A [`FailurePlan`] schedules node crashes and optional recoveries into
+//! a simulation run. When a node dies, its in-flight requests are lost;
+//! dynamic requests are restarted on another node after a detection delay
+//! (one monitor period — the sub-second failure detection the paper
+//! attributes to load-balancing switches), while requests that cannot be
+//! restarted are counted as dropped.
+
+use msweb_simcore::SimTime;
+
+/// One scheduled node crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// When the node dies.
+    pub at: SimTime,
+    /// Which node dies.
+    pub node: usize,
+    /// Whether lost dynamic requests are restarted elsewhere.
+    pub restart_dynamic: bool,
+    /// When (if ever) the node rejoins the eligible set.
+    pub recover_at: Option<SimTime>,
+}
+
+/// A time-sorted crash schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Build from arbitrary events (sorted internally).
+    pub fn new(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        for e in &events {
+            if let Some(r) = e.recover_at {
+                assert!(r > e.at, "recovery must follow the crash");
+            }
+        }
+        FailurePlan { events }
+    }
+
+    /// Crash `node` at `at` with dynamic-restart enabled and no recovery.
+    pub fn crash(node: usize, at: SimTime) -> Self {
+        FailurePlan::new(vec![FailureEvent {
+            at,
+            node,
+            restart_dynamic: true,
+            recover_at: None,
+        }])
+    }
+
+    /// All events, time-sorted.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_by_time() {
+        let plan = FailurePlan::new(vec![
+            FailureEvent {
+                at: SimTime::from_secs(5),
+                node: 1,
+                restart_dynamic: true,
+                recover_at: None,
+            },
+            FailureEvent {
+                at: SimTime::from_secs(2),
+                node: 0,
+                restart_dynamic: false,
+                recover_at: Some(SimTime::from_secs(10)),
+            },
+        ]);
+        assert_eq!(plan.events()[0].node, 0);
+        assert_eq!(plan.events()[1].node, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow the crash")]
+    fn recovery_before_crash_rejected() {
+        FailurePlan::new(vec![FailureEvent {
+            at: SimTime::from_secs(5),
+            node: 0,
+            restart_dynamic: true,
+            recover_at: Some(SimTime::from_secs(1)),
+        }]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(FailurePlan::none().is_empty());
+        let c = FailurePlan::crash(3, SimTime::from_secs(1));
+        assert_eq!(c.events().len(), 1);
+        assert!(c.events()[0].restart_dynamic);
+    }
+}

@@ -1,0 +1,50 @@
+//! # msweb-cluster
+//!
+//! The paper's primary contribution: reservation-based scheduling for a
+//! master/slave Web-server cluster (*Scheduling Optimization for
+//! Resource-Intensive Web Requests on Server Clusters*, Zhu/Smith/Yang,
+//! SPAA 1999).
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`policy::Dispatcher`] — the two-hop placement algorithm: front-end
+//!   rotation to an entry node, then minimum-RSRC selection for dynamic
+//!   requests, subject to master reservation (§4);
+//! * [`rsrc::RsrcPredictor`] — Equation 5's relative server-site response
+//!   cost, with per-class CPU weights from off-line sampling;
+//! * [`reservation::ReservationController`] — the self-stabilising
+//!   `θ2*` admission limit derived from Theorem 1 and on-line
+//!   measurements;
+//! * [`loadinfo::LoadMonitor`] — the periodically updated (hence stale)
+//!   rstat-style load view;
+//! * [`sim::ClusterSim`] — the trace-driven discrete-event driver over
+//!   `msweb-ossim` nodes;
+//! * [`config::PolicyKind`] — every contender of §5.2: Flat, M/S, M/S-ns,
+//!   M/S-nr, M/S-1, M/S′, plus the HTTP-redirection baseline the paper
+//!   rejects;
+//! * [`failure::FailurePlan`] — §2's fail-over scenario: slave death and
+//!   dynamic-request restart;
+//! * [`metrics::Metrics`] — stretch factors per class and level.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod config;
+pub mod failure;
+pub mod loadinfo;
+pub mod metrics;
+pub mod policy;
+pub mod reservation;
+pub mod rsrc;
+pub mod sim;
+
+pub use cache::{CacheConfig, DynContentCache};
+pub use config::{plan_masters, table2_grid, ClusterConfig, GridCell, MasterSelection, PolicyKind};
+pub use failure::{FailureEvent, FailurePlan};
+pub use loadinfo::{LoadMonitor, NodeLoad};
+pub use metrics::{Level, Metrics, RunSummary};
+pub use policy::{Dispatcher, Placement};
+pub use reservation::ReservationController;
+pub use rsrc::RsrcPredictor;
+pub use sim::{run_policy, ClusterSim};

@@ -1,0 +1,202 @@
+//! Periodically updated load information (the `rstat()` substitute).
+//!
+//! "In selecting the best node for dynamic content processing, we use
+//! periodically-updated I/O and CPU load information" (§4). The monitor
+//! samples every node's cumulative busy counters on a fixed period and
+//! differences successive samples into windowed CPU-idle and
+//! disk-available ratios. Between ticks the dispatcher sees *stale*
+//! values — exactly the staleness a real rstat-based collector has, and
+//! the subject of one of the ablation benches.
+
+use msweb_ossim::LoadSnapshot;
+use msweb_simcore::{SimDuration, SimTime};
+
+/// Ratios are clamped here so the RSRC division never explodes.
+pub const MIN_RATIO: f64 = 0.01;
+
+/// One node's view as of the last monitor tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLoad {
+    /// Fraction of CPU time idle over the last window, in [MIN_RATIO, 1].
+    pub cpu_idle_ratio: f64,
+    /// Fraction of disk bandwidth available over the last window.
+    pub disk_avail_ratio: f64,
+    /// Fraction of memory free at the tick.
+    pub mem_free_ratio: f64,
+    /// Live processes at the tick.
+    pub processes: usize,
+}
+
+impl Default for NodeLoad {
+    fn default() -> Self {
+        NodeLoad {
+            cpu_idle_ratio: 1.0,
+            disk_avail_ratio: 1.0,
+            mem_free_ratio: 1.0,
+            processes: 0,
+        }
+    }
+}
+
+/// The cluster-wide load monitor.
+#[derive(Debug, Clone)]
+pub struct LoadMonitor {
+    period: SimDuration,
+    last_tick: SimTime,
+    prev: Vec<LoadSnapshot>,
+    current: Vec<NodeLoad>,
+}
+
+impl LoadMonitor {
+    /// Create for `p` nodes with the given sampling period. Initial view:
+    /// everything idle.
+    pub fn new(p: usize, period: SimDuration, t0: SimTime) -> Self {
+        assert!(!period.is_zero(), "monitor period must be positive");
+        LoadMonitor {
+            period,
+            last_tick: t0,
+            prev: vec![
+                LoadSnapshot {
+                    at: t0,
+                    cpu_busy: SimDuration::ZERO,
+                    disk_busy: SimDuration::ZERO,
+                    mem_free_ratio: 1.0,
+                    ready_len: 0,
+                    disk_queue_len: 0,
+                    processes: 0,
+                };
+                p
+            ],
+            current: vec![NodeLoad::default(); p],
+        }
+    }
+
+    /// When the next tick is due.
+    pub fn next_tick(&self) -> SimTime {
+        self.last_tick + self.period
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Ingest fresh snapshots at tick time `now` (one per node, in node
+    /// order) and recompute the windowed ratios.
+    pub fn tick(&mut self, now: SimTime, snapshots: &[LoadSnapshot]) {
+        assert_eq!(snapshots.len(), self.prev.len(), "node count changed");
+        let window = now.since(self.last_tick).as_secs_f64();
+        for (i, snap) in snapshots.iter().enumerate() {
+            if window > 0.0 {
+                let cpu_busy =
+                    snap.cpu_busy.saturating_sub(self.prev[i].cpu_busy).as_secs_f64() / window;
+                let disk_busy = snap
+                    .disk_busy
+                    .saturating_sub(self.prev[i].disk_busy)
+                    .as_secs_f64()
+                    / window;
+                self.current[i] = NodeLoad {
+                    cpu_idle_ratio: (1.0 - cpu_busy).clamp(MIN_RATIO, 1.0),
+                    disk_avail_ratio: (1.0 - disk_busy).clamp(MIN_RATIO, 1.0),
+                    mem_free_ratio: snap.mem_free_ratio,
+                    processes: snap.processes,
+                };
+            }
+            self.prev[i] = *snap;
+        }
+        self.last_tick = now;
+    }
+
+    /// Charge an expected placement against the stale view of node `i`.
+    ///
+    /// Pure periodic sampling causes a *herd effect*: every dynamic
+    /// request in a window lands on whichever node looked idlest at the
+    /// last tick, saturating it. The paper's load managers live on the
+    /// masters and know what they dispatched, so the dispatcher debits
+    /// each placement's expected CPU/disk demand (class means from
+    /// off-line sampling) from its local copy until the next tick
+    /// refreshes the truth.
+    pub fn charge(&mut self, i: usize, cpu: SimDuration, disk: SimDuration) {
+        let window = self.period.as_secs_f64();
+        let n = &mut self.current[i];
+        n.cpu_idle_ratio = (n.cpu_idle_ratio - cpu.as_secs_f64() / window).clamp(MIN_RATIO, 1.0);
+        n.disk_avail_ratio =
+            (n.disk_avail_ratio - disk.as_secs_f64() / window).clamp(MIN_RATIO, 1.0);
+    }
+
+    /// The (stale) view of node `i`.
+    pub fn node(&self, i: usize) -> &NodeLoad {
+        &self.current[i]
+    }
+
+    /// All node views.
+    pub fn all(&self) -> &[NodeLoad] {
+        &self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at: SimTime, cpu_ms: u64, disk_ms: u64) -> LoadSnapshot {
+        LoadSnapshot {
+            at,
+            cpu_busy: SimDuration::from_millis(cpu_ms),
+            disk_busy: SimDuration::from_millis(disk_ms),
+            mem_free_ratio: 0.8,
+            ready_len: 1,
+            disk_queue_len: 0,
+            processes: 1,
+        }
+    }
+
+    #[test]
+    fn initial_view_is_idle() {
+        let m = LoadMonitor::new(3, SimDuration::from_millis(500), SimTime::ZERO);
+        for i in 0..3 {
+            assert_eq!(m.node(i).cpu_idle_ratio, 1.0);
+            assert_eq!(m.node(i).disk_avail_ratio, 1.0);
+        }
+        assert_eq!(m.next_tick(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn windowed_ratios() {
+        let mut m = LoadMonitor::new(1, SimDuration::from_millis(500), SimTime::ZERO);
+        // 200ms CPU busy and 100ms disk busy over a 500ms window.
+        m.tick(SimTime::from_millis(500), &[snap(SimTime::from_millis(500), 200, 100)]);
+        let n = m.node(0);
+        assert!((n.cpu_idle_ratio - 0.6).abs() < 1e-9);
+        assert!((n.disk_avail_ratio - 0.8).abs() < 1e-9);
+        assert_eq!(n.processes, 1);
+
+        // Second window: another 50ms CPU (cumulative 250), disk idle.
+        m.tick(SimTime::from_secs(1), &[snap(SimTime::from_secs(1), 250, 100)]);
+        let n = m.node(0);
+        assert!((n.cpu_idle_ratio - 0.9).abs() < 1e-9);
+        assert!((n.disk_avail_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_busy_clamps_at_min_ratio() {
+        let mut m = LoadMonitor::new(1, SimDuration::from_millis(100), SimTime::ZERO);
+        m.tick(SimTime::from_millis(100), &[snap(SimTime::from_millis(100), 100, 100)]);
+        assert_eq!(m.node(0).cpu_idle_ratio, MIN_RATIO);
+        assert_eq!(m.node(0).disk_avail_ratio, MIN_RATIO);
+    }
+
+    #[test]
+    fn next_tick_advances() {
+        let mut m = LoadMonitor::new(1, SimDuration::from_millis(100), SimTime::ZERO);
+        m.tick(SimTime::from_millis(100), &[snap(SimTime::from_millis(100), 0, 0)]);
+        assert_eq!(m.next_tick(), SimTime::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "node count changed")]
+    fn node_count_mismatch_panics() {
+        let mut m = LoadMonitor::new(2, SimDuration::from_millis(100), SimTime::ZERO);
+        m.tick(SimTime::from_millis(100), &[snap(SimTime::from_millis(100), 0, 0)]);
+    }
+}

@@ -1,0 +1,558 @@
+//! Request dispatch policies.
+//!
+//! The [`Dispatcher`] implements every contender of Section 5.2 behind
+//! one interface. Placement of an arriving request proceeds in two hops,
+//! as in the paper's architecture:
+//!
+//! 1. the front end (DNS rotation or a switch) hands the request to a
+//!    uniformly random *entry* node — a master for the M/S family, any
+//!    node for Flat/M/S′/M/S-1;
+//! 2. the entry node processes static requests locally; for dynamic
+//!    requests it picks the minimum-RSRC node among the candidates its
+//!    policy allows (subject to the reservation limit), paying the remote
+//!    CGI latency when the choice is not itself.
+
+use msweb_simcore::{SimDuration, SimRng};
+
+use crate::config::{ClusterConfig, PolicyKind};
+use crate::loadinfo::LoadMonitor;
+use crate::reservation::ReservationController;
+use crate::rsrc::RsrcPredictor;
+
+/// Where a request goes and what the transfer costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Target node index.
+    pub node: usize,
+    /// Extra latency before the target node starts the request (zero for
+    /// local processing).
+    pub latency: SimDuration,
+    /// Whether the target counts as a master (for reservation accounting).
+    pub on_master: bool,
+}
+
+/// The cluster's scheduling brain.
+#[derive(Debug)]
+pub struct Dispatcher {
+    policy: PolicyKind,
+    p: usize,
+    /// Node indices 0..m are masters (m = p for Flat/M/S-1 entry
+    /// purposes; the flag distinguishes semantics).
+    m: usize,
+    /// For M/S′: the nodes dynamic requests are pinned to.
+    dynamic_nodes: Vec<usize>,
+    rsrc: RsrcPredictor,
+    /// Reservation controller (meaningful for the M/S family).
+    pub reservation: ReservationController,
+    remote_latency: SimDuration,
+    redirect_rtt: SimDuration,
+    /// Capacity share each master withholds from dynamic placement.
+    master_reserve: f64,
+    rng: SimRng,
+    /// Scratch candidate buffer, reused across placements.
+    candidates: Vec<usize>,
+    /// Nodes currently marked dead (failure injection).
+    dead: Vec<bool>,
+    /// Open connections per node (placements minus completions) — the
+    /// real-time count a load-balancing switch tracks.
+    in_flight: Vec<u32>,
+    /// DNS cache skew for entry selection (0 = uniform).
+    dns_skew: f64,
+}
+
+impl Dispatcher {
+    /// Build from a validated configuration plus the workload priors used
+    /// to seed the reservation controller.
+    pub fn new(config: &ClusterConfig, a0: f64, r0: f64) -> Self {
+        config.validate().expect("invalid cluster configuration");
+        let p = config.p;
+        let m = config.resolve_masters();
+        let use_sampling = config.policy != PolicyKind::MsNoSampling;
+        let rsrc = match &config.speeds {
+            Some(s) => RsrcPredictor::with_speeds(s.clone(), use_sampling),
+            None => RsrcPredictor::homogeneous(p, use_sampling),
+        };
+        let enforce = !matches!(
+            config.policy,
+            PolicyKind::MsNoReservation | PolicyKind::Flat | PolicyKind::MsPrime
+        );
+        // Reservation bound needs 1 <= m <= p even for policies that
+        // ignore it.
+        let m_for_bound = m.clamp(1, p);
+        let reservation = ReservationController::new(m_for_bound, p, a0, r0, enforce);
+        // M/S': dynamic work pinned to the would-be slave set (the last
+        // p - m nodes), static spread everywhere.
+        let dynamic_nodes: Vec<usize> = if m < p { (m..p).collect() } else { (0..p).collect() };
+        let master_reserve = if enforce { config.master_reserve } else { 0.0 };
+        Dispatcher {
+            policy: config.policy,
+            p,
+            m,
+            dynamic_nodes,
+            rsrc,
+            reservation,
+            remote_latency: config.remote_latency,
+            redirect_rtt: config.redirect_rtt,
+            master_reserve,
+            rng: SimRng::seed_from_u64(config.seed ^ 0xd15b),
+            candidates: Vec::with_capacity(p),
+            dead: vec![false; p],
+            in_flight: vec![0; p],
+            dns_skew: config.dns_skew,
+        }
+    }
+
+    /// Number of masters.
+    pub fn masters(&self) -> usize {
+        self.m
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Mark a node dead (no further placements) or alive again.
+    pub fn set_dead(&mut self, node: usize, dead: bool) {
+        self.dead[node] = dead;
+    }
+
+    /// True when `node` is currently dead.
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead[node]
+    }
+
+    /// Notify the dispatcher that `node` finished one request (keeps the
+    /// switch-style connection counts truthful).
+    pub fn note_completion(&mut self, node: usize) {
+        self.in_flight[node] = self.in_flight[node].saturating_sub(1);
+    }
+
+    /// Current open-connection count for `node`.
+    pub fn in_flight(&self, node: usize) -> u32 {
+        self.in_flight[node]
+    }
+
+    /// Draw an index in `[0, n)` with DNS-cache skew: weight of slot i is
+    /// `(1 − skew)^i` (geometric concentration on the low-numbered,
+    /// longest-cached addresses). skew = 0 degenerates to uniform.
+    fn skewed_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        if self.dns_skew <= 0.0 {
+            return self.rng.gen_index(n);
+        }
+        let q = 1.0 - self.dns_skew;
+        // Inverse CDF of the truncated geometric.
+        let total = 1.0 - q.powi(n as i32);
+        let u = self.rng.next_f64() * total;
+        let idx = ((1.0 - u).ln() / q.ln()).floor() as usize;
+        idx.min(n - 1)
+    }
+
+    /// A random live node from `lo..hi` (skewed by `dns_skew`); falls
+    /// back to scanning the whole cluster when the whole range is dead.
+    fn random_live(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        for _ in 0..8 {
+            let n = lo + self.skewed_index(hi - lo);
+            if !self.dead[n] {
+                return n;
+            }
+        }
+        // Dense fallback.
+        let live: Vec<usize> = (lo..hi).filter(|&n| !self.dead[n]).collect();
+        if live.is_empty() {
+            let any: Vec<usize> = (0..self.p).filter(|&n| !self.dead[n]).collect();
+            assert!(!any.is_empty(), "entire cluster is dead");
+            *self.rng.choose(&any)
+        } else {
+            *self.rng.choose(&live)
+        }
+    }
+
+    /// The entry node the front end would hand this request to.
+    fn entry_node(&mut self) -> usize {
+        match self.policy {
+            // Flat / M/S-1 / M/S': DNS rotation over all nodes.
+            PolicyKind::Flat | PolicyKind::MsAllMasters | PolicyKind::MsPrime => {
+                self.random_live(0, self.p)
+            }
+            // Switch: least open connections over all live nodes, ties
+            // random — the switch sees connection counts in real time.
+            PolicyKind::Switch => {
+                let mut best = usize::MAX;
+                let mut best_count = u32::MAX;
+                let start = self.rng.gen_index(self.p);
+                for off in 0..self.p {
+                    let n = (start + off) % self.p;
+                    if !self.dead[n] && self.in_flight[n] < best_count {
+                        best = n;
+                        best_count = self.in_flight[n];
+                    }
+                }
+                assert!(best != usize::MAX, "entire cluster is dead");
+                best
+            }
+            // M/S family: over the master level.
+            _ => self.random_live(0, self.m),
+        }
+    }
+
+    /// Decide where a request runs. `dynamic` is the request class,
+    /// `sampled_w` its off-line-sampled CPU weight, `expected_service`
+    /// the class's mean demand (from off-line sampling; used to debit the
+    /// stale load view so same-window placements spread), `monitor` the
+    /// stale load view.
+    pub fn place(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Placement {
+        let entry = self.entry_node();
+        self.reservation.note_arrival(dynamic);
+        if self.policy == PolicyKind::Switch {
+            // The switch routes before anything looks at request class.
+            self.in_flight[entry] += 1;
+            monitor.charge(
+                entry,
+                expected_service.mul_f64(self.rsrc.effective_w(sampled_w)),
+                SimDuration::ZERO,
+            );
+            return Placement {
+                node: entry,
+                latency: SimDuration::ZERO,
+                on_master: false,
+            };
+        }
+        let w = self.rsrc.effective_w(sampled_w);
+        let cpu_charge = expected_service.mul_f64(w);
+        let disk_charge = expected_service.saturating_sub(cpu_charge);
+
+        if !dynamic {
+            // Static requests are never re-scheduled: "it only takes a
+            // very small amount of time to process".
+            monitor.charge(entry, cpu_charge, disk_charge);
+            self.in_flight[entry] += 1;
+            return Placement {
+                node: entry,
+                latency: SimDuration::ZERO,
+                on_master: entry < self.m,
+            };
+        }
+
+        match self.policy {
+            PolicyKind::Flat => {
+                monitor.charge(entry, cpu_charge, disk_charge);
+                self.in_flight[entry] += 1;
+                Placement {
+                    node: entry,
+                    latency: SimDuration::ZERO,
+                    on_master: false,
+                }
+            }
+            PolicyKind::MsPrime => {
+                // Pinned dynamic nodes; min-RSRC within the pin set.
+                self.candidates.clear();
+                let dyn_nodes = &self.dynamic_nodes;
+                let dead = &self.dead;
+                self.candidates
+                    .extend(dyn_nodes.iter().copied().filter(|&n| !dead[n]));
+                if self.candidates.is_empty() {
+                    self.candidates.extend((0..self.p).filter(|&n| !dead[n]));
+                }
+                self.rng.shuffle(&mut self.candidates);
+                let node = self
+                    .rsrc
+                    .select(self.candidates.iter(), monitor.all(), sampled_w)
+                    .expect("no live node");
+                monitor.charge(node, cpu_charge, disk_charge);
+                self.in_flight[node] += 1;
+                let latency = if node == entry {
+                    SimDuration::ZERO
+                } else {
+                    self.remote_latency
+                };
+                Placement {
+                    node,
+                    latency,
+                    on_master: false,
+                }
+            }
+            _ => {
+                // The M/S family: slaves always eligible; masters subject
+                // to reservation (trivially satisfied for M/S-nr and
+                // M/S-1, where theta2* enforcement is off or m = p).
+                let masters_ok = self.m == self.p || self.reservation.master_eligible();
+                self.candidates.clear();
+                {
+                    let dead = &self.dead;
+                    let m = self.m;
+                    self.candidates.extend((m..self.p).filter(|&n| !dead[n]));
+                    if masters_ok {
+                        self.candidates.extend((0..m).filter(|&n| !dead[n]));
+                    }
+                }
+                if self.candidates.is_empty() {
+                    let dead = &self.dead;
+                    self.candidates.extend((0..self.p).filter(|&n| !dead[n]));
+                }
+                self.rng.shuffle(&mut self.candidates);
+                let m = self.m;
+                let reserve = self.master_reserve;
+                let node = self
+                    .rsrc
+                    .select_with_reserve(
+                        self.candidates.iter(),
+                        monitor.all(),
+                        sampled_w,
+                        |n| if n < m { reserve } else { 0.0 },
+                    )
+                    .expect("no live node");
+                monitor.charge(node, cpu_charge, disk_charge);
+                self.in_flight[node] += 1;
+                let on_master = node < self.m;
+                self.reservation.note_placement(on_master);
+                let latency = if node == entry {
+                    SimDuration::ZERO
+                } else if self.policy == PolicyKind::Redirect {
+                    // HTTP redirection: the client bounces off the entry
+                    // node and re-connects to the target.
+                    self.redirect_rtt + self.remote_latency
+                } else {
+                    self.remote_latency
+                };
+                Placement {
+                    node,
+                    latency,
+                    on_master,
+                }
+            }
+        }
+    }
+
+    /// Re-place a request after its node died (failure recovery):
+    /// min-RSRC among live nodes of the appropriate level.
+    pub fn replace_after_failure(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Placement {
+        // Failure recovery always pays the remote latency.
+        let mut placement = self.place(dynamic, sampled_w, expected_service, monitor);
+        if placement.latency.is_zero() {
+            placement.latency = self.remote_latency;
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msweb_simcore::SimTime;
+
+    fn monitor(p: usize) -> LoadMonitor {
+        LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO)
+    }
+
+    /// Mean demand used by the tests' charging path.
+    fn svc() -> SimDuration {
+        SimDuration::from_millis(10)
+    }
+
+    fn dispatcher(policy: PolicyKind, p: usize, m: usize) -> Dispatcher {
+        let mut cfg = ClusterConfig::simulation(p, policy);
+        cfg.masters = crate::config::MasterSelection::Fixed(m);
+        Dispatcher::new(&cfg, 0.25, 0.025)
+    }
+
+    #[test]
+    fn static_requests_stay_on_masters_for_ms() {
+        let mut d = dispatcher(PolicyKind::MasterSlave, 32, 8);
+        let mut mon = monitor(32);
+        for _ in 0..200 {
+            let p = d.place(false, 0.5, svc(), &mut mon);
+            assert!(p.node < 8, "static landed on slave {}", p.node);
+            assert!(p.latency.is_zero());
+            assert!(p.on_master);
+        }
+    }
+
+    #[test]
+    fn static_requests_spread_everywhere_for_flat_and_msprime() {
+        for kind in [PolicyKind::Flat, PolicyKind::MsPrime, PolicyKind::MsAllMasters] {
+            let mut d = dispatcher(kind, 16, 4);
+            let mut mon = monitor(16);
+            let mut seen = [false; 16];
+            for _ in 0..800 {
+                seen[d.place(false, 0.5, svc(), &mut mon).node] = true;
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "{kind:?}: statics did not reach every node"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_never_redirects_dynamics() {
+        let mut d = dispatcher(PolicyKind::Flat, 8, 2);
+        let mut mon = monitor(8);
+        for _ in 0..100 {
+            let p = d.place(true, 0.9, svc(), &mut mon);
+            assert!(p.latency.is_zero());
+        }
+    }
+
+    #[test]
+    fn msprime_pins_dynamics() {
+        let mut d = dispatcher(PolicyKind::MsPrime, 16, 4);
+        let mut mon = monitor(16);
+        for _ in 0..200 {
+            let p = d.place(true, 0.9, svc(), &mut mon);
+            assert!(p.node >= 4, "dynamic on static node {}", p.node);
+        }
+    }
+
+    #[test]
+    fn ms_reservation_caps_master_placements() {
+        let mut d = dispatcher(PolicyKind::MasterSlave, 32, 8);
+        let mut mon = monitor(32);
+        let theta = d.reservation.theta2_star();
+        let mut on_master = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if d.place(true, 0.9, svc(), &mut mon).on_master {
+                on_master += 1;
+            }
+        }
+        let frac = on_master as f64 / n as f64;
+        assert!(
+            frac <= theta + 0.05,
+            "master fraction {frac} exceeds theta2* {theta}"
+        );
+    }
+
+    #[test]
+    fn ms_nr_floods_masters_when_idle() {
+        // Without reservation, an all-idle cluster gives masters the same
+        // cost as slaves, so a material share of dynamics lands on them.
+        let mut d = dispatcher(PolicyKind::MsNoReservation, 32, 8);
+        let mut mon = monitor(32);
+        let mut on_master = 0;
+        for _ in 0..2000 {
+            if d.place(true, 0.9, svc(), &mut mon).on_master {
+                on_master += 1;
+            }
+        }
+        let frac = on_master as f64 / 2000.0;
+        // Uniform over 32 candidates would give 0.25.
+        assert!(frac > 0.15, "M/S-nr placed only {frac} on masters");
+    }
+
+    #[test]
+    fn remote_latency_charged_only_when_moving() {
+        let mut d = dispatcher(PolicyKind::MasterSlave, 4, 2);
+        let mut mon = monitor(4);
+        for _ in 0..200 {
+            let p = d.place(true, 0.9, svc(), &mut mon);
+            if p.node >= 2 {
+                assert_eq!(p.latency, SimDuration::from_millis(1));
+            }
+        }
+    }
+
+    #[test]
+    fn redirect_pays_round_trip() {
+        let mut d = dispatcher(PolicyKind::Redirect, 4, 1);
+        let mut mon = monitor(4);
+        let mut paid = false;
+        for _ in 0..100 {
+            let p = d.place(true, 0.9, svc(), &mut mon);
+            if p.node != 0 {
+                assert!(p.latency >= SimDuration::from_millis(80));
+                paid = true;
+            }
+        }
+        assert!(paid, "no dynamic request ever moved off the single master");
+    }
+
+    #[test]
+    fn dead_nodes_are_avoided() {
+        let mut d = dispatcher(PolicyKind::MasterSlave, 8, 2);
+        let mut mon = monitor(8);
+        d.set_dead(5, true);
+        d.set_dead(6, true);
+        for _ in 0..300 {
+            let p = d.place(true, 0.5, svc(), &mut mon);
+            assert!(p.node != 5 && p.node != 6);
+            let s = d.place(false, 0.5, svc(), &mut mon);
+            assert!(s.node != 5 && s.node != 6);
+        }
+        d.set_dead(5, false);
+        assert!(!d.is_dead(5));
+    }
+
+    #[test]
+    fn switch_balances_connection_counts() {
+        let mut d = dispatcher(PolicyKind::Switch, 8, 1);
+        let mut mon = monitor(8);
+        // 64 placements with no completions: counts must be exactly even.
+        for _ in 0..64 {
+            d.place(false, 0.5, svc(), &mut mon);
+        }
+        for n in 0..8 {
+            assert_eq!(d.in_flight(n), 8, "node {n} unbalanced");
+        }
+        // Completions free capacity and the switch reuses it first.
+        d.note_completion(3);
+        d.note_completion(3);
+        let p = d.place(true, 0.9, svc(), &mut mon);
+        assert_eq!(p.node, 3);
+        assert!(p.latency.is_zero());
+    }
+
+    #[test]
+    fn dns_skew_concentrates_entries() {
+        let mut cfg = ClusterConfig::simulation(16, PolicyKind::Flat);
+        cfg.dns_skew = 0.5;
+        let mut d = Dispatcher::new(&cfg, 0.25, 0.025);
+        let mut mon = monitor(16);
+        let mut counts = [0u32; 16];
+        for _ in 0..4000 {
+            counts[d.place(false, 0.5, svc(), &mut mon).node] += 1;
+        }
+        // Geometric weights: node 0 should get about half the traffic and
+        // the tail almost nothing.
+        assert!(counts[0] > counts[4] * 4, "skew not applied: {counts:?}");
+        assert!(counts[0] as f64 / 4000.0 > 0.3);
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let mut d = dispatcher(PolicyKind::Flat, 16, 1);
+        let mut mon = monitor(16);
+        let mut counts = [0u32; 16];
+        for _ in 0..8000 {
+            counts[d.place(false, 0.5, svc(), &mut mon).node] += 1;
+        }
+        for (n, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / 8000.0;
+            assert!((freq - 1.0 / 16.0).abs() < 0.02, "node {n} freq {freq}");
+        }
+    }
+
+    #[test]
+    fn failure_replacement_pays_latency() {
+        let mut d = dispatcher(PolicyKind::MasterSlave, 8, 2);
+        let mut mon = monitor(8);
+        for _ in 0..50 {
+            let p = d.replace_after_failure(true, 0.9, svc(), &mut mon);
+            assert!(!p.latency.is_zero());
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Reservation-based admission of dynamic work on masters (§4).
+//!
+//! The paper: "Ideally, the percentage of dynamic content requests
+//! processed at masters should be θm from Theorem 1", with the analytic
+//! upper bound θ2 as the enforced limit θ2*. This controller computes the
+//! operating cap from Theorem 1 evaluated with *measured* quantities —
+//! `â` from windowed arrival counts, `r̂` from the ratio of mean static
+//! to dynamic response times (the paper's compromise, since true service
+//! rates are hard to estimate online), and `ρ̂` from the monitor's busy
+//! counters. Because Theorem 1's interval is scale-free given `(a, r, ρ)`,
+//! the cap needs no absolute rate estimates:
+//!
+//! * normal load → `θm = max((θ1+θ2)/2, 0)` is typically **zero**: masters
+//!   accept no dynamic work and statics stay fast;
+//! * near saturation → `θ1` rises above zero and the cap opens, letting
+//!   masters absorb overflow — the paper's "dynamically recruit idle
+//!   resources in handling peak load";
+//! * flat-unstable load → the cap falls back to the upper bound `θ2`.
+//!
+//! The adjustment is self-stabilising (§4): admitting too much dynamic
+//! work onto masters slows static requests, raising `r̂`, which lowers
+//! the cap and sheds the dynamic work again.
+
+use msweb_queueing::{reservation_bound, MsModel, Workload};
+use msweb_simcore::SimDuration;
+
+/// Compute the admission cap from measured ratios and utilisation.
+///
+/// `rho` is the mean per-node utilisation (offered Erlangs / p). The cap
+/// is Theorem 1's `θm` for the implied (scale-free) workload, opened up
+/// to `θ2` when the flat model would be unstable.
+pub fn admission_cap(m: usize, p: usize, a: f64, r: f64, rho: f64) -> f64 {
+    assert!(m >= 1 && m <= p, "bad m={m}, p={p}");
+    if m == p {
+        return 1.0;
+    }
+    if !(a.is_finite() && a > 0.0 && r.is_finite() && r > 0.0) {
+        return 0.0;
+    }
+    let theta2 = reservation_bound(m, p, a, r);
+    if rho.is_nan() || rho <= 0.0 {
+        return 0.0;
+    }
+    if rho >= 1.0 {
+        // Offered load exceeds the cluster: beat-flat is vacuous; allow
+        // masters to absorb up to the analytic upper bound.
+        return theta2;
+    }
+    // Scale-free reconstruction: set mu_h = 1; offered = rho * p Erlangs.
+    let offered = rho * p as f64;
+    let lambda_h = offered / (1.0 + a / r);
+    let Ok(w) = Workload::new(lambda_h, a * lambda_h, 1.0, r) else {
+        return 0.0;
+    };
+    let Ok(model) = MsModel::new(w, p, m) else {
+        return 0.0;
+    };
+    match model.theta_interval() {
+        Ok(iv) => iv.theta_mid().clamp(0.0, theta2.max(0.0)),
+        Err(_) => theta2,
+    }
+}
+
+/// Sliding-window reservation controller.
+#[derive(Debug, Clone)]
+pub struct ReservationController {
+    /// Master count used in the bound.
+    m: usize,
+    /// Cluster size used in the bound.
+    p: usize,
+    /// Whether the reservation is enforced (false = the M/S-nr ablation).
+    pub enforce: bool,
+    /// Current admission cap (θm*, opened towards θ2* under overload).
+    cap: f64,
+    // -- measurement window (reset at every update) --
+    arrivals_static: u64,
+    arrivals_dynamic: u64,
+    resp_static_sum: f64,
+    resp_static_n: u64,
+    resp_dynamic_sum: f64,
+    resp_dynamic_n: u64,
+    // -- admission window --
+    dyn_to_masters: u64,
+    dyn_total: u64,
+    // -- smoothed measurements (EWMA across windows) --
+    a_hat: f64,
+    r_hat: f64,
+    rho_hat: f64,
+}
+
+/// EWMA weight for new window measurements.
+const ALPHA: f64 = 0.3;
+
+impl ReservationController {
+    /// Create for a cluster with `m` masters out of `p`, starting from a
+    /// prior guess of the workload ratios (used until real measurements
+    /// arrive). The utilisation prior is 0.5.
+    pub fn new(m: usize, p: usize, a0: f64, r0: f64, enforce: bool) -> Self {
+        assert!(m >= 1 && m <= p, "bad m={m}, p={p}");
+        let a_hat = if a0.is_finite() && a0 > 0.0 { a0 } else { 0.5 };
+        let r_hat = if r0.is_finite() && r0 > 0.0 { r0 } else { 0.05 };
+        let rho_hat = 0.5;
+        ReservationController {
+            m,
+            p,
+            enforce,
+            cap: admission_cap(m, p, a_hat, r_hat, rho_hat),
+            arrivals_static: 0,
+            arrivals_dynamic: 0,
+            resp_static_sum: 0.0,
+            resp_static_n: 0,
+            resp_dynamic_sum: 0.0,
+            resp_dynamic_n: 0,
+            dyn_to_masters: 0,
+            dyn_total: 0,
+            a_hat,
+            r_hat,
+            rho_hat,
+        }
+    }
+
+    /// The current admission cap.
+    pub fn theta2_star(&self) -> f64 {
+        self.cap
+    }
+
+    /// The smoothed measured ratios `(â, r̂)`.
+    pub fn measured(&self) -> (f64, f64) {
+        (self.a_hat, self.r_hat)
+    }
+
+    /// The smoothed measured utilisation `ρ̂`.
+    pub fn measured_rho(&self) -> f64 {
+        self.rho_hat
+    }
+
+    /// Record an arriving request (class mix measurement).
+    pub fn note_arrival(&mut self, dynamic: bool) {
+        if dynamic {
+            self.arrivals_dynamic += 1;
+        } else {
+            self.arrivals_static += 1;
+        }
+    }
+
+    /// Record a completed request's server-site response time.
+    pub fn note_response(&mut self, dynamic: bool, response: SimDuration) {
+        let r = response.as_secs_f64();
+        if dynamic {
+            self.resp_dynamic_sum += r;
+            self.resp_dynamic_n += 1;
+        } else {
+            self.resp_static_sum += r;
+            self.resp_static_n += 1;
+        }
+    }
+
+    /// May the next dynamic request be placed on a master? True when the
+    /// windowed master-local fraction is below the cap (always true when
+    /// not enforcing).
+    pub fn master_eligible(&self) -> bool {
+        if !self.enforce {
+            return true;
+        }
+        if self.dyn_total == 0 {
+            return self.cap > 0.0;
+        }
+        (self.dyn_to_masters as f64) < self.cap * self.dyn_total as f64
+    }
+
+    /// Record the placement the dispatcher actually made for a dynamic
+    /// request.
+    pub fn note_placement(&mut self, on_master: bool) {
+        self.dyn_total += 1;
+        if on_master {
+            self.dyn_to_masters += 1;
+        }
+    }
+
+    /// The fraction of windowed dynamic requests placed on masters.
+    pub fn master_fraction(&self) -> f64 {
+        if self.dyn_total == 0 {
+            0.0
+        } else {
+            self.dyn_to_masters as f64 / self.dyn_total as f64
+        }
+    }
+
+    /// Periodic update (at each monitor tick): fold the window's
+    /// measurements into the smoothed ratios, recompute the cap, reset
+    /// the window. `rho` is the monitor's mean per-node utilisation over
+    /// the window.
+    pub fn update(&mut self, rho: f64) {
+        if rho.is_finite() && rho >= 0.0 {
+            self.rho_hat = (1.0 - ALPHA) * self.rho_hat + ALPHA * rho.min(2.0);
+        }
+        if self.arrivals_static > 0 && self.arrivals_dynamic > 0 {
+            let a_win = self.arrivals_dynamic as f64 / self.arrivals_static as f64;
+            self.a_hat = (1.0 - ALPHA) * self.a_hat + ALPHA * a_win;
+        }
+        if self.resp_static_n > 0 && self.resp_dynamic_n > 0 {
+            let rs = self.resp_static_sum / self.resp_static_n as f64;
+            let rd = self.resp_dynamic_sum / self.resp_dynamic_n as f64;
+            if rd > 0.0 {
+                // r = mu_c/mu_h ~ (static response)/(dynamic response):
+                // responses scale with demands under equal stretch.
+                let r_win = (rs / rd).clamp(1e-4, 1.0);
+                self.r_hat = (1.0 - ALPHA) * self.r_hat + ALPHA * r_win;
+            }
+        }
+        self.cap = admission_cap(self.m, self.p, self.a_hat, self.r_hat, self.rho_hat);
+        self.arrivals_static = 0;
+        self.arrivals_dynamic = 0;
+        self.resp_static_sum = 0.0;
+        self.resp_static_n = 0;
+        self.resp_dynamic_sum = 0.0;
+        self.resp_dynamic_n = 0;
+        self.dyn_to_masters = 0;
+        self.dyn_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_zero_under_light_load() {
+        // Comfortably stable cluster: theta_m clamps to zero — masters
+        // are fully reserved for statics.
+        let cap = admission_cap(9, 32, 0.126, 1.0 / 80.0, 0.5);
+        assert_eq!(cap, 0.0);
+    }
+
+    #[test]
+    fn cap_opens_near_saturation() {
+        let light = admission_cap(9, 32, 0.126, 1.0 / 80.0, 0.5);
+        let heavy = admission_cap(9, 32, 0.126, 1.0 / 80.0, 0.78);
+        assert!(heavy > light, "cap should open with load: {light} -> {heavy}");
+        assert!(heavy <= reservation_bound(9, 32, 0.126, 1.0 / 80.0) + 1e-12);
+    }
+
+    #[test]
+    fn cap_falls_back_to_theta2_when_flat_unstable() {
+        let cap = admission_cap(9, 32, 0.126, 1.0 / 80.0, 1.2);
+        let theta2 = reservation_bound(9, 32, 0.126, 1.0 / 80.0);
+        assert!((cap - theta2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_bounded_by_theta2_everywhere() {
+        for rho in [0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.5] {
+            let cap = admission_cap(6, 32, 0.44, 1.0 / 60.0, rho);
+            let theta2 = reservation_bound(6, 32, 0.44, 1.0 / 60.0);
+            assert!((0.0..=1.0).contains(&cap));
+            assert!(cap <= theta2 + 1e-12, "rho={rho}: cap {cap} > theta2 {theta2}");
+        }
+    }
+
+    #[test]
+    fn all_masters_cap_is_one() {
+        assert_eq!(admission_cap(32, 32, 0.2, 0.02, 0.5), 1.0);
+    }
+
+    #[test]
+    fn degenerate_measurements_close_the_cap() {
+        assert_eq!(admission_cap(8, 32, 0.0, 0.02, 0.5), 0.0);
+        assert_eq!(admission_cap(8, 32, f64::NAN, 0.02, 0.5), 0.0);
+        assert_eq!(admission_cap(8, 32, 0.2, 0.02, 0.0), 0.0);
+    }
+
+    #[test]
+    fn admission_respects_cap_fraction() {
+        let mut c = ReservationController::new(9, 32, 0.126, 1.0 / 80.0, true);
+        // Drive utilisation up so the cap opens.
+        for _ in 0..20 {
+            c.update(0.85);
+        }
+        let cap = c.theta2_star();
+        assert!(cap > 0.0, "cap should open at rho 0.85");
+        let mut admitted = 0;
+        for _ in 0..2000 {
+            let ok = c.master_eligible();
+            c.note_placement(ok);
+            if ok {
+                admitted += 1;
+            }
+        }
+        let frac = admitted as f64 / 2000.0;
+        assert!(
+            (frac - cap).abs() < 0.02,
+            "admitted fraction {frac} should track cap {cap}"
+        );
+    }
+
+    #[test]
+    fn disabled_enforcement_always_admits() {
+        let mut c = ReservationController::new(8, 32, 0.25, 0.025, false);
+        for _ in 0..100 {
+            assert!(c.master_eligible());
+            c.note_placement(true);
+        }
+    }
+
+    #[test]
+    fn closed_cap_blocks_masters() {
+        let mut c = ReservationController::new(9, 32, 0.126, 1.0 / 80.0, true);
+        c.update(0.3);
+        assert_eq!(c.theta2_star(), 0.0);
+        assert!(!c.master_eligible());
+        c.note_placement(false);
+        assert!(!c.master_eligible());
+    }
+
+    #[test]
+    fn slow_static_responses_lower_the_cap() {
+        // Start from a high-load state where the cap is open.
+        let mut c = ReservationController::new(6, 32, 0.44, 1.0 / 60.0, true);
+        for _ in 0..20 {
+            c.update(0.9);
+        }
+        let before = c.theta2_star();
+        assert!(before > 0.0, "precondition: open cap, got {before}");
+        // Static responses degrade to the dynamic scale (masters
+        // overloaded): r_hat rises; theta falls since d(cap)/d(r/a) < 0.
+        for _ in 0..50 {
+            c.note_arrival(false);
+            c.note_response(false, SimDuration::from_millis(40));
+            c.note_arrival(true);
+            c.note_response(true, SimDuration::from_millis(40));
+        }
+        c.update(0.9);
+        assert!(
+            c.theta2_star() < before,
+            "cap should fall when statics slow: {} -> {}",
+            before,
+            c.theta2_star()
+        );
+    }
+
+    #[test]
+    fn self_stabilisation_converges() {
+        // Feedback loop mimicking §4's argument: the measured response
+        // ratio reflects how much dynamic work the masters admitted last
+        // round. Whatever the initial r prior, the cap converges.
+        let run = |r0: f64| {
+            let mut c = ReservationController::new(6, 32, 0.44, r0, true);
+            let mut last = 0.0;
+            for _ in 0..60 {
+                let theta = c.theta2_star();
+                let static_resp = 1.0 / 1200.0 * (1.0 + 4.0 * theta);
+                let dynamic_resp = 60.0 / 1200.0;
+                for _ in 0..20 {
+                    c.note_arrival(false);
+                    c.note_response(false, SimDuration::from_secs_f64(static_resp));
+                }
+                for _ in 0..9 {
+                    c.note_arrival(true);
+                    c.note_response(true, SimDuration::from_secs_f64(dynamic_resp));
+                }
+                c.update(0.85);
+                last = c.theta2_star();
+            }
+            last
+        };
+        let from_low = run(0.005);
+        let from_high = run(0.5);
+        assert!(
+            (from_low - from_high).abs() < 0.02,
+            "cap should converge regardless of prior: {from_low} vs {from_high}"
+        );
+    }
+
+    #[test]
+    fn measured_ratios_track_arrivals() {
+        let mut c = ReservationController::new(8, 32, 0.25, 0.025, true);
+        for _ in 0..300 {
+            c.note_arrival(true);
+        }
+        for _ in 0..100 {
+            c.note_arrival(false);
+        }
+        c.update(0.5);
+        let (a, _) = c.measured();
+        assert!(a > 0.25, "a_hat should have moved towards 3: {a}");
+        assert!((c.measured_rho() - 0.5).abs() < 0.2);
+    }
+}

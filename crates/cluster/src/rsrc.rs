@@ -1,0 +1,210 @@
+//! The RSRC cost predictor — the paper's Equation 5.
+//!
+//! ```text
+//! RSRC = w / CPUIdleRatio + (1 − w) / DiskAvailRatio
+//! ```
+//!
+//! `w` is the request class's average CPU cost share, obtained by
+//! off-line sampling on an unloaded system; "if a value for w cannot be
+//! obtained, we assume w = 0.5". For heterogeneous clusters the relative
+//! node speed divides the CPU term (our previous-work extension the paper
+//! points to [36]).
+
+use crate::loadinfo::{NodeLoad, MIN_RATIO};
+
+/// The RSRC predictor.
+#[derive(Debug, Clone)]
+pub struct RsrcPredictor {
+    /// When false (the M/S-ns ablation), every request is costed with
+    /// `w = 0.5` regardless of its sampled class weight.
+    pub use_sampling: bool,
+    /// Per-node CPU speed factors (1.0 = baseline).
+    speeds: Vec<f64>,
+}
+
+impl RsrcPredictor {
+    /// Homogeneous predictor for `p` nodes.
+    pub fn homogeneous(p: usize, use_sampling: bool) -> Self {
+        RsrcPredictor {
+            use_sampling,
+            speeds: vec![1.0; p],
+        }
+    }
+
+    /// Heterogeneous predictor with explicit speed factors.
+    pub fn with_speeds(speeds: Vec<f64>, use_sampling: bool) -> Self {
+        assert!(!speeds.is_empty());
+        assert!(speeds.iter().all(|&s| s > 0.0 && s.is_finite()));
+        RsrcPredictor {
+            use_sampling,
+            speeds,
+        }
+    }
+
+    /// The effective CPU weight used for a request whose sampled weight
+    /// is `sampled_w`.
+    pub fn effective_w(&self, sampled_w: f64) -> f64 {
+        if self.use_sampling {
+            sampled_w.clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    /// Relative server-site response cost of running a request with CPU
+    /// weight `sampled_w` on node `node` given its last load report.
+    pub fn cost(&self, node: usize, load: &NodeLoad, sampled_w: f64) -> f64 {
+        self.cost_reserved(node, load, sampled_w, 0.0)
+    }
+
+    /// Like [`RsrcPredictor::cost`] but with a capacity `reserve`
+    /// withheld from the node first — the paper's "reserve a certain
+    /// amount of CPU and I/O for static content processing on each master
+    /// node" (§4). The reserve scales the node's available capacity
+    /// multiplicatively (`idle × (1 − reserve)`), so a reserved node's
+    /// cost is a w-independent multiple of its unreserved cost: the
+    /// master-overflow decision does not depend on the request's CPU
+    /// weight, only on relative node load — `w` keeps its intended role
+    /// of matching requests to nodes whose CPU/disk mix suits them.
+    pub fn cost_reserved(
+        &self,
+        node: usize,
+        load: &NodeLoad,
+        sampled_w: f64,
+        reserve: f64,
+    ) -> f64 {
+        let w = self.effective_w(sampled_w);
+        let keep = (1.0 - reserve).max(MIN_RATIO);
+        let cpu_idle = (load.cpu_idle_ratio * keep).max(MIN_RATIO);
+        let disk_avail = (load.disk_avail_ratio * keep).max(MIN_RATIO);
+        let speed = self.speeds[node];
+        w / (cpu_idle * speed) + (1.0 - w) / disk_avail
+    }
+
+    /// Index of the minimum-cost node among `candidates`. Ties keep the
+    /// first candidate (callers shuffle candidates when they want random
+    /// tie-breaking). Returns `None` for an empty candidate list.
+    pub fn select<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = &'a usize>,
+        loads: &[NodeLoad],
+        sampled_w: f64,
+    ) -> Option<usize> {
+        self.select_with_reserve(candidates, loads, sampled_w, |_| 0.0)
+    }
+
+    /// Minimum-cost selection with a per-node capacity reserve (masters
+    /// protect headroom for static work; slaves reserve nothing).
+    pub fn select_with_reserve<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = &'a usize>,
+        loads: &[NodeLoad],
+        sampled_w: f64,
+        reserve_for: impl Fn(usize) -> f64,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for &i in candidates {
+            let c = self.cost_reserved(i, &loads[i], sampled_w, reserve_for(i));
+            match best {
+                Some((_, bc)) if bc <= c => {}
+                _ => best = Some((i, c)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(cpu_idle: f64, disk_avail: f64) -> NodeLoad {
+        NodeLoad {
+            cpu_idle_ratio: cpu_idle,
+            disk_avail_ratio: disk_avail,
+            mem_free_ratio: 1.0,
+            processes: 0,
+        }
+    }
+
+    #[test]
+    fn formula_matches_equation5() {
+        let p = RsrcPredictor::homogeneous(1, true);
+        let l = load(0.5, 0.25);
+        // w=0.9: 0.9/0.5 + 0.1/0.25 = 1.8 + 0.4 = 2.2.
+        assert!((p.cost(0, &l, 0.9) - 2.2).abs() < 1e-12);
+        // w=0.1: 0.1/0.5 + 0.9/0.25 = 0.2 + 3.6 = 3.8.
+        assert!((p.cost(0, &l, 0.1) - 3.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_node_costs_one() {
+        let p = RsrcPredictor::homogeneous(1, true);
+        assert!((p.cost(0, &load(1.0, 1.0), 0.7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_sampling_forces_half() {
+        let p = RsrcPredictor::homogeneous(1, false);
+        assert_eq!(p.effective_w(0.9), 0.5);
+        let l = load(0.5, 0.25);
+        // 0.5/0.5 + 0.5/0.25 = 3.
+        assert!((p.cost(0, &l, 0.9) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_picks_the_right_node_for_io_work() {
+        // Node 0: CPU idle, disk saturated. Node 1: CPU busy, disk free.
+        let loads = [load(0.9, 0.1), load(0.2, 0.9)];
+        let p = RsrcPredictor::homogeneous(2, true);
+        // An I/O-heavy request (w=0.1) must go to node 1.
+        assert_eq!(p.select([0usize, 1].iter(), &loads, 0.1), Some(1));
+        // A CPU-heavy request (w=0.95) must go to node 0.
+        assert_eq!(p.select([0usize, 1].iter(), &loads, 0.95), Some(0));
+        // Without sampling (w=0.5) both requests get the same answer —
+        // the mechanism behind the M/S-ns gap.
+        let ns = RsrcPredictor::homogeneous(2, false);
+        let io = ns.select([0usize, 1].iter(), &loads, 0.1);
+        let cpu = ns.select([0usize, 1].iter(), &loads, 0.95);
+        assert_eq!(io, cpu);
+    }
+
+    #[test]
+    fn speed_factor_discounts_cpu_term() {
+        let p = RsrcPredictor::with_speeds(vec![1.0, 2.0], true);
+        let l = load(0.5, 1.0);
+        let slow = p.cost(0, &l, 1.0);
+        let fast = p.cost(1, &l, 1.0);
+        assert!((slow - 2.0).abs() < 1e-12);
+        assert!((fast - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_empty_is_none() {
+        let p = RsrcPredictor::homogeneous(2, true);
+        assert_eq!(p.select([].iter(), &[], 0.5), None);
+    }
+
+    #[test]
+    fn reserve_scales_capacity() {
+        let p = RsrcPredictor::homogeneous(1, true);
+        let l = load(0.8, 0.4);
+        let free = p.cost(0, &l, 0.7);
+        let half = p.cost_reserved(0, &l, 0.7, 0.5);
+        // Multiplicative reserve: exactly double the cost at 50% reserve.
+        assert!((half - 2.0 * free).abs() < 1e-9);
+        // And the ratio is the same for any w (threshold w-independence).
+        let free_io = p.cost(0, &l, 0.1);
+        let half_io = p.cost_reserved(0, &l, 0.1, 0.5);
+        assert!((half_io / free_io - half / free).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ratios_are_clamped() {
+        let p = RsrcPredictor::homogeneous(1, true);
+        let l = load(0.0, 0.0);
+        let c = p.cost(0, &l, 0.5);
+        assert!(c.is_finite());
+        assert!((c - 1.0 / MIN_RATIO).abs() < 1e-9);
+    }
+}

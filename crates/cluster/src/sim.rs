@@ -1,0 +1,675 @@
+//! The trace-driven cluster simulation driver.
+//!
+//! [`ClusterSim`] wires a dispatch policy, the per-node OS models, the
+//! load monitor and the reservation controller into one discrete-event
+//! loop. Events are processed in global timestamp order with a fixed tie
+//! order (node internals, then transfers, then arrivals, then failures,
+//! then monitor ticks) so every run is exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use msweb_ossim::{DemandSpec, Node};
+use msweb_simcore::{SimDuration, SimTime};
+use msweb_workload::{Request, Trace};
+
+use crate::cache::DynContentCache;
+use crate::config::{ClusterConfig, PolicyKind};
+use crate::failure::FailurePlan;
+use crate::loadinfo::LoadMonitor;
+use crate::metrics::{Level, Metrics, RunSummary};
+use crate::policy::Dispatcher;
+
+/// Per-request bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct ReqMeta {
+    /// Arrival time at the cluster front end.
+    cluster_arrival: SimTime,
+    /// Where the request was placed (for level attribution).
+    on_master: bool,
+    /// Node currently hosting the request.
+    node: usize,
+    /// Whether the dynamic-content cache served this request.
+    cache_hit: bool,
+    /// Lifecycle flag.
+    state: ReqState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    Pending,
+    Done,
+    Dropped,
+}
+
+/// A fully wired simulated cluster.
+pub struct ClusterSim {
+    config: ClusterConfig,
+    nodes: Vec<Node>,
+    dispatcher: Dispatcher,
+    monitor: LoadMonitor,
+    metrics: Metrics,
+    /// Off-line-sampled mean demands used to debit the stale load view:
+    /// (static, dynamic).
+    mean_demand: (SimDuration, SimDuration),
+    /// In-flight remote transfers: (deliver-at, seq, request, target node).
+    transfers: BinaryHeap<Reverse<(u64, u64, u64, usize)>>,
+    transfer_seq: u64,
+    failures: FailurePlan,
+    failure_cursor: usize,
+    /// Pending node recoveries: (at, node).
+    recoveries: Vec<(SimTime, usize)>,
+    /// Dynamic-content cache (Swala extension), when enabled.
+    cache: Option<DynContentCache>,
+}
+
+impl ClusterSim {
+    /// Build a cluster. `a0`/`r0` are the workload priors used to seed
+    /// the reservation controller and (when `masters` is `Auto`) the
+    /// Theorem-1 planner.
+    pub fn new(config: ClusterConfig, a0: f64, r0: f64) -> Self {
+        config.validate().expect("invalid cluster configuration");
+        let nodes: Vec<Node> = (0..config.p)
+            .map(|i| match &config.speeds {
+                Some(s) => Node::with_speed(i, config.os.clone(), s[i]),
+                None => Node::new(i, config.os.clone()),
+            })
+            .collect();
+        let dispatcher = Dispatcher::new(&config, a0, r0);
+        let monitor = LoadMonitor::new(config.p, config.monitor_period, SimTime::ZERO);
+        let cache = config.cache.map(DynContentCache::new);
+        ClusterSim {
+            config,
+            nodes,
+            dispatcher,
+            monitor,
+            cache,
+            metrics: Metrics::new(),
+            mean_demand: (
+                SimDuration::from_secs_f64(1.0 / 1200.0),
+                SimDuration::from_secs_f64(1.0 / 1200.0 / r0.max(1e-4)),
+            ),
+            transfers: BinaryHeap::new(),
+            transfer_seq: 0,
+            failures: FailurePlan::none(),
+            failure_cursor: 0,
+            recoveries: Vec::new(),
+        }
+    }
+
+    /// Install a failure schedule (before `run`).
+    pub fn with_failures(mut self, plan: FailurePlan) -> Self {
+        self.failures = plan;
+        self
+    }
+
+    /// Override the off-line-sampled mean class demands (static, dynamic)
+    /// used to debit the stale load view after each placement.
+    pub fn with_mean_demands(mut self, stat: SimDuration, dynamic: SimDuration) -> Self {
+        self.mean_demand = (stat, dynamic);
+        self
+    }
+
+    /// The resolved master count.
+    pub fn masters(&self) -> usize {
+        self.dispatcher.masters()
+    }
+
+    /// Cache statistics `(hits, misses, expirations, evictions)`, when
+    /// caching is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64, u64, u64)> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Replay `trace` to completion and return the run summary.
+    pub fn run(&mut self, trace: &Trace) -> RunSummary {
+        let total = trace.len();
+        let mut meta: Vec<ReqMeta> = trace
+            .requests
+            .iter()
+            .map(|r| ReqMeta {
+                cluster_arrival: r.arrival,
+                on_master: false,
+                node: 0,
+                cache_hit: false,
+                state: ReqState::Pending,
+            })
+            .collect();
+        let mut accounted = 0usize;
+        let mut next_arrival = 0usize;
+        let mut guard: u64 = 0;
+        // Generous bound: every request can cause only finitely many
+        // events; the guard catches driver bugs, not real workloads.
+        let guard_limit: u64 = 10_000 * (total as u64 + 1_000);
+
+        while accounted < total {
+            guard += 1;
+            assert!(guard < guard_limit, "cluster simulation did not converge");
+
+            // Candidate event times.
+            let t_node = self
+                .nodes
+                .iter()
+                .filter_map(|n| n.next_event())
+                .min();
+            let t_transfer = self.transfers.peek().map(|Reverse((t, ..))| SimTime(*t));
+            let t_arrival = trace.requests.get(next_arrival).map(|r| r.arrival);
+            let t_failure = self
+                .failures
+                .events()
+                .get(self.failure_cursor)
+                .map(|e| e.at);
+            let t_recover = self.recoveries.first().map(|&(t, _)| t);
+            // Monitor only matters while work remains; it never blocks
+            // termination because the loop exits on `accounted`.
+            let t_monitor = Some(self.monitor.next_tick());
+
+            let t = [t_node, t_transfer, t_arrival, t_failure, t_recover, t_monitor]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("no events but work outstanding");
+
+            // Tie order: node internals, transfers, arrivals, failures,
+            // recoveries, monitor.
+            if t_node == Some(t) {
+                self.step_nodes(t, trace, &mut meta, &mut accounted);
+            } else if t_transfer == Some(t) {
+                let Reverse((_, _, req, node)) = self.transfers.pop().expect("peeked");
+                self.deliver(trace, &mut meta, req as usize, node, t);
+            } else if t_arrival == Some(t) {
+                let idx = next_arrival;
+                next_arrival += 1;
+                self.admit(trace, &mut meta, idx, t);
+            } else if t_failure == Some(t) {
+                self.fail_node(trace, &mut meta, &mut accounted, t);
+            } else if t_recover == Some(t) {
+                let (_, node) = self.recoveries.remove(0);
+                self.dispatcher.set_dead(node, false);
+            } else {
+                self.tick_monitor(t);
+            }
+        }
+        let busy: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let l = n.load();
+                l.cpu_busy.as_secs_f64() + l.disk_busy.as_secs_f64()
+            })
+            .collect();
+        self.metrics.set_node_busy(busy);
+        self.metrics.summary()
+    }
+
+    /// Advance every node whose next event is due at `t` (processing all
+    /// same-timestamp internal events), then collect completions.
+    fn step_nodes(
+        &mut self,
+        t: SimTime,
+        trace: &Trace,
+        meta: &mut [ReqMeta],
+        accounted: &mut usize,
+    ) {
+        for node in &mut self.nodes {
+            while node.next_event() == Some(t) {
+                node.advance(t);
+            }
+        }
+        for i in 0..self.nodes.len() {
+            for c in self.nodes[i].drain_completed() {
+                let req = &trace.requests[c.tag as usize];
+                let m = &mut meta[c.tag as usize];
+                if m.state != ReqState::Pending {
+                    continue; // stale completion after restart bookkeeping
+                }
+                m.state = ReqState::Done;
+                *accounted += 1;
+                self.dispatcher.note_completion(m.node);
+                // A completed CGI miss installs its result for future hits.
+                if let (Some(cache), true, Some(key)) =
+                    (&mut self.cache, req.class.is_dynamic() && !m.cache_hit, req.cache_key)
+                {
+                    cache.insert(key, c.finished);
+                }
+                if m.cache_hit {
+                    self.metrics.note_cache_hit();
+                }
+                let response = c.finished - m.cluster_arrival;
+                let level = if req.class.is_dynamic() {
+                    Some(if m.on_master { Level::Master } else { Level::Slave })
+                } else {
+                    None
+                };
+                self.metrics.record(response, req.demand.service, level);
+                self.dispatcher
+                    .reservation
+                    .note_response(req.class.is_dynamic(), response);
+            }
+        }
+    }
+
+    /// A request arrives at the front end: place it.
+    fn admit(&mut self, trace: &Trace, meta: &mut [ReqMeta], idx: usize, t: SimTime) {
+        let req = &trace.requests[idx];
+        // Swala extension: a fresh cached result turns this CGI into a
+        // cheap fetch served like a static request at the entry node.
+        let cache_hit = match (&mut self.cache, req.class.is_dynamic(), req.cache_key) {
+            (Some(cache), true, Some(key)) => cache.lookup(key, t),
+            _ => false,
+        };
+        meta[idx].cache_hit = cache_hit;
+        let effectively_dynamic = req.class.is_dynamic() && !cache_hit;
+        let expected = if effectively_dynamic {
+            self.mean_demand.1
+        } else {
+            self.mean_demand.0
+        };
+        let placement = self.dispatcher.place(
+            effectively_dynamic,
+            if cache_hit {
+                self.cache.as_ref().expect("hit implies cache").config().hit_cpu_fraction
+            } else {
+                req.demand.cpu_fraction
+            },
+            expected,
+            &mut self.monitor,
+        );
+        meta[idx].on_master = placement.on_master
+            || (!req.class.is_dynamic() && self.config.policy != PolicyKind::Flat);
+        if placement.latency.is_zero() {
+            self.deliver(trace, meta, idx, placement.node, t);
+        } else {
+            self.transfer_seq += 1;
+            self.transfers.push(Reverse((
+                (t + placement.latency).as_micros(),
+                self.transfer_seq,
+                idx as u64,
+                placement.node,
+            )));
+            meta[idx].node = placement.node;
+        }
+    }
+
+    /// Hand a request to its node.
+    fn deliver(
+        &mut self,
+        trace: &Trace,
+        meta: &mut [ReqMeta],
+        idx: usize,
+        node: usize,
+        t: SimTime,
+    ) {
+        let req = &trace.requests[idx];
+        let spec = if meta[idx].cache_hit {
+            // Serve from the cache: static-fetch-scale demand, no fork.
+            let cc = self.cache.as_ref().expect("hit implies cache").config();
+            DemandSpec {
+                service: cc.hit_service,
+                cpu_fraction: cc.hit_cpu_fraction,
+                memory_pages: self.config.os.bytes_to_pages(req.bytes),
+                is_cgi: false,
+            }
+        } else {
+            demand_to_spec(req, &self.config)
+        };
+        meta[idx].node = node;
+        self.nodes[node].submit(&spec, t, idx as u64);
+    }
+
+    /// Kill the node named by the due failure event.
+    fn fail_node(
+        &mut self,
+        trace: &Trace,
+        meta: &mut [ReqMeta],
+        accounted: &mut usize,
+        t: SimTime,
+    ) {
+        let event = self.failures.events()[self.failure_cursor];
+        self.failure_cursor += 1;
+        let lost = self.nodes[event.node].kill_all();
+        self.dispatcher.set_dead(event.node, true);
+        if let Some(r) = event.recover_at {
+            self.recoveries.push((r, event.node));
+            self.recoveries.sort_by_key(|&(t, _)| t);
+        }
+        // Detection delay before restart: one monitor period.
+        let detect = self.config.monitor_period;
+        for tag in lost {
+            let idx = tag as usize;
+            if meta[idx].state != ReqState::Pending {
+                continue;
+            }
+            let req = &trace.requests[idx];
+            if event.restart_dynamic && req.class.is_dynamic() {
+                let placement = self.dispatcher.replace_after_failure(
+                    true,
+                    req.demand.cpu_fraction,
+                    self.mean_demand.1,
+                    &mut self.monitor,
+                );
+                meta[idx].on_master = placement.on_master;
+                self.metrics.note_restarted();
+                self.transfer_seq += 1;
+                self.transfers.push(Reverse((
+                    (t + detect + placement.latency).as_micros(),
+                    self.transfer_seq,
+                    idx as u64,
+                    placement.node,
+                )));
+            } else {
+                meta[idx].state = ReqState::Dropped;
+                *accounted += 1;
+                self.metrics.note_dropped();
+            }
+        }
+        // Requests in flight *towards* the dead node: re-route them too.
+        let pending: Vec<_> = std::mem::take(&mut self.transfers).into_vec();
+        for Reverse((at, seq, req, node)) in pending {
+            if node == event.node && meta[req as usize].state == ReqState::Pending {
+                let r = &trace.requests[req as usize];
+                if event.restart_dynamic && r.class.is_dynamic() {
+                    let placement = self.dispatcher.replace_after_failure(
+                        true,
+                        r.demand.cpu_fraction,
+                        self.mean_demand.1,
+                        &mut self.monitor,
+                    );
+                    self.metrics.note_restarted();
+                    self.transfer_seq += 1;
+                    self.transfers.push(Reverse((
+                        (t + detect + placement.latency).as_micros(),
+                        self.transfer_seq,
+                        req,
+                        placement.node,
+                    )));
+                } else {
+                    meta[req as usize].state = ReqState::Dropped;
+                    *accounted += 1;
+                    self.metrics.note_dropped();
+                }
+            } else {
+                self.transfers.push(Reverse((at, seq, req, node)));
+            }
+        }
+    }
+
+    /// Load-monitor tick: refresh stale load info, update the
+    /// reservation controller.
+    fn tick_monitor(&mut self, t: SimTime) {
+        let snapshots: Vec<_> = self.nodes.iter().map(|n| n.load()).collect();
+        self.monitor.tick(t, &snapshots);
+        // Mean per-node utilisation over the window: busy resource-time
+        // (CPU + disk, which execute serially within one request) per
+        // second of window, averaged across nodes.
+        let rho = {
+            let loads = self.monitor.all();
+            let busy: f64 = loads
+                .iter()
+                .map(|l| (1.0 - l.cpu_idle_ratio) + (1.0 - l.disk_avail_ratio))
+                .sum();
+            busy / loads.len() as f64
+        };
+        self.dispatcher.reservation.update(rho);
+        self.metrics.close_window();
+    }
+
+    /// Per-monitor-window mean stretch across the run — the convergence
+    /// trace of the self-stabilising reservation (§4).
+    pub fn stretch_series(&self) -> &[f64] {
+        self.metrics.window_series()
+    }
+}
+
+/// Convert a workload demand into the OS model's spec.
+fn demand_to_spec(req: &Request, config: &ClusterConfig) -> DemandSpec {
+    DemandSpec {
+        service: req.demand.service,
+        cpu_fraction: req.demand.cpu_fraction,
+        memory_pages: config.os.bytes_to_pages(req.demand.memory_bytes),
+        is_cgi: req.class.is_dynamic(),
+    }
+}
+
+/// Convenience: run one policy over a trace with default priors taken
+/// from the trace itself.
+///
+/// ```
+/// use msweb_cluster::{run_policy, ClusterConfig, PolicyKind};
+/// use msweb_workload::{ucb, DemandModel};
+///
+/// let trace = ucb()
+///     .generate(500, &DemandModel::simulation(40.0), 1)
+///     .scaled_to_rate(100.0);
+/// let summary = run_policy(ClusterConfig::simulation(8, PolicyKind::Flat), &trace);
+/// assert_eq!(summary.completed, 500);
+/// assert!(summary.stretch >= 1.0);
+/// ```
+pub fn run_policy(config: ClusterConfig, trace: &Trace) -> RunSummary {
+    let summary = trace.summary();
+    let a0 = summary.arrival_ratio_a.clamp(0.01, 10.0);
+    // Estimate r0 from the demand means in the trace.
+    let (mut ds, mut nd, mut ss, mut ns) = (0.0f64, 0u64, 0.0f64, 0u64);
+    for r in &trace.requests {
+        if r.class.is_dynamic() {
+            ds += r.demand.service.as_secs_f64();
+            nd += 1;
+        } else {
+            ss += r.demand.service.as_secs_f64();
+            ns += 1;
+        }
+    }
+    let r0 = if nd > 0 && ns > 0 && ds > 0.0 {
+        ((ss / ns as f64) / (ds / nd as f64)).clamp(1e-4, 1.0)
+    } else {
+        0.05
+    };
+    let stat_mean = if ns > 0 {
+        SimDuration::from_secs_f64(ss / ns as f64)
+    } else {
+        SimDuration::from_secs_f64(1.0 / 1200.0)
+    };
+    let dyn_mean = if nd > 0 {
+        SimDuration::from_secs_f64(ds / nd as f64)
+    } else {
+        stat_mean
+    };
+    let mut sim = ClusterSim::new(config, a0, r0).with_mean_demands(stat_mean, dyn_mean);
+    sim.run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MasterSelection;
+    use msweb_workload::{ksu, ucb, DemandModel};
+
+    fn small_trace(n: usize, inv_r: f64, lambda: f64) -> Trace {
+        ucb()
+            .generate(n, &DemandModel::simulation(inv_r), 42)
+            .scaled_to_rate(lambda)
+    }
+
+    #[test]
+    fn flat_run_completes_every_request() {
+        let trace = small_trace(500, 20.0, 200.0);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::Flat);
+        let s = run_policy(cfg, &trace);
+        assert_eq!(s.completed, 500);
+        assert!(s.stretch >= 1.0, "stretch {}", s.stretch);
+    }
+
+    #[test]
+    fn ms_run_completes_every_request() {
+        let trace = small_trace(500, 20.0, 200.0);
+        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(3);
+        let s = run_policy(cfg, &trace);
+        assert_eq!(s.completed, 500);
+        assert!(s.stretch >= 1.0);
+        // Static work exists and was measured.
+        assert!(s.stretch_static >= 1.0);
+        assert!(s.stretch_dynamic >= 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small_trace(300, 40.0, 150.0);
+        let run = || {
+            let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+            cfg.masters = MasterSelection::Fixed(2);
+            run_policy(cfg, &trace)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn light_load_stretch_near_one() {
+        // A nearly idle cluster: responses ~ demands.
+        let trace = small_trace(100, 20.0, 5.0);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::Flat);
+        let s = run_policy(cfg, &trace);
+        assert!(
+            s.stretch < 1.6,
+            "idle cluster should have stretch near 1, got {}",
+            s.stretch
+        );
+    }
+
+    #[test]
+    fn heavier_load_increases_stretch() {
+        let light = run_policy(
+            ClusterConfig::simulation(8, PolicyKind::Flat),
+            &small_trace(400, 40.0, 50.0),
+        );
+        let heavy = run_policy(
+            ClusterConfig::simulation(8, PolicyKind::Flat),
+            &small_trace(400, 40.0, 400.0),
+        );
+        assert!(
+            heavy.stretch > light.stretch,
+            "heavy {} <= light {}",
+            heavy.stretch,
+            light.stretch
+        );
+    }
+
+    #[test]
+    fn ms_beats_no_reservation_under_pressure() {
+        // KSU-like mix at meaningful load on a small cluster.
+        let trace = ksu()
+            .generate(1500, &DemandModel::simulation(40.0), 7)
+            .scaled_to_rate(250.0);
+        let mut ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        ms_cfg.masters = MasterSelection::Fixed(4);
+        let ms = run_policy(ms_cfg, &trace);
+        let mut nr_cfg = ClusterConfig::simulation(8, PolicyKind::MsNoReservation);
+        nr_cfg.masters = MasterSelection::Fixed(4);
+        let nr = run_policy(nr_cfg, &trace);
+        assert!(
+            ms.stretch <= nr.stretch * 1.05,
+            "M/S {} should not lose to M/S-nr {}",
+            ms.stretch,
+            nr.stretch
+        );
+    }
+
+    #[test]
+    fn window_series_tracks_the_run() {
+        let trace = small_trace(2_000, 40.0, 300.0);
+        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(3);
+        let mut sim = ClusterSim::new(cfg, 0.13, 1.0 / 40.0);
+        sim.run(&trace);
+        let series = sim.stretch_series();
+        assert!(series.len() >= 3, "expected several windows, got {}", series.len());
+        assert!(series.iter().all(|&s| s >= 0.99));
+        // The self-stabilising controller should not leave the tail of
+        // the run dramatically worse than its head.
+        let head: f64 = series[..series.len() / 2].iter().sum::<f64>()
+            / (series.len() / 2) as f64;
+        let tail: f64 = series[series.len() / 2..].iter().sum::<f64>()
+            / (series.len() - series.len() / 2) as f64;
+        assert!(tail <= head * 3.0, "run diverging: head {head}, tail {tail}");
+    }
+
+    #[test]
+    fn content_cache_serves_repeated_queries() {
+        use msweb_workload::adl;
+        // Heavy query popularity: a handful of hot queries dominate.
+        let demand = DemandModel::simulation(40.0).with_query_popularity(20, 1.1);
+        let trace = adl()
+            .generate(3_000, &demand, 13)
+            .scaled_to_rate(400.0);
+
+        let mut base = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        base.masters = MasterSelection::Fixed(3);
+        let uncached = run_policy(base.clone(), &trace);
+        assert_eq!(uncached.cache_hits, 0);
+
+        let mut cached_cfg = base;
+        cached_cfg.cache = Some(crate::cache::CacheConfig::default_swala());
+        let mut sim = ClusterSim::new(cached_cfg, 0.8, 1.0 / 40.0);
+        let cached = sim.run(&trace);
+        let (hits, misses, _, _) = sim.cache_stats().unwrap();
+        assert!(hits > 0, "hot queries must hit");
+        assert_eq!(cached.cache_hits, hits);
+        assert_eq!(hits + misses, cached.completed_dynamic);
+        // Offloading repeated CGI work must help overall.
+        assert!(
+            cached.stretch <= uncached.stretch,
+            "cached {} vs uncached {}",
+            cached.stretch,
+            uncached.stretch
+        );
+    }
+
+    #[test]
+    fn failure_drops_or_restarts_everything() {
+        let trace = small_trace(400, 20.0, 200.0);
+        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(3);
+        let mut sim = ClusterSim::new(cfg, 0.13, 0.05).with_failures(FailurePlan::crash(
+            5,
+            SimTime::from_millis(500),
+        ));
+        let s = sim.run(&trace);
+        // Everything is accounted: completed + dropped = total.
+        assert_eq!(s.completed + s.dropped, 400);
+        // A slave died mid-run with restart enabled; if it held dynamic
+        // work, restarts happened.
+        assert!(s.dropped == 0 || s.restarted > 0 || s.dropped > 0);
+    }
+
+    #[test]
+    fn failed_node_receives_nothing_after_crash() {
+        let trace = small_trace(300, 20.0, 300.0);
+        let mut cfg = ClusterConfig::simulation(4, PolicyKind::Flat);
+        cfg.seed = 9;
+        let mut sim = ClusterSim::new(cfg, 0.13, 0.05)
+            .with_failures(FailurePlan::crash(3, SimTime::from_millis(100)));
+        let s = sim.run(&trace);
+        assert_eq!(s.completed + s.dropped, 300);
+    }
+
+    #[test]
+    fn recovery_restores_the_node() {
+        let trace = small_trace(600, 20.0, 200.0);
+        let mut cfg = ClusterConfig::simulation(4, PolicyKind::Flat);
+        cfg.seed = 11;
+        let plan = FailurePlan::new(vec![crate::failure::FailureEvent {
+            at: SimTime::from_millis(200),
+            node: 2,
+            restart_dynamic: true,
+            recover_at: Some(SimTime::from_millis(700)),
+        }]);
+        let mut sim = ClusterSim::new(cfg, 0.13, 0.05).with_failures(plan);
+        let s = sim.run(&trace);
+        assert_eq!(s.completed + s.dropped, 600);
+    }
+}

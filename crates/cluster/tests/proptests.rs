@@ -1,0 +1,148 @@
+//! Property-based tests for the cluster scheduler.
+
+use msweb_cluster::{
+    run_policy, ClusterConfig, Dispatcher, LoadMonitor, MasterSelection, PolicyKind,
+};
+use msweb_simcore::{SimDuration, SimTime};
+use msweb_workload::{ksu, ucb, DemandModel};
+use proptest::prelude::*;
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Flat,
+        PolicyKind::MasterSlave,
+        PolicyKind::MsNoSampling,
+        PolicyKind::MsNoReservation,
+        PolicyKind::MsAllMasters,
+        PolicyKind::MsPrime,
+        PolicyKind::Redirect,
+        PolicyKind::Switch,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Placements always target a live node in range, for every policy,
+    /// class mix, and dead-set.
+    #[test]
+    fn placements_are_valid(
+        which in 0usize..8,
+        p in 2usize..40,
+        m_frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+        dead_node in any::<Option<u8>>(),
+    ) {
+        let policy = policies()[which];
+        let m = ((p as f64 * m_frac) as usize).clamp(1, p - 1);
+        let mut cfg = ClusterConfig::simulation(p, policy);
+        cfg.masters = MasterSelection::Fixed(m);
+        cfg.seed = seed;
+        let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
+        let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+        let dead = dead_node.map(|n| n as usize % p);
+        // Keep at least one node alive.
+        if let Some(n) = dead {
+            if p > 1 {
+                d.set_dead(n, true);
+            }
+        }
+        let svc = SimDuration::from_millis(10);
+        for i in 0..200u64 {
+            let dynamic = i % 3 == 0;
+            let pl = d.place(dynamic, 0.7, svc, &mut mon);
+            prop_assert!(pl.node < p, "node {} out of range", pl.node);
+            if let Some(n) = dead {
+                prop_assert!(pl.node != n, "{policy:?} placed on dead node");
+            }
+            if pl.on_master {
+                prop_assert!(dynamic || pl.node < d.masters().max(p));
+            }
+        }
+    }
+
+    /// The reservation cap is respected by the M/S dispatcher: the
+    /// master-placed fraction of dynamics never exceeds cap by more than
+    /// one request's worth.
+    #[test]
+    fn reservation_cap_respected(p in 4usize..40, seed in any::<u64>()) {
+        let m = (p / 4).max(1);
+        let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(m);
+        cfg.seed = seed;
+        let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
+        let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+        let svc = SimDuration::from_millis(10);
+        let n = 500;
+        let mut on_master = 0u32;
+        for _ in 0..n {
+            if d.place(true, 0.7, svc, &mut mon).on_master {
+                on_master += 1;
+            }
+        }
+        let cap = d.reservation.theta2_star();
+        let frac = on_master as f64 / n as f64;
+        prop_assert!(
+            frac <= cap + 2.0 / n as f64 + 1e-9,
+            "master fraction {frac} exceeds cap {cap}"
+        );
+    }
+
+    /// Dispatcher decisions are deterministic per seed.
+    #[test]
+    fn dispatcher_deterministic(seed in any::<u64>(), which in 0usize..8) {
+        let policy = policies()[which];
+        let run = || {
+            let mut cfg = ClusterConfig::simulation(16, policy);
+            cfg.masters = MasterSelection::Fixed(4);
+            cfg.seed = seed;
+            let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
+            let mut mon =
+                LoadMonitor::new(16, SimDuration::from_millis(500), SimTime::ZERO);
+            (0..100u64)
+                .map(|i| d.place(i % 2 == 0, 0.5, SimDuration::from_millis(5), &mut mon).node)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Full simulations: every request completes exactly once, stretch is
+    /// at least ~1, class counts partition, for random small workloads
+    /// under every policy.
+    #[test]
+    fn simulations_account_for_everything(
+        which in 0usize..8,
+        n in 100usize..600,
+        lambda in 30.0f64..400.0,
+        seed in any::<u64>(),
+    ) {
+        let policy = policies()[which];
+        let trace = ucb()
+            .generate(n, &DemandModel::simulation(40.0), seed)
+            .scaled_to_rate(lambda);
+        let mut cfg = ClusterConfig::simulation(8, policy);
+        cfg.masters = MasterSelection::Fixed(3);
+        cfg.seed = seed;
+        let s = run_policy(cfg, &trace);
+        prop_assert_eq!(s.completed, n as u64);
+        prop_assert_eq!(s.completed_static + s.completed_dynamic, n as u64);
+        prop_assert!(s.stretch >= 0.99, "stretch {}", s.stretch);
+        prop_assert_eq!(s.dropped, 0);
+    }
+
+    /// The cache never changes completion accounting, only speeds.
+    #[test]
+    fn cache_preserves_accounting(seed in any::<u64>(), q in 5usize..100) {
+        let demand = DemandModel::simulation(40.0).with_query_popularity(q, 1.0);
+        let trace = ksu()
+            .generate(400, &demand, seed)
+            .scaled_to_rate(150.0);
+        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(3);
+        cfg.cache = Some(msweb_cluster::CacheConfig::default_swala());
+        cfg.seed = seed;
+        let s = run_policy(cfg, &trace);
+        prop_assert_eq!(s.completed, 400);
+        prop_assert!(s.cache_hits <= s.completed_dynamic);
+    }
+}

@@ -1,0 +1,346 @@
+//! The live cluster: real threads, real time, the *same* dispatch logic
+//! as the simulator.
+//!
+//! [`run_live`] replays a trace against `p` node worker threads using
+//! `msweb-cluster`'s [`Dispatcher`], [`LoadMonitor`] and [`Metrics`]
+//! unchanged — so the validation experiment (the paper's Table 3)
+//! compares the *same scheduling code* executing against the simulated
+//! OS model versus real wall-clock execution, exactly as the paper
+//! compared its simulator against the Sun-cluster prototype.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use msweb_cluster::{
+    ClusterConfig, Dispatcher, Level, LoadMonitor, MasterSelection, Metrics, PolicyKind,
+    RunSummary,
+};
+use msweb_ossim::LoadSnapshot;
+use msweb_simcore::{SimDuration, SimTime};
+use msweb_workload::Trace;
+
+use crate::job::{Done, Job, NodeMsg};
+use crate::node::{node_worker, NodeParams, NodeStats};
+use crate::timing::wait_until;
+
+/// Configuration of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of emulated nodes (the paper's prototype: 6).
+    pub p: usize,
+    /// Number of masters.
+    pub m: usize,
+    /// Scheduling policy (same set as the simulator).
+    pub policy: PolicyKind,
+    /// Time scale applied to demands *and* arrival spacing: 1.0 replays
+    /// in real time, 0.1 runs ten times faster at identical utilisation.
+    pub time_scale: f64,
+    /// Real-time load-monitor period (unscaled; the paper's rstat
+    /// sampling).
+    pub monitor_period: Duration,
+    /// Master capacity reserve, as in the simulator.
+    pub master_reserve: f64,
+    /// Dispatch RNG seed.
+    pub seed: u64,
+}
+
+impl LiveConfig {
+    /// The paper's §5.2.2 prototype shape: six Ultra-1-class nodes.
+    pub fn sun_cluster(policy: PolicyKind, m: usize) -> Self {
+        LiveConfig {
+            p: 6,
+            m,
+            policy,
+            time_scale: 1.0,
+            monitor_period: Duration::from_millis(250),
+            master_reserve: 0.5,
+            seed: 0x50e5,
+        }
+    }
+
+    fn scale(&self, d: SimDuration) -> Duration {
+        Duration::from_nanos((d.as_micros() as f64 * 1000.0 * self.time_scale) as u64)
+    }
+}
+
+fn to_sim(d: Duration) -> SimDuration {
+    SimDuration::from_micros(d.as_micros() as u64)
+}
+
+/// Replay `trace` on a live thread-backed cluster; blocks until every
+/// request completes and returns the same summary type the simulator
+/// produces. Response times and demands are reported in *scaled* time, so
+/// stretch factors are directly comparable with simulation runs of the
+/// same workload.
+pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
+    assert!(config.p >= 1);
+    assert!(
+        config.time_scale > 0.0 && config.time_scale.is_finite(),
+        "bad time scale"
+    );
+
+    // Reuse the simulator's dispatcher wholesale.
+    let mut cc = ClusterConfig::simulation(config.p, config.policy);
+    cc.masters = MasterSelection::Fixed(config.m.max(1));
+    cc.master_reserve = config.master_reserve;
+    cc.seed = config.seed;
+    cc.monitor_period = to_sim(config.monitor_period);
+    let summary = trace.summary();
+    let a0 = if summary.arrival_ratio_a.is_finite() && summary.arrival_ratio_a > 0.0 {
+        summary.arrival_ratio_a.clamp(0.01, 10.0)
+    } else {
+        0.5
+    };
+    // Class demand means (unscaled trace units) for priors and charging.
+    let (mut ds, mut nd, mut ss, mut ns) = (0.0f64, 0u64, 0.0f64, 0u64);
+    for r in &trace.requests {
+        if r.class.is_dynamic() {
+            ds += r.demand.service.as_secs_f64();
+            nd += 1;
+        } else {
+            ss += r.demand.service.as_secs_f64();
+            ns += 1;
+        }
+    }
+    let stat_mean = if ns > 0 { ss / ns as f64 } else { 1.0 / 110.0 };
+    let dyn_mean = if nd > 0 { ds / nd as f64 } else { stat_mean };
+    let r0 = (stat_mean / dyn_mean).clamp(1e-4, 1.0);
+    let mut dispatcher = Dispatcher::new(&cc, a0, r0);
+    // Charges are in wall (scaled) time, matching the monitor's window.
+    let stat_charge = to_sim(config.scale(SimDuration::from_secs_f64(stat_mean)));
+    let dyn_charge = to_sim(config.scale(SimDuration::from_secs_f64(dyn_mean)));
+
+    // Spawn the node workers.
+    let params = NodeParams {
+        quantum: config.scale(SimDuration::from_millis(10)),
+        fork: config.scale(SimDuration::from_millis(3)),
+        decay_period: config.scale(SimDuration::from_millis(100)),
+    };
+    let (done_tx, done_rx): (Sender<Done>, Receiver<Done>) = unbounded();
+    let mut senders: Vec<Sender<NodeMsg>> = Vec::with_capacity(config.p);
+    let mut stats: Vec<Arc<NodeStats>> = Vec::with_capacity(config.p);
+    let mut handles = Vec::with_capacity(config.p);
+    for _ in 0..config.p {
+        let (tx, rx) = unbounded();
+        let st = Arc::new(NodeStats::default());
+        let st2 = Arc::clone(&st);
+        let dtx = done_tx.clone();
+        let p = params.clone();
+        handles.push(std::thread::spawn(move || node_worker(rx, dtx, st2, p)));
+        senders.push(tx);
+        stats.push(st);
+    }
+    drop(done_tx);
+
+    let t0 = Instant::now();
+    let mut monitor = LoadMonitor::new(config.p, cc.monitor_period, SimTime::ZERO);
+    let mut metrics = Metrics::new();
+    let remote_latency = config.scale(SimDuration::from_millis(1));
+
+    // Per-request bookkeeping: placement level for attribution.
+    let mut on_master: Vec<bool> = vec![false; trace.len()];
+    let mut arrived_at: Vec<Instant> = vec![t0; trace.len()];
+    let mut next_monitor = t0 + config.monitor_period;
+    // Pending remote transfers: (send-at, node, job).
+    let mut transfers: Vec<(Instant, usize, Job)> = Vec::new();
+    let mut completed = 0usize;
+
+    let deliver_due = |transfers: &mut Vec<(Instant, usize, Job)>,
+                           senders: &[Sender<NodeMsg>],
+                           now: Instant| {
+        let mut i = 0;
+        while i < transfers.len() {
+            if transfers[i].0 <= now {
+                let (_, node, job) = transfers.swap_remove(i);
+                let _ = senders[node].send(NodeMsg::Run(job));
+            } else {
+                i += 1;
+            }
+        }
+    };
+
+    let snapshot = |stats: &[Arc<NodeStats>], at: SimTime| -> Vec<LoadSnapshot> {
+        stats
+            .iter()
+            .map(|s| LoadSnapshot {
+                at,
+                cpu_busy: SimDuration::from_micros(
+                    s.cpu_busy_ns.load(std::sync::atomic::Ordering::Relaxed) / 1000,
+                ),
+                disk_busy: SimDuration::from_micros(
+                    s.io_busy_ns.load(std::sync::atomic::Ordering::Relaxed) / 1000,
+                ),
+                mem_free_ratio: 1.0,
+                ready_len: s.in_flight.load(std::sync::atomic::Ordering::Relaxed) as usize,
+                disk_queue_len: 0,
+                processes: s.in_flight.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            })
+            .collect()
+    };
+
+    let handle_done = |d: Done,
+                       arrived_at: &[Instant],
+                       on_master: &[bool],
+                       metrics: &mut Metrics,
+                       dispatcher: &mut Dispatcher,
+                       completed: &mut usize| {
+        let req = &trace.requests[d.id as usize];
+        let response = to_sim(d.finished - arrived_at[d.id as usize]);
+        let demand = to_sim(Duration::from_nanos(
+            (req.demand.service.as_micros() as f64 * 1000.0 * config.time_scale) as u64,
+        ));
+        let level = if req.class.is_dynamic() {
+            Some(if on_master[d.id as usize] {
+                Level::Master
+            } else {
+                Level::Slave
+            })
+        } else {
+            None
+        };
+        metrics.record(response, demand, level);
+        dispatcher
+            .reservation
+            .note_response(req.class.is_dynamic(), response);
+        *completed += 1;
+    };
+
+    // Replay loop.
+    for (idx, req) in trace.requests.iter().enumerate() {
+        let target = t0 + config.scale(req.arrival - SimTime::ZERO);
+        // Until the arrival is due: collect completions, tick the
+        // monitor, flush transfers.
+        loop {
+            while let Ok(d) = done_rx.try_recv() {
+                handle_done(d, &arrived_at, &on_master, &mut metrics, &mut dispatcher, &mut completed);
+            }
+            let now = Instant::now();
+            deliver_due(&mut transfers, &senders, now);
+            if now >= next_monitor {
+                let at = to_sim(now - t0);
+                let snaps = snapshot(&stats, SimTime(at.as_micros()));
+                monitor.tick(SimTime(at.as_micros()), &snaps);
+                let rho = {
+                    let loads = monitor.all();
+                    loads
+                        .iter()
+                        .map(|l| (1.0 - l.cpu_idle_ratio) + (1.0 - l.disk_avail_ratio))
+                        .sum::<f64>()
+                        / loads.len() as f64
+                };
+                dispatcher.reservation.update(rho);
+                next_monitor += config.monitor_period;
+                continue;
+            }
+            if now >= target {
+                break;
+            }
+            let mut wake = target.min(next_monitor);
+            for &(at, _, _) in &transfers {
+                wake = wake.min(at);
+            }
+            wait_until(wake);
+        }
+
+        // Place the request.
+        let now = Instant::now();
+        arrived_at[idx] = now;
+        let dynamic = req.class.is_dynamic();
+        let expected = if dynamic { dyn_charge } else { stat_charge };
+        let placement = dispatcher.place(dynamic, req.demand.cpu_fraction, expected, &mut monitor);
+        on_master[idx] = placement.on_master;
+        let cpu = config.scale(req.demand.service.mul_f64(req.demand.cpu_fraction));
+        let io = config
+            .scale(req.demand.service)
+            .saturating_sub(cpu);
+        let job = Job {
+            id: idx as u64,
+            cpu,
+            io,
+            dynamic,
+            arrived: now,
+        };
+        if placement.latency.is_zero() {
+            let _ = senders[placement.node].send(NodeMsg::Run(job));
+        } else {
+            transfers.push((now + remote_latency, placement.node, job));
+        }
+    }
+
+    // Drain: flush transfers, then wait for all completions.
+    while completed < trace.len() {
+        let now = Instant::now();
+        deliver_due(&mut transfers, &senders, now);
+        match done_rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(d) => handle_done(d, &arrived_at, &on_master, &mut metrics, &mut dispatcher, &mut completed),
+            Err(_) => {
+                // Timeout: loop to flush any transfer that became due.
+                if transfers.is_empty() && now.elapsed() > Duration::from_secs(300) {
+                    panic!("live cluster wedged waiting for completions");
+                }
+            }
+        }
+    }
+
+    for tx in &senders {
+        let _ = tx.send(NodeMsg::Shutdown);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    metrics.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msweb_workload::{ucb, DemandModel};
+
+    fn tiny_trace(n: usize, lambda: f64) -> Trace {
+        ucb()
+            .generate(n, &DemandModel::sun_cluster(40.0), 5)
+            .scaled_to_rate(lambda)
+    }
+
+    #[test]
+    fn live_flat_completes_everything() {
+        let trace = tiny_trace(60, 40.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::Flat, 1);
+        cfg.time_scale = 0.05;
+        cfg.monitor_period = Duration::from_millis(50);
+        let s = run_live(&cfg, &trace);
+        assert_eq!(s.completed, 60);
+        assert!(s.stretch >= 1.0, "stretch {}", s.stretch);
+    }
+
+    #[test]
+    fn live_ms_completes_everything() {
+        let trace = tiny_trace(60, 40.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 3);
+        cfg.time_scale = 0.05;
+        cfg.monitor_period = Duration::from_millis(50);
+        let s = run_live(&cfg, &trace);
+        assert_eq!(s.completed, 60);
+        assert!(s.stretch >= 1.0);
+        assert!(s.completed_static > 0);
+    }
+
+    #[test]
+    fn idle_cluster_stretch_near_one() {
+        // Very light load: responses should be close to demands. The
+        // bound is loose because on a single-core host every thread
+        // wake-up adds milliseconds of latency to millisecond-scale
+        // demands.
+        let trace = tiny_trace(12, 4.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::Flat, 1);
+        cfg.time_scale = 0.5;
+        let s = run_live(&cfg, &trace);
+        assert_eq!(s.completed, 12);
+        assert!(
+            s.stretch < 3.0,
+            "idle live cluster should not queue: stretch {}",
+            s.stretch
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Job and message types exchanged between the live cluster's threads.
+
+use std::time::{Duration, Instant};
+
+/// One request, as handed to a node worker.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Trace index (completion tag).
+    pub id: u64,
+    /// CPU portion of the demand, already time-scaled.
+    pub cpu: Duration,
+    /// Disk portion of the demand, already time-scaled.
+    pub io: Duration,
+    /// Whether this is a dynamic (CGI) request — charged fork overhead.
+    pub dynamic: bool,
+    /// When the request arrived at the cluster front end.
+    pub arrived: Instant,
+}
+
+/// A finished request, reported back to the driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Done {
+    /// Trace index.
+    pub id: u64,
+    /// When the request arrived at the cluster front end.
+    pub arrived: Instant,
+    /// When the node finished it.
+    pub finished: Instant,
+}
+
+/// Control messages to a node worker.
+#[derive(Debug)]
+pub enum NodeMsg {
+    /// Run this job.
+    Run(Job),
+    /// Drain and exit.
+    Shutdown,
+}

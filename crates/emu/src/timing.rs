@@ -1,0 +1,104 @@
+//! Precise waiting and calibration for the live emulation.
+//!
+//! The original validation ran on a six-node Sun Ultra-1 cluster where
+//! CGI scripts genuinely burned CPU. Inside a container (often with a
+//! single core) concurrent busy-spin loops would contend with each other
+//! and corrupt every measurement, so the emulation *waits* with real-time
+//! precision instead of burning cycles: each node worker still serialises
+//! its jobs, still time-slices them, and still takes real wall-clock time
+//! per unit of demand — which is what produces genuine queueing,
+//! blocking, and load-imbalance behaviour — but the waiting is
+//! implemented as `sleep(d − ε)` plus a short spin-trim, so any number of
+//! emulated nodes coexist on any number of host cores.
+
+use std::time::{Duration, Instant};
+
+/// How much of the tail of each wait is spun rather than slept, to absorb
+/// sleep overshoot. Kept short so spinning never meaningfully contends.
+const SPIN_TRIM: Duration = Duration::from_micros(200);
+
+/// Wait until `deadline` with sub-millisecond precision.
+pub fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > SPIN_TRIM {
+            std::thread::sleep(remaining - SPIN_TRIM);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Wait for a duration (see [`wait_until`]).
+pub fn wait_for(d: Duration) {
+    wait_until(Instant::now() + d);
+}
+
+/// Measured timing quality of the host.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Mean absolute error of a 2 ms precise wait.
+    pub wait_error: Duration,
+    /// Mean overshoot of a bare 1 ms `thread::sleep`.
+    pub sleep_overshoot: Duration,
+}
+
+/// Measure how precisely this host can wait. Used by tests to skip
+/// assertions on hopelessly noisy machines and recorded in experiment
+/// reports.
+pub fn calibrate() -> Calibration {
+    let trials = 20;
+
+    let mut wait_err = Duration::ZERO;
+    for _ in 0..trials {
+        let target = Duration::from_millis(2);
+        let t0 = Instant::now();
+        wait_for(target);
+        let got = t0.elapsed();
+        wait_err += got.abs_diff(target);
+    }
+
+    let mut overshoot = Duration::ZERO;
+    for _ in 0..trials {
+        let target = Duration::from_millis(1);
+        let t0 = Instant::now();
+        std::thread::sleep(target);
+        let got = t0.elapsed();
+        overshoot += got.saturating_sub(target);
+    }
+
+    Calibration {
+        wait_error: wait_err / trials,
+        sleep_overshoot: overshoot / trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_for_is_at_least_the_duration() {
+        let t0 = Instant::now();
+        wait_for(Duration::from_millis(5));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn wait_until_past_deadline_returns_immediately() {
+        let t0 = Instant::now();
+        wait_until(t0); // already passed
+        assert!(t0.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn calibration_reports_something() {
+        let c = calibrate();
+        // Precise waits should beat bare sleeps on any functioning host.
+        assert!(c.wait_error <= c.sleep_overshoot + Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,171 @@
+//! Demand-paging memory manager.
+//!
+//! "The memory management maintains a set of free pages and allocates a
+//! number of pages to a new process. For each request, a memory size
+//! requirement is provided and the system generates working-set oriented
+//! access patterns to stress the demand-based paging scheme." (§5.1).
+//!
+//! The model: a process asks for its working set at admission. Whatever
+//! cannot be granted from the free pool becomes a *working-set deficit*;
+//! the node converts each deficit page into extra paging I/O
+//! ([`OsParams::fault_pages_per_deficit_page`] page reads folded into the
+//! process's burst script). This reproduces the paper's observation that
+//! memory-hungry CGI requests steal file-cache pages and slow static
+//! processing, without simulating per-access reference strings.
+//!
+//! Pages are also the file cache: the pool tracks how much of memory is
+//! free so the load monitor can report cache pressure.
+//!
+//! [`OsParams::fault_pages_per_deficit_page`]: crate::config::OsParams::fault_pages_per_deficit_page
+
+use std::collections::HashMap;
+
+use crate::process::Pid;
+
+/// A grant from the memory manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Pages actually made resident.
+    pub resident: u32,
+    /// Pages requested but unavailable (the working-set deficit).
+    pub deficit: u32,
+}
+
+/// The per-node page pool.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    total_pages: u32,
+    free_pages: u32,
+    held: HashMap<Pid, u32>,
+}
+
+impl MemoryManager {
+    /// A pool of `total_pages` free pages.
+    pub fn new(total_pages: u32) -> Self {
+        MemoryManager {
+            total_pages,
+            free_pages: total_pages,
+            held: HashMap::new(),
+        }
+    }
+
+    /// Admit a process wanting `requested` pages. Grants what the free
+    /// pool allows; the caller converts the deficit into paging I/O.
+    /// A process may hold at most one allocation (re-admission is a bug).
+    pub fn allocate(&mut self, pid: Pid, requested: u32) -> Allocation {
+        assert!(
+            !self.held.contains_key(&pid),
+            "process {pid:?} already holds memory"
+        );
+        let granted = requested.min(self.free_pages);
+        self.free_pages -= granted;
+        self.held.insert(pid, granted);
+        Allocation {
+            resident: granted,
+            deficit: requested - granted,
+        }
+    }
+
+    /// Release a process's pages (at completion or kill). Returns the
+    /// number of pages freed; zero if the process held nothing.
+    pub fn release(&mut self, pid: Pid) -> u32 {
+        let pages = self.held.remove(&pid).unwrap_or(0);
+        self.free_pages += pages;
+        debug_assert!(self.free_pages <= self.total_pages, "page pool overflow");
+        pages
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> u32 {
+        self.free_pages
+    }
+
+    /// Total physical pages.
+    pub fn total_pages(&self) -> u32 {
+        self.total_pages
+    }
+
+    /// Fraction of memory free, in [0, 1]. This stands in for available
+    /// file-cache headroom in the load reports.
+    pub fn free_ratio(&self) -> f64 {
+        if self.total_pages == 0 {
+            0.0
+        } else {
+            self.free_pages as f64 / self.total_pages as f64
+        }
+    }
+
+    /// Number of processes holding memory.
+    pub fn holders(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Pages held by a specific process.
+    pub fn held_by(&self, pid: Pid) -> u32 {
+        self.held.get(&pid).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_from_free_pool() {
+        let mut m = MemoryManager::new(100);
+        let a = m.allocate(Pid(1), 30);
+        assert_eq!(a, Allocation { resident: 30, deficit: 0 });
+        assert_eq!(m.free_pages(), 70);
+        assert_eq!(m.held_by(Pid(1)), 30);
+    }
+
+    #[test]
+    fn deficit_when_pool_short() {
+        let mut m = MemoryManager::new(100);
+        m.allocate(Pid(1), 90);
+        let a = m.allocate(Pid(2), 30);
+        assert_eq!(a, Allocation { resident: 10, deficit: 20 });
+        assert_eq!(m.free_pages(), 0);
+    }
+
+    #[test]
+    fn release_returns_pages() {
+        let mut m = MemoryManager::new(100);
+        m.allocate(Pid(1), 40);
+        assert_eq!(m.release(Pid(1)), 40);
+        assert_eq!(m.free_pages(), 100);
+        assert_eq!(m.release(Pid(1)), 0, "double release is a no-op");
+    }
+
+    #[test]
+    fn conservation_under_churn() {
+        let mut m = MemoryManager::new(1000);
+        for i in 0..50 {
+            m.allocate(Pid(i), (i as u32 * 7) % 100 + 1);
+        }
+        let held: u32 = (0..50).map(|i| m.held_by(Pid(i))).sum();
+        assert_eq!(held + m.free_pages(), 1000);
+        for i in 0..50 {
+            m.release(Pid(i));
+        }
+        assert_eq!(m.free_pages(), 1000);
+        assert_eq!(m.holders(), 0);
+    }
+
+    #[test]
+    fn free_ratio() {
+        let mut m = MemoryManager::new(200);
+        assert_eq!(m.free_ratio(), 1.0);
+        m.allocate(Pid(1), 50);
+        assert!((m.free_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(MemoryManager::new(0).free_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds memory")]
+    fn double_allocation_panics() {
+        let mut m = MemoryManager::new(100);
+        m.allocate(Pid(1), 10);
+        m.allocate(Pid(1), 10);
+    }
+}

@@ -1,0 +1,182 @@
+//! Multilevel-feedback ready queues (4.3BSD style).
+//!
+//! "The process ready queue is a multilevel feedback queue divided into
+//! multiple lists according to process priority. Processes are scheduled
+//! based on priority and may be preempted following quantum expiration."
+//! (§5.1). This module is the pure queue structure; timing, quantum
+//! accounting and decay live in [`crate::node`].
+
+use std::collections::VecDeque;
+
+use crate::process::Pid;
+
+/// Ready queues: one FIFO per priority level; level 0 is the highest
+/// priority.
+#[derive(Debug, Clone)]
+pub struct ReadyQueues {
+    queues: Vec<VecDeque<Pid>>,
+    len: usize,
+}
+
+impl ReadyQueues {
+    /// Create with `levels` priority levels.
+    pub fn new(levels: u8) -> Self {
+        assert!(levels > 0, "need at least one priority level");
+        ReadyQueues {
+            queues: (0..levels).map(|_| VecDeque::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u8 {
+        self.queues.len() as u8
+    }
+
+    /// Enqueue at the back of `level`'s FIFO (normal admission).
+    pub fn push_back(&mut self, pid: Pid, level: u8) {
+        self.queues[level as usize].push_back(pid);
+        self.len += 1;
+    }
+
+    /// Enqueue at the front of `level`'s FIFO (used when a running process
+    /// is preempted mid-quantum: BSD puts it back at the head of its queue
+    /// so it resumes before its peers).
+    pub fn push_front(&mut self, pid: Pid, level: u8) {
+        self.queues[level as usize].push_front(pid);
+        self.len += 1;
+    }
+
+    /// Remove and return the highest-priority ready process.
+    pub fn pop_highest(&mut self) -> Option<(Pid, u8)> {
+        for (level, q) in self.queues.iter_mut().enumerate() {
+            if let Some(pid) = q.pop_front() {
+                self.len -= 1;
+                return Some((pid, level as u8));
+            }
+        }
+        None
+    }
+
+    /// The level of the best ready process without removing it.
+    pub fn highest_level(&self) -> Option<u8> {
+        self.queues
+            .iter()
+            .position(|q| !q.is_empty())
+            .map(|l| l as u8)
+    }
+
+    /// Total ready processes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no process is ready.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Re-bucket every ready process according to `level_of` (called after
+    /// a priority-decay tick). FIFO order within each destination level
+    /// follows (old level, old position) order, matching a sequential
+    /// rescan of the proc table.
+    pub fn rebucket(&mut self, mut level_of: impl FnMut(Pid) -> u8) {
+        let levels = self.queues.len();
+        let mut all: Vec<Pid> = Vec::with_capacity(self.len);
+        for q in &mut self.queues {
+            all.extend(q.drain(..));
+        }
+        for pid in all {
+            let lvl = (level_of(pid) as usize).min(levels - 1);
+            self.queues[lvl].push_back(pid);
+        }
+        // len unchanged: rebucket moves, never adds or drops.
+    }
+
+    /// Remove a specific pid wherever it is queued (used by failure
+    /// injection when a node kills a process). Returns true if found.
+    pub fn remove(&mut self, pid: Pid) -> bool {
+        for q in &mut self.queues {
+            if let Some(idx) = q.iter().position(|&p| p == pid) {
+                q.remove(idx);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let mut q = ReadyQueues::new(4);
+        q.push_back(Pid(1), 2);
+        q.push_back(Pid(2), 0);
+        q.push_back(Pid(3), 0);
+        q.push_back(Pid(4), 3);
+        assert_eq!(q.pop_highest(), Some((Pid(2), 0)));
+        assert_eq!(q.pop_highest(), Some((Pid(3), 0)));
+        assert_eq!(q.pop_highest(), Some((Pid(1), 2)));
+        assert_eq!(q.pop_highest(), Some((Pid(4), 3)));
+        assert_eq!(q.pop_highest(), None);
+    }
+
+    #[test]
+    fn push_front_jumps_the_fifo() {
+        let mut q = ReadyQueues::new(2);
+        q.push_back(Pid(1), 0);
+        q.push_front(Pid(2), 0);
+        assert_eq!(q.pop_highest(), Some((Pid(2), 0)));
+        assert_eq!(q.pop_highest(), Some((Pid(1), 0)));
+    }
+
+    #[test]
+    fn highest_level_peeks() {
+        let mut q = ReadyQueues::new(4);
+        assert_eq!(q.highest_level(), None);
+        q.push_back(Pid(1), 3);
+        assert_eq!(q.highest_level(), Some(3));
+        q.push_back(Pid(2), 1);
+        assert_eq!(q.highest_level(), Some(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn rebucket_moves_everyone() {
+        let mut q = ReadyQueues::new(4);
+        q.push_back(Pid(1), 3);
+        q.push_back(Pid(2), 3);
+        q.push_back(Pid(3), 0);
+        // Everyone decays to level 1.
+        q.rebucket(|_| 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.highest_level(), Some(1));
+        // Scan order: level 0 first (Pid 3), then level 3 (1, 2).
+        assert_eq!(q.pop_highest(), Some((Pid(3), 1)));
+        assert_eq!(q.pop_highest(), Some((Pid(1), 1)));
+        assert_eq!(q.pop_highest(), Some((Pid(2), 1)));
+    }
+
+    #[test]
+    fn rebucket_clamps_out_of_range_levels() {
+        let mut q = ReadyQueues::new(4);
+        q.push_back(Pid(1), 0);
+        q.rebucket(|_| 200);
+        assert_eq!(q.pop_highest(), Some((Pid(1), 3)));
+    }
+
+    #[test]
+    fn remove_finds_and_removes() {
+        let mut q = ReadyQueues::new(4);
+        q.push_back(Pid(1), 1);
+        q.push_back(Pid(2), 1);
+        assert!(q.remove(Pid(1)));
+        assert!(!q.remove(Pid(1)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_highest(), Some((Pid(2), 1)));
+    }
+}

@@ -1,0 +1,750 @@
+//! A simulated server node: CPU (MLFQ), disk (round-robin), memory
+//! (demand paging) coordinated into one discrete-event state machine.
+//!
+//! The node exposes the interface the cluster driver needs:
+//!
+//! * [`Node::submit`] — admit a request's process at the current time;
+//! * [`Node::next_event`] — when the node next changes state on its own;
+//! * [`Node::advance`] — process exactly one internal event (CPU slice
+//!   end, disk page completion, or priority-decay tick);
+//! * [`Node::drain_completed`] — collect finished requests;
+//! * [`Node::load`] — the rstat-style counters the scheduler samples.
+//!
+//! The driver interleaves node events with request arrivals in global
+//! timestamp order; the node only requires that the times it sees never
+//! decrease.
+
+use std::collections::HashMap;
+
+use msweb_simcore::{SimDuration, SimTime};
+
+use crate::config::OsParams;
+use crate::disk::{Disk, DiskEvent};
+use crate::memory::MemoryManager;
+use crate::mlfq::ReadyQueues;
+use crate::process::{BurstScript, DemandSpec, Pid, ProcState, Process};
+
+/// A finished request, as reported by the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The tag supplied at `submit` (the cluster's request id).
+    pub tag: u64,
+    /// When the process was admitted to this node.
+    pub arrived: SimTime,
+    /// When its last burst finished.
+    pub finished: SimTime,
+}
+
+/// Cumulative load counters, sampled by the cluster's load monitor. All
+/// counters are monotone; the monitor differences successive samples to
+/// get windowed CPU-idle and disk-available ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Cumulative CPU busy time (slices + context switches).
+    pub cpu_busy: SimDuration,
+    /// Cumulative disk busy time (completed page operations).
+    pub disk_busy: SimDuration,
+    /// Fraction of physical memory currently free.
+    pub mem_free_ratio: f64,
+    /// Ready-queue length right now.
+    pub ready_len: usize,
+    /// Disk-queue length right now (processes).
+    pub disk_queue_len: usize,
+    /// Live processes on the node.
+    pub processes: usize,
+}
+
+/// The slice currently holding the CPU.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    pid: Pid,
+    level: u8,
+    /// When the slice (including any context-switch overhead) began.
+    started: SimTime,
+    /// When the context-switch overhead ends and useful work begins.
+    ctx_until: SimTime,
+    /// When the slice will end if not preempted.
+    slice_end: SimTime,
+    /// CPU progress the process makes if the slice runs to `slice_end`.
+    planned_progress: SimDuration,
+}
+
+/// One simulated server node.
+#[derive(Debug)]
+pub struct Node {
+    /// Diagnostic identifier (the cluster's node index).
+    pub id: usize,
+    params: OsParams,
+    /// Relative CPU speed; CPU bursts take `duration / speed` wall time.
+    speed: f64,
+    now: SimTime,
+    procs: HashMap<Pid, Process>,
+    ready: ReadyQueues,
+    running: Option<Running>,
+    /// Last process to hold the CPU, for context-switch charging.
+    last_run: Option<Pid>,
+    disk: Disk,
+    memory: MemoryManager,
+    next_decay: Option<SimTime>,
+    next_pid: u64,
+    completed: Vec<Completion>,
+    cpu_busy: SimDuration,
+    ctx_switches: u64,
+    submitted: u64,
+    finished: u64,
+    fault_pages: u64,
+}
+
+impl Node {
+    /// A new idle node with the given parameters.
+    pub fn new(id: usize, params: OsParams) -> Self {
+        params.validate().expect("invalid OS parameters");
+        let levels = params.priority_levels;
+        let memory = MemoryManager::new(params.memory_pages);
+        let disk = Disk::new(params.page_io);
+        Node {
+            id,
+            params,
+            speed: 1.0,
+            now: SimTime::ZERO,
+            procs: HashMap::new(),
+            ready: ReadyQueues::new(levels),
+            running: None,
+            last_run: None,
+            disk,
+            memory,
+            next_decay: None,
+            next_pid: 0,
+            completed: Vec::new(),
+            cpu_busy: SimDuration::ZERO,
+            ctx_switches: 0,
+            submitted: 0,
+            finished: 0,
+            fault_pages: 0,
+        }
+    }
+
+    /// A node whose CPU runs `speed`× the baseline (heterogeneous
+    /// clusters; the paper's Section 6 extension).
+    pub fn with_speed(id: usize, params: OsParams, speed: f64) -> Self {
+        assert!(speed > 0.0 && speed.is_finite(), "bad node speed {speed}");
+        let mut n = Node::new(id, params);
+        n.speed = speed;
+        n
+    }
+
+    /// This node's CPU speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The node's current local time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The OS parameters in force.
+    pub fn params(&self) -> &OsParams {
+        &self.params
+    }
+
+    /// Admit a request at time `now`. Returns the process id.
+    pub fn submit(&mut self, spec: &DemandSpec, now: SimTime, tag: u64) -> Pid {
+        debug_assert!(now >= self.now, "node time went backwards on submit");
+        self.now = now;
+        self.submitted += 1;
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+
+        let alloc = self.memory.allocate(pid, spec.memory_pages);
+        let extra_faults = (alloc.deficit as f64 * self.params.fault_pages_per_deficit_page)
+            .round() as u32;
+        self.fault_pages += u64::from(extra_faults);
+        let script = BurstScript::compile(spec, &self.params, extra_faults);
+        let mut proc = Process::new(pid, script, now, tag);
+        proc.resident_pages = alloc.resident;
+        let state = proc.state;
+        self.procs.insert(pid, proc);
+
+        if self.next_decay.is_none() {
+            self.next_decay = Some(now + self.params.priority_update_period);
+        }
+
+        match state {
+            ProcState::Ready => {
+                let level = self.procs[&pid].priority_level(self.ready.levels());
+                self.make_ready(pid, level, false);
+            }
+            ProcState::BlockedIo => {
+                let pages = self.procs[&pid].io_pages_remaining;
+                self.disk.submit(pid, pages, now);
+            }
+            ProcState::Done => self.finish(pid),
+            ProcState::Running => unreachable!("fresh process cannot be running"),
+        }
+        self.dispatch(now);
+        pid
+    }
+
+    /// The time of the node's next internal event, if any.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut t = self.running.map(|r| r.slice_end);
+        for cand in [self.disk.next_event(), self.next_decay] {
+            t = match (t, cand) {
+                (None, c) => c,
+                (Some(a), None) => Some(a),
+                (Some(a), Some(b)) => Some(a.min(b)),
+            };
+        }
+        t
+    }
+
+    /// Process exactly one internal event due at `t` (which must equal
+    /// [`Node::next_event`]). The driver loops while more events share the
+    /// same timestamp.
+    pub fn advance(&mut self, t: SimTime) {
+        debug_assert_eq!(
+            Some(t),
+            self.next_event(),
+            "advance called for a time that is not the next event"
+        );
+        self.now = t;
+        // Deterministic tie order: disk, CPU, decay.
+        if self.disk.next_event() == Some(t) {
+            self.handle_disk(t);
+        } else if self.running.map(|r| r.slice_end) == Some(t) {
+            self.handle_slice_end(t);
+        } else if self.next_decay == Some(t) {
+            self.handle_decay(t);
+        }
+    }
+
+    /// Collect completions recorded since the last drain.
+    pub fn drain_completed(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The rstat-style load counters.
+    pub fn load(&self) -> LoadSnapshot {
+        LoadSnapshot {
+            at: self.now,
+            cpu_busy: self.cpu_busy,
+            disk_busy: self.disk.busy_accum(),
+            mem_free_ratio: self.memory.free_ratio(),
+            ready_len: self.ready.len() + usize::from(self.running.is_some()),
+            disk_queue_len: self.disk.queue_len(),
+            processes: self.procs.len(),
+        }
+    }
+
+    /// Number of live processes.
+    pub fn live_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Total context switches charged so far.
+    pub fn context_switches(&self) -> u64 {
+        self.ctx_switches
+    }
+
+    /// Total extra paging I/O (in pages) injected for working-set
+    /// deficits — the memory-pressure signal.
+    pub fn fault_pages(&self) -> u64 {
+        self.fault_pages
+    }
+
+    /// Requests admitted / finished so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.submitted, self.finished)
+    }
+
+    /// Kill a process (failure injection): remove it from every queue,
+    /// free its memory, report nothing. Returns the request tag if the
+    /// process existed.
+    pub fn kill(&mut self, pid: Pid) -> Option<u64> {
+        let proc = self.procs.remove(&pid)?;
+        self.ready.remove(pid);
+        self.disk.abort(pid);
+        if let Some(r) = self.running {
+            if r.pid == pid {
+                // Account the CPU time burned so far, then drop the slice.
+                let burned = self.now.max(r.started) - r.started;
+                self.cpu_busy += burned;
+                self.running = None;
+                self.dispatch(self.now);
+            }
+        }
+        self.memory.release(pid);
+        if self.procs.is_empty() {
+            self.next_decay = None;
+        }
+        Some(proc.tag)
+    }
+
+    /// Kill every live process (whole-node crash). Returns the request
+    /// tags that were lost, for the cluster's failure-recovery path.
+    pub fn kill_all(&mut self) -> Vec<u64> {
+        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        let mut tags = Vec::with_capacity(pids.len());
+        for pid in pids {
+            if let Some(tag) = self.kill(pid) {
+                tags.push(tag);
+            }
+        }
+        tags.sort_unstable();
+        tags
+    }
+
+    /// True when nothing is running, ready, or blocked.
+    pub fn is_idle(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    // ---- internal machinery -------------------------------------------------
+
+    /// Queue `pid` at `level`, preempting the running slice if this
+    /// process has strictly higher priority (smaller level).
+    fn make_ready(&mut self, pid: Pid, level: u8, at_front: bool) {
+        if at_front {
+            self.ready.push_front(pid, level);
+        } else {
+            self.ready.push_back(pid, level);
+        }
+        if let Some(r) = self.running {
+            if level < r.level {
+                self.preempt(self.now);
+            }
+        }
+    }
+
+    /// Stop the running slice at `t`, crediting partial progress, and
+    /// requeue the process at the *front* of its level (it keeps its
+    /// claim to the remainder of its quantum's worth of service). A
+    /// preemption landing exactly at the slice's natural end (e.g. a
+    /// same-timestamp disk completion waking a higher-priority process)
+    /// completes the burst instead of requeueing an empty one.
+    fn preempt(&mut self, t: SimTime) {
+        let Some(r) = self.running.take() else {
+            return;
+        };
+        let executed_wall = t.max(r.ctx_until) - r.ctx_until;
+        let progress = executed_wall.mul_f64(self.speed).min(r.planned_progress);
+        let proc = self.procs.get_mut(&r.pid).expect("running process vanished");
+        proc.cpu_remaining -= progress;
+        proc.estcpu += progress.as_secs_f64() / self.params.quantum.as_secs_f64();
+        self.cpu_busy += t - r.started;
+        self.last_run = Some(r.pid);
+        if self.procs[&r.pid].cpu_remaining.is_zero() {
+            self.finish_cpu_burst(r.pid, t);
+        } else {
+            let proc = self.procs.get_mut(&r.pid).expect("running process vanished");
+            proc.state = ProcState::Ready;
+            self.ready.push_front(r.pid, r.level);
+        }
+        self.dispatch(t);
+    }
+
+    /// A process's current CPU burst is exhausted: advance its script.
+    fn finish_cpu_burst(&mut self, pid: Pid, t: SimTime) {
+        let proc = self.procs.get_mut(&pid).expect("process vanished");
+        debug_assert!(proc.cpu_remaining.is_zero());
+        match proc.advance_burst() {
+            ProcState::Ready => {
+                let level = proc.priority_level(self.ready.levels());
+                self.make_ready(pid, level, false);
+            }
+            ProcState::BlockedIo => {
+                let pages = proc.io_pages_remaining;
+                self.disk.submit(pid, pages, t);
+            }
+            ProcState::Done => self.finish(pid),
+            ProcState::Running => unreachable!(),
+        }
+    }
+
+    /// Give the CPU to the best ready process if the CPU is free.
+    fn dispatch(&mut self, t: SimTime) {
+        if self.running.is_some() {
+            return;
+        }
+        let Some((pid, level)) = self.ready.pop_highest() else {
+            return;
+        };
+        let proc = self.procs.get_mut(&pid).expect("ready process vanished");
+        proc.state = ProcState::Running;
+        let ctx = if self.last_run == Some(pid) {
+            SimDuration::ZERO
+        } else {
+            self.ctx_switches += 1;
+            self.params.context_switch
+        };
+        let planned = self.params.quantum.min(proc.cpu_remaining);
+        debug_assert!(!planned.is_zero(), "dispatching a process with no CPU work");
+        let run_wall = planned.mul_f64(1.0 / self.speed).max(SimDuration::from_micros(1));
+        let ctx_until = t + ctx;
+        self.running = Some(Running {
+            pid,
+            level,
+            started: t,
+            ctx_until,
+            slice_end: ctx_until + run_wall,
+            planned_progress: planned,
+        });
+    }
+
+    /// A CPU slice ran to its natural end.
+    fn handle_slice_end(&mut self, t: SimTime) {
+        let r = self.running.take().expect("slice end with no running process");
+        self.cpu_busy += t - r.started;
+        self.last_run = Some(r.pid);
+        let proc = self.procs.get_mut(&r.pid).expect("running process vanished");
+        proc.cpu_remaining -= r.planned_progress.min(proc.cpu_remaining);
+        proc.estcpu += r.planned_progress.as_secs_f64() / self.params.quantum.as_secs_f64();
+
+        if proc.cpu_remaining.is_zero() {
+            // Burst finished: move to the next burst.
+            self.finish_cpu_burst(r.pid, t);
+        } else {
+            // Quantum expiry: requeue at the (possibly lower) priority.
+            proc.state = ProcState::Ready;
+            let level = proc.priority_level(self.ready.levels());
+            self.make_ready(r.pid, level, false);
+        }
+        self.dispatch(t);
+    }
+
+    /// A disk page completed.
+    fn handle_disk(&mut self, t: SimTime) {
+        match self.disk.complete_or_discard(t) {
+            None | Some(DiskEvent::PageDone(_)) => {}
+            Some(DiskEvent::BurstDone(pid)) => {
+                let proc = self.procs.get_mut(&pid).expect("I/O process vanished");
+                proc.io_pages_remaining = 0;
+                match proc.advance_burst() {
+                    ProcState::Ready => {
+                        let level = proc.priority_level(self.ready.levels());
+                        self.make_ready(pid, level, false);
+                        self.dispatch(t);
+                    }
+                    ProcState::BlockedIo => {
+                        let pages = proc.io_pages_remaining;
+                        self.disk.submit(pid, pages, t);
+                    }
+                    ProcState::Done => self.finish(pid),
+                    ProcState::Running => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Priority-update tick: decay every estcpu and re-bucket the ready
+    /// queues (4.3BSD's schedcpu()).
+    fn handle_decay(&mut self, t: SimTime) {
+        let decay = self.params.estcpu_decay;
+        for proc in self.procs.values_mut() {
+            proc.estcpu *= decay;
+        }
+        let levels = self.ready.levels();
+        let procs = &self.procs;
+        self.ready
+            .rebucket(|pid| procs.get(&pid).map_or(levels - 1, |p| p.priority_level(levels)));
+        self.next_decay = if self.procs.is_empty() {
+            None
+        } else {
+            Some(t + self.params.priority_update_period)
+        };
+    }
+
+    /// Record completion, free resources.
+    fn finish(&mut self, pid: Pid) {
+        let proc = self.procs.remove(&pid).expect("finishing unknown process");
+        self.memory.release(pid);
+        self.finished += 1;
+        self.completed.push(Completion {
+            tag: proc.tag,
+            arrived: proc.arrived,
+            finished: self.now,
+        });
+        if self.last_run == Some(pid) {
+            // The next dispatch is necessarily a switch.
+            self.last_run = None;
+        }
+        if self.procs.is_empty() {
+            self.next_decay = None;
+        }
+    }
+}
+
+/// Run a node in isolation until it is idle (or `limit` events elapse),
+/// returning all completions. Test/diagnostic helper.
+pub fn run_to_idle(node: &mut Node, limit: u64) -> Vec<Completion> {
+    let mut out = Vec::new();
+    let mut steps = 0;
+    while let Some(t) = node.next_event() {
+        node.advance(t);
+        out.extend(node.drain_completed());
+        steps += 1;
+        assert!(steps < limit, "node did not go idle within {limit} events");
+    }
+    out.extend(node.drain_completed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn node() -> Node {
+        Node::new(0, OsParams::default())
+    }
+
+    #[test]
+    fn single_cpu_process_timing() {
+        let mut n = node();
+        // 25ms pure CPU: ctx 50us + 3 slices (10+10+5).
+        let spec = DemandSpec::static_fetch(ms(25), 1.0, 0);
+        n.submit(&spec, SimTime::ZERO, 1);
+        let done = run_to_idle(&mut n, 100);
+        assert_eq!(done.len(), 1);
+        let c = done[0];
+        assert_eq!(c.tag, 1);
+        // One context switch only (same pid keeps the CPU across quanta).
+        assert_eq!(n.context_switches(), 1);
+        let expect = SimDuration::from_micros(25_000 + 50);
+        assert_eq!(c.finished - c.arrived, expect);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn cgi_charges_fork_overhead() {
+        let mut n = node();
+        let spec = DemandSpec::cgi(ms(20), 1.0, 0);
+        n.submit(&spec, SimTime::ZERO, 9);
+        let done = run_to_idle(&mut n, 100);
+        // 3ms fork + 20ms CPU + 50us ctx.
+        assert_eq!(
+            done[0].finished - done[0].arrived,
+            SimDuration::from_micros(23_000 + 50)
+        );
+    }
+
+    #[test]
+    fn io_process_timing() {
+        let mut n = node();
+        // 10ms demand, all I/O -> 5 pages * 2ms.
+        let spec = DemandSpec::static_fetch(ms(10), 0.0, 0);
+        n.submit(&spec, SimTime::ZERO, 2);
+        let done = run_to_idle(&mut n, 100);
+        assert_eq!(done[0].finished - done[0].arrived, ms(10));
+        // CPU untouched.
+        assert_eq!(n.load().cpu_busy, SimDuration::ZERO);
+        assert_eq!(n.load().disk_busy, ms(10));
+    }
+
+    #[test]
+    fn two_cpu_processes_round_robin() {
+        let mut n = node();
+        let spec = DemandSpec::static_fetch(ms(30), 1.0, 0);
+        n.submit(&spec, SimTime::ZERO, 1);
+        n.submit(&spec, SimTime::ZERO, 2);
+        let done = run_to_idle(&mut n, 1000);
+        assert_eq!(done.len(), 2);
+        // Total CPU work = 60ms; with overheads both finish close to 60ms,
+        // and the two completions are distinct (interleaved service).
+        let spread = done[1].finished - done[0].finished;
+        assert!(spread <= ms(11), "completions too far apart: {spread}");
+        let total = done.iter().map(|c| c.finished).max().unwrap();
+        assert!(total >= SimTime::from_millis(60));
+        assert!(total <= SimTime::from_millis(62), "too much overhead: {total}");
+    }
+
+    #[test]
+    fn cpu_work_conservation() {
+        let mut n = node();
+        let demands = [5u64, 12, 33, 7, 28];
+        for (i, &d) in demands.iter().enumerate() {
+            n.submit(&DemandSpec::static_fetch(ms(d), 1.0, 0), SimTime::ZERO, i as u64);
+        }
+        let done = run_to_idle(&mut n, 10_000);
+        assert_eq!(done.len(), demands.len());
+        let total_demand: u64 = demands.iter().sum();
+        let busy = n.load().cpu_busy;
+        let overhead = busy - ms(total_demand);
+        // Busy = demand + context switches; each switch is 50us.
+        assert_eq!(
+            overhead,
+            SimDuration::from_micros(n.context_switches() * 50),
+            "CPU busy must equal demand plus context-switch overhead"
+        );
+    }
+
+    #[test]
+    fn fresh_short_job_preempts_cpu_hog() {
+        let mut n = node();
+        // A CPU hog that has been running long enough to sink in priority.
+        n.submit(&DemandSpec::static_fetch(ms(500), 1.0, 0), SimTime::ZERO, 1);
+        // Let it burn 200ms (priority decays it downward).
+        while let Some(t) = n.next_event() {
+            if t > SimTime::from_millis(200) {
+                break;
+            }
+            n.advance(t);
+        }
+        // Now a short job arrives; it should finish long before the hog.
+        let t0 = n.now();
+        n.submit(&DemandSpec::static_fetch(ms(5), 1.0, 0), t0, 2);
+        let done = run_to_idle(&mut n, 10_000);
+        let short = done.iter().find(|c| c.tag == 2).unwrap();
+        let hog = done.iter().find(|c| c.tag == 1).unwrap();
+        assert!(short.finished < hog.finished);
+        let short_resp = short.finished - short.arrived;
+        assert!(
+            short_resp < ms(30),
+            "short job should run promptly, took {short_resp}"
+        );
+    }
+
+    #[test]
+    fn mixed_cpu_io_overlap() {
+        let mut n = node();
+        // One CPU-bound and one I/O-bound job overlap almost perfectly.
+        n.submit(&DemandSpec::static_fetch(ms(40), 1.0, 0), SimTime::ZERO, 1);
+        n.submit(&DemandSpec::static_fetch(ms(40), 0.0, 0), SimTime::ZERO, 2);
+        let done = run_to_idle(&mut n, 10_000);
+        let end = done.iter().map(|c| c.finished).max().unwrap();
+        // Perfect overlap would be 40ms; allow a little scheduling slack.
+        assert!(
+            end <= SimTime::from_millis(45),
+            "CPU and disk should overlap, finished at {end}"
+        );
+    }
+
+    #[test]
+    fn memory_deficit_adds_paging_io() {
+        let params = OsParams {
+            memory_pages: 10,
+            ..OsParams::default()
+        };
+        let mut n = Node::new(0, params);
+        // First process takes all memory.
+        n.submit(&DemandSpec::cgi(ms(50), 1.0, 10), SimTime::ZERO, 1);
+        // Second wants 10 pages but gets none: 10 * 2 fault pages = 20
+        // pages = 40ms extra I/O.
+        n.submit(&DemandSpec::cgi(ms(50), 1.0, 10), SimTime::ZERO, 2);
+        let done = run_to_idle(&mut n, 100_000);
+        let starved = done.iter().find(|c| c.tag == 2).unwrap();
+        let fed = done.iter().find(|c| c.tag == 1).unwrap();
+        assert!(
+            starved.finished > fed.finished,
+            "memory-starved process must finish later"
+        );
+        assert!(n.load().disk_busy >= ms(40), "paging I/O missing");
+    }
+
+    #[test]
+    fn fault_page_counter_tracks_memory_pressure() {
+        let params = OsParams {
+            memory_pages: 10,
+            ..OsParams::default()
+        };
+        let mut n = Node::new(0, params);
+        n.submit(&DemandSpec::cgi(ms(5), 1.0, 10), SimTime::ZERO, 1);
+        assert_eq!(n.fault_pages(), 0, "first process fits");
+        n.submit(&DemandSpec::cgi(ms(5), 1.0, 10), SimTime::ZERO, 2);
+        assert_eq!(n.fault_pages(), 20, "10-page deficit x 2 faults/page");
+        run_to_idle(&mut n, 10_000);
+    }
+
+    #[test]
+    fn memory_released_at_completion() {
+        let mut n = node();
+        n.submit(&DemandSpec::cgi(ms(5), 1.0, 100), SimTime::ZERO, 1);
+        assert!(n.load().mem_free_ratio < 1.0);
+        run_to_idle(&mut n, 100);
+        assert_eq!(n.load().mem_free_ratio, 1.0);
+    }
+
+    #[test]
+    fn kill_releases_everything() {
+        let mut n = node();
+        let spec = DemandSpec::cgi(ms(100), 0.5, 50);
+        let pid = n.submit(&spec, SimTime::ZERO, 77);
+        // Let it get going.
+        for _ in 0..3 {
+            if let Some(t) = n.next_event() {
+                n.advance(t);
+            }
+        }
+        assert_eq!(n.kill(pid), Some(77));
+        assert_eq!(n.kill(pid), None);
+        // Remaining events (an orphaned disk page at most) drain without
+        // producing completions.
+        let done = run_to_idle(&mut n, 100);
+        assert!(done.is_empty());
+        assert_eq!(n.load().mem_free_ratio, 1.0);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn load_snapshot_counts() {
+        let mut n = node();
+        n.submit(&DemandSpec::static_fetch(ms(50), 1.0, 0), SimTime::ZERO, 1);
+        n.submit(&DemandSpec::static_fetch(ms(50), 1.0, 0), SimTime::ZERO, 2);
+        n.submit(&DemandSpec::static_fetch(ms(50), 0.0, 0), SimTime::ZERO, 3);
+        let l = n.load();
+        assert_eq!(l.processes, 3);
+        assert_eq!(l.ready_len, 2); // one running + one ready
+        assert_eq!(l.disk_queue_len, 1);
+        assert_eq!(n.counters(), (3, 0));
+    }
+
+    #[test]
+    fn decay_tick_stops_when_idle() {
+        let mut n = node();
+        n.submit(&DemandSpec::static_fetch(ms(5), 1.0, 0), SimTime::ZERO, 1);
+        run_to_idle(&mut n, 100);
+        assert_eq!(n.next_event(), None, "idle node must not tick forever");
+    }
+
+    #[test]
+    fn speed_scales_cpu_time() {
+        let mut fast = Node::with_speed(0, OsParams::default(), 2.0);
+        let spec = DemandSpec::static_fetch(ms(20), 1.0, 0);
+        fast.submit(&spec, SimTime::ZERO, 1);
+        let done = run_to_idle(&mut fast, 100);
+        // 20ms of demand at 2x speed = 10ms wall + ctx.
+        assert_eq!(
+            done[0].finished - done[0].arrived,
+            SimDuration::from_micros(10_000 + 50)
+        );
+    }
+
+    #[test]
+    fn submissions_at_increasing_times() {
+        // Drive the node the way the cluster does: interleave arrivals
+        // with node events in timestamp order.
+        let mut n = node();
+        n.submit(&DemandSpec::static_fetch(ms(5), 1.0, 0), SimTime::ZERO, 1);
+        let first = run_to_idle(&mut n, 100);
+        assert_eq!(first.len(), 1);
+        n.submit(
+            &DemandSpec::static_fetch(ms(5), 1.0, 0),
+            SimTime::from_millis(100),
+            2,
+        );
+        let second = run_to_idle(&mut n, 100);
+        assert_eq!(second.len(), 1);
+        // Second arrival found an idle node: response = demand + ctx.
+        assert_eq!(
+            second[0].finished - second[0].arrived,
+            SimDuration::from_micros(5_000 + 50)
+        );
+        assert_eq!(second[0].arrived, SimTime::from_millis(100));
+    }
+}

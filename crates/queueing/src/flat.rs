@@ -1,0 +1,116 @@
+//! The *flat* cluster model (Figure 2b of the paper).
+//!
+//! In a flat (DNS- or switch-balanced) cluster, every request — static or
+//! dynamic — is routed uniformly at random to one of the `p` identical
+//! nodes. Each node therefore sees Poisson arrivals at rates `λ_h/p` and
+//! `λ_c/p` and behaves as an M/M/1 processor-sharing queue with
+//! utilisation
+//!
+//! ```text
+//! ρ_F = λ_h / (p μ_h) + λ_c / (p μ_c)
+//! ```
+//!
+//! Under processor sharing the stretch factor is class-independent:
+//! `S_F = S_F,h = S_F,c = 1 / (1 − ρ_F)` (the paper's Equation 1/2).
+
+use crate::params::{ps_stretch, ModelError, Workload};
+
+/// Analytic results for the flat architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatModel {
+    /// Per-node utilisation `ρ_F`.
+    pub utilisation: f64,
+    /// Overall stretch factor `S_F` (equals both per-class stretches).
+    pub stretch: f64,
+}
+
+impl FlatModel {
+    /// Evaluate the flat model for workload `w` on `p` nodes.
+    pub fn evaluate(w: &Workload, p: usize) -> Result<FlatModel, ModelError> {
+        if p == 0 {
+            return Err(ModelError::BadTopology("p must be positive".into()));
+        }
+        let rho = w.offered_load() / p as f64;
+        let stretch = ps_stretch(rho).map_err(|_| ModelError::Unstable {
+            utilisation: rho,
+            station: "flat node",
+        })?;
+        Ok(FlatModel {
+            utilisation: rho,
+            stretch,
+        })
+    }
+
+    /// The smallest cluster size that keeps the flat model stable for `w`.
+    pub fn min_stable_p(w: &Workload) -> usize {
+        (w.offered_load().floor() as usize) + 1
+    }
+
+    /// Mean response time of a static request in seconds.
+    pub fn response_h(&self, w: &Workload) -> f64 {
+        self.stretch * w.demand_h()
+    }
+
+    /// Mean response time of a dynamic request in seconds.
+    pub fn response_c(&self, w: &Workload) -> f64 {
+        self.stretch * w.demand_c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> Workload {
+        Workload::from_ratios(1000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap()
+    }
+
+    #[test]
+    fn utilisation_formula() {
+        let w = w();
+        let m = FlatModel::evaluate(&w, 32).unwrap();
+        let expect = 800.0 / (32.0 * 1200.0) + 200.0 / (32.0 * 30.0);
+        assert!((m.utilisation - expect).abs() < 1e-12);
+        assert!((m.stretch - 1.0 / (1.0 - expect)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_grows_with_load() {
+        let w1 = Workload::from_ratios(500.0, 0.25, 1200.0, 0.025).unwrap();
+        let w2 = Workload::from_ratios(2000.0, 0.25, 1200.0, 0.025).unwrap();
+        let s1 = FlatModel::evaluate(&w1, 32).unwrap().stretch;
+        let s2 = FlatModel::evaluate(&w2, 32).unwrap().stretch;
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn detects_overload() {
+        // Offered load = 800/1200 + 200/30 = 7.33 Erlangs > 4 nodes.
+        let err = FlatModel::evaluate(&w(), 4).unwrap_err();
+        assert!(matches!(err, ModelError::Unstable { .. }));
+    }
+
+    #[test]
+    fn min_stable_p_is_tight() {
+        let w = w();
+        let p = FlatModel::min_stable_p(&w);
+        assert!(FlatModel::evaluate(&w, p).is_ok());
+        assert!(FlatModel::evaluate(&w, p - 1).is_err());
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(matches!(
+            FlatModel::evaluate(&w(), 0),
+            Err(ModelError::BadTopology(_))
+        ));
+    }
+
+    #[test]
+    fn response_times_scale_with_demand() {
+        let w = w();
+        let m = FlatModel::evaluate(&w, 32).unwrap();
+        // Dynamic demand is 40x static, so responses differ by exactly 40x.
+        assert!((m.response_c(&w) / m.response_h(&w) - 40.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,226 @@
+//! Heterogeneous-cluster extension (the paper's Section 6 future work).
+//!
+//! The SPAA'99 analysis assumes homogeneous nodes; the authors note the
+//! results "can also be extended for a heterogeneous system with
+//! non-uniform nodes". This module provides that extension: each node `i`
+//! gets a speed factor `s_i` (1.0 = baseline), service rates scale to
+//! `s_i μ`, and load is split *proportionally to speed* within each level
+//! — the allocation that equalises utilisation, which is what
+//! minimum-expected-cost dispatch converges to.
+
+use crate::params::{ps_stretch, ModelError, Workload};
+
+/// A heterogeneous master/slave configuration: which nodes are masters and
+/// how fast each node is.
+#[derive(Debug, Clone)]
+pub struct HeteroCluster {
+    /// Speed factor for every node (must be positive). Length = p.
+    pub speeds: Vec<f64>,
+    /// Indices of the master nodes.
+    pub masters: Vec<usize>,
+}
+
+/// Analytic evaluation of a heterogeneous M/S configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeteroPoint {
+    /// Common utilisation of all master nodes (speed-proportional split).
+    pub rho_master: f64,
+    /// Common utilisation of all slave nodes.
+    pub rho_slave: f64,
+    /// Overall stretch factor.
+    pub stretch: f64,
+}
+
+impl HeteroCluster {
+    /// Validate and construct.
+    pub fn new(speeds: Vec<f64>, masters: Vec<usize>) -> Result<Self, ModelError> {
+        if speeds.len() < 2 {
+            return Err(ModelError::BadTopology("need at least 2 nodes".into()));
+        }
+        if speeds.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+            return Err(ModelError::BadRate("node speed"));
+        }
+        if masters.is_empty() || masters.len() >= speeds.len() {
+            return Err(ModelError::BadTopology(format!(
+                "need 1 <= masters < p, got {} of {}",
+                masters.len(),
+                speeds.len()
+            )));
+        }
+        let mut seen = vec![false; speeds.len()];
+        for &i in &masters {
+            if i >= speeds.len() {
+                return Err(ModelError::BadTopology(format!("master index {i} out of range")));
+            }
+            if seen[i] {
+                return Err(ModelError::BadTopology(format!("duplicate master index {i}")));
+            }
+            seen[i] = true;
+        }
+        Ok(HeteroCluster { speeds, masters })
+    }
+
+    /// Total speed of the master level.
+    pub fn master_capacity(&self) -> f64 {
+        self.masters.iter().map(|&i| self.speeds[i]).sum()
+    }
+
+    /// Total speed of the slave level.
+    pub fn slave_capacity(&self) -> f64 {
+        let total: f64 = self.speeds.iter().sum();
+        total - self.master_capacity()
+    }
+
+    /// Evaluate the M/S stretch at local-dynamic fraction `theta`.
+    ///
+    /// With speed-proportional splitting, node `i` at level L receives a
+    /// `s_i / S_L` share of the level's work, so every node in a level has
+    /// the same utilisation `work_L / S_L` — reducing each level to one
+    /// effective M/M/1-PS station, exactly as in the homogeneous model but
+    /// with fractional "node counts" `S_L`.
+    pub fn evaluate(&self, w: &Workload, theta: f64) -> Result<HeteroPoint, ModelError> {
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(ModelError::BadTopology(format!("theta {theta} not in [0,1]")));
+        }
+        let cap_m = self.master_capacity();
+        let cap_s = self.slave_capacity();
+        let rho_master = (w.lambda_h / w.mu_h + theta * w.lambda_c / w.mu_c) / cap_m;
+        let rho_slave = (1.0 - theta) * w.lambda_c / w.mu_c / cap_s;
+        let s1 = ps_stretch(rho_master).map_err(|_| ModelError::Unstable {
+            utilisation: rho_master,
+            station: "master",
+        })?;
+        let s2 = ps_stretch(rho_slave).map_err(|_| ModelError::Unstable {
+            utilisation: rho_slave,
+            station: "slave",
+        })?;
+        let a = w.a();
+        let stretch = ((1.0 + a * theta) * s1 + a * (1.0 - theta) * s2) / (1.0 + a);
+        Ok(HeteroPoint {
+            rho_master,
+            rho_slave,
+            stretch,
+        })
+    }
+
+    /// The beats-everything operating θ by golden-section search over the
+    /// stable range.
+    pub fn theta_opt(&self, w: &Workload) -> Option<(f64, f64)> {
+        let f = |t: f64| self.evaluate(w, t).map(|p| p.stretch).unwrap_or(f64::INFINITY);
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        let (mut a, mut b) = (0.0f64, 1.0f64);
+        let mut x1 = b - phi * (b - a);
+        let mut x2 = a + phi * (b - a);
+        let (mut f1, mut f2) = (f(x1), f(x2));
+        for _ in 0..80 {
+            if f1 < f2 {
+                b = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = b - phi * (b - a);
+                f1 = f(x1);
+            } else {
+                a = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = a + phi * (b - a);
+                f2 = f(x2);
+            }
+        }
+        let t = (a + b) / 2.0;
+        let s = f(t);
+        s.is_finite().then_some((t, s))
+    }
+
+    /// Choose the master *set* greedily: sort nodes by speed ascending and
+    /// try each prefix size as the master level (slow nodes make good
+    /// masters because static requests are cheap), returning the best
+    /// (cluster, theta, stretch).
+    pub fn plan_masters(speeds: &[f64], w: &Workload) -> Option<(HeteroCluster, f64, f64)> {
+        let mut order: Vec<usize> = (0..speeds.len()).collect();
+        order.sort_by(|&i, &j| speeds[i].partial_cmp(&speeds[j]).expect("NaN speed"));
+        let mut best: Option<(HeteroCluster, f64, f64)> = None;
+        for m in 1..speeds.len() {
+            let masters = order[..m].to_vec();
+            let Ok(cluster) = HeteroCluster::new(speeds.to_vec(), masters) else {
+                continue;
+            };
+            if let Some((theta, stretch)) = cluster.theta_opt(w) {
+                if best.as_ref().is_none_or(|(_, _, s)| stretch < *s) {
+                    best = Some((cluster, theta, stretch));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ms::MsModel;
+
+    fn w() -> Workload {
+        Workload::from_ratios(1000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap()
+    }
+
+    #[test]
+    fn uniform_speeds_reduce_to_homogeneous_model() {
+        let wl = w();
+        let cluster = HeteroCluster::new(vec![1.0; 32], (0..8).collect()).unwrap();
+        let homo = MsModel::new(wl, 32, 8).unwrap();
+        for theta in [0.0, 0.05, 0.1] {
+            let h = cluster.evaluate(&wl, theta).unwrap();
+            let m = homo.evaluate(theta).unwrap();
+            assert!((h.stretch - m.stretch).abs() < 1e-9, "theta={theta}");
+            assert!((h.rho_master - m.rho_master).abs() < 1e-12);
+            assert!((h.rho_slave - m.rho_slave).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HeteroCluster::new(vec![1.0], vec![0]).is_err());
+        assert!(HeteroCluster::new(vec![1.0, -1.0], vec![0]).is_err());
+        assert!(HeteroCluster::new(vec![1.0, 1.0], vec![]).is_err());
+        assert!(HeteroCluster::new(vec![1.0, 1.0], vec![0, 1]).is_err());
+        assert!(HeteroCluster::new(vec![1.0, 1.0], vec![5]).is_err());
+        assert!(HeteroCluster::new(vec![1.0, 1.0, 1.0], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn faster_slaves_lower_stretch() {
+        let wl = w();
+        let slow = HeteroCluster::new(vec![1.0; 32], (0..8).collect()).unwrap();
+        let mut speeds = vec![1.0; 32];
+        for s in speeds.iter_mut().skip(8) {
+            *s = 2.0; // double-speed slaves
+        }
+        let fast = HeteroCluster::new(speeds, (0..8).collect()).unwrap();
+        let (_, s_slow) = slow.theta_opt(&wl).unwrap();
+        let (_, s_fast) = fast.theta_opt(&wl).unwrap();
+        assert!(s_fast < s_slow);
+    }
+
+    #[test]
+    fn planner_prefers_slow_masters() {
+        // 4 slow + 4 fast nodes: the planner should put slow nodes at the
+        // master level where work is cheap.
+        let speeds = vec![0.5, 0.5, 0.5, 0.5, 2.0, 2.0, 2.0, 2.0];
+        let wl = Workload::from_ratios(300.0, 0.4, 1200.0, 1.0 / 40.0).unwrap();
+        let (cluster, theta, stretch) = HeteroCluster::plan_masters(&speeds, &wl).unwrap();
+        assert!(stretch.is_finite());
+        assert!((0.0..=1.0).contains(&theta));
+        // All chosen masters are slow nodes.
+        for &i in &cluster.masters {
+            assert!(speeds[i] <= 0.5 + 1e-12, "planner picked a fast master");
+        }
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let c = HeteroCluster::new(vec![1.0, 2.0, 3.0], vec![0]).unwrap();
+        assert!((c.master_capacity() - 1.0).abs() < 1e-12);
+        assert!((c.slave_capacity() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! # msweb-queueing
+//!
+//! Analytic queueing models from Section 3 of *Scheduling Optimization for
+//! Resource-Intensive Web Requests on Server Clusters* (Zhu, Smith, Yang;
+//! SPAA 1999), plus the Theorem-1 planner the runtime scheduler consults.
+//!
+//! The cluster is modelled as a multi-class open queueing network with two
+//! Poisson request classes (static file fetches and dynamic/CGI requests)
+//! over `p` M/M/1 processor-sharing nodes. Three architectures are
+//! compared by *stretch factor* (mean response/demand ratio):
+//!
+//! * [`flat::FlatModel`] — every request dispatched uniformly at random;
+//! * [`ms::MsModel`] — `m` masters take all static plus a fraction `θ` of
+//!   dynamic work, `p − m` slaves take the rest;
+//! * [`msprime::MsPrimeModel`] — dynamic work pinned to `k` nodes while
+//!   static work spreads everywhere (the paper's dominated alternative).
+//!
+//! [`mmc`] adds the pooled M/M/c idealisation (what a least-loaded
+//! switch approximates) and the *pooling gain* over random splitting.
+//!
+//! [`theorem1::plan`] reproduces Theorem 1: the beats-flat interval
+//! `[θ1, θ2]`, the midpoint rule `θ_m`, and the numerical scan for the
+//! best master count `m`. [`fig3::figure3`] regenerates the paper's
+//! Figure 3 comparison grid, and [`hetero`] carries the analysis to
+//! non-uniform nodes (the paper's stated extension).
+//!
+//! This crate is pure math — no I/O, no randomness — so every function is
+//! exactly reproducible and cheap enough to run inside the scheduler's
+//! control loop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig3;
+pub mod flat;
+pub mod hetero;
+pub mod mmc;
+pub mod ms;
+pub mod msprime;
+pub mod params;
+pub mod theorem1;
+
+pub use fig3::{figure3, Fig3Config, Fig3Point};
+pub use flat::FlatModel;
+pub use hetero::{HeteroCluster, HeteroPoint};
+pub use mmc::{erlang_c, pooling_gain, PooledModel};
+pub use ms::{MsModel, MsPoint, ThetaInterval};
+pub use msprime::{MsPrimeModel, MsPrimePoint};
+pub use params::{ps_stretch, ModelError, Workload};
+pub use theorem1::{plan, reservation_bound, Plan, ThetaRule};

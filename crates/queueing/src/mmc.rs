@@ -1,0 +1,209 @@
+//! Pooled-cluster analysis: M/M/c queues and the price of partitioning.
+//!
+//! The paper's models dispatch each request to a *specific* node (random
+//! splitting), making every node an independent M/M/1. A load-balancing
+//! switch that routes each arrival to the least-loaded node approximates
+//! the opposite idealisation: the whole cluster behaves like one M/M/c
+//! queue with a shared waiting line. Classical queueing theory says the
+//! pooled system always waits less (resource pooling); this module makes
+//! that comparison available analytically, which is the theory behind the
+//! reproduction's finding that an idealised least-connections switch
+//! matches or beats the M/S scheme on raw stretch (see EXPERIMENTS.md).
+//!
+//! The paper's M/S design regains its edge on the axes pooling cannot
+//! help with: protecting a cheap request class from an expensive one on
+//! the *same node* (quantum-granularity interference is invisible to
+//! M/M/c), fail-over masking, and recruitment of non-dedicated nodes.
+
+use crate::params::{ModelError, Workload};
+
+/// Erlang-C: the probability an arrival must queue in an M/M/c system
+/// with offered load `a = λ/μ` Erlangs and `c` servers.
+///
+/// Computed via the numerically stable iterative form of the Erlang-B
+/// recursion followed by the B→C conversion.
+///
+/// ```
+/// // A single server reduces to M/M/1: P(wait) = utilisation.
+/// let p = msweb_queueing::erlang_c(1, 0.6).unwrap();
+/// assert!((p - 0.6).abs() < 1e-12);
+/// ```
+pub fn erlang_c(c: usize, a: f64) -> Result<f64, ModelError> {
+    if c == 0 {
+        return Err(ModelError::BadTopology("need at least one server".into()));
+    }
+    if !(a.is_finite() && a > 0.0) {
+        return Err(ModelError::BadRate("offered load"));
+    }
+    let rho = a / c as f64;
+    if rho >= 1.0 {
+        return Err(ModelError::Unstable {
+            utilisation: rho,
+            station: "M/M/c pool",
+        });
+    }
+    // Erlang-B recursion: B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1)).
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    // Erlang-C from Erlang-B.
+    Ok(b / (1.0 - rho * (1.0 - b)))
+}
+
+/// Mean waiting time (in units of one mean service time) in an M/M/c
+/// queue at offered load `a` Erlangs: `W_q · μ = C(c, a) / (c − a)`.
+pub fn mmc_wait_over_service(c: usize, a: f64) -> Result<f64, ModelError> {
+    let pc = erlang_c(c, a)?;
+    Ok(pc / (c as f64 - a))
+}
+
+/// Analytic results for a fully pooled cluster serving the paper's
+/// two-class workload: one shared queue, `p` servers, FCFS.
+///
+/// With a shared FCFS queue the *waiting* time is class-independent; the
+/// stretch of class `i` is `1 + W_q / d_i`. The wait is computed from the
+/// M/M/c model with the aggregate mean service time (an approximation:
+/// the true two-class service distribution is hyperexponential, which
+/// M/M/c understates somewhat — documented, and bounded by tests against
+/// simulation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PooledModel {
+    /// Mean queueing wait in seconds.
+    pub wait_s: f64,
+    /// Stretch of static requests.
+    pub stretch_static: f64,
+    /// Stretch of dynamic requests.
+    pub stretch_dynamic: f64,
+    /// Arrival-weighted overall stretch (the paper's metric).
+    pub stretch: f64,
+}
+
+impl PooledModel {
+    /// Evaluate the pooled idealisation for workload `w` on `p` servers.
+    pub fn evaluate(w: &Workload, p: usize) -> Result<PooledModel, ModelError> {
+        let lambda = w.lambda();
+        // Aggregate mean service time of the two-class mix.
+        let mean_service =
+            (w.lambda_h * w.demand_h() + w.lambda_c * w.demand_c()) / lambda;
+        let offered = lambda * mean_service;
+        let wait_units = mmc_wait_over_service(p, offered)?;
+        let wait_s = wait_units * mean_service;
+        let stretch_static = 1.0 + wait_s / w.demand_h();
+        let stretch_dynamic = 1.0 + wait_s / w.demand_c();
+        let stretch =
+            (w.lambda_h * stretch_static + w.lambda_c * stretch_dynamic) / lambda;
+        Ok(PooledModel {
+            wait_s,
+            stretch_static,
+            stretch_dynamic,
+            stretch,
+        })
+    }
+}
+
+/// The *pooling gain*: ratio of the flat (random-splitting, per-node
+/// M/M/1) overall stretch to the pooled (M/M/c) overall stretch for the
+/// same workload. Values above 1 quantify what an idealised
+/// least-loaded-routing switch can recover over DNS rotation.
+pub fn pooling_gain(w: &Workload, p: usize) -> Result<f64, ModelError> {
+    let flat = crate::flat::FlatModel::evaluate(w, p)?;
+    let pooled = PooledModel::evaluate(w, p)?;
+    Ok(flat.stretch / pooled.stretch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_c_single_server_reduces_to_mm1() {
+        // M/M/1: P(wait) = rho.
+        for rho in [0.1, 0.5, 0.9] {
+            let c = erlang_c(1, rho).unwrap();
+            assert!((c - rho).abs() < 1e-12, "rho={rho}: {c}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // Classic teletraffic example: c=10, a=7 Erlangs -> C ≈ 0.2217.
+        let c = erlang_c(10, 7.0).unwrap();
+        assert!((c - 0.2217).abs() < 5e-3, "C(10,7) = {c}");
+    }
+
+    #[test]
+    fn erlang_c_bounds_and_monotonicity() {
+        // In (0,1), increasing with load, decreasing with servers.
+        let mut last = 0.0;
+        for a in [1.0, 4.0, 8.0, 12.0, 15.0] {
+            let c = erlang_c(16, a).unwrap();
+            assert!((0.0..1.0).contains(&c));
+            assert!(c >= last);
+            last = c;
+        }
+        assert!(erlang_c(32, 8.0).unwrap() < erlang_c(16, 8.0).unwrap());
+    }
+
+    #[test]
+    fn erlang_c_rejects_overload() {
+        assert!(erlang_c(4, 4.0).is_err());
+        assert!(erlang_c(4, 5.0).is_err());
+        assert!(erlang_c(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mm1_wait_matches_closed_form() {
+        // M/M/1: Wq·mu = rho/(1-rho).
+        for rho in [0.2, 0.5, 0.8] {
+            let w = mmc_wait_over_service(1, rho).unwrap();
+            assert!((w - rho / (1.0 - rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pooling_always_beats_random_splitting() {
+        // Resource pooling: the M/M/c stretch never exceeds the per-node
+        // M/M/1 stretch of the flat model, for any stable workload.
+        for lambda in [200.0, 800.0, 2000.0] {
+            for a in [0.1, 0.4, 0.8] {
+                for inv_r in [20.0, 40.0, 80.0] {
+                    let Ok(w) = Workload::from_ratios(lambda, a, 1200.0, 1.0 / inv_r) else {
+                        continue;
+                    };
+                    if w.offered_load() / 32.0 >= 0.95 {
+                        continue;
+                    }
+                    let gain = pooling_gain(&w, 32).unwrap();
+                    assert!(
+                        gain >= 1.0 - 1e-9,
+                        "pooling lost at λ={lambda}, a={a}, 1/r={inv_r}: {gain}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_stretch_class_relationship() {
+        // Shared-queue FCFS: same absolute wait, so the *cheap* class has
+        // the larger stretch — the exact opposite of M/S's goal, and why
+        // pooling alone does not deliver the paper's static-promptness
+        // property.
+        let w = Workload::from_ratios(1000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap();
+        let pooled = PooledModel::evaluate(&w, 32).unwrap();
+        assert!(pooled.stretch_static > pooled.stretch_dynamic);
+        assert!(pooled.stretch >= 1.0);
+    }
+
+    #[test]
+    fn pooling_gain_grows_with_load_variability() {
+        // The gain is largest where random splitting hurts most: heavy
+        // dynamic load.
+        let light = Workload::from_ratios(500.0, 0.25, 1200.0, 1.0 / 40.0).unwrap();
+        let heavy = Workload::from_ratios(2000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap();
+        let g_light = pooling_gain(&light, 32).unwrap();
+        let g_heavy = pooling_gain(&heavy, 32).unwrap();
+        assert!(g_heavy > g_light, "{g_light} -> {g_heavy}");
+    }
+}

@@ -1,0 +1,406 @@
+//! The *master/slave* (M/S) cluster model (Figure 2a of the paper).
+//!
+//! `m` of the `p` nodes are masters. Every request first lands on a
+//! uniformly random master. Masters process **all** static requests
+//! locally, keep a fraction `θ` of the dynamic requests, and forward the
+//! remaining `1 − θ` to the `p − m` slaves (uniformly). Remote-execution
+//! overhead is neglected, matching the paper's measurement that it is
+//! "not only negligible but even smaller than standard local CGI
+//! execution".
+//!
+//! Station utilisations:
+//!
+//! ```text
+//! master: ρ_1(θ) = λ_h / (m μ_h) + θ λ_c / (m μ_c)
+//! slave:  ρ_2(θ) = (1 − θ) λ_c / ((p − m) μ_c)
+//! ```
+//!
+//! and the mixed stretch factor (paper Eq. 2):
+//!
+//! ```text
+//! S_M(θ) = [ (1 + aθ) S_1 + a (1 − θ) S_2 ] / (1 + a)
+//! ```
+//!
+//! The comparison `S_M ≤ S_F` clears (multiplying through by the positive
+//! quantities `1−ρ_1`, `1−ρ_2`, `1−ρ_F`) to a quadratic `Aθ² + Bθ + C ≤ 0`
+//! with `A > 0`, so M/S beats Flat exactly for `θ ∈ [θ1, θ2]`.
+//!
+//! One root has a closed form by load conservation: if the masters run at
+//! exactly the flat utilisation, the leftover dynamic work makes the
+//! slaves match it too, so both station stretches equal `S_F`
+//! simultaneously at
+//!
+//! ```text
+//! θ2 = (m/p) (1 + r/a) − r/a
+//! ```
+//!
+//! The other root follows from Vieta: `θ1 = −B/A − θ2`. The implementation
+//! recovers `A, B, C` exactly by evaluating the cleared polynomial at
+//! `θ ∈ {0, 1/2, 1}` (it *is* a quadratic, so three samples determine it),
+//! which sidesteps the error-prone symbolic expansion printed — badly — in
+//! the paper.
+
+use crate::flat::FlatModel;
+use crate::params::{ps_stretch, ModelError, Workload};
+
+/// Evaluation of the M/S model at a specific `(m, θ)` operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsPoint {
+    /// Master utilisation `ρ_1(θ)`.
+    pub rho_master: f64,
+    /// Slave utilisation `ρ_2(θ)`.
+    pub rho_slave: f64,
+    /// Stretch of static requests (all served at masters), `S_M,h`.
+    pub stretch_static: f64,
+    /// Stretch of dynamic requests served at masters, `S_M,c1` (= `S_M,h`).
+    pub stretch_dynamic_master: f64,
+    /// Stretch of dynamic requests served at slaves, `S_M,c2`.
+    pub stretch_dynamic_slave: f64,
+    /// Overall mixed stretch `S_M`.
+    pub stretch: f64,
+}
+
+/// The θ-interval on which M/S (with `m` masters) beats the flat model,
+/// together with the quadratic that defines it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaInterval {
+    /// Lower root `θ1` of `Aθ² + Bθ + C = 0`.
+    pub theta1: f64,
+    /// Upper root `θ2` (closed form `(m/p)(1 + r/a) − r/a`).
+    pub theta2: f64,
+    /// Quadratic coefficient `A` (positive for meaningful instances).
+    pub a_coef: f64,
+    /// Quadratic coefficient `B`.
+    pub b_coef: f64,
+    /// Quadratic coefficient `C`.
+    pub c_coef: f64,
+}
+
+impl ThetaInterval {
+    /// The paper's recommended operating point: the midpoint of the roots,
+    /// clamped at zero (`θ_m = max((θ1 + θ2)/2, 0)`).
+    pub fn theta_mid(&self) -> f64 {
+        ((self.theta1 + self.theta2) / 2.0).max(0.0)
+    }
+
+    /// True when some `θ ∈ [0, 1]` makes M/S at least as good as Flat.
+    pub fn feasible(&self) -> bool {
+        self.theta1 <= self.theta2 && self.theta2 >= 0.0 && self.theta1 <= 1.0
+    }
+}
+
+/// The M/S analytic model for a fixed master count `m`.
+#[derive(Debug, Clone, Copy)]
+pub struct MsModel {
+    workload: Workload,
+    /// Total cluster size.
+    pub p: usize,
+    /// Number of master nodes (`1 ≤ m < p`).
+    pub m: usize,
+}
+
+impl MsModel {
+    /// Construct, validating the topology (at least one master and one slave).
+    pub fn new(workload: Workload, p: usize, m: usize) -> Result<Self, ModelError> {
+        if p < 2 {
+            return Err(ModelError::BadTopology(format!(
+                "M/S needs at least 2 nodes, got p={p}"
+            )));
+        }
+        if m == 0 || m >= p {
+            return Err(ModelError::BadTopology(format!(
+                "master count must satisfy 1 <= m < p, got m={m}, p={p}"
+            )));
+        }
+        Ok(MsModel { workload, p, m })
+    }
+
+    /// The workload this model was built for.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Master utilisation at local-dynamic fraction `θ`.
+    #[inline]
+    pub fn rho_master(&self, theta: f64) -> f64 {
+        let w = &self.workload;
+        (w.lambda_h / w.mu_h + theta * w.lambda_c / w.mu_c) / self.m as f64
+    }
+
+    /// Slave utilisation at local-dynamic fraction `θ`.
+    #[inline]
+    pub fn rho_slave(&self, theta: f64) -> f64 {
+        let w = &self.workload;
+        (1.0 - theta) * w.lambda_c / w.mu_c / (self.p - self.m) as f64
+    }
+
+    /// Evaluate all stretch factors at `θ`. Errors if either station is
+    /// saturated there.
+    pub fn evaluate(&self, theta: f64) -> Result<MsPoint, ModelError> {
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(ModelError::BadTopology(format!(
+                "theta must lie in [0,1], got {theta}"
+            )));
+        }
+        let rho1 = self.rho_master(theta);
+        let rho2 = self.rho_slave(theta);
+        let s1 = ps_stretch(rho1).map_err(|_| ModelError::Unstable {
+            utilisation: rho1,
+            station: "master",
+        })?;
+        let s2 = ps_stretch(rho2).map_err(|_| ModelError::Unstable {
+            utilisation: rho2,
+            station: "slave",
+        })?;
+        let a = self.workload.a();
+        let stretch = ((1.0 + a * theta) * s1 + a * (1.0 - theta) * s2) / (1.0 + a);
+        Ok(MsPoint {
+            rho_master: rho1,
+            rho_slave: rho2,
+            stretch_static: s1,
+            stretch_dynamic_master: s1,
+            stretch_dynamic_slave: s2,
+            stretch,
+        })
+    }
+
+    /// The cleared comparison polynomial `g(θ)` with `S_M(θ) ≤ S_F ⟺
+    /// g(θ) ≤ 0` (valid wherever all three queues are stable):
+    ///
+    /// `g(θ) = (1+aθ)(1−ρ_2)(1−ρ_F) + a(1−θ)(1−ρ_1)(1−ρ_F) − (1+a)(1−ρ_1)(1−ρ_2)`
+    fn cleared_poly(&self, theta: f64, rho_f: f64) -> f64 {
+        let a = self.workload.a();
+        let rho1 = self.rho_master(theta);
+        let rho2 = self.rho_slave(theta);
+        (1.0 + a * theta) * (1.0 - rho2) * (1.0 - rho_f)
+            + a * (1.0 - theta) * (1.0 - rho1) * (1.0 - rho_f)
+            - (1.0 + a) * (1.0 - rho1) * (1.0 - rho2)
+    }
+
+    /// Compute the θ-interval `[θ1, θ2]` on which this M/S configuration
+    /// beats the flat model (Theorem 1's roots).
+    ///
+    /// Requires the flat model itself to be stable (otherwise "beating
+    /// flat" is vacuous — any stable M/S point wins; callers handle that
+    /// case via [`crate::theorem1`]).
+    pub fn theta_interval(&self) -> Result<ThetaInterval, ModelError> {
+        let flat = FlatModel::evaluate(&self.workload, self.p)?;
+        let rho_f = flat.utilisation;
+
+        // Exact coefficient recovery from three evaluations of the quadratic.
+        let g0 = self.cleared_poly(0.0, rho_f);
+        let g1 = self.cleared_poly(1.0, rho_f);
+        let gh = self.cleared_poly(0.5, rho_f);
+        let c = g0;
+        let a_coef = 2.0 * g1 + 2.0 * g0 - 4.0 * gh;
+        let b_coef = g1 - a_coef - c;
+
+        let w = &self.workload;
+        let ratio = w.r() / w.a();
+        // Load-conservation root: masters and slaves both hit ρ_F here.
+        let theta2 = (self.m as f64 / self.p as f64) * (1.0 + ratio) - ratio;
+
+        let theta1 = if a_coef.abs() > 1e-12 {
+            -b_coef / a_coef - theta2
+        } else {
+            // Degenerate quadratic (a ~ 0): fall back to the single linear root.
+            if b_coef.abs() > 1e-12 {
+                -c / b_coef
+            } else {
+                theta2
+            }
+        };
+        let (theta1, theta2) = if theta1 <= theta2 {
+            (theta1, theta2)
+        } else {
+            (theta2, theta1)
+        };
+        Ok(ThetaInterval {
+            theta1,
+            theta2,
+            a_coef,
+            b_coef,
+            c_coef: c,
+        })
+    }
+
+    /// Numerically minimise `S_M(θ)` over the stable subset of `[lo, hi]`
+    /// by golden-section search. Used for the ablation comparing the
+    /// paper's midpoint heuristic against the true optimum.
+    pub fn theta_opt_numeric(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
+        let lo = lo.max(0.0);
+        let hi = hi.min(1.0);
+        if lo > hi {
+            return None;
+        }
+        let f = |t: f64| self.evaluate(t).map(|p| p.stretch).unwrap_or(f64::INFINITY);
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        let (mut a, mut b) = (lo, hi);
+        let mut x1 = b - phi * (b - a);
+        let mut x2 = a + phi * (b - a);
+        let (mut f1, mut f2) = (f(x1), f(x2));
+        for _ in 0..80 {
+            if f1 < f2 {
+                b = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = b - phi * (b - a);
+                f1 = f(x1);
+            } else {
+                a = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = a + phi * (b - a);
+                f2 = f(x2);
+            }
+        }
+        let t = (a + b) / 2.0;
+        let s = f(t);
+        if s.is_finite() {
+            Some((t, s))
+        } else {
+            None
+        }
+    }
+
+    /// Minimum masters for θ2 ≥ 0 (Theorem 1's side condition):
+    /// `m ≥ p·r / (a + r)`.
+    pub fn min_masters_for_feasibility(w: &Workload, p: usize) -> usize {
+        let frac = p as f64 * w.r() / (w.a() + w.r());
+        (frac.ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> Workload {
+        Workload::from_ratios(1000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap()
+    }
+
+    #[test]
+    fn topology_validation() {
+        assert!(MsModel::new(w(), 1, 1).is_err());
+        assert!(MsModel::new(w(), 8, 0).is_err());
+        assert!(MsModel::new(w(), 8, 8).is_err());
+        assert!(MsModel::new(w(), 8, 7).is_ok());
+    }
+
+    #[test]
+    fn utilisation_formulas() {
+        let m = MsModel::new(w(), 32, 8).unwrap();
+        // theta = 0: masters carry only static load.
+        assert!((m.rho_master(0.0) - 800.0 / (8.0 * 1200.0)).abs() < 1e-12);
+        // theta = 1: slaves idle.
+        assert!((m.rho_slave(1.0) - 0.0).abs() < 1e-12);
+        // theta = 0: slaves carry all dynamic load.
+        assert!((m.rho_slave(0.0) - 200.0 / (24.0 * 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta2_closed_form_zeroes_the_quadratic() {
+        for m_count in [4, 6, 8, 12, 16] {
+            let model = MsModel::new(w(), 32, m_count).unwrap();
+            let iv = model.theta_interval().unwrap();
+            let g = |t: f64| {
+                iv.a_coef * t * t + iv.b_coef * t + iv.c_coef
+            };
+            // Both roots satisfy the quadratic.
+            assert!(
+                g(iv.theta2).abs() < 1e-6,
+                "g(theta2)={} for m={m_count}",
+                g(iv.theta2)
+            );
+            assert!(
+                g(iv.theta1).abs() < 1e-6,
+                "g(theta1)={} for m={m_count}",
+                g(iv.theta1)
+            );
+        }
+    }
+
+    #[test]
+    fn at_theta2_both_stations_match_flat_utilisation() {
+        let model = MsModel::new(w(), 32, 8).unwrap();
+        let iv = model.theta_interval().unwrap();
+        let flat = FlatModel::evaluate(&w(), 32).unwrap();
+        assert!((model.rho_master(iv.theta2) - flat.utilisation).abs() < 1e-9);
+        assert!((model.rho_slave(iv.theta2) - flat.utilisation).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inside_interval_ms_beats_flat() {
+        let model = MsModel::new(w(), 32, 8).unwrap();
+        let iv = model.theta_interval().unwrap();
+        let flat = FlatModel::evaluate(&w(), 32).unwrap();
+        assert!(iv.feasible());
+        let mid = iv.theta_mid();
+        let sm = model.evaluate(mid).unwrap().stretch;
+        assert!(
+            sm <= flat.stretch + 1e-9,
+            "S_M({mid}) = {sm} should not exceed S_F = {}",
+            flat.stretch
+        );
+        // And strictly outside (above theta2, clamped to [0,1]) it loses.
+        let above = (iv.theta2 + 0.08).min(1.0);
+        if above > iv.theta2 {
+            if let Ok(pt) = model.evaluate(above) {
+                assert!(pt.stretch >= flat.stretch - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_clamps_at_zero() {
+        let iv = ThetaInterval {
+            theta1: -0.6,
+            theta2: 0.2,
+            a_coef: 1.0,
+            b_coef: 0.0,
+            c_coef: 0.0,
+        };
+        assert_eq!(iv.theta_mid(), 0.0);
+    }
+
+    #[test]
+    fn numeric_optimum_is_no_worse_than_midpoint() {
+        let model = MsModel::new(w(), 32, 8).unwrap();
+        let iv = model.theta_interval().unwrap();
+        let mid = iv.theta_mid();
+        let s_mid = model.evaluate(mid).unwrap().stretch;
+        let (_, s_opt) = model
+            .theta_opt_numeric(iv.theta1.max(0.0), iv.theta2.min(1.0))
+            .unwrap();
+        assert!(s_opt <= s_mid + 1e-9, "numeric {s_opt} vs midpoint {s_mid}");
+    }
+
+    #[test]
+    fn min_masters_condition_matches_theta2_sign() {
+        let wl = w();
+        let p = 32;
+        let m_min = MsModel::min_masters_for_feasibility(&wl, p);
+        if m_min > 1 {
+            let below = MsModel::new(wl, p, m_min - 1).unwrap();
+            assert!(below.theta_interval().unwrap().theta2 < 0.0);
+        }
+        let at = MsModel::new(wl, p, m_min).unwrap();
+        assert!(at.theta_interval().unwrap().theta2 >= -1e-12);
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_theta() {
+        let model = MsModel::new(w(), 32, 8).unwrap();
+        assert!(model.evaluate(-0.1).is_err());
+        assert!(model.evaluate(1.1).is_err());
+    }
+
+    #[test]
+    fn master_overload_detected() {
+        // One master cannot hold 800 req/s of static work at mu_h=1200
+        // once theta pushes dynamic load on it too.
+        let model = MsModel::new(w(), 32, 1).unwrap();
+        let err = model.evaluate(1.0).unwrap_err();
+        assert!(matches!(err, ModelError::Unstable { station: "master", .. }));
+    }
+}

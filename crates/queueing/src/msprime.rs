@@ -1,0 +1,197 @@
+//! The *M/S′* alternative model (Section 3's strawman).
+//!
+//! M/S′ dedicates `k` nodes to dynamic-content processing but spreads
+//! static requests across **all** `p` nodes. (Contrast with M/S proper,
+//! where static requests are confined to the `m` masters and dynamic work
+//! spills between levels under θ.) The paper shows M/S′ also beats the
+//! flat model but is dominated by M/S — reproduced in Figure 3(b).
+//!
+//! Station utilisations:
+//!
+//! ```text
+//! dynamic node: ρ_d = λ_h/(p μ_h) + λ_c/(k μ_c)
+//! pure node:    ρ_s = λ_h/(p μ_h)
+//! ```
+
+use crate::params::{ps_stretch, ModelError, Workload};
+
+/// Evaluation of M/S′ at a specific dynamic-node count `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsPrimePoint {
+    /// Number of nodes that also run dynamic requests.
+    pub k: usize,
+    /// Utilisation of a dynamic node.
+    pub rho_dynamic: f64,
+    /// Utilisation of a static-only node.
+    pub rho_static: f64,
+    /// Overall mixed stretch factor.
+    pub stretch: f64,
+}
+
+/// The M/S′ analytic model.
+#[derive(Debug, Clone, Copy)]
+pub struct MsPrimeModel {
+    workload: Workload,
+    /// Total cluster size.
+    pub p: usize,
+}
+
+impl MsPrimeModel {
+    /// Construct for `p ≥ 2` nodes.
+    pub fn new(workload: Workload, p: usize) -> Result<Self, ModelError> {
+        if p < 2 {
+            return Err(ModelError::BadTopology(format!(
+                "M/S' needs at least 2 nodes, got p={p}"
+            )));
+        }
+        Ok(MsPrimeModel { workload, p })
+    }
+
+    /// Evaluate the model with `k` dynamic nodes (`1 ≤ k ≤ p`).
+    pub fn evaluate(&self, k: usize) -> Result<MsPrimePoint, ModelError> {
+        if k == 0 || k > self.p {
+            return Err(ModelError::BadTopology(format!(
+                "dynamic node count must satisfy 1 <= k <= p, got k={k}, p={}",
+                self.p
+            )));
+        }
+        let w = &self.workload;
+        let p = self.p as f64;
+        let rho_static = w.lambda_h / (p * w.mu_h);
+        let rho_dynamic = rho_static + w.lambda_c / (k as f64 * w.mu_c);
+        let s_stat = ps_stretch(rho_static).map_err(|_| ModelError::Unstable {
+            utilisation: rho_static,
+            station: "static node",
+        })?;
+        let s_dyn = ps_stretch(rho_dynamic).map_err(|_| ModelError::Unstable {
+            utilisation: rho_dynamic,
+            station: "dynamic node",
+        })?;
+        // Static requests land uniformly: k/p of them share a node with
+        // dynamic work, the rest run on pure static nodes.
+        let k_frac = k as f64 / p;
+        let s_h = k_frac * s_dyn + (1.0 - k_frac) * s_stat;
+        let stretch =
+            (w.lambda_h * s_h + w.lambda_c * s_dyn) / w.lambda();
+        Ok(MsPrimePoint {
+            k,
+            rho_dynamic,
+            rho_static,
+            stretch,
+        })
+    }
+
+    /// The best `k` (smallest stretch) by exhaustive scan, mirroring the
+    /// paper's numerical optimisation. Returns `None` when no `k` is stable.
+    ///
+    /// Note an analytic fact the paper glosses over: under the exact
+    /// M/M/1-PS model this family is *dominated by flat* — concentrating
+    /// dynamic work while statics still visit the hot nodes only unbalances
+    /// the flat assignment, so the unconstrained optimum is `k = p`, which
+    /// coincides with flat exactly. The "a few nodes" premise only bites
+    /// when `k` is capped; see [`MsPrimeModel::optimal_few`].
+    pub fn optimal(&self) -> Option<MsPrimePoint> {
+        self.optimal_few(self.p)
+    }
+
+    /// The best `k ≤ cap` — the paper's "fix the assignment of dynamic
+    /// content requests to a few nodes" with "a few" made explicit.
+    pub fn optimal_few(&self, cap: usize) -> Option<MsPrimePoint> {
+        (1..=cap.min(self.p))
+            .filter_map(|k| self.evaluate(k).ok())
+            .min_by(|a, b| a.stretch.partial_cmp(&b.stretch).expect("NaN stretch"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatModel;
+
+    fn w() -> Workload {
+        Workload::from_ratios(1000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap()
+    }
+
+    #[test]
+    fn utilisation_formulas() {
+        let model = MsPrimeModel::new(w(), 32).unwrap();
+        let pt = model.evaluate(16).unwrap();
+        assert!((pt.rho_static - 800.0 / (32.0 * 1200.0)).abs() < 1e-12);
+        assert!((pt.rho_dynamic - (pt.rho_static + 200.0 / (16.0 * 30.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_bounds_checked() {
+        let model = MsPrimeModel::new(w(), 32).unwrap();
+        assert!(model.evaluate(0).is_err());
+        assert!(model.evaluate(33).is_err());
+        assert!(model.evaluate(32).is_ok());
+    }
+
+    #[test]
+    fn too_few_dynamic_nodes_overload() {
+        let model = MsPrimeModel::new(w(), 32).unwrap();
+        // 200/30 = 6.67 Erlangs of dynamic work needs at least 7 nodes.
+        assert!(model.evaluate(6).is_err());
+        assert!(model.evaluate(7).is_ok());
+    }
+
+    #[test]
+    fn optimal_beats_flat() {
+        let wl = w();
+        let model = MsPrimeModel::new(wl, 32).unwrap();
+        let best = model.optimal().expect("feasible");
+        let flat = FlatModel::evaluate(&wl, 32).unwrap();
+        assert!(
+            best.stretch <= flat.stretch + 1e-9,
+            "M/S' {} vs flat {}",
+            best.stretch,
+            flat.stretch
+        );
+    }
+
+    #[test]
+    fn optimal_is_global_minimum() {
+        let model = MsPrimeModel::new(w(), 32).unwrap();
+        let best = model.optimal().unwrap();
+        for k in 1..=32 {
+            if let Ok(pt) = model.evaluate(k) {
+                assert!(best.stretch <= pt.stretch + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_optimum_collapses_to_flat() {
+        // The domination fact documented on `optimal`: the best k is p and
+        // the stretch there equals the flat stretch.
+        let wl = w();
+        let model = MsPrimeModel::new(wl, 32).unwrap();
+        let best = model.optimal().unwrap();
+        assert_eq!(best.k, 32);
+        let flat = FlatModel::evaluate(&wl, 32).unwrap();
+        assert!((best.stretch - flat.stretch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_optimum_respects_cap_and_is_worse() {
+        let model = MsPrimeModel::new(w(), 32).unwrap();
+        let few = model.optimal_few(16).unwrap();
+        assert!(few.k <= 16);
+        let free = model.optimal().unwrap();
+        assert!(few.stretch >= free.stretch - 1e-12);
+    }
+
+    #[test]
+    fn k_equals_p_is_not_flat() {
+        // Even with k = p, M/S' differs from flat: dynamic work is spread
+        // over all nodes *in addition to* the uniform static load, which is
+        // exactly the flat utilisation — so stretches coincide only there.
+        let wl = w();
+        let model = MsPrimeModel::new(wl, 32).unwrap();
+        let pt = model.evaluate(32).unwrap();
+        let flat = FlatModel::evaluate(&wl, 32).unwrap();
+        assert!((pt.rho_dynamic - flat.utilisation).abs() < 1e-12);
+        assert!((pt.stretch - flat.stretch).abs() < 1e-9);
+    }
+}

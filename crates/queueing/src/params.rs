@@ -1,0 +1,214 @@
+//! Workload and cluster parameters for the Section 3 analytic models.
+//!
+//! The paper describes the cluster as a multi-class open queueing network
+//! with two Poisson customer classes — *static* (`h`, plain file fetches)
+//! and *dynamic* (`c`, CGI-style content generation) — served by `p`
+//! homogeneous nodes, each behaving as an M/M/1 processor-sharing queue.
+//!
+//! Derived quantities follow the paper's notation:
+//! `a = λ_c / λ_h` (arrival-rate ratio) and `r = μ_c / μ_h`
+//! (service-rate ratio; `r ≪ 1` because dynamic requests are far more
+//! expensive than static ones).
+
+/// Arrival and service rates for the two request classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Mean arrival rate of static requests, requests/second (`λ_h`).
+    pub lambda_h: f64,
+    /// Mean arrival rate of dynamic-content requests, requests/second (`λ_c`).
+    pub lambda_c: f64,
+    /// Mean service rate of static requests on one node, requests/second (`μ_h`).
+    pub mu_h: f64,
+    /// Mean service rate of dynamic requests on one node, requests/second (`μ_c`).
+    pub mu_c: f64,
+}
+
+/// Errors from invalid model parameterisations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A rate was zero, negative, or non-finite.
+    BadRate(&'static str),
+    /// The cluster size or master count is out of range.
+    BadTopology(String),
+    /// The offered load exceeds the cluster capacity (utilisation ≥ 1).
+    Unstable {
+        /// Offered per-node utilisation that violated stability.
+        utilisation: f64,
+        /// Which queue was overloaded.
+        station: &'static str,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadRate(what) => write!(f, "invalid rate: {what}"),
+            ModelError::BadTopology(msg) => write!(f, "invalid topology: {msg}"),
+            ModelError::Unstable {
+                utilisation,
+                station,
+            } => write!(f, "{station} queue unstable (utilisation {utilisation:.4} >= 1)"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl Workload {
+    /// Construct and validate a workload.
+    pub fn new(lambda_h: f64, lambda_c: f64, mu_h: f64, mu_c: f64) -> Result<Self, ModelError> {
+        let w = Workload {
+            lambda_h,
+            lambda_c,
+            mu_h,
+            mu_c,
+        };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Build from the paper's aggregate parameterisation: total arrival
+    /// rate `λ`, arrival ratio `a = λ_c/λ_h`, static service rate `μ_h`,
+    /// and service ratio `r = μ_c/μ_h`.
+    pub fn from_ratios(lambda: f64, a: f64, mu_h: f64, r: f64) -> Result<Self, ModelError> {
+        if a.is_nan() || a <= 0.0 || a.is_infinite() {
+            return Err(ModelError::BadRate("arrival ratio a"));
+        }
+        if r.is_nan() || r <= 0.0 || r.is_infinite() {
+            return Err(ModelError::BadRate("service ratio r"));
+        }
+        let lambda_h = lambda / (1.0 + a);
+        let lambda_c = lambda - lambda_h;
+        Workload::new(lambda_h, lambda_c, mu_h, mu_h * r)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        for (v, name) in [
+            (self.lambda_h, "lambda_h"),
+            (self.lambda_c, "lambda_c"),
+            (self.mu_h, "mu_h"),
+            (self.mu_c, "mu_c"),
+        ] {
+            if v.is_nan() || v <= 0.0 || v.is_infinite() {
+                return Err(ModelError::BadRate(name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total arrival rate `λ = λ_h + λ_c`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda_h + self.lambda_c
+    }
+
+    /// Arrival-rate ratio `a = λ_c / λ_h`.
+    #[inline]
+    pub fn a(&self) -> f64 {
+        self.lambda_c / self.lambda_h
+    }
+
+    /// Service-rate ratio `r = μ_c / μ_h` (≪ 1 for CGI-heavy sites).
+    #[inline]
+    pub fn r(&self) -> f64 {
+        self.mu_c / self.mu_h
+    }
+
+    /// Mean static service demand in seconds (`1/μ_h`).
+    #[inline]
+    pub fn demand_h(&self) -> f64 {
+        1.0 / self.mu_h
+    }
+
+    /// Mean dynamic service demand in seconds (`1/μ_c`).
+    #[inline]
+    pub fn demand_c(&self) -> f64 {
+        1.0 / self.mu_c
+    }
+
+    /// Total offered work per second (Erlangs): `λ_h/μ_h + λ_c/μ_c`.
+    /// Dividing by `p` gives the per-node utilisation of a balanced cluster.
+    #[inline]
+    pub fn offered_load(&self) -> f64 {
+        self.lambda_h / self.mu_h + self.lambda_c / self.mu_c
+    }
+}
+
+/// Per-node stretch factor of an M/M/1 processor-sharing queue at
+/// utilisation `rho`: `1 / (1 - rho)`.
+///
+/// Under processor sharing the conditional mean response time of a job
+/// with demand `d` is `d / (1 - ρ)`, so the stretch is demand-independent —
+/// the property that lets the paper average stretch across classes by
+/// arrival-rate weights alone.
+#[inline]
+pub fn ps_stretch(rho: f64) -> Result<f64, ModelError> {
+    if rho >= 1.0 {
+        return Err(ModelError::Unstable {
+            utilisation: rho,
+            station: "node",
+        });
+    }
+    if rho < 0.0 {
+        return Err(ModelError::BadRate("negative utilisation"));
+    }
+    Ok(1.0 / (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_roundtrip() {
+        let w = Workload::from_ratios(1000.0, 0.25, 1200.0, 1.0 / 40.0).unwrap();
+        assert!((w.lambda() - 1000.0).abs() < 1e-9);
+        assert!((w.a() - 0.25).abs() < 1e-12);
+        assert!((w.r() - 0.025).abs() < 1e-12);
+        assert!((w.lambda_h - 800.0).abs() < 1e-9);
+        assert!((w.lambda_c - 200.0).abs() < 1e-9);
+        assert!((w.mu_c - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Workload::new(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(Workload::new(1.0, -1.0, 1.0, 1.0).is_err());
+        assert!(Workload::new(1.0, 1.0, f64::NAN, 1.0).is_err());
+        assert!(Workload::from_ratios(100.0, 0.0, 10.0, 0.1).is_err());
+        assert!(Workload::from_ratios(100.0, 1.0, 10.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn offered_load_erlangs() {
+        let w = Workload::new(100.0, 10.0, 100.0, 10.0).unwrap();
+        // 100/100 + 10/10 = 2 node-equivalents of work.
+        assert!((w.offered_load() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ps_stretch_values() {
+        assert!((ps_stretch(0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((ps_stretch(0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert!((ps_stretch(0.9).unwrap() - 10.0).abs() < 1e-9);
+        assert!(ps_stretch(1.0).is_err());
+        assert!(ps_stretch(1.5).is_err());
+        assert!(ps_stretch(-0.1).is_err());
+    }
+
+    #[test]
+    fn demands_are_reciprocal_rates() {
+        let w = Workload::new(1.0, 1.0, 1200.0, 30.0).unwrap();
+        assert!((w.demand_h() - 1.0 / 1200.0).abs() < 1e-15);
+        assert!((w.demand_c() - 1.0 / 30.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::Unstable {
+            utilisation: 1.25,
+            station: "master",
+        };
+        assert!(format!("{e}").contains("1.25"));
+    }
+}

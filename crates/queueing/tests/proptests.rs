@@ -1,0 +1,152 @@
+//! Property-based tests for the Section 3 analytic models.
+//!
+//! The central invariant is Theorem 1 itself: for any stable random
+//! parameterisation, every θ strictly inside `(θ1, θ2) ∩ [0, 1]` makes the
+//! master/slave stretch no worse than the flat stretch, and every θ
+//! strictly outside makes it no better.
+
+use msweb_queueing::{
+    plan, reservation_bound, FlatModel, MsModel, MsPrimeModel, ThetaRule, Workload,
+};
+use proptest::prelude::*;
+
+/// Random workloads that keep a 32-node flat cluster comfortably stable.
+fn stable_workload() -> impl Strategy<Value = Workload> {
+    (
+        100.0f64..3000.0,  // lambda
+        0.05f64..0.9,      // a
+        0.002f64..0.2,     // r
+    )
+        .prop_filter_map("cluster must be stable", |(lambda, a, r)| {
+            let w = Workload::from_ratios(lambda, a, 1200.0, r).ok()?;
+            (w.offered_load() / 32.0 < 0.92).then_some(w)
+        })
+}
+
+proptest! {
+    /// Flat stretch is always >= 1 and increases with load.
+    #[test]
+    fn flat_stretch_at_least_one(w in stable_workload()) {
+        let f = FlatModel::evaluate(&w, 32).unwrap();
+        prop_assert!(f.stretch >= 1.0);
+        prop_assert!(f.utilisation < 1.0);
+    }
+
+    /// Theorem 1 interval: theta1 <= theta2, and the quadratic evaluates
+    /// to ~0 at both roots.
+    #[test]
+    fn interval_roots_are_roots(w in stable_workload(), m in 1usize..31) {
+        let model = MsModel::new(w, 32, m).unwrap();
+        let iv = model.theta_interval().unwrap();
+        prop_assert!(iv.theta1 <= iv.theta2 + 1e-9);
+        let g = |t: f64| iv.a_coef * t * t + iv.b_coef * t + iv.c_coef;
+        // Scale tolerance with the coefficient magnitude.
+        let scale = iv.a_coef.abs().max(iv.b_coef.abs()).max(iv.c_coef.abs()).max(1e-12);
+        prop_assert!(g(iv.theta1).abs() / scale < 1e-6, "g(theta1)={}", g(iv.theta1));
+        prop_assert!(g(iv.theta2).abs() / scale < 1e-6, "g(theta2)={}", g(iv.theta2));
+    }
+
+    /// Inside the feasible interval M/S beats (or ties) flat; outside it
+    /// loses (or ties). This is the statement of Theorem 1.
+    #[test]
+    fn theorem1_inside_wins_outside_loses(
+        w in stable_workload(),
+        m in 1usize..31,
+        frac in 0.05f64..0.95,
+    ) {
+        let model = MsModel::new(w, 32, m).unwrap();
+        let iv = model.theta_interval().unwrap();
+        let flat = FlatModel::evaluate(&w, 32).unwrap();
+
+        // A point strictly inside the interval, clamped to [0, 1].
+        let inside = iv.theta1 + frac * (iv.theta2 - iv.theta1);
+        if (0.0..=1.0).contains(&inside) {
+            if let Ok(pt) = model.evaluate(inside) {
+                prop_assert!(
+                    pt.stretch <= flat.stretch + 1e-7 * flat.stretch,
+                    "inside theta={inside}: S_M={} > S_F={}",
+                    pt.stretch,
+                    flat.stretch
+                );
+            }
+        }
+
+        // A point strictly above theta2.
+        let above = iv.theta2 + 0.05;
+        if (0.0..=1.0).contains(&above) {
+            if let Ok(pt) = model.evaluate(above) {
+                prop_assert!(
+                    pt.stretch >= flat.stretch - 1e-7 * flat.stretch,
+                    "above theta2={}: S_M={} < S_F={}",
+                    iv.theta2,
+                    pt.stretch,
+                    flat.stretch
+                );
+            }
+        }
+
+        // A point strictly below theta1.
+        let below = iv.theta1 - 0.05;
+        if (0.0..=1.0).contains(&below) {
+            if let Ok(pt) = model.evaluate(below) {
+                prop_assert!(
+                    pt.stretch >= flat.stretch - 1e-7 * flat.stretch,
+                    "below theta1={}: S_M={} < S_F={}",
+                    iv.theta1,
+                    pt.stretch,
+                    flat.stretch
+                );
+            }
+        }
+    }
+
+    /// The planner's configuration is stable and no worse than flat
+    /// whenever flat itself is stable.
+    #[test]
+    fn planner_never_loses_to_flat(w in stable_workload()) {
+        let p = plan(&w, 32, ThetaRule::Midpoint).unwrap();
+        let flat = FlatModel::evaluate(&w, 32).unwrap();
+        prop_assert!(p.stretch_ms <= flat.stretch + 1e-9 * flat.stretch);
+        prop_assert!(p.stretch_ms >= 1.0);
+    }
+
+    /// The reservation bound is within [0,1] and monotone in m.
+    #[test]
+    fn reservation_bound_properties(
+        a in 0.01f64..2.0,
+        r in 0.001f64..0.5,
+        p in 2usize..200,
+    ) {
+        let mut last = -1.0f64;
+        for m in 1..=p {
+            let b = reservation_bound(m, p, a, r);
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(b >= last - 1e-12);
+            last = b;
+        }
+        prop_assert!((reservation_bound(p, p, a, r) - 1.0).abs() < 1e-9);
+    }
+
+    /// M/S' stretch is minimised at k = p (the domination fact) for any
+    /// stable workload.
+    #[test]
+    fn msprime_unconstrained_optimum_is_flat(w in stable_workload()) {
+        let model = MsPrimeModel::new(w, 32).unwrap();
+        let best = model.optimal().unwrap();
+        prop_assert_eq!(best.k, 32);
+        let flat = FlatModel::evaluate(&w, 32).unwrap();
+        prop_assert!((best.stretch - flat.stretch).abs() < 1e-7 * flat.stretch);
+    }
+
+    /// Mixed stretch is a convex combination of station stretches: it lies
+    /// between the smallest and largest of them.
+    #[test]
+    fn ms_stretch_between_stations(w in stable_workload(), m in 1usize..31, theta in 0.0f64..1.0) {
+        let model = MsModel::new(w, 32, m).unwrap();
+        if let Ok(pt) = model.evaluate(theta) {
+            let lo = pt.stretch_static.min(pt.stretch_dynamic_slave);
+            let hi = pt.stretch_static.max(pt.stretch_dynamic_slave);
+            prop_assert!(pt.stretch >= lo - 1e-9 && pt.stretch <= hi + 1e-9);
+        }
+    }
+}

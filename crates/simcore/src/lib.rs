@@ -1,0 +1,37 @@
+//! # msweb-simcore
+//!
+//! Discrete-event simulation core shared by the `msweb` workspace — the
+//! reproduction of *Scheduling Optimization for Resource-Intensive Web
+//! Requests on Server Clusters* (Zhu, Smith, Yang; SPAA 1999).
+//!
+//! This crate is deliberately application-agnostic. It provides:
+//!
+//! * [`time`] — integer-microsecond simulation clocks ([`SimTime`],
+//!   [`SimDuration`]);
+//! * [`event`] — a stable FIFO-tie-breaking event queue with cancellation
+//!   ([`EventQueue`]);
+//! * [`rng`] — a deterministic, splittable xoshiro256++ generator
+//!   ([`SimRng`]);
+//! * [`dist`] — the distributions the workload and OS models draw from;
+//! * [`stats`] — Welford statistics, exact quantiles, time-weighted
+//!   integrals, and the paper's stretch-factor accumulator.
+//!
+//! Everything is deterministic given a seed: the same configuration always
+//! produces the same simulated history, which the cross-crate integration
+//! tests depend on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{BoundedPareto, Constant, Dist, Distribution, Empirical, Exponential, LogNormal,
+               ShiftedExponential, Uniform};
+pub use event::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use stats::{OnlineStats, Quantiles, StretchAccumulator, TimeWeighted};
+pub use time::{SimDuration, SimTime};

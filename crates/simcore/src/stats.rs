@@ -1,0 +1,390 @@
+//! Online statistics used by every metrics collector in the workspace.
+//!
+//! [`OnlineStats`] is a Welford accumulator (numerically stable mean and
+//! variance in one pass). [`Quantiles`] keeps raw samples for exact
+//! percentiles — request counts per experiment are bounded (hundreds of
+//! thousands), so exactness is affordable and avoids the bias of streaming
+//! sketches. [`TimeWeighted`] integrates a step function over time, which
+//! is how node utilisation and queue lengths are averaged.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact quantiles over retained samples.
+#[derive(Debug, Clone, Default)]
+pub struct Quantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Quantiles {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Quantiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of retained samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) using nearest-rank interpolation.
+    /// Returns 0 when empty so report code needn't special-case.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Integrates a piecewise-constant signal over simulated time, yielding its
+/// time-weighted average — e.g. mean queue length or mean utilisation.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    started: Option<SimTime>,
+}
+
+impl TimeWeighted {
+    /// Start integrating at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            last_v: v0,
+            integral: 0.0,
+            started: Some(t0),
+        }
+    }
+
+    /// Record that the signal changed to `v` at time `t` (t must not go
+    /// backwards; equal timestamps are fine and contribute zero width).
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t, "time went backwards in TimeWeighted");
+        let dt = t.since(self.last_t).as_secs_f64();
+        self.integral += self.last_v * dt;
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// The time-weighted mean over `[t0, t]`, closing the current segment
+    /// at `t` without mutating state.
+    pub fn mean_until(&self, t: SimTime) -> f64 {
+        let t0 = self.started.expect("TimeWeighted not started");
+        let span = t.since(t0).as_secs_f64();
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        let closing = self.last_v * t.since(self.last_t).as_secs_f64();
+        (self.integral + closing) / span
+    }
+
+    /// Current value of the signal.
+    pub fn value(&self) -> f64 {
+        self.last_v
+    }
+}
+
+/// A ratio-of-sums accumulator for the paper's *stretch factor*:
+/// `(1/n) * Σ (response_i / demand_i)`.
+///
+/// The stretch factor is the paper's primary metric (Section 2): the mean,
+/// over requests, of response time divided by service demand. A stretch of
+/// 1.0 means no queueing delay at all.
+#[derive(Debug, Clone, Default)]
+pub struct StretchAccumulator {
+    stats: OnlineStats,
+}
+
+impl StretchAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed request.
+    ///
+    /// `response` is the server-site response time (arrival to completion),
+    /// `demand` the contention-free service demand. Zero demands are
+    /// clamped to one microsecond to keep the ratio finite; the workload
+    /// generators never emit zero demands, so the clamp is purely defensive.
+    pub fn record(&mut self, response: SimDuration, demand: SimDuration) {
+        let d = demand.as_secs_f64().max(1e-6);
+        self.stats.push(response.as_secs_f64() / d);
+    }
+
+    /// Mean stretch factor (0 when no requests recorded).
+    pub fn stretch(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Number of requests recorded.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Max observed per-request stretch.
+    pub fn max(&self) -> f64 {
+        if self.stats.count() == 0 {
+            0.0
+        } else {
+            self.stats.max()
+        }
+    }
+
+    /// Merge another accumulator (e.g. per-class partials).
+    pub fn merge(&mut self, other: &StretchAccumulator) {
+        self.stats.merge(&other.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+    }
+
+    #[test]
+    fn quantiles_exact() {
+        let mut q = Quantiles::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            q.push(x);
+        }
+        assert_eq!(q.median(), 3.0);
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(1.0), 5.0);
+        assert_eq!(q.quantile(0.25), 2.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut q = Quantiles::new();
+        q.push(0.0);
+        q.push(10.0);
+        assert!((q.quantile(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_tolerate_unsorted_pushes_between_queries() {
+        let mut q = Quantiles::new();
+        q.push(5.0);
+        assert_eq!(q.median(), 5.0);
+        q.push(1.0);
+        q.push(9.0);
+        assert_eq!(q.median(), 5.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_secs(1), 1.0); // 0 for 1s
+        tw.update(SimTime::from_secs(3), 0.0); // 1 for 2s
+        let mean = tw.mean_until(SimTime::from_secs(4)); // 0 for 1s
+        assert!((mean - 0.5).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(SimTime::from_secs(1), 7.0);
+        assert_eq!(tw.mean_until(SimTime::from_secs(1)), 7.0);
+    }
+
+    #[test]
+    fn stretch_factor_definition() {
+        let mut s = StretchAccumulator::new();
+        // response 2x demand and response 4x demand -> stretch 3.
+        s.record(SimDuration::from_millis(20), SimDuration::from_millis(10));
+        s.record(SimDuration::from_millis(40), SimDuration::from_millis(10));
+        assert!((s.stretch() - 3.0).abs() < 1e-9);
+        assert_eq!(s.count(), 2);
+        assert!((s.max() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_merge() {
+        let mut a = StretchAccumulator::new();
+        let mut b = StretchAccumulator::new();
+        a.record(SimDuration::from_millis(10), SimDuration::from_millis(10));
+        b.record(SimDuration::from_millis(30), SimDuration::from_millis(10));
+        a.merge(&b);
+        assert!((a.stretch() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_clamps_zero_demand() {
+        let mut s = StretchAccumulator::new();
+        s.record(SimDuration::from_millis(1), SimDuration::ZERO);
+        assert!(s.stretch().is_finite());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the simulation core.
+
+use msweb_simcore::{
+    Dist, Distribution, EventQueue, OnlineStats, Quantiles, SimDuration, SimRng, SimTime,
+    StretchAccumulator,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Same-timestamp events are delivered in scheduling order (stability).
+    #[test]
+    fn event_queue_stable_within_timestamp(
+        groups in prop::collection::vec((0u64..100, 1usize..10), 1..30)
+    ) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for &(t, k) in &groups {
+            for _ in 0..k {
+                q.schedule(SimTime::from_micros(t), (t, seq));
+                expected.push((t, seq));
+                seq += 1;
+            }
+        }
+        expected.sort_by_key(|&(t, s)| (t, s));
+        let mut actual = Vec::new();
+        while let Some((_, payload)) = q.pop() {
+            actual.push(payload);
+        }
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Cancelled events never appear; everything else does, exactly once.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut expect: std::collections::HashSet<usize> =
+            (0..times.len()).collect();
+        for (&(i, id), &c) in ids.iter().zip(cancel_mask.iter().cycle()) {
+            if c {
+                q.cancel(id);
+                expect.remove(&i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(seen.insert(i), "duplicate delivery");
+        }
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Splittable RNG streams seeded identically are identical; the
+    /// uniform [0,1) output always stays in range.
+    #[test]
+    fn rng_unit_interval(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// gen_range never exceeds its bound.
+    #[test]
+    fn rng_gen_range_in_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    /// Distribution samples are non-negative for all supported families.
+    #[test]
+    fn distributions_nonnegative(seed in any::<u64>(), mean in 0.001f64..1000.0) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let d = Dist::exp_mean(mean);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    /// Welford mean equals the naive mean to floating tolerance.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+    }
+
+    /// Merging partitions is equivalent to a single pass.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        split in 1usize..100,
+    ) {
+        let k = split.min(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..k] { a.push(x); }
+        for &x in &xs[k..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-7);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-5);
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut q = Quantiles::new();
+        for &x in &xs { q.push(x); }
+        let lo = q.quantile(0.0);
+        let med = q.quantile(0.5);
+        let hi = q.quantile(1.0);
+        prop_assert!(lo <= med && med <= hi);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(lo, min);
+        prop_assert_eq!(hi, max);
+    }
+
+    /// Stretch is always >= 1 when responses are at least demands, and the
+    /// accumulator is order-insensitive.
+    #[test]
+    fn stretch_at_least_one(
+        pairs in prop::collection::vec((1u64..1_000_000, 0u64..1_000_000), 1..200)
+    ) {
+        let mut s = StretchAccumulator::new();
+        for &(demand, extra) in &pairs {
+            s.record(
+                SimDuration::from_micros(demand + extra),
+                SimDuration::from_micros(demand),
+            );
+        }
+        prop_assert!(s.stretch() >= 1.0 - 1e-9);
+        prop_assert_eq!(s.count(), pairs.len() as u64);
+    }
+}

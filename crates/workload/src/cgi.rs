@@ -1,0 +1,163 @@
+//! CGI load models: how dynamic requests consume CPU, disk and memory.
+//!
+//! The paper replaces unreplayable CGI bodies with synthetic loads (§5.1):
+//!
+//! * **UCB** — a WebSTONE-derived script that busy-spins the CPU for a
+//!   controlled time: *CPU-intensive* (`w ≈ 0.95`);
+//! * **KSU** — WebGlimpse searches over a ~10 000-item index: *mixed*,
+//!   "on average 90 % of service time is spent searching index
+//!   information in memory" (`w = 0.9`);
+//! * **ADL** — Alexandria Digital Library catalog queries: *I/O-intensive*,
+//!   "about 90 % of the servicing time consumed by disk accesses"
+//!   (`w = 0.1`).
+//!
+//! A [`CgiModel`] carries the CPU weight `w`, a memory footprint, and a
+//! service-time distribution shape. The absolute service scale comes from
+//! the experiment's demand ratio `r` (CGI demand = static demand / r).
+
+use msweb_simcore::{Dist, Distribution, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Kind of synthetic CGI load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CgiKind {
+    /// WebSTONE-style busy-spin (UCB replay).
+    CpuIntensive,
+    /// WebGlimpse-style index search, 90 % CPU (KSU replay).
+    MixedIndexSearch,
+    /// ADL-style catalog lookup, 90 % disk (ADL replay).
+    IoIntensive,
+}
+
+impl CgiKind {
+    /// The average CPU weight `w` used by the RSRC predictor for this
+    /// class when sampling is enabled (paper Eq. 5; obtained "by off-line
+    /// sampling ... on an unloaded system").
+    pub fn cpu_weight(self) -> f64 {
+        match self {
+            CgiKind::CpuIntensive => 0.95,
+            CgiKind::MixedIndexSearch => 0.90,
+            CgiKind::IoIntensive => 0.10,
+        }
+    }
+
+    /// Typical working-set footprint in bytes. Index searches hold large
+    /// in-memory indices; catalog queries stream from disk with a modest
+    /// buffer; spin scripts are small.
+    pub fn memory_bytes(self) -> u64 {
+        match self {
+            CgiKind::CpuIntensive => 512 * 1024,
+            CgiKind::MixedIndexSearch => 2 * 1024 * 1024,
+            CgiKind::IoIntensive => 1024 * 1024,
+        }
+    }
+}
+
+/// The full demand model for a trace's dynamic requests.
+#[derive(Debug, Clone)]
+pub struct CgiModel {
+    /// Which synthetic load stands in for the trace's real CGI.
+    pub kind: CgiKind,
+    /// Mean service demand (set from the experiment's `r`).
+    pub mean_service: SimDuration,
+    /// Service-time distribution around that mean.
+    dist: Dist,
+    /// Memory footprint distribution mean (bytes).
+    pub mean_memory: u64,
+}
+
+impl CgiModel {
+    /// Floored-exponential service times with the given mean — the §3
+    /// analysis regime, with 20 % of the mean as the fixed per-request
+    /// cost (fork/exec/setup) that bounds demands away from zero.
+    pub fn exponential(kind: CgiKind, mean_service: SimDuration) -> Self {
+        CgiModel {
+            kind,
+            mean_service,
+            dist: Dist::shifted_exp(mean_service.as_secs_f64(), 0.2),
+            mean_memory: kind.memory_bytes(),
+        }
+    }
+
+    /// Deterministic service times (every CGI takes exactly the mean) —
+    /// the WebSTONE "controlled running time" mode.
+    pub fn constant(kind: CgiKind, mean_service: SimDuration) -> Self {
+        CgiModel {
+            kind,
+            mean_service,
+            dist: Dist::constant(mean_service.as_secs_f64()),
+            mean_memory: kind.memory_bytes(),
+        }
+    }
+
+    /// Draw one request's service demand.
+    pub fn sample_service(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.dist.sample(rng).max(1e-6))
+    }
+
+    /// Draw one request's memory footprint (±50 % uniform around the mean,
+    /// floor one page's worth).
+    pub fn sample_memory(&self, rng: &mut SimRng) -> u64 {
+        let lo = self.mean_memory / 2;
+        let hi = self.mean_memory + self.mean_memory / 2;
+        lo + rng.gen_range(hi - lo + 1)
+    }
+
+    /// The CPU weight for demand splitting.
+    pub fn cpu_weight(&self) -> f64 {
+        self.kind.cpu_weight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_paper() {
+        assert!((CgiKind::CpuIntensive.cpu_weight() - 0.95).abs() < 1e-12);
+        assert!((CgiKind::MixedIndexSearch.cpu_weight() - 0.90).abs() < 1e-12);
+        assert!((CgiKind::IoIntensive.cpu_weight() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_mean_calibrated() {
+        let m = CgiModel::exponential(CgiKind::IoIntensive, SimDuration::from_millis(40));
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_service(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.040).abs() / 0.040 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let m = CgiModel::constant(CgiKind::CpuIntensive, SimDuration::from_millis(33));
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(m.sample_service(&mut rng), SimDuration::from_millis(33));
+        }
+    }
+
+    #[test]
+    fn memory_samples_bounded() {
+        let m = CgiModel::exponential(CgiKind::MixedIndexSearch, SimDuration::from_millis(10));
+        let mut rng = SimRng::seed_from_u64(3);
+        let mean = m.mean_memory;
+        for _ in 0..10_000 {
+            let b = m.sample_memory(&mut rng);
+            assert!(b >= mean / 2 && b <= mean + mean / 2);
+        }
+    }
+
+    #[test]
+    fn service_samples_never_zero() {
+        let m = CgiModel::exponential(CgiKind::CpuIntensive, SimDuration::from_micros(10));
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(m.sample_service(&mut rng).as_micros() >= 1);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The SPECweb96-style static file set.
+//!
+//! "We replace all file fetches from the logs with the 40 representative
+//! files from SPECWeb96. For each file request in the log, the file in
+//! this set with the closest size is returned." (§5.1).
+//!
+//! SPECweb96 defines four size classes with a fixed access mix — tiny
+//! (≤1 KB, 35 %), small (1–10 KB, 50 %), medium (10–100 KB, 14 %) and
+//! large (0.1–1 MB, 1 %) — with files spread across each class. We build
+//! the 40-file set as ten log-spaced sizes per class.
+
+use msweb_simcore::SimRng;
+
+/// The static file set used to replay file fetches.
+#[derive(Debug, Clone)]
+pub struct FileSet {
+    /// File sizes in bytes, ascending.
+    sizes: Vec<u64>,
+    /// Per-class access weights aligned with `class_bounds`.
+    class_weights: [f64; 4],
+}
+
+/// Class boundaries in bytes (upper bounds, inclusive).
+const CLASS_BOUNDS: [(u64, u64); 4] = [
+    (102, 1_024),          // class 0: up to 1 KB
+    (1_025, 10_240),       // class 1: 1–10 KB
+    (10_241, 102_400),     // class 2: 10–100 KB
+    (102_401, 1_024_000),  // class 3: 0.1–1 MB
+];
+
+/// SPECweb96 access mix per class.
+const CLASS_WEIGHTS: [f64; 4] = [0.35, 0.50, 0.14, 0.01];
+
+impl FileSet {
+    /// The 40-file SPECweb96-like set: ten log-spaced sizes per class.
+    pub fn specweb96() -> Self {
+        let mut sizes = Vec::with_capacity(40);
+        for &(lo, hi) in &CLASS_BOUNDS {
+            let (lo_f, hi_f) = (lo as f64, hi as f64);
+            for i in 0..10 {
+                // Log-spaced across the class.
+                let frac = (i as f64 + 0.5) / 10.0;
+                let s = lo_f * (hi_f / lo_f).powf(frac);
+                sizes.push(s.round() as u64);
+            }
+        }
+        sizes.sort_unstable();
+        FileSet {
+            sizes,
+            class_weights: CLASS_WEIGHTS,
+        }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when the set has no files (never for the built-in set).
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// All sizes, ascending.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// The file in the set whose size is closest to `bytes` — the paper's
+    /// replay rule for static requests.
+    pub fn closest(&self, bytes: u64) -> u64 {
+        match self.sizes.binary_search(&bytes) {
+            Ok(i) => self.sizes[i],
+            Err(i) => {
+                let after = self.sizes.get(i);
+                let before = if i > 0 { Some(self.sizes[i - 1]) } else { None };
+                match (before, after) {
+                    (Some(b), Some(&a)) => {
+                        if bytes - b <= a - bytes {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    (Some(b), None) => b,
+                    (None, Some(&a)) => a,
+                    (None, None) => 0,
+                }
+            }
+        }
+    }
+
+    /// Draw a file size from the SPECweb96 access mix (for generating
+    /// synthetic static requests from scratch).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.next_f64();
+        let mut acc = 0.0;
+        let mut class = 3;
+        for (c, &w) in self.class_weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                class = c;
+                break;
+            }
+        }
+        let per_class = self.sizes.len() / 4;
+        let idx = class * per_class + rng.gen_index(per_class);
+        self.sizes[idx]
+    }
+
+    /// Mean size under the access mix (for calibration checks).
+    pub fn mean_accessed_size(&self) -> f64 {
+        let per_class = self.sizes.len() / 4;
+        let mut mean = 0.0;
+        for (c, &w) in self.class_weights.iter().enumerate() {
+            let class_mean: f64 = self.sizes[c * per_class..(c + 1) * per_class]
+                .iter()
+                .map(|&s| s as f64)
+                .sum::<f64>()
+                / per_class as f64;
+            mean += w * class_mean;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_files_in_four_classes() {
+        let fs = FileSet::specweb96();
+        assert_eq!(fs.len(), 40);
+        assert!(fs.sizes().windows(2).all(|w| w[0] <= w[1]));
+        // Ten per class.
+        for (c, &(lo, hi)) in CLASS_BOUNDS.iter().enumerate() {
+            let in_class = fs
+                .sizes()
+                .iter()
+                .filter(|&&s| s >= lo && s <= hi)
+                .count();
+            assert_eq!(in_class, 10, "class {c} has {in_class} files");
+        }
+    }
+
+    #[test]
+    fn closest_matches_exact_and_between() {
+        let fs = FileSet::specweb96();
+        let some = fs.sizes()[7];
+        assert_eq!(fs.closest(some), some);
+        // Far below the smallest.
+        assert_eq!(fs.closest(1), fs.sizes()[0]);
+        // Far above the largest.
+        assert_eq!(fs.closest(10_000_000), *fs.sizes().last().unwrap());
+    }
+
+    #[test]
+    fn closest_is_actually_closest() {
+        let fs = FileSet::specweb96();
+        for probe in [100u64, 500, 5_000, 77_777, 300_000, 999_999] {
+            let got = fs.closest(probe);
+            let best = fs
+                .sizes()
+                .iter()
+                .min_by_key(|&&s| s.abs_diff(probe))
+                .copied()
+                .unwrap();
+            assert_eq!(got.abs_diff(probe), best.abs_diff(probe), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn sample_respects_mix() {
+        let fs = FileSet::specweb96();
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut tiny = 0;
+        for _ in 0..n {
+            if fs.sample(&mut rng) <= 1024 {
+                tiny += 1;
+            }
+        }
+        let frac = tiny as f64 / n as f64;
+        assert!((frac - 0.35).abs() < 0.01, "tiny-class frequency {frac}");
+    }
+
+    #[test]
+    fn mean_accessed_size_close_to_empirical() {
+        let fs = FileSet::specweb96();
+        let analytic = fs.mean_accessed_size();
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| fs.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(
+            (emp - analytic).abs() / analytic < 0.05,
+            "analytic {analytic} vs empirical {emp}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # msweb-workload
+//!
+//! Workload modelling for the SPAA'99 master/slave Web-cluster
+//! reproduction: the request/trace data model, synthetic trace generators
+//! calibrated to the paper's Table 1 (DEC / UCB / KSU / ADL logs), the
+//! SPECweb96-style 40-file static set, the synthetic CGI load models
+//! (WebSTONE CPU-spin, WebGlimpse index search, ADL catalog lookup), and
+//! the replay-rate scaling used to stress clusters of different sizes.
+//!
+//! The original logs are proprietary; see DESIGN.md §2 for why synthetic
+//! regeneration preserves the behaviours the experiments measure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cgi;
+pub mod clf;
+pub mod fileset;
+pub mod generators;
+pub mod request;
+pub mod trace;
+
+pub use cgi::{CgiKind, CgiModel};
+pub use clf::{parse_clf, trace_from_clf, trace_to_clf, ClfError, ClfRecord};
+pub use fileset::FileSet;
+pub use generators::{adl, all_traces, dec, ksu, replayed_traces, ucb, DemandModel, TraceSpec};
+pub use request::{Request, RequestClass, ServiceDemand};
+pub use trace::{Trace, TraceSummary};

@@ -1,0 +1,123 @@
+//! The request model shared by the simulator and the live emulation.
+//!
+//! A [`Request`] is one line of a (synthetic) access log: an arrival time,
+//! a class (static file fetch vs dynamic/CGI), a transfer size, and the
+//! resource demand the replay engine assigned to it. Demands are kept in
+//! workload-level terms (service seconds, CPU fraction, memory bytes) so
+//! this crate stays independent of any particular execution substrate.
+
+use msweb_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Request class: the paper's two customer classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Plain file fetch ("HTML" in the paper's Table 1).
+    Static,
+    /// Dynamic content generation ("CGI").
+    Dynamic,
+}
+
+impl RequestClass {
+    /// True for dynamic/CGI requests.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, RequestClass::Dynamic)
+    }
+}
+
+/// Contention-free resource demand of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDemand {
+    /// Total service time on an unloaded baseline node.
+    pub service: SimDuration,
+    /// Fraction of the service that is CPU work (the paper's `w`).
+    pub cpu_fraction: f64,
+    /// Working-set size in bytes.
+    pub memory_bytes: u64,
+}
+
+impl ServiceDemand {
+    /// A zero demand (placeholder before the demand model runs).
+    pub const ZERO: ServiceDemand = ServiceDemand {
+        service: SimDuration::ZERO,
+        cpu_fraction: 0.5,
+        memory_bytes: 0,
+    };
+}
+
+/// One replayable request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Position in the trace (also the completion tag downstream).
+    pub id: u64,
+    /// Arrival time at the cluster front end.
+    pub arrival: SimTime,
+    /// Static or dynamic.
+    pub class: RequestClass,
+    /// Response size in bytes (file size for static, generated content
+    /// size for dynamic) — the Table 1 "size" columns.
+    pub bytes: u64,
+    /// Assigned resource demand.
+    pub demand: ServiceDemand,
+    /// Content identity of a dynamic request (same key = same query =
+    /// same generated result), for dynamic-content caching. `None` for
+    /// static requests and for workloads generated without query
+    /// popularity modelling.
+    pub cache_key: Option<u64>,
+}
+
+impl Request {
+    /// Shorthand used in tests and examples.
+    pub fn new(
+        id: u64,
+        arrival: SimTime,
+        class: RequestClass,
+        bytes: u64,
+        demand: ServiceDemand,
+    ) -> Self {
+        Request {
+            id,
+            arrival,
+            class,
+            bytes,
+            demand,
+            cache_key: None,
+        }
+    }
+
+    /// Attach a content key (builder style).
+    pub fn with_cache_key(mut self, key: u64) -> Self {
+        self.cache_key = Some(key);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(RequestClass::Dynamic.is_dynamic());
+        assert!(!RequestClass::Static.is_dynamic());
+    }
+
+    #[test]
+    fn request_roundtrips_serde() {
+        let r = Request::new(
+            3,
+            SimTime::from_millis(5),
+            RequestClass::Dynamic,
+            1024,
+            ServiceDemand {
+                service: SimDuration::from_millis(40),
+                cpu_fraction: 0.9,
+                memory_bytes: 1 << 20,
+            },
+        );
+        // serde support is exercised through the experiment reports; here
+        // just check Debug/PartialEq plumbing.
+        let copy = r;
+        assert_eq!(r, copy);
+    }
+}

@@ -1,0 +1,299 @@
+//! Traces: ordered request sequences with summary statistics and the
+//! replay-rate scaling from §5.1.
+
+use msweb_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::request::Request;
+
+/// An ordered sequence of requests plus provenance.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Human-readable source name ("UCB", "KSU", ...).
+    pub name: String,
+    /// Requests in non-decreasing arrival order.
+    pub requests: Vec<Request>,
+}
+
+/// The Table 1 columns for a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace name.
+    pub name: String,
+    /// Number of requests.
+    pub requests: usize,
+    /// Percentage of CGI (dynamic) requests.
+    pub cgi_pct: f64,
+    /// Mean inter-arrival interval in seconds.
+    pub mean_interval_s: f64,
+    /// Mean static ("HTML") transfer size in bytes.
+    pub mean_static_bytes: f64,
+    /// Mean CGI transfer size in bytes.
+    pub mean_cgi_bytes: f64,
+    /// Arrival ratio `a = λ_c / λ_h` implied by the class mix.
+    pub arrival_ratio_a: f64,
+}
+
+impl Trace {
+    /// Construct, checking arrival-order and id invariants.
+    pub fn new(name: impl Into<String>, requests: Vec<Request>) -> Self {
+        let name = name.into();
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace {name} not sorted by arrival"
+        );
+        Trace { name, requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Wall-clock span from first to last arrival.
+    pub fn span(&self) -> SimDuration {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(f), Some(l)) => l.arrival - f.arrival,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Mean arrival rate over the span, requests/second.
+    pub fn mean_rate(&self) -> f64 {
+        let span = self.span().as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            // n arrivals span n-1 intervals.
+            (self.len().saturating_sub(1)) as f64 / span
+        }
+    }
+
+    /// Rescale arrival intervals so the mean rate becomes `lambda`
+    /// requests/second — the paper's replay acceleration ("we scale
+    /// intervals among requests so that requests in each log are issued to
+    /// the cluster at various fast rates"). Relative spacing (burstiness)
+    /// is preserved; ids, classes, sizes, demands are untouched.
+    pub fn scaled_to_rate(&self, lambda: f64) -> Trace {
+        assert!(lambda > 0.0 && lambda.is_finite(), "bad target rate {lambda}");
+        let current = self.mean_rate();
+        if current <= 0.0 {
+            // Zero-span trace: space arrivals uniformly at the target rate.
+            let gap = SimDuration::from_secs_f64(1.0 / lambda);
+            let requests = self
+                .requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Request {
+                    arrival: SimTime::ZERO + gap.mul(i as u64),
+                    ..*r
+                })
+                .collect();
+            return Trace::new(self.name.clone(), requests);
+        }
+        let factor = current / lambda;
+        let t0 = self.requests.first().map(|r| r.arrival).unwrap_or(SimTime::ZERO);
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| Request {
+                arrival: SimTime::ZERO + (r.arrival - t0).mul_f64(factor),
+                ..*r
+            })
+            .collect();
+        Trace::new(self.name.clone(), requests)
+    }
+
+    /// Keep only the first `n` requests (the paper extracts a 128 668-
+    /// request segment of the UCB log the same way).
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace::new(
+            self.name.clone(),
+            self.requests.iter().take(n).copied().collect(),
+        )
+    }
+
+    /// Overlay another trace onto this one: arrivals interleave on the
+    /// common timeline, ids are renumbered sequentially. Useful for
+    /// consolidating several sites' logs onto one cluster (the paper's
+    /// motivation for recruiting shared infrastructure).
+    pub fn merged(&self, other: &Trace) -> Trace {
+        let mut requests: Vec<Request> =
+            self.requests.iter().chain(&other.requests).copied().collect();
+        requests.sort_by_key(|r| r.arrival);
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        Trace::new(format!("{}+{}", self.name, other.name), requests)
+    }
+
+    /// Compute the Table 1 summary.
+    pub fn summary(&self) -> TraceSummary {
+        let n = self.len();
+        let cgi: Vec<&Request> = self
+            .requests
+            .iter()
+            .filter(|r| r.class.is_dynamic())
+            .collect();
+        let stat_count = n - cgi.len();
+        let mean_static = if stat_count > 0 {
+            self.requests
+                .iter()
+                .filter(|r| !r.class.is_dynamic())
+                .map(|r| r.bytes as f64)
+                .sum::<f64>()
+                / stat_count as f64
+        } else {
+            0.0
+        };
+        let mean_cgi = if !cgi.is_empty() {
+            cgi.iter().map(|r| r.bytes as f64).sum::<f64>() / cgi.len() as f64
+        } else {
+            0.0
+        };
+        let mean_interval = if n > 1 {
+            self.span().as_secs_f64() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let cgi_frac = if n > 0 { cgi.len() as f64 / n as f64 } else { 0.0 };
+        TraceSummary {
+            name: self.name.clone(),
+            requests: n,
+            cgi_pct: cgi_frac * 100.0,
+            mean_interval_s: mean_interval,
+            mean_static_bytes: mean_static,
+            mean_cgi_bytes: mean_cgi,
+            arrival_ratio_a: if cgi_frac < 1.0 {
+                cgi_frac / (1.0 - cgi_frac)
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestClass, ServiceDemand};
+
+    fn req(id: u64, at_ms: u64, class: RequestClass, bytes: u64) -> Request {
+        Request::new(id, SimTime::from_millis(at_ms), class, bytes, ServiceDemand::ZERO)
+    }
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            "T",
+            vec![
+                req(0, 0, RequestClass::Static, 1000),
+                req(1, 100, RequestClass::Dynamic, 5000),
+                req(2, 200, RequestClass::Static, 3000),
+                req(3, 300, RequestClass::Static, 2000),
+            ],
+        )
+    }
+
+    #[test]
+    fn summary_columns() {
+        let s = sample_trace().summary();
+        assert_eq!(s.requests, 4);
+        assert!((s.cgi_pct - 25.0).abs() < 1e-9);
+        assert!((s.mean_interval_s - 0.1).abs() < 1e-9);
+        assert!((s.mean_static_bytes - 2000.0).abs() < 1e-9);
+        assert!((s.mean_cgi_bytes - 5000.0).abs() < 1e-9);
+        assert!((s.arrival_ratio_a - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rate() {
+        // 4 requests over 300ms -> 3 intervals / 0.3 s = 10/s.
+        assert!((sample_trace().mean_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_hits_target_rate() {
+        let t = sample_trace().scaled_to_rate(100.0);
+        assert!((t.mean_rate() - 100.0).abs() < 0.1, "rate {}", t.mean_rate());
+        assert_eq!(t.len(), 4);
+        // Relative spacing preserved: uniform intervals stay uniform.
+        let gaps: Vec<_> = t
+            .requests
+            .windows(2)
+            .map(|w| (w[1].arrival - w[0].arrival).as_micros())
+            .collect();
+        assert!(gaps.windows(2).all(|g| g[0].abs_diff(g[1]) <= 1));
+    }
+
+    #[test]
+    fn scaling_preserves_everything_but_arrivals() {
+        let orig = sample_trace();
+        let t = orig.scaled_to_rate(1000.0);
+        for (a, b) in orig.requests.iter().zip(&t.requests) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.bytes, b.bytes);
+        }
+    }
+
+    #[test]
+    fn scaling_zero_span_trace() {
+        let t = Trace::new(
+            "Z",
+            vec![
+                req(0, 0, RequestClass::Static, 1),
+                req(1, 0, RequestClass::Static, 1),
+                req(2, 0, RequestClass::Static, 1),
+            ],
+        )
+        .scaled_to_rate(10.0);
+        assert!((t.mean_rate() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn truncation() {
+        let t = sample_trace().truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests[1].id, 1);
+    }
+
+    #[test]
+    fn merged_interleaves_and_renumbers() {
+        let a = Trace::new(
+            "A",
+            vec![
+                req(0, 0, RequestClass::Static, 10),
+                req(1, 200, RequestClass::Static, 10),
+            ],
+        );
+        let b = Trace::new(
+            "B",
+            vec![
+                req(0, 100, RequestClass::Dynamic, 20),
+                req(1, 300, RequestClass::Dynamic, 20),
+            ],
+        );
+        let m = a.merged(&b);
+        assert_eq!(m.name, "A+B");
+        assert_eq!(m.len(), 4);
+        let ids: Vec<u64> = m.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let classes: Vec<bool> = m.requests.iter().map(|r| r.class.is_dynamic()).collect();
+        assert_eq!(classes, vec![false, true, false, true]);
+        assert!((m.summary().cgi_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_summary_is_sane() {
+        let t = Trace::new("E", vec![]);
+        let s = t.summary();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.cgi_pct, 0.0);
+        assert_eq!(t.mean_rate(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for trace generation and replay scaling.
+
+use msweb_simcore::SimTime;
+use msweb_workload::{adl, ksu, ucb, DemandModel, FileSet, Trace, TraceSpec};
+use proptest::prelude::*;
+
+fn specs() -> Vec<TraceSpec> {
+    vec![ucb(), ksu(), adl()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated traces are sorted, ids are sequential, demands positive.
+    #[test]
+    fn generated_traces_are_well_formed(
+        which in 0usize..3,
+        n in 1usize..2000,
+        inv_r in 10.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = &specs()[which];
+        let t = spec.generate(n, &DemandModel::simulation(inv_r), seed);
+        prop_assert_eq!(t.len(), n);
+        let mut last = SimTime::ZERO;
+        for (i, r) in t.requests.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+            prop_assert!(r.arrival >= last);
+            last = r.arrival;
+            prop_assert!(r.demand.service.as_micros() >= 1);
+            prop_assert!((0.0..=1.0).contains(&r.demand.cpu_fraction));
+            prop_assert!(r.bytes > 0);
+        }
+    }
+
+    /// Rate scaling hits its target for any positive rate and preserves
+    /// request payloads.
+    #[test]
+    fn scaling_is_exact_and_payload_preserving(
+        n in 3usize..500,
+        lambda in 0.5f64..10_000.0,
+        seed in any::<u64>(),
+    ) {
+        let t = ucb().generate(n, &DemandModel::simulation(40.0), seed);
+        let s = t.scaled_to_rate(lambda);
+        let measured = s.mean_rate();
+        prop_assert!(
+            (measured - lambda).abs() / lambda < 0.01,
+            "target {lambda}, measured {measured}"
+        );
+        for (a, b) in t.requests.iter().zip(&s.requests) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.class, b.class);
+            prop_assert_eq!(a.bytes, b.bytes);
+            prop_assert_eq!(a.demand, b.demand);
+        }
+    }
+
+    /// Double scaling composes: scaling twice equals scaling once.
+    #[test]
+    fn scaling_composes(seed in any::<u64>(), l1 in 1.0f64..1000.0, l2 in 1.0f64..1000.0) {
+        let t = ksu().generate(100, &DemandModel::simulation(20.0), seed);
+        let once = t.scaled_to_rate(l2);
+        let twice = t.scaled_to_rate(l1).scaled_to_rate(l2);
+        for (a, b) in once.requests.iter().zip(&twice.requests) {
+            let d = a.arrival.as_micros().abs_diff(b.arrival.as_micros());
+            // Each intermediate arrival rounds to a whole microsecond and
+            // the re-expansion amplifies that by up to l1/l2 per interval;
+            // a 0.1% relative bound comfortably covers the accumulation.
+            prop_assert!(d <= 2 + a.arrival.as_micros() / 1_000);
+        }
+    }
+
+    /// The closest-file snap never finds a closer file than it returns.
+    #[test]
+    fn fileset_snap_optimality(probe in 1u64..5_000_000) {
+        let fs = FileSet::specweb96();
+        let got = fs.closest(probe);
+        for &s in fs.sizes() {
+            prop_assert!(got.abs_diff(probe) <= s.abs_diff(probe));
+        }
+    }
+
+    /// Summaries are consistent: percentages in range, ratio consistent
+    /// with the mix.
+    #[test]
+    fn summaries_are_consistent(n in 10usize..1000, seed in any::<u64>()) {
+        let t = adl().generate(n, &DemandModel::simulation(40.0), seed);
+        let s = t.summary();
+        prop_assert!((0.0..=100.0).contains(&s.cgi_pct));
+        if s.cgi_pct > 0.0 && s.cgi_pct < 100.0 {
+            let expect_a = s.cgi_pct / (100.0 - s.cgi_pct);
+            prop_assert!((s.arrival_ratio_a - expect_a).abs() < 1e-9);
+        }
+    }
+
+    /// Truncation is a prefix.
+    #[test]
+    fn truncation_is_prefix(n in 10usize..200, k in 1usize..250, seed in any::<u64>()) {
+        let t = ucb().generate(n, &DemandModel::simulation(20.0), seed);
+        let k = k.min(n);
+        let tr: Trace = t.truncated(k);
+        prop_assert_eq!(tr.len(), k);
+        for (a, b) in tr.requests.iter().zip(&t.requests) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: replay a CGI-heavy workload on an 8-node cluster and
+//! compare the paper's master/slave policy against a flat cluster.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use msweb::prelude::*;
+
+fn main() {
+    // 1. Build a workload: a UCB-like trace (11% CPU-intensive CGI) with
+    //    a demand ratio 1/r = 40, replayed at 250 requests/second.
+    let spec = ucb();
+    let demand = DemandModel::simulation(40.0);
+    let trace = spec.generate(10_000, &demand, 42).scaled_to_rate(250.0);
+    println!("workload: {} requests, {:.1}% CGI, {:.0} req/s",
+        trace.len(),
+        trace.summary().cgi_pct,
+        trace.mean_rate());
+
+    // 2. Ask Theorem 1 how many of the 8 nodes should be masters.
+    let m = plan_masters(8, 250.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    println!("Theorem 1 plans {m} masters of 8 nodes");
+
+    // 3. Replay under both architectures.
+    let mut ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    ms_cfg.masters = MasterSelection::Fixed(m);
+    let ms = run_policy(ms_cfg, &trace);
+
+    let flat = run_policy(ClusterConfig::simulation(8, PolicyKind::Flat), &trace);
+
+    // 4. Report the paper's metric.
+    println!();
+    println!("            {:>10} {:>10}", "Flat", "M/S");
+    println!("stretch     {:>10.3} {:>10.3}", flat.stretch, ms.stretch);
+    println!("  static    {:>10.3} {:>10.3}", flat.stretch_static, ms.stretch_static);
+    println!("  dynamic   {:>10.3} {:>10.3}", flat.stretch_dynamic, ms.stretch_dynamic);
+    println!();
+    println!(
+        "M/S improves the mean stretch factor by {:.1}%",
+        ms.improvement_over_pct(&flat)
+    );
+}

@@ -1,0 +1,72 @@
+//! Dynamic-content caching — the Swala extension (§6: "a simple
+//! extension to consider caching in our scheme can be incorporated").
+//!
+//! Sweeps query-popularity skew and cache TTL on an ADL-like workload and
+//! shows how a dynamic-content cache composes with M/S scheduling.
+//!
+//! ```sh
+//! cargo run --release --example swala_cache
+//! ```
+
+use std::time::Instant;
+
+use msweb::cluster::CacheConfig;
+use msweb::prelude::*;
+
+fn run(trace: &Trace, cache: Option<CacheConfig>, m: usize) -> (RunSummary, Option<f64>) {
+    let mut cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(m);
+    cfg.cache = cache;
+    let mut sim = msweb::cluster::ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
+    let summary = sim.run(trace);
+    let ratio = sim.cache_stats().map(|(h, mi, _, _)| h as f64 / (h + mi).max(1) as f64);
+    (summary, ratio)
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let lambda = 500.0;
+    let m = plan_masters(16, lambda, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    println!("ADL-like workload, 16 nodes, m = {m}, λ = {lambda}/s, r = 1/40\n");
+
+    println!("{:<34} {:>9} {:>10}", "configuration", "stretch", "hit ratio");
+    for (label, zipf_s, cache) in [
+        ("no cache", 1.0, None),
+        ("cache, uniform queries (s=0)", 0.0, Some(CacheConfig::default_swala())),
+        ("cache, mild skew (s=0.8)", 0.8, Some(CacheConfig::default_swala())),
+        ("cache, strong skew (s=1.2)", 1.2, Some(CacheConfig::default_swala())),
+    ] {
+        let demand = DemandModel::simulation(40.0).with_query_popularity(2_000, zipf_s);
+        let trace = adl().generate(12_000, &demand, 31).scaled_to_rate(lambda);
+        let (s, ratio) = run(&trace, cache, m);
+        println!(
+            "{:<34} {:>9.3} {:>9}",
+            label,
+            s.stretch,
+            ratio.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "-".into())
+        );
+    }
+
+    println!("\nTTL sweep (strong skew):");
+    println!("{:<14} {:>9} {:>10}", "TTL", "stretch", "hit ratio");
+    let demand = DemandModel::simulation(40.0).with_query_popularity(2_000, 1.2);
+    let trace = adl().generate(12_000, &demand, 31).scaled_to_rate(lambda);
+    for ttl_s in [1u64, 5, 30, 120, 600] {
+        let cache = CacheConfig {
+            ttl: SimDuration::from_secs(ttl_s),
+            ..CacheConfig::default_swala()
+        };
+        let (s, ratio) = run(&trace, Some(cache), m);
+        println!(
+            "{:<14} {:>9.3} {:>9}",
+            format!("{ttl_s} s"),
+            s.stretch,
+            ratio.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_default()
+        );
+    }
+    println!(
+        "\ncaching turns repeated CGI queries into static-scale fetches; the\n\
+         hit ratio (and the win) grows with query skew and TTL. ({:.1}s wall)",
+        t0.elapsed().as_secs_f64()
+    );
+}

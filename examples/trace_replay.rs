@@ -1,0 +1,56 @@
+//! Replay each of the paper's traces under every scheduling policy and
+//! print a Figure-4-style comparison table.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay [-- <requests> <p>]
+//! ```
+
+use msweb::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15_000);
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+
+    let policies = [
+        PolicyKind::Flat,
+        PolicyKind::MasterSlave,
+        PolicyKind::MsNoSampling,
+        PolicyKind::MsNoReservation,
+        PolicyKind::MsAllMasters,
+        PolicyKind::MsPrime,
+        PolicyKind::Redirect,
+        PolicyKind::Switch,
+    ];
+
+    println!("replaying {n} requests per trace on p={p} nodes\n");
+    print!("{:<18}", "trace (λ, 1/r)");
+    for pk in &policies {
+        print!("{:>9}", pk.label());
+    }
+    println!();
+
+    for (spec, lambda, inv_r) in [
+        (ucb(), 31.25 * p as f64, 40.0),
+        (ksu(), 15.6 * p as f64, 80.0),
+        (adl(), 15.6 * p as f64, 40.0),
+    ] {
+        let trace = spec
+            .generate(n, &DemandModel::simulation(inv_r), 7)
+            .scaled_to_rate(lambda);
+        let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
+        print!("{:<18}", format!("{} ({:.0}, {:.0})", spec.name, lambda, inv_r));
+        for pk in &policies {
+            let mut cfg = ClusterConfig::simulation(p, *pk);
+            cfg.masters = MasterSelection::Fixed(m);
+            let s = run_policy(cfg, &trace);
+            print!("{:>9.3}", s.stretch);
+        }
+        println!("   (m={m})");
+    }
+    println!("\nsmaller stretch is better. M/S should beat Flat and its own");
+    println!("ablations (ns/nr/1/'/Redirect) on every row. The Switch column is");
+    println!("an *idealised* least-connections balancer with instantaneous");
+    println!("in-path counts (join-shortest-queue) — stronger than any 1999");
+    println!("switch and competitive with M/S on raw stretch; see EXPERIMENTS.md.");
+}

@@ -1,0 +1,322 @@
+//! `msweb` — command-line front end to the cluster scheduling toolkit.
+//!
+//! ```text
+//! msweb plan    --lambda 2000 --a 0.43 --inv-r 60 --p 32
+//! msweb replay  --trace ksu --lambda 1000 --inv-r 80 --p 32 [--policy M/S] [--requests 20000]
+//! msweb import  --log access.log [--lambda 800] [--p 16]
+//! msweb traces
+//! msweb live    [--rate 40] [--requests 300] [--scale 0.2]
+//! ```
+//!
+//! Every subcommand is a thin veneer over the public library API — the
+//! same calls the examples and the experiment harness make.
+
+use msweb::prelude::*;
+use msweb::workload::clf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit();
+    };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "replay" => cmd_replay(&flags),
+        "import" => cmd_import(&flags),
+        "traces" => cmd_traces(),
+        "live" => cmd_live(&flags),
+        "help" | "--help" | "-h" => usage_and_exit(),
+        other => {
+            eprintln!("unknown subcommand: {other}\n");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "msweb — master/slave Web-cluster scheduling (SPAA'99 reproduction)
+
+USAGE:
+  msweb plan    --lambda <req/s> --a <ratio> --inv-r <1/r> [--p <nodes>]
+                  size the master level with Theorem 1
+  msweb replay  --trace <ucb|ksu|adl|dec> --lambda <req/s> [--inv-r <1/r>]
+                  [--p <nodes>] [--policy <name>] [--requests <n>] [--seed <s>]
+                  simulate a policy on a synthetic Table-1 trace
+  msweb import  --log <file> [--lambda <req/s>] [--p <nodes>] [--requests <n>]
+                  replay your own Common Log Format access log
+  msweb traces    print the built-in trace characteristics (Table 1)
+  msweb live    [--rate <req/s>] [--requests <n>] [--scale <x>]
+                  run the thread-backed live cluster (6 nodes)
+
+Policies: Flat, M/S, M/S-ns, M/S-nr, M/S-1, M/S', Redirect, Switch"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal `--key value` flag parser.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                out.push((key.to_string(), value));
+            } else {
+                eprintln!("unexpected argument: {a}");
+                std::process::exit(2);
+            }
+        }
+        Flags(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, key: &str, default: f64) -> f64 {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a number, got '{v}'");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    fn usize(&self, key: &str, default: usize) -> usize {
+        self.num(key, default as f64) as usize
+    }
+
+    fn required(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            std::process::exit(2);
+        })
+    }
+}
+
+fn policy_by_name(name: &str) -> PolicyKind {
+    match name {
+        "Flat" | "flat" => PolicyKind::Flat,
+        "M/S" | "ms" => PolicyKind::MasterSlave,
+        "M/S-ns" | "ms-ns" => PolicyKind::MsNoSampling,
+        "M/S-nr" | "ms-nr" => PolicyKind::MsNoReservation,
+        "M/S-1" | "ms-1" => PolicyKind::MsAllMasters,
+        "M/S'" | "ms-prime" => PolicyKind::MsPrime,
+        "Redirect" | "redirect" => PolicyKind::Redirect,
+        "Switch" | "switch" => PolicyKind::Switch,
+        other => {
+            eprintln!("unknown policy: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn trace_by_name(name: &str) -> TraceSpec {
+    match name.to_ascii_lowercase().as_str() {
+        "ucb" => ucb(),
+        "ksu" => ksu(),
+        "adl" => adl(),
+        "dec" => dec(),
+        other => {
+            eprintln!("unknown trace: {other} (expected ucb|ksu|adl|dec)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_summary(label: &str, s: &RunSummary) {
+    println!("{label}");
+    println!("  stretch          {:>10.3}", s.stretch);
+    println!("  static stretch   {:>10.3}", s.stretch_static);
+    println!("  dynamic stretch  {:>10.3}", s.stretch_dynamic);
+    println!("  median static    {:>9.1}ms", s.median_static_response_s * 1e3);
+    println!("  median dynamic   {:>9.1}ms", s.median_dynamic_response_s * 1e3);
+    println!("  p99 static       {:>9.1}ms", s.p99_static_response_s * 1e3);
+    println!("  completed        {:>10}", s.completed);
+    if s.cache_hits > 0 {
+        println!("  cache hits       {:>10}", s.cache_hits);
+    }
+}
+
+fn cmd_plan(flags: &Flags) {
+    let lambda = flags.num("lambda", 1000.0);
+    let a = flags.num("a", 0.25);
+    let inv_r = flags.num("inv-r", 40.0);
+    let p = flags.usize("p", 32);
+    let mu_h = flags.num("mu-h", 1200.0);
+
+    let w = match Workload::from_ratios(lambda, a, mu_h, 1.0 / inv_r) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("invalid workload: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "workload: λ={lambda}/s, a={a}, 1/r={inv_r}, μ_h={mu_h}/s, p={p}\n\
+         offered load {:.2} Erlangs ({:.1}% of the cluster)",
+        w.offered_load(),
+        100.0 * w.offered_load() / p as f64
+    );
+    match FlatModel::evaluate(&w, p) {
+        Ok(f) => println!("flat:  stretch {:.3} at {:.1}% utilisation", f.stretch, f.utilisation * 100.0),
+        Err(e) => println!("flat:  UNSTABLE ({e})"),
+    }
+    match plan(&w, p, ThetaRule::Midpoint) {
+        Ok(pl) => {
+            println!(
+                "M/S:   m = {} masters, θ = {:.3}, stretch {:.3} ({:+.1}% vs flat)",
+                pl.m,
+                pl.theta,
+                pl.stretch_ms,
+                pl.improvement_over_flat_pct()
+            );
+            println!(
+                "       beats-flat interval θ ∈ [{:.3}, {:.3}], runtime bound θ2* = {:.3}",
+                pl.interval.theta1,
+                pl.interval.theta2,
+                reservation_bound(pl.m, p, a, 1.0 / inv_r)
+            );
+            // The planner actually deployed (with the static-promptness floor):
+            let deployed = plan_masters(p, lambda, a, 1.0 / inv_r, mu_h);
+            if deployed != pl.m {
+                println!("       deployed m = {deployed} (static-promptness floor applied)");
+            }
+        }
+        Err(e) => println!("M/S:   no feasible configuration ({e})"),
+    }
+}
+
+fn cmd_replay(flags: &Flags) {
+    let spec = trace_by_name(flags.required("trace"));
+    let lambda = flags.num("lambda", 1000.0);
+    let inv_r = flags.num("inv-r", 40.0);
+    let p = flags.usize("p", 32);
+    let n = flags.usize("requests", 20_000);
+    let seed = flags.num("seed", 42.0) as u64;
+
+    let trace = spec
+        .generate(n, &DemandModel::simulation(inv_r), seed)
+        .scaled_to_rate(lambda);
+    let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
+    println!(
+        "replaying {} × {n} requests at {lambda}/s on p={p} (m={m}, 1/r={inv_r})\n",
+        spec.name
+    );
+
+    match flags.get("policy") {
+        Some(name) => {
+            let policy = policy_by_name(name);
+            let mut cfg = ClusterConfig::simulation(p, policy);
+            cfg.masters = MasterSelection::Fixed(m);
+            cfg.seed = seed;
+            let s = run_policy(cfg, &trace);
+            print_summary(policy.label(), &s);
+        }
+        None => {
+            for policy in [
+                PolicyKind::Flat,
+                PolicyKind::MasterSlave,
+                PolicyKind::MsNoReservation,
+                PolicyKind::MsAllMasters,
+                PolicyKind::Switch,
+            ] {
+                let mut cfg = ClusterConfig::simulation(p, policy);
+                cfg.masters = MasterSelection::Fixed(m);
+                cfg.seed = seed;
+                let s = run_policy(cfg, &trace);
+                println!("{:<9} stretch {:>8.3}", policy.label(), s.stretch);
+            }
+        }
+    }
+}
+
+fn cmd_import(flags: &Flags) {
+    let path = flags.required("log");
+    let lambda = flags.num("lambda", 0.0);
+    let p = flags.usize("p", 16);
+    let n = flags.usize("requests", usize::MAX);
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let records = match clf::parse_clf(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let kind = clf::guess_cgi_kind(&records);
+    let demand = DemandModel::simulation(40.0);
+    let mut trace = clf::records_to_trace("imported", &records, &demand, kind, 7).truncated(n);
+    if lambda > 0.0 {
+        trace = trace.scaled_to_rate(lambda);
+    }
+    let s = trace.summary();
+    println!(
+        "imported {} requests: {:.1}% CGI, replay rate {:.1}/s, inferred CGI kind {kind:?}\n",
+        trace.len(),
+        s.cgi_pct,
+        trace.mean_rate()
+    );
+    let a = s.arrival_ratio_a.clamp(0.01, 10.0);
+    let m = plan_masters(p, trace.mean_rate(), a, 1.0 / 40.0, 1200.0);
+    for policy in [PolicyKind::Flat, PolicyKind::MasterSlave, PolicyKind::Switch] {
+        let mut cfg = ClusterConfig::simulation(p, policy);
+        cfg.masters = MasterSelection::Fixed(m);
+        let r = run_policy(cfg, &trace);
+        println!("{:<9} stretch {:>8.3}", policy.label(), r.stretch);
+    }
+}
+
+fn cmd_traces() {
+    println!(
+        "{:<6} {:>5} {:>14} {:>7} {:>10} {:>10} {:>10}  CGI replay model",
+        "trace", "year", "requests", "%CGI", "interval", "HTML B", "CGI B"
+    );
+    for t in all_traces() {
+        println!(
+            "{:<6} {:>5} {:>14} {:>7.1} {:>9.3}s {:>10} {:>10}  {:?}",
+            t.name,
+            t.year,
+            t.paper_requests,
+            t.cgi_pct,
+            t.mean_interval_s,
+            t.mean_html_bytes,
+            t.mean_cgi_bytes,
+            t.cgi_kind
+        );
+    }
+}
+
+fn cmd_live(flags: &Flags) {
+    let rate = flags.num("rate", 40.0);
+    let n = flags.usize("requests", 300);
+    let scale = flags.num("scale", 0.2);
+
+    let trace = ucb()
+        .generate(n, &DemandModel::sun_cluster(40.0), 11)
+        .scaled_to_rate(rate);
+    println!(
+        "live cluster: 6 nodes, {n} requests at {rate}/s, time scale {scale} \
+         (expect ~{:.0}s wall)\n",
+        n as f64 / rate * scale
+    );
+    for (policy, m) in [(PolicyKind::Flat, 1), (PolicyKind::MasterSlave, 3)] {
+        let mut cfg = LiveConfig::sun_cluster(policy, m);
+        cfg.time_scale = scale;
+        let s = run_live(&cfg, &trace);
+        println!("{:<9} live stretch {:>8.3}", policy.label(), s.stretch);
+    }
+}

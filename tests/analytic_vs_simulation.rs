@@ -1,0 +1,104 @@
+//! Cross-validation of the Section 3 analytic models against the
+//! discrete-event simulator in the regime where both should agree: a flat
+//! cluster with Poisson arrivals and (floored-)exponential demands.
+//!
+//! The OS model is not processor sharing — it has quanta, context
+//! switches, fork costs and a real disk — so exact agreement is not
+//! expected. What must hold: the simulator tracks the analytic curve's
+//! *shape* (monotone in load, same order of magnitude, ordering of
+//! configurations preserved).
+
+use msweb::prelude::*;
+
+/// Simulated flat stretch for a synthetic two-class workload calibrated
+/// to the analytic parameterisation.
+fn simulated_flat(lambda: f64, a_pct_cgi: f64, inv_r: f64, p: usize, seed: u64) -> f64 {
+    let spec = TraceSpec {
+        name: "SYN",
+        year: 1999,
+        paper_requests: 0,
+        cgi_pct: a_pct_cgi,
+        mean_interval_s: 1.0 / lambda,
+        mean_html_bytes: 6000,
+        mean_cgi_bytes: 4000,
+        cgi_kind: CgiKind::MixedIndexSearch,
+    };
+    let trace = spec
+        .generate(10_000, &DemandModel::simulation(inv_r), seed)
+        .scaled_to_rate(lambda);
+    let cfg = ClusterConfig::simulation(p, PolicyKind::Flat);
+    run_policy(cfg, &trace).stretch
+}
+
+fn analytic_flat(lambda: f64, a_pct_cgi: f64, inv_r: f64, p: usize) -> f64 {
+    let a = a_pct_cgi / (100.0 - a_pct_cgi);
+    let w = Workload::from_ratios(lambda, a, 1200.0, 1.0 / inv_r).unwrap();
+    FlatModel::evaluate(&w, p).unwrap().stretch
+}
+
+#[test]
+fn simulation_tracks_analytic_shape_across_load() {
+    let mut last_sim = 0.0;
+    for lambda in [400.0, 800.0, 1600.0] {
+        let sim = simulated_flat(lambda, 20.0, 40.0, 32, 7);
+        let ana = analytic_flat(lambda, 20.0, 40.0, 32);
+        // Monotone in load.
+        assert!(sim >= last_sim - 0.05, "simulated stretch dipped at λ={lambda}");
+        last_sim = sim;
+        // Same order of magnitude as the analytic prediction; the MLFQ
+        // substrate penalises small requests more than PS, so allow the
+        // simulator to sit above the analytic value but not wildly so.
+        assert!(
+            sim >= ana * 0.7 && sim <= ana * 3.0 + 1.0,
+            "λ={lambda}: simulated {sim} vs analytic {ana}"
+        );
+    }
+}
+
+#[test]
+fn light_load_approaches_stretch_one_in_both() {
+    let sim = simulated_flat(100.0, 20.0, 40.0, 32, 9);
+    let ana = analytic_flat(100.0, 20.0, 40.0, 32);
+    assert!(ana < 1.1);
+    assert!(sim < 1.35, "idle simulated cluster stretch {sim}");
+}
+
+#[test]
+fn theorem1_choice_wins_in_simulation_too() {
+    // The analytic argmin m should be a good (not necessarily optimal)
+    // simulated choice: better than both extremes.
+    let spec = ksu();
+    let (lambda, inv_r, p) = (1000.0, 40.0, 32);
+    let trace = spec
+        .generate(10_000, &DemandModel::simulation(inv_r), 5)
+        .scaled_to_rate(lambda);
+    let m_star = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
+
+    let run_m = |m: usize| {
+        let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(m);
+        run_policy(cfg, &trace).stretch
+    };
+    let planned = run_m(m_star);
+    let too_few = run_m(1);
+    let too_many = run_m(p - 1);
+    assert!(
+        planned <= too_few * 1.05,
+        "planned m={m_star} ({planned}) should beat m=1 ({too_few})"
+    );
+    assert!(
+        planned <= too_many * 1.05,
+        "planned m={m_star} ({planned}) should beat m={} ({too_many})",
+        p - 1
+    );
+}
+
+#[test]
+fn reservation_bound_consistent_between_crates() {
+    // The runtime bound and the analytic interval's theta2 coincide.
+    let w = Workload::from_ratios(1000.0, 0.3, 1200.0, 1.0 / 40.0).unwrap();
+    let model = MsModel::new(w, 32, 8).unwrap();
+    let iv = model.theta_interval().unwrap();
+    let rb = reservation_bound(8, 32, 0.3, 1.0 / 40.0);
+    assert!((rb - iv.theta2.clamp(0.0, 1.0)).abs() < 1e-12);
+}

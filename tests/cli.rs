@@ -1,0 +1,98 @@
+//! Smoke tests of the `msweb` CLI binary.
+
+use std::process::Command;
+
+fn msweb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_msweb"))
+        .args(args)
+        .output()
+        .expect("failed to spawn msweb")
+}
+
+#[test]
+fn help_exits_with_usage() {
+    let out = msweb(&["help"]);
+    assert!(!out.status.success(), "help exits non-zero by convention");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("plan"));
+    assert!(text.contains("replay"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = msweb(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn plan_prints_masters() {
+    let out = msweb(&["plan", "--lambda", "1000", "--a", "0.25", "--inv-r", "40"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("masters"), "{text}");
+    assert!(text.contains("vs flat"), "{text}");
+}
+
+#[test]
+fn plan_rejects_garbage() {
+    let out = msweb(&["plan", "--lambda", "not-a-number"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn traces_lists_all_four() {
+    let out = msweb(&["traces"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for t in ["DEC", "UCB", "KSU", "ADL"] {
+        assert!(text.contains(t), "missing {t} in:\n{text}");
+    }
+}
+
+#[test]
+fn replay_single_policy() {
+    let out = msweb(&[
+        "replay", "--trace", "ucb", "--lambda", "200", "--p", "8", "--requests", "800",
+        "--policy", "M/S",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stretch"), "{text}");
+    assert!(text.contains("completed"), "{text}");
+}
+
+#[test]
+fn replay_requires_trace() {
+    let out = msweb(&["replay", "--lambda", "200"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+}
+
+#[test]
+fn import_roundtrip_via_tempfile() {
+    // Render a small trace to CLF, write it out, import it back.
+    use msweb::prelude::*;
+    use msweb::workload::clf;
+    let trace = ksu()
+        .generate(300, &DemandModel::simulation(40.0), 5)
+        .scaled_to_rate(30.0);
+    let text = clf::trace_to_clf(&trace);
+    let path = std::env::temp_dir().join("msweb_cli_test.log");
+    std::fs::write(&path, text).unwrap();
+
+    let out = msweb(&[
+        "import", "--log", path.to_str().unwrap(), "--p", "8", "--lambda", "100",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("imported 300 requests"), "{stdout}");
+    assert!(stdout.contains("M/S"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn import_missing_file_fails_cleanly() {
+    let out = msweb(&["import", "--log", "/nonexistent/access.log"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,99 @@
+//! End-to-end failure injection: node crashes, restart of dynamic work,
+//! recovery — the §2 fail-over story.
+
+use msweb::prelude::*;
+
+fn workload(seed: u64) -> Trace {
+    adl()
+        .generate(5_000, &DemandModel::simulation(40.0), seed)
+        .scaled_to_rate(400.0)
+}
+
+#[test]
+fn slave_crash_restarts_dynamics_and_loses_nothing_else() {
+    let trace = workload(1);
+    let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(3);
+    let mid = SimTime::ZERO + trace.span().mul_f64(0.5);
+    let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0)
+        .with_failures(FailurePlan::crash(6, mid));
+    let s = sim.run(&trace);
+    // Slaves only hold dynamic requests, and restart is enabled: every
+    // request is eventually completed.
+    assert_eq!(s.completed, 5_000, "dropped {}", s.dropped);
+    assert_eq!(s.dropped, 0);
+}
+
+#[test]
+fn crash_without_restart_drops_in_flight_work() {
+    let trace = workload(2);
+    let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(3);
+    let mid = SimTime::ZERO + trace.span().mul_f64(0.5);
+    let plan = FailurePlan::new(vec![FailureEvent {
+        at: mid,
+        node: 6,
+        restart_dynamic: false,
+        recover_at: None,
+    }]);
+    let mut sim =
+        ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
+    let s = sim.run(&trace);
+    assert_eq!(s.completed + s.dropped, 5_000);
+    assert!(s.dropped > 0, "a loaded slave should have held work when it died");
+    assert_eq!(s.restarted, 0);
+}
+
+#[test]
+fn multiple_failures_still_account_for_everything() {
+    let trace = workload(3);
+    let span = trace.span();
+    let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(3);
+    let plan = FailurePlan::new(vec![
+        FailureEvent {
+            at: SimTime::ZERO + span.mul_f64(0.3),
+            node: 5,
+            restart_dynamic: true,
+            recover_at: Some(SimTime::ZERO + span.mul_f64(0.8)),
+        },
+        FailureEvent {
+            at: SimTime::ZERO + span.mul_f64(0.5),
+            node: 7,
+            restart_dynamic: true,
+            recover_at: None,
+        },
+    ]);
+    let mut sim =
+        ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
+    let s = sim.run(&trace);
+    assert_eq!(s.completed + s.dropped, 5_000);
+    assert_eq!(s.dropped, 0, "restart-enabled crashes should drop nothing");
+}
+
+#[test]
+fn crash_degrades_but_does_not_wedge_performance() {
+    let trace = workload(4);
+    let mid = SimTime::ZERO + trace.span().mul_f64(0.4);
+
+    let mut base_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    base_cfg.masters = MasterSelection::Fixed(3);
+    let healthy = run_policy(base_cfg.clone(), &trace);
+
+    let mut sim = ClusterSim::new(base_cfg, adl().arrival_ratio_a(), 1.0 / 40.0)
+        .with_failures(FailurePlan::crash(6, mid));
+    let crashed = sim.run(&trace);
+
+    assert!(
+        crashed.stretch >= healthy.stretch * 0.95,
+        "losing a node shouldn't help: {} vs {}",
+        crashed.stretch,
+        healthy.stretch
+    );
+    assert!(
+        crashed.stretch <= healthy.stretch * 20.0,
+        "losing one of 8 nodes must not collapse the cluster: {} vs {}",
+        crashed.stretch,
+        healthy.stretch
+    );
+}

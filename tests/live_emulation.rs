@@ -1,0 +1,64 @@
+//! Smoke tests of the live thread-backed cluster: completeness, class
+//! accounting, and agreement with the simulator on policy *ordering*.
+//! Absolute live timings depend on the host; assertions here are loose.
+
+use std::time::Duration;
+
+use msweb::prelude::*;
+
+fn live(policy: PolicyKind, m: usize, trace: &Trace, scale: f64) -> RunSummary {
+    let mut cfg = LiveConfig::sun_cluster(policy, m);
+    cfg.time_scale = scale;
+    cfg.monitor_period = Duration::from_millis(100);
+    run_live(&cfg, trace)
+}
+
+#[test]
+fn live_accounts_every_request_and_class() {
+    let trace = ucb()
+        .generate(80, &DemandModel::sun_cluster(40.0), 21)
+        .scaled_to_rate(40.0);
+    let s = live(PolicyKind::MasterSlave, 3, &trace, 0.1);
+    assert_eq!(s.completed, 80);
+    assert_eq!(
+        s.completed_static + s.completed_dynamic,
+        s.completed,
+        "class counts must partition completions"
+    );
+    let cgi_in_trace = trace.requests.iter().filter(|r| r.class.is_dynamic()).count() as u64;
+    assert_eq!(s.completed_dynamic, cgi_in_trace);
+}
+
+#[test]
+fn live_stretch_is_at_least_one() {
+    let trace = ksu()
+        .generate(60, &DemandModel::sun_cluster(40.0), 22)
+        .scaled_to_rate(20.0);
+    let s = live(PolicyKind::Flat, 1, &trace, 0.2);
+    assert!(s.stretch >= 1.0, "stretch {}", s.stretch);
+}
+
+#[test]
+fn live_ms_keeps_masters_clean_at_light_load() {
+    let trace = ucb()
+        .generate(100, &DemandModel::sun_cluster(40.0), 23)
+        .scaled_to_rate(30.0);
+    let s = live(PolicyKind::MasterSlave, 3, &trace, 0.1);
+    let frac = s.dynamic_on_master as f64 / s.completed_dynamic.max(1) as f64;
+    assert!(
+        frac < 0.4,
+        "live reservation should keep most CGI off masters, got {frac}"
+    );
+}
+
+#[test]
+fn live_remote_transfers_deliver() {
+    // With a single master, every dynamic request must be transferred to
+    // a slave (remote latency path) and still complete.
+    let trace = adl()
+        .generate(60, &DemandModel::sun_cluster(20.0), 24)
+        .scaled_to_rate(15.0);
+    let s = live(PolicyKind::MasterSlave, 1, &trace, 0.2);
+    assert_eq!(s.completed, 60);
+    assert!(s.completed_dynamic > 0);
+}

@@ -1,0 +1,118 @@
+//! End-to-end integration tests of the paper's headline orderings: the
+//! fully optimised M/S policy should not lose to its own ablations or to
+//! the baselines across traces and seeds.
+
+use msweb::prelude::*;
+
+/// Replay one configuration and return the stretch.
+#[allow(clippy::too_many_arguments)]
+fn stretch(
+    spec: &TraceSpec,
+    n: usize,
+    lambda: f64,
+    inv_r: f64,
+    p: usize,
+    m: usize,
+    policy: PolicyKind,
+    seed: u64,
+) -> f64 {
+    let trace = spec
+        .generate(n, &DemandModel::simulation(inv_r), seed)
+        .scaled_to_rate(lambda);
+    let mut cfg = ClusterConfig::simulation(p, policy);
+    cfg.masters = MasterSelection::Fixed(m);
+    cfg.seed = seed ^ 0xABCD;
+    run_policy(cfg, &trace).stretch
+}
+
+fn planned_m(spec: &TraceSpec, lambda: f64, inv_r: f64, p: usize) -> usize {
+    plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0)
+}
+
+#[test]
+fn ms_beats_flat_on_cgi_heavy_workloads() {
+    for (spec, lambda, inv_r) in [(ucb(), 1000.0, 40.0), (ksu(), 500.0, 80.0)] {
+        let m = planned_m(&spec, lambda, inv_r, 32);
+        let ms = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::MasterSlave, 1);
+        let flat = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::Flat, 1);
+        assert!(
+            ms < flat,
+            "{}: M/S {ms} should beat flat {flat}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn ms_beats_no_reservation_across_seeds() {
+    let spec = ksu();
+    let (lambda, inv_r, p) = (1000.0, 80.0, 32);
+    let m = planned_m(&spec, lambda, inv_r, p);
+    let mut wins = 0;
+    for seed in 1..=3 {
+        let ms = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, seed);
+        let nr = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MsNoReservation, seed);
+        if ms < nr {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "M/S should beat M/S-nr in most seeds, won {wins}/3");
+}
+
+#[test]
+fn ms_beats_all_masters_on_cpu_heavy_cgi() {
+    // Separation matters most when CGI burns CPU next to tiny statics.
+    let spec = ucb();
+    let (lambda, inv_r, p) = (2000.0, 80.0, 32);
+    let m = planned_m(&spec, lambda, inv_r, p);
+    let ms = stretch(&spec, 10_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, 2);
+    let m1 = stretch(&spec, 10_000, lambda, inv_r, p, m, PolicyKind::MsAllMasters, 2);
+    assert!(ms < m1, "M/S {ms} should beat M/S-1 {m1}");
+}
+
+#[test]
+fn remote_execution_beats_http_redirection() {
+    // The paper's §1 argument for remote CGI execution over redirection.
+    let spec = adl();
+    let (lambda, inv_r, p) = (1000.0, 40.0, 32);
+    let m = planned_m(&spec, lambda, inv_r, p);
+    let ms = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, 3);
+    let redir = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::Redirect, 3);
+    assert!(
+        ms <= redir,
+        "remote execution {ms} should not lose to redirection {redir}"
+    );
+}
+
+#[test]
+fn msprime_static_spreading_hurts_under_cpu_cgi() {
+    // M/S' lets statics share nodes with pinned dynamics; with CPU-bound
+    // CGI that mixing costs static requests dearly.
+    let spec = ucb();
+    let (lambda, inv_r, p) = (1000.0, 80.0, 32);
+    let m = planned_m(&spec, lambda, inv_r, p);
+    let ms = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, 4);
+    let msp = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MsPrime, 4);
+    assert!(ms < msp, "M/S {ms} should beat M/S' {msp}");
+}
+
+#[test]
+fn improvements_grow_with_cgi_cost() {
+    // The Figure 4 trend: the M/S advantage over the flat-like M/S-1
+    // grows as CGI becomes more expensive relative to statics.
+    let spec = ucb();
+    let p = 32;
+    let mut last = f64::NEG_INFINITY;
+    let mut grew = 0;
+    for inv_r in [20.0, 40.0, 80.0] {
+        let m = planned_m(&spec, 1000.0, inv_r, p);
+        let ms = stretch(&spec, 8_000, 1000.0, inv_r, p, m, PolicyKind::MasterSlave, 5);
+        let m1 = stretch(&spec, 8_000, 1000.0, inv_r, p, m, PolicyKind::MsAllMasters, 5);
+        let imp = (m1 / ms - 1.0) * 100.0;
+        if imp >= last {
+            grew += 1;
+        }
+        last = imp;
+    }
+    assert!(grew >= 2, "improvement trend should be mostly increasing");
+}

@@ -1,0 +1,112 @@
+//! End-to-end behaviour of the reservation mechanism inside full
+//! simulations: masters stay clean under comfortable load, statics are
+//! protected, and the admission cap opens under pressure.
+
+use msweb::prelude::*;
+
+#[test]
+fn masters_take_no_dynamics_under_comfortable_load() {
+    let spec = ucb();
+    let trace = spec
+        .generate(10_000, &DemandModel::simulation(40.0), 3)
+        .scaled_to_rate(800.0); // ~11% of a 32-node cluster
+    let m = plan_masters(32, 800.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(m);
+    let s = run_policy(cfg, &trace);
+    let frac = s.dynamic_on_master as f64 / s.completed_dynamic.max(1) as f64;
+    assert!(
+        frac < 0.05,
+        "masters should be nearly CGI-free at light load, got {frac:.3}"
+    );
+}
+
+#[test]
+fn masters_absorb_overflow_under_heavy_load() {
+    let spec = ucb();
+    // ~85% of the cluster: the cap should open and recruit masters.
+    let trace = spec
+        .generate(20_000, &DemandModel::simulation(80.0), 3)
+        .scaled_to_rate(3200.0);
+    let m = plan_masters(32, 3200.0, spec.arrival_ratio_a(), 1.0 / 80.0, 1200.0);
+    let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(m);
+    let s = run_policy(cfg, &trace);
+    assert!(
+        s.dynamic_on_master > 0,
+        "near saturation the reservation should open and recruit masters"
+    );
+}
+
+#[test]
+fn static_requests_protected_relative_to_flat() {
+    // The core separation promise: static stretch under M/S is far below
+    // static stretch under flat at the same load.
+    let spec = ksu();
+    let trace = spec
+        .generate(12_000, &DemandModel::simulation(80.0), 5)
+        .scaled_to_rate(1000.0);
+    let m = plan_masters(32, 1000.0, spec.arrival_ratio_a(), 1.0 / 80.0, 1200.0);
+
+    let mut ms_cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
+    ms_cfg.masters = MasterSelection::Fixed(m);
+    let ms = run_policy(ms_cfg, &trace);
+    let flat = run_policy(ClusterConfig::simulation(32, PolicyKind::Flat), &trace);
+
+    assert!(
+        ms.stretch_static < flat.stretch_static * 0.8,
+        "M/S static stretch {} should be well below flat's {}",
+        ms.stretch_static,
+        flat.stretch_static
+    );
+}
+
+#[test]
+fn no_reservation_floods_masters() {
+    let spec = ksu();
+    let trace = spec
+        .generate(12_000, &DemandModel::simulation(80.0), 6)
+        .scaled_to_rate(1000.0);
+    let m = plan_masters(32, 1000.0, spec.arrival_ratio_a(), 1.0 / 80.0, 1200.0);
+
+    let run = |policy| {
+        let mut cfg = ClusterConfig::simulation(32, policy);
+        cfg.masters = MasterSelection::Fixed(m);
+        run_policy(cfg, &trace)
+    };
+    let ms = run(PolicyKind::MasterSlave);
+    let nr = run(PolicyKind::MsNoReservation);
+    let ms_frac = ms.dynamic_on_master as f64 / ms.completed_dynamic.max(1) as f64;
+    let nr_frac = nr.dynamic_on_master as f64 / nr.completed_dynamic.max(1) as f64;
+    assert!(
+        nr_frac > ms_frac + 0.05,
+        "without reservation masters should see much more CGI: {nr_frac:.3} vs {ms_frac:.3}"
+    );
+    // And their statics pay for it.
+    assert!(
+        nr.stretch_static > ms.stretch_static,
+        "M/S-nr statics {} should be slower than M/S statics {}",
+        nr.stretch_static,
+        ms.stretch_static
+    );
+}
+
+#[test]
+fn monitor_staleness_degrades_gracefully() {
+    // Much staler load info should hurt, but never collapse the system.
+    let spec = ucb();
+    let trace = spec
+        .generate(10_000, &DemandModel::simulation(40.0), 8)
+        .scaled_to_rate(1500.0);
+    let m = plan_masters(32, 1500.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let run = |period_ms: u64| {
+        let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(m);
+        cfg.monitor_period = SimDuration::from_millis(period_ms);
+        run_policy(cfg, &trace).stretch
+    };
+    let fresh = run(100);
+    let stale = run(4000);
+    assert!(stale >= fresh * 0.9, "staleness shouldn't magically help a lot");
+    assert!(stale <= fresh * 3.0, "staleness shouldn't collapse the system");
+}
