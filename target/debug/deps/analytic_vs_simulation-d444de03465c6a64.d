@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analytic_vs_simulation-d444de03465c6a64.d: tests/analytic_vs_simulation.rs
+
+/root/repo/target/debug/deps/analytic_vs_simulation-d444de03465c6a64: tests/analytic_vs_simulation.rs
+
+tests/analytic_vs_simulation.rs:

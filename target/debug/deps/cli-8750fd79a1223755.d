@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-8750fd79a1223755.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-8750fd79a1223755: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_msweb=/root/repo/target/debug/msweb

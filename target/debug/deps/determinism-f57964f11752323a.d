@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f57964f11752323a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f57964f11752323a: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-49126435d00fe3d3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-49126435d00fe3d3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

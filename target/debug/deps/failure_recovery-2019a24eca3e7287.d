@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_recovery-2019a24eca3e7287.d: tests/failure_recovery.rs
+
+/root/repo/target/debug/deps/failure_recovery-2019a24eca3e7287: tests/failure_recovery.rs
+
+tests/failure_recovery.rs:

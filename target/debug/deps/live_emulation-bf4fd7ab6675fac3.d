@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_emulation-bf4fd7ab6675fac3.d: tests/live_emulation.rs
+
+/root/repo/target/debug/deps/live_emulation-bf4fd7ab6675fac3: tests/live_emulation.rs
+
+tests/live_emulation.rs:

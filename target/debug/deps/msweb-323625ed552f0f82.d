@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msweb-323625ed552f0f82.d: src/bin/msweb.rs
+
+/root/repo/target/debug/deps/msweb-323625ed552f0f82: src/bin/msweb.rs
+
+src/bin/msweb.rs:

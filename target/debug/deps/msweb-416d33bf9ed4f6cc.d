@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msweb-416d33bf9ed4f6cc.d: src/bin/msweb.rs
+
+/root/repo/target/debug/deps/msweb-416d33bf9ed4f6cc: src/bin/msweb.rs
+
+src/bin/msweb.rs:

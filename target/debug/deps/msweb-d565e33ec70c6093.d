@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msweb-d565e33ec70c6093.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsweb-d565e33ec70c6093.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsweb-d565e33ec70c6093.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msweb-e6e530fb85b12e91.d: src/lib.rs
+
+/root/repo/target/debug/deps/msweb-e6e530fb85b12e91: src/lib.rs
+
+src/lib.rs:

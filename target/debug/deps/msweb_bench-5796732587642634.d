@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msweb_bench-5796732587642634.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/msweb_bench-5796732587642634: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msweb_bench-6a46fb7d4ae00983.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmsweb_bench-6a46fb7d4ae00983.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmsweb_bench-6a46fb7d4ae00983.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

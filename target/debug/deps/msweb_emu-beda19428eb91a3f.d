@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msweb_emu-beda19428eb91a3f.d: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+/root/repo/target/debug/deps/libmsweb_emu-beda19428eb91a3f.rlib: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+/root/repo/target/debug/deps/libmsweb_emu-beda19428eb91a3f.rmeta: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/cluster.rs:
+crates/emu/src/job.rs:
+crates/emu/src/node.rs:
+crates/emu/src/timing.rs:

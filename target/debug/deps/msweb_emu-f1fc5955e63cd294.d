@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msweb_emu-f1fc5955e63cd294.d: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+/root/repo/target/debug/deps/msweb_emu-f1fc5955e63cd294: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/cluster.rs:
+crates/emu/src/job.rs:
+crates/emu/src/node.rs:
+crates/emu/src/timing.rs:

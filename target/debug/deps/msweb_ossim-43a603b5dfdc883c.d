@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msweb_ossim-43a603b5dfdc883c.d: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+/root/repo/target/debug/deps/libmsweb_ossim-43a603b5dfdc883c.rlib: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+/root/repo/target/debug/deps/libmsweb_ossim-43a603b5dfdc883c.rmeta: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+crates/ossim/src/lib.rs:
+crates/ossim/src/config.rs:
+crates/ossim/src/disk.rs:
+crates/ossim/src/memory.rs:
+crates/ossim/src/mlfq.rs:
+crates/ossim/src/node.rs:
+crates/ossim/src/process.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msweb_ossim-768e0dc960fc20e2.d: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+/root/repo/target/debug/deps/msweb_ossim-768e0dc960fc20e2: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+crates/ossim/src/lib.rs:
+crates/ossim/src/config.rs:
+crates/ossim/src/disk.rs:
+crates/ossim/src/memory.rs:
+crates/ossim/src/mlfq.rs:
+crates/ossim/src/node.rs:
+crates/ossim/src/process.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/msweb_queueing-5fa40c79058891b9.d: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+/root/repo/target/debug/deps/libmsweb_queueing-5fa40c79058891b9.rlib: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+/root/repo/target/debug/deps/libmsweb_queueing-5fa40c79058891b9.rmeta: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/fig3.rs:
+crates/queueing/src/flat.rs:
+crates/queueing/src/hetero.rs:
+crates/queueing/src/mmc.rs:
+crates/queueing/src/ms.rs:
+crates/queueing/src/msprime.rs:
+crates/queueing/src/params.rs:
+crates/queueing/src/theorem1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msweb_simcore-549c93ec03a5785f.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/msweb_simcore-549c93ec03a5785f: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

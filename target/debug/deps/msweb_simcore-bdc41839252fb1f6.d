@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msweb_simcore-bdc41839252fb1f6.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libmsweb_simcore-bdc41839252fb1f6.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libmsweb_simcore-bdc41839252fb1f6.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msweb_workload-453194b502ba185b.d: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libmsweb_workload-453194b502ba185b.rlib: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libmsweb_workload-453194b502ba185b.rmeta: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cgi.rs:
+crates/workload/src/clf.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/generators.rs:
+crates/workload/src/request.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msweb_workload-7280a4b51269b6c8.d: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/msweb_workload-7280a4b51269b6c8: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cgi.rs:
+crates/workload/src/clf.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/generators.rs:
+crates/workload/src/request.rs:
+crates/workload/src/trace.rs:

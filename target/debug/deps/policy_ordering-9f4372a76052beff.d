@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_ordering-9f4372a76052beff.d: tests/policy_ordering.rs
+
+/root/repo/target/debug/deps/policy_ordering-9f4372a76052beff: tests/policy_ordering.rs
+
+tests/policy_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pooling_and_bursts-443082dc3f2b75a0.d: tests/pooling_and_bursts.rs
+
+/root/repo/target/debug/deps/pooling_and_bursts-443082dc3f2b75a0: tests/pooling_and_bursts.rs
+
+tests/pooling_and_bursts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-245fb7c84a9fd1db.d: crates/workload/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-245fb7c84a9fd1db: crates/workload/tests/proptests.rs
+
+crates/workload/tests/proptests.rs:

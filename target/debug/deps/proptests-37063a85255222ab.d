@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-37063a85255222ab.d: crates/ossim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-37063a85255222ab: crates/ossim/tests/proptests.rs
+
+crates/ossim/tests/proptests.rs:

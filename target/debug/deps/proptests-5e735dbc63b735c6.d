@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5e735dbc63b735c6.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5e735dbc63b735c6: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8e8f5951f4440a37.d: crates/queueing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8e8f5951f4440a37: crates/queueing/tests/proptests.rs
+
+crates/queueing/tests/proptests.rs:

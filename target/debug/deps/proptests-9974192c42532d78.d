@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9974192c42532d78.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9974192c42532d78: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

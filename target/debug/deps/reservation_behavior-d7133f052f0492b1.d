@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reservation_behavior-d7133f052f0492b1.d: tests/reservation_behavior.rs
+
+/root/repo/target/debug/deps/reservation_behavior-d7133f052f0492b1: tests/reservation_behavior.rs
+
+tests/reservation_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_reservation-4919dc8c3191a44c.d: examples/adaptive_reservation.rs
+
+/root/repo/target/debug/examples/adaptive_reservation-4919dc8c3191a44c: examples/adaptive_reservation.rs
+
+examples/adaptive_reservation.rs:

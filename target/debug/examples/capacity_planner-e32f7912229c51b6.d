@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planner-e32f7912229c51b6.d: examples/capacity_planner.rs
+
+/root/repo/target/debug/examples/capacity_planner-e32f7912229c51b6: examples/capacity_planner.rs
+
+examples/capacity_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clf_import-ed95931cde649de1.d: examples/clf_import.rs
+
+/root/repo/target/debug/examples/clf_import-ed95931cde649de1: examples/clf_import.rs
+
+examples/clf_import.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-eeee41810ceb6259.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-eeee41810ceb6259: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-83a41a0af2525330.d: examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-83a41a0af2525330: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_cluster-2ecdb4d1db94c33b.d: examples/live_cluster.rs
+
+/root/repo/target/debug/examples/live_cluster-2ecdb4d1db94c33b: examples/live_cluster.rs
+
+examples/live_cluster.rs:

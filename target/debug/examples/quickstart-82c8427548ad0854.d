@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-82c8427548ad0854.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-82c8427548ad0854: examples/quickstart.rs
+
+examples/quickstart.rs:

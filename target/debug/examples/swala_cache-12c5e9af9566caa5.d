@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/swala_cache-12c5e9af9566caa5.d: examples/swala_cache.rs
+
+/root/repo/target/debug/examples/swala_cache-12c5e9af9566caa5: examples/swala_cache.rs
+
+examples/swala_cache.rs:

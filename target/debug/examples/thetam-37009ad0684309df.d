@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/thetam-37009ad0684309df.d: crates/queueing/examples/thetam.rs
+
+/root/repo/target/debug/examples/thetam-37009ad0684309df: crates/queueing/examples/thetam.rs
+
+crates/queueing/examples/thetam.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-623b8418e128dc7e.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-623b8418e128dc7e: examples/trace_replay.rs
+
+examples/trace_replay.rs:

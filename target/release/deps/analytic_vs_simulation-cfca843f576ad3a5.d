@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analytic_vs_simulation-cfca843f576ad3a5.d: tests/analytic_vs_simulation.rs
+
+/root/repo/target/release/deps/analytic_vs_simulation-cfca843f576ad3a5: tests/analytic_vs_simulation.rs
+
+tests/analytic_vs_simulation.rs:

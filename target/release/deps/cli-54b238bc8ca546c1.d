@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-54b238bc8ca546c1.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-54b238bc8ca546c1: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_msweb=/root/repo/target/release/msweb

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-496364e03ae7664b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-496364e03ae7664b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-496364e03ae7664b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

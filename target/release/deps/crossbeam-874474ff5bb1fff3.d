@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-874474ff5bb1fff3.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-874474ff5bb1fff3.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-874474ff5bb1fff3.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-70d75c623dabae3d.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-70d75c623dabae3d: tests/determinism.rs
+
+tests/determinism.rs:

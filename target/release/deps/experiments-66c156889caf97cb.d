@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-66c156889caf97cb.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-66c156889caf97cb: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-9f1526e727dac202.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-9f1526e727dac202: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

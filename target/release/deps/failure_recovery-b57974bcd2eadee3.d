@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_recovery-b57974bcd2eadee3.d: tests/failure_recovery.rs
+
+/root/repo/target/release/deps/failure_recovery-b57974bcd2eadee3: tests/failure_recovery.rs
+
+tests/failure_recovery.rs:

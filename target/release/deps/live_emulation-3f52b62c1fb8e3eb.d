@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/live_emulation-3f52b62c1fb8e3eb.d: tests/live_emulation.rs
+
+/root/repo/target/release/deps/live_emulation-3f52b62c1fb8e3eb: tests/live_emulation.rs
+
+tests/live_emulation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msweb-867605aa2bbb742a.d: src/lib.rs
+
+/root/repo/target/release/deps/libmsweb-867605aa2bbb742a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmsweb-867605aa2bbb742a.rmeta: src/lib.rs
+
+src/lib.rs:

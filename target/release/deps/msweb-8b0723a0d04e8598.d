@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msweb-8b0723a0d04e8598.d: src/bin/msweb.rs
+
+/root/repo/target/release/deps/msweb-8b0723a0d04e8598: src/bin/msweb.rs
+
+src/bin/msweb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msweb-c5fa944934a089e0.d: src/bin/msweb.rs
+
+/root/repo/target/release/deps/msweb-c5fa944934a089e0: src/bin/msweb.rs
+
+src/bin/msweb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msweb-e54a8857cb42ce69.d: src/lib.rs
+
+/root/repo/target/release/deps/msweb-e54a8857cb42ce69: src/lib.rs
+
+src/lib.rs:

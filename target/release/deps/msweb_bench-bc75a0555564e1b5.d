@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msweb_bench-bc75a0555564e1b5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/msweb_bench-bc75a0555564e1b5: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

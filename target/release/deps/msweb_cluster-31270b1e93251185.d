@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msweb_cluster-31270b1e93251185.d: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/config.rs crates/cluster/src/failure.rs crates/cluster/src/loadinfo.rs crates/cluster/src/metrics.rs crates/cluster/src/policy.rs crates/cluster/src/reservation.rs crates/cluster/src/rsrc.rs crates/cluster/src/sim.rs
+
+/root/repo/target/release/deps/msweb_cluster-31270b1e93251185: crates/cluster/src/lib.rs crates/cluster/src/cache.rs crates/cluster/src/config.rs crates/cluster/src/failure.rs crates/cluster/src/loadinfo.rs crates/cluster/src/metrics.rs crates/cluster/src/policy.rs crates/cluster/src/reservation.rs crates/cluster/src/rsrc.rs crates/cluster/src/sim.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cache.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/failure.rs:
+crates/cluster/src/loadinfo.rs:
+crates/cluster/src/metrics.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/reservation.rs:
+crates/cluster/src/rsrc.rs:
+crates/cluster/src/sim.rs:

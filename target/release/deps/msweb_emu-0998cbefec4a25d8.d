@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msweb_emu-0998cbefec4a25d8.d: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+/root/repo/target/release/deps/libmsweb_emu-0998cbefec4a25d8.rlib: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+/root/repo/target/release/deps/libmsweb_emu-0998cbefec4a25d8.rmeta: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/cluster.rs:
+crates/emu/src/job.rs:
+crates/emu/src/node.rs:
+crates/emu/src/timing.rs:

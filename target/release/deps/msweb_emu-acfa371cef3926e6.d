@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msweb_emu-acfa371cef3926e6.d: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+/root/repo/target/release/deps/msweb_emu-acfa371cef3926e6: crates/emu/src/lib.rs crates/emu/src/cluster.rs crates/emu/src/job.rs crates/emu/src/node.rs crates/emu/src/timing.rs
+
+crates/emu/src/lib.rs:
+crates/emu/src/cluster.rs:
+crates/emu/src/job.rs:
+crates/emu/src/node.rs:
+crates/emu/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/msweb_ossim-60a4195d1aa7273b.d: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+/root/repo/target/release/deps/libmsweb_ossim-60a4195d1aa7273b.rlib: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+/root/repo/target/release/deps/libmsweb_ossim-60a4195d1aa7273b.rmeta: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+crates/ossim/src/lib.rs:
+crates/ossim/src/config.rs:
+crates/ossim/src/disk.rs:
+crates/ossim/src/memory.rs:
+crates/ossim/src/mlfq.rs:
+crates/ossim/src/node.rs:
+crates/ossim/src/process.rs:

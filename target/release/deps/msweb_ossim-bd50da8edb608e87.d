@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msweb_ossim-bd50da8edb608e87.d: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+/root/repo/target/release/deps/msweb_ossim-bd50da8edb608e87: crates/ossim/src/lib.rs crates/ossim/src/config.rs crates/ossim/src/disk.rs crates/ossim/src/memory.rs crates/ossim/src/mlfq.rs crates/ossim/src/node.rs crates/ossim/src/process.rs
+
+crates/ossim/src/lib.rs:
+crates/ossim/src/config.rs:
+crates/ossim/src/disk.rs:
+crates/ossim/src/memory.rs:
+crates/ossim/src/mlfq.rs:
+crates/ossim/src/node.rs:
+crates/ossim/src/process.rs:

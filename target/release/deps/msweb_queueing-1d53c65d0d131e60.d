@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/msweb_queueing-1d53c65d0d131e60.d: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+/root/repo/target/release/deps/msweb_queueing-1d53c65d0d131e60: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/fig3.rs:
+crates/queueing/src/flat.rs:
+crates/queueing/src/hetero.rs:
+crates/queueing/src/mmc.rs:
+crates/queueing/src/ms.rs:
+crates/queueing/src/msprime.rs:
+crates/queueing/src/params.rs:
+crates/queueing/src/theorem1.rs:

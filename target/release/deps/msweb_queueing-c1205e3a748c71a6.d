@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/msweb_queueing-c1205e3a748c71a6.d: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+/root/repo/target/release/deps/libmsweb_queueing-c1205e3a748c71a6.rlib: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+/root/repo/target/release/deps/libmsweb_queueing-c1205e3a748c71a6.rmeta: crates/queueing/src/lib.rs crates/queueing/src/fig3.rs crates/queueing/src/flat.rs crates/queueing/src/hetero.rs crates/queueing/src/mmc.rs crates/queueing/src/ms.rs crates/queueing/src/msprime.rs crates/queueing/src/params.rs crates/queueing/src/theorem1.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/fig3.rs:
+crates/queueing/src/flat.rs:
+crates/queueing/src/hetero.rs:
+crates/queueing/src/mmc.rs:
+crates/queueing/src/ms.rs:
+crates/queueing/src/msprime.rs:
+crates/queueing/src/params.rs:
+crates/queueing/src/theorem1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/msweb_simcore-a9e9f877bd4a8ceb.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libmsweb_simcore-a9e9f877bd4a8ceb.rlib: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libmsweb_simcore-a9e9f877bd4a8ceb.rmeta: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

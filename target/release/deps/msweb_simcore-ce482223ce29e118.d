@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/msweb_simcore-ce482223ce29e118.d: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/msweb_simcore-ce482223ce29e118: crates/simcore/src/lib.rs crates/simcore/src/dist.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/dist.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/msweb_workload-5e71dd57190ad5bc.d: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libmsweb_workload-5e71dd57190ad5bc.rlib: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libmsweb_workload-5e71dd57190ad5bc.rmeta: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cgi.rs:
+crates/workload/src/clf.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/generators.rs:
+crates/workload/src/request.rs:
+crates/workload/src/trace.rs:

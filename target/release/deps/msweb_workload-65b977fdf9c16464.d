@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msweb_workload-65b977fdf9c16464.d: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/msweb_workload-65b977fdf9c16464: crates/workload/src/lib.rs crates/workload/src/cgi.rs crates/workload/src/clf.rs crates/workload/src/fileset.rs crates/workload/src/generators.rs crates/workload/src/request.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cgi.rs:
+crates/workload/src/clf.rs:
+crates/workload/src/fileset.rs:
+crates/workload/src/generators.rs:
+crates/workload/src/request.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/policy_ordering-50988e27e541d21e.d: tests/policy_ordering.rs
+
+/root/repo/target/release/deps/policy_ordering-50988e27e541d21e: tests/policy_ordering.rs
+
+tests/policy_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pooling_and_bursts-f27a8c3eb3918840.d: tests/pooling_and_bursts.rs
+
+/root/repo/target/release/deps/pooling_and_bursts-f27a8c3eb3918840: tests/pooling_and_bursts.rs
+
+tests/pooling_and_bursts.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6b0c21ff35169b28.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6b0c21ff35169b28.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6b0c21ff35169b28.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-00ba2814f776248c.d: crates/ossim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-00ba2814f776248c: crates/ossim/tests/proptests.rs
+
+crates/ossim/tests/proptests.rs:

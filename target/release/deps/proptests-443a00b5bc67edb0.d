@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-443a00b5bc67edb0.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-443a00b5bc67edb0: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

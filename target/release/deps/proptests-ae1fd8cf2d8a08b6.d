@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ae1fd8cf2d8a08b6.d: crates/workload/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ae1fd8cf2d8a08b6: crates/workload/tests/proptests.rs
+
+crates/workload/tests/proptests.rs:

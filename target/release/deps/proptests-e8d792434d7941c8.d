@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-e8d792434d7941c8.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-e8d792434d7941c8: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-fae289c92f102530.d: crates/queueing/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-fae289c92f102530: crates/queueing/tests/proptests.rs
+
+crates/queueing/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-61c64c1068d813ec.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-61c64c1068d813ec.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-61c64c1068d813ec.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

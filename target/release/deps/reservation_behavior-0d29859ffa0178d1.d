@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reservation_behavior-0d29859ffa0178d1.d: tests/reservation_behavior.rs
+
+/root/repo/target/release/deps/reservation_behavior-0d29859ffa0178d1: tests/reservation_behavior.rs
+
+tests/reservation_behavior.rs:

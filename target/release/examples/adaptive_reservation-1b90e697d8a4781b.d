@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_reservation-1b90e697d8a4781b.d: examples/adaptive_reservation.rs
+
+/root/repo/target/release/examples/adaptive_reservation-1b90e697d8a4781b: examples/adaptive_reservation.rs
+
+examples/adaptive_reservation.rs:

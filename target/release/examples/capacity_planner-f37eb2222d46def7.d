@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planner-f37eb2222d46def7.d: examples/capacity_planner.rs
+
+/root/repo/target/release/examples/capacity_planner-f37eb2222d46def7: examples/capacity_planner.rs
+
+examples/capacity_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clf_import-486cf5810580f060.d: examples/clf_import.rs
+
+/root/repo/target/release/examples/clf_import-486cf5810580f060: examples/clf_import.rs
+
+examples/clf_import.rs:

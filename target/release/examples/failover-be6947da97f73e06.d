@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failover-be6947da97f73e06.d: examples/failover.rs
+
+/root/repo/target/release/examples/failover-be6947da97f73e06: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous-566517c5001430d6.d: examples/heterogeneous.rs
+
+/root/repo/target/release/examples/heterogeneous-566517c5001430d6: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

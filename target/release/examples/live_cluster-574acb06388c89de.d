@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_cluster-574acb06388c89de.d: examples/live_cluster.rs
+
+/root/repo/target/release/examples/live_cluster-574acb06388c89de: examples/live_cluster.rs
+
+examples/live_cluster.rs:

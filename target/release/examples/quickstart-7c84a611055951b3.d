@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7c84a611055951b3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7c84a611055951b3: examples/quickstart.rs
+
+examples/quickstart.rs:

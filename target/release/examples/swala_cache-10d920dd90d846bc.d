@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/swala_cache-10d920dd90d846bc.d: examples/swala_cache.rs
+
+/root/repo/target/release/examples/swala_cache-10d920dd90d846bc: examples/swala_cache.rs
+
+examples/swala_cache.rs:

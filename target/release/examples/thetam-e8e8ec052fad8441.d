@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/thetam-e8e8ec052fad8441.d: crates/queueing/examples/thetam.rs
+
+/root/repo/target/release/examples/thetam-e8e8ec052fad8441: crates/queueing/examples/thetam.rs
+
+crates/queueing/examples/thetam.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-bef7e356f3d03d49.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-bef7e356f3d03d49: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`, scoped to what this workspace's
+//! benches use: `Criterion::default().sample_size(n)`, `bench_function`,
+//! `Bencher::iter`, [`black_box`], and both forms of [`criterion_group!`]
+//! plus [`criterion_main!`].
+//!
+//! Timing is a straightforward wall-clock measurement (a warm-up batch
+//! followed by `sample_size` timed batches, reporting the median), with
+//! no statistical regression analysis, plotting, or persistence. Under
+//! `cargo test` (criterion benches are compiled with `--test` too) each
+//! benchmark runs a single iteration so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            // `cargo test` runs bench targets with `--test`.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark, timing `f`'s calls to `Bencher::iter`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: ok (test mode, 1 iteration)");
+        } else {
+            b.report(id);
+        }
+        self
+    }
+
+    /// Upstream finalisation hook; nothing to flush here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to the closure given to `bench_function`; runs the measured
+/// routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measure `routine`, called repeatedly in timed batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+
+        // Warm up and size batches so one sample takes roughly 10 ms:
+        // long enough that Instant overhead is negligible.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id}: no samples (iter was never called)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        println!(
+            "{id}: median {} (min {}, max {}, {} samples x {} iters)",
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+            per_iter.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group benchmark functions; supports both upstream forms:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group!(name = benches; config = ...; targets = f, g)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        bench_example(&mut c);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for `crossbeam`, scoped to what this workspace needs.
+//!
+//! The live cluster emulation (`msweb-emu`) uses crossbeam's MPSC
+//! channels: every channel here has exactly one consumer (a node worker
+//! or the dispatcher's completion drain), so `std::sync::mpsc` provides
+//! the same semantics — multi-producer senders, `try_recv`,
+//! `recv_timeout`, disconnection on drop. This module re-exports the std
+//! types under crossbeam's names.
+//!
+//! Scoped threads (`crossbeam::thread::scope`) are not re-exported:
+//! `std::thread::scope` has covered that use case since Rust 1.63 and is
+//! what `msweb-simcore`'s worker pool uses.
+
+/// MPSC channels with crossbeam's `channel` module layout.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (multi-producer: clonable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half (single consumer).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop((tx, tx2));
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline stand-in for `serde`, scoped to what this workspace needs.
+//!
+//! The build environment has no crates.io access, so the real `serde` is
+//! unavailable. This crate keeps the workspace's `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` annotations compiling by providing a small
+//! value-tree data model instead of serde's visitor machinery:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`] tree;
+//! * [`Value`] — JSON-shaped document (`null`, bool, numbers, string,
+//!   array, object) with an exact [`Value::to_json`] renderer;
+//! * [`to_json_string`] — the one-call convenience the experiment
+//!   reports use for `--json` output;
+//! * [`Deserialize`] — a marker trait only (nothing in the workspace
+//!   reads serialised data back yet).
+//!
+//! The derive macros live in the sibling `serde_derive` crate and follow
+//! serde's externally-tagged conventions: structs become objects, unit
+//! enum variants become strings, data-carrying variants become
+//! single-key objects, newtype structs are transparent.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON-shaped document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (kept exact; not routed through f64).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Render as pretty-printed JSON with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent so the
+                    // number round-trips as a float.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write_json(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types whose serialised form could be read back. The
+/// workspace only writes reports today, so no decoding machinery exists;
+/// the derive generates an empty impl to keep annotations honest.
+pub trait Deserialize: Sized {}
+
+/// Serialise any [`Serialize`] type to compact JSON.
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json()
+}
+
+/// Serialise any [`Serialize`] type to pretty-printed JSON.
+pub fn to_json_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    value.to_value().to_json_pretty()
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ------------------------------------------------------------ composites
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(42u64.to_value().to_json(), "42");
+        assert_eq!((-3i32).to_value().to_json(), "-3");
+        assert_eq!(true.to_value().to_json(), "true");
+        assert_eq!(1.5f64.to_value().to_json(), "1.5");
+        assert_eq!(f64::NAN.to_value().to_json(), "null");
+        assert_eq!("hi".to_value().to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            "a\"b\\c\nd".to_value().to_json(),
+            r#""a\"b\\c\nd""#
+        );
+    }
+
+    #[test]
+    fn composites_render() {
+        let v = vec![Some(1u32), None, Some(3)];
+        assert_eq!(to_json_string(&v), "[1,null,3]");
+        let t = (1u8, "x", 2.5f64);
+        assert_eq!(to_json_string(&t), "[1,\"x\",2.5]");
+    }
+
+    #[test]
+    fn object_ordering_is_insertion() {
+        let obj = Value::Object(vec![
+            ("b".into(), Value::UInt(1)),
+            ("a".into(), Value::UInt(2)),
+        ]);
+        assert_eq!(obj.to_json(), "{\"b\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn float_roundtrip_notation() {
+        // Whole floats keep a ".0" so they parse back as floats.
+        assert_eq!(2.0f64.to_value().to_json(), "2.0");
+    }
+}

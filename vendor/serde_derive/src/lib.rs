@@ -1,0 +1,337 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! `syn`/`quote` are not available in this build environment, so the item
+//! is parsed directly from the raw [`proc_macro::TokenStream`]. Supported
+//! shapes — which cover every annotated type in the workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialise transparently),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; hitting
+//! either produces a compile error naming this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the annotated item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::NamedStruct { name, .. }
+                | Item::TupleStruct { name, .. }
+                | Item::UnitStruct { name }
+                | Item::Enum { name, .. } => name,
+            };
+            format!("impl ::serde::Deserialize for {name} {{}}")
+                .parse()
+                .expect("generated impl parses")
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", format!("serde_derive (offline stub): {msg}"))
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported"));
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        }
+    }
+}
+
+/// Advance past attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// `a: T, b: U, ...` — collect the field names, skipping the types.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        skip_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut saw_entry = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                // A trailing comma does not add a field.
+                if idx + 1 < tokens.len() {
+                    arity += 1;
+                }
+            }
+            _ => saw_entry = true,
+        }
+    }
+    if saw_entry {
+        arity
+    } else {
+        0
+    }
+}
+
+/// Consume the type tokens of one field: everything up to (and including)
+/// the next top-level comma. Token trees keep nested `<...>`-free groups
+/// balanced for us; `<` generics inside types carry no top-level commas
+/// only when the type itself is not generic, so track angle depth too.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Variant::Tuple(name, count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Struct(name, parse_named_fields(g.stream())?)
+            }
+            _ => Variant::Unit(name),
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("explicit discriminants are not supported".into());
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            impl_block(
+                name,
+                &format!("::serde::Value::Object(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 0 } | Item::UnitStruct { name } => {
+            impl_block(name, "::serde::Value::Null")
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            // Newtype structs are transparent, matching serde.
+            impl_block(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_block(
+                name,
+                &format!("::serde::Value::Array(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| gen_variant_arm(name, v)).collect();
+            impl_block(name, &format!("match self {{ {} }}", arms.join(" ")))
+        }
+    }
+}
+
+fn gen_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    match variant {
+        Variant::Unit(v) => format!(
+            "{enum_name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+        ),
+        Variant::Tuple(v, 1) => format!(
+            "{enum_name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+             ::std::string::String::from({v:?}), ::serde::Serialize::to_value(f0))]),"
+        ),
+        Variant::Tuple(v, arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({binders}) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from({v:?}), \
+                 ::serde::Value::Array(::std::vec![{values}]))]),",
+                binders = binders.join(", "),
+                values = values.join(", "),
+            )
+        }
+        Variant::Struct(v, fields) => {
+            let binders = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {binders} }} => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from({v:?}), \
+                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                entries = entries.join(", "),
+            )
+        }
+    }
+}
+
+fn impl_block(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
