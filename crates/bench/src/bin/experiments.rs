@@ -3,292 +3,106 @@
 //! ```sh
 //! cargo run --release -p msweb-bench --bin experiments -- all
 //! cargo run --release -p msweb-bench --bin experiments -- fig4a --quick
+//! cargo run --release -p msweb-bench --bin experiments -- fig4b --jobs 4 --json out.json
 //! ```
 //!
 //! Experiment ids: `fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3 ablation`.
+//!
+//! Flags:
+//! * `--quick` — small request counts for smoke runs;
+//! * `--jobs N` — sweep worker threads (default: all cores; results are
+//!   identical at any value, only wall-clock time changes);
+//! * `--json PATH` — additionally write the typed reports as a JSON
+//!   array to `PATH`;
+//! * `--seed N` — override the root RNG seed.
 
-use msweb_bench::report::{f, pct, Table};
-use msweb_bench::*;
+use msweb_bench::{ExpConfig, ExperimentId, ExperimentRunner};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let which = if which.is_empty() || which.contains(&"all") {
-        vec!["fig3a", "fig3b", "tab1", "tab2", "fig4a", "fig4b", "fig5", "tab3", "ablation"]
-    } else {
-        which
-    };
-    let exp = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let mut jobs: usize = 0;
+    let mut json_path: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut all = false;
 
-    for id in which {
-        let t0 = std::time::Instant::now();
-        match id {
-            "fig3a" => fig3a(),
-            "fig3b" => fig3b(),
-            "tab1" => print_tab1(&exp),
-            "tab2" => print_tab2(),
-            "fig4a" => print_fig4(32, &exp),
-            "fig4b" => print_fig4(128, &exp),
-            "fig5" => print_fig5(&exp),
-            "tab3" => print_tab3(&exp, if quick { 0.3 } else { 1.0 }),
-            "ablation" => print_ablation(&exp),
-            other => {
-                eprintln!("unknown experiment id: {other}");
-                std::process::exit(2);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {}
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_usage("--jobs needs a number"));
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| bad_usage("--json needs a path")),
+                );
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_usage("--seed needs a number")),
+                );
+            }
+            "all" => all = true,
+            flag if flag.starts_with("--") => bad_usage(&format!("unknown flag {flag}")),
+            id => match ExperimentId::parse(id) {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!("unknown experiment id: {id}");
+                    std::process::exit(2);
+                }
+            },
         }
-        println!("[{} completed in {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+        i += 1;
+    }
+    if all || ids.is_empty() {
+        ids = ExperimentId::ALL.to_vec();
+    }
+
+    let mut exp = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    if let Some(seed) = seed {
+        exp.seed = seed;
+    }
+    let runner = ExperimentRunner::new(exp)
+        .parallelism(jobs)
+        .live_time_scale(if quick { 0.3 } else { 1.0 });
+
+    let mut reports = Vec::with_capacity(ids.len());
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        let report = runner.run(id);
+        println!("{}", report.render());
+        println!("[{} completed in {:.1}s]\n", id.name(), t0.elapsed().as_secs_f64());
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {} report(s) to {path}", reports.len());
     }
 }
 
-fn fig3a() {
-    println!("== FIG 3(a): analytic improvement of M/S over the flat model ==");
-    println!("   (λ=1000/s, p=32, μ_h=1200/s; paper reports up to ~60%)\n");
-    let mut t = Table::new(vec!["a", "1/r", "m*", "θ*", "S_M", "S_F", "improvement"]);
-    for pt in fig3() {
-        t.row(vec![
-            f(pt.a, 3),
-            f(pt.inv_r, 0),
-            pt.m.to_string(),
-            f(pt.theta, 3),
-            f(pt.stretch_ms, 3),
-            f(pt.stretch_flat, 3),
-            pct(pt.improvement_over_flat_pct),
-        ]);
-    }
-    println!("{}", t.render());
-}
-
-fn fig3b() {
-    println!("== FIG 3(b): analytic improvement of M/S over M/S' ==");
-    println!("   (literal M/S' collapses to flat under exact PS analysis —");
-    println!("    see EXPERIMENTS.md; the few-nodes column caps k ≤ p/2)\n");
-    let mut t = Table::new(vec![
-        "a",
-        "1/r",
-        "S_M",
-        "S_M'",
-        "improvement",
-        "S_M'(few)",
-        "improvement(few)",
-    ]);
-    for pt in fig3() {
-        t.row(vec![
-            f(pt.a, 3),
-            f(pt.inv_r, 0),
-            f(pt.stretch_ms, 3),
-            f(pt.stretch_msprime, 3),
-            pct(pt.improvement_over_msprime_pct),
-            pt.stretch_msprime_few.map(|s| f(s, 3)).unwrap_or("-".into()),
-            pt.improvement_over_msprime_few_pct
-                .map(pct)
-                .unwrap_or("-".into()),
-        ]);
-    }
-    println!("{}", t.render());
-}
-
-fn print_tab1(exp: &ExpConfig) {
-    println!("== TAB 1: trace characteristics (paper vs regenerated) ==\n");
-    let n = exp.requests.max(10_000);
-    let mut t = Table::new(vec![
-        "trace",
-        "year",
-        "paper %CGI",
-        "gen %CGI",
-        "paper intvl",
-        "gen intvl",
-        "paper HTML",
-        "gen HTML",
-        "paper CGI B",
-        "gen CGI B",
-    ]);
-    for row in tab1(n, exp.seed) {
-        t.row(vec![
-            row.spec.name.to_string(),
-            row.spec.year.to_string(),
-            f(row.spec.cgi_pct, 1),
-            f(row.generated.cgi_pct, 1),
-            format!("{}s", f(row.spec.mean_interval_s, 3)),
-            format!("{}s", f(row.generated.mean_interval_s, 3)),
-            row.spec.mean_html_bytes.to_string(),
-            f(row.generated.mean_static_bytes, 0),
-            row.spec.mean_cgi_bytes.to_string(),
-            f(row.generated.mean_cgi_bytes, 0),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("(regenerated with n={n}; the paper's request counts are the full logs)");
-}
-
-fn print_tab2() {
-    println!("== TAB 2: workload parameter grid (reconstructed; see DESIGN.md) ==\n");
-    let mut t = Table::new(vec!["trace", "p", "λ (req/s)", "1/r"]);
-    for c in tab2() {
-        t.row(vec![
-            c.trace.to_string(),
-            c.p.to_string(),
-            f(c.lambda, 0),
-            f(c.inv_r, 0),
-        ]);
-    }
-    println!("{}", t.render());
-}
-
-fn print_fig4(p: usize, exp: &ExpConfig) {
-    println!(
-        "== FIG 4({}): % improvement of M/S over alternatives, p={p} ==",
-        if p == 32 { "a" } else { "b" }
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: experiments [ids...] [--quick] [--jobs N] [--json PATH] [--seed N]\n\
+         ids: fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3 ablation (default: all)"
     );
-    println!("   (paper: vs M/S-nr up to 68%; vs M/S-1 up to 26%; vs M/S-ns 5-22%)\n");
-    let mut t = Table::new(vec![
-        "trace", "λ", "1/r", "m", "S(M/S)", "vs M/S-ns", "vs M/S-nr", "vs M/S-1",
-    ]);
-    for row in fig4(p, exp) {
-        t.row(vec![
-            row.cell.trace.to_string(),
-            f(row.cell.lambda, 0),
-            f(row.cell.inv_r, 0),
-            row.m.to_string(),
-            f(row.ms.stretch, 3),
-            pct(row.imp_ns_pct()),
-            pct(row.imp_nr_pct()),
-            pct(row.imp_m1_pct()),
-        ]);
-    }
-    println!("{}", t.render());
-}
-
-fn print_fig5(exp: &ExpConfig) {
-    println!("== FIG 5: degradation when using a fixed number of masters ==");
-    println!("   (paper: at most 9%, average 4%)\n");
-    let mut t = Table::new(vec![
-        "trace", "p", "λ", "1/r", "m fixed", "m adaptive", "S fixed", "S adaptive", "degradation",
-    ]);
-    let rows = fig5(exp);
-    let mut sum = 0.0;
-    let mut max: f64 = 0.0;
-    for row in &rows {
-        let d = row.degradation_pct();
-        sum += d.max(0.0);
-        max = max.max(d);
-        t.row(vec![
-            row.cell.trace.to_string(),
-            row.cell.p.to_string(),
-            f(row.cell.lambda, 0),
-            f(row.cell.inv_r, 0),
-            row.m_fixed.to_string(),
-            row.m_adaptive.to_string(),
-            f(row.fixed.stretch, 3),
-            f(row.adaptive.stretch, 3),
-            pct(d),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "max degradation {:.1}%, average {:.1}%",
-        max,
-        sum / rows.len() as f64
-    );
-}
-
-fn print_tab3(exp: &ExpConfig, time_scale: f64) {
-    println!("== TAB 3: live (actual) vs simulated improvement of M/S ==");
-    println!("   (6 nodes, masters UCB 3 / KSU 1 / ADL 1, r=1/40; paper: within a few points)\n");
-    let rows = tab3(exp, time_scale);
-    let mut t = Table::new(vec!["trace", "rate", "versus", "actual", "simulated", "|Δ|"]);
-    let mut diff_sum = 0.0;
-    for r in &rows {
-        diff_sum += (r.actual_pct - r.simulated_pct).abs();
-        t.row(vec![
-            r.trace.to_string(),
-            format!("{}/s", f(r.rate, 0)),
-            r.versus.label().to_string(),
-            pct(r.actual_pct),
-            pct(r.simulated_pct),
-            f((r.actual_pct - r.simulated_pct).abs(), 1),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "mean |actual − simulated| = {:.1} percentage points (paper: ~3)",
-        diff_sum / rows.len() as f64
-    );
-}
-
-fn print_ablation(exp: &ExpConfig) {
-    println!("== ABLATIONS (beyond the paper's figures) ==\n");
-
-    println!("-- load-info staleness (KSU, λ=1000, 1/r=80, p=32) --");
-    let mut t = Table::new(vec!["monitor period", "M/S stretch"]);
-    for (ms, s) in ablation_staleness(exp) {
-        t.row(vec![format!("{ms} ms"), f(s, 3)]);
-    }
-    println!("{}", t.render());
-
-    println!("-- master capacity reserve (UCB, λ=2000, 1/r=80, p=32) --");
-    let mut t = Table::new(vec!["reserve", "M/S stretch"]);
-    for (r, s) in ablation_reserve(exp) {
-        t.row(vec![f(r, 2), f(s, 3)]);
-    }
-    println!("{}", t.render());
-
-    println!("-- front end: DNS skew and switch baselines (KSU, λ=1000, 1/r=40) --");
-    let mut t = Table::new(vec!["configuration", "stretch", "node-busy CV"]);
-    for (name, stretch, cv) in ablation_frontend(exp) {
-        t.row(vec![name.to_string(), f(stretch, 3), f(cv, 3)]);
-    }
-    println!("{}", t.render());
-
-    println!("-- dynamic-content cache (Swala extension; ADL + Zipf queries) --");
-    let (uncached, cached, hit_ratio) = ablation_cache(exp);
-    println!(
-        "uncached stretch {:.3} -> cached {:.3} ({:+.1}%), hit ratio {:.1}%\n",
-        uncached,
-        cached,
-        (cached / uncached - 1.0) * 100.0,
-        hit_ratio * 100.0
-    );
-
-    println!("-- remote execution vs HTTP redirection (ADL, λ=1000, 1/r=40) --");
-    let (ms, redirect) = ablation_redirect(exp);
-    println!(
-        "M/S (remote exec): {:.3}   Redirect: {:.3}   penalty {:+.1}%\n",
-        ms,
-        redirect,
-        (redirect / ms - 1.0) * 100.0
-    );
-
-    println!("-- flash-crowd bursts (ON/OFF arrivals, 3x bursts at 25% duty) --");
-    let mut t = Table::new(vec!["policy", "Poisson", "bursty", "penalty"]);
-    for (name, poisson, bursty) in ablation_bursty(exp) {
-        t.row(vec![
-            name.to_string(),
-            f(poisson, 3),
-            f(bursty, 3),
-            pct((bursty / poisson - 1.0) * 100.0),
-        ]);
-    }
-    println!("{}", t.render());
-
-    println!("-- heterogeneous fleet (§6 extension; 8 × 0.5x + 8 × 2.0x nodes) --");
-    let (analytic, slow, fast) = ablation_hetero(exp);
-    println!(
-        "analytic plan {:.3} | simulated: slow boxes as masters {:.3}, fast boxes as masters {:.3}\n",
-        analytic, slow, fast
-    );
-
-    println!("-- θ rule: paper midpoint vs numerical optimum (Figure 3 grid) --");
-    let (mid, num) = ablation_theta_rule();
-    println!(
-        "mean S_M midpoint {:.4} vs numeric {:.4} ({:+.2}% heuristic cost)",
-        mid,
-        num,
-        (mid / num - 1.0) * 100.0
-    );
+    std::process::exit(2);
 }

@@ -12,12 +12,13 @@
 
 use std::time::Duration;
 
-use msweb_cluster::{
-    run_policy, table2_grid, ClusterConfig, GridCell, MasterSelection, PolicyKind, RunSummary,
-};
+use msweb_cluster::{run_policy, table2_grid, ClusterConfig, GridCell, PolicyKind, RunSummary};
 use msweb_emu::{run_live, LiveConfig};
 use msweb_queueing::{plan, Fig3Config, Fig3Point, ThetaRule, Workload};
 use msweb_workload::{adl, all_traces, ksu, ucb, DemandModel, Trace, TraceSpec, TraceSummary};
+use serde::Serialize;
+
+use crate::sweep::Sweep;
 
 /// Global experiment sizing.
 #[derive(Debug, Clone)]
@@ -28,6 +29,13 @@ pub struct ExpConfig {
     pub live_requests: usize,
     /// Master RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel sweeps: `0` = all cores, `1` =
+    /// sequential. Results are independent of this value (see
+    /// [`Sweep`]); only wall-clock time changes. The live Table 3 replay
+    /// always runs sequentially regardless — concurrent wall-clock
+    /// replays would contend for the same host CPUs and distort the
+    /// measurement.
+    pub jobs: usize,
 }
 
 impl Default for ExpConfig {
@@ -36,17 +44,21 @@ impl Default for ExpConfig {
             requests: 20_000,
             live_requests: 300,
             seed: 42,
+            jobs: 0,
         }
     }
 }
 
 impl ExpConfig {
     /// A fast configuration for smoke tests and criterion benches.
+    /// Sequential (`jobs = 1`) so criterion timings measure the work, not
+    /// the pool.
     pub fn quick() -> Self {
         ExpConfig {
             requests: 2_000,
             live_requests: 120,
             seed: 42,
+            jobs: 1,
         }
     }
 }
@@ -69,9 +81,9 @@ fn cell_trace(cell: &GridCell, n: usize, seed: u64) -> Trace {
 
 /// Run one policy on one cell.
 fn run_cell(cell: &GridCell, trace: &Trace, policy: PolicyKind, m: usize, seed: u64) -> RunSummary {
-    let mut cfg = ClusterConfig::simulation(cell.p, policy);
-    cfg.masters = MasterSelection::Fixed(m);
-    cfg.seed = seed;
+    let cfg = ClusterConfig::simulation(cell.p, policy)
+        .with_masters(m)
+        .with_seed(seed);
     run_policy(cfg, trace)
 }
 
@@ -86,7 +98,7 @@ pub fn fig3() -> Vec<Fig3Point> {
 
 /// One Table 1 row: the paper's published characteristics next to the
 /// measured characteristics of our synthetic regeneration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Tab1Row {
     /// The published spec (paper constants).
     pub spec: TraceSpec,
@@ -94,31 +106,58 @@ pub struct Tab1Row {
     pub generated: TraceSummary,
 }
 
-/// Table 1: regenerate each trace and summarise it.
+/// Table 1: regenerate each trace and summarise it. Every trace is
+/// generated from the same seed (common random numbers) so the rows stay
+/// comparable to each other, as before the sweep rewiring.
 pub fn tab1(n: usize, seed: u64) -> Vec<Tab1Row> {
-    all_traces()
-        .into_iter()
-        .map(|spec| {
+    Sweep::new(all_traces(), seed)
+        .common_seed()
+        .parallelism(1)
+        .run(|spec, seed| {
             let t = spec.generate(n, &DemandModel::simulation(40.0), seed);
             Tab1Row {
                 generated: t.summary(),
-                spec,
+                spec: spec.clone(),
             }
         })
-        .collect()
 }
 
 // ---------------------------------------------------------------- TAB 2
 
-/// Table 2: the reconstructed workload parameter grid.
-pub fn tab2() -> Vec<GridCell> {
-    table2_grid()
+/// One Table 2 row: a grid cell plus the analytic load it offers.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Tab2Row {
+    /// The workload cell.
+    pub cell: GridCell,
+    /// Offered load per node, as a fraction of one node's capacity (the
+    /// stability measure that decided which cells the grid keeps).
+    pub offered_per_node: f64,
+    /// Theorem-1 master count for the cell.
+    pub m: usize,
+}
+
+/// Table 2: the reconstructed workload parameter grid, annotated with
+/// each cell's analytic per-node load and planned master count.
+pub fn tab2(exp: &ExpConfig) -> Vec<Tab2Row> {
+    Sweep::new(table2_grid(), exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|cell, _seed| {
+            let a = spec_by_name(cell.trace).arrival_ratio_a();
+            let w = Workload::from_ratios(cell.lambda, a, 1200.0, 1.0 / cell.inv_r)
+                .expect("grid keeps only stable cells");
+            Tab2Row {
+                offered_per_node: w.offered_load() / cell.p as f64,
+                m: msweb_cluster::plan_masters(cell.p, cell.lambda, a, 1.0 / cell.inv_r, 1200.0),
+                cell: cell.clone(),
+            }
+        })
 }
 
 // ---------------------------------------------------------------- FIG 4
 
 /// One bar group of Figure 4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Fig4Row {
     /// The workload cell.
     pub cell: GridCell,
@@ -150,12 +189,17 @@ impl Fig4Row {
 }
 
 /// Figure 4 for one cluster size (`p` = 32 for (a), 128 for (b)).
+///
+/// Each grid cell gets an independent split seed: the four policies
+/// within a cell still replay the identical trace (the comparison that
+/// matters is within the cell), but cells no longer share arrival
+/// randomness, and the sweep parallelises freely across `exp.jobs`
+/// workers without changing any number.
 pub fn fig4(p: usize, exp: &ExpConfig) -> Vec<Fig4Row> {
-    table2_grid()
-        .into_iter()
-        .filter(|c| c.p == p)
-        .map(|cell| fig4_cell(&cell, exp))
-        .collect()
+    let cells: Vec<GridCell> = table2_grid().into_iter().filter(|c| c.p == p).collect();
+    Sweep::new(cells, exp.seed)
+        .parallelism(exp.jobs)
+        .run(|cell, seed| fig4_cell(cell, &ExpConfig { seed, ..exp.clone() }))
 }
 
 /// One Figure 4 bar group (exposed separately for the benches).
@@ -182,7 +226,7 @@ pub fn fig4_cell(cell: &GridCell, exp: &ExpConfig) -> Fig4Row {
 // ---------------------------------------------------------------- FIG 5
 
 /// One bar of Figure 5.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Fig5Row {
     /// The workload cell.
     pub cell: GridCell,
@@ -215,58 +259,63 @@ pub fn fig5(exp: &ExpConfig) -> Vec<Fig5Row> {
     let m32 = msweb_cluster::plan_masters(32, 750.0, 0.44, 1.0 / 60.0, 1200.0);
     let m128 = msweb_cluster::plan_masters(128, 3000.0, 0.44, 1.0 / 60.0, 1200.0);
 
-    let groups: [(&str, [f64; 4]); 3] = [
+    let groups: [(&'static str, [f64; 4]); 3] = [
         ("UCB", [1000.0, 2000.0, 4000.0, 8000.0]),
         ("KSU", [500.0, 1000.0, 2000.0, 4000.0]),
         ("ADL", [500.0, 1000.0, 2000.0, 4000.0]),
     ];
     let ratios = [160.0, 80.0, 40.0, 20.0];
 
-    let mut rows = Vec::with_capacity(12);
+    let mut cells = Vec::with_capacity(12);
     for (trace, rates) in groups {
         for (i, &lambda) in rates.iter().enumerate() {
             let p = if i < 2 { 32 } else { 128 };
-            let m_fixed = if p == 32 { m32 } else { m128 };
-            let cell = GridCell {
-                trace,
-                p,
-                lambda,
-                inv_r: ratios[i],
-            };
-            let spec = spec_by_name(trace);
-            let trace_data = cell_trace(&cell, exp.requests, exp.seed);
+            cells.push((
+                GridCell {
+                    trace,
+                    p,
+                    lambda,
+                    inv_r: ratios[i],
+                },
+                if p == 32 { m32 } else { m128 },
+            ));
+        }
+    }
+    // Fixed and adaptive m replay the same per-cell trace; the comparison
+    // is within each cell, so cells take independent split seeds.
+    Sweep::new(cells, exp.seed)
+        .parallelism(exp.jobs)
+        .run(|(cell, m_fixed), seed| {
+            let spec = spec_by_name(cell.trace);
+            let trace_data = cell_trace(cell, exp.requests, seed);
             let m_adaptive = msweb_cluster::plan_masters(
-                p,
-                lambda,
+                cell.p,
+                cell.lambda,
                 spec.arrival_ratio_a(),
                 1.0 / cell.inv_r,
                 1200.0,
             );
-            let fixed = run_cell(&cell, &trace_data, PolicyKind::MasterSlave, m_fixed, exp.seed);
-            let adaptive = run_cell(
-                &cell,
-                &trace_data,
-                PolicyKind::MasterSlave,
+            Fig5Row {
+                cell: cell.clone(),
+                m_fixed: *m_fixed,
                 m_adaptive,
-                exp.seed,
-            );
-            rows.push(Fig5Row {
-                cell,
-                m_fixed,
-                m_adaptive,
-                fixed,
-                adaptive,
-            });
-        }
-    }
-    rows
+                fixed: run_cell(cell, &trace_data, PolicyKind::MasterSlave, *m_fixed, seed),
+                adaptive: run_cell(cell, &trace_data, PolicyKind::MasterSlave, m_adaptive, seed),
+            }
+        })
 }
 
 // ---------------------------------------------------------------- TAB 3
 
-/// One Table 3 row: actual (live) and simulated improvement of M/S over
+/// One Table 3 row: the live (wall-clock) and simulated runs of M/S and
 /// one alternative, for one trace at one rate.
-#[derive(Debug, Clone)]
+///
+/// Both execution paths produce the same [`RunSummary`] type — the live
+/// emulation fills the node-balance fields from its worker threads just
+/// as the simulator fills them from its OS model — so the row carries the
+/// four full summaries and derives the paper's headline percentages from
+/// them, with no field-by-field translation layer between the paths.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Tab3Row {
     /// Trace name.
     pub trace: &'static str,
@@ -274,10 +323,26 @@ pub struct Tab3Row {
     pub rate: f64,
     /// The alternative policy M/S is compared against.
     pub versus: PolicyKind,
-    /// Live (wall-clock) improvement percent.
-    pub actual_pct: f64,
-    /// Simulated improvement percent.
-    pub simulated_pct: f64,
+    /// Live run under M/S.
+    pub live_ms: RunSummary,
+    /// Simulated run under M/S.
+    pub sim_ms: RunSummary,
+    /// Live run under the alternative.
+    pub live_alt: RunSummary,
+    /// Simulated run under the alternative.
+    pub sim_alt: RunSummary,
+}
+
+impl Tab3Row {
+    /// Live (wall-clock) improvement of M/S over the alternative, percent.
+    pub fn actual_pct(&self) -> f64 {
+        (self.live_alt.stretch / self.live_ms.stretch - 1.0) * 100.0
+    }
+
+    /// Simulated improvement of M/S over the alternative, percent.
+    pub fn simulated_pct(&self) -> f64 {
+        (self.sim_alt.stretch / self.sim_ms.stretch - 1.0) * 100.0
+    }
 }
 
 /// Table 3: replay each trace on the six-node live cluster and on the
@@ -289,58 +354,68 @@ pub struct Tab3Row {
 /// demands toward the host's thread-wakeup latency and the measurement
 /// drowns in scheduler noise, especially on single-core hosts.
 pub fn tab3(exp: &ExpConfig, time_scale: f64) -> Vec<Tab3Row> {
-    let mut rows = Vec::new();
     // The paper replays every trace at 20 and 40 req/s. On our substrate
     // the stable rate range depends strongly on the trace's CGI share
     // (ADL at 44% CGI saturates six 110-req/s nodes above ~36 req/s), so
     // each trace runs at rates giving ~30% and ~60% utilisation — the
     // same load levels the paper's pairs targeted (see EXPERIMENTS.md).
-    let configs: [(TraceSpec, usize, [f64; 2]); 3] = [
+    let mut cells: Vec<(TraceSpec, usize, f64)> = Vec::with_capacity(6);
+    for (spec, m, rates) in [
         (ucb(), 3, [40.0, 80.0]),
         (ksu(), 1, [20.0, 40.0]),
         (adl(), 1, [10.0, 20.0]),
-    ];
-    for (spec, m, rates) in configs {
+    ] {
         for rate in rates {
+            cells.push((spec.clone(), m, rate));
+        }
+    }
+    // Common seed (the workload is the comparison axis), and parallelism
+    // pinned to 1: live replays measure wall-clock time, so running two
+    // at once on the same host would contaminate both.
+    let groups = Sweep::new(cells, exp.seed)
+        .common_seed()
+        .parallelism(1)
+        .run(|(spec, m, rate), seed| {
             let trace = spec
-                .generate(exp.live_requests, &DemandModel::sun_cluster(40.0), exp.seed)
-                .scaled_to_rate(rate);
+                .generate(exp.live_requests, &DemandModel::sun_cluster(40.0), seed)
+                .scaled_to_rate(*rate);
 
-            let run_one = |policy: PolicyKind| -> (f64, f64) {
-                // Live.
-                let mut live_cfg = LiveConfig::sun_cluster(policy, m);
+            let run_one = |policy: PolicyKind| -> (RunSummary, RunSummary) {
+                let mut live_cfg = LiveConfig::sun_cluster(policy, *m);
                 live_cfg.time_scale = time_scale;
-                live_cfg.monitor_period =
-                    Duration::from_secs_f64(0.25 * time_scale.max(0.02));
-                live_cfg.seed = exp.seed;
+                live_cfg.monitor_period = Duration::from_secs_f64(0.25 * time_scale.max(0.02));
+                live_cfg.seed = seed;
                 let live = run_live(&live_cfg, &trace);
-                // Simulated.
-                let mut sim_cfg = ClusterConfig::simulation(6, policy);
-                sim_cfg.masters = MasterSelection::Fixed(m);
-                sim_cfg.mu_h = 110.0;
-                sim_cfg.seed = exp.seed;
+                let sim_cfg = ClusterConfig::simulation(6, policy)
+                    .with_masters(*m)
+                    .with_mu_h(110.0)
+                    .with_seed(seed);
                 let sim = run_policy(sim_cfg, &trace);
-                (live.stretch, sim.stretch)
+                (live, sim)
             };
 
-            let (ms_live, ms_sim) = run_one(PolicyKind::MasterSlave);
-            for versus in [
+            let (live_ms, sim_ms) = run_one(PolicyKind::MasterSlave);
+            [
                 PolicyKind::MsNoSampling,
                 PolicyKind::MsNoReservation,
                 PolicyKind::MsAllMasters,
-            ] {
-                let (v_live, v_sim) = run_one(versus);
-                rows.push(Tab3Row {
+            ]
+            .into_iter()
+            .map(|versus| {
+                let (live_alt, sim_alt) = run_one(versus);
+                Tab3Row {
                     trace: spec.name,
-                    rate,
+                    rate: *rate,
                     versus,
-                    actual_pct: (v_live / ms_live - 1.0) * 100.0,
-                    simulated_pct: (v_sim / ms_sim - 1.0) * 100.0,
-                });
-            }
-        }
-    }
-    rows
+                    live_ms: live_ms.clone(),
+                    sim_ms: sim_ms.clone(),
+                    live_alt,
+                    sim_alt,
+                }
+            })
+            .collect::<Vec<_>>()
+        });
+    groups.into_iter().flatten().collect()
 }
 
 // ---------------------------------------------------------------- ablations
@@ -355,16 +430,18 @@ pub fn ablation_staleness(exp: &ExpConfig) -> Vec<(u64, f64)> {
     };
     let trace = cell_trace(&cell, exp.requests, exp.seed);
     let m = msweb_cluster::plan_masters(32, 1000.0, ksu().arrival_ratio_a(), 1.0 / 80.0, 1200.0);
-    [50u64, 100, 250, 500, 1000, 2000, 4000]
-        .into_iter()
-        .map(|period_ms| {
-            let mut cfg = ClusterConfig::simulation(cell.p, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed(m);
-            cfg.monitor_period = msweb_simcore::SimDuration::from_millis(period_ms);
-            cfg.seed = exp.seed;
+    // Common seed: the monitor period is the axis, everything else is
+    // held fixed (common random numbers across cells).
+    Sweep::new(vec![50u64, 100, 250, 500, 1000, 2000, 4000], exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&period_ms, seed| {
+            let cfg = ClusterConfig::simulation(cell.p, PolicyKind::MasterSlave)
+                .with_masters(m)
+                .with_monitor_period(msweb_simcore::SimDuration::from_millis(period_ms))
+                .with_seed(seed);
             (period_ms, run_policy(cfg, &trace).stretch)
         })
-        .collect()
 }
 
 /// Reserve ablation: sweep the master capacity reserve.
@@ -377,16 +454,16 @@ pub fn ablation_reserve(exp: &ExpConfig) -> Vec<(f64, f64)> {
     };
     let trace = cell_trace(&cell, exp.requests, exp.seed);
     let m = msweb_cluster::plan_masters(32, 2000.0, ucb().arrival_ratio_a(), 1.0 / 80.0, 1200.0);
-    [0.0, 0.25, 0.5, 0.75, 0.9]
-        .into_iter()
-        .map(|reserve| {
-            let mut cfg = ClusterConfig::simulation(cell.p, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed(m);
-            cfg.master_reserve = reserve;
-            cfg.seed = exp.seed;
+    Sweep::new(vec![0.0, 0.25, 0.5, 0.75, 0.9], exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&reserve, seed| {
+            let cfg = ClusterConfig::simulation(cell.p, PolicyKind::MasterSlave)
+                .with_masters(m)
+                .with_master_reserve(reserve)
+                .with_seed(seed);
             (reserve, run_policy(cfg, &trace).stretch)
         })
-        .collect()
 }
 
 /// Redirect ablation: M/S with low-overhead remote execution vs the
@@ -401,9 +478,11 @@ pub fn ablation_redirect(exp: &ExpConfig) -> (f64, f64) {
     };
     let trace = cell_trace(&cell, exp.requests, exp.seed);
     let m = msweb_cluster::plan_masters(32, 1000.0, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
-    let ms = run_cell(&cell, &trace, PolicyKind::MasterSlave, m, exp.seed);
-    let redirect = run_cell(&cell, &trace, PolicyKind::Redirect, m, exp.seed);
-    (ms.stretch, redirect.stretch)
+    let stretches = Sweep::new(vec![PolicyKind::MasterSlave, PolicyKind::Redirect], exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&policy, seed| run_cell(&cell, &trace, policy, m, seed).stretch);
+    (stretches[0], stretches[1])
 }
 
 /// Front-end ablation (§2's motivation): Flat under ideal DNS rotation,
@@ -416,27 +495,24 @@ pub fn ablation_frontend(exp: &ExpConfig) -> Vec<(&'static str, f64, f64)> {
         .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
         .scaled_to_rate(1000.0);
     let m = msweb_cluster::plan_masters(32, 1000.0, ksu().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
-    let run = |policy: PolicyKind, skew: f64| {
-        let mut cfg = ClusterConfig::simulation(32, policy);
-        cfg.masters = MasterSelection::Fixed(m);
-        cfg.dns_skew = skew;
-        cfg.seed = exp.seed;
-        let s = run_policy(cfg, &trace);
-        (s.stretch, s.node_busy_cv)
-    };
-    let rows = [
+    let rows = vec![
         ("Flat, ideal DNS", PolicyKind::Flat, 0.0),
         ("Flat, skewed DNS (0.3)", PolicyKind::Flat, 0.3),
         ("Switch (least conn.)", PolicyKind::Switch, 0.0),
         ("M/S, skewed DNS (0.3)", PolicyKind::MasterSlave, 0.3),
         ("M/S, ideal DNS", PolicyKind::MasterSlave, 0.0),
     ];
-    rows.iter()
-        .map(|&(name, policy, skew)| {
-            let (stretch, cv) = run(policy, skew);
-            (name, stretch, cv)
+    Sweep::new(rows, exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&(name, policy, skew), seed| {
+            let cfg = ClusterConfig::simulation(32, policy)
+                .with_masters(m)
+                .with_dns_skew(skew)
+                .with_seed(seed);
+            let s = run_policy(cfg, &trace);
+            (name, s.stretch, s.node_busy_cv)
         })
-        .collect()
 }
 
 /// Dynamic-content caching ablation (the Swala extension): stretch
@@ -449,13 +525,12 @@ pub fn ablation_cache(exp: &ExpConfig) -> (f64, f64, f64) {
         .scaled_to_rate(1000.0);
     let m = msweb_cluster::plan_masters(32, 1000.0, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
 
-    let mut base = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
-    base.masters = MasterSelection::Fixed(m);
-    base.seed = exp.seed;
+    let base = ClusterConfig::simulation(32, PolicyKind::MasterSlave)
+        .with_masters(m)
+        .with_seed(exp.seed);
     let uncached = run_policy(base.clone(), &trace);
 
-    let mut cached_cfg = base;
-    cached_cfg.cache = Some(msweb_cluster::CacheConfig::default_swala());
+    let cached_cfg = base.with_cache(msweb_cluster::CacheConfig::default_swala());
     let mut sim = msweb_cluster::ClusterSim::new(cached_cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
     let cached = sim.run(&trace);
     let (hits, misses, _, _) = sim.cache_stats().expect("cache enabled");
@@ -472,26 +547,31 @@ pub fn ablation_bursty(exp: &ExpConfig) -> Vec<(&'static str, f64, f64)> {
     let spec = ksu();
     let lambda = 1200.0;
     let m = msweb_cluster::plan_masters(32, lambda, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
-    let run = |bursty: bool, policy: PolicyKind| {
-        let mut demand = DemandModel::simulation(40.0);
-        if bursty {
-            demand = demand.with_bursty_arrivals(3.0, 0.25, 40.0);
-        }
-        let trace = spec
-            .generate(exp.requests, &demand, exp.seed)
-            .scaled_to_rate(lambda);
-        let mut cfg = ClusterConfig::simulation(32, policy);
-        cfg.masters = MasterSelection::Fixed(m);
-        cfg.seed = exp.seed;
-        run_policy(cfg, &trace).stretch
-    };
+    let cells = vec![
+        (false, PolicyKind::Flat),
+        (true, PolicyKind::Flat),
+        (false, PolicyKind::MasterSlave),
+        (true, PolicyKind::MasterSlave),
+    ];
+    let stretches = Sweep::new(cells, exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&(bursty, policy), seed| {
+            let mut demand = DemandModel::simulation(40.0);
+            if bursty {
+                demand = demand.with_bursty_arrivals(3.0, 0.25, 40.0);
+            }
+            let trace = spec
+                .generate(exp.requests, &demand, seed)
+                .scaled_to_rate(lambda);
+            let cfg = ClusterConfig::simulation(32, policy)
+                .with_masters(m)
+                .with_seed(seed);
+            run_policy(cfg, &trace).stretch
+        });
     vec![
-        ("Flat", run(false, PolicyKind::Flat), run(true, PolicyKind::Flat)),
-        (
-            "M/S",
-            run(false, PolicyKind::MasterSlave),
-            run(true, PolicyKind::MasterSlave),
-        ),
+        ("Flat", stretches[0], stretches[1]),
+        ("M/S", stretches[2], stretches[3]),
     ]
 }
 
@@ -518,20 +598,23 @@ pub fn ablation_hetero(exp: &ExpConfig) -> (f64, f64, f64) {
     let trace = spec
         .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
         .scaled_to_rate(lambda);
-    let run = |slow_masters: bool| {
-        let mut cfg = ClusterConfig::simulation(speeds.len(), PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(plan.masters.len());
-        let mut s = speeds.clone();
-        if slow_masters {
-            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        } else {
-            s.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
-        }
-        cfg.speeds = Some(s);
-        cfg.seed = exp.seed;
-        run_policy(cfg, &trace).stretch
-    };
-    (analytic, run(true), run(false))
+    let stretches = Sweep::new(vec![true, false], exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&slow_masters, seed| {
+            let mut s = speeds.clone();
+            if slow_masters {
+                s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            } else {
+                s.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            }
+            let cfg = ClusterConfig::simulation(speeds.len(), PolicyKind::MasterSlave)
+                .with_masters(plan.masters.len())
+                .with_speeds(s)
+                .with_seed(seed);
+            run_policy(cfg, &trace).stretch
+        });
+    (analytic, stretches[0], stretches[1])
 }
 
 /// θ-rule ablation (analytic): the paper's midpoint heuristic vs exact
@@ -582,8 +665,17 @@ mod tests {
     #[test]
     fn tab2_shape() {
         // 3 traces x 4 ratios x 4 rates minus the six unstable cells.
-        let grid = tab2();
-        assert_eq!(grid.len(), 42);
+        let rows = tab2(&ExpConfig::quick());
+        assert_eq!(rows.len(), 42);
+        for row in &rows {
+            assert!(
+                row.offered_per_node > 0.0 && row.offered_per_node <= 0.95,
+                "{:?}: offered {}",
+                row.cell,
+                row.offered_per_node
+            );
+            assert!(row.m >= 1 && row.m < row.cell.p);
+        }
     }
 
     #[test]

@@ -1,15 +1,30 @@
 //! # msweb-bench
 //!
 //! The experiment harness: one function per table/figure of the paper's
-//! evaluation, shared between the `experiments` binary (which prints the
-//! paper-style rows) and the criterion benches (which time the same
-//! code). See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
-//! for recorded paper-vs-measured results.
+//! evaluation, executed through a deterministic parallel [`Sweep`] and
+//! exposed behind the typed [`ExperimentRunner`] API shared by the
+//! `experiments` binary, the `msweb` CLI, the criterion benches and the
+//! integration tests. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+//!
+//! ```no_run
+//! use msweb_bench::{ExpConfig, ExperimentId, ExperimentRunner};
+//!
+//! let report = ExperimentRunner::new(ExpConfig::quick())
+//!     .parallelism(0) // all cores; the report is the same at any level
+//!     .run(ExperimentId::Fig4a);
+//! println!("{}", report.render());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
+pub mod sweep;
 
 pub use experiments::*;
+pub use runner::{AblationReport, ExperimentId, ExperimentReport, ExperimentRunner, Fig3Row,
+                 ReportData};
+pub use sweep::{SeedMode, Sweep};

@@ -1,0 +1,156 @@
+//! The parallel sweep executor behind every experiment grid.
+//!
+//! A [`Sweep`] owns a list of *cells* (one unit of work each — a grid
+//! point, an ablation setting, a policy) plus a root seed, and maps a
+//! worker function over them on up to `min(workers, cells)` scoped
+//! threads via [`msweb_simcore::parallel_map`]. Two properties make the
+//! parallelism invisible in the results:
+//!
+//! * **Pre-assigned seeds.** Each cell's seed is a pure function of
+//!   `(root_seed, cell index)` — either [`split_seed`] (independent
+//!   streams per cell) or the root seed verbatim (common random numbers
+//!   for cross-cell comparisons). Nothing about scheduling order can leak
+//!   into a cell's randomness.
+//! * **Submission-order collection.** Results come back in cell order
+//!   regardless of completion order.
+//!
+//! Together: the same root seed produces byte-identical results at any
+//! parallelism level, which `tests/determinism.rs` pins down at the
+//! [`ExperimentReport`](crate::runner::ExperimentReport) level.
+
+use msweb_simcore::{parallel_map, split_seed};
+
+/// How a sweep derives each cell's seed from the root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Every cell gets an independent stream: `split_seed(root, index)`.
+    /// The right choice when cells are compared *within themselves*
+    /// (e.g. four policies replaying the same per-cell trace).
+    Split,
+    /// Every cell sees the root seed verbatim — common random numbers.
+    /// The right choice when the sweep varies one knob and compares
+    /// *across* cells, so the workload must be held fixed.
+    Common,
+}
+
+/// A deterministic, optionally parallel map over experiment cells.
+///
+/// ```
+/// use msweb_bench::Sweep;
+///
+/// let doubled = Sweep::new(vec![1u64, 2, 3], 42)
+///     .parallelism(2)
+///     .run(|&cell, _seed| cell * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep<C> {
+    cells: Vec<C>,
+    root_seed: u64,
+    mode: SeedMode,
+    workers: usize,
+}
+
+impl<C: Sync> Sweep<C> {
+    /// A sweep over `cells` rooted at `root_seed`, with split per-cell
+    /// seeds and all-cores parallelism (`0`).
+    pub fn new(cells: Vec<C>, root_seed: u64) -> Self {
+        Sweep {
+            cells,
+            root_seed,
+            mode: SeedMode::Split,
+            workers: 0,
+        }
+    }
+
+    /// Use common random numbers: every cell receives `root_seed` itself.
+    pub fn common_seed(mut self) -> Self {
+        self.mode = SeedMode::Common;
+        self
+    }
+
+    /// Set the worker-thread budget: `0` means all available cores, `1`
+    /// runs inline on the calling thread. The actual thread count is
+    /// clamped to the number of cells.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The seed the `index`-th cell will receive.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        match self.mode {
+            SeedMode::Split => split_seed(self.root_seed, index as u64),
+            SeedMode::Common => self.root_seed,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the sweep has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Execute `worker(cell, seed)` for every cell and collect the
+    /// results in cell order. `worker` must be a pure function of its
+    /// arguments (plus captured immutable state) for the determinism
+    /// guarantee to hold.
+    pub fn run<R, F>(&self, worker: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&C, u64) -> R + Sync,
+    {
+        parallel_map(&self.cells, self.workers, |i, cell| {
+            worker(cell, self.seed_for(i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_cell_order_at_any_parallelism() {
+        let cells: Vec<u64> = (0..37).collect();
+        let reference = Sweep::new(cells.clone(), 7)
+            .parallelism(1)
+            .run(|&c, seed| (c, seed));
+        for workers in [0, 2, 3, 8, 64] {
+            let got = Sweep::new(cells.clone(), 7)
+                .parallelism(workers)
+                .run(|&c, seed| (c, seed));
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn split_seeds_are_distinct_and_stable() {
+        let sweep = Sweep::new(vec![(); 100], 99);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            assert!(seen.insert(sweep.seed_for(i)), "seed collision at {i}");
+            assert_eq!(sweep.seed_for(i), sweep.seed_for(i));
+        }
+    }
+
+    #[test]
+    fn common_seed_is_root_everywhere() {
+        let sweep = Sweep::new(vec![(); 10], 1234).common_seed();
+        for i in 0..10 {
+            assert_eq!(sweep.seed_for(i), 1234);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_runs() {
+        let out: Vec<u64> = Sweep::new(Vec::<u8>::new(), 0).run(|_, s| s);
+        assert!(out.is_empty());
+        assert!(Sweep::new(Vec::<u8>::new(), 0).is_empty());
+        assert_eq!(Sweep::new(vec![1, 2], 0).len(), 2);
+    }
+}

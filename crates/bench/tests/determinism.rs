@@ -1,0 +1,77 @@
+//! The redesigned Runner API's core guarantee: for a fixed root seed the
+//! [`ExperimentReport`] is identical at any parallelism level. Cell seeds
+//! are pre-assigned from `(root, index)` and results are collected in
+//! submission order, so worker count can only change wall-clock time.
+//!
+//! Table 3 is exercised elsewhere (`live_emulation.rs` tier): its live
+//! half measures real wall-clock time, which no seed can pin down.
+
+use msweb_bench::{ExpConfig, ExperimentId, ExperimentRunner, ReportData};
+
+fn runner(jobs: usize) -> ExperimentRunner {
+    ExperimentRunner::new(ExpConfig {
+        requests: 400,
+        live_requests: 60,
+        seed: 7,
+        jobs: 1,
+    })
+    .parallelism(jobs)
+}
+
+#[test]
+fn fig4a_report_is_parallelism_invariant() {
+    let sequential = runner(1).run(ExperimentId::Fig4a);
+    match &sequential.data {
+        ReportData::Fig4(rows) => assert_eq!(rows.len(), 21),
+        other => panic!("wrong data: {other:?}"),
+    }
+    for jobs in [2, 8] {
+        let parallel = runner(jobs).run(ExperimentId::Fig4a);
+        assert_eq!(sequential, parallel, "jobs={jobs}");
+        // Byte-identical all the way out to the serialised form.
+        assert_eq!(sequential.to_json(), parallel.to_json(), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn fig5_report_is_parallelism_invariant() {
+    let sequential = runner(1).run(ExperimentId::Fig5);
+    let parallel = runner(8).run(ExperimentId::Fig5);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn tables_are_parallelism_invariant() {
+    for id in [ExperimentId::Tab1, ExperimentId::Tab2] {
+        let sequential = runner(1).run(id);
+        let parallel = runner(8).run(id);
+        assert_eq!(sequential, parallel, "{id:?}");
+    }
+}
+
+#[test]
+fn ablation_report_is_parallelism_invariant() {
+    let sequential = runner(1).run(ExperimentId::Ablation);
+    let parallel = runner(8).run(ExperimentId::Ablation);
+    assert_eq!(sequential, parallel);
+    match &sequential.data {
+        ReportData::Ablation(ab) => {
+            assert_eq!(ab.staleness.len(), 7);
+            assert_eq!(ab.reserve.len(), 5);
+            assert_eq!(ab.frontend.len(), 5);
+            assert_eq!(ab.bursty.len(), 2);
+        }
+        other => panic!("wrong data: {other:?}"),
+    }
+}
+
+#[test]
+fn seed_changes_the_report() {
+    // A sanity check that equality above is not vacuous: a different
+    // root seed must produce different simulated numbers.
+    let a = runner(2).run(ExperimentId::Fig5);
+    let mut cfg = runner(2).config().clone();
+    cfg.seed = 8;
+    let b = ExperimentRunner::new(cfg).run(ExperimentId::Fig5);
+    assert_ne!(a.data, b.data);
+}

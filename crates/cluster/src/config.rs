@@ -1,13 +1,79 @@
 //! Cluster configuration: topology, policy selection, and the paper's
 //! Table 2 parameter grid.
 
+use std::fmt;
+
 use msweb_ossim::OsParams;
 use msweb_simcore::SimDuration;
+use serde::Serialize;
 
 use crate::cache::CacheConfig;
 
+/// Why a [`ClusterConfig`] was rejected by [`ClusterConfig::validate`].
+///
+/// Every variant carries the offending value(s) so callers can branch on
+/// the failure instead of parsing an error string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `p == 0`: a cluster needs at least one node.
+    NoNodes,
+    /// The per-node OS parameter block is inconsistent (message from
+    /// [`OsParams::validate`]).
+    Os(String),
+    /// `master_reserve` outside `[0, 1)`.
+    MasterReserveOutOfRange(f64),
+    /// `speeds` present but its length disagrees with `p`.
+    SpeedCountMismatch {
+        /// Number of speed factors supplied.
+        got: usize,
+        /// Cluster size they must match.
+        p: usize,
+    },
+    /// A speed factor is non-positive or non-finite.
+    NonPositiveSpeed(f64),
+    /// `dns_skew` outside `[0, 1)`.
+    DnsSkewOutOfRange(f64),
+    /// Resolved master count is zero or exceeds the cluster size.
+    BadMasterCount {
+        /// Resolved master count.
+        m: usize,
+        /// Cluster size.
+        p: usize,
+    },
+    /// Every node would be a master under an M/S policy that needs at
+    /// least one slave (use [`PolicyKind::MsAllMasters`] for that).
+    NoSlave,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "cluster needs at least one node"),
+            ConfigError::Os(msg) => write!(f, "invalid OS parameters: {msg}"),
+            ConfigError::MasterReserveOutOfRange(v) => {
+                write!(f, "master_reserve {v} not in [0,1)")
+            }
+            ConfigError::SpeedCountMismatch { got, p } => {
+                write!(f, "{got} speed factors for {p} nodes")
+            }
+            ConfigError::NonPositiveSpeed(v) => {
+                write!(f, "node speeds must be positive and finite, got {v}")
+            }
+            ConfigError::DnsSkewOutOfRange(v) => write!(f, "dns_skew {v} not in [0,1)"),
+            ConfigError::BadMasterCount { m, p } => {
+                write!(f, "bad master count {m} for p={p}")
+            }
+            ConfigError::NoSlave => {
+                write!(f, "M/S needs at least one slave (use MsAllMasters)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which scheduling policy drives the cluster (Section 5.2's contenders).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum PolicyKind {
     /// Flat architecture: every request to a uniformly random node, CGI
     /// executed where it lands.
@@ -74,6 +140,25 @@ pub enum MasterSelection {
 }
 
 /// Full configuration of one simulated cluster run.
+///
+/// Construct with [`ClusterConfig::simulation`] and refine with the
+/// fluent `with_*` methods:
+///
+/// ```
+/// use msweb_cluster::{ClusterConfig, MasterSelection, PolicyKind};
+/// use msweb_simcore::SimDuration;
+///
+/// let cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave)
+///     .with_masters(6)
+///     .with_monitor_period(SimDuration::from_millis(250))
+///     .with_seed(7);
+/// assert!(cfg.validate().is_ok());
+/// ```
+///
+/// The fields remain `pub` for pattern matching and struct-update syntax,
+/// but direct mutation is deprecated in favour of the builder methods —
+/// the builder keeps construction sites robust against future field
+/// additions and reads as a single expression.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of nodes.
@@ -140,6 +225,73 @@ impl ClusterConfig {
         }
     }
 
+    /// Use exactly `m` masters (clamped to `[1, p]` at resolution time).
+    pub fn with_masters(mut self, m: usize) -> Self {
+        self.masters = MasterSelection::Fixed(m);
+        self
+    }
+
+    /// Derive the master count from Theorem 1 for the expected workload
+    /// (`lambda` requests/second, arrival ratio `a`, service ratio `r`).
+    pub fn with_auto_masters(mut self, lambda: f64, a: f64, r: f64) -> Self {
+        self.masters = MasterSelection::Auto { lambda, a, r };
+        self
+    }
+
+    /// Set the load-information update period.
+    pub fn with_monitor_period(mut self, period: SimDuration) -> Self {
+        self.monitor_period = period;
+        self
+    }
+
+    /// Set the per-node OS parameter block.
+    pub fn with_os(mut self, os: OsParams) -> Self {
+        self.os = os;
+        self
+    }
+
+    /// Set the static service rate `μ_h` used by Theorem-1 planning.
+    pub fn with_mu_h(mut self, mu_h: f64) -> Self {
+        self.mu_h = mu_h;
+        self
+    }
+
+    /// Set the fraction of master capacity reserved for static work.
+    pub fn with_master_reserve(mut self, reserve: f64) -> Self {
+        self.master_reserve = reserve;
+        self
+    }
+
+    /// Set per-node CPU speed factors (length must be `p`).
+    pub fn with_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.speeds = Some(speeds);
+        self
+    }
+
+    /// Enable the dynamic-content cache extension.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Set the DNS client-side caching skew in `[0, 1)`.
+    pub fn with_dns_skew(mut self, skew: f64) -> Self {
+        self.dns_skew = skew;
+        self
+    }
+
+    /// Set the remote CGI dispatch latency.
+    pub fn with_remote_latency(mut self, latency: SimDuration) -> Self {
+        self.remote_latency = latency;
+        self
+    }
+
+    /// Set the dispatch-decision RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Resolve the number of masters for this configuration.
     pub fn resolve_masters(&self) -> usize {
         match self.policy {
@@ -155,28 +307,27 @@ impl ClusterConfig {
     }
 
     /// Validate topology and parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.p == 0 {
-            return Err("cluster needs at least one node".into());
+            return Err(ConfigError::NoNodes);
         }
-        self.os.validate()?;
+        self.os.validate().map_err(ConfigError::Os)?;
         if !(0.0..1.0).contains(&self.master_reserve) {
-            return Err(format!("master_reserve {} not in [0,1)", self.master_reserve));
+            return Err(ConfigError::MasterReserveOutOfRange(self.master_reserve));
         }
         if let Some(speeds) = &self.speeds {
             if speeds.len() != self.p {
-                return Err(format!(
-                    "{} speed factors for {} nodes",
-                    speeds.len(),
-                    self.p
-                ));
+                return Err(ConfigError::SpeedCountMismatch {
+                    got: speeds.len(),
+                    p: self.p,
+                });
             }
-            if speeds.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
-                return Err("node speeds must be positive".into());
+            if let Some(&bad) = speeds.iter().find(|&&s| !(s.is_finite() && s > 0.0)) {
+                return Err(ConfigError::NonPositiveSpeed(bad));
             }
         }
         if !(0.0..1.0).contains(&self.dns_skew) {
-            return Err(format!("dns_skew {} not in [0,1)", self.dns_skew));
+            return Err(ConfigError::DnsSkewOutOfRange(self.dns_skew));
         }
         let m = self.resolve_masters();
         match self.policy {
@@ -184,10 +335,10 @@ impl ClusterConfig {
             PolicyKind::MsAllMasters => {}
             _ => {
                 if m == 0 || m > self.p {
-                    return Err(format!("bad master count {m} for p={}", self.p));
+                    return Err(ConfigError::BadMasterCount { m, p: self.p });
                 }
                 if m == self.p && self.p > 1 {
-                    return Err("M/S needs at least one slave (use MsAllMasters)".into());
+                    return Err(ConfigError::NoSlave);
                 }
             }
         }
@@ -220,7 +371,7 @@ pub fn plan_masters(p: usize, lambda: f64, a: f64, r: f64, mu_h: f64) -> usize {
 
 /// One cell of the paper's Table 2 grid: a trace replayed at a rate with
 /// a demand ratio on a cluster size.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GridCell {
     /// Trace name ("UCB" / "KSU" / "ADL").
     pub trace: &'static str,
@@ -303,8 +454,7 @@ mod tests {
 
     #[test]
     fn master_resolution() {
-        let mut c = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
-        c.masters = MasterSelection::Fixed(6);
+        let mut c = ClusterConfig::simulation(32, PolicyKind::MasterSlave).with_masters(6);
         assert_eq!(c.resolve_masters(), 6);
         c.policy = PolicyKind::Flat;
         assert_eq!(c.resolve_masters(), 0);
@@ -327,20 +477,64 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_speeds() {
-        let mut c = ClusterConfig::simulation(4, PolicyKind::MasterSlave);
-        c.speeds = Some(vec![1.0; 3]);
-        assert!(c.validate().is_err());
-        c.speeds = Some(vec![1.0, 2.0, 0.0, 1.0]);
-        assert!(c.validate().is_err());
-        c.speeds = Some(vec![1.0, 2.0, 1.5, 1.0]);
-        assert!(c.validate().is_ok());
+        let base = ClusterConfig::simulation(4, PolicyKind::MasterSlave);
+        assert_eq!(
+            base.clone().with_speeds(vec![1.0; 3]).validate(),
+            Err(ConfigError::SpeedCountMismatch { got: 3, p: 4 })
+        );
+        assert_eq!(
+            base.clone().with_speeds(vec![1.0, 2.0, 0.0, 1.0]).validate(),
+            Err(ConfigError::NonPositiveSpeed(0.0))
+        );
+        assert!(base.with_speeds(vec![1.0, 2.0, 1.5, 1.0]).validate().is_ok());
     }
 
     #[test]
     fn validation_rejects_all_masters_for_ms() {
-        let mut c = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        c.masters = MasterSelection::Fixed(8);
-        assert!(c.validate().is_err());
+        let c = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(8);
+        assert_eq!(c.validate(), Err(ConfigError::NoSlave));
+    }
+
+    #[test]
+    fn typed_errors_render_and_compose() {
+        let err = ClusterConfig::simulation(0, PolicyKind::Flat)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoNodes);
+        assert!(err.to_string().contains("at least one node"));
+        let err = ClusterConfig::simulation(4, PolicyKind::Flat)
+            .with_master_reserve(1.5)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::MasterReserveOutOfRange(1.5));
+        // ConfigError is a std error, so it boxes cleanly.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("1.5"));
+        let err = ClusterConfig::simulation(4, PolicyKind::Flat)
+            .with_dns_skew(-0.1)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DnsSkewOutOfRange(-0.1));
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let built = ClusterConfig::simulation(16, PolicyKind::MasterSlave)
+            .with_masters(4)
+            .with_monitor_period(SimDuration::from_millis(100))
+            .with_mu_h(110.0)
+            .with_master_reserve(0.25)
+            .with_dns_skew(0.3)
+            .with_remote_latency(SimDuration::from_millis(2))
+            .with_seed(99);
+        assert_eq!(built.masters, MasterSelection::Fixed(4));
+        assert_eq!(built.monitor_period, SimDuration::from_millis(100));
+        assert_eq!(built.mu_h, 110.0);
+        assert_eq!(built.master_reserve, 0.25);
+        assert_eq!(built.dns_skew, 0.3);
+        assert_eq!(built.remote_latency, SimDuration::from_millis(2));
+        assert_eq!(built.seed, 99);
+        assert!(built.validate().is_ok());
     }
 
     #[test]

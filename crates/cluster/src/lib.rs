@@ -40,7 +40,8 @@ pub mod rsrc;
 pub mod sim;
 
 pub use cache::{CacheConfig, DynContentCache};
-pub use config::{plan_masters, table2_grid, ClusterConfig, GridCell, MasterSelection, PolicyKind};
+pub use config::{plan_masters, table2_grid, ClusterConfig, ConfigError, GridCell,
+                 MasterSelection, PolicyKind};
 pub use failure::{FailureEvent, FailurePlan};
 pub use loadinfo::{LoadMonitor, NodeLoad};
 pub use metrics::{Level, Metrics, RunSummary};

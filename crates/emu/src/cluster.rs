@@ -13,8 +13,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
-    ClusterConfig, Dispatcher, Level, LoadMonitor, MasterSelection, Metrics, PolicyKind,
-    RunSummary,
+    ClusterConfig, Dispatcher, Level, LoadMonitor, Metrics, PolicyKind, RunSummary,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimTime};
@@ -81,11 +80,11 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
     );
 
     // Reuse the simulator's dispatcher wholesale.
-    let mut cc = ClusterConfig::simulation(config.p, config.policy);
-    cc.masters = MasterSelection::Fixed(config.m.max(1));
-    cc.master_reserve = config.master_reserve;
-    cc.seed = config.seed;
-    cc.monitor_period = to_sim(config.monitor_period);
+    let cc = ClusterConfig::simulation(config.p, config.policy)
+        .with_masters(config.m.max(1))
+        .with_master_reserve(config.master_reserve)
+        .with_seed(config.seed)
+        .with_monitor_period(to_sim(config.monitor_period));
     let summary = trace.summary();
     let a0 = if summary.arrival_ratio_a.is_finite() && summary.arrival_ratio_a > 0.0 {
         summary.arrival_ratio_a.clamp(0.01, 10.0)
@@ -289,6 +288,19 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
     for h in handles {
         let _ = h.join();
     }
+    // Feed the per-node busy time into the shared metrics type so the
+    // live path fills the same balance fields (CV, peak-to-mean) the
+    // simulator does — Table 3 rows then compare two complete
+    // `RunSummary` values instead of a hand-picked subset.
+    let busy: Vec<f64> = stats
+        .iter()
+        .map(|s| {
+            (s.cpu_busy_ns.load(std::sync::atomic::Ordering::Relaxed)
+                + s.io_busy_ns.load(std::sync::atomic::Ordering::Relaxed)) as f64
+                / 1e9
+        })
+        .collect();
+    metrics.set_node_busy(busy);
     metrics.summary()
 }
 
@@ -324,6 +336,14 @@ mod tests {
         assert_eq!(s.completed, 60);
         assert!(s.stretch >= 1.0);
         assert!(s.completed_static > 0);
+        // The live path populates the same node-balance fields as the
+        // simulator; six real nodes never end up with bit-identical busy
+        // time, so a populated vector shows up as a strictly positive CV.
+        assert!(
+            s.node_busy_cv > 0.0,
+            "live run should report per-node busy balance, cv = {}",
+            s.node_busy_cv
+        );
     }
 
     #[test]

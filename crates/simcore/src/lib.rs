@@ -14,7 +14,11 @@
 //!   ([`SimRng`]);
 //! * [`dist`] — the distributions the workload and OS models draw from;
 //! * [`stats`] — Welford statistics, exact quantiles, time-weighted
-//!   integrals, and the paper's stretch-factor accumulator.
+//!   integrals, and the paper's stretch-factor accumulator;
+//! * [`pool`] — a scoped-thread worker pool ([`parallel_map`]) with
+//!   submission-order result collection, paired with the stateless
+//!   [`split_seed`] so parallel sweeps stay bit-identical to sequential
+//!   runs.
 //!
 //! Everything is deterministic given a seed: the same configuration always
 //! produces the same simulated history, which the cross-crate integration
@@ -25,6 +29,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -32,6 +37,7 @@ pub mod time;
 pub use dist::{BoundedPareto, Constant, Dist, Distribution, Empirical, Exponential, LogNormal,
                ShiftedExponential, Uniform};
 pub use event::{EventId, EventQueue};
-pub use rng::SimRng;
+pub use pool::{effective_workers, parallel_map};
+pub use rng::{split_seed, SimRng};
 pub use stats::{OnlineStats, Quantiles, StretchAccumulator, TimeWeighted};
 pub use time::{SimDuration, SimTime};

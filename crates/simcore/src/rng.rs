@@ -26,6 +26,23 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derive the seed for the `index`-th member of a family of independent
+/// streams rooted at `root`.
+///
+/// This is the stateless counterpart of [`SimRng::split`], used when a
+/// sweep needs one seed per cell *before* any cell runs (so the mapping
+/// cannot depend on execution order). For a fixed `root` the mapping is
+/// injective in `index`: `index` enters through multiplication by an odd
+/// constant plus an addition (both bijections on `u64`), and the
+/// splitmix64 finaliser is itself a bijection, so distinct indices can
+/// never produce the same seed. A property test in
+/// `tests/proptests.rs` pins this down.
+#[inline]
+pub fn split_seed(root: u64, index: u64) -> u64 {
+    let mut state = root.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(&mut state)
+}
+
 /// xoshiro256++ pseudo-random generator.
 #[derive(Debug, Clone)]
 pub struct SimRng {

@@ -17,13 +17,15 @@
 
 use msweb_simcore::{Distribution, LogNormal, ShiftedExponential, SimDuration, SimRng, SimTime};
 
+use serde::Serialize;
+
 use crate::cgi::{CgiKind, CgiModel};
 use crate::fileset::FileSet;
 use crate::request::{Request, RequestClass, ServiceDemand};
 use crate::trace::Trace;
 
 /// Published characteristics of one source log (a Table 1 row).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceSpec {
     /// Log name.
     pub name: &'static str,

@@ -50,8 +50,7 @@ fn main() {
     let m = plan_masters(16, 800.0, s.arrival_ratio_a.max(0.01), 1.0 / 40.0, 1200.0);
     println!("Theorem 1 plans m = {m} masters of 16 nodes\n");
     for policy in [PolicyKind::Flat, PolicyKind::MasterSlave, PolicyKind::Switch] {
-        let mut cfg = ClusterConfig::simulation(16, policy);
-        cfg.masters = MasterSelection::Fixed(m);
+        let cfg = ClusterConfig::simulation(16, policy).with_masters(m);
         let r = run_policy(cfg, &trace);
         println!(
             "{:<8} stretch {:.3}  (static {:.3}, dynamic {:.3})",

@@ -20,8 +20,7 @@ fn main() {
         span.as_secs_f64()
     );
 
-    let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(3);
+    let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
 
     // Baseline: no failures.
     let baseline = run_policy(cfg.clone(), &trace);

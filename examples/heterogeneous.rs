@@ -38,8 +38,6 @@ fn main() {
         .scaled_to_rate(lambda);
 
     let run_with = |master_speed_slow: bool| {
-        let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(cluster.masters.len());
         // Node order in the simulator: masters first. Arrange speeds so
         // the master level gets slow or fast boxes.
         let mut s = speeds.clone();
@@ -48,7 +46,9 @@ fn main() {
         } else {
             s.sort_by(|a, b| b.partial_cmp(a).unwrap()); // fast first = masters
         }
-        cfg.speeds = Some(s);
+        let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+            .with_masters(cluster.masters.len())
+            .with_speeds(s);
         run_policy(cfg, &trace)
     };
 

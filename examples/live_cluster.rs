@@ -44,9 +44,9 @@ fn main() {
         let live = run_live(&live_cfg, &trace);
 
         // Simulated run of the same workload on 110-req/s nodes.
-        let mut sim_cfg = ClusterConfig::simulation(6, policy);
-        sim_cfg.masters = MasterSelection::Fixed(m);
-        sim_cfg.mu_h = 110.0;
+        let sim_cfg = ClusterConfig::simulation(6, policy)
+            .with_masters(m)
+            .with_mu_h(110.0);
         let sim = run_policy(sim_cfg, &trace);
 
         println!(

@@ -23,8 +23,7 @@ fn main() {
     println!("Theorem 1 plans {m} masters of 8 nodes");
 
     // 3. Replay under both architectures.
-    let mut ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    ms_cfg.masters = MasterSelection::Fixed(m);
+    let ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(m);
     let ms = run_policy(ms_cfg, &trace);
 
     let flat = run_policy(ClusterConfig::simulation(8, PolicyKind::Flat), &trace);

@@ -14,9 +14,8 @@ use msweb::cluster::CacheConfig;
 use msweb::prelude::*;
 
 fn run(trace: &Trace, cache: Option<CacheConfig>, m: usize) -> (RunSummary, Option<f64>) {
-    let mut cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(m);
-    cfg.cache = cache;
+    let mut cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave).with_masters(m);
+    cfg.cache = cache; // Option on purpose: None is the uncached baseline.
     let mut sim = msweb::cluster::ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
     let summary = sim.run(trace);
     let ratio = sim.cache_stats().map(|(h, mi, _, _)| h as f64 / (h + mi).max(1) as f64);

@@ -41,8 +41,7 @@ fn main() {
         let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
         print!("{:<18}", format!("{} ({:.0}, {:.0})", spec.name, lambda, inv_r));
         for pk in &policies {
-            let mut cfg = ClusterConfig::simulation(p, *pk);
-            cfg.masters = MasterSelection::Fixed(m);
+            let cfg = ClusterConfig::simulation(p, *pk).with_masters(m);
             let s = run_policy(cfg, &trace);
             print!("{:>9.3}", s.stretch);
         }

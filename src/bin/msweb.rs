@@ -6,6 +6,7 @@
 //! msweb import  --log access.log [--lambda 800] [--p 16]
 //! msweb traces
 //! msweb live    [--rate 40] [--requests 300] [--scale 0.2]
+//! msweb experiments [--id fig4b] [--jobs 8] [--json out.json] [--quick]
 //! ```
 //!
 //! Every subcommand is a thin veneer over the public library API — the
@@ -26,6 +27,7 @@ fn main() {
         "import" => cmd_import(&flags),
         "traces" => cmd_traces(),
         "live" => cmd_live(&flags),
+        "experiments" => cmd_experiments(&flags),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
             eprintln!("unknown subcommand: {other}\n");
@@ -49,6 +51,12 @@ USAGE:
   msweb traces    print the built-in trace characteristics (Table 1)
   msweb live    [--rate <req/s>] [--requests <n>] [--scale <x>]
                   run the thread-backed live cluster (6 nodes)
+  msweb experiments [--id <experiment>] [--jobs <n>] [--json <path>]
+                  [--quick] [--seed <s>]
+                  regenerate the paper's tables/figures through the
+                  parallel sweep runner (default: all experiments on all
+                  cores; ids: fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3
+                  ablation)
 
 Policies: Flat, M/S, M/S-ns, M/S-nr, M/S-1, M/S', Redirect, Switch"
     );
@@ -61,10 +69,15 @@ struct Flags(Vec<(String, String)>);
 impl Flags {
     fn parse(args: &[String]) -> Flags {
         let mut out = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it.next().cloned().unwrap_or_default();
+                // Boolean flags (e.g. --quick) take no value; only consume
+                // the next token when it isn't itself a flag.
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                    _ => String::new(),
+                };
                 out.push((key.to_string(), value));
             } else {
                 eprintln!("unexpected argument: {a}");
@@ -196,6 +209,43 @@ fn cmd_plan(flags: &Flags) {
     }
 }
 
+fn cmd_experiments(flags: &Flags) {
+    let quick = flags.get("quick").is_some();
+    let jobs = flags.usize("jobs", 0);
+    let mut exp = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    exp.seed = flags.num("seed", exp.seed as f64) as u64;
+    let runner = ExperimentRunner::new(exp)
+        .parallelism(jobs)
+        .live_time_scale(if quick { 0.3 } else { 1.0 });
+
+    let ids: Vec<ExperimentId> = match flags.get("id") {
+        Some(name) => match ExperimentId::parse(name) {
+            Some(id) => vec![id],
+            None => {
+                eprintln!("unknown experiment id: {name}");
+                std::process::exit(2);
+            }
+        },
+        None => ExperimentId::ALL.to_vec(),
+    };
+
+    let mut reports = Vec::with_capacity(ids.len());
+    for id in ids {
+        let report = runner.run(id);
+        println!("{}", report.render());
+        reports.push(report);
+    }
+    if let Some(path) = flags.get("json") {
+        let body: Vec<String> = reports.iter().map(ExperimentReport::to_json).collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {} report(s) to {path}", reports.len());
+    }
+}
+
 fn cmd_replay(flags: &Flags) {
     let spec = trace_by_name(flags.required("trace"));
     let lambda = flags.num("lambda", 1000.0);
@@ -216,9 +266,9 @@ fn cmd_replay(flags: &Flags) {
     match flags.get("policy") {
         Some(name) => {
             let policy = policy_by_name(name);
-            let mut cfg = ClusterConfig::simulation(p, policy);
-            cfg.masters = MasterSelection::Fixed(m);
-            cfg.seed = seed;
+            let cfg = ClusterConfig::simulation(p, policy)
+                .with_masters(m)
+                .with_seed(seed);
             let s = run_policy(cfg, &trace);
             print_summary(policy.label(), &s);
         }
@@ -230,9 +280,9 @@ fn cmd_replay(flags: &Flags) {
                 PolicyKind::MsAllMasters,
                 PolicyKind::Switch,
             ] {
-                let mut cfg = ClusterConfig::simulation(p, policy);
-                cfg.masters = MasterSelection::Fixed(m);
-                cfg.seed = seed;
+                let cfg = ClusterConfig::simulation(p, policy)
+                    .with_masters(m)
+                    .with_seed(seed);
                 let s = run_policy(cfg, &trace);
                 println!("{:<9} stretch {:>8.3}", policy.label(), s.stretch);
             }
@@ -273,8 +323,7 @@ fn cmd_import(flags: &Flags) {
     let a = s.arrival_ratio_a.clamp(0.01, 10.0);
     let m = plan_masters(p, trace.mean_rate(), a, 1.0 / 40.0, 1200.0);
     for policy in [PolicyKind::Flat, PolicyKind::MasterSlave, PolicyKind::Switch] {
-        let mut cfg = ClusterConfig::simulation(p, policy);
-        cfg.masters = MasterSelection::Fixed(m);
+        let cfg = ClusterConfig::simulation(p, policy).with_masters(m);
         let r = run_policy(cfg, &trace);
         println!("{:<9} stretch {:>8.3}", policy.label(), r.stretch);
     }

@@ -18,6 +18,7 @@
 //! | [`workload`] | Table 1 trace generators, SPECweb96 file set, CGI models |
 //! | [`cluster`] | the contribution: dispatcher, RSRC, reservation, simulator |
 //! | [`emu`] | live thread-backed cluster (the Sun-prototype substitute) |
+//! | [`bench`] | the experiment suite: parallel sweeps, the typed [`ExperimentRunner`](bench::ExperimentRunner) |
 //!
 //! ## Quickstart
 //!
@@ -33,8 +34,7 @@
 //! let m = plan_masters(16, 400.0, ucb().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
 //!
 //! // ...then replay under the paper's policy and the flat baseline.
-//! let mut ms = ClusterConfig::simulation(16, PolicyKind::MasterSlave);
-//! ms.masters = MasterSelection::Fixed(m);
+//! let ms = ClusterConfig::simulation(16, PolicyKind::MasterSlave).with_masters(m);
 //! let ms_run = run_policy(ms, &trace);
 //!
 //! let flat_run = run_policy(ClusterConfig::simulation(16, PolicyKind::Flat), &trace);
@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use msweb_bench as bench;
 pub use msweb_cluster as cluster;
 pub use msweb_emu as emu;
 pub use msweb_ossim as ossim;
@@ -58,10 +59,11 @@ pub use msweb_workload as workload;
 
 /// The commonly used items, re-exported flat.
 pub mod prelude {
+    pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
-        plan_masters, run_policy, table2_grid, ClusterConfig, ClusterSim, Dispatcher,
-        FailureEvent, FailurePlan, GridCell, Level, LoadMonitor, MasterSelection, Metrics,
-        PolicyKind, ReservationController, RsrcPredictor, RunSummary,
+        plan_masters, run_policy, table2_grid, ClusterConfig, ClusterSim, ConfigError,
+        Dispatcher, FailureEvent, FailurePlan, GridCell, Level, LoadMonitor, MasterSelection,
+        Metrics, PolicyKind, ReservationController, RsrcPredictor, RunSummary,
     };
     pub use msweb_emu::{run_live, LiveConfig};
     pub use msweb_ossim::{DemandSpec, Node, OsParams};

@@ -96,3 +96,24 @@ fn import_missing_file_fails_cleanly() {
     let out = msweb(&["import", "--log", "/nonexistent/access.log"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn experiments_fig3a_quick_writes_json() {
+    let path = std::env::temp_dir().join("msweb_cli_experiments.json");
+    let out = msweb(&[
+        "experiments", "--id", "fig3a", "--quick", "--json", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FIG 3(a)"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"Fig3a\""), "{json}");
+    assert!(json.contains("stretch_ms"), "{json}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn experiments_rejects_unknown_id() {
+    let out = msweb(&["experiments", "--id", "fig9z"]);
+    assert!(!out.status.success());
+}
