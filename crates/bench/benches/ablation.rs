@@ -1,7 +1,9 @@
 //! Ablation benches: the design-choice sweeps DESIGN.md calls out.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use msweb_bench::{ablation_redirect, ablation_reserve, ablation_staleness, ablation_theta_rule, ExpConfig};
+use msweb_bench::{
+    ablation_redirect, ablation_reserve, ablation_staleness, ablation_theta_rule, ExpConfig,
+};
 
 fn bench_ablations(c: &mut Criterion) {
     let exp = ExpConfig::quick();

@@ -14,7 +14,9 @@
 //!   identical at any value, only wall-clock time changes);
 //! * `--json PATH` — additionally write the typed reports as a JSON
 //!   array to `PATH`;
-//! * `--seed N` — override the root RNG seed.
+//! * `--seed N` — override the root RNG seed;
+//! * `--trace-decisions PATH` — log every scheduling decision of the
+//!   Table 3 replays (live and simulated) as JSONL to `PATH`.
 
 use msweb_bench::{ExpConfig, ExperimentId, ExperimentRunner};
 
@@ -23,6 +25,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut jobs: usize = 0;
     let mut json_path: Option<String> = None;
+    let mut trace_decisions: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut all = false;
@@ -44,6 +47,14 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| bad_usage("--json needs a path")),
+                );
+            }
+            "--trace-decisions" => {
+                i += 1;
+                trace_decisions = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| bad_usage("--trace-decisions needs a path")),
                 );
             }
             "--seed" => {
@@ -70,20 +81,29 @@ fn main() {
         ids = ExperimentId::ALL.to_vec();
     }
 
-    let mut exp = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let mut exp = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
     if let Some(seed) = seed {
         exp.seed = seed;
     }
     let runner = ExperimentRunner::new(exp)
         .parallelism(jobs)
-        .live_time_scale(if quick { 0.3 } else { 1.0 });
+        .live_time_scale(if quick { 0.3 } else { 1.0 })
+        .trace_decisions(trace_decisions.map(std::path::PathBuf::from));
 
     let mut reports = Vec::with_capacity(ids.len());
     for id in ids {
         let t0 = std::time::Instant::now();
         let report = runner.run(id);
         println!("{}", report.render());
-        println!("[{} completed in {:.1}s]\n", id.name(), t0.elapsed().as_secs_f64());
+        println!(
+            "[{} completed in {:.1}s]\n",
+            id.name(),
+            t0.elapsed().as_secs_f64()
+        );
         reports.push(report);
     }
 
@@ -101,7 +121,8 @@ fn main() {
 fn bad_usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: experiments [ids...] [--quick] [--jobs N] [--json PATH] [--seed N]\n\
+        "usage: experiments [ids...] [--quick] [--jobs N] [--json PATH] [--seed N] \
+         [--trace-decisions PATH]\n\
          ids: fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3 ablation (default: all)"
     );
     std::process::exit(2);

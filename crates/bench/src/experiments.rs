@@ -10,10 +10,14 @@
 //! | [`tab3`] | Table 3 — live-vs-simulated validation |
 //! | [`ablation_staleness`] / [`ablation_reserve`] / [`ablation_redirect`] / [`ablation_theta_rule`] | design-choice ablations |
 
+use std::path::Path;
 use std::time::Duration;
 
-use msweb_cluster::{run_policy, table2_grid, ClusterConfig, GridCell, PolicyKind, RunSummary};
-use msweb_emu::{run_live, LiveConfig};
+use msweb_cluster::{
+    run_policy, run_policy_with_observer, table2_grid, ClusterConfig, GridCell, JsonlSink,
+    PolicyKind, RunSummary,
+};
+use msweb_emu::{live_scheduler, run_live, run_live_with, LiveConfig};
 use msweb_queueing::{plan, Fig3Config, Fig3Point, ThetaRule, Workload};
 use msweb_workload::{adl, all_traces, ksu, ucb, DemandModel, Trace, TraceSpec, TraceSummary};
 use serde::Serialize;
@@ -199,7 +203,15 @@ pub fn fig4(p: usize, exp: &ExpConfig) -> Vec<Fig4Row> {
     let cells: Vec<GridCell> = table2_grid().into_iter().filter(|c| c.p == p).collect();
     Sweep::new(cells, exp.seed)
         .parallelism(exp.jobs)
-        .run(|cell, seed| fig4_cell(cell, &ExpConfig { seed, ..exp.clone() }))
+        .run(|cell, seed| {
+            fig4_cell(
+                cell,
+                &ExpConfig {
+                    seed,
+                    ..exp.clone()
+                },
+            )
+        })
 }
 
 /// One Figure 4 bar group (exposed separately for the benches).
@@ -354,6 +366,18 @@ impl Tab3Row {
 /// demands toward the host's thread-wakeup latency and the measurement
 /// drowns in scheduler noise, especially on single-core hosts.
 pub fn tab3(exp: &ExpConfig, time_scale: f64) -> Vec<Tab3Row> {
+    tab3_traced(exp, time_scale, None)
+}
+
+/// [`tab3`] with an optional per-decision JSONL log.
+///
+/// When `decision_log` is set, every placement of every replay — live
+/// *and* simulated — is appended to the file through the same
+/// [`JsonlSink`], demonstrating that both substrates drive one scheduler
+/// and emit schema-identical records. The file is appended to, not
+/// truncated; callers own lifecycle (the `experiments` binary truncates
+/// it once up front).
+pub fn tab3_traced(exp: &ExpConfig, time_scale: f64, decision_log: Option<&Path>) -> Vec<Tab3Row> {
     // The paper replays every trace at 20 and 40 req/s. On our substrate
     // the stable rate range depends strongly on the trace's CGI share
     // (ADL at 44% CGI saturates six 110-req/s nodes above ~36 req/s), so
@@ -385,12 +409,30 @@ pub fn tab3(exp: &ExpConfig, time_scale: f64) -> Vec<Tab3Row> {
                 live_cfg.time_scale = time_scale;
                 live_cfg.monitor_period = Duration::from_secs_f64(0.25 * time_scale.max(0.02));
                 live_cfg.seed = seed;
-                let live = run_live(&live_cfg, &trace);
+                let live = match decision_log {
+                    Some(path) => {
+                        let mut scheduler = live_scheduler(&live_cfg, &trace);
+                        if let Ok(sink) = JsonlSink::append(path) {
+                            scheduler.set_observer(Some(Box::new(sink)));
+                        }
+                        run_live_with(&live_cfg, &trace, scheduler)
+                    }
+                    None => run_live(&live_cfg, &trace),
+                };
                 let sim_cfg = ClusterConfig::simulation(6, policy)
                     .with_masters(*m)
                     .with_mu_h(110.0)
                     .with_seed(seed);
-                let sim = run_policy(sim_cfg, &trace);
+                let sim = match decision_log {
+                    Some(path) => run_policy_with_observer(
+                        sim_cfg,
+                        &trace,
+                        JsonlSink::append(path)
+                            .ok()
+                            .map(|s| Box::new(s) as Box<dyn msweb_cluster::DecisionObserver>),
+                    ),
+                    None => run_policy(sim_cfg, &trace),
+                };
                 (live, sim)
             };
 
@@ -478,10 +520,13 @@ pub fn ablation_redirect(exp: &ExpConfig) -> (f64, f64) {
     };
     let trace = cell_trace(&cell, exp.requests, exp.seed);
     let m = msweb_cluster::plan_masters(32, 1000.0, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
-    let stretches = Sweep::new(vec![PolicyKind::MasterSlave, PolicyKind::Redirect], exp.seed)
-        .common_seed()
-        .parallelism(exp.jobs)
-        .run(|&policy, seed| run_cell(&cell, &trace, policy, m, seed).stretch);
+    let stretches = Sweep::new(
+        vec![PolicyKind::MasterSlave, PolicyKind::Redirect],
+        exp.seed,
+    )
+    .common_seed()
+    .parallelism(exp.jobs)
+    .run(|&policy, seed| run_cell(&cell, &trace, policy, m, seed).stretch);
     (stretches[0], stretches[1])
 }
 
@@ -585,13 +630,9 @@ pub fn ablation_hetero(exp: &ExpConfig) -> (f64, f64, f64) {
     speeds.extend(vec![2.0; 8]);
     let lambda = 400.0;
     let spec = ksu();
-    let w = msweb_queueing::Workload::from_ratios(
-        lambda,
-        spec.arrival_ratio_a(),
-        1200.0,
-        1.0 / 40.0,
-    )
-    .expect("valid workload");
+    let w =
+        msweb_queueing::Workload::from_ratios(lambda, spec.arrival_ratio_a(), 1200.0, 1.0 / 40.0)
+            .expect("valid workload");
     let (plan, _theta, analytic) =
         HeteroCluster::plan_masters(&speeds, &w).expect("feasible fleet");
 

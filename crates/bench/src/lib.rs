@@ -25,6 +25,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use experiments::*;
-pub use runner::{AblationReport, ExperimentId, ExperimentReport, ExperimentRunner, Fig3Row,
-                 ReportData};
+pub use runner::{
+    AblationReport, ExperimentId, ExperimentReport, ExperimentRunner, Fig3Row, ReportData,
+};
 pub use sweep::{SeedMode, Sweep};

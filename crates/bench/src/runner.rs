@@ -31,8 +31,8 @@ use serde::Serialize;
 
 use crate::experiments::{
     ablation_bursty, ablation_cache, ablation_frontend, ablation_hetero, ablation_redirect,
-    ablation_reserve, ablation_staleness, ablation_theta_rule, fig3, fig4, fig5, tab1, tab2, tab3,
-    ExpConfig, Fig4Row, Fig5Row, Tab1Row, Tab2Row, Tab3Row,
+    ablation_reserve, ablation_staleness, ablation_theta_rule, fig3, fig4, fig5, tab1, tab2,
+    tab3_traced, ExpConfig, Fig4Row, Fig5Row, Tab1Row, Tab2Row, Tab3Row,
 };
 use crate::report::{f, pct, Table};
 
@@ -201,6 +201,7 @@ pub struct ExperimentReport {
 pub struct ExperimentRunner {
     exp: ExpConfig,
     live_time_scale: f64,
+    trace_decisions: Option<std::path::PathBuf>,
 }
 
 impl ExperimentRunner {
@@ -210,6 +211,7 @@ impl ExperimentRunner {
         ExperimentRunner {
             exp,
             live_time_scale: 1.0,
+            trace_decisions: None,
         }
     }
 
@@ -225,6 +227,17 @@ impl ExperimentRunner {
     /// but noisier.
     pub fn live_time_scale(mut self, scale: f64) -> Self {
         self.live_time_scale = scale;
+        self
+    }
+
+    /// Log every scheduling decision of the Table 3 replays (live *and*
+    /// simulated) to a JSONL file — the `--trace-decisions PATH` flag of
+    /// the `experiments` binary. The file is truncated when Table 3
+    /// starts, then appended to by each replay. Other experiments ignore
+    /// the setting (their sweeps run replays in parallel, where a shared
+    /// append-mode log would interleave).
+    pub fn trace_decisions(mut self, path: Option<std::path::PathBuf>) -> Self {
+        self.trace_decisions = path;
         self
     }
 
@@ -249,7 +262,20 @@ impl ExperimentRunner {
             ExperimentId::Fig4a => ReportData::Fig4(fig4(32, exp)),
             ExperimentId::Fig4b => ReportData::Fig4(fig4(128, exp)),
             ExperimentId::Fig5 => ReportData::Fig5(fig5(exp)),
-            ExperimentId::Tab3 => ReportData::Tab3(tab3(exp, self.live_time_scale)),
+            ExperimentId::Tab3 => {
+                if let Some(path) = &self.trace_decisions {
+                    // Start each Table 3 run from an empty log; replays
+                    // then append their records in order.
+                    if let Err(e) = std::fs::File::create(path) {
+                        eprintln!("trace-decisions: cannot create {}: {e}", path.display());
+                    }
+                }
+                ReportData::Tab3(tab3_traced(
+                    exp,
+                    self.live_time_scale,
+                    self.trace_decisions.as_deref(),
+                ))
+            }
             ExperimentId::Ablation => ReportData::Ablation(AblationReport {
                 staleness: ablation_staleness(exp),
                 reserve: ablation_reserve(exp),
@@ -272,7 +298,10 @@ impl ExperimentRunner {
 
     /// Execute every experiment in presentation order.
     pub fn run_all(&self) -> Vec<ExperimentReport> {
-        ExperimentId::ALL.into_iter().map(|id| self.run(id)).collect()
+        ExperimentId::ALL
+            .into_iter()
+            .map(|id| self.run(id))
+            .collect()
     }
 }
 
@@ -289,8 +318,7 @@ impl ExperimentReport {
             (ExperimentId::Fig3a, ReportData::Fig3(points)) => {
                 out.push_str("== FIG 3(a): analytic improvement of M/S over the flat model ==\n");
                 out.push_str("   (λ=1000/s, p=32, μ_h=1200/s; paper reports up to ~60%)\n\n");
-                let mut t =
-                    Table::new(vec!["a", "1/r", "m*", "θ*", "S_M", "S_F", "improvement"]);
+                let mut t = Table::new(vec!["a", "1/r", "m*", "θ*", "S_M", "S_F", "improvement"]);
                 for pt in points {
                     t.row(vec![
                         f(pt.a, 3),
@@ -324,7 +352,9 @@ impl ExperimentReport {
                         f(pt.stretch_ms, 3),
                         f(pt.stretch_msprime, 3),
                         pct(pt.improvement_over_msprime_pct),
-                        pt.stretch_msprime_few.map(|s| f(s, 3)).unwrap_or("-".into()),
+                        pt.stretch_msprime_few
+                            .map(|s| f(s, 3))
+                            .unwrap_or("-".into()),
                         pt.improvement_over_msprime_few_pct
                             .map(pct)
                             .unwrap_or("-".into()),
@@ -371,8 +401,7 @@ impl ExperimentReport {
                 out.push_str(
                     "== TAB 2: workload parameter grid (reconstructed; see DESIGN.md) ==\n\n",
                 );
-                let mut t =
-                    Table::new(vec!["trace", "p", "λ (req/s)", "1/r", "load/node", "m*"]);
+                let mut t = Table::new(vec!["trace", "p", "λ (req/s)", "1/r", "load/node", "m*"]);
                 for row in rows {
                     t.row(vec![
                         row.cell.trace.to_string(),
@@ -399,7 +428,14 @@ impl ExperimentReport {
                     "   (paper: vs M/S-nr up to 68%; vs M/S-1 up to 26%; vs M/S-ns 5-22%)\n\n",
                 );
                 let mut t = Table::new(vec![
-                    "trace", "λ", "1/r", "m", "S(M/S)", "vs M/S-ns", "vs M/S-nr", "vs M/S-1",
+                    "trace",
+                    "λ",
+                    "1/r",
+                    "m",
+                    "S(M/S)",
+                    "vs M/S-ns",
+                    "vs M/S-nr",
+                    "vs M/S-1",
                 ]);
                 for row in rows {
                     t.row(vec![
@@ -460,8 +496,14 @@ impl ExperimentReport {
                 out.push_str(
                     "   (6 nodes, masters UCB 3 / KSU 1 / ADL 1, r=1/40; paper: within a few points)\n\n",
                 );
-                let mut t =
-                    Table::new(vec!["trace", "rate", "versus", "actual", "simulated", "|Δ|"]);
+                let mut t = Table::new(vec![
+                    "trace",
+                    "rate",
+                    "versus",
+                    "actual",
+                    "simulated",
+                    "|Δ|",
+                ]);
                 let mut diff_sum = 0.0;
                 for r in rows {
                     let (actual, simulated) = (r.actual_pct(), r.simulated_pct());
@@ -529,7 +571,9 @@ impl ExperimentReport {
                     (redirect / ms - 1.0) * 100.0
                 );
 
-                out.push_str("\n-- flash-crowd bursts (ON/OFF arrivals, 3x bursts at 25% duty) --\n");
+                out.push_str(
+                    "\n-- flash-crowd bursts (ON/OFF arrivals, 3x bursts at 25% duty) --\n",
+                );
                 let mut t = Table::new(vec!["policy", "Poisson", "bursty", "penalty"]);
                 for &(name, poisson, bursty) in &ab.bursty {
                     t.row(vec![

@@ -113,11 +113,7 @@ impl DynContentCache {
             // Evict the LRU entry. Linear scan: capacities in the
             // experiments are small relative to run length, and the scan
             // only runs when the cache is full.
-            if let Some((&victim, _)) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 self.entries.remove(&victim);
                 self.evictions += 1;
             }
@@ -184,7 +180,10 @@ mod tests {
     fn ttl_expires_entries() {
         let mut c = cache(10, 60);
         c.insert(1, SimTime::from_secs(0));
-        assert!(c.lookup(1, SimTime::from_secs(60)), "exactly at TTL is fresh");
+        assert!(
+            c.lookup(1, SimTime::from_secs(60)),
+            "exactly at TTL is fresh"
+        );
         assert!(!c.lookup(1, SimTime::from_secs(61)), "past TTL is stale");
         let (_, _, exp, _) = c.stats();
         assert_eq!(exp, 1);

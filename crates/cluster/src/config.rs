@@ -107,6 +107,18 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// Every policy, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 8] = [
+        PolicyKind::Flat,
+        PolicyKind::MasterSlave,
+        PolicyKind::MsNoSampling,
+        PolicyKind::MsNoReservation,
+        PolicyKind::MsAllMasters,
+        PolicyKind::MsPrime,
+        PolicyKind::Redirect,
+        PolicyKind::Switch,
+    ];
+
     /// The label used in the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -119,6 +131,63 @@ impl PolicyKind {
             PolicyKind::Redirect => "Redirect",
             PolicyKind::Switch => "Switch",
         }
+    }
+
+    /// The CLI-friendly slug accepted (alongside the figure label) by
+    /// [`FromStr`](std::str::FromStr).
+    pub fn slug(self) -> &'static str {
+        match self {
+            PolicyKind::Flat => "flat",
+            PolicyKind::MasterSlave => "ms",
+            PolicyKind::MsNoSampling => "ms-ns",
+            PolicyKind::MsNoReservation => "ms-nr",
+            PolicyKind::MsAllMasters => "ms-1",
+            PolicyKind::MsPrime => "ms-prime",
+            PolicyKind::Redirect => "redirect",
+            PolicyKind::Switch => "switch",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when a policy name does not parse; lists the
+/// accepted names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown policy {:?}; accepted:", self.input)?;
+        for p in PolicyKind::ALL {
+            write!(f, " {} ({})", p.label(), p.slug())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    /// Accepts both the paper's figure label (`"M/S-nr"`) and the CLI
+    /// slug (`"ms-nr"`); round-trips with [`PolicyKind::label`] and
+    /// [`PolicyKind::slug`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|p| s == p.label() || s == p.slug())
+            .ok_or_else(|| ParsePolicyError {
+                input: s.to_string(),
+            })
     }
 }
 
@@ -437,6 +506,22 @@ mod tests {
     use super::*;
 
     #[test]
+    fn policy_names_round_trip() {
+        for p in PolicyKind::ALL {
+            assert_eq!(
+                p.label().parse::<PolicyKind>(),
+                Ok(p),
+                "label {}",
+                p.label()
+            );
+            assert_eq!(p.slug().parse::<PolicyKind>(), Ok(p), "slug {}", p.slug());
+            assert_eq!(format!("{p}"), p.label());
+        }
+        let err = "no-such-policy".parse::<PolicyKind>().unwrap_err();
+        assert!(err.to_string().contains("ms-prime"));
+    }
+
+    #[test]
     fn defaults_validate() {
         for policy in [
             PolicyKind::Flat,
@@ -483,10 +568,15 @@ mod tests {
             Err(ConfigError::SpeedCountMismatch { got: 3, p: 4 })
         );
         assert_eq!(
-            base.clone().with_speeds(vec![1.0, 2.0, 0.0, 1.0]).validate(),
+            base.clone()
+                .with_speeds(vec![1.0, 2.0, 0.0, 1.0])
+                .validate(),
             Err(ConfigError::NonPositiveSpeed(0.0))
         );
-        assert!(base.with_speeds(vec![1.0, 2.0, 1.5, 1.0]).validate().is_ok());
+        assert!(base
+            .with_speeds(vec![1.0, 2.0, 1.5, 1.0])
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -543,9 +633,15 @@ mod tests {
         // 3 traces x 4 ratios x 4 rates, minus the six analytically
         // unstable heavy cells (each trace's top rate with 1/r=160).
         assert_eq!(grid.len(), 42);
-        assert!(grid.iter().any(|c| c.trace == "UCB" && c.p == 32 && c.lambda == 1000.0));
-        assert!(grid.iter().any(|c| c.trace == "ADL" && c.p == 128 && c.lambda == 4000.0));
-        assert!(grid.iter().all(|c| [20.0, 40.0, 80.0, 160.0].contains(&c.inv_r)));
+        assert!(grid
+            .iter()
+            .any(|c| c.trace == "UCB" && c.p == 32 && c.lambda == 1000.0));
+        assert!(grid
+            .iter()
+            .any(|c| c.trace == "ADL" && c.p == 128 && c.lambda == 4000.0));
+        assert!(grid
+            .iter()
+            .all(|c| [20.0, 40.0, 80.0, 160.0].contains(&c.inv_r)));
         // Dropped: the overloaded combinations.
         assert!(!grid
             .iter()
@@ -560,8 +656,8 @@ mod tests {
                 "KSU" => 29.1 / 70.9,
                 _ => 44.3 / 55.7,
             };
-            let w = msweb_queueing::Workload::from_ratios(c.lambda, a, 1200.0, 1.0 / c.inv_r)
-                .unwrap();
+            let w =
+                msweb_queueing::Workload::from_ratios(c.lambda, a, 1200.0, 1.0 / c.inv_r).unwrap();
             assert!(w.offered_load() / c.p as f64 <= 0.95);
         }
     }

@@ -7,9 +7,11 @@
 //!
 //! The pieces, mapped to the paper:
 //!
-//! * [`policy::Dispatcher`] — the two-hop placement algorithm: front-end
-//!   rotation to an entry node, then minimum-RSRC selection for dynamic
-//!   requests, subject to master reservation (§4);
+//! * [`sched`] — the two-hop placement algorithm as a composable
+//!   pipeline: front-end entry selection, reservation admission,
+//!   candidate-set formation and minimum-RSRC scoring (§4), assembled
+//!   per [`config::PolicyKind`] by [`sched::PolicyScheduler::new`] or
+//!   from named stages by [`sched::SchedulerRegistry`];
 //! * [`rsrc::RsrcPredictor`] — Equation 5's relative server-site response
 //!   cost, with per-class CPU weights from off-line sampling;
 //! * [`reservation::ReservationController`] — the self-stabilising
@@ -34,18 +36,25 @@ pub mod config;
 pub mod failure;
 pub mod loadinfo;
 pub mod metrics;
-pub mod policy;
 pub mod reservation;
 pub mod rsrc;
+#[deny(missing_docs)]
+pub mod sched;
 pub mod sim;
 
 pub use cache::{CacheConfig, DynContentCache};
-pub use config::{plan_masters, table2_grid, ClusterConfig, ConfigError, GridCell,
-                 MasterSelection, PolicyKind};
+pub use config::{
+    plan_masters, table2_grid, ClusterConfig, ConfigError, GridCell, MasterSelection,
+    ParsePolicyError, PolicyKind,
+};
 pub use failure::{FailureEvent, FailurePlan};
 pub use loadinfo::{LoadMonitor, NodeLoad};
 pub use metrics::{Level, Metrics, RunSummary};
-pub use policy::{Dispatcher, Placement};
 pub use reservation::ReservationController;
 pub use rsrc::RsrcPredictor;
-pub use sim::{run_policy, ClusterSim};
+pub use sched::{
+    CollectingObserver, ComposeError, DecisionObserver, DecisionRecord, Dispatcher, DynScheduler,
+    JsonlSink, Placement, PlacementError, PolicyScheduler, Schedule, Scheduler, SchedulerRegistry,
+    StageSpec,
+};
+pub use sim::{run_policy, run_policy_with_observer, ClusterSim};

@@ -88,8 +88,11 @@ impl LoadMonitor {
         let window = now.since(self.last_tick).as_secs_f64();
         for (i, snap) in snapshots.iter().enumerate() {
             if window > 0.0 {
-                let cpu_busy =
-                    snap.cpu_busy.saturating_sub(self.prev[i].cpu_busy).as_secs_f64() / window;
+                let cpu_busy = snap
+                    .cpu_busy
+                    .saturating_sub(self.prev[i].cpu_busy)
+                    .as_secs_f64()
+                    / window;
                 let disk_busy = snap
                     .disk_busy
                     .saturating_sub(self.prev[i].disk_busy)
@@ -165,14 +168,20 @@ mod tests {
     fn windowed_ratios() {
         let mut m = LoadMonitor::new(1, SimDuration::from_millis(500), SimTime::ZERO);
         // 200ms CPU busy and 100ms disk busy over a 500ms window.
-        m.tick(SimTime::from_millis(500), &[snap(SimTime::from_millis(500), 200, 100)]);
+        m.tick(
+            SimTime::from_millis(500),
+            &[snap(SimTime::from_millis(500), 200, 100)],
+        );
         let n = m.node(0);
         assert!((n.cpu_idle_ratio - 0.6).abs() < 1e-9);
         assert!((n.disk_avail_ratio - 0.8).abs() < 1e-9);
         assert_eq!(n.processes, 1);
 
         // Second window: another 50ms CPU (cumulative 250), disk idle.
-        m.tick(SimTime::from_secs(1), &[snap(SimTime::from_secs(1), 250, 100)]);
+        m.tick(
+            SimTime::from_secs(1),
+            &[snap(SimTime::from_secs(1), 250, 100)],
+        );
         let n = m.node(0);
         assert!((n.cpu_idle_ratio - 0.9).abs() < 1e-9);
         assert!((n.disk_avail_ratio - 1.0).abs() < 1e-9);
@@ -181,7 +190,10 @@ mod tests {
     #[test]
     fn fully_busy_clamps_at_min_ratio() {
         let mut m = LoadMonitor::new(1, SimDuration::from_millis(100), SimTime::ZERO);
-        m.tick(SimTime::from_millis(100), &[snap(SimTime::from_millis(100), 100, 100)]);
+        m.tick(
+            SimTime::from_millis(100),
+            &[snap(SimTime::from_millis(100), 100, 100)],
+        );
         assert_eq!(m.node(0).cpu_idle_ratio, MIN_RATIO);
         assert_eq!(m.node(0).disk_avail_ratio, MIN_RATIO);
     }
@@ -189,7 +201,10 @@ mod tests {
     #[test]
     fn next_tick_advances() {
         let mut m = LoadMonitor::new(1, SimDuration::from_millis(100), SimTime::ZERO);
-        m.tick(SimTime::from_millis(100), &[snap(SimTime::from_millis(100), 0, 0)]);
+        m.tick(
+            SimTime::from_millis(100),
+            &[snap(SimTime::from_millis(100), 0, 0)],
+        );
         assert_eq!(m.next_tick(), SimTime::from_millis(200));
     }
 
@@ -197,6 +212,9 @@ mod tests {
     #[should_panic(expected = "node count changed")]
     fn node_count_mismatch_panics() {
         let mut m = LoadMonitor::new(2, SimDuration::from_millis(100), SimTime::ZERO);
-        m.tick(SimTime::from_millis(100), &[snap(SimTime::from_millis(100), 0, 0)]);
+        m.tick(
+            SimTime::from_millis(100),
+            &[snap(SimTime::from_millis(100), 0, 0)],
+        );
     }
 }

@@ -277,7 +277,11 @@ mod tests {
         let mut m = Metrics::new();
         m.set_node_busy(vec![3.0, 1.0, 0.0, 0.0]);
         let s = m.summary();
-        assert!(s.node_busy_cv > 1.0, "skewed load has high CV: {}", s.node_busy_cv);
+        assert!(
+            s.node_busy_cv > 1.0,
+            "skewed load has high CV: {}",
+            s.node_busy_cv
+        );
         assert!((s.node_busy_peak_to_mean - 3.0).abs() < 1e-12);
     }
 }

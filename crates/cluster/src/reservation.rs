@@ -236,7 +236,10 @@ mod tests {
     fn cap_opens_near_saturation() {
         let light = admission_cap(9, 32, 0.126, 1.0 / 80.0, 0.5);
         let heavy = admission_cap(9, 32, 0.126, 1.0 / 80.0, 0.78);
-        assert!(heavy > light, "cap should open with load: {light} -> {heavy}");
+        assert!(
+            heavy > light,
+            "cap should open with load: {light} -> {heavy}"
+        );
         assert!(heavy <= reservation_bound(9, 32, 0.126, 1.0 / 80.0) + 1e-12);
     }
 
@@ -253,7 +256,10 @@ mod tests {
             let cap = admission_cap(6, 32, 0.44, 1.0 / 60.0, rho);
             let theta2 = reservation_bound(6, 32, 0.44, 1.0 / 60.0);
             assert!((0.0..=1.0).contains(&cap));
-            assert!(cap <= theta2 + 1e-12, "rho={rho}: cap {cap} > theta2 {theta2}");
+            assert!(
+                cap <= theta2 + 1e-12,
+                "rho={rho}: cap {cap} > theta2 {theta2}"
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! off-line sampling on an unloaded system; "if a value for w cannot be
 //! obtained, we assume w = 0.5". For heterogeneous clusters the relative
 //! node speed divides the CPU term (our previous-work extension the paper
-//! points to [36]).
+//! points to \[36\]).
 
 use crate::loadinfo::{NodeLoad, MIN_RATIO};
 
@@ -66,13 +66,7 @@ impl RsrcPredictor {
     /// master-overflow decision does not depend on the request's CPU
     /// weight, only on relative node load — `w` keeps its intended role
     /// of matching requests to nodes whose CPU/disk mix suits them.
-    pub fn cost_reserved(
-        &self,
-        node: usize,
-        load: &NodeLoad,
-        sampled_w: f64,
-        reserve: f64,
-    ) -> f64 {
+    pub fn cost_reserved(&self, node: usize, load: &NodeLoad, sampled_w: f64, reserve: f64) -> f64 {
         let w = self.effective_w(sampled_w);
         let keep = (1.0 - reserve).max(MIN_RATIO);
         let cpu_idle = (load.cpu_idle_ratio * keep).max(MIN_RATIO);

@@ -1,0 +1,637 @@
+//! Composable scheduling pipeline.
+//!
+//! The paper's §4 dispatcher is really a *pipeline*: front-end entry
+//! selection (DNS rotation, LB switch), reservation admission (the θ2*
+//! cap of Theorem 1), candidate-set formation by cluster level, RSRC
+//! cost scoring (Eq. 5) and an expected-demand charge-back against the
+//! stale load view. This module decomposes the former monolithic
+//! `Dispatcher` into five stage traits — [`EntrySelector`],
+//! [`Admission`], [`CandidateSet`], [`Scorer`] and [`ChargeBack`] —
+//! composed into a [`Scheduler`] value that both the event-driven
+//! simulator (`ClusterSim`) and the live emulation (`emu::run_live`)
+//! consume unchanged.
+//!
+//! [`PolicyKind`] is now a thin factory: [`PolicyScheduler::new`] maps
+//! each paper variant to a stage composition (see [`stages`]), and the
+//! string-keyed [`SchedulerRegistry`] lets examples and the CLI build
+//! custom compositions — including user-defined stages — without
+//! touching this crate.
+//!
+//! Every placement can be observed through a [`DecisionObserver`]
+//! ([`trace`]): the scheduler emits one [`DecisionRecord`] per decision
+//! with the entry node, the candidate set considered, per-candidate
+//! RSRC scores, the reservation state (θ̂, θ2*) and the chosen node.
+//! The hot path pays only an `Option` check when no observer is
+//! installed.
+
+pub mod registry;
+pub mod stages;
+pub mod trace;
+
+use crate::config::ClusterConfig;
+use crate::config::PolicyKind;
+use crate::loadinfo::{LoadMonitor, NodeLoad};
+use crate::reservation::ReservationController;
+use crate::rsrc::RsrcPredictor;
+use msweb_simcore::rng::SimRng;
+use msweb_simcore::time::SimDuration;
+
+pub use registry::{ComposeError, SchedulerRegistry, StageSpec};
+pub use stages::{AdmissionStage, CandidateStage, ChargeStage, EntryStage, ScoreStage};
+pub use trace::{CollectingObserver, DecisionObserver, DecisionRecord, JsonlSink};
+
+/// Outcome of a scheduling decision: where the request runs and what it
+/// costs to get it there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Node index the request is assigned to.
+    pub node: usize,
+    /// Transfer latency paid before service starts (zero when the
+    /// request stays on the entry node).
+    pub latency: SimDuration,
+    /// Whether the target counts as a master for accounting purposes.
+    pub on_master: bool,
+}
+
+/// Typed error returned when a scheduling stage cannot produce a
+/// placement, replacing the former `panic!("entire cluster is dead")`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Every node in the cluster is marked dead; there is nowhere to
+    /// place the request. Drivers should drop the request and count it.
+    NoLiveNodes,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoLiveNodes => write!(f, "no live node available for placement"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Read-mostly view of scheduler state handed to every stage.
+///
+/// Stages receive disjoint borrows of the scheduler's internals so that
+/// concrete stage types stay plain data (unit structs or small
+/// parameter bags) and the composition can be instantiated both with
+/// static dispatch (the built-in policies) and boxed trait objects
+/// (the registry).
+pub struct StageCtx<'a> {
+    /// Deterministic RNG; every draw must go through this handle so the
+    /// decision sequence is reproducible.
+    pub rng: &'a mut SimRng,
+    /// Per-node liveness flags (`true` = dead). Length is the cluster
+    /// size `p`.
+    pub dead: &'a [bool],
+    /// Per-node in-flight request counts (LB-switch connection view).
+    pub in_flight: &'a [u32],
+    /// Number of master nodes `m` (0 for level-free policies).
+    pub masters: usize,
+    /// RSRC cost predictor (Eq. 5) over the current load view.
+    pub rsrc: &'a RsrcPredictor,
+    /// Reservation controller state (θ̂ estimates and θ2* cap).
+    pub reservation: &'a ReservationController,
+    /// Most recent per-node load view from the monitor.
+    pub loads: &'a [NodeLoad],
+}
+
+impl StageCtx<'_> {
+    /// Cluster size `p`.
+    pub fn nodes(&self) -> usize {
+        self.dead.len()
+    }
+}
+
+/// Whether the candidate stage kept the request on its entry node or
+/// produced a remote candidate set to score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateDecision {
+    /// Serve on the entry node; no candidate scoring happens.
+    Stay,
+    /// Score the collected candidate set and transfer if needed.
+    Remote,
+}
+
+/// Stage 1: pick the node a request arrives at (DNS rotation with
+/// optional skew, or an LB switch's least-connections scan).
+pub trait EntrySelector {
+    /// Select the entry node, or fail if the whole cluster is dead.
+    fn select_entry(&mut self, ctx: &mut StageCtx<'_>) -> Result<usize, PlacementError>;
+}
+
+/// Stage 2: admission control for master nodes (the reservation
+/// controller of §4.2, or a no-op).
+pub trait Admission {
+    /// Whether the composed scheduler should run its reservation
+    /// controller in enforcing mode (used at construction time).
+    fn enforces_reservation(&self) -> bool;
+    /// Whether masters may receive dynamic requests right now.
+    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool;
+    /// Record the final placement level with the controller.
+    fn note_placement(&self, reservation: &mut ReservationController, on_master: bool);
+}
+
+/// Stage 3: form the candidate set for a request (level split, M/S′
+/// pin set, entry-only), including the liveness fallback.
+pub trait CandidateSet {
+    /// Collect live candidate nodes into `out`, or decide the request
+    /// stays on its entry node. `out` arrives cleared.
+    fn collect(
+        &self,
+        ctx: &StageCtx<'_>,
+        dynamic: bool,
+        masters_ok: bool,
+        out: &mut Vec<usize>,
+    ) -> CandidateDecision;
+    /// Whether placements from this candidate set should be attributed
+    /// to the master level when the chosen node index is below `m`
+    /// (false for M/S′, whose pinned nodes never count as masters).
+    fn attributes_masters(&self) -> bool {
+        true
+    }
+}
+
+/// Stage 4: pick one node from the (shuffled) candidate set.
+pub trait Scorer {
+    /// Choose the best candidate, or `None` when the set is empty.
+    fn choose(&self, ctx: &mut StageCtx<'_>, candidates: &[usize], sampled_w: f64)
+        -> Option<usize>;
+    /// Score a single node for tracing purposes (lower is better for
+    /// cost-based scorers). Never called on the hot path.
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+        let _ = (ctx, node, sampled_w);
+        0.0
+    }
+}
+
+/// Stage 5: debit the expected demand of a placed request against the
+/// stale load view so back-to-back decisions within one monitor window
+/// see the earlier commitments.
+pub trait ChargeBack {
+    /// Charge `expected` service demand (CPU weight `w`) to `node`.
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64);
+}
+
+impl EntrySelector for Box<dyn EntrySelector> {
+    fn select_entry(&mut self, ctx: &mut StageCtx<'_>) -> Result<usize, PlacementError> {
+        (**self).select_entry(ctx)
+    }
+}
+
+impl Admission for Box<dyn Admission> {
+    fn enforces_reservation(&self) -> bool {
+        (**self).enforces_reservation()
+    }
+    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool {
+        (**self).master_eligible(ctx)
+    }
+    fn note_placement(&self, reservation: &mut ReservationController, on_master: bool) {
+        (**self).note_placement(reservation, on_master)
+    }
+}
+
+impl CandidateSet for Box<dyn CandidateSet> {
+    fn collect(
+        &self,
+        ctx: &StageCtx<'_>,
+        dynamic: bool,
+        masters_ok: bool,
+        out: &mut Vec<usize>,
+    ) -> CandidateDecision {
+        (**self).collect(ctx, dynamic, masters_ok, out)
+    }
+    fn attributes_masters(&self) -> bool {
+        (**self).attributes_masters()
+    }
+}
+
+impl Scorer for Box<dyn Scorer> {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        sampled_w: f64,
+    ) -> Option<usize> {
+        (**self).choose(ctx, candidates, sampled_w)
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+        (**self).score(ctx, node, sampled_w)
+    }
+}
+
+impl ChargeBack for Box<dyn ChargeBack> {
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
+        (**self).debit(monitor, node, expected, w)
+    }
+}
+
+/// Bundle of the five pipeline stages handed to [`Scheduler::compose`].
+pub struct Stages<E, A, C, S, G> {
+    /// Entry selection stage.
+    pub entry: E,
+    /// Admission stage.
+    pub admission: A,
+    /// Candidate-set stage.
+    pub candidates: C,
+    /// Scoring stage.
+    pub scorer: S,
+    /// Charge-back stage.
+    pub charge: G,
+}
+
+/// A scheduling pipeline: five stages plus the shared state they
+/// operate on (RNG, liveness, in-flight counts, reservation controller,
+/// RSRC predictor).
+///
+/// Built-in policies use the statically dispatched
+/// [`PolicyScheduler`] alias; registry compositions use the boxed
+/// [`DynScheduler`]. Both implement [`Schedule`], the driver-facing
+/// surface consumed by `ClusterSim` and `emu::run_live`.
+pub struct Scheduler<E, A, C, S, G> {
+    entry: E,
+    admission: A,
+    candidates: C,
+    scorer: S,
+    charge: G,
+    p: usize,
+    m: usize,
+    rsrc: RsrcPredictor,
+    reservation: ReservationController,
+    remote_latency: SimDuration,
+    redirect_rtt: SimDuration,
+    pay_redirect: bool,
+    rng: SimRng,
+    buf: Vec<usize>,
+    dead: Vec<bool>,
+    in_flight: Vec<u32>,
+    seq: u64,
+    observer: Option<Box<dyn DecisionObserver>>,
+}
+
+/// Statically dispatched scheduler covering every built-in
+/// [`PolicyKind`]; the per-request hot path involves no boxing.
+pub type PolicyScheduler =
+    Scheduler<EntryStage, AdmissionStage, CandidateStage, ScoreStage, ChargeStage>;
+
+/// Boxed-stage scheduler produced by the [`SchedulerRegistry`]; used
+/// for custom compositions where stage types are chosen at runtime.
+pub type DynScheduler = Scheduler<
+    Box<dyn EntrySelector>,
+    Box<dyn Admission>,
+    Box<dyn CandidateSet>,
+    Box<dyn Scorer>,
+    Box<dyn ChargeBack>,
+>;
+
+/// Backwards-compatible name for the per-policy scheduler: the former
+/// monolithic dispatcher is now the statically composed pipeline.
+pub type Dispatcher = PolicyScheduler;
+
+impl<E, A, C, S, G> Scheduler<E, A, C, S, G>
+where
+    E: EntrySelector,
+    A: Admission,
+    C: CandidateSet,
+    S: Scorer,
+    G: ChargeBack,
+{
+    /// Compose a scheduler from explicit stages over a validated
+    /// cluster configuration. `a0`/`r0` seed the reservation
+    /// controller's arrival-ratio and demand-ratio estimates.
+    pub fn compose(
+        config: &ClusterConfig,
+        stages: Stages<E, A, C, S, G>,
+        a0: f64,
+        r0: f64,
+    ) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
+        let p = config.p;
+        let m = config.resolve_masters();
+        let use_sampling = config.policy != PolicyKind::MsNoSampling;
+        let rsrc = match &config.speeds {
+            Some(s) => RsrcPredictor::with_speeds(s.clone(), use_sampling),
+            None => RsrcPredictor::homogeneous(p, use_sampling),
+        };
+        let enforce = stages.admission.enforces_reservation();
+        let m_for_bound = m.clamp(1, p);
+        let reservation = ReservationController::new(m_for_bound, p, a0, r0, enforce);
+        Ok(Self {
+            entry: stages.entry,
+            admission: stages.admission,
+            candidates: stages.candidates,
+            scorer: stages.scorer,
+            charge: stages.charge,
+            p,
+            m,
+            rsrc,
+            reservation,
+            remote_latency: config.remote_latency,
+            redirect_rtt: config.redirect_rtt,
+            pay_redirect: config.policy == PolicyKind::Redirect,
+            rng: SimRng::seed_from_u64(config.seed ^ 0xd15b),
+            buf: Vec::with_capacity(p),
+            dead: vec![false; p],
+            in_flight: vec![0; p],
+            seq: 0,
+            observer: None,
+        })
+    }
+
+    /// Number of master nodes (0 for level-free compositions).
+    pub fn masters(&self) -> usize {
+        self.m
+    }
+
+    /// Cluster size `p`.
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    /// Mark a node dead or alive for future placements.
+    pub fn set_dead(&mut self, node: usize, dead: bool) {
+        self.dead[node] = dead;
+    }
+
+    /// Whether a node is currently marked dead.
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead[node]
+    }
+
+    /// Record a request completion on `node`, releasing its in-flight
+    /// slot. Saturates at zero: completions for requests that were lost
+    /// to a crash (and hence never released) must not underflow the
+    /// counter for subsequent placements.
+    pub fn note_completion(&mut self, node: usize) {
+        let slot = &mut self.in_flight[node];
+        debug_assert!(
+            *slot > 0,
+            "note_completion on node {node} with zero in-flight requests"
+        );
+        *slot = slot.saturating_sub(1);
+    }
+
+    /// Current in-flight count for `node`.
+    pub fn in_flight(&self, node: usize) -> u32 {
+        self.in_flight[node]
+    }
+
+    /// Shared reservation controller state.
+    pub fn reservation(&self) -> &ReservationController {
+        &self.reservation
+    }
+
+    /// Mutable access to the reservation controller (drivers feed it
+    /// responses and monitor-window ρ updates).
+    pub fn reservation_mut(&mut self) -> &mut ReservationController {
+        &mut self.reservation
+    }
+
+    /// Install (or remove) a per-decision observer. The scheduler emits
+    /// one [`DecisionRecord`] per successful placement.
+    pub fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>) {
+        self.observer = observer;
+    }
+
+    /// Run the pipeline for one request.
+    ///
+    /// `dynamic` distinguishes CGI-class requests from statics,
+    /// `sampled_w` is the request's sampled CPU weight (Eq. 5 `w`),
+    /// `expected_service` its expected demand for charge-back, and
+    /// `monitor` the shared (stale) load view.
+    pub fn place(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Result<Placement, PlacementError> {
+        let entry = {
+            let mut ctx = StageCtx {
+                rng: &mut self.rng,
+                dead: &self.dead,
+                in_flight: &self.in_flight,
+                masters: self.m,
+                rsrc: &self.rsrc,
+                reservation: &self.reservation,
+                loads: monitor.all(),
+            };
+            self.entry.select_entry(&mut ctx)?
+        };
+        self.reservation.note_arrival(dynamic);
+        let w = self.rsrc.effective_w(sampled_w);
+
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        let decision = {
+            let ctx = StageCtx {
+                rng: &mut self.rng,
+                dead: &self.dead,
+                in_flight: &self.in_flight,
+                masters: self.m,
+                rsrc: &self.rsrc,
+                reservation: &self.reservation,
+                loads: monitor.all(),
+            };
+            let masters_ok = self.admission.master_eligible(&ctx);
+            self.candidates.collect(&ctx, dynamic, masters_ok, &mut buf)
+        };
+
+        let mut trace_scores: Vec<f64> = Vec::new();
+        let placement = match decision {
+            CandidateDecision::Stay => {
+                self.charge.debit(monitor, entry, expected_service, w);
+                self.in_flight[entry] += 1;
+                Placement {
+                    node: entry,
+                    latency: SimDuration::ZERO,
+                    on_master: entry < self.m,
+                }
+            }
+            CandidateDecision::Remote => {
+                self.rng.shuffle(&mut buf);
+                let chosen = {
+                    let mut ctx = StageCtx {
+                        rng: &mut self.rng,
+                        dead: &self.dead,
+                        in_flight: &self.in_flight,
+                        masters: self.m,
+                        rsrc: &self.rsrc,
+                        reservation: &self.reservation,
+                        loads: monitor.all(),
+                    };
+                    if self.observer.is_some() {
+                        trace_scores
+                            .extend(buf.iter().map(|&n| self.scorer.score(&ctx, n, sampled_w)));
+                    }
+                    self.scorer.choose(&mut ctx, &buf, sampled_w)
+                };
+                let Some(node) = chosen else {
+                    self.buf = buf;
+                    return Err(PlacementError::NoLiveNodes);
+                };
+                self.charge.debit(monitor, node, expected_service, w);
+                self.in_flight[node] += 1;
+                let on_master = self.candidates.attributes_masters() && node < self.m;
+                self.admission
+                    .note_placement(&mut self.reservation, on_master);
+                let latency = if node == entry {
+                    SimDuration::ZERO
+                } else if self.pay_redirect {
+                    self.redirect_rtt + self.remote_latency
+                } else {
+                    self.remote_latency
+                };
+                Placement {
+                    node,
+                    latency,
+                    on_master,
+                }
+            }
+        };
+
+        self.seq += 1;
+        if let Some(mut obs) = self.observer.take() {
+            let record = DecisionRecord {
+                seq: self.seq,
+                dynamic,
+                entry,
+                candidates: buf.clone(),
+                scores: trace_scores,
+                theta_hat: self.reservation.master_fraction(),
+                theta2_star: self.reservation.theta2_star(),
+                chosen: placement.node,
+                on_master: placement.on_master,
+                redirected: self.pay_redirect && placement.node != entry,
+                latency_us: placement.latency.as_micros(),
+            };
+            obs.observe(&record);
+            self.observer = Some(obs);
+        }
+        self.buf = buf;
+        Ok(placement)
+    }
+
+    /// Re-place a request that was lost to a node failure. Identical to
+    /// [`Scheduler::place`] except the transfer latency is never zero:
+    /// the request must at least travel back from the failed node.
+    pub fn replace_after_failure(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Result<Placement, PlacementError> {
+        let mut placement = self.place(dynamic, sampled_w, expected_service, monitor)?;
+        if placement.latency.is_zero() {
+            placement.latency = self.remote_latency;
+        }
+        Ok(placement)
+    }
+}
+
+/// Driver-facing surface of a composed scheduler: everything
+/// `ClusterSim` and `emu::run_live` need, independent of the concrete
+/// stage types. Implemented by every [`Scheduler`] instantiation.
+pub trait Schedule {
+    /// See [`Scheduler::place`].
+    fn place(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Result<Placement, PlacementError>;
+    /// See [`Scheduler::replace_after_failure`].
+    fn replace_after_failure(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Result<Placement, PlacementError>;
+    /// See [`Scheduler::masters`].
+    fn masters(&self) -> usize;
+    /// See [`Scheduler::set_dead`].
+    fn set_dead(&mut self, node: usize, dead: bool);
+    /// See [`Scheduler::is_dead`].
+    fn is_dead(&self, node: usize) -> bool;
+    /// See [`Scheduler::note_completion`].
+    fn note_completion(&mut self, node: usize);
+    /// See [`Scheduler::in_flight`].
+    fn in_flight(&self, node: usize) -> u32;
+    /// See [`Scheduler::reservation`].
+    fn reservation(&self) -> &ReservationController;
+    /// See [`Scheduler::reservation_mut`].
+    fn reservation_mut(&mut self) -> &mut ReservationController;
+    /// See [`Scheduler::set_observer`].
+    fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>);
+}
+
+impl<E, A, C, S, G> Schedule for Scheduler<E, A, C, S, G>
+where
+    E: EntrySelector,
+    A: Admission,
+    C: CandidateSet,
+    S: Scorer,
+    G: ChargeBack,
+{
+    fn place(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Result<Placement, PlacementError> {
+        Scheduler::place(self, dynamic, sampled_w, expected_service, monitor)
+    }
+    fn replace_after_failure(
+        &mut self,
+        dynamic: bool,
+        sampled_w: f64,
+        expected_service: SimDuration,
+        monitor: &mut LoadMonitor,
+    ) -> Result<Placement, PlacementError> {
+        Scheduler::replace_after_failure(self, dynamic, sampled_w, expected_service, monitor)
+    }
+    fn masters(&self) -> usize {
+        Scheduler::masters(self)
+    }
+    fn set_dead(&mut self, node: usize, dead: bool) {
+        Scheduler::set_dead(self, node, dead)
+    }
+    fn is_dead(&self, node: usize) -> bool {
+        Scheduler::is_dead(self, node)
+    }
+    fn note_completion(&mut self, node: usize) {
+        Scheduler::note_completion(self, node)
+    }
+    fn in_flight(&self, node: usize) -> u32 {
+        Scheduler::in_flight(self, node)
+    }
+    fn reservation(&self) -> &ReservationController {
+        Scheduler::reservation(self)
+    }
+    fn reservation_mut(&mut self) -> &mut ReservationController {
+        Scheduler::reservation_mut(self)
+    }
+    fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>) {
+        Scheduler::set_observer(self, observer)
+    }
+}
+
+impl PolicyScheduler {
+    /// Build the stage composition for `config.policy` — the
+    /// [`PolicyKind`] factory. Panics on an invalid configuration,
+    /// matching the former `Dispatcher::new` contract; use
+    /// [`Scheduler::compose`] for a fallible constructor.
+    pub fn new(config: &ClusterConfig, a0: f64, r0: f64) -> Self {
+        let stages = stages::for_policy(config);
+        Scheduler::compose(config, stages, a0, r0).expect("invalid cluster configuration")
+    }
+}
+
+#[cfg(test)]
+mod tests;

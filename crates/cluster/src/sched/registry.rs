@@ -1,0 +1,257 @@
+//! String-keyed registry of pipeline stages.
+//!
+//! The registry lets the CLI and examples instantiate *custom* stage
+//! compositions — including user-registered stages — without editing
+//! this crate: look up five stage names, get a boxed [`DynScheduler`].
+//! [`SchedulerRegistry::builtin`] pre-registers every stage the paper's
+//! policies are built from.
+
+use super::stages::{
+    CpuOnlyCharge, EntryOnly, LeastConnectionsEntry, LeastConnectionsScorer, LevelCandidates,
+    MinRsrcScorer, NoAdmission, PinnedCandidates, RandomScorer, ReservationAdmission,
+    RotationEntry, SplitDemandCharge,
+};
+use super::{
+    Admission, CandidateSet, ChargeBack, DynScheduler, EntrySelector, Scheduler, Scorer, Stages,
+};
+use crate::config::{ClusterConfig, ConfigError};
+use std::collections::BTreeMap;
+
+type EntryFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn EntrySelector>>;
+type AdmissionFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn Admission>>;
+type CandidateFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn CandidateSet>>;
+type ScorerFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn Scorer>>;
+type ChargeFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn ChargeBack>>;
+
+/// Names of the five stages a composition is assembled from.
+///
+/// Parse one from `"entry/admission/candidates/scorer/charge"` with
+/// [`StageSpec::parse`], e.g.
+/// `"least-connections/none/level-split/min-rsrc/split-demand"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Entry-selector stage name.
+    pub entry: String,
+    /// Admission stage name.
+    pub admission: String,
+    /// Candidate-set stage name.
+    pub candidates: String,
+    /// Scorer stage name.
+    pub scorer: String,
+    /// Charge-back stage name.
+    pub charge: String,
+}
+
+impl StageSpec {
+    /// Parse a `/`-separated five-part stage spec.
+    pub fn parse(spec: &str) -> Result<Self, ComposeError> {
+        let parts: Vec<&str> = spec.split('/').map(str::trim).collect();
+        let [entry, admission, candidates, scorer, charge]: [&str; 5] = parts
+            .try_into()
+            .map_err(|_| ComposeError::BadSpec(spec.to_string()))?;
+        Ok(StageSpec {
+            entry: entry.to_string(),
+            admission: admission.to_string(),
+            candidates: candidates.to_string(),
+            scorer: scorer.to_string(),
+            charge: charge.to_string(),
+        })
+    }
+}
+
+/// Why a composition could not be built.
+#[derive(Debug)]
+pub enum ComposeError {
+    /// A stage spec string did not have five `/`-separated parts.
+    BadSpec(String),
+    /// A stage name is not registered; lists what is.
+    UnknownStage {
+        /// Which of the five stage kinds was being looked up.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+        /// The registered names for that kind.
+        available: Vec<String>,
+    },
+    /// The cluster configuration itself is invalid.
+    Invalid(ConfigError),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::BadSpec(s) => write!(
+                f,
+                "bad stage spec {s:?}: expected entry/admission/candidates/scorer/charge"
+            ),
+            ComposeError::UnknownStage {
+                kind,
+                name,
+                available,
+            } => write!(
+                f,
+                "unknown {kind} stage {name:?}; registered: {}",
+                available.join(", ")
+            ),
+            ComposeError::Invalid(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+impl From<ConfigError> for ComposeError {
+    fn from(e: ConfigError) -> Self {
+        ComposeError::Invalid(e)
+    }
+}
+
+/// String-keyed stage factories; see the [module docs](self).
+pub struct SchedulerRegistry {
+    entries: BTreeMap<String, EntryFactory>,
+    admissions: BTreeMap<String, AdmissionFactory>,
+    candidates: BTreeMap<String, CandidateFactory>,
+    scorers: BTreeMap<String, ScorerFactory>,
+    charges: BTreeMap<String, ChargeFactory>,
+}
+
+impl Default for SchedulerRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl SchedulerRegistry {
+    /// An empty registry with no stages registered.
+    pub fn empty() -> Self {
+        SchedulerRegistry {
+            entries: BTreeMap::new(),
+            admissions: BTreeMap::new(),
+            candidates: BTreeMap::new(),
+            scorers: BTreeMap::new(),
+            charges: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-loaded with every built-in stage:
+    ///
+    /// | kind | names |
+    /// |---|---|
+    /// | entry | `rotation`, `rotation-masters`, `least-connections` |
+    /// | admission | `reservation`, `none` |
+    /// | candidates | `level-split`, `pinned-slaves`, `entry-only` |
+    /// | scorer | `min-rsrc`, `min-rsrc-reserve`, `least-connections`, `random` |
+    /// | charge | `split-demand`, `cpu-only` |
+    ///
+    /// Parameterised stages read their parameters (DNS skew, master
+    /// reserve, pin set) from the `ClusterConfig` they are built for.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.register_entry("rotation", |c| {
+            Box::new(RotationEntry::over_all(c.dns_skew))
+        });
+        r.register_entry("rotation-masters", |c| {
+            Box::new(RotationEntry::over_masters(c.dns_skew))
+        });
+        r.register_entry("least-connections", |_| Box::new(LeastConnectionsEntry));
+        r.register_admission("reservation", |_| {
+            Box::new(ReservationAdmission { enforce: true })
+        });
+        r.register_admission("none", |_| Box::new(NoAdmission));
+        r.register_candidates("level-split", |_| Box::new(LevelCandidates));
+        r.register_candidates("pinned-slaves", |c| Box::new(PinnedCandidates::slaves(c)));
+        r.register_candidates("entry-only", |_| Box::new(EntryOnly));
+        r.register_scorer("min-rsrc", |_| {
+            Box::new(MinRsrcScorer {
+                master_reserve: 0.0,
+            })
+        });
+        r.register_scorer("min-rsrc-reserve", |c| {
+            Box::new(MinRsrcScorer {
+                master_reserve: c.master_reserve,
+            })
+        });
+        r.register_scorer("least-connections", |_| Box::new(LeastConnectionsScorer));
+        r.register_scorer("random", |_| Box::new(RandomScorer));
+        r.register_charge("split-demand", |_| Box::new(SplitDemandCharge));
+        r.register_charge("cpu-only", |_| Box::new(CpuOnlyCharge));
+        r
+    }
+
+    /// Register (or replace) an entry-selector factory under `name`.
+    pub fn register_entry(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ClusterConfig) -> Box<dyn EntrySelector> + 'static,
+    ) {
+        self.entries.insert(name.into(), Box::new(f));
+    }
+
+    /// Register (or replace) an admission factory under `name`.
+    pub fn register_admission(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ClusterConfig) -> Box<dyn Admission> + 'static,
+    ) {
+        self.admissions.insert(name.into(), Box::new(f));
+    }
+
+    /// Register (or replace) a candidate-set factory under `name`.
+    pub fn register_candidates(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ClusterConfig) -> Box<dyn CandidateSet> + 'static,
+    ) {
+        self.candidates.insert(name.into(), Box::new(f));
+    }
+
+    /// Register (or replace) a scorer factory under `name`.
+    pub fn register_scorer(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ClusterConfig) -> Box<dyn Scorer> + 'static,
+    ) {
+        self.scorers.insert(name.into(), Box::new(f));
+    }
+
+    /// Register (or replace) a charge-back factory under `name`.
+    pub fn register_charge(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ClusterConfig) -> Box<dyn ChargeBack> + 'static,
+    ) {
+        self.charges.insert(name.into(), Box::new(f));
+    }
+
+    /// Build a boxed scheduler for `config` from the named stages.
+    /// `a0`/`r0` seed the reservation controller as in
+    /// [`Scheduler::compose`].
+    pub fn compose(
+        &self,
+        config: &ClusterConfig,
+        spec: &StageSpec,
+        a0: f64,
+        r0: f64,
+    ) -> Result<DynScheduler, ComposeError> {
+        type Factory<T> = Box<dyn Fn(&ClusterConfig) -> Box<T>>;
+        fn get<'a, T: ?Sized>(
+            map: &'a BTreeMap<String, Factory<T>>,
+            kind: &'static str,
+            name: &str,
+        ) -> Result<&'a Factory<T>, ComposeError> {
+            map.get(name).ok_or_else(|| ComposeError::UnknownStage {
+                kind,
+                name: name.to_string(),
+                available: map.keys().cloned().collect(),
+            })
+        }
+        let stages = Stages {
+            entry: get(&self.entries, "entry", &spec.entry)?(config),
+            admission: get(&self.admissions, "admission", &spec.admission)?(config),
+            candidates: get(&self.candidates, "candidates", &spec.candidates)?(config),
+            scorer: get(&self.scorers, "scorer", &spec.scorer)?(config),
+            charge: get(&self.charges, "charge", &spec.charge)?(config),
+        };
+        Ok(Scheduler::compose(config, stages, a0, r0)?)
+    }
+}

@@ -1,0 +1,555 @@
+//! Concrete pipeline stages and the [`PolicyKind`] factory.
+//!
+//! Each paper policy is a composition of the stages below (built by
+//! [`for_policy`]); the same types are exposed through the
+//! [registry](super::registry) for custom compositions. The
+//! implementations reproduce the former monolithic dispatcher *draw
+//! for draw*: under a fixed seed a composed scheduler makes exactly
+//! the RNG draws the old `match self.policy` arms made, which is what
+//! keeps the golden `RunSummary` fixtures byte-identical.
+
+use super::{
+    Admission, CandidateDecision, CandidateSet, ChargeBack, EntrySelector, PlacementError, Scorer,
+    StageCtx, Stages,
+};
+use crate::config::{ClusterConfig, PolicyKind};
+use crate::loadinfo::LoadMonitor;
+use crate::reservation::ReservationController;
+use msweb_simcore::rng::SimRng;
+use msweb_simcore::time::SimDuration;
+
+/// Draw an index in `[0, n)` with DNS-cache skew: weight of slot i is
+/// `(1 − skew)^i` (geometric concentration on the low-numbered,
+/// longest-cached addresses). skew = 0 degenerates to uniform.
+fn skewed_index(rng: &mut SimRng, skew: f64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    if skew <= 0.0 {
+        return rng.gen_index(n);
+    }
+    let q = 1.0 - skew;
+    // Inverse CDF of the truncated geometric.
+    let total = 1.0 - q.powi(n as i32);
+    let u = rng.next_f64() * total;
+    let idx = ((1.0 - u).ln() / q.ln()).floor() as usize;
+    idx.min(n - 1)
+}
+
+/// Which slice of the cluster a [`RotationEntry`] rotates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationScope {
+    /// All `p` nodes (Flat, M/S-1, M/S′, Switch-less front ends).
+    All,
+    /// The master level `0..m` (the M/S family's DNS view).
+    Masters,
+}
+
+/// DNS-rotation entry selection with optional cache skew: a skewed
+/// random pick over the scope, retried up to 8 times past dead nodes,
+/// then a dense scan over the live set (whole cluster as last resort).
+#[derive(Debug, Clone)]
+pub struct RotationEntry {
+    scope: RotationScope,
+    skew: f64,
+}
+
+impl RotationEntry {
+    /// Rotate over every node.
+    pub fn over_all(skew: f64) -> Self {
+        RotationEntry {
+            scope: RotationScope::All,
+            skew,
+        }
+    }
+
+    /// Rotate over the master level. Falls back to the whole cluster
+    /// when the composition resolves zero masters.
+    pub fn over_masters(skew: f64) -> Self {
+        RotationEntry {
+            scope: RotationScope::Masters,
+            skew,
+        }
+    }
+}
+
+impl EntrySelector for RotationEntry {
+    fn select_entry(&mut self, ctx: &mut StageCtx<'_>) -> Result<usize, PlacementError> {
+        let p = ctx.nodes();
+        let hi = match self.scope {
+            RotationScope::All => p,
+            RotationScope::Masters if ctx.masters == 0 => p,
+            RotationScope::Masters => ctx.masters,
+        };
+        for _ in 0..8 {
+            let n = skewed_index(ctx.rng, self.skew, hi);
+            if !ctx.dead[n] {
+                return Ok(n);
+            }
+        }
+        // Dense fallback.
+        let live: Vec<usize> = (0..hi).filter(|&n| !ctx.dead[n]).collect();
+        if live.is_empty() {
+            let any: Vec<usize> = (0..p).filter(|&n| !ctx.dead[n]).collect();
+            if any.is_empty() {
+                return Err(PlacementError::NoLiveNodes);
+            }
+            Ok(*ctx.rng.choose(&any))
+        } else {
+            Ok(*ctx.rng.choose(&live))
+        }
+    }
+}
+
+/// LB-switch entry selection: fewest open connections over all live
+/// nodes, scanning from a random start so ties break randomly — the
+/// switch sees connection counts in real time.
+#[derive(Debug, Clone, Default)]
+pub struct LeastConnectionsEntry;
+
+impl EntrySelector for LeastConnectionsEntry {
+    fn select_entry(&mut self, ctx: &mut StageCtx<'_>) -> Result<usize, PlacementError> {
+        let p = ctx.nodes();
+        let mut best = usize::MAX;
+        let mut best_count = u32::MAX;
+        let start = ctx.rng.gen_index(p);
+        for off in 0..p {
+            let n = (start + off) % p;
+            if !ctx.dead[n] && ctx.in_flight[n] < best_count {
+                best = n;
+                best_count = ctx.in_flight[n];
+            }
+        }
+        if best == usize::MAX {
+            return Err(PlacementError::NoLiveNodes);
+        }
+        Ok(best)
+    }
+}
+
+/// Reservation-controller admission (§4.2): masters receive dynamic
+/// requests only while the observed master share stays under θ2*.
+/// With `enforce = false` the controller still measures (and the stage
+/// still records placements) but never blocks — the M/S-nr ablation.
+#[derive(Debug, Clone)]
+pub struct ReservationAdmission {
+    /// Whether the θ2* cap actually blocks master placements.
+    pub enforce: bool,
+}
+
+impl Admission for ReservationAdmission {
+    fn enforces_reservation(&self) -> bool {
+        self.enforce
+    }
+    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool {
+        // With m = p there is no slave level to protect.
+        ctx.masters == ctx.nodes() || ctx.reservation.master_eligible()
+    }
+    fn note_placement(&self, reservation: &mut ReservationController, on_master: bool) {
+        reservation.note_placement(on_master);
+    }
+}
+
+/// No admission control: masters always eligible, placements not
+/// recorded (Flat, M/S′, Switch).
+#[derive(Debug, Clone, Default)]
+pub struct NoAdmission;
+
+impl Admission for NoAdmission {
+    fn enforces_reservation(&self) -> bool {
+        false
+    }
+    fn master_eligible(&self, _ctx: &StageCtx<'_>) -> bool {
+        true
+    }
+    fn note_placement(&self, _reservation: &mut ReservationController, _on_master: bool) {}
+}
+
+/// Level-split candidate formation for the M/S family: statics stay on
+/// their entry node; dynamics consider all live slaves, plus the live
+/// masters when admission allows, falling back to any live node when
+/// the preferred set is empty.
+#[derive(Debug, Clone, Default)]
+pub struct LevelCandidates;
+
+impl CandidateSet for LevelCandidates {
+    fn collect(
+        &self,
+        ctx: &StageCtx<'_>,
+        dynamic: bool,
+        masters_ok: bool,
+        out: &mut Vec<usize>,
+    ) -> CandidateDecision {
+        if !dynamic {
+            // Static requests are never re-scheduled: "it only takes a
+            // very small amount of time to process".
+            return CandidateDecision::Stay;
+        }
+        let p = ctx.nodes();
+        let m = ctx.masters;
+        out.extend((m..p).filter(|&n| !ctx.dead[n]));
+        if masters_ok {
+            out.extend((0..m).filter(|&n| !ctx.dead[n]));
+        }
+        if out.is_empty() {
+            out.extend((0..p).filter(|&n| !ctx.dead[n]));
+        }
+        CandidateDecision::Remote
+    }
+}
+
+/// Fixed pin set for dynamic requests (M/S′: the would-be slave
+/// nodes), with the usual liveness fallback. Pinned placements never
+/// count as master placements.
+#[derive(Debug, Clone)]
+pub struct PinnedCandidates {
+    nodes: Vec<usize>,
+}
+
+impl PinnedCandidates {
+    /// Pin dynamics to an explicit node list.
+    pub fn new(nodes: Vec<usize>) -> Self {
+        PinnedCandidates { nodes }
+    }
+
+    /// Pin dynamics to the would-be slave set of `config` (the last
+    /// `p − m` nodes; all nodes when `m = p`).
+    pub fn slaves(config: &ClusterConfig) -> Self {
+        let p = config.p;
+        let m = config.resolve_masters();
+        let nodes = if m < p {
+            (m..p).collect()
+        } else {
+            (0..p).collect()
+        };
+        PinnedCandidates { nodes }
+    }
+}
+
+impl CandidateSet for PinnedCandidates {
+    fn collect(
+        &self,
+        ctx: &StageCtx<'_>,
+        dynamic: bool,
+        _masters_ok: bool,
+        out: &mut Vec<usize>,
+    ) -> CandidateDecision {
+        if !dynamic {
+            return CandidateDecision::Stay;
+        }
+        out.extend(self.nodes.iter().copied().filter(|&n| !ctx.dead[n]));
+        if out.is_empty() {
+            out.extend((0..ctx.nodes()).filter(|&n| !ctx.dead[n]));
+        }
+        CandidateDecision::Remote
+    }
+    fn attributes_masters(&self) -> bool {
+        false
+    }
+}
+
+/// Every request runs where it entered (Flat dynamics, the LB switch).
+#[derive(Debug, Clone, Default)]
+pub struct EntryOnly;
+
+impl CandidateSet for EntryOnly {
+    fn collect(
+        &self,
+        _ctx: &StageCtx<'_>,
+        _dynamic: bool,
+        _masters_ok: bool,
+        _out: &mut Vec<usize>,
+    ) -> CandidateDecision {
+        CandidateDecision::Stay
+    }
+}
+
+/// Minimum-RSRC scoring (Eq. 5) with a per-node capacity reserve held
+/// back on masters; ties keep the first (shuffled) candidate.
+#[derive(Debug, Clone)]
+pub struct MinRsrcScorer {
+    /// CPU fraction withheld from master nodes (0 disables the
+    /// reserve, reproducing the plain RSRC rule).
+    pub master_reserve: f64,
+}
+
+impl Scorer for MinRsrcScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        sampled_w: f64,
+    ) -> Option<usize> {
+        let m = ctx.masters;
+        let reserve = self.master_reserve;
+        ctx.rsrc
+            .select_with_reserve(candidates.iter(), ctx.loads, sampled_w, |n| {
+                if n < m {
+                    reserve
+                } else {
+                    0.0
+                }
+            })
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+        let reserve = if node < ctx.masters {
+            self.master_reserve
+        } else {
+            0.0
+        };
+        ctx.rsrc
+            .cost_reserved(node, &ctx.loads[node], sampled_w, reserve)
+    }
+}
+
+/// Fewest-open-connections scoring over the candidate set; ties keep
+/// the first (shuffled) candidate.
+#[derive(Debug, Clone, Default)]
+pub struct LeastConnectionsScorer;
+
+impl Scorer for LeastConnectionsScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        _sampled_w: f64,
+    ) -> Option<usize> {
+        candidates.iter().copied().min_by_key(|&n| ctx.in_flight[n])
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, _sampled_w: f64) -> f64 {
+        ctx.in_flight[node] as f64
+    }
+}
+
+/// Uniform-random scoring: one RNG draw over the candidate set.
+#[derive(Debug, Clone, Default)]
+pub struct RandomScorer;
+
+impl Scorer for RandomScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        _sampled_w: f64,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[ctx.rng.gen_index(candidates.len())])
+    }
+}
+
+/// Debit the expected demand split into CPU and disk shares by the
+/// request's effective CPU weight `w`.
+#[derive(Debug, Clone, Default)]
+pub struct SplitDemandCharge;
+
+impl ChargeBack for SplitDemandCharge {
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
+        let cpu = expected.mul_f64(w);
+        let disk = expected.saturating_sub(cpu);
+        monitor.charge(node, cpu, disk);
+    }
+}
+
+/// Debit only the CPU share (the LB switch cannot see disk demand).
+#[derive(Debug, Clone, Default)]
+pub struct CpuOnlyCharge;
+
+impl ChargeBack for CpuOnlyCharge {
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
+        monitor.charge(node, expected.mul_f64(w), SimDuration::ZERO);
+    }
+}
+
+/// Statically dispatched entry stage covering every built-in policy.
+#[derive(Debug, Clone)]
+pub enum EntryStage {
+    /// DNS rotation (optionally skewed) over a scope.
+    Rotation(RotationEntry),
+    /// LB-switch least-connections scan.
+    LeastConnections(LeastConnectionsEntry),
+}
+
+impl EntrySelector for EntryStage {
+    fn select_entry(&mut self, ctx: &mut StageCtx<'_>) -> Result<usize, PlacementError> {
+        match self {
+            EntryStage::Rotation(s) => s.select_entry(ctx),
+            EntryStage::LeastConnections(s) => s.select_entry(ctx),
+        }
+    }
+}
+
+/// Statically dispatched admission stage covering every built-in policy.
+#[derive(Debug, Clone)]
+pub enum AdmissionStage {
+    /// Reservation-controller admission.
+    Reservation(ReservationAdmission),
+    /// No admission control.
+    None(NoAdmission),
+}
+
+impl Admission for AdmissionStage {
+    fn enforces_reservation(&self) -> bool {
+        match self {
+            AdmissionStage::Reservation(s) => s.enforces_reservation(),
+            AdmissionStage::None(s) => s.enforces_reservation(),
+        }
+    }
+    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool {
+        match self {
+            AdmissionStage::Reservation(s) => s.master_eligible(ctx),
+            AdmissionStage::None(s) => s.master_eligible(ctx),
+        }
+    }
+    fn note_placement(&self, reservation: &mut ReservationController, on_master: bool) {
+        match self {
+            AdmissionStage::Reservation(s) => s.note_placement(reservation, on_master),
+            AdmissionStage::None(s) => s.note_placement(reservation, on_master),
+        }
+    }
+}
+
+/// Statically dispatched candidate stage covering every built-in policy.
+#[derive(Debug, Clone)]
+pub enum CandidateStage {
+    /// Level-split candidates.
+    Level(LevelCandidates),
+    /// Pinned candidate set.
+    Pinned(PinnedCandidates),
+    /// Entry-only (no re-scheduling).
+    EntryOnly(EntryOnly),
+}
+
+impl CandidateSet for CandidateStage {
+    fn collect(
+        &self,
+        ctx: &StageCtx<'_>,
+        dynamic: bool,
+        masters_ok: bool,
+        out: &mut Vec<usize>,
+    ) -> CandidateDecision {
+        match self {
+            CandidateStage::Level(s) => s.collect(ctx, dynamic, masters_ok, out),
+            CandidateStage::Pinned(s) => s.collect(ctx, dynamic, masters_ok, out),
+            CandidateStage::EntryOnly(s) => s.collect(ctx, dynamic, masters_ok, out),
+        }
+    }
+    fn attributes_masters(&self) -> bool {
+        match self {
+            CandidateStage::Level(s) => s.attributes_masters(),
+            CandidateStage::Pinned(s) => s.attributes_masters(),
+            CandidateStage::EntryOnly(s) => s.attributes_masters(),
+        }
+    }
+}
+
+/// Statically dispatched scoring stage covering every built-in policy.
+#[derive(Debug, Clone)]
+pub enum ScoreStage {
+    /// Minimum-RSRC scoring.
+    MinRsrc(MinRsrcScorer),
+    /// Least-connections scoring.
+    LeastConnections(LeastConnectionsScorer),
+    /// Uniform-random scoring.
+    Random(RandomScorer),
+}
+
+impl Scorer for ScoreStage {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        sampled_w: f64,
+    ) -> Option<usize> {
+        match self {
+            ScoreStage::MinRsrc(s) => s.choose(ctx, candidates, sampled_w),
+            ScoreStage::LeastConnections(s) => s.choose(ctx, candidates, sampled_w),
+            ScoreStage::Random(s) => s.choose(ctx, candidates, sampled_w),
+        }
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+        match self {
+            ScoreStage::MinRsrc(s) => s.score(ctx, node, sampled_w),
+            ScoreStage::LeastConnections(s) => s.score(ctx, node, sampled_w),
+            ScoreStage::Random(s) => s.score(ctx, node, sampled_w),
+        }
+    }
+}
+
+/// Statically dispatched charge-back stage covering every built-in
+/// policy.
+#[derive(Debug, Clone)]
+pub enum ChargeStage {
+    /// CPU/disk split by effective weight.
+    Split(SplitDemandCharge),
+    /// CPU-only charge.
+    CpuOnly(CpuOnlyCharge),
+}
+
+impl ChargeBack for ChargeStage {
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
+        match self {
+            ChargeStage::Split(s) => s.debit(monitor, node, expected, w),
+            ChargeStage::CpuOnly(s) => s.debit(monitor, node, expected, w),
+        }
+    }
+}
+
+/// The [`PolicyKind`] → stage-composition factory: maps each paper
+/// variant onto the pipeline stages that reproduce it exactly.
+pub fn for_policy(
+    config: &ClusterConfig,
+) -> Stages<EntryStage, AdmissionStage, CandidateStage, ScoreStage, ChargeStage> {
+    let skew = config.dns_skew;
+    let enforce = !matches!(
+        config.policy,
+        PolicyKind::MsNoReservation | PolicyKind::Flat | PolicyKind::MsPrime
+    );
+    let master_reserve = if enforce { config.master_reserve } else { 0.0 };
+    match config.policy {
+        PolicyKind::Flat => Stages {
+            entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
+            admission: AdmissionStage::None(NoAdmission),
+            candidates: CandidateStage::EntryOnly(EntryOnly),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer {
+                master_reserve: 0.0,
+            }),
+            charge: ChargeStage::Split(SplitDemandCharge),
+        },
+        PolicyKind::MsPrime => Stages {
+            entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
+            admission: AdmissionStage::None(NoAdmission),
+            candidates: CandidateStage::Pinned(PinnedCandidates::slaves(config)),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer {
+                master_reserve: 0.0,
+            }),
+            charge: ChargeStage::Split(SplitDemandCharge),
+        },
+        PolicyKind::MsAllMasters => Stages {
+            entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
+            admission: AdmissionStage::Reservation(ReservationAdmission { enforce }),
+            candidates: CandidateStage::Level(LevelCandidates),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer { master_reserve }),
+            charge: ChargeStage::Split(SplitDemandCharge),
+        },
+        PolicyKind::Switch => Stages {
+            entry: EntryStage::LeastConnections(LeastConnectionsEntry),
+            admission: AdmissionStage::None(NoAdmission),
+            candidates: CandidateStage::EntryOnly(EntryOnly),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer {
+                master_reserve: 0.0,
+            }),
+            charge: ChargeStage::CpuOnly(CpuOnlyCharge),
+        },
+        // The M/S family proper: M/S, M/S-ns, M/S-nr, Redirect.
+        PolicyKind::MasterSlave
+        | PolicyKind::MsNoSampling
+        | PolicyKind::MsNoReservation
+        | PolicyKind::Redirect => Stages {
+            entry: EntryStage::Rotation(RotationEntry::over_masters(skew)),
+            admission: AdmissionStage::Reservation(ReservationAdmission { enforce }),
+            candidates: CandidateStage::Level(LevelCandidates),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer { master_reserve }),
+            charge: ChargeStage::Split(SplitDemandCharge),
+        },
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-decision observability: the [`DecisionObserver`] hook, the
+//! [`DecisionRecord`] emitted for every placement, and sinks.
+//!
+//! Both execution substrates — the event-driven simulator and the live
+//! emulation — thread the observer through the *same* `Scheduler`
+//! value, so the JSONL a [`JsonlSink`] writes is schema-identical
+//! regardless of which substrate drove the run.
+
+use serde::Serialize;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Everything the scheduler knew (and decided) for one placement.
+///
+/// Serialised one-per-line by [`JsonlSink`]. `candidates` is the
+/// post-shuffle candidate set the scorer saw (empty when the request
+/// stayed on its entry node) and `scores` the per-candidate scorer
+/// values sampled *before* the charge-back debit, i.e. exactly what the
+/// decision was based on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DecisionRecord {
+    /// 1-based decision sequence number within the scheduler.
+    pub seq: u64,
+    /// Whether the request was dynamic (CGI-class).
+    pub dynamic: bool,
+    /// Entry node chosen by the front end.
+    pub entry: usize,
+    /// Candidate nodes considered, in scoring order.
+    pub candidates: Vec<usize>,
+    /// Per-candidate scores aligned with `candidates` (RSRC cost for
+    /// the built-in policies; lower is better).
+    pub scores: Vec<f64>,
+    /// Measured fraction of dynamic requests routed to masters (θ̂).
+    pub theta_hat: f64,
+    /// Current reservation admission cap (θ2*, Theorem 1).
+    pub theta2_star: f64,
+    /// Node the request was placed on.
+    pub chosen: usize,
+    /// Whether the placement counts toward the master level.
+    pub on_master: bool,
+    /// Whether the move was an HTTP redirection (client round trip)
+    /// rather than an in-cluster transfer.
+    pub redirected: bool,
+    /// Transfer latency paid, in microseconds.
+    pub latency_us: u64,
+}
+
+/// Observer invoked once per successful placement.
+///
+/// Implementations should be cheap: the scheduler calls this on the
+/// per-request path (though only when an observer is installed).
+pub trait DecisionObserver {
+    /// Handle one decision record.
+    fn observe(&mut self, record: &DecisionRecord);
+}
+
+/// In-memory observer collecting every record; useful for tests and
+/// programmatic analysis.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    /// Records observed so far, in decision order.
+    pub records: Vec<DecisionRecord>,
+}
+
+impl DecisionObserver for CollectingObserver {
+    fn observe(&mut self, record: &DecisionRecord) {
+        self.records.push(record.clone());
+    }
+}
+
+/// Shared-handle observer: lets a test (or analysis code) keep a clone
+/// of the collector while the scheduler owns the installed copy.
+impl DecisionObserver for std::rc::Rc<std::cell::RefCell<CollectingObserver>> {
+    fn observe(&mut self, record: &DecisionRecord) {
+        self.borrow_mut().observe(record);
+    }
+}
+
+/// JSONL sink: one [`DecisionRecord`] serialised per line.
+///
+/// Write errors after creation are reported once to stderr and further
+/// records are discarded — tracing must never abort an experiment.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    errored: bool,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) the JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Open the JSONL file at `path` for appending, creating it if
+    /// missing — lets several runs trace into one file.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            errored: false,
+        }
+    }
+}
+
+impl<W: Write> DecisionObserver for JsonlSink<W> {
+    fn observe(&mut self, record: &DecisionRecord) {
+        if self.errored {
+            return;
+        }
+        let line = serde::to_json_string(record);
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            eprintln!("trace-decisions: write failed, disabling sink: {e}");
+            self.errored = true;
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}

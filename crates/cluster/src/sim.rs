@@ -1,10 +1,16 @@
 //! The trace-driven cluster simulation driver.
 //!
-//! [`ClusterSim`] wires a dispatch policy, the per-node OS models, the
-//! load monitor and the reservation controller into one discrete-event
-//! loop. Events are processed in global timestamp order with a fixed tie
-//! order (node internals, then transfers, then arrivals, then failures,
-//! then monitor ticks) so every run is exactly reproducible.
+//! [`ClusterSim`] wires a scheduling pipeline, the per-node OS models,
+//! the load monitor and the reservation controller into one
+//! discrete-event loop. Events are processed in global timestamp order
+//! with a fixed tie order (node internals, then transfers, then
+//! arrivals, then failures, then monitor ticks) so every run is exactly
+//! reproducible.
+//!
+//! The driver is generic over [`Schedule`], so it accepts both the
+//! statically composed per-policy pipeline ([`PolicyScheduler`]) and
+//! custom registry compositions — the very same scheduler value the
+//! live emulation (`msweb-emu`) consumes.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -18,7 +24,7 @@ use crate::config::{ClusterConfig, PolicyKind};
 use crate::failure::FailurePlan;
 use crate::loadinfo::LoadMonitor;
 use crate::metrics::{Level, Metrics, RunSummary};
-use crate::policy::Dispatcher;
+use crate::sched::{DecisionObserver, PolicyScheduler, Schedule};
 
 /// Per-request bookkeeping.
 #[derive(Debug, Clone, Copy)]
@@ -42,11 +48,12 @@ enum ReqState {
     Dropped,
 }
 
-/// A fully wired simulated cluster.
-pub struct ClusterSim {
+/// A fully wired simulated cluster, generic over the scheduling
+/// pipeline it drives (defaults to the built-in per-policy pipeline).
+pub struct ClusterSim<Sch: Schedule = PolicyScheduler> {
     config: ClusterConfig,
     nodes: Vec<Node>,
-    dispatcher: Dispatcher,
+    scheduler: Sch,
     monitor: LoadMonitor,
     metrics: Metrics,
     /// Off-line-sampled mean demands used to debit the stale load view:
@@ -63,11 +70,26 @@ pub struct ClusterSim {
     cache: Option<DynContentCache>,
 }
 
-impl ClusterSim {
-    /// Build a cluster. `a0`/`r0` are the workload priors used to seed
-    /// the reservation controller and (when `masters` is `Auto`) the
-    /// Theorem-1 planner.
+impl ClusterSim<PolicyScheduler> {
+    /// Build a cluster driven by `config.policy`'s stage composition.
+    /// `a0`/`r0` are the workload priors used to seed the reservation
+    /// controller and (when `masters` is `Auto`) the Theorem-1 planner.
     pub fn new(config: ClusterConfig, a0: f64, r0: f64) -> Self {
+        let scheduler = PolicyScheduler::new(&config, a0, r0);
+        ClusterSim::with_scheduler(config, scheduler).with_mean_demands(
+            SimDuration::from_secs_f64(1.0 / 1200.0),
+            SimDuration::from_secs_f64(1.0 / 1200.0 / r0.max(1e-4)),
+        )
+    }
+}
+
+impl<Sch: Schedule> ClusterSim<Sch> {
+    /// Build a cluster around an explicit scheduler value (e.g. a
+    /// registry composition). The caller is responsible for having
+    /// built `scheduler` for this same `config`; mean demands default
+    /// to the static fetch cost and should usually be overridden with
+    /// [`ClusterSim::with_mean_demands`].
+    pub fn with_scheduler(config: ClusterConfig, scheduler: Sch) -> Self {
         config.validate().expect("invalid cluster configuration");
         let nodes: Vec<Node> = (0..config.p)
             .map(|i| match &config.speeds {
@@ -75,19 +97,18 @@ impl ClusterSim {
                 None => Node::new(i, config.os.clone()),
             })
             .collect();
-        let dispatcher = Dispatcher::new(&config, a0, r0);
         let monitor = LoadMonitor::new(config.p, config.monitor_period, SimTime::ZERO);
         let cache = config.cache.map(DynContentCache::new);
         ClusterSim {
             config,
             nodes,
-            dispatcher,
+            scheduler,
             monitor,
             cache,
             metrics: Metrics::new(),
             mean_demand: (
                 SimDuration::from_secs_f64(1.0 / 1200.0),
-                SimDuration::from_secs_f64(1.0 / 1200.0 / r0.max(1e-4)),
+                SimDuration::from_secs_f64(1.0 / 60.0),
             ),
             transfers: BinaryHeap::new(),
             transfer_seq: 0,
@@ -112,7 +133,7 @@ impl ClusterSim {
 
     /// The resolved master count.
     pub fn masters(&self) -> usize {
-        self.dispatcher.masters()
+        self.scheduler.masters()
     }
 
     /// Cache statistics `(hits, misses, expirations, evictions)`, when
@@ -124,6 +145,17 @@ impl ClusterSim {
     /// The configuration in force.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// The scheduling pipeline driving this cluster.
+    pub fn scheduler(&self) -> &Sch {
+        &self.scheduler
+    }
+
+    /// Mutable access to the pipeline, e.g. to install a
+    /// [`DecisionObserver`] before `run`.
+    pub fn scheduler_mut(&mut self) -> &mut Sch {
+        &mut self.scheduler
     }
 
     /// Replay `trace` to completion and return the run summary.
@@ -152,11 +184,7 @@ impl ClusterSim {
             assert!(guard < guard_limit, "cluster simulation did not converge");
 
             // Candidate event times.
-            let t_node = self
-                .nodes
-                .iter()
-                .filter_map(|n| n.next_event())
-                .min();
+            let t_node = self.nodes.iter().filter_map(|n| n.next_event()).min();
             let t_transfer = self.transfers.peek().map(|Reverse((t, ..))| SimTime(*t));
             let t_arrival = trace.requests.get(next_arrival).map(|r| r.arrival);
             let t_failure = self
@@ -169,11 +197,13 @@ impl ClusterSim {
             // termination because the loop exits on `accounted`.
             let t_monitor = Some(self.monitor.next_tick());
 
-            let t = [t_node, t_transfer, t_arrival, t_failure, t_recover, t_monitor]
-                .into_iter()
-                .flatten()
-                .min()
-                .expect("no events but work outstanding");
+            let t = [
+                t_node, t_transfer, t_arrival, t_failure, t_recover, t_monitor,
+            ]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("no events but work outstanding");
 
             // Tie order: node internals, transfers, arrivals, failures,
             // recoveries, monitor.
@@ -185,12 +215,12 @@ impl ClusterSim {
             } else if t_arrival == Some(t) {
                 let idx = next_arrival;
                 next_arrival += 1;
-                self.admit(trace, &mut meta, idx, t);
+                self.admit(trace, &mut meta, idx, t, &mut accounted);
             } else if t_failure == Some(t) {
                 self.fail_node(trace, &mut meta, &mut accounted, t);
             } else if t_recover == Some(t) {
                 let (_, node) = self.recoveries.remove(0);
-                self.dispatcher.set_dead(node, false);
+                self.scheduler.set_dead(node, false);
             } else {
                 self.tick_monitor(t);
             }
@@ -230,11 +260,13 @@ impl ClusterSim {
                 }
                 m.state = ReqState::Done;
                 *accounted += 1;
-                self.dispatcher.note_completion(m.node);
+                self.scheduler.note_completion(m.node);
                 // A completed CGI miss installs its result for future hits.
-                if let (Some(cache), true, Some(key)) =
-                    (&mut self.cache, req.class.is_dynamic() && !m.cache_hit, req.cache_key)
-                {
+                if let (Some(cache), true, Some(key)) = (
+                    &mut self.cache,
+                    req.class.is_dynamic() && !m.cache_hit,
+                    req.cache_key,
+                ) {
                     cache.insert(key, c.finished);
                 }
                 if m.cache_hit {
@@ -242,20 +274,32 @@ impl ClusterSim {
                 }
                 let response = c.finished - m.cluster_arrival;
                 let level = if req.class.is_dynamic() {
-                    Some(if m.on_master { Level::Master } else { Level::Slave })
+                    Some(if m.on_master {
+                        Level::Master
+                    } else {
+                        Level::Slave
+                    })
                 } else {
                     None
                 };
                 self.metrics.record(response, req.demand.service, level);
-                self.dispatcher
-                    .reservation
+                self.scheduler
+                    .reservation_mut()
                     .note_response(req.class.is_dynamic(), response);
             }
         }
     }
 
-    /// A request arrives at the front end: place it.
-    fn admit(&mut self, trace: &Trace, meta: &mut [ReqMeta], idx: usize, t: SimTime) {
+    /// A request arrives at the front end: place it, or drop it (counted
+    /// in the summary) when no live node exists.
+    fn admit(
+        &mut self,
+        trace: &Trace,
+        meta: &mut [ReqMeta],
+        idx: usize,
+        t: SimTime,
+        accounted: &mut usize,
+    ) {
         let req = &trace.requests[idx];
         // Swala extension: a fresh cached result turns this CGI into a
         // cheap fetch served like a static request at the entry node.
@@ -270,16 +314,28 @@ impl ClusterSim {
         } else {
             self.mean_demand.0
         };
-        let placement = self.dispatcher.place(
+        let placed = self.scheduler.place(
             effectively_dynamic,
             if cache_hit {
-                self.cache.as_ref().expect("hit implies cache").config().hit_cpu_fraction
+                self.cache
+                    .as_ref()
+                    .expect("hit implies cache")
+                    .config()
+                    .hit_cpu_fraction
             } else {
                 req.demand.cpu_fraction
             },
             expected,
             &mut self.monitor,
         );
+        let Ok(placement) = placed else {
+            // Whole cluster dead: degrade gracefully instead of aborting
+            // the experiment.
+            meta[idx].state = ReqState::Dropped;
+            *accounted += 1;
+            self.metrics.note_dropped();
+            return;
+        };
         meta[idx].on_master = placement.on_master
             || (!req.class.is_dynamic() && self.config.policy != PolicyKind::Flat);
         if placement.latency.is_zero() {
@@ -333,26 +389,42 @@ impl ClusterSim {
         let event = self.failures.events()[self.failure_cursor];
         self.failure_cursor += 1;
         let lost = self.nodes[event.node].kill_all();
-        self.dispatcher.set_dead(event.node, true);
+        self.scheduler.set_dead(event.node, true);
         if let Some(r) = event.recover_at {
             self.recoveries.push((r, event.node));
             self.recoveries.sort_by_key(|&(t, _)| t);
         }
         // Detection delay before restart: one monitor period.
         let detect = self.config.monitor_period;
+        fn drop_req(
+            meta: &mut [ReqMeta],
+            accounted: &mut usize,
+            metrics: &mut Metrics,
+            idx: usize,
+        ) {
+            meta[idx].state = ReqState::Dropped;
+            *accounted += 1;
+            metrics.note_dropped();
+        }
         for tag in lost {
             let idx = tag as usize;
             if meta[idx].state != ReqState::Pending {
                 continue;
             }
             let req = &trace.requests[idx];
-            if event.restart_dynamic && req.class.is_dynamic() {
-                let placement = self.dispatcher.replace_after_failure(
-                    true,
-                    req.demand.cpu_fraction,
-                    self.mean_demand.1,
-                    &mut self.monitor,
-                );
+            let restarted = if event.restart_dynamic && req.class.is_dynamic() {
+                self.scheduler
+                    .replace_after_failure(
+                        true,
+                        req.demand.cpu_fraction,
+                        self.mean_demand.1,
+                        &mut self.monitor,
+                    )
+                    .ok()
+            } else {
+                None
+            };
+            if let Some(placement) = restarted {
                 meta[idx].on_master = placement.on_master;
                 self.metrics.note_restarted();
                 self.transfer_seq += 1;
@@ -363,9 +435,7 @@ impl ClusterSim {
                     placement.node,
                 )));
             } else {
-                meta[idx].state = ReqState::Dropped;
-                *accounted += 1;
-                self.metrics.note_dropped();
+                drop_req(meta, accounted, &mut self.metrics, idx);
             }
         }
         // Requests in flight *towards* the dead node: re-route them too.
@@ -373,13 +443,19 @@ impl ClusterSim {
         for Reverse((at, seq, req, node)) in pending {
             if node == event.node && meta[req as usize].state == ReqState::Pending {
                 let r = &trace.requests[req as usize];
-                if event.restart_dynamic && r.class.is_dynamic() {
-                    let placement = self.dispatcher.replace_after_failure(
-                        true,
-                        r.demand.cpu_fraction,
-                        self.mean_demand.1,
-                        &mut self.monitor,
-                    );
+                let restarted = if event.restart_dynamic && r.class.is_dynamic() {
+                    self.scheduler
+                        .replace_after_failure(
+                            true,
+                            r.demand.cpu_fraction,
+                            self.mean_demand.1,
+                            &mut self.monitor,
+                        )
+                        .ok()
+                } else {
+                    None
+                };
+                if let Some(placement) = restarted {
                     self.metrics.note_restarted();
                     self.transfer_seq += 1;
                     self.transfers.push(Reverse((
@@ -389,9 +465,7 @@ impl ClusterSim {
                         placement.node,
                     )));
                 } else {
-                    meta[req as usize].state = ReqState::Dropped;
-                    *accounted += 1;
-                    self.metrics.note_dropped();
+                    drop_req(meta, accounted, &mut self.metrics, req as usize);
                 }
             } else {
                 self.transfers.push(Reverse((at, seq, req, node)));
@@ -415,7 +489,7 @@ impl ClusterSim {
                 .sum();
             busy / loads.len() as f64
         };
-        self.dispatcher.reservation.update(rho);
+        self.scheduler.reservation_mut().update(rho);
         self.metrics.close_window();
     }
 
@@ -451,6 +525,17 @@ fn demand_to_spec(req: &Request, config: &ClusterConfig) -> DemandSpec {
 /// assert!(summary.stretch >= 1.0);
 /// ```
 pub fn run_policy(config: ClusterConfig, trace: &Trace) -> RunSummary {
+    run_policy_with_observer(config, trace, None)
+}
+
+/// Like [`run_policy`], with an optional per-decision observer (e.g. a
+/// [`crate::sched::JsonlSink`] backing `--trace-decisions`) installed
+/// on the scheduler before the replay.
+pub fn run_policy_with_observer(
+    config: ClusterConfig,
+    trace: &Trace,
+    observer: Option<Box<dyn DecisionObserver>>,
+) -> RunSummary {
     let summary = trace.summary();
     let a0 = summary.arrival_ratio_a.clamp(0.01, 10.0);
     // Estimate r0 from the demand means in the trace.
@@ -480,6 +565,9 @@ pub fn run_policy(config: ClusterConfig, trace: &Trace) -> RunSummary {
         stat_mean
     };
     let mut sim = ClusterSim::new(config, a0, r0).with_mean_demands(stat_mean, dyn_mean);
+    if observer.is_some() {
+        sim.scheduler_mut().set_observer(observer);
+    }
     sim.run(trace)
 }
 
@@ -587,15 +675,21 @@ mod tests {
         let mut sim = ClusterSim::new(cfg, 0.13, 1.0 / 40.0);
         sim.run(&trace);
         let series = sim.stretch_series();
-        assert!(series.len() >= 3, "expected several windows, got {}", series.len());
+        assert!(
+            series.len() >= 3,
+            "expected several windows, got {}",
+            series.len()
+        );
         assert!(series.iter().all(|&s| s >= 0.99));
         // The self-stabilising controller should not leave the tail of
         // the run dramatically worse than its head.
-        let head: f64 = series[..series.len() / 2].iter().sum::<f64>()
-            / (series.len() / 2) as f64;
+        let head: f64 = series[..series.len() / 2].iter().sum::<f64>() / (series.len() / 2) as f64;
         let tail: f64 = series[series.len() / 2..].iter().sum::<f64>()
             / (series.len() - series.len() / 2) as f64;
-        assert!(tail <= head * 3.0, "run diverging: head {head}, tail {tail}");
+        assert!(
+            tail <= head * 3.0,
+            "run diverging: head {head}, tail {tail}"
+        );
     }
 
     #[test]
@@ -603,9 +697,7 @@ mod tests {
         use msweb_workload::adl;
         // Heavy query popularity: a handful of hot queries dominate.
         let demand = DemandModel::simulation(40.0).with_query_popularity(20, 1.1);
-        let trace = adl()
-            .generate(3_000, &demand, 13)
-            .scaled_to_rate(400.0);
+        let trace = adl().generate(3_000, &demand, 13).scaled_to_rate(400.0);
 
         let mut base = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
         base.masters = MasterSelection::Fixed(3);
@@ -634,10 +726,8 @@ mod tests {
         let trace = small_trace(400, 20.0, 200.0);
         let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
         cfg.masters = MasterSelection::Fixed(3);
-        let mut sim = ClusterSim::new(cfg, 0.13, 0.05).with_failures(FailurePlan::crash(
-            5,
-            SimTime::from_millis(500),
-        ));
+        let mut sim = ClusterSim::new(cfg, 0.13, 0.05)
+            .with_failures(FailurePlan::crash(5, SimTime::from_millis(500)));
         let s = sim.run(&trace);
         // Everything is accounted: completed + dropped = total.
         assert_eq!(s.completed + s.dropped, 400);
@@ -671,5 +761,29 @@ mod tests {
         let mut sim = ClusterSim::new(cfg, 0.13, 0.05).with_failures(plan);
         let s = sim.run(&trace);
         assert_eq!(s.completed + s.dropped, 600);
+    }
+
+    #[test]
+    fn whole_cluster_death_drops_instead_of_panicking() {
+        let trace = small_trace(300, 20.0, 400.0);
+        let mut cfg = ClusterConfig::simulation(2, PolicyKind::Flat);
+        cfg.seed = 3;
+        let plan = FailurePlan::new(
+            (0..2)
+                .map(|node| crate::failure::FailureEvent {
+                    at: SimTime::from_millis(100),
+                    node,
+                    restart_dynamic: false,
+                    recover_at: None,
+                })
+                .collect(),
+        );
+        let mut sim = ClusterSim::new(cfg, 0.13, 0.05).with_failures(plan);
+        let s = sim.run(&trace);
+        assert_eq!(s.completed + s.dropped, 300);
+        assert!(
+            s.dropped > 0,
+            "arrivals after total failure must be dropped"
+        );
     }
 }

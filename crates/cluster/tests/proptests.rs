@@ -50,7 +50,7 @@ proptest! {
         let svc = SimDuration::from_millis(10);
         for i in 0..200u64 {
             let dynamic = i % 3 == 0;
-            let pl = d.place(dynamic, 0.7, svc, &mut mon);
+            let pl = d.place(dynamic, 0.7, svc, &mut mon).unwrap();
             prop_assert!(pl.node < p, "node {} out of range", pl.node);
             if let Some(n) = dead {
                 prop_assert!(pl.node != n, "{policy:?} placed on dead node");
@@ -76,11 +76,11 @@ proptest! {
         let n = 500;
         let mut on_master = 0u32;
         for _ in 0..n {
-            if d.place(true, 0.7, svc, &mut mon).on_master {
+            if d.place(true, 0.7, svc, &mut mon).unwrap().on_master {
                 on_master += 1;
             }
         }
-        let cap = d.reservation.theta2_star();
+        let cap = d.reservation().theta2_star();
         let frac = on_master as f64 / n as f64;
         prop_assert!(
             frac <= cap + 2.0 / n as f64 + 1e-9,
@@ -100,7 +100,11 @@ proptest! {
             let mut mon =
                 LoadMonitor::new(16, SimDuration::from_millis(500), SimTime::ZERO);
             (0..100u64)
-                .map(|i| d.place(i % 2 == 0, 0.5, SimDuration::from_millis(5), &mut mon).node)
+                .map(|i| {
+                    d.place(i % 2 == 0, 0.5, SimDuration::from_millis(5), &mut mon)
+                        .unwrap()
+                        .node
+                })
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
@@ -128,6 +132,68 @@ proptest! {
         prop_assert_eq!(s.completed_static + s.completed_dynamic, n as u64);
         prop_assert!(s.stretch >= 0.99, "stretch {}", s.stretch);
         prop_assert_eq!(s.dropped, 0);
+    }
+
+    /// In-flight connection counts are conserved: after any interleaving
+    /// of placements, completions and node failures, completing every
+    /// outstanding request returns every per-node count to zero.
+    #[test]
+    fn in_flight_returns_to_zero(
+        which in 0usize..8,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(0u8..4, 1..120),
+    ) {
+        let policy = policies()[which];
+        let p = 8;
+        let mut cfg = ClusterConfig::simulation(p, policy);
+        cfg.masters = MasterSelection::Fixed(3);
+        cfg.seed = seed;
+        let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
+        let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+        let svc = SimDuration::from_millis(10);
+        // Nodes of requests placed but not yet completed.
+        let mut outstanding: Vec<usize> = Vec::new();
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                // Place a request (alternate static/dynamic).
+                0 | 1 => {
+                    if let Ok(pl) = d.place(step.is_multiple_of(2), 0.6, svc, &mut mon) {
+                        outstanding.push(pl.node);
+                    }
+                }
+                // Complete the oldest outstanding request.
+                2 => {
+                    if !outstanding.is_empty() {
+                        let node = outstanding.remove(0);
+                        d.note_completion(node);
+                    }
+                }
+                // Kill a node and re-place its outstanding work, as the
+                // failure driver does.
+                _ => {
+                    let victim = step % p;
+                    d.set_dead(victim, true);
+                    for slot in outstanding.iter_mut() {
+                        if *slot == victim {
+                            d.note_completion(victim);
+                            if let Ok(pl) =
+                                d.replace_after_failure(true, 0.6, svc, &mut mon)
+                            {
+                                *slot = pl.node;
+                            }
+                        }
+                    }
+                    outstanding.retain(|&n| n != victim);
+                    d.set_dead(victim, false);
+                }
+            }
+        }
+        for node in outstanding.drain(..) {
+            d.note_completion(node);
+        }
+        for n in 0..p {
+            prop_assert_eq!(d.in_flight(n), 0, "node {} count not drained", n);
+        }
     }
 
     /// The cache never changes completion accounting, only speeds.

@@ -1,19 +1,22 @@
-//! The live cluster: real threads, real time, the *same* dispatch logic
-//! as the simulator.
+//! The live cluster: real threads, real time, the *same* scheduler
+//! value as the simulator.
 //!
 //! [`run_live`] replays a trace against `p` node worker threads using
-//! `msweb-cluster`'s [`Dispatcher`], [`LoadMonitor`] and [`Metrics`]
-//! unchanged — so the validation experiment (the paper's Table 3)
-//! compares the *same scheduling code* executing against the simulated
-//! OS model versus real wall-clock execution, exactly as the paper
-//! compared its simulator against the Sun-cluster prototype.
+//! `msweb-cluster`'s scheduling pipeline, [`LoadMonitor`] and
+//! [`Metrics`] unchanged — so the validation experiment (the paper's
+//! Table 3) compares the *same scheduling code* executing against the
+//! simulated OS model versus real wall-clock execution, exactly as the
+//! paper compared its simulator against the Sun-cluster prototype.
+//! [`run_live_with`] accepts any [`Schedule`] implementation (e.g. a
+//! registry composition, or a [`PolicyScheduler`] with a
+//! `DecisionObserver` installed), built via [`live_scheduler`].
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
-    ClusterConfig, Dispatcher, Level, LoadMonitor, Metrics, PolicyKind, RunSummary,
+    ClusterConfig, Level, LoadMonitor, Metrics, PolicyKind, PolicyScheduler, RunSummary, Schedule,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimTime};
@@ -58,6 +61,17 @@ impl LiveConfig {
         }
     }
 
+    /// The simulator-side configuration this live cluster mirrors; the
+    /// scheduler is built from it so both substrates share one
+    /// composition.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig::simulation(self.p, self.policy)
+            .with_masters(self.m.max(1))
+            .with_master_reserve(self.master_reserve)
+            .with_seed(self.seed)
+            .with_monitor_period(to_sim(self.monitor_period))
+    }
+
     fn scale(&self, d: SimDuration) -> Duration {
         Duration::from_nanos((d.as_micros() as f64 * 1000.0 * self.time_scale) as u64)
     }
@@ -67,31 +81,8 @@ fn to_sim(d: Duration) -> SimDuration {
     SimDuration::from_micros(d.as_micros() as u64)
 }
 
-/// Replay `trace` on a live thread-backed cluster; blocks until every
-/// request completes and returns the same summary type the simulator
-/// produces. Response times and demands are reported in *scaled* time, so
-/// stretch factors are directly comparable with simulation runs of the
-/// same workload.
-pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
-    assert!(config.p >= 1);
-    assert!(
-        config.time_scale > 0.0 && config.time_scale.is_finite(),
-        "bad time scale"
-    );
-
-    // Reuse the simulator's dispatcher wholesale.
-    let cc = ClusterConfig::simulation(config.p, config.policy)
-        .with_masters(config.m.max(1))
-        .with_master_reserve(config.master_reserve)
-        .with_seed(config.seed)
-        .with_monitor_period(to_sim(config.monitor_period));
-    let summary = trace.summary();
-    let a0 = if summary.arrival_ratio_a.is_finite() && summary.arrival_ratio_a > 0.0 {
-        summary.arrival_ratio_a.clamp(0.01, 10.0)
-    } else {
-        0.5
-    };
-    // Class demand means (unscaled trace units) for priors and charging.
+/// Class demand means of `trace` in unscaled seconds: (static, dynamic).
+fn class_means(trace: &Trace) -> (f64, f64) {
     let (mut ds, mut nd, mut ss, mut ns) = (0.0f64, 0u64, 0.0f64, 0u64);
     for r in &trace.requests {
         if r.class.is_dynamic() {
@@ -104,8 +95,53 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
     }
     let stat_mean = if ns > 0 { ss / ns as f64 } else { 1.0 / 110.0 };
     let dyn_mean = if nd > 0 { ds / nd as f64 } else { stat_mean };
+    (stat_mean, dyn_mean)
+}
+
+/// Build the scheduler a live run of `config` over `trace` uses —
+/// exactly the value [`run_live`] constructs internally. Build it
+/// yourself (to install an observer, or to substitute a registry
+/// composition for the same `ClusterConfig`) and hand it to
+/// [`run_live_with`].
+pub fn live_scheduler(config: &LiveConfig, trace: &Trace) -> PolicyScheduler {
+    let cc = config.cluster_config();
+    let summary = trace.summary();
+    let a0 = if summary.arrival_ratio_a.is_finite() && summary.arrival_ratio_a > 0.0 {
+        summary.arrival_ratio_a.clamp(0.01, 10.0)
+    } else {
+        0.5
+    };
+    let (stat_mean, dyn_mean) = class_means(trace);
     let r0 = (stat_mean / dyn_mean).clamp(1e-4, 1.0);
-    let mut dispatcher = Dispatcher::new(&cc, a0, r0);
+    PolicyScheduler::new(&cc, a0, r0)
+}
+
+/// Replay `trace` on a live thread-backed cluster; blocks until every
+/// request completes and returns the same summary type the simulator
+/// produces. Response times and demands are reported in *scaled* time, so
+/// stretch factors are directly comparable with simulation runs of the
+/// same workload.
+pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
+    let scheduler = live_scheduler(config, trace);
+    run_live_with(config, trace, scheduler)
+}
+
+/// [`run_live`] with an explicit scheduler value — the same
+/// [`Schedule`] surface `ClusterSim` drives, so simulator and live
+/// emulation literally share the scheduler.
+pub fn run_live_with<S: Schedule>(
+    config: &LiveConfig,
+    trace: &Trace,
+    mut scheduler: S,
+) -> RunSummary {
+    assert!(config.p >= 1);
+    assert!(
+        config.time_scale > 0.0 && config.time_scale.is_finite(),
+        "bad time scale"
+    );
+
+    let cc = config.cluster_config();
+    let (stat_mean, dyn_mean) = class_means(trace);
     // Charges are in wall (scaled) time, matching the monitor's window.
     let stat_charge = to_sim(config.scale(SimDuration::from_secs_f64(stat_mean)));
     let dyn_charge = to_sim(config.scale(SimDuration::from_secs_f64(dyn_mean)));
@@ -137,27 +173,29 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
     let mut metrics = Metrics::new();
     let remote_latency = config.scale(SimDuration::from_millis(1));
 
-    // Per-request bookkeeping: placement level for attribution.
+    // Per-request bookkeeping: placement level/node for attribution and
+    // connection-count release.
     let mut on_master: Vec<bool> = vec![false; trace.len()];
+    let mut placed_node: Vec<usize> = vec![0; trace.len()];
     let mut arrived_at: Vec<Instant> = vec![t0; trace.len()];
     let mut next_monitor = t0 + config.monitor_period;
     // Pending remote transfers: (send-at, node, job).
     let mut transfers: Vec<(Instant, usize, Job)> = Vec::new();
     let mut completed = 0usize;
+    let mut dropped = 0usize;
 
-    let deliver_due = |transfers: &mut Vec<(Instant, usize, Job)>,
-                           senders: &[Sender<NodeMsg>],
-                           now: Instant| {
-        let mut i = 0;
-        while i < transfers.len() {
-            if transfers[i].0 <= now {
-                let (_, node, job) = transfers.swap_remove(i);
-                let _ = senders[node].send(NodeMsg::Run(job));
-            } else {
-                i += 1;
+    let deliver_due =
+        |transfers: &mut Vec<(Instant, usize, Job)>, senders: &[Sender<NodeMsg>], now: Instant| {
+            let mut i = 0;
+            while i < transfers.len() {
+                if transfers[i].0 <= now {
+                    let (_, node, job) = transfers.swap_remove(i);
+                    let _ = senders[node].send(NodeMsg::Run(job));
+                } else {
+                    i += 1;
+                }
             }
-        }
-    };
+        };
 
     let snapshot = |stats: &[Arc<NodeStats>], at: SimTime| -> Vec<LoadSnapshot> {
         stats
@@ -181,8 +219,9 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
     let handle_done = |d: Done,
                        arrived_at: &[Instant],
                        on_master: &[bool],
+                       placed_node: &[usize],
                        metrics: &mut Metrics,
-                       dispatcher: &mut Dispatcher,
+                       scheduler: &mut S,
                        completed: &mut usize| {
         let req = &trace.requests[d.id as usize];
         let response = to_sim(d.finished - arrived_at[d.id as usize]);
@@ -199,8 +238,11 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
             None
         };
         metrics.record(response, demand, level);
-        dispatcher
-            .reservation
+        // Release the connection slot — keeps switch-style counts
+        // truthful, matching the simulator's completion path.
+        scheduler.note_completion(placed_node[d.id as usize]);
+        scheduler
+            .reservation_mut()
             .note_response(req.class.is_dynamic(), response);
         *completed += 1;
     };
@@ -212,7 +254,15 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
         // monitor, flush transfers.
         loop {
             while let Ok(d) = done_rx.try_recv() {
-                handle_done(d, &arrived_at, &on_master, &mut metrics, &mut dispatcher, &mut completed);
+                handle_done(
+                    d,
+                    &arrived_at,
+                    &on_master,
+                    &placed_node,
+                    &mut metrics,
+                    &mut scheduler,
+                    &mut completed,
+                );
             }
             let now = Instant::now();
             deliver_due(&mut transfers, &senders, now);
@@ -228,7 +278,7 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
                         .sum::<f64>()
                         / loads.len() as f64
                 };
-                dispatcher.reservation.update(rho);
+                scheduler.reservation_mut().update(rho);
                 next_monitor += config.monitor_period;
                 continue;
             }
@@ -247,12 +297,19 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
         arrived_at[idx] = now;
         let dynamic = req.class.is_dynamic();
         let expected = if dynamic { dyn_charge } else { stat_charge };
-        let placement = dispatcher.place(dynamic, req.demand.cpu_fraction, expected, &mut monitor);
+        let Ok(placement) =
+            scheduler.place(dynamic, req.demand.cpu_fraction, expected, &mut monitor)
+        else {
+            // Whole cluster dead: degrade gracefully, as the simulator
+            // does.
+            metrics.note_dropped();
+            dropped += 1;
+            continue;
+        };
         on_master[idx] = placement.on_master;
+        placed_node[idx] = placement.node;
         let cpu = config.scale(req.demand.service.mul_f64(req.demand.cpu_fraction));
-        let io = config
-            .scale(req.demand.service)
-            .saturating_sub(cpu);
+        let io = config.scale(req.demand.service).saturating_sub(cpu);
         let job = Job {
             id: idx as u64,
             cpu,
@@ -268,11 +325,19 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
     }
 
     // Drain: flush transfers, then wait for all completions.
-    while completed < trace.len() {
+    while completed + dropped < trace.len() {
         let now = Instant::now();
         deliver_due(&mut transfers, &senders, now);
         match done_rx.recv_timeout(Duration::from_millis(5)) {
-            Ok(d) => handle_done(d, &arrived_at, &on_master, &mut metrics, &mut dispatcher, &mut completed),
+            Ok(d) => handle_done(
+                d,
+                &arrived_at,
+                &on_master,
+                &placed_node,
+                &mut metrics,
+                &mut scheduler,
+                &mut completed,
+            ),
             Err(_) => {
                 // Timeout: loop to flush any transfer that became due.
                 if transfers.is_empty() && now.elapsed() > Duration::from_secs(300) {
@@ -362,5 +427,16 @@ mod tests {
             "idle live cluster should not queue: stretch {}",
             s.stretch
         );
+    }
+
+    #[test]
+    fn run_live_with_accepts_an_explicit_scheduler() {
+        let trace = tiny_trace(24, 30.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 2);
+        cfg.time_scale = 0.05;
+        cfg.monitor_period = Duration::from_millis(50);
+        let scheduler = live_scheduler(&cfg, &trace);
+        let s = run_live_with(&cfg, &trace, scheduler);
+        assert_eq!(s.completed, 24);
     }
 }

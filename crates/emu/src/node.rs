@@ -287,7 +287,11 @@ impl DiskCalendar {
 
 fn admit(job: Job, params: &NodeParams, stats: &NodeStats, seq: u64) -> Running {
     stats.in_flight.fetch_add(1, Ordering::Relaxed);
-    let fork = if job.dynamic { params.fork } else { Duration::ZERO };
+    let fork = if job.dynamic {
+        params.fork
+    } else {
+        Duration::ZERO
+    };
     Running {
         cpu_left: job.cpu + fork,
         io_left: job.io,
@@ -437,7 +441,10 @@ mod tests {
         .unwrap();
         let done = drx.recv_timeout(Duration::from_secs(5)).unwrap();
         let resp = done.finished - done.arrived;
-        assert!(resp >= Duration::from_micros(1300), "fork missing: {resp:?}");
+        assert!(
+            resp >= Duration::from_micros(1300),
+            "fork missing: {resp:?}"
+        );
         tx.send(NodeMsg::Shutdown).unwrap();
         h.join().unwrap();
     }

@@ -65,14 +65,20 @@ impl Disk {
     /// Handle the completion due at `now`. Panics if called when nothing
     /// completes at `now` (driver bug).
     pub fn complete(&mut self, now: SimTime) -> DiskEvent {
-        let (pid, end) = self.current.take().expect("disk completion with no op in flight");
+        let (pid, end) = self
+            .current
+            .take()
+            .expect("disk completion with no op in flight");
         debug_assert_eq!(end, now, "disk completion at wrong time");
         self.busy_accum += self.page_io;
 
         // The served process is the ring head (service never rotates until
         // its page completes, so late arrivals queue *behind* it and get
         // their turn next).
-        let head = self.ring.front_mut().expect("served process missing from ring");
+        let head = self
+            .ring
+            .front_mut()
+            .expect("served process missing from ring");
         debug_assert_eq!(head.0, pid, "ring head changed during service");
         head.1 -= 1;
         let event = if head.1 == 0 {
@@ -166,9 +172,18 @@ mod tests {
         let mut d = Disk::new(ms(2));
         d.submit(Pid(1), 3, SimTime::ZERO);
         assert_eq!(d.next_event(), Some(SimTime::from_millis(2)));
-        assert_eq!(d.complete(SimTime::from_millis(2)), DiskEvent::PageDone(Pid(1)));
-        assert_eq!(d.complete(SimTime::from_millis(4)), DiskEvent::PageDone(Pid(1)));
-        assert_eq!(d.complete(SimTime::from_millis(6)), DiskEvent::BurstDone(Pid(1)));
+        assert_eq!(
+            d.complete(SimTime::from_millis(2)),
+            DiskEvent::PageDone(Pid(1))
+        );
+        assert_eq!(
+            d.complete(SimTime::from_millis(4)),
+            DiskEvent::PageDone(Pid(1))
+        );
+        assert_eq!(
+            d.complete(SimTime::from_millis(6)),
+            DiskEvent::BurstDone(Pid(1))
+        );
         assert!(d.is_idle());
         assert_eq!(d.busy_accum(), ms(6));
     }

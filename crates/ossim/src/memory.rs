@@ -114,7 +114,13 @@ mod tests {
     fn grants_from_free_pool() {
         let mut m = MemoryManager::new(100);
         let a = m.allocate(Pid(1), 30);
-        assert_eq!(a, Allocation { resident: 30, deficit: 0 });
+        assert_eq!(
+            a,
+            Allocation {
+                resident: 30,
+                deficit: 0
+            }
+        );
         assert_eq!(m.free_pages(), 70);
         assert_eq!(m.held_by(Pid(1)), 30);
     }
@@ -124,7 +130,13 @@ mod tests {
         let mut m = MemoryManager::new(100);
         m.allocate(Pid(1), 90);
         let a = m.allocate(Pid(2), 30);
-        assert_eq!(a, Allocation { resident: 10, deficit: 20 });
+        assert_eq!(
+            a,
+            Allocation {
+                resident: 10,
+                deficit: 20
+            }
+        );
         assert_eq!(m.free_pages(), 0);
     }
 

@@ -159,8 +159,8 @@ impl Node {
         self.next_pid += 1;
 
         let alloc = self.memory.allocate(pid, spec.memory_pages);
-        let extra_faults = (alloc.deficit as f64 * self.params.fault_pages_per_deficit_page)
-            .round() as u32;
+        let extra_faults =
+            (alloc.deficit as f64 * self.params.fault_pages_per_deficit_page).round() as u32;
         self.fault_pages += u64::from(extra_faults);
         let script = BurstScript::compile(spec, &self.params, extra_faults);
         let mut proc = Process::new(pid, script, now, tag);
@@ -331,7 +331,10 @@ impl Node {
         };
         let executed_wall = t.max(r.ctx_until) - r.ctx_until;
         let progress = executed_wall.mul_f64(self.speed).min(r.planned_progress);
-        let proc = self.procs.get_mut(&r.pid).expect("running process vanished");
+        let proc = self
+            .procs
+            .get_mut(&r.pid)
+            .expect("running process vanished");
         proc.cpu_remaining -= progress;
         proc.estcpu += progress.as_secs_f64() / self.params.quantum.as_secs_f64();
         self.cpu_busy += t - r.started;
@@ -339,7 +342,10 @@ impl Node {
         if self.procs[&r.pid].cpu_remaining.is_zero() {
             self.finish_cpu_burst(r.pid, t);
         } else {
-            let proc = self.procs.get_mut(&r.pid).expect("running process vanished");
+            let proc = self
+                .procs
+                .get_mut(&r.pid)
+                .expect("running process vanished");
             proc.state = ProcState::Ready;
             self.ready.push_front(r.pid, r.level);
         }
@@ -382,7 +388,9 @@ impl Node {
         };
         let planned = self.params.quantum.min(proc.cpu_remaining);
         debug_assert!(!planned.is_zero(), "dispatching a process with no CPU work");
-        let run_wall = planned.mul_f64(1.0 / self.speed).max(SimDuration::from_micros(1));
+        let run_wall = planned
+            .mul_f64(1.0 / self.speed)
+            .max(SimDuration::from_micros(1));
         let ctx_until = t + ctx;
         self.running = Some(Running {
             pid,
@@ -396,10 +404,16 @@ impl Node {
 
     /// A CPU slice ran to its natural end.
     fn handle_slice_end(&mut self, t: SimTime) {
-        let r = self.running.take().expect("slice end with no running process");
+        let r = self
+            .running
+            .take()
+            .expect("slice end with no running process");
         self.cpu_busy += t - r.started;
         self.last_run = Some(r.pid);
-        let proc = self.procs.get_mut(&r.pid).expect("running process vanished");
+        let proc = self
+            .procs
+            .get_mut(&r.pid)
+            .expect("running process vanished");
         proc.cpu_remaining -= r.planned_progress.min(proc.cpu_remaining);
         proc.estcpu += r.planned_progress.as_secs_f64() / self.params.quantum.as_secs_f64();
 
@@ -448,8 +462,11 @@ impl Node {
         }
         let levels = self.ready.levels();
         let procs = &self.procs;
-        self.ready
-            .rebucket(|pid| procs.get(&pid).map_or(levels - 1, |p| p.priority_level(levels)));
+        self.ready.rebucket(|pid| {
+            procs
+                .get(&pid)
+                .map_or(levels - 1, |p| p.priority_level(levels))
+        });
         self.next_decay = if self.procs.is_empty() {
             None
         } else {
@@ -561,7 +578,10 @@ mod tests {
         assert!(spread <= ms(11), "completions too far apart: {spread}");
         let total = done.iter().map(|c| c.finished).max().unwrap();
         assert!(total >= SimTime::from_millis(60));
-        assert!(total <= SimTime::from_millis(62), "too much overhead: {total}");
+        assert!(
+            total <= SimTime::from_millis(62),
+            "too much overhead: {total}"
+        );
     }
 
     #[test]
@@ -569,7 +589,11 @@ mod tests {
         let mut n = node();
         let demands = [5u64, 12, 33, 7, 28];
         for (i, &d) in demands.iter().enumerate() {
-            n.submit(&DemandSpec::static_fetch(ms(d), 1.0, 0), SimTime::ZERO, i as u64);
+            n.submit(
+                &DemandSpec::static_fetch(ms(d), 1.0, 0),
+                SimTime::ZERO,
+                i as u64,
+            );
         }
         let done = run_to_idle(&mut n, 10_000);
         assert_eq!(done.len(), demands.len());

@@ -103,8 +103,7 @@ impl BurstScript {
         // measured stretch could dip below 1).
         let io_time = spec.io_time();
         let whole_pages = (io_time.as_micros() / params.page_io.as_micros()) as u32;
-        let remainder = io_time
-            .saturating_sub(params.page_io.mul(whole_pages as u64));
+        let remainder = io_time.saturating_sub(params.page_io.mul(whole_pages as u64));
         let cpu_total = spec.cpu_time() + remainder;
         let io_pages = whole_pages + extra_fault_pages;
 
@@ -117,8 +116,8 @@ impl BurstScript {
             // of pages so CPU and I/O genuinely interleave, and divide the
             // CPU evenly between the groups (CPU first: a request must
             // parse before it can read).
-            let pages_per_group = (params.quantum.as_micros() / params.page_io.as_micros())
-                .max(1) as u32;
+            let pages_per_group =
+                (params.quantum.as_micros() / params.page_io.as_micros()).max(1) as u32;
             let groups = io_pages.div_ceil(pages_per_group).max(1);
             let cpu_slice = SimDuration::from_micros(cpu_total.as_micros() / groups as u64);
             let mut remaining_cpu = cpu_total;
@@ -315,8 +314,8 @@ mod tests {
         for (ms_total, w) in [(1u64, 0.5), (7, 0.3), (33, 0.8), (100, 0.05)] {
             let d = DemandSpec::static_fetch(SimDuration::from_millis(ms_total), w, 1);
             let s = BurstScript::compile(&d, &params(), 0);
-            let executed = s.total_cpu()
-                + SimDuration::from_millis(2).mul(s.total_io_pages() as u64);
+            let executed =
+                s.total_cpu() + SimDuration::from_millis(2).mul(s.total_io_pages() as u64);
             let total = SimDuration::from_millis(ms_total);
             let drift = executed.as_micros().abs_diff(total.as_micros());
             assert!(drift <= 2, "demand {total} executed {executed}");

@@ -7,10 +7,10 @@ use proptest::prelude::*;
 /// Arbitrary small demand specs.
 fn demand() -> impl Strategy<Value = DemandSpec> {
     (
-        1u64..200_000,    // service microseconds
-        0.0f64..=1.0,     // cpu fraction
-        0u32..64,         // memory pages
-        any::<bool>(),    // cgi?
+        1u64..200_000, // service microseconds
+        0.0f64..=1.0,  // cpu fraction
+        0u32..64,      // memory pages
+        any::<bool>(), // cgi?
     )
         .prop_map(|(us, w, pages, cgi)| DemandSpec {
             service: SimDuration::from_micros(us),

@@ -1,13 +1,21 @@
 use msweb_queueing::*;
 fn main() {
-    for (lambda, a, inv_r, m) in [(2000.0, 0.126, 80.0, 9), (1000.0, 0.41, 80.0, 3),
-                                   (1000.0, 0.795, 40.0, 3), (3000.0, 0.126, 80.0, 9),
-                                   (500.0, 0.126, 80.0, 9)] {
-        let w = Workload::from_ratios(lambda, a, 1200.0, 1.0/inv_r).unwrap();
+    for (lambda, a, inv_r, m) in [
+        (2000.0, 0.126, 80.0, 9),
+        (1000.0, 0.41, 80.0, 3),
+        (1000.0, 0.795, 40.0, 3),
+        (3000.0, 0.126, 80.0, 9),
+        (500.0, 0.126, 80.0, 9),
+    ] {
+        let w = Workload::from_ratios(lambda, a, 1200.0, 1.0 / inv_r).unwrap();
         let model = MsModel::new(w, 32, m).unwrap();
         match model.theta_interval() {
-            Ok(iv) => println!("l={lambda} a={a} 1/r={inv_r} m={m}: theta1={:.3} theta2={:.3} mid={:.3}",
-                iv.theta1, iv.theta2, iv.theta_mid()),
+            Ok(iv) => println!(
+                "l={lambda} a={a} 1/r={inv_r} m={m}: theta1={:.3} theta2={:.3} mid={:.3}",
+                iv.theta1,
+                iv.theta2,
+                iv.theta_mid()
+            ),
             Err(e) => println!("l={lambda} a={a} 1/r={inv_r} m={m}: {e}"),
         }
     }

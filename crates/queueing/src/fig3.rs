@@ -100,8 +100,7 @@ pub fn figure3(config: &Fig3Config) -> Result<Vec<Fig3Point>, ModelError> {
                 stretch_msprime_few: msprime_few.map(|pt| pt.stretch),
                 improvement_over_flat_pct: (ms_plan.stretch_flat / ms_plan.stretch_ms - 1.0)
                     * 100.0,
-                improvement_over_msprime_pct: (msprime.stretch / ms_plan.stretch_ms - 1.0)
-                    * 100.0,
+                improvement_over_msprime_pct: (msprime.stretch / ms_plan.stretch_ms - 1.0) * 100.0,
                 improvement_over_msprime_few_pct: msprime_few
                     .map(|pt| (pt.stretch / ms_plan.stretch_ms - 1.0) * 100.0),
                 m: ms_plan.m,

@@ -50,10 +50,14 @@ impl HeteroCluster {
         let mut seen = vec![false; speeds.len()];
         for &i in &masters {
             if i >= speeds.len() {
-                return Err(ModelError::BadTopology(format!("master index {i} out of range")));
+                return Err(ModelError::BadTopology(format!(
+                    "master index {i} out of range"
+                )));
             }
             if seen[i] {
-                return Err(ModelError::BadTopology(format!("duplicate master index {i}")));
+                return Err(ModelError::BadTopology(format!(
+                    "duplicate master index {i}"
+                )));
             }
             seen[i] = true;
         }
@@ -80,7 +84,9 @@ impl HeteroCluster {
     /// with fractional "node counts" `S_L`.
     pub fn evaluate(&self, w: &Workload, theta: f64) -> Result<HeteroPoint, ModelError> {
         if !(0.0..=1.0).contains(&theta) {
-            return Err(ModelError::BadTopology(format!("theta {theta} not in [0,1]")));
+            return Err(ModelError::BadTopology(format!(
+                "theta {theta} not in [0,1]"
+            )));
         }
         let cap_m = self.master_capacity();
         let cap_s = self.slave_capacity();
@@ -106,7 +112,11 @@ impl HeteroCluster {
     /// The beats-everything operating θ by golden-section search over the
     /// stable range.
     pub fn theta_opt(&self, w: &Workload) -> Option<(f64, f64)> {
-        let f = |t: f64| self.evaluate(w, t).map(|p| p.stretch).unwrap_or(f64::INFINITY);
+        let f = |t: f64| {
+            self.evaluate(w, t)
+                .map(|p| p.stretch)
+                .unwrap_or(f64::INFINITY)
+        };
         let phi = (5f64.sqrt() - 1.0) / 2.0;
         let (mut a, mut b) = (0.0f64, 1.0f64);
         let mut x1 = b - phi * (b - a);

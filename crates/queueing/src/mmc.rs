@@ -84,15 +84,13 @@ impl PooledModel {
     pub fn evaluate(w: &Workload, p: usize) -> Result<PooledModel, ModelError> {
         let lambda = w.lambda();
         // Aggregate mean service time of the two-class mix.
-        let mean_service =
-            (w.lambda_h * w.demand_h() + w.lambda_c * w.demand_c()) / lambda;
+        let mean_service = (w.lambda_h * w.demand_h() + w.lambda_c * w.demand_c()) / lambda;
         let offered = lambda * mean_service;
         let wait_units = mmc_wait_over_service(p, offered)?;
         let wait_s = wait_units * mean_service;
         let stretch_static = 1.0 + wait_s / w.demand_h();
         let stretch_dynamic = 1.0 + wait_s / w.demand_c();
-        let stretch =
-            (w.lambda_h * stretch_static + w.lambda_c * stretch_dynamic) / lambda;
+        let stretch = (w.lambda_h * stretch_static + w.lambda_c * stretch_dynamic) / lambda;
         Ok(PooledModel {
             wait_s,
             stretch_static,

@@ -303,9 +303,7 @@ mod tests {
         for m_count in [4, 6, 8, 12, 16] {
             let model = MsModel::new(w(), 32, m_count).unwrap();
             let iv = model.theta_interval().unwrap();
-            let g = |t: f64| {
-                iv.a_coef * t * t + iv.b_coef * t + iv.c_coef
-            };
+            let g = |t: f64| iv.a_coef * t * t + iv.b_coef * t + iv.c_coef;
             // Both roots satisfy the quadratic.
             assert!(
                 g(iv.theta2).abs() < 1e-6,
@@ -401,6 +399,12 @@ mod tests {
         // once theta pushes dynamic load on it too.
         let model = MsModel::new(w(), 32, 1).unwrap();
         let err = model.evaluate(1.0).unwrap_err();
-        assert!(matches!(err, ModelError::Unstable { station: "master", .. }));
+        assert!(matches!(
+            err,
+            ModelError::Unstable {
+                station: "master",
+                ..
+            }
+        ));
     }
 }

@@ -71,8 +71,7 @@ impl MsPrimeModel {
         // dynamic work, the rest run on pure static nodes.
         let k_frac = k as f64 / p;
         let s_h = k_frac * s_dyn + (1.0 - k_frac) * s_stat;
-        let stretch =
-            (w.lambda_h * s_h + w.lambda_c * s_dyn) / w.lambda();
+        let stretch = (w.lambda_h * s_h + w.lambda_c * s_dyn) / w.lambda();
         Ok(MsPrimePoint {
             k,
             rho_dynamic,

@@ -47,7 +47,10 @@ impl std::fmt::Display for ModelError {
             ModelError::Unstable {
                 utilisation,
                 station,
-            } => write!(f, "{station} queue unstable (utilisation {utilisation:.4} >= 1)"),
+            } => write!(
+                f,
+                "{station} queue unstable (utilisation {utilisation:.4} >= 1)"
+            ),
         }
     }
 }

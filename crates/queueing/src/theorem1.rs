@@ -198,7 +198,10 @@ mod tests {
             );
             last = imp;
         }
-        assert!(last > 5.0, "expected substantial improvement at 1/r=80, got {last}");
+        assert!(
+            last > 5.0,
+            "expected substantial improvement at 1/r=80, got {last}"
+        );
     }
 
     #[test]

@@ -13,9 +13,9 @@ use proptest::prelude::*;
 /// Random workloads that keep a 32-node flat cluster comfortably stable.
 fn stable_workload() -> impl Strategy<Value = Workload> {
     (
-        100.0f64..3000.0,  // lambda
-        0.05f64..0.9,      // a
-        0.002f64..0.2,     // r
+        100.0f64..3000.0, // lambda
+        0.05f64..0.9,     // a
+        0.002f64..0.2,    // r
     )
         .prop_filter_map("cluster must be stable", |(lambda, a, r)| {
             let w = Workload::from_ratios(lambda, a, 1200.0, r).ok()?;

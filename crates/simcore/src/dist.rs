@@ -68,13 +68,19 @@ pub struct Exponential {
 impl Exponential {
     /// From a rate (events per unit time). Must be positive and finite.
     pub fn from_rate(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "bad exponential rate {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "bad exponential rate {rate}"
+        );
         Exponential { rate }
     }
 
     /// From a mean. Must be positive and finite.
     pub fn from_mean(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "bad exponential mean {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "bad exponential mean {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 }
@@ -129,7 +135,8 @@ impl Distribution for BoundedPareto {
             // alpha = 1 limit: mean = ln(h/l) * l*h/(h-l)
             (h.ln() - l.ln()) * l * h / (h - l)
         } else {
-            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
                 * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
         }
     }
@@ -154,7 +161,10 @@ impl ShiftedExponential {
     /// deterministic floor.
     pub fn from_mean(mean: f64, floor_frac: f64) -> Self {
         assert!(mean > 0.0 && mean.is_finite(), "bad mean {mean}");
-        assert!((0.0..1.0).contains(&floor_frac), "bad floor fraction {floor_frac}");
+        assert!(
+            (0.0..1.0).contains(&floor_frac),
+            "bad floor fraction {floor_frac}"
+        );
         ShiftedExponential {
             floor: mean * floor_frac,
             exp: Exponential::from_mean(mean * (1.0 - floor_frac)),
@@ -470,9 +480,7 @@ mod tests {
         let d = Empirical::from_weighted(&[(1.0, 9.0), (100.0, 1.0)]);
         assert!((d.mean() - 10.9).abs() < 1e-9);
         let mut rng = SimRng::seed_from_u64(10);
-        let big = (0..100_000)
-            .filter(|_| d.sample(&mut rng) == 100.0)
-            .count();
+        let big = (0..100_000).filter(|_| d.sample(&mut rng) == 100.0).count();
         let freq = big as f64 / 100_000.0;
         assert!((freq - 0.1).abs() < 0.01, "freq {freq}");
     }

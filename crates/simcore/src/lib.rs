@@ -34,8 +34,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use dist::{BoundedPareto, Constant, Dist, Distribution, Empirical, Exponential, LogNormal,
-               ShiftedExponential, Uniform};
+pub use dist::{
+    BoundedPareto, Constant, Dist, Distribution, Empirical, Exponential, LogNormal,
+    ShiftedExponential, Uniform,
+};
 pub use event::{EventId, EventQueue};
 pub use pool::{effective_workers, parallel_map};
 pub use rng::{split_seed, SimRng};

@@ -88,7 +88,11 @@ mod tests {
         let f = |i: usize, x: &u64| (i as u64) * 1_000 + x * 3;
         let sequential: Vec<u64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
         for workers in [0, 1, 2, 3, 8, 64, 200] {
-            assert_eq!(parallel_map(&items, workers, f), sequential, "workers={workers}");
+            assert_eq!(
+                parallel_map(&items, workers, f),
+                sequential,
+                "workers={workers}"
+            );
         }
     }
 

@@ -84,7 +84,7 @@ fn month_number(m: &str) -> Option<u32> {
         "Oct" => Some(10),
         "Nov" => Some(11),
         "Dec" => Some(12),
-    _ => None,
+        _ => None,
     }
 }
 
@@ -144,9 +144,10 @@ pub fn parse_clf(text: &str) -> Result<Vec<ClfRecord>, ClfError> {
         };
         // host ident user [timestamp] "request" status bytes
         let ts_start = line.find('[').ok_or_else(|| err("missing timestamp"))?;
-        let ts_end = line.find(']').ok_or_else(|| err("missing timestamp close"))?;
-        let abs = parse_timestamp(&line[ts_start..=ts_end])
-            .ok_or_else(|| err("bad timestamp"))?;
+        let ts_end = line
+            .find(']')
+            .ok_or_else(|| err("missing timestamp close"))?;
+        let abs = parse_timestamp(&line[ts_start..=ts_end]).ok_or_else(|| err("bad timestamp"))?;
         let rest = &line[ts_end + 1..];
         let q1 = rest.find('"').ok_or_else(|| err("missing request"))?;
         let q2 = rest[q1 + 1..]
@@ -212,9 +213,7 @@ pub fn records_to_trace(
             let class = r.class();
             let dem = match class {
                 RequestClass::Static => ServiceDemand {
-                    service: SimDuration::from_secs_f64(
-                        static_service.sample(&mut rng).max(1e-6),
-                    ),
+                    service: SimDuration::from_secs_f64(static_service.sample(&mut rng).max(1e-6)),
                     cpu_fraction: demand.static_w,
                     memory_bytes: r.bytes.max(512),
                 },
@@ -410,7 +409,10 @@ mod tests {
         // aggregate structure instead of per-index identity.
         let so = orig.summary();
         let sb = back.summary();
-        assert!((so.cgi_pct - sb.cgi_pct).abs() < 1e-9, "class mix preserved");
+        assert!(
+            (so.cgi_pct - sb.cgi_pct).abs() < 1e-9,
+            "class mix preserved"
+        );
         assert!((so.mean_interval_s - sb.mean_interval_s).abs() < 0.1);
         let mut last = SimTime::ZERO;
         for r in &back.requests {
@@ -433,7 +435,8 @@ mod tests {
 
     #[test]
     fn ipv6_hosts_and_https_paths() {
-        let line = r#"2001:db8::1 - - [01/Jan/1999:12:00:00 +0000] "GET /a/b/c.html HTTP/1.1" 200 99"#;
+        let line =
+            r#"2001:db8::1 - - [01/Jan/1999:12:00:00 +0000] "GET /a/b/c.html HTTP/1.1" 200 99"#;
         let recs = parse_clf(line).unwrap();
         assert_eq!(recs[0].path, "/a/b/c.html");
         assert_eq!(recs[0].class(), RequestClass::Static);

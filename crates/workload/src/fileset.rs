@@ -22,10 +22,10 @@ pub struct FileSet {
 
 /// Class boundaries in bytes (upper bounds, inclusive).
 const CLASS_BOUNDS: [(u64, u64); 4] = [
-    (102, 1_024),          // class 0: up to 1 KB
-    (1_025, 10_240),       // class 1: 1–10 KB
-    (10_241, 102_400),     // class 2: 10–100 KB
-    (102_401, 1_024_000),  // class 3: 0.1–1 MB
+    (102, 1_024),         // class 0: up to 1 KB
+    (1_025, 10_240),      // class 1: 1–10 KB
+    (10_241, 102_400),    // class 2: 10–100 KB
+    (102_401, 1_024_000), // class 3: 0.1–1 MB
 ];
 
 /// SPECweb96 access mix per class.
@@ -135,11 +135,7 @@ mod tests {
         assert!(fs.sizes().windows(2).all(|w| w[0] <= w[1]));
         // Ten per class.
         for (c, &(lo, hi)) in CLASS_BOUNDS.iter().enumerate() {
-            let in_class = fs
-                .sizes()
-                .iter()
-                .filter(|&&s| s >= lo && s <= hi)
-                .count();
+            let in_class = fs.sizes().iter().filter(|&&s| s >= lo && s <= hi).count();
             assert_eq!(in_class, 10, "class {c} has {in_class} files");
         }
     }

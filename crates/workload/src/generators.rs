@@ -265,8 +265,7 @@ impl ArrivalSampler {
                 if self.on {
                     self.base_rate * burst_mult
                 } else {
-                    self.base_rate * (1.0 - on_fraction * burst_mult).max(0.0)
-                        / (1.0 - on_fraction)
+                    self.base_rate * (1.0 - on_fraction * burst_mult).max(0.0) / (1.0 - on_fraction)
                 }
             }
         }
@@ -394,8 +393,7 @@ impl TraceSpec {
         // cost. Without the floor, exponential demands put mass near zero
         // where the stretch metric (response/demand) is unboundedly
         // sensitive to any queueing delay.
-        let static_service =
-            ShiftedExponential::from_mean(demand.static_mean.as_secs_f64(), 0.3);
+        let static_service = ShiftedExponential::from_mean(demand.static_mean.as_secs_f64(), 0.3);
 
         let zipf = demand
             .query_popularity
@@ -557,7 +555,11 @@ mod tests {
         let t = ucb().generate(2_000, &DemandModel::simulation(20.0), 9);
         for r in &t.requests {
             if !r.class.is_dynamic() {
-                assert!(fs.sizes().contains(&r.bytes), "unknown file size {}", r.bytes);
+                assert!(
+                    fs.sizes().contains(&r.bytes),
+                    "unknown file size {}",
+                    r.bytes
+                );
             }
         }
     }

@@ -80,7 +80,10 @@ impl Trace {
     /// the cluster at various fast rates"). Relative spacing (burstiness)
     /// is preserved; ids, classes, sizes, demands are untouched.
     pub fn scaled_to_rate(&self, lambda: f64) -> Trace {
-        assert!(lambda > 0.0 && lambda.is_finite(), "bad target rate {lambda}");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "bad target rate {lambda}"
+        );
         let current = self.mean_rate();
         if current <= 0.0 {
             // Zero-span trace: space arrivals uniformly at the target rate.
@@ -97,7 +100,11 @@ impl Trace {
             return Trace::new(self.name.clone(), requests);
         }
         let factor = current / lambda;
-        let t0 = self.requests.first().map(|r| r.arrival).unwrap_or(SimTime::ZERO);
+        let t0 = self
+            .requests
+            .first()
+            .map(|r| r.arrival)
+            .unwrap_or(SimTime::ZERO);
         let requests = self
             .requests
             .iter()
@@ -123,8 +130,12 @@ impl Trace {
     /// consolidating several sites' logs onto one cluster (the paper's
     /// motivation for recruiting shared infrastructure).
     pub fn merged(&self, other: &Trace) -> Trace {
-        let mut requests: Vec<Request> =
-            self.requests.iter().chain(&other.requests).copied().collect();
+        let mut requests: Vec<Request> = self
+            .requests
+            .iter()
+            .chain(&other.requests)
+            .copied()
+            .collect();
         requests.sort_by_key(|r| r.arrival);
         for (i, r) in requests.iter_mut().enumerate() {
             r.id = i as u64;
@@ -161,7 +172,11 @@ impl Trace {
         } else {
             0.0
         };
-        let cgi_frac = if n > 0 { cgi.len() as f64 / n as f64 } else { 0.0 };
+        let cgi_frac = if n > 0 {
+            cgi.len() as f64 / n as f64
+        } else {
+            0.0
+        };
         TraceSummary {
             name: self.name.clone(),
             requests: n,
@@ -184,7 +199,13 @@ mod tests {
     use crate::request::{RequestClass, ServiceDemand};
 
     fn req(id: u64, at_ms: u64, class: RequestClass, bytes: u64) -> Request {
-        Request::new(id, SimTime::from_millis(at_ms), class, bytes, ServiceDemand::ZERO)
+        Request::new(
+            id,
+            SimTime::from_millis(at_ms),
+            class,
+            bytes,
+            ServiceDemand::ZERO,
+        )
     }
 
     fn sample_trace() -> Trace {
@@ -219,7 +240,11 @@ mod tests {
     #[test]
     fn scaling_hits_target_rate() {
         let t = sample_trace().scaled_to_rate(100.0);
-        assert!((t.mean_rate() - 100.0).abs() < 0.1, "rate {}", t.mean_rate());
+        assert!(
+            (t.mean_rate() - 100.0).abs() < 0.1,
+            "rate {}",
+            t.mean_rate()
+        );
         assert_eq!(t.len(), 4);
         // Relative spacing preserved: uniform intervals stay uniform.
         let gaps: Vec<_> = t

@@ -13,8 +13,8 @@
 //! cargo run --release --example adaptive_reservation
 //! ```
 
-use msweb::prelude::*;
 use msweb::cluster::reservation::admission_cap;
+use msweb::prelude::*;
 
 fn main() {
     // Directly exercise the controller the way the cluster does, with a

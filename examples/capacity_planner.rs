@@ -16,29 +16,46 @@ fn main() {
     let inv_r: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40.0);
     let p: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(32);
 
-    let w = Workload::from_ratios(lambda, a, 1200.0, 1.0 / inv_r)
-        .expect("invalid workload parameters");
-    println!("workload: λ={lambda}/s, a={a} (CGI share {:.1}%), 1/r={inv_r}, p={p}",
-        100.0 * a / (1.0 + a));
-    println!("offered load: {:.2} Erlangs ({:.1}% of cluster)\n",
+    let w =
+        Workload::from_ratios(lambda, a, 1200.0, 1.0 / inv_r).expect("invalid workload parameters");
+    println!(
+        "workload: λ={lambda}/s, a={a} (CGI share {:.1}%), 1/r={inv_r}, p={p}",
+        100.0 * a / (1.0 + a)
+    );
+    println!(
+        "offered load: {:.2} Erlangs ({:.1}% of cluster)\n",
         w.offered_load(),
-        100.0 * w.offered_load() / p as f64);
+        100.0 * w.offered_load() / p as f64
+    );
 
     match FlatModel::evaluate(&w, p) {
-        Ok(flat) => println!("flat cluster:   stretch {:.3} at {:.1}% node utilisation",
-            flat.stretch, flat.utilisation * 100.0),
+        Ok(flat) => println!(
+            "flat cluster:   stretch {:.3} at {:.1}% node utilisation",
+            flat.stretch,
+            flat.utilisation * 100.0
+        ),
         Err(e) => println!("flat cluster:   UNSTABLE ({e})"),
     }
 
     match plan(&w, p, ThetaRule::Midpoint) {
         Ok(plan) => {
-            println!("M/S (Theorem 1): m = {} masters, θ = {:.3}", plan.m, plan.theta);
-            println!("                stretch {:.3}  ({:+.1}% vs flat)",
-                plan.stretch_ms, plan.improvement_over_flat_pct());
-            println!("                beats-flat interval θ ∈ [{:.3}, {:.3}]",
-                plan.interval.theta1, plan.interval.theta2);
-            println!("                runtime reservation bound θ2* = {:.3}",
-                reservation_bound(plan.m, p, a, 1.0 / inv_r));
+            println!(
+                "M/S (Theorem 1): m = {} masters, θ = {:.3}",
+                plan.m, plan.theta
+            );
+            println!(
+                "                stretch {:.3}  ({:+.1}% vs flat)",
+                plan.stretch_ms,
+                plan.improvement_over_flat_pct()
+            );
+            println!(
+                "                beats-flat interval θ ∈ [{:.3}, {:.3}]",
+                plan.interval.theta1, plan.interval.theta2
+            );
+            println!(
+                "                runtime reservation bound θ2* = {:.3}",
+                reservation_bound(plan.m, p, a, 1.0 / inv_r)
+            );
         }
         Err(e) => println!("M/S:            no feasible configuration ({e})"),
     }
@@ -47,15 +64,28 @@ fn main() {
     println!("\nper-m analytic stretch (midpoint θ rule):");
     println!("{:>4} {:>8} {:>10} {:>10}", "m", "θ_m", "S_M", "vs flat");
     for m in 1..p {
-        let Ok(model) = MsModel::new(w, p, m) else { continue };
-        let Ok(iv) = model.theta_interval() else { continue };
+        let Ok(model) = MsModel::new(w, p, m) else {
+            continue;
+        };
+        let Ok(iv) = model.theta_interval() else {
+            continue;
+        };
         let theta = iv.theta_mid().clamp(0.0, 1.0);
-        let Ok(pt) = model.evaluate(theta) else { continue };
-        let flat = FlatModel::evaluate(&w, p).map(|f| f.stretch).unwrap_or(f64::INFINITY);
+        let Ok(pt) = model.evaluate(theta) else {
+            continue;
+        };
+        let flat = FlatModel::evaluate(&w, p)
+            .map(|f| f.stretch)
+            .unwrap_or(f64::INFINITY);
         // Print every fourth m plus the extremes to keep the table short.
         if m == 1 || m == p - 1 || m % (p / 8).max(1) == 0 {
-            println!("{:>4} {:>8.3} {:>10.3} {:>9.1}%",
-                m, theta, pt.stretch, (flat / pt.stretch - 1.0) * 100.0);
+            println!(
+                "{:>4} {:>8.3} {:>10.3} {:>9.1}%",
+                m,
+                theta,
+                pt.stretch,
+                (flat / pt.stretch - 1.0) * 100.0
+            );
         }
     }
 }

@@ -37,8 +37,7 @@ fn main() {
     );
 
     let demand = DemandModel::simulation(40.0);
-    let trace = clf::records_to_trace("imported", &records, &demand, kind, 7)
-        .scaled_to_rate(800.0);
+    let trace = clf::records_to_trace("imported", &records, &demand, kind, 7).scaled_to_rate(800.0);
     let s = trace.summary();
     println!(
         "workload: {:.1}% CGI (a = {:.2}), replayed at {:.0} req/s\n",
@@ -49,7 +48,11 @@ fn main() {
 
     let m = plan_masters(16, 800.0, s.arrival_ratio_a.max(0.01), 1.0 / 40.0, 1200.0);
     println!("Theorem 1 plans m = {m} masters of 16 nodes\n");
-    for policy in [PolicyKind::Flat, PolicyKind::MasterSlave, PolicyKind::Switch] {
+    for policy in [
+        PolicyKind::Flat,
+        PolicyKind::MasterSlave,
+        PolicyKind::Switch,
+    ] {
         let cfg = ClusterConfig::simulation(16, policy).with_masters(m);
         let r = run_policy(cfg, &trace);
         println!(

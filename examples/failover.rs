@@ -34,16 +34,27 @@ fn main() {
         restart_dynamic: true,
         recover_at: Some(recover_at),
     }]);
-    let mut sim = ClusterSim::new(cfg, spec.arrival_ratio_a(), 1.0 / 40.0)
-        .with_failures(plan);
+    let mut sim = ClusterSim::new(cfg, spec.arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
     let failed = sim.run(&trace);
 
     println!();
     println!("{:<26} {:>10} {:>10}", "", "healthy", "with crash");
-    println!("{:<26} {:>10.3} {:>10.3}", "stretch", baseline.stretch, failed.stretch);
-    println!("{:<26} {:>10} {:>10}", "completed", baseline.completed, failed.completed);
-    println!("{:<26} {:>10} {:>10}", "restarted", baseline.restarted, failed.restarted);
-    println!("{:<26} {:>10} {:>10}", "dropped", baseline.dropped, failed.dropped);
+    println!(
+        "{:<26} {:>10.3} {:>10.3}",
+        "stretch", baseline.stretch, failed.stretch
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "completed", baseline.completed, failed.completed
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "restarted", baseline.restarted, failed.restarted
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "dropped", baseline.dropped, failed.dropped
+    );
     println!();
     println!(
         "slave 6 died at {:.1}s and recovered at {:.1}s; every dynamic request",

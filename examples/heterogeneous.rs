@@ -55,8 +55,14 @@ fn main() {
     let slow_masters = run_with(true);
     let fast_masters = run_with(false);
     println!();
-    println!("simulated stretch, slow boxes as masters: {:.3}", slow_masters.stretch);
-    println!("simulated stretch, fast boxes as masters: {:.3}", fast_masters.stretch);
+    println!(
+        "simulated stretch, slow boxes as masters: {:.3}",
+        slow_masters.stretch
+    );
+    println!(
+        "simulated stretch, fast boxes as masters: {:.3}",
+        fast_masters.stretch
+    );
     println!();
     if slow_masters.stretch <= fast_masters.stretch {
         println!("=> the analytic intuition holds: static requests are cheap, so");

@@ -13,10 +13,12 @@ fn main() {
     let spec = ucb();
     let demand = DemandModel::simulation(40.0);
     let trace = spec.generate(10_000, &demand, 42).scaled_to_rate(250.0);
-    println!("workload: {} requests, {:.1}% CGI, {:.0} req/s",
+    println!(
+        "workload: {} requests, {:.1}% CGI, {:.0} req/s",
         trace.len(),
         trace.summary().cgi_pct,
-        trace.mean_rate());
+        trace.mean_rate()
+    );
 
     // 2. Ask Theorem 1 how many of the 8 nodes should be masters.
     let m = plan_masters(8, 250.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
@@ -32,8 +34,14 @@ fn main() {
     println!();
     println!("            {:>10} {:>10}", "Flat", "M/S");
     println!("stretch     {:>10.3} {:>10.3}", flat.stretch, ms.stretch);
-    println!("  static    {:>10.3} {:>10.3}", flat.stretch_static, ms.stretch_static);
-    println!("  dynamic   {:>10.3} {:>10.3}", flat.stretch_dynamic, ms.stretch_dynamic);
+    println!(
+        "  static    {:>10.3} {:>10.3}",
+        flat.stretch_static, ms.stretch_static
+    );
+    println!(
+        "  dynamic   {:>10.3} {:>10.3}",
+        flat.stretch_dynamic, ms.stretch_dynamic
+    );
     println!();
     println!(
         "M/S improves the mean stretch factor by {:.1}%",

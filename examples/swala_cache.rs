@@ -18,7 +18,9 @@ fn run(trace: &Trace, cache: Option<CacheConfig>, m: usize) -> (RunSummary, Opti
     cfg.cache = cache; // Option on purpose: None is the uncached baseline.
     let mut sim = msweb::cluster::ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
     let summary = sim.run(trace);
-    let ratio = sim.cache_stats().map(|(h, mi, _, _)| h as f64 / (h + mi).max(1) as f64);
+    let ratio = sim
+        .cache_stats()
+        .map(|(h, mi, _, _)| h as f64 / (h + mi).max(1) as f64);
     (summary, ratio)
 }
 
@@ -28,12 +30,27 @@ fn main() {
     let m = plan_masters(16, lambda, adl().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
     println!("ADL-like workload, 16 nodes, m = {m}, λ = {lambda}/s, r = 1/40\n");
 
-    println!("{:<34} {:>9} {:>10}", "configuration", "stretch", "hit ratio");
+    println!(
+        "{:<34} {:>9} {:>10}",
+        "configuration", "stretch", "hit ratio"
+    );
     for (label, zipf_s, cache) in [
         ("no cache", 1.0, None),
-        ("cache, uniform queries (s=0)", 0.0, Some(CacheConfig::default_swala())),
-        ("cache, mild skew (s=0.8)", 0.8, Some(CacheConfig::default_swala())),
-        ("cache, strong skew (s=1.2)", 1.2, Some(CacheConfig::default_swala())),
+        (
+            "cache, uniform queries (s=0)",
+            0.0,
+            Some(CacheConfig::default_swala()),
+        ),
+        (
+            "cache, mild skew (s=0.8)",
+            0.8,
+            Some(CacheConfig::default_swala()),
+        ),
+        (
+            "cache, strong skew (s=1.2)",
+            1.2,
+            Some(CacheConfig::default_swala()),
+        ),
     ] {
         let demand = DemandModel::simulation(40.0).with_query_popularity(2_000, zipf_s);
         let trace = adl().generate(12_000, &demand, 31).scaled_to_rate(lambda);
@@ -42,7 +59,9 @@ fn main() {
             "{:<34} {:>9.3} {:>9}",
             label,
             s.stretch,
-            ratio.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "-".into())
+            ratio
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "-".into())
         );
     }
 
@@ -60,7 +79,9 @@ fn main() {
             "{:<14} {:>9.3} {:>9}",
             format!("{ttl_s} s"),
             s.stretch,
-            ratio.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_default()
+            ratio
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_default()
         );
     }
     println!(

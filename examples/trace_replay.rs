@@ -39,7 +39,10 @@ fn main() {
             .generate(n, &DemandModel::simulation(inv_r), 7)
             .scaled_to_rate(lambda);
         let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
-        print!("{:<18}", format!("{} ({:.0}, {:.0})", spec.name, lambda, inv_r));
+        print!(
+            "{:<18}",
+            format!("{} ({:.0}, {:.0})", spec.name, lambda, inv_r)
+        );
         for pk in &policies {
             let cfg = ClusterConfig::simulation(p, *pk).with_masters(m);
             let s = run_policy(cfg, &trace);

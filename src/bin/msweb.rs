@@ -45,20 +45,29 @@ USAGE:
                   size the master level with Theorem 1
   msweb replay  --trace <ucb|ksu|adl|dec> --lambda <req/s> [--inv-r <1/r>]
                   [--p <nodes>] [--policy <name>] [--requests <n>] [--seed <s>]
+                  [--trace-decisions <path>]
                   simulate a policy on a synthetic Table-1 trace
   msweb import  --log <file> [--lambda <req/s>] [--p <nodes>] [--requests <n>]
                   replay your own Common Log Format access log
   msweb traces    print the built-in trace characteristics (Table 1)
   msweb live    [--rate <req/s>] [--requests <n>] [--scale <x>]
+                  [--trace-decisions <path>]
                   run the thread-backed live cluster (6 nodes)
   msweb experiments [--id <experiment>] [--jobs <n>] [--json <path>]
-                  [--quick] [--seed <s>]
+                  [--quick] [--seed <s>] [--trace-decisions <path>]
                   regenerate the paper's tables/figures through the
                   parallel sweep runner (default: all experiments on all
                   cores; ids: fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3
                   ablation)
 
-Policies: Flat, M/S, M/S-ns, M/S-nr, M/S-1, M/S', Redirect, Switch"
+--trace-decisions logs every scheduling decision (entry node, candidate
+set, per-candidate RSRC scores, reservation state, chosen node, transfer
+latency) as one JSON object per line. The schema is identical whether
+the records come from the simulator (replay/experiments) or the live
+cluster (live/experiments tab3).
+
+Policies: Flat, M/S, M/S-ns, M/S-nr, M/S-1, M/S', Redirect, Switch
+(slugs flat, ms, ms-ns, ms-nr, ms-1, ms-prime, redirect, switch)"
     );
     std::process::exit(2);
 }
@@ -117,18 +126,33 @@ impl Flags {
 }
 
 fn policy_by_name(name: &str) -> PolicyKind {
-    match name {
-        "Flat" | "flat" => PolicyKind::Flat,
-        "M/S" | "ms" => PolicyKind::MasterSlave,
-        "M/S-ns" | "ms-ns" => PolicyKind::MsNoSampling,
-        "M/S-nr" | "ms-nr" => PolicyKind::MsNoReservation,
-        "M/S-1" | "ms-1" => PolicyKind::MsAllMasters,
-        "M/S'" | "ms-prime" => PolicyKind::MsPrime,
-        "Redirect" | "redirect" => PolicyKind::Redirect,
-        "Switch" | "switch" => PolicyKind::Switch,
-        other => {
-            eprintln!("unknown policy: {other}");
-            std::process::exit(2);
+    name.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// Open a decision log, truncating it; exits on I/O failure (an
+/// explicitly requested trace that cannot be written is an error, not a
+/// warning).
+fn decision_sink(path: &str) -> Box<dyn DecisionObserver> {
+    match JsonlSink::create(path) {
+        Ok(sink) => Box::new(sink),
+        Err(e) => {
+            eprintln!("cannot create --trace-decisions file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Open a decision log for appending (later runs of a multi-run
+/// command share the file).
+fn decision_sink_append(path: &str) -> Box<dyn DecisionObserver> {
+    match JsonlSink::append(path) {
+        Ok(sink) => Box::new(sink),
+        Err(e) => {
+            eprintln!("cannot open --trace-decisions file {path}: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -151,9 +175,18 @@ fn print_summary(label: &str, s: &RunSummary) {
     println!("  stretch          {:>10.3}", s.stretch);
     println!("  static stretch   {:>10.3}", s.stretch_static);
     println!("  dynamic stretch  {:>10.3}", s.stretch_dynamic);
-    println!("  median static    {:>9.1}ms", s.median_static_response_s * 1e3);
-    println!("  median dynamic   {:>9.1}ms", s.median_dynamic_response_s * 1e3);
-    println!("  p99 static       {:>9.1}ms", s.p99_static_response_s * 1e3);
+    println!(
+        "  median static    {:>9.1}ms",
+        s.median_static_response_s * 1e3
+    );
+    println!(
+        "  median dynamic   {:>9.1}ms",
+        s.median_dynamic_response_s * 1e3
+    );
+    println!(
+        "  p99 static       {:>9.1}ms",
+        s.p99_static_response_s * 1e3
+    );
     println!("  completed        {:>10}", s.completed);
     if s.cache_hits > 0 {
         println!("  cache hits       {:>10}", s.cache_hits);
@@ -181,7 +214,11 @@ fn cmd_plan(flags: &Flags) {
         100.0 * w.offered_load() / p as f64
     );
     match FlatModel::evaluate(&w, p) {
-        Ok(f) => println!("flat:  stretch {:.3} at {:.1}% utilisation", f.stretch, f.utilisation * 100.0),
+        Ok(f) => println!(
+            "flat:  stretch {:.3} at {:.1}% utilisation",
+            f.stretch,
+            f.utilisation * 100.0
+        ),
         Err(e) => println!("flat:  UNSTABLE ({e})"),
     }
     match plan(&w, p, ThetaRule::Midpoint) {
@@ -212,11 +249,16 @@ fn cmd_plan(flags: &Flags) {
 fn cmd_experiments(flags: &Flags) {
     let quick = flags.get("quick").is_some();
     let jobs = flags.usize("jobs", 0);
-    let mut exp = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let mut exp = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
     exp.seed = flags.num("seed", exp.seed as f64) as u64;
     let runner = ExperimentRunner::new(exp)
         .parallelism(jobs)
-        .live_time_scale(if quick { 0.3 } else { 1.0 });
+        .live_time_scale(if quick { 0.3 } else { 1.0 })
+        .trace_decisions(flags.get("trace-decisions").map(std::path::PathBuf::from));
 
     let ids: Vec<ExperimentId> = match flags.get("id") {
         Some(name) => match ExperimentId::parse(name) {
@@ -263,16 +305,20 @@ fn cmd_replay(flags: &Flags) {
         spec.name
     );
 
+    let log = flags.get("trace-decisions");
     match flags.get("policy") {
         Some(name) => {
             let policy = policy_by_name(name);
             let cfg = ClusterConfig::simulation(p, policy)
                 .with_masters(m)
                 .with_seed(seed);
-            let s = run_policy(cfg, &trace);
+            let s = run_policy_with_observer(cfg, &trace, log.map(decision_sink));
             print_summary(policy.label(), &s);
         }
         None => {
+            // Truncate the shared log once, then let every policy's
+            // replay append to it.
+            let mut first = true;
             for policy in [
                 PolicyKind::Flat,
                 PolicyKind::MasterSlave,
@@ -283,10 +329,21 @@ fn cmd_replay(flags: &Flags) {
                 let cfg = ClusterConfig::simulation(p, policy)
                     .with_masters(m)
                     .with_seed(seed);
-                let s = run_policy(cfg, &trace);
+                let observer = log.map(|path| {
+                    if first {
+                        decision_sink(path)
+                    } else {
+                        decision_sink_append(path)
+                    }
+                });
+                first = false;
+                let s = run_policy_with_observer(cfg, &trace, observer);
                 println!("{:<9} stretch {:>8.3}", policy.label(), s.stretch);
             }
         }
+    }
+    if let Some(path) = log {
+        println!("\ndecision log written to {path}");
     }
 }
 
@@ -322,7 +379,11 @@ fn cmd_import(flags: &Flags) {
     );
     let a = s.arrival_ratio_a.clamp(0.01, 10.0);
     let m = plan_masters(p, trace.mean_rate(), a, 1.0 / 40.0, 1200.0);
-    for policy in [PolicyKind::Flat, PolicyKind::MasterSlave, PolicyKind::Switch] {
+    for policy in [
+        PolicyKind::Flat,
+        PolicyKind::MasterSlave,
+        PolicyKind::Switch,
+    ] {
         let cfg = ClusterConfig::simulation(p, policy).with_masters(m);
         let r = run_policy(cfg, &trace);
         println!("{:<9} stretch {:>8.3}", policy.label(), r.stretch);
@@ -362,10 +423,30 @@ fn cmd_live(flags: &Flags) {
          (expect ~{:.0}s wall)\n",
         n as f64 / rate * scale
     );
+    let log = flags.get("trace-decisions");
+    let mut first = true;
     for (policy, m) in [(PolicyKind::Flat, 1), (PolicyKind::MasterSlave, 3)] {
         let mut cfg = LiveConfig::sun_cluster(policy, m);
         cfg.time_scale = scale;
-        let s = run_live(&cfg, &trace);
+        let s = match log {
+            Some(path) => {
+                // The live path and the simulator share one scheduler
+                // type, so tracing works identically: build the run's
+                // scheduler, install the sink, hand it to the replay.
+                let mut scheduler = live_scheduler(&cfg, &trace);
+                scheduler.set_observer(Some(if first {
+                    decision_sink(path)
+                } else {
+                    decision_sink_append(path)
+                }));
+                run_live_with(&cfg, &trace, scheduler)
+            }
+            None => run_live(&cfg, &trace),
+        };
+        first = false;
         println!("{:<9} live stretch {:>8.3}", policy.label(), s.stretch);
+    }
+    if let Some(path) = log {
+        println!("\ndecision log written to {path}");
     }
 }

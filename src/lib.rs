@@ -18,7 +18,7 @@
 //! | [`workload`] | Table 1 trace generators, SPECweb96 file set, CGI models |
 //! | [`cluster`] | the contribution: dispatcher, RSRC, reservation, simulator |
 //! | [`emu`] | live thread-backed cluster (the Sun-prototype substitute) |
-//! | [`bench`] | the experiment suite: parallel sweeps, the typed [`ExperimentRunner`](bench::ExperimentRunner) |
+//! | [`bench`](mod@bench) | the experiment suite: parallel sweeps, the typed [`ExperimentRunner`](bench::ExperimentRunner) |
 //!
 //! ## Quickstart
 //!
@@ -61,11 +61,14 @@ pub use msweb_workload as workload;
 pub mod prelude {
     pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
-        plan_masters, run_policy, table2_grid, ClusterConfig, ClusterSim, ConfigError,
-        Dispatcher, FailureEvent, FailurePlan, GridCell, Level, LoadMonitor, MasterSelection,
-        Metrics, PolicyKind, ReservationController, RsrcPredictor, RunSummary,
+        plan_masters, run_policy, run_policy_with_observer, table2_grid, ClusterConfig, ClusterSim,
+        CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher,
+        DynScheduler, FailureEvent, FailurePlan, GridCell, JsonlSink, Level, LoadMonitor,
+        MasterSelection, Metrics, Placement, PlacementError, PolicyKind, PolicyScheduler,
+        ReservationController, RsrcPredictor, RunSummary, Schedule, Scheduler, SchedulerRegistry,
+        StageSpec,
     };
-    pub use msweb_emu::{run_live, LiveConfig};
+    pub use msweb_emu::{live_scheduler, run_live, run_live_with, LiveConfig};
     pub use msweb_ossim::{DemandSpec, Node, OsParams};
     pub use msweb_queueing::{
         figure3, plan, reservation_bound, Fig3Config, FlatModel, HeteroCluster, MsModel,

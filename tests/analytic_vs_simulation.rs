@@ -43,7 +43,10 @@ fn simulation_tracks_analytic_shape_across_load() {
         let sim = simulated_flat(lambda, 20.0, 40.0, 32, 7);
         let ana = analytic_flat(lambda, 20.0, 40.0, 32);
         // Monotone in load.
-        assert!(sim >= last_sim - 0.05, "simulated stretch dipped at λ={lambda}");
+        assert!(
+            sim >= last_sim - 0.05,
+            "simulated stretch dipped at λ={lambda}"
+        );
         last_sim = sim;
         // Same order of magnitude as the analytic prediction; the MLFQ
         // substrate penalises small requests more than PS, so allow the

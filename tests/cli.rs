@@ -28,7 +28,11 @@ fn unknown_subcommand_fails() {
 #[test]
 fn plan_prints_masters() {
     let out = msweb(&["plan", "--lambda", "1000", "--a", "0.25", "--inv-r", "40"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("masters"), "{text}");
     assert!(text.contains("vs flat"), "{text}");
@@ -53,10 +57,23 @@ fn traces_lists_all_four() {
 #[test]
 fn replay_single_policy() {
     let out = msweb(&[
-        "replay", "--trace", "ucb", "--lambda", "200", "--p", "8", "--requests", "800",
-        "--policy", "M/S",
+        "replay",
+        "--trace",
+        "ucb",
+        "--lambda",
+        "200",
+        "--p",
+        "8",
+        "--requests",
+        "800",
+        "--policy",
+        "M/S",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("stretch"), "{text}");
     assert!(text.contains("completed"), "{text}");
@@ -82,9 +99,19 @@ fn import_roundtrip_via_tempfile() {
     std::fs::write(&path, text).unwrap();
 
     let out = msweb(&[
-        "import", "--log", path.to_str().unwrap(), "--p", "8", "--lambda", "100",
+        "import",
+        "--log",
+        path.to_str().unwrap(),
+        "--p",
+        "8",
+        "--lambda",
+        "100",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("imported 300 requests"), "{stdout}");
     assert!(stdout.contains("M/S"), "{stdout}");
@@ -101,9 +128,18 @@ fn import_missing_file_fails_cleanly() {
 fn experiments_fig3a_quick_writes_json() {
     let path = std::env::temp_dir().join("msweb_cli_experiments.json");
     let out = msweb(&[
-        "experiments", "--id", "fig3a", "--quick", "--json", path.to_str().unwrap(),
+        "experiments",
+        "--id",
+        "fig3a",
+        "--quick",
+        "--json",
+        path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("FIG 3(a)"), "{stdout}");
     let json = std::fs::read_to_string(&path).unwrap();

@@ -36,11 +36,13 @@ fn crash_without_restart_drops_in_flight_work() {
         restart_dynamic: false,
         recover_at: None,
     }]);
-    let mut sim =
-        ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
+    let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
     let s = sim.run(&trace);
     assert_eq!(s.completed + s.dropped, 5_000);
-    assert!(s.dropped > 0, "a loaded slave should have held work when it died");
+    assert!(
+        s.dropped > 0,
+        "a loaded slave should have held work when it died"
+    );
     assert_eq!(s.restarted, 0);
 }
 
@@ -64,11 +66,55 @@ fn multiple_failures_still_account_for_everything() {
             recover_at: None,
         },
     ]);
-    let mut sim =
-        ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
+    let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
     let s = sim.run(&trace);
     assert_eq!(s.completed + s.dropped, 5_000);
     assert_eq!(s.dropped, 0, "restart-enabled crashes should drop nothing");
+}
+
+#[test]
+fn switch_crash_restarts_and_accounts_for_everything() {
+    // The L4-switch baseline has no master level; a crash must still
+    // restart the dead node's dynamics and complete the workload.
+    let trace = workload(5);
+    let cfg = ClusterConfig::simulation(8, PolicyKind::Switch);
+    let mid = SimTime::ZERO + trace.span().mul_f64(0.5);
+    let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0)
+        .with_failures(FailurePlan::crash(3, mid));
+    let s = sim.run(&trace);
+    assert_eq!(s.completed, 5_000, "dropped {}", s.dropped);
+    assert_eq!(s.dropped, 0);
+}
+
+#[test]
+fn redirect_crash_accounts_for_everything() {
+    // Redirection changes only who pays the transfer latency; fail-over
+    // accounting must be unaffected.
+    let trace = workload(6);
+    let mut cfg = ClusterConfig::simulation(8, PolicyKind::Redirect);
+    cfg.masters = MasterSelection::Fixed(3);
+    let span = trace.span();
+    let plan = FailurePlan::new(vec![
+        FailureEvent {
+            at: SimTime::ZERO + span.mul_f64(0.4),
+            node: 6,
+            restart_dynamic: true,
+            recover_at: Some(SimTime::ZERO + span.mul_f64(0.9)),
+        },
+        FailureEvent {
+            at: SimTime::ZERO + span.mul_f64(0.6),
+            node: 4,
+            restart_dynamic: false,
+            recover_at: None,
+        },
+    ]);
+    let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
+    let s = sim.run(&trace);
+    assert_eq!(s.completed + s.dropped, 5_000);
+    assert!(
+        s.restarted > 0,
+        "the restart-enabled crash should restart work"
+    );
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Behaviour-preservation golden tests: under a fixed root seed, every
+//! `PolicyKind` must produce a `RunSummary` byte-identical to the
+//! fixtures recorded from the pre-pipeline-refactor implementation.
+//!
+//! Regenerate the fixtures (only when a behaviour change is intended and
+//! reviewed) with:
+//!
+//! ```sh
+//! MSWEB_BLESS=1 cargo test --test golden_summaries
+//! ```
+
+use msweb::prelude::*;
+
+/// Filename-safe slug for each policy.
+fn slug(policy: PolicyKind) -> &'static str {
+    match policy {
+        PolicyKind::Flat => "flat",
+        PolicyKind::MasterSlave => "ms",
+        PolicyKind::MsNoSampling => "ms-ns",
+        PolicyKind::MsNoReservation => "ms-nr",
+        PolicyKind::MsAllMasters => "ms-1",
+        PolicyKind::MsPrime => "ms-prime",
+        PolicyKind::Redirect => "redirect",
+        PolicyKind::Switch => "switch",
+    }
+}
+
+const ALL_POLICIES: [PolicyKind; 8] = [
+    PolicyKind::Flat,
+    PolicyKind::MasterSlave,
+    PolicyKind::MsNoSampling,
+    PolicyKind::MsNoReservation,
+    PolicyKind::MsAllMasters,
+    PolicyKind::MsPrime,
+    PolicyKind::Redirect,
+    PolicyKind::Switch,
+];
+
+/// The fixed seed-state run every fixture captures.
+fn golden_run(policy: PolicyKind) -> RunSummary {
+    let trace = ucb()
+        .generate(1_500, &DemandModel::simulation(40.0), 7)
+        .scaled_to_rate(300.0);
+    let cfg = ClusterConfig::simulation(8, policy)
+        .with_masters(3)
+        .with_seed(11);
+    run_policy(cfg, &trace)
+}
+
+fn fixture_path(policy: PolicyKind) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(format!("{}.json", slug(policy)))
+}
+
+#[test]
+fn run_summaries_match_pre_refactor_fixtures() {
+    let bless = std::env::var_os("MSWEB_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for policy in ALL_POLICIES {
+        let got = serde::to_json_string_pretty(&golden_run(policy));
+        let path = fixture_path(policy);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {path:?}: {e}"));
+        if got != want {
+            mismatches.push(format!(
+                "{}: summary drifted from fixture {path:?}\n--- fixture\n{want}\n--- got\n{got}",
+                slug(policy)
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n\n"));
+}

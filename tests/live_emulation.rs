@@ -25,7 +25,11 @@ fn live_accounts_every_request_and_class() {
         s.completed,
         "class counts must partition completions"
     );
-    let cgi_in_trace = trace.requests.iter().filter(|r| r.class.is_dynamic()).count() as u64;
+    let cgi_in_trace = trace
+        .requests
+        .iter()
+        .filter(|r| r.class.is_dynamic())
+        .count() as u64;
     assert_eq!(s.completed_dynamic, cgi_in_trace);
 }
 

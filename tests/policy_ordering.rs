@@ -33,13 +33,18 @@ fn planned_m(spec: &TraceSpec, lambda: f64, inv_r: f64, p: usize) -> usize {
 fn ms_beats_flat_on_cgi_heavy_workloads() {
     for (spec, lambda, inv_r) in [(ucb(), 1000.0, 40.0), (ksu(), 500.0, 80.0)] {
         let m = planned_m(&spec, lambda, inv_r, 32);
-        let ms = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::MasterSlave, 1);
-        let flat = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::Flat, 1);
-        assert!(
-            ms < flat,
-            "{}: M/S {ms} should beat flat {flat}",
-            spec.name
+        let ms = stretch(
+            &spec,
+            8_000,
+            lambda,
+            inv_r,
+            32,
+            m,
+            PolicyKind::MasterSlave,
+            1,
         );
+        let flat = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::Flat, 1);
+        assert!(ms < flat, "{}: M/S {ms} should beat flat {flat}", spec.name);
     }
 }
 
@@ -50,13 +55,34 @@ fn ms_beats_no_reservation_across_seeds() {
     let m = planned_m(&spec, lambda, inv_r, p);
     let mut wins = 0;
     for seed in 1..=3 {
-        let ms = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, seed);
-        let nr = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MsNoReservation, seed);
+        let ms = stretch(
+            &spec,
+            8_000,
+            lambda,
+            inv_r,
+            p,
+            m,
+            PolicyKind::MasterSlave,
+            seed,
+        );
+        let nr = stretch(
+            &spec,
+            8_000,
+            lambda,
+            inv_r,
+            p,
+            m,
+            PolicyKind::MsNoReservation,
+            seed,
+        );
         if ms < nr {
             wins += 1;
         }
     }
-    assert!(wins >= 2, "M/S should beat M/S-nr in most seeds, won {wins}/3");
+    assert!(
+        wins >= 2,
+        "M/S should beat M/S-nr in most seeds, won {wins}/3"
+    );
 }
 
 #[test]
@@ -65,8 +91,26 @@ fn ms_beats_all_masters_on_cpu_heavy_cgi() {
     let spec = ucb();
     let (lambda, inv_r, p) = (2000.0, 80.0, 32);
     let m = planned_m(&spec, lambda, inv_r, p);
-    let ms = stretch(&spec, 10_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, 2);
-    let m1 = stretch(&spec, 10_000, lambda, inv_r, p, m, PolicyKind::MsAllMasters, 2);
+    let ms = stretch(
+        &spec,
+        10_000,
+        lambda,
+        inv_r,
+        p,
+        m,
+        PolicyKind::MasterSlave,
+        2,
+    );
+    let m1 = stretch(
+        &spec,
+        10_000,
+        lambda,
+        inv_r,
+        p,
+        m,
+        PolicyKind::MsAllMasters,
+        2,
+    );
     assert!(ms < m1, "M/S {ms} should beat M/S-1 {m1}");
 }
 
@@ -76,7 +120,16 @@ fn remote_execution_beats_http_redirection() {
     let spec = adl();
     let (lambda, inv_r, p) = (1000.0, 40.0, 32);
     let m = planned_m(&spec, lambda, inv_r, p);
-    let ms = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, 3);
+    let ms = stretch(
+        &spec,
+        8_000,
+        lambda,
+        inv_r,
+        p,
+        m,
+        PolicyKind::MasterSlave,
+        3,
+    );
     let redir = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::Redirect, 3);
     assert!(
         ms <= redir,
@@ -91,9 +144,112 @@ fn msprime_static_spreading_hurts_under_cpu_cgi() {
     let spec = ucb();
     let (lambda, inv_r, p) = (1000.0, 80.0, 32);
     let m = planned_m(&spec, lambda, inv_r, p);
-    let ms = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MasterSlave, 4);
+    let ms = stretch(
+        &spec,
+        8_000,
+        lambda,
+        inv_r,
+        p,
+        m,
+        PolicyKind::MasterSlave,
+        4,
+    );
     let msp = stretch(&spec, 8_000, lambda, inv_r, p, m, PolicyKind::MsPrime, 4);
     assert!(ms < msp, "M/S {ms} should beat M/S' {msp}");
+}
+
+/// Replay one configuration and return the full summary.
+#[allow(clippy::too_many_arguments)]
+fn summary(
+    spec: &TraceSpec,
+    n: usize,
+    lambda: f64,
+    inv_r: f64,
+    p: usize,
+    m: usize,
+    policy: PolicyKind,
+    seed: u64,
+) -> RunSummary {
+    let trace = spec
+        .generate(n, &DemandModel::simulation(inv_r), seed)
+        .scaled_to_rate(lambda);
+    let mut cfg = ClusterConfig::simulation(p, policy);
+    cfg.masters = MasterSelection::Fixed(m);
+    cfg.seed = seed ^ 0xABCD;
+    run_policy(cfg, &trace)
+}
+
+#[test]
+fn switch_beats_stale_dns_rotation() {
+    // The L4-switch baseline sees exact connection counts instead of the
+    // stale skewed-rotation view DNS gives Flat, so it should win across
+    // traces and seeds.
+    for (spec, lambda, inv_r) in [(ucb(), 1000.0, 40.0), (ksu(), 1000.0, 80.0)] {
+        let m = planned_m(&spec, lambda, inv_r, 32);
+        for seed in 1..=3 {
+            let sw = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::Switch, seed);
+            let flat = stretch(&spec, 8_000, lambda, inv_r, 32, m, PolicyKind::Flat, seed);
+            assert!(
+                sw < flat,
+                "{} seed {seed}: Switch {sw} should beat Flat {flat}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn switch_balances_nodes_tighter_than_flat() {
+    // Live connection counts keep per-node busy time much more even than
+    // the skewed DNS rotation.
+    let spec = ksu();
+    let m = planned_m(&spec, 1000.0, 80.0, 32);
+    for seed in 1..=3 {
+        let sw = summary(&spec, 8_000, 1000.0, 80.0, 32, m, PolicyKind::Switch, seed);
+        let flat = summary(&spec, 8_000, 1000.0, 80.0, 32, m, PolicyKind::Flat, seed);
+        assert!(
+            sw.node_busy_cv < flat.node_busy_cv,
+            "seed {seed}: Switch CV {} should be tighter than Flat CV {}",
+            sw.node_busy_cv,
+            flat.node_busy_cv
+        );
+    }
+}
+
+#[test]
+fn redirect_lands_between_ms_and_flat() {
+    // HTTP redirection still separates classes (so it beats Flat) but
+    // pays a client round trip per moved request (so it loses to remote
+    // execution) — the paper's §1 ordering.
+    let spec = ksu();
+    let m = planned_m(&spec, 1000.0, 80.0, 32);
+    for seed in 1..=3 {
+        let ms = stretch(
+            &spec,
+            8_000,
+            1000.0,
+            80.0,
+            32,
+            m,
+            PolicyKind::MasterSlave,
+            seed,
+        );
+        let redir = stretch(
+            &spec,
+            8_000,
+            1000.0,
+            80.0,
+            32,
+            m,
+            PolicyKind::Redirect,
+            seed,
+        );
+        let flat = stretch(&spec, 8_000, 1000.0, 80.0, 32, m, PolicyKind::Flat, seed);
+        assert!(
+            ms <= redir && redir < flat,
+            "seed {seed}: expected M/S {ms} <= Redirect {redir} < Flat {flat}"
+        );
+    }
 }
 
 #[test]
@@ -106,8 +262,26 @@ fn improvements_grow_with_cgi_cost() {
     let mut grew = 0;
     for inv_r in [20.0, 40.0, 80.0] {
         let m = planned_m(&spec, 1000.0, inv_r, p);
-        let ms = stretch(&spec, 8_000, 1000.0, inv_r, p, m, PolicyKind::MasterSlave, 5);
-        let m1 = stretch(&spec, 8_000, 1000.0, inv_r, p, m, PolicyKind::MsAllMasters, 5);
+        let ms = stretch(
+            &spec,
+            8_000,
+            1000.0,
+            inv_r,
+            p,
+            m,
+            PolicyKind::MasterSlave,
+            5,
+        );
+        let m1 = stretch(
+            &spec,
+            8_000,
+            1000.0,
+            inv_r,
+            p,
+            m,
+            PolicyKind::MsAllMasters,
+            5,
+        );
         let imp = (m1 / ms - 1.0) * 100.0;
         if imp >= last {
             grew += 1;

@@ -87,7 +87,11 @@ fn ms_advantage_survives_flash_crowds() {
 fn bursty_trace_replays_completely_under_every_policy() {
     let demand = DemandModel::simulation(40.0).with_bursty_arrivals(5.0, 0.2, 10.0);
     let trace = adl().generate(3_000, &demand, 5).scaled_to_rate(300.0);
-    for policy in [PolicyKind::Flat, PolicyKind::MasterSlave, PolicyKind::Switch] {
+    for policy in [
+        PolicyKind::Flat,
+        PolicyKind::MasterSlave,
+        PolicyKind::Switch,
+    ] {
         let mut cfg = ClusterConfig::simulation(8, policy);
         cfg.masters = MasterSelection::Fixed(3);
         let s = run_policy(cfg, &trace);

@@ -107,6 +107,12 @@ fn monitor_staleness_degrades_gracefully() {
     };
     let fresh = run(100);
     let stale = run(4000);
-    assert!(stale >= fresh * 0.9, "staleness shouldn't magically help a lot");
-    assert!(stale <= fresh * 3.0, "staleness shouldn't collapse the system");
+    assert!(
+        stale >= fresh * 0.9,
+        "staleness shouldn't magically help a lot"
+    );
+    assert!(
+        stale <= fresh * 3.0,
+        "staleness shouldn't collapse the system"
+    );
 }

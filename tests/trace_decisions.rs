@@ -1,0 +1,154 @@
+//! The `--trace-decisions` contract: both execution substrates — the
+//! event-driven simulator and the live thread-backed emulation — drive
+//! the *same* scheduler value, so the per-decision JSONL they emit is
+//! schema-identical (same keys, same order, one object per placement).
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use msweb::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("msweb-{}-{name}", std::process::id()));
+    p
+}
+
+/// The ordered key sequence of one JSONL line (vendored serde has no
+/// parser, so extract keys lexically: every `"key":` at object level).
+fn key_sequence(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        let key = &tail[..end];
+        let after = &tail[end + 1..];
+        if after.trim_start().starts_with(':') {
+            keys.push(key.to_string());
+        }
+        rest = after;
+    }
+    keys
+}
+
+/// A Table-3-shaped workload: the six-node Sun-cluster demand model.
+fn tab3_trace(n: usize) -> Trace {
+    ucb()
+        .generate(n, &DemandModel::sun_cluster(40.0), 9)
+        .scaled_to_rate(40.0)
+}
+
+#[test]
+fn sim_and_live_emit_schema_identical_jsonl() {
+    let n = 120;
+    let trace = tab3_trace(n);
+
+    // Simulator run, traced.
+    let sim_path = tmp("sim.jsonl");
+    let sim_cfg = ClusterConfig::simulation(6, PolicyKind::MasterSlave)
+        .with_masters(3)
+        .with_mu_h(110.0)
+        .with_seed(21);
+    let sink = JsonlSink::create(&sim_path).expect("create sim log");
+    let sim_summary = run_policy_with_observer(sim_cfg, &trace, Some(Box::new(sink)));
+    assert_eq!(sim_summary.completed, n as u64);
+
+    // Live run, traced — same scheduler type, same observer type.
+    let live_path = tmp("live.jsonl");
+    let mut live_cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 3);
+    live_cfg.time_scale = 0.05;
+    live_cfg.monitor_period = Duration::from_millis(50);
+    live_cfg.seed = 21;
+    let mut scheduler = live_scheduler(&live_cfg, &trace);
+    let sink = JsonlSink::create(&live_path).expect("create live log");
+    scheduler.set_observer(Some(Box::new(sink)));
+    let live_summary = run_live_with(&live_cfg, &trace, scheduler);
+    assert_eq!(live_summary.completed, n as u64);
+
+    let sim_log = std::fs::read_to_string(&sim_path).expect("read sim log");
+    let live_log = std::fs::read_to_string(&live_path).expect("read live log");
+    let sim_lines: Vec<&str> = sim_log.lines().collect();
+    let live_lines: Vec<&str> = live_log.lines().collect();
+
+    // One record per placement; no failures injected, so exactly one per
+    // request on both substrates.
+    assert_eq!(
+        sim_lines.len(),
+        n,
+        "sim log should have one line per request"
+    );
+    assert_eq!(
+        live_lines.len(),
+        n,
+        "live log should have one line per request"
+    );
+
+    // Schema identity: every line of both logs carries the same keys in
+    // the same order.
+    let schema = key_sequence(sim_lines[0]);
+    assert_eq!(
+        schema,
+        vec![
+            "seq",
+            "dynamic",
+            "entry",
+            "candidates",
+            "scores",
+            "theta_hat",
+            "theta2_star",
+            "chosen",
+            "on_master",
+            "redirected",
+            "latency_us",
+        ],
+        "unexpected record schema"
+    );
+    for (i, line) in sim_lines.iter().chain(live_lines.iter()).enumerate() {
+        assert_eq!(key_sequence(line), schema, "line {i} schema drifted");
+    }
+
+    // Both logs are ordered by the scheduler's own sequence counter.
+    for (i, line) in sim_lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{}", i + 1)),
+            "sim line {i} out of sequence: {line}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&sim_path);
+    let _ = std::fs::remove_file(&live_path);
+}
+
+#[test]
+fn replay_cli_writes_decision_log() {
+    let path = tmp("cli.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_msweb"))
+        .args([
+            "replay",
+            "--trace",
+            "ucb",
+            "--lambda",
+            "200",
+            "--p",
+            "8",
+            "--requests",
+            "400",
+            "--policy",
+            "M/S",
+            "--trace-decisions",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("failed to spawn msweb");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = std::fs::read_to_string(&path).expect("read CLI decision log");
+    assert_eq!(log.lines().count(), 400);
+    assert!(log.lines().all(|l| l.starts_with("{\"seq\":")));
+    let _ = std::fs::remove_file(&path);
+}

@@ -148,7 +148,10 @@ impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> 
                 return v;
             }
         }
-        panic!("prop_filter_map rejected 65536 consecutive samples: {}", self.whence);
+        panic!(
+            "prop_filter_map rejected 65536 consecutive samples: {}",
+            self.whence
+        );
     }
 }
 

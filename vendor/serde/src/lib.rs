@@ -314,10 +314,7 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(
-            "a\"b\\c\nd".to_value().to_json(),
-            r#""a\"b\\c\nd""#
-        );
+        assert_eq!("a\"b\\c\nd".to_value().to_json(), r#""a\"b\\c\nd""#);
     }
 
     #[test]

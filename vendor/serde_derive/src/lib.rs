@@ -17,10 +17,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What we learned about the annotated item.
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 enum Variant {
@@ -56,9 +67,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({:?});", format!("serde_derive (offline stub): {msg}"))
-        .parse()
-        .expect("compile_error parses")
+    format!(
+        "compile_error!({:?});",
+        format!("serde_derive (offline stub): {msg}")
+    )
+    .parse()
+    .expect("compile_error parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -257,7 +271,10 @@ fn gen_serialize(item: &Item) -> String {
                 .collect();
             impl_block(
                 name,
-                &format!("::serde::Value::Object(::std::vec![{}])", entries.join(", ")),
+                &format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                ),
             )
         }
         Item::TupleStruct { name, arity: 0 } | Item::UnitStruct { name } => {
@@ -285,9 +302,9 @@ fn gen_serialize(item: &Item) -> String {
 
 fn gen_variant_arm(enum_name: &str, variant: &Variant) -> String {
     match variant {
-        Variant::Unit(v) => format!(
-            "{enum_name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
-        ),
+        Variant::Unit(v) => {
+            format!("{enum_name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+        }
         Variant::Tuple(v, 1) => format!(
             "{enum_name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
              ::std::string::String::from({v:?}), ::serde::Serialize::to_value(f0))]),"
