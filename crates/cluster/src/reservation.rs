@@ -43,8 +43,10 @@ pub fn admission_cap(m: usize, p: usize, a: f64, r: f64, rho: f64) -> f64 {
     }
     if rho >= 1.0 {
         // Offered load exceeds the cluster: beat-flat is vacuous; allow
-        // masters to absorb up to the analytic upper bound.
-        return theta2;
+        // masters to absorb up to the analytic upper bound. The bound is
+        // a *cap fraction*, so clamp it to [0, 1] like the normal path
+        // rather than letting an extreme (a, r) corner leak through.
+        return theta2.clamp(0.0, 1.0);
     }
     // Scale-free reconstruction: set mu_h = 1; offered = rho * p Erlangs.
     let offered = rho * p as f64;
@@ -57,7 +59,7 @@ pub fn admission_cap(m: usize, p: usize, a: f64, r: f64, rho: f64) -> f64 {
     };
     match model.theta_interval() {
         Ok(iv) => iv.theta_mid().clamp(0.0, theta2.max(0.0)),
-        Err(_) => theta2,
+        Err(_) => theta2.clamp(0.0, 1.0),
     }
 }
 
@@ -252,14 +254,32 @@ mod tests {
 
     #[test]
     fn cap_bounded_by_theta2_everywhere() {
-        for rho in [0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.5] {
-            let cap = admission_cap(6, 32, 0.44, 1.0 / 60.0, rho);
-            let theta2 = reservation_bound(6, 32, 0.44, 1.0 / 60.0);
-            assert!((0.0..=1.0).contains(&cap));
-            assert!(
-                cap <= theta2 + 1e-12,
-                "rho={rho}: cap {cap} > theta2 {theta2}"
-            );
+        // Sweep the full (m, p, a, r) corner space — including extreme
+        // ratios that stress theta_interval()'s error paths and the
+        // rho >= 1.0 fallback — and require the cap to stay a valid
+        // fraction bounded by the clamped analytic bound on every path.
+        for (m, p) in [(1, 2), (6, 32), (9, 32), (31, 32), (1, 1024)] {
+            for (a, r) in [
+                (0.126, 1.0 / 80.0),
+                (0.44, 1.0 / 60.0),
+                (1e-6, 1e-4),
+                (50.0, 1.0),
+                (1e6, 1e-4),
+                (0.01, 1.0),
+            ] {
+                for rho in [1e-9, 0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 0.999, 1.0, 1.5, 100.0] {
+                    let cap = admission_cap(m, p, a, r, rho);
+                    let theta2 = reservation_bound(m, p, a, r);
+                    assert!(
+                        (0.0..=1.0).contains(&cap),
+                        "m={m} p={p} a={a} r={r} rho={rho}: cap {cap} out of [0,1]"
+                    );
+                    assert!(
+                        cap <= theta2.clamp(0.0, 1.0) + 1e-12,
+                        "m={m} p={p} a={a} r={r} rho={rho}: cap {cap} > theta2 {theta2}"
+                    );
+                }
+            }
         }
     }
 

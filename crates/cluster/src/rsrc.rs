@@ -12,6 +12,37 @@
 
 use crate::loadinfo::{NodeLoad, MIN_RATIO};
 
+/// One node's RSRC cost, decomposed into the two clamped denominators of
+/// Eq. 5 with the capacity reserve and node speed folded in.
+///
+/// The decomposition makes the cost *linear in the request weight*:
+/// `cost(w) = w / cpu_denom + (1 − w) / disk_denom`. That is what lets
+/// the decision index ([`crate::sched::index`]) re-key a single node in
+/// O(log p) after a charge-back without rescoring the whole cluster, and
+/// derive safe lower bounds for pruned argmin queries.
+///
+/// [`CostKey::eval`] performs the same floating-point operations in the
+/// same order as [`RsrcPredictor::cost_reserved`], so evaluating a
+/// stored key is bit-identical to a dense rescore — the property the
+/// golden-seed fixtures rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostKey {
+    /// Denominator of the CPU term: `(cpu_idle · keep).max(MIN_RATIO) · speed`.
+    pub cpu_denom: f64,
+    /// Denominator of the disk term: `(disk_avail · keep).max(MIN_RATIO)`.
+    pub disk_denom: f64,
+}
+
+impl CostKey {
+    /// Eq. 5 at effective CPU weight `w` (already clamped by
+    /// [`RsrcPredictor::effective_w`]). Bit-identical to
+    /// [`RsrcPredictor::cost_reserved`] for the same node and load.
+    #[inline]
+    pub fn eval(&self, w: f64) -> f64 {
+        w / self.cpu_denom + (1.0 - w) / self.disk_denom
+    }
+}
+
 /// The RSRC predictor.
 #[derive(Debug, Clone)]
 pub struct RsrcPredictor {
@@ -67,12 +98,22 @@ impl RsrcPredictor {
     /// weight, only on relative node load — `w` keeps its intended role
     /// of matching requests to nodes whose CPU/disk mix suits them.
     pub fn cost_reserved(&self, node: usize, load: &NodeLoad, sampled_w: f64, reserve: f64) -> f64 {
-        let w = self.effective_w(sampled_w);
+        self.key(node, load, reserve)
+            .eval(self.effective_w(sampled_w))
+    }
+
+    /// The decomposed cost key of `node` under `reserve` — the
+    /// weight-independent part of [`RsrcPredictor::cost_reserved`]. The
+    /// decision index stores these so a charge to one node re-keys one
+    /// leaf instead of rescoring the cluster.
+    pub fn key(&self, node: usize, load: &NodeLoad, reserve: f64) -> CostKey {
         let keep = (1.0 - reserve).max(MIN_RATIO);
         let cpu_idle = (load.cpu_idle_ratio * keep).max(MIN_RATIO);
         let disk_avail = (load.disk_avail_ratio * keep).max(MIN_RATIO);
-        let speed = self.speeds[node];
-        w / (cpu_idle * speed) + (1.0 - w) / disk_avail
+        CostKey {
+            cpu_denom: cpu_idle * self.speeds[node],
+            disk_denom: disk_avail,
+        }
     }
 
     /// Index of the minimum-cost node among `candidates`. Ties keep the
@@ -191,6 +232,24 @@ mod tests {
         let free_io = p.cost(0, &l, 0.1);
         let half_io = p.cost_reserved(0, &l, 0.1, 0.5);
         assert!((half_io / free_io - half / free).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_eval_is_bit_identical_to_cost_reserved() {
+        // The decision index evaluates stored keys instead of calling
+        // cost_reserved; the two must agree to the last bit or indexed
+        // and dense placements could diverge on near-ties.
+        let p = RsrcPredictor::with_speeds(vec![1.0, 1.7, 0.3], true);
+        for (node, (ci, da)) in [(0.73, 0.21), (0.011, 0.99), (1.0, 1.0)].iter().enumerate() {
+            let l = load(*ci, *da);
+            for reserve in [0.0, 0.2, 0.97] {
+                for w in [0.0, 0.1, 0.5, 0.9, 1.0] {
+                    let dense = p.cost_reserved(node, &l, w, reserve);
+                    let keyed = p.key(node, &l, reserve).eval(p.effective_w(w));
+                    assert_eq!(dense.to_bits(), keyed.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

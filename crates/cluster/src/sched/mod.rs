@@ -24,6 +24,7 @@
 //! The hot path pays only an `Option` check when no observer is
 //! installed.
 
+pub mod index;
 pub mod registry;
 pub mod stages;
 pub mod trace;
@@ -36,6 +37,7 @@ use crate::rsrc::RsrcPredictor;
 use msweb_simcore::rng::SimRng;
 use msweb_simcore::time::SimDuration;
 
+pub use index::RsrcIndex;
 pub use registry::{ComposeError, SchedulerRegistry, StageSpec};
 pub use stages::{AdmissionStage, CandidateStage, ChargeStage, EntryStage, ScoreStage};
 pub use trace::{CollectingObserver, DecisionObserver, DecisionRecord, JsonlSink};
@@ -96,6 +98,19 @@ pub struct StageCtx<'a> {
     pub reservation: &'a ReservationController,
     /// Most recent per-node load view from the monitor.
     pub loads: &'a [NodeLoad],
+    /// Instance id of the monitor `loads` came from; see
+    /// [`LoadMonitor::id`](crate::loadinfo::LoadMonitor::id).
+    pub monitor_id: u64,
+    /// Monitor view-replacement counter; see
+    /// [`LoadMonitor::epoch`](crate::loadinfo::LoadMonitor::epoch).
+    pub load_epoch: u64,
+    /// Nodes charged since the monitor's last tick, in charge order;
+    /// see [`LoadMonitor::charges`](crate::loadinfo::LoadMonitor::charges).
+    pub charge_log: &'a [u32],
+    /// Bumped by the scheduler whenever node liveness changes, so
+    /// load-state mirrors (the decision index) can detect deaths and
+    /// revivals without scanning `dead`.
+    pub liveness_epoch: u64,
 }
 
 impl StageCtx<'_> {
@@ -267,6 +282,10 @@ pub struct Scheduler<E, A, C, S, G> {
     buf: Vec<usize>,
     dead: Vec<bool>,
     in_flight: Vec<u32>,
+    /// Bumped on every liveness change; exposed to stages through
+    /// [`StageCtx::liveness_epoch`] so load-state mirrors can
+    /// invalidate themselves.
+    liveness: u64,
     seq: u64,
     observer: Option<Box<dyn DecisionObserver>>,
 }
@@ -335,6 +354,7 @@ where
             buf: Vec::with_capacity(p),
             dead: vec![false; p],
             in_flight: vec![0; p],
+            liveness: 0,
             seq: 0,
             observer: None,
         })
@@ -352,6 +372,9 @@ where
 
     /// Mark a node dead or alive for future placements.
     pub fn set_dead(&mut self, node: usize, dead: bool) {
+        if self.dead[node] != dead {
+            self.liveness += 1;
+        }
         self.dead[node] = dead;
     }
 
@@ -417,6 +440,10 @@ where
                 rsrc: &self.rsrc,
                 reservation: &self.reservation,
                 loads: monitor.all(),
+                monitor_id: monitor.id(),
+                load_epoch: monitor.epoch(),
+                charge_log: monitor.charges(),
+                liveness_epoch: self.liveness,
             };
             self.entry.select_entry(&mut ctx)?
         };
@@ -434,6 +461,10 @@ where
                 rsrc: &self.rsrc,
                 reservation: &self.reservation,
                 loads: monitor.all(),
+                monitor_id: monitor.id(),
+                load_epoch: monitor.epoch(),
+                charge_log: monitor.charges(),
+                liveness_epoch: self.liveness,
             };
             let masters_ok = self.admission.master_eligible(&ctx);
             self.candidates.collect(&ctx, dynamic, masters_ok, &mut buf)
@@ -461,6 +492,10 @@ where
                         rsrc: &self.rsrc,
                         reservation: &self.reservation,
                         loads: monitor.all(),
+                        monitor_id: monitor.id(),
+                        load_epoch: monitor.epoch(),
+                        charge_log: monitor.charges(),
+                        liveness_epoch: self.liveness,
                     };
                     if self.observer.is_some() {
                         trace_scores

@@ -8,8 +8,8 @@
 
 use super::stages::{
     CpuOnlyCharge, EntryOnly, LeastConnectionsEntry, LeastConnectionsScorer, LevelCandidates,
-    MinRsrcScorer, NoAdmission, PinnedCandidates, RandomScorer, ReservationAdmission,
-    RotationEntry, SplitDemandCharge,
+    MinRsrcScorer, NoAdmission, PinnedCandidates, PowerOfKScorer, RandomScorer,
+    ReservationAdmission, RotationEntry, SplitDemandCharge,
 };
 use super::{
     Admission, CandidateSet, ChargeBack, DynScheduler, EntrySelector, Scheduler, Scorer, Stages,
@@ -21,6 +21,7 @@ type EntryFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn EntrySelector>>;
 type AdmissionFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn Admission>>;
 type CandidateFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn CandidateSet>>;
 type ScorerFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn Scorer>>;
+type ScorerFamilyFactory = Box<dyn Fn(&ClusterConfig, &str) -> Result<Box<dyn Scorer>, String>>;
 type ChargeFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn ChargeBack>>;
 
 /// Names of the five stages a composition is assembled from.
@@ -73,6 +74,15 @@ pub enum ComposeError {
         /// The registered names for that kind.
         available: Vec<String>,
     },
+    /// A parameterised stage (`family:arg`) rejected its argument.
+    BadStageArg {
+        /// Which of the five stage kinds was being looked up.
+        kind: &'static str,
+        /// The full `family:arg` name.
+        name: String,
+        /// Why the family rejected the argument.
+        reason: String,
+    },
     /// The cluster configuration itself is invalid.
     Invalid(ConfigError),
 }
@@ -93,6 +103,9 @@ impl std::fmt::Display for ComposeError {
                 "unknown {kind} stage {name:?}; registered: {}",
                 available.join(", ")
             ),
+            ComposeError::BadStageArg { kind, name, reason } => {
+                write!(f, "bad {kind} stage {name:?}: {reason}")
+            }
             ComposeError::Invalid(e) => write!(f, "invalid configuration: {e}"),
         }
     }
@@ -112,6 +125,7 @@ pub struct SchedulerRegistry {
     admissions: BTreeMap<String, AdmissionFactory>,
     candidates: BTreeMap<String, CandidateFactory>,
     scorers: BTreeMap<String, ScorerFactory>,
+    scorer_families: BTreeMap<String, ScorerFamilyFactory>,
     charges: BTreeMap<String, ChargeFactory>,
 }
 
@@ -129,6 +143,7 @@ impl SchedulerRegistry {
             admissions: BTreeMap::new(),
             candidates: BTreeMap::new(),
             scorers: BTreeMap::new(),
+            scorer_families: BTreeMap::new(),
             charges: BTreeMap::new(),
         }
     }
@@ -140,11 +155,19 @@ impl SchedulerRegistry {
     /// | entry | `rotation`, `rotation-masters`, `least-connections` |
     /// | admission | `reservation`, `none` |
     /// | candidates | `level-split`, `pinned-slaves`, `entry-only` |
-    /// | scorer | `min-rsrc`, `min-rsrc-reserve`, `least-connections`, `random` |
+    /// | scorer | `min-rsrc`, `min-rsrc-reserve`, `rsrc-indexed`, `rsrc-indexed-reserve`, `rsrc-p2:<k>`, `least-connections`, `random` |
     /// | charge | `split-demand`, `cpu-only` |
     ///
     /// Parameterised stages read their parameters (DNS skew, master
     /// reserve, pin set) from the `ClusterConfig` they are built for.
+    ///
+    /// Scorer notes: `min-rsrc`/`min-rsrc-reserve` are the reference
+    /// dense scans; `rsrc-indexed`/`rsrc-indexed-reserve` produce
+    /// byte-identical placements through the O(log p) decision index
+    /// ([`super::index`]); `rsrc-p2:<k>` is the approximate
+    /// power-of-k-choices rule (`k ≥ 1` uniform samples per decision),
+    /// registered as a *family* — the part after `:` is parsed as the
+    /// sample count.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register_entry("rotation", |c| {
@@ -161,15 +184,22 @@ impl SchedulerRegistry {
         r.register_candidates("level-split", |_| Box::new(LevelCandidates));
         r.register_candidates("pinned-slaves", |c| Box::new(PinnedCandidates::slaves(c)));
         r.register_candidates("entry-only", |_| Box::new(EntryOnly));
-        r.register_scorer("min-rsrc", |_| {
-            Box::new(MinRsrcScorer {
-                master_reserve: 0.0,
-            })
-        });
+        r.register_scorer("min-rsrc", |_| Box::new(MinRsrcScorer::dense(0.0)));
         r.register_scorer("min-rsrc-reserve", |c| {
-            Box::new(MinRsrcScorer {
-                master_reserve: c.master_reserve,
-            })
+            Box::new(MinRsrcScorer::dense(c.master_reserve))
+        });
+        r.register_scorer("rsrc-indexed", |_| Box::new(MinRsrcScorer::indexed(0.0)));
+        r.register_scorer("rsrc-indexed-reserve", |c| {
+            Box::new(MinRsrcScorer::indexed(c.master_reserve))
+        });
+        r.register_scorer_family("rsrc-p2", |c, arg| {
+            let k: usize = arg
+                .parse()
+                .map_err(|_| format!("sample count {arg:?} is not an integer"))?;
+            if k == 0 {
+                return Err("sample count must be at least 1".to_string());
+            }
+            Ok(Box::new(PowerOfKScorer::new(k, c.master_reserve)))
         });
         r.register_scorer("least-connections", |_| Box::new(LeastConnectionsScorer));
         r.register_scorer("random", |_| Box::new(RandomScorer));
@@ -214,6 +244,20 @@ impl SchedulerRegistry {
         self.scorers.insert(name.into(), Box::new(f));
     }
 
+    /// Register (or replace) a *parameterised* scorer family under
+    /// `family`. A spec scorer named `family:arg` resolves through `f`
+    /// with the text after the first `:` as `arg`; `f` returns a
+    /// human-readable reason when the argument is invalid. Exact scorer
+    /// names registered via [`SchedulerRegistry::register_scorer`] win
+    /// over family matches.
+    pub fn register_scorer_family(
+        &mut self,
+        family: impl Into<String>,
+        f: impl Fn(&ClusterConfig, &str) -> Result<Box<dyn Scorer>, String> + 'static,
+    ) {
+        self.scorer_families.insert(family.into(), Box::new(f));
+    }
+
     /// Register (or replace) a charge-back factory under `name`.
     pub fn register_charge(
         &mut self,
@@ -249,9 +293,40 @@ impl SchedulerRegistry {
             entry: get(&self.entries, "entry", &spec.entry)?(config),
             admission: get(&self.admissions, "admission", &spec.admission)?(config),
             candidates: get(&self.candidates, "candidates", &spec.candidates)?(config),
-            scorer: get(&self.scorers, "scorer", &spec.scorer)?(config),
+            scorer: self.resolve_scorer(config, &spec.scorer)?,
             charge: get(&self.charges, "charge", &spec.charge)?(config),
         };
         Ok(Scheduler::compose(config, stages, a0, r0)?)
+    }
+
+    /// Resolve a scorer name: exact registrations first, then
+    /// `family:arg` parameterised families.
+    fn resolve_scorer(
+        &self,
+        config: &ClusterConfig,
+        name: &str,
+    ) -> Result<Box<dyn Scorer>, ComposeError> {
+        if let Some(f) = self.scorers.get(name) {
+            return Ok(f(config));
+        }
+        if let Some((family, arg)) = name.split_once(':') {
+            if let Some(f) = self.scorer_families.get(family) {
+                return f(config, arg).map_err(|reason| ComposeError::BadStageArg {
+                    kind: "scorer",
+                    name: name.to_string(),
+                    reason,
+                });
+            }
+        }
+        Err(ComposeError::UnknownStage {
+            kind: "scorer",
+            name: name.to_string(),
+            available: self
+                .scorers
+                .keys()
+                .cloned()
+                .chain(self.scorer_families.keys().map(|f| format!("{f}:<arg>")))
+                .collect(),
+        })
     }
 }

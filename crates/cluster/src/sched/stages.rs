@@ -8,6 +8,7 @@
 //! the RNG draws the old `match self.policy` arms made, which is what
 //! keeps the golden `RunSummary` fixtures byte-identical.
 
+use super::index::{RsrcIndex, INDEX_MIN_CANDIDATES};
 use super::{
     Admission, CandidateDecision, CandidateSet, ChargeBack, EntrySelector, PlacementError, Scorer,
     StageCtx, Stages,
@@ -17,6 +18,7 @@ use crate::loadinfo::LoadMonitor;
 use crate::reservation::ReservationController;
 use msweb_simcore::rng::SimRng;
 use msweb_simcore::time::SimDuration;
+use std::cell::RefCell;
 
 /// Draw an index in `[0, n)` with DNS-cache skew: weight of slot i is
 /// `(1 − skew)^i` (geometric concentration on the low-numbered,
@@ -264,15 +266,51 @@ impl CandidateSet for EntryOnly {
 
 /// Minimum-RSRC scoring (Eq. 5) with a per-node capacity reserve held
 /// back on masters; ties keep the first (shuffled) candidate.
+///
+/// Comes in two flavours with identical placements:
+///
+/// * [`MinRsrcScorer::dense`] — the reference O(p) scan;
+/// * [`MinRsrcScorer::indexed`] — backed by an incrementally
+///   maintained [`RsrcIndex`], answering the same argmin in O(log p)
+///   typical time. The index recognises the candidate sets the
+///   built-in stages produce (*all* live nodes, or the live slave
+///   level `[m, p)` — checked via live counts) and falls back to the
+///   dense scan for anything else, as well as for candidate sets
+///   smaller than [`INDEX_MIN_CANDIDATES`].
 #[derive(Debug, Clone)]
 pub struct MinRsrcScorer {
     /// CPU fraction withheld from master nodes (0 disables the
     /// reserve, reproducing the plain RSRC rule).
     pub master_reserve: f64,
+    /// Lazily synced decision index; `None` = always scan densely.
+    /// Interior mutability keeps `Scorer::choose`'s `&self` contract.
+    index: Option<RefCell<RsrcIndex>>,
 }
 
-impl Scorer for MinRsrcScorer {
-    fn choose(
+impl MinRsrcScorer {
+    /// Dense-scan scorer (the reference implementation).
+    pub fn dense(master_reserve: f64) -> Self {
+        MinRsrcScorer {
+            master_reserve,
+            index: None,
+        }
+    }
+
+    /// Index-backed scorer; placements are byte-identical to
+    /// [`MinRsrcScorer::dense`].
+    pub fn indexed(master_reserve: f64) -> Self {
+        MinRsrcScorer {
+            master_reserve,
+            index: Some(RefCell::new(RsrcIndex::new(master_reserve))),
+        }
+    }
+
+    /// Whether this scorer carries a decision index.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn dense_choose(
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
@@ -288,6 +326,117 @@ impl Scorer for MinRsrcScorer {
                     0.0
                 }
             })
+    }
+}
+
+impl Scorer for MinRsrcScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        sampled_w: f64,
+    ) -> Option<usize> {
+        let Some(cell) = &self.index else {
+            return self.dense_choose(ctx, candidates, sampled_w);
+        };
+        if candidates.len() < INDEX_MIN_CANDIDATES {
+            return self.dense_choose(ctx, candidates, sampled_w);
+        }
+        let mut index = cell.borrow_mut();
+        index.sync(ctx);
+        if index.degenerate() {
+            // The window's charge plateau grew past the point where the
+            // tree can prune; scan densely until the next tick rebuilds
+            // (identical placements either way — this is purely a cost
+            // switch).
+            drop(index);
+            return self.dense_choose(ctx, candidates, sampled_w);
+        }
+        // Structural check: the built-in candidate stages produce
+        // either every live node or the live slave level. Matching
+        // live counts identify which (a proper subset of equal size
+        // cannot exist — candidate sets never contain dead nodes).
+        let p = ctx.nodes();
+        let m = ctx.masters.min(p);
+        let range = if candidates.len() == index.live_count(0, p) {
+            Some((0, p))
+        } else if m > 0 && candidates.len() == index.live_count(m, p) {
+            Some((m, p))
+        } else {
+            None
+        };
+        let Some((lo, hi)) = range else {
+            // A custom candidate stage produced some other shape; the
+            // index cannot answer for it, so score densely.
+            return self.dense_choose(ctx, candidates, sampled_w);
+        };
+        debug_assert!(
+            candidates
+                .iter()
+                .all(|&c| (lo..hi).contains(&c) && !ctx.dead[c]),
+            "candidate set size matched range [{lo}, {hi}) but members differ; \
+             custom candidate stages must produce whole-cluster or slave-level \
+             live sets for indexed scoring"
+        );
+        index.choose_in_range(lo, hi, ctx.rsrc.effective_w(sampled_w), candidates)
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+        let reserve = if node < ctx.masters {
+            self.master_reserve
+        } else {
+            0.0
+        };
+        ctx.rsrc
+            .cost_reserved(node, &ctx.loads[node], sampled_w, reserve)
+    }
+}
+
+/// Power-of-k-choices over the reserved RSRC cost: sample `k`
+/// candidates uniformly *with replacement* (always exactly `k` RNG
+/// draws, keeping the decision sequence independent of the candidate
+/// count) and keep the cheapest — the classic Azar et al. trade-off as
+/// a pipeline stage. O(k) load inspections per decision regardless of
+/// cluster size, at a modest placement-quality cost; the approximate
+/// alternative to [`MinRsrcScorer::indexed`].
+#[derive(Debug, Clone)]
+pub struct PowerOfKScorer {
+    /// Number of uniform samples per decision (`k ≥ 1`).
+    pub k: usize,
+    /// CPU fraction withheld from master nodes, as in
+    /// [`MinRsrcScorer`].
+    pub master_reserve: f64,
+}
+
+impl PowerOfKScorer {
+    /// Sample-`k` scorer with a master reserve.
+    pub fn new(k: usize, master_reserve: f64) -> Self {
+        assert!(k >= 1, "power-of-k needs k >= 1");
+        PowerOfKScorer { k, master_reserve }
+    }
+}
+
+impl Scorer for PowerOfKScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        sampled_w: f64,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let m = ctx.masters;
+        let mut best: Option<(usize, f64)> = None;
+        for _ in 0..self.k {
+            let n = candidates[ctx.rng.gen_index(candidates.len())];
+            let reserve = if n < m { self.master_reserve } else { 0.0 };
+            let c = ctx.rsrc.cost_reserved(n, &ctx.loads[n], sampled_w, reserve);
+            match best {
+                Some((_, bc)) if bc <= c => {}
+                _ => best = Some((n, c)),
+            }
+        }
+        best.map(|(n, _)| n)
     }
     fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
         let reserve = if node < ctx.masters {
@@ -510,34 +659,28 @@ pub fn for_policy(
             entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
             admission: AdmissionStage::None(NoAdmission),
             candidates: CandidateStage::EntryOnly(EntryOnly),
-            scorer: ScoreStage::MinRsrc(MinRsrcScorer {
-                master_reserve: 0.0,
-            }),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer::indexed(0.0)),
             charge: ChargeStage::Split(SplitDemandCharge),
         },
         PolicyKind::MsPrime => Stages {
             entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
             admission: AdmissionStage::None(NoAdmission),
             candidates: CandidateStage::Pinned(PinnedCandidates::slaves(config)),
-            scorer: ScoreStage::MinRsrc(MinRsrcScorer {
-                master_reserve: 0.0,
-            }),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer::indexed(0.0)),
             charge: ChargeStage::Split(SplitDemandCharge),
         },
         PolicyKind::MsAllMasters => Stages {
             entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
             admission: AdmissionStage::Reservation(ReservationAdmission { enforce }),
             candidates: CandidateStage::Level(LevelCandidates),
-            scorer: ScoreStage::MinRsrc(MinRsrcScorer { master_reserve }),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer::indexed(master_reserve)),
             charge: ChargeStage::Split(SplitDemandCharge),
         },
         PolicyKind::Switch => Stages {
             entry: EntryStage::LeastConnections(LeastConnectionsEntry),
             admission: AdmissionStage::None(NoAdmission),
             candidates: CandidateStage::EntryOnly(EntryOnly),
-            scorer: ScoreStage::MinRsrc(MinRsrcScorer {
-                master_reserve: 0.0,
-            }),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer::indexed(0.0)),
             charge: ChargeStage::CpuOnly(CpuOnlyCharge),
         },
         // The M/S family proper: M/S, M/S-ns, M/S-nr, Redirect.
@@ -548,7 +691,7 @@ pub fn for_policy(
             entry: EntryStage::Rotation(RotationEntry::over_masters(skew)),
             admission: AdmissionStage::Reservation(ReservationAdmission { enforce }),
             candidates: CandidateStage::Level(LevelCandidates),
-            scorer: ScoreStage::MinRsrc(MinRsrcScorer { master_reserve }),
+            scorer: ScoreStage::MinRsrc(MinRsrcScorer::indexed(master_reserve)),
             charge: ChargeStage::Split(SplitDemandCharge),
         },
     }

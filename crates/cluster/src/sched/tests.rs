@@ -348,6 +348,157 @@ fn pipeline_matches_legacy_dispatcher_draw_for_draw() {
     }
 }
 
+/// Deterministic, monotone-in-time synthetic busy counters so ticks
+/// produce varied (and mostly tie-free) per-node load views.
+fn synthetic_snaps(p: usize, t: SimTime) -> Vec<msweb_ossim::LoadSnapshot> {
+    (0..p)
+        .map(|i| {
+            let f_cpu = ((i * 37 + 11) % 90) as f64 / 100.0;
+            let f_disk = ((i * 53 + 29) % 90) as f64 / 100.0;
+            let elapsed = t.as_micros() as f64;
+            msweb_ossim::LoadSnapshot {
+                at: t,
+                cpu_busy: SimDuration::from_micros((elapsed * f_cpu) as u64),
+                disk_busy: SimDuration::from_micros((elapsed * f_disk) as u64),
+                mem_free_ratio: 1.0,
+                ready_len: 0,
+                disk_queue_len: 0,
+                processes: 0,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn indexed_scorer_matches_dense_scan_draw_for_draw() {
+    // The decision index must reproduce the dense scan byte for byte —
+    // same argmin, same tie-breaks — across ticks (rebuild), charges
+    // (sift) and liveness changes (rebuild), at a cluster size where
+    // the indexed path is actually taken (candidates >= 16).
+    let mut cfg = ClusterConfig::simulation(48, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(12);
+    let registry = SchedulerRegistry::builtin();
+    let dense_spec =
+        StageSpec::parse("rotation-masters/reservation/level-split/min-rsrc-reserve/split-demand")
+            .unwrap();
+    let indexed_spec = StageSpec::parse(
+        "rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand",
+    )
+    .unwrap();
+    let mut dense = registry.compose(&cfg, &dense_spec, 0.25, 0.025).unwrap();
+    let mut indexed = registry.compose(&cfg, &indexed_spec, 0.25, 0.025).unwrap();
+    let mut mon_a = monitor(48);
+    let mut mon_b = monitor(48);
+    for step in 0..1200usize {
+        if step % 150 == 149 {
+            let t = SimTime::from_millis(500 * (step as u64 / 150 + 1));
+            mon_a.tick(t, &synthetic_snaps(48, t));
+            mon_b.tick(t, &synthetic_snaps(48, t));
+        }
+        if step == 400 {
+            dense.set_dead(20, true);
+            indexed.set_dead(20, true);
+        }
+        if step == 800 {
+            for (node, dead) in [(20, false), (3, true)] {
+                dense.set_dead(node, dead);
+                indexed.set_dead(node, dead);
+            }
+        }
+        let dynamic = step % 3 != 0;
+        let w = ((step * 13) % 101) as f64 / 100.0;
+        let a = dense.place(dynamic, w, svc(), &mut mon_a).unwrap();
+        let b = indexed.place(dynamic, w, svc(), &mut mon_b).unwrap();
+        assert_eq!(a, b, "decision {step} diverged");
+    }
+}
+
+#[test]
+fn registry_resolves_parameterised_scorer_family() {
+    let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    let registry = SchedulerRegistry::builtin();
+    let spec = StageSpec::parse("rotation/none/level-split/rsrc-p2:4/split-demand").unwrap();
+    let mut sched = registry
+        .compose(&cfg, &spec, 0.25, 0.025)
+        .expect("rsrc-p2:4 is a valid scorer spec");
+    let mut mon = monitor(8);
+    for _ in 0..50 {
+        assert!(sched.place(true, 0.6, svc(), &mut mon).unwrap().node < 8);
+    }
+}
+
+#[test]
+fn registry_rejects_bad_power_of_k_arguments() {
+    let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    let registry = SchedulerRegistry::builtin();
+    for bad in ["rsrc-p2:0", "rsrc-p2:", "rsrc-p2:three", "rsrc-p2:-2"] {
+        let spec =
+            StageSpec::parse(&format!("rotation/none/level-split/{bad}/split-demand")).unwrap();
+        match registry.compose(&cfg, &spec, 0.25, 0.025) {
+            Err(ComposeError::BadStageArg { kind, name, .. }) => {
+                assert_eq!(kind, "scorer");
+                assert_eq!(name, bad);
+            }
+            Ok(_) => panic!("{bad} must not compose"),
+            Err(other) => panic!("{bad}: unexpected error {other}"),
+        }
+    }
+    // A bare family name (no `:`) is an unknown scorer, and the hint
+    // advertises the family syntax.
+    let spec = StageSpec::parse("rotation/none/level-split/rsrc-p2/split-demand").unwrap();
+    match registry.compose(&cfg, &spec, 0.25, 0.025) {
+        Err(ComposeError::UnknownStage { available, .. }) => {
+            assert!(available.contains(&"rsrc-p2:<arg>".to_string()));
+            assert!(available.contains(&"rsrc-indexed".to_string()));
+        }
+        other => panic!("unexpected result: {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn power_of_k_concentrates_on_the_cheap_node() {
+    // With one idle node in a busy cluster, k = 32 samples over p = 16
+    // nodes miss the idle node with probability (15/16)^32 ~ 0.13, so a
+    // large majority of dynamics must land there.
+    let mut cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(4);
+    let registry = SchedulerRegistry::builtin();
+    let spec = StageSpec::parse("rotation/none/level-split/rsrc-p2:32/split-demand").unwrap();
+    let mut sched = registry.compose(&cfg, &spec, 0.25, 0.025).unwrap();
+    let mut mon = monitor(16);
+    let t = SimTime::from_millis(500);
+    let snaps: Vec<_> = (0..16)
+        .map(|i| {
+            let busy_ms = if i == 9 { 0 } else { 450 };
+            msweb_ossim::LoadSnapshot {
+                at: t,
+                cpu_busy: SimDuration::from_millis(busy_ms),
+                disk_busy: SimDuration::from_millis(busy_ms),
+                mem_free_ratio: 1.0,
+                ready_len: 0,
+                disk_queue_len: 0,
+                processes: 0,
+            }
+        })
+        .collect();
+    mon.tick(t, &snaps);
+    let mut on_nine = 0;
+    let n = 400;
+    for _ in 0..n {
+        let node = sched
+            .place(true, 0.5, SimDuration::ZERO, &mut mon)
+            .unwrap()
+            .node;
+        if node == 9 {
+            on_nine += 1;
+        }
+    }
+    assert!(
+        on_nine as f64 / n as f64 > 0.6,
+        "power-of-32 placed only {on_nine}/{n} on the idle node"
+    );
+}
+
 #[test]
 fn jsonl_sink_writes_one_line_per_record() {
     let mut buf: Vec<u8> = Vec::new();

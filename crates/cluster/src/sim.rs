@@ -481,14 +481,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         // Mean per-node utilisation over the window: busy resource-time
         // (CPU + disk, which execute serially within one request) per
         // second of window, averaged across nodes.
-        let rho = {
-            let loads = self.monitor.all();
-            let busy: f64 = loads
-                .iter()
-                .map(|l| (1.0 - l.cpu_idle_ratio) + (1.0 - l.disk_avail_ratio))
-                .sum();
-            busy / loads.len() as f64
-        };
+        let rho = self.monitor.mean_utilisation();
         self.scheduler.reservation_mut().update(rho);
         self.metrics.close_window();
     }

@@ -2,6 +2,7 @@
 
 use msweb_cluster::{
     run_policy, ClusterConfig, Dispatcher, LoadMonitor, MasterSelection, PolicyKind,
+    SchedulerRegistry, StageSpec,
 };
 use msweb_simcore::{SimDuration, SimTime};
 use msweb_workload::{ksu, ucb, DemandModel};
@@ -193,6 +194,96 @@ proptest! {
         }
         for n in 0..p {
             prop_assert_eq!(d.in_flight(n), 0, "node {} count not drained", n);
+        }
+    }
+
+    /// The O(log p) decision index and the dense RSRC scan pick the same
+    /// node for every draw, across random cluster shapes, tick/charge
+    /// histories (including off-period ticks), and node deaths. The two
+    /// pipelines differ only in the scorer stage, so any divergence is a
+    /// bug in the index's bound, tie-break, or staleness tracking.
+    #[test]
+    fn indexed_argmin_matches_dense_argmin(
+        p in 17usize..120,
+        m_frac in 0.1f64..0.6,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u8..8, any::<u16>()), 40..200),
+    ) {
+        let m = ((p as f64 * m_frac) as usize).clamp(1, p - 1);
+        let registry = SchedulerRegistry::builtin();
+        let mk = |scorer: &str| {
+            let spec = StageSpec::parse(&format!(
+                "rotation-masters/reservation/level-split/{scorer}/split-demand"
+            ))
+            .unwrap();
+            let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
+            cfg.masters = MasterSelection::Fixed(m);
+            cfg.seed = seed;
+            registry.compose(&cfg, &spec, 0.3, 0.02).unwrap()
+        };
+        let mut dense = mk("min-rsrc-reserve");
+        let mut indexed = mk("rsrc-indexed-reserve");
+        let mut mon_a = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+        let mut mon_b = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let svc = SimDuration::from_millis(10);
+        let mut dead = vec![false; p];
+        for (step, (op, arg)) in ops.into_iter().enumerate() {
+            let arg = arg as usize;
+            match op {
+                // Advance the clock by a non-uniform amount and feed both
+                // monitors the same pseudo-random snapshots.
+                0 => {
+                    now = now
+                        .checked_add(SimDuration::from_millis(200 + (arg as u64 % 700)))
+                        .unwrap();
+                    let snaps: Vec<_> = (0..p)
+                        .map(|i| {
+                            let h = (i as u64)
+                                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                .wrapping_add(step as u64)
+                                ^ seed;
+                            msweb_ossim::LoadSnapshot {
+                                at: now,
+                                cpu_busy: SimDuration::from_secs_f64(
+                                    now.as_secs_f64() * ((h % 97) as f64 / 100.0),
+                                ),
+                                disk_busy: SimDuration::from_secs_f64(
+                                    now.as_secs_f64() * (((h >> 7) % 97) as f64 / 100.0),
+                                ),
+                                mem_free_ratio: 1.0,
+                                ready_len: 0,
+                                disk_queue_len: 0,
+                                processes: 0,
+                            }
+                        })
+                        .collect();
+                    mon_a.tick(now, &snaps);
+                    mon_b.tick(now, &snaps);
+                }
+                // Toggle a node's liveness, but never kill the last live
+                // node of a level.
+                1 => {
+                    let victim = arg % p;
+                    let flip = !dead[victim];
+                    let (lo, hi) = if victim < m { (0, m) } else { (m, p) };
+                    let live_in_level = (lo..hi).filter(|&i| !dead[i]).count();
+                    if !flip || live_in_level > 1 {
+                        dead[victim] = flip;
+                        dense.set_dead(victim, flip);
+                        indexed.set_dead(victim, flip);
+                    }
+                }
+                // Place a request through both pipelines (charging each
+                // monitor identically) and compare the chosen node.
+                _ => {
+                    let dynamic = op % 2 == 0;
+                    let w = (arg % 101) as f64 / 100.0;
+                    let a = dense.place(dynamic, w, svc, &mut mon_a).unwrap();
+                    let b = indexed.place(dynamic, w, svc, &mut mon_b).unwrap();
+                    prop_assert_eq!(a.node, b.node, "placement at step {} diverged", step);
+                }
+            }
         }
     }
 

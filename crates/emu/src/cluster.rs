@@ -270,15 +270,9 @@ pub fn run_live_with<S: Schedule>(
                 let at = to_sim(now - t0);
                 let snaps = snapshot(&stats, SimTime(at.as_micros()));
                 monitor.tick(SimTime(at.as_micros()), &snaps);
-                let rho = {
-                    let loads = monitor.all();
-                    loads
-                        .iter()
-                        .map(|l| (1.0 - l.cpu_idle_ratio) + (1.0 - l.disk_avail_ratio))
-                        .sum::<f64>()
-                        / loads.len() as f64
-                };
-                scheduler.reservation_mut().update(rho);
+                scheduler
+                    .reservation_mut()
+                    .update(monitor.mean_utilisation());
                 next_monitor += config.monitor_period;
                 continue;
             }

@@ -8,7 +8,10 @@
 //!    paper's two-level candidate sets;
 //! 2. the same pipeline with a *custom scorer written in this example*:
 //!    power-of-two-choices over the RSRC cost (Eq. 5), a classic
-//!    randomized-load-balancing rule the paper never evaluated.
+//!    randomized-load-balancing rule the paper never evaluated. (The
+//!    registry now also ships this rule built in as `rsrc-p2:<k>` for
+//!    any `k` — the hand-rolled version stays here as the registration
+//!    walkthrough.)
 //!
 //! Both run through the ordinary [`ClusterSim`] driver and are compared
 //! against the built-in M/S and Flat policies on the same trace.

@@ -1,0 +1,110 @@
+//! End-to-end equivalence of the O(log p) decision index with the dense
+//! RSRC scan, at cluster sizes where the indexed path is active.
+//!
+//! Three full simulations of the same trace must produce byte-identical
+//! `RunSummary` JSON:
+//!
+//! 1. the built-in `MasterSlave` scheduler (whose scorer is indexed),
+//! 2. a composed pipeline with the dense `min-rsrc-reserve` scorer,
+//! 3. a composed pipeline with the `rsrc-indexed-reserve` scorer,
+//!
+//! and the dense run must match the recorded fixture. Regenerate the
+//! fixtures (only when a behaviour change is intended and reviewed) with:
+//!
+//! ```sh
+//! MSWEB_BLESS=1 cargo test --test decision_index
+//! ```
+
+use msweb::prelude::*;
+use msweb_cluster::{ClusterSim, SchedulerRegistry, StageSpec};
+use msweb_simcore::SimDuration;
+
+/// The stage pipeline equivalent to the built-in M/S scheduler.
+const MS_SPEC: &str = "rotation-masters/reservation/level-split/{scorer}/split-demand";
+
+fn golden_trace(p: usize) -> Trace {
+    ucb()
+        .generate(2_000, &DemandModel::simulation(40.0), 7)
+        .scaled_to_rate(37.5 * p as f64)
+}
+
+/// The same `(a0, r0, mean demands)` estimation `run_policy` performs,
+/// so the composed runs see the scheduler parameters the built-in run
+/// sees.
+fn trace_params(trace: &Trace) -> (f64, f64, SimDuration, SimDuration) {
+    let a0 = trace.summary().arrival_ratio_a.clamp(0.01, 10.0);
+    let (mut ds, mut nd, mut ss, mut ns) = (0.0f64, 0u64, 0.0f64, 0u64);
+    for r in &trace.requests {
+        if r.class.is_dynamic() {
+            ds += r.demand.service.as_secs_f64();
+            nd += 1;
+        } else {
+            ss += r.demand.service.as_secs_f64();
+            ns += 1;
+        }
+    }
+    let r0 = ((ss / ns as f64) / (ds / nd as f64)).clamp(1e-4, 1.0);
+    (
+        a0,
+        r0,
+        SimDuration::from_secs_f64(ss / ns as f64),
+        SimDuration::from_secs_f64(ds / nd as f64),
+    )
+}
+
+fn config(p: usize) -> ClusterConfig {
+    ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+        .with_masters(p / 4)
+        .with_seed(11)
+}
+
+fn run_builtin(p: usize, trace: &Trace) -> String {
+    let (a0, r0, stat, dynamic) = trace_params(trace);
+    let mut sim = ClusterSim::new(config(p), a0, r0).with_mean_demands(stat, dynamic);
+    serde::to_json_string_pretty(&sim.run(trace))
+}
+
+fn run_composed(p: usize, trace: &Trace, scorer: &str) -> String {
+    let (a0, r0, stat, dynamic) = trace_params(trace);
+    let cfg = config(p);
+    let spec = StageSpec::parse(&MS_SPEC.replace("{scorer}", scorer)).unwrap();
+    let scheduler = SchedulerRegistry::builtin()
+        .compose(&cfg, &spec, a0, r0)
+        .unwrap();
+    let mut sim = ClusterSim::with_scheduler(cfg, scheduler).with_mean_demands(stat, dynamic);
+    serde::to_json_string_pretty(&sim.run(trace))
+}
+
+fn fixture_path(p: usize) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(format!("decision-index-p{p}.json"))
+}
+
+#[test]
+fn indexed_and_dense_summaries_are_byte_identical() {
+    let bless = std::env::var_os("MSWEB_BLESS").is_some();
+    for p in [32usize, 128] {
+        let trace = golden_trace(p);
+        let dense = run_composed(p, &trace, "min-rsrc-reserve");
+        let path = fixture_path(p);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &dense).unwrap();
+        } else {
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {path:?}: {e}"));
+            assert_eq!(dense, want, "p={p}: dense summary drifted from fixture");
+        }
+        let indexed = run_composed(p, &trace, "rsrc-indexed-reserve");
+        assert_eq!(
+            indexed, dense,
+            "p={p}: indexed scorer diverged from dense scan"
+        );
+        let builtin = run_builtin(p, &trace);
+        assert_eq!(
+            builtin, dense,
+            "p={p}: built-in M/S diverged from dense pipeline"
+        );
+    }
+}
