@@ -53,8 +53,9 @@ pub use metrics::{Level, Metrics, RunSummary};
 pub use reservation::ReservationController;
 pub use rsrc::RsrcPredictor;
 pub use sched::{
-    CollectingObserver, ComposeError, DecisionObserver, DecisionRecord, Dispatcher, DynScheduler,
-    JsonlSink, Placement, PlacementError, PolicyScheduler, Schedule, Scheduler, SchedulerRegistry,
-    StageSpec,
+    analyze, AnalysisReport, CollectingObserver, ComposeError, DecisionObserver, DecisionRecord,
+    Dispatcher, DropRecord, DynScheduler, JsonlSink, NodeSample, Placement, PlacementError,
+    PolicyScheduler, ReplayError, ReplayOptions, RunMeta, Schedule, Scheduler, SchedulerRegistry,
+    StageKind, StageSpec, TraceEvent, TraceLog,
 };
 pub use sim::{run_policy, run_policy_with_observer, ClusterSim};

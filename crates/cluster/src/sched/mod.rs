@@ -26,6 +26,7 @@
 
 pub mod index;
 pub mod registry;
+pub mod replay;
 pub mod stages;
 pub mod trace;
 
@@ -35,12 +36,16 @@ use crate::loadinfo::{LoadMonitor, NodeLoad};
 use crate::reservation::ReservationController;
 use crate::rsrc::RsrcPredictor;
 use msweb_simcore::rng::SimRng;
-use msweb_simcore::time::SimDuration;
+use msweb_simcore::time::{SimDuration, SimTime};
 
 pub use index::RsrcIndex;
 pub use registry::{ComposeError, SchedulerRegistry, StageSpec};
+pub use replay::{analyze, AnalysisReport, ReplayError, ReplayOptions, StageKind};
 pub use stages::{AdmissionStage, CandidateStage, ChargeStage, EntryStage, ScoreStage};
-pub use trace::{CollectingObserver, DecisionObserver, DecisionRecord, JsonlSink};
+pub use trace::{
+    encode_event, parse_line, CollectingObserver, DecisionObserver, DecisionRecord, DropRecord,
+    JsonlSink, NodeSample, RunMeta, TraceEvent, TraceLog, TRACE_SCHEMA_VERSION,
+};
 
 /// Outcome of a scheduling decision: where the request runs and what it
 /// costs to get it there.
@@ -288,6 +293,13 @@ pub struct Scheduler<E, A, C, S, G> {
     liveness: u64,
     seq: u64,
     observer: Option<Box<dyn DecisionObserver>>,
+    /// Driver annotation for the next `place` call: (request id, decision
+    /// time, actual service demand). Consumed (and cleared) by `place`
+    /// whether or not the placement succeeds.
+    pending: Option<(u64, SimTime, SimDuration)>,
+    /// Set while `replace_after_failure` runs so the emitted record is
+    /// marked as a post-failure restart.
+    restarting: bool,
 }
 
 /// Statically dispatched scheduler covering every built-in
@@ -357,6 +369,8 @@ where
             liveness: 0,
             seq: 0,
             observer: None,
+            pending: None,
+            restarting: false,
         })
     }
 
@@ -370,10 +384,19 @@ where
         self.p
     }
 
-    /// Mark a node dead or alive for future placements.
+    /// Mark a node dead or alive for future placements. Emits a
+    /// [`TraceEvent::NodeDown`]/[`TraceEvent::NodeUp`] to the installed
+    /// observer on an actual state change, so failure scenarios are
+    /// replayable from the log alone.
     pub fn set_dead(&mut self, node: usize, dead: bool) {
         if self.dead[node] != dead {
             self.liveness += 1;
+            let event = if dead {
+                TraceEvent::NodeDown { node }
+            } else {
+                TraceEvent::NodeUp { node }
+            };
+            self.emit(&event);
         }
         self.dead[node] = dead;
     }
@@ -413,9 +436,34 @@ where
     }
 
     /// Install (or remove) a per-decision observer. The scheduler emits
-    /// one [`DecisionRecord`] per successful placement.
+    /// one [`DecisionRecord`] per successful placement plus liveness
+    /// events; drivers forward run-level events through
+    /// [`Scheduler::emit`].
     pub fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>) {
         self.observer = observer;
+    }
+
+    /// Whether an observer is installed (drivers skip building trace
+    /// events entirely when not).
+    pub fn tracing(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Forward a non-decision event to the installed observer (no-op
+    /// without one).
+    pub fn emit(&mut self, event: &TraceEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.event(event);
+        }
+    }
+
+    /// Annotate the next [`Scheduler::place`] call with the driver's
+    /// request identity: request id, decision time, and the request's
+    /// actual service demand. The annotation is consumed by the next
+    /// `place` (successful or not) and enriches its [`DecisionRecord`]
+    /// so a log line carries everything replay needs.
+    pub fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration) {
+        self.pending = Some((req, at, demand));
     }
 
     /// Run the pipeline for one request.
@@ -431,6 +479,7 @@ where
         expected_service: SimDuration,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
+        let pending = self.pending.take();
         let entry = {
             let mut ctx = StageCtx {
                 rng: &mut self.rng,
@@ -452,7 +501,7 @@ where
 
         let mut buf = std::mem::take(&mut self.buf);
         buf.clear();
-        let decision = {
+        let (masters_ok, decision) = {
             let ctx = StageCtx {
                 rng: &mut self.rng,
                 dead: &self.dead,
@@ -467,7 +516,8 @@ where
                 liveness_epoch: self.liveness,
             };
             let masters_ok = self.admission.master_eligible(&ctx);
-            self.candidates.collect(&ctx, dynamic, masters_ok, &mut buf)
+            let decision = self.candidates.collect(&ctx, dynamic, masters_ok, &mut buf);
+            (masters_ok, decision)
         };
 
         let mut trace_scores: Vec<f64> = Vec::new();
@@ -529,6 +579,7 @@ where
 
         self.seq += 1;
         if let Some(mut obs) = self.observer.take() {
+            let (req, at, demand) = pending.unwrap_or((self.seq, SimTime(0), SimDuration::ZERO));
             let record = DecisionRecord {
                 seq: self.seq,
                 dynamic,
@@ -541,6 +592,13 @@ where
                 on_master: placement.on_master,
                 redirected: self.pay_redirect && placement.node != entry,
                 latency_us: placement.latency.as_micros(),
+                req,
+                at_us: at.0,
+                demand_us: demand.as_micros(),
+                w: sampled_w,
+                expected_us: expected_service.as_micros(),
+                masters_ok,
+                restart: self.restarting,
             };
             obs.observe(&record);
             self.observer = Some(obs);
@@ -559,7 +617,10 @@ where
         expected_service: SimDuration,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
-        let mut placement = self.place(dynamic, sampled_w, expected_service, monitor)?;
+        self.restarting = true;
+        let placed = self.place(dynamic, sampled_w, expected_service, monitor);
+        self.restarting = false;
+        let mut placement = placed?;
         if placement.latency.is_zero() {
             placement.latency = self.remote_latency;
         }
@@ -603,6 +664,12 @@ pub trait Schedule {
     fn reservation_mut(&mut self) -> &mut ReservationController;
     /// See [`Scheduler::set_observer`].
     fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>);
+    /// See [`Scheduler::tracing`].
+    fn tracing(&self) -> bool;
+    /// See [`Scheduler::emit`].
+    fn emit(&mut self, event: &TraceEvent);
+    /// See [`Scheduler::note_request`].
+    fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration);
 }
 
 impl<E, A, C, S, G> Schedule for Scheduler<E, A, C, S, G>
@@ -654,6 +721,15 @@ where
     }
     fn set_observer(&mut self, observer: Option<Box<dyn DecisionObserver>>) {
         Scheduler::set_observer(self, observer)
+    }
+    fn tracing(&self) -> bool {
+        Scheduler::tracing(self)
+    }
+    fn emit(&mut self, event: &TraceEvent) {
+        Scheduler::emit(self, event)
+    }
+    fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration) {
+        Scheduler::note_request(self, req, at, demand)
     }
 }
 

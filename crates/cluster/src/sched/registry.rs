@@ -14,7 +14,7 @@ use super::stages::{
 use super::{
     Admission, CandidateSet, ChargeBack, DynScheduler, EntrySelector, Scheduler, Scorer, Stages,
 };
-use crate::config::{ClusterConfig, ConfigError};
+use crate::config::{ClusterConfig, ConfigError, PolicyKind};
 use std::collections::BTreeMap;
 
 type EntryFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn EntrySelector>>;
@@ -57,6 +57,76 @@ impl StageSpec {
             scorer: scorer.to_string(),
             charge: charge.to_string(),
         })
+    }
+
+    /// The registry spec equivalent to a built-in [`PolicyKind`]'s stage
+    /// table ([`super::stages::for_policy`]): composing this spec over
+    /// the same configuration (which must keep `config.policy` set, as
+    /// the policy also drives RSRC sampling and redirect accounting)
+    /// yields placement-identical decisions. Used by the replay
+    /// analyzer to express "same policy, different stage" counterfactual
+    /// specs by swapping one part.
+    pub fn for_policy(policy: PolicyKind) -> StageSpec {
+        let (entry, admission, candidates, scorer, charge) = match policy {
+            PolicyKind::Flat => (
+                "rotation",
+                "none",
+                "entry-only",
+                "rsrc-indexed",
+                "split-demand",
+            ),
+            PolicyKind::MsPrime => (
+                "rotation",
+                "none",
+                "pinned-slaves",
+                "rsrc-indexed",
+                "split-demand",
+            ),
+            PolicyKind::MsAllMasters => (
+                "rotation",
+                "reservation",
+                "level-split",
+                "rsrc-indexed-reserve",
+                "split-demand",
+            ),
+            PolicyKind::Switch => (
+                "least-connections",
+                "none",
+                "entry-only",
+                "rsrc-indexed",
+                "cpu-only",
+            ),
+            PolicyKind::MsNoReservation => (
+                "rotation-masters",
+                "reservation-observe",
+                "level-split",
+                "rsrc-indexed",
+                "split-demand",
+            ),
+            PolicyKind::MasterSlave | PolicyKind::MsNoSampling | PolicyKind::Redirect => (
+                "rotation-masters",
+                "reservation",
+                "level-split",
+                "rsrc-indexed-reserve",
+                "split-demand",
+            ),
+        };
+        StageSpec {
+            entry: entry.to_string(),
+            admission: admission.to_string(),
+            candidates: candidates.to_string(),
+            scorer: scorer.to_string(),
+            charge: charge.to_string(),
+        }
+    }
+
+    /// Render back to the `/`-separated form accepted by
+    /// [`StageSpec::parse`].
+    pub fn render(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.entry, self.admission, self.candidates, self.scorer, self.charge
+        )
     }
 }
 
@@ -153,7 +223,7 @@ impl SchedulerRegistry {
     /// | kind | names |
     /// |---|---|
     /// | entry | `rotation`, `rotation-masters`, `least-connections` |
-    /// | admission | `reservation`, `none` |
+    /// | admission | `reservation`, `reservation-observe`, `none` |
     /// | candidates | `level-split`, `pinned-slaves`, `entry-only` |
     /// | scorer | `min-rsrc`, `min-rsrc-reserve`, `rsrc-indexed`, `rsrc-indexed-reserve`, `rsrc-p2:<k>`, `least-connections`, `random` |
     /// | charge | `split-demand`, `cpu-only` |
@@ -179,6 +249,9 @@ impl SchedulerRegistry {
         r.register_entry("least-connections", |_| Box::new(LeastConnectionsEntry));
         r.register_admission("reservation", |_| {
             Box::new(ReservationAdmission { enforce: true })
+        });
+        r.register_admission("reservation-observe", |_| {
+            Box::new(ReservationAdmission { enforce: false })
         });
         r.register_admission("none", |_| Box::new(NoAdmission));
         r.register_candidates("level-split", |_| Box::new(LevelCandidates));

@@ -516,6 +516,13 @@ fn jsonl_sink_writes_one_line_per_record() {
             on_master: false,
             redirected: false,
             latency_us: 1000,
+            req: 1,
+            at_us: 0,
+            demand_us: 0,
+            w: 0.5,
+            expected_us: 0,
+            masters_ok: true,
+            restart: false,
         };
         sink.observe(&record);
         sink.observe(&record);

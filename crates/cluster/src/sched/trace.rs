@@ -1,15 +1,42 @@
 //! Per-decision observability: the [`DecisionObserver`] hook, the
-//! [`DecisionRecord`] emitted for every placement, and sinks.
+//! [`TraceEvent`] stream (schema v2) emitted for every placement,
+//! completion, monitor tick and failure event, and sinks.
 //!
 //! Both execution substrates — the event-driven simulator and the live
 //! emulation — thread the observer through the *same* `Scheduler`
 //! value, so the JSONL a [`JsonlSink`] writes is schema-identical
 //! regardless of which substrate drove the run.
+//!
+//! # JSONL schema
+//!
+//! Schema v2 is *event-sourced*: every line is one JSON object with a
+//! version tag `"v"` and an event tag `"ev"`, and the line sequence
+//! records every scheduler-state mutation in call order. That makes a
+//! log a complete replay input: [`crate::sched::replay`] re-drives any
+//! scheduler composition over it and diffs the placements.
+//!
+//! | `ev` | emitted on | payload |
+//! |---|---|---|
+//! | `meta` | run start | substrate, cluster shape, policy, seed, priors |
+//! | `decision` | every placement | the [`DecisionRecord`] fields |
+//! | `complete` | request completion | request, node, class, response |
+//! | `tick` | monitor tick | cumulative per-node busy counters, ρ |
+//! | `node-down` / `node-up` | liveness change | node index |
+//! | `drop` | request dropped | request, class, whether the scheduler ran |
+//!
+//! Schema v1 lines (bare [`DecisionRecord`] objects with no `"v"`/`"ev"`
+//! tags, as written before the replay analyzer existed) still parse:
+//! [`parse_line`] maps them to [`TraceEvent::Decision`] with the v2-only
+//! fields defaulted and reports a warning instead of an error. Unknown
+//! fields and newer schema versions likewise degrade to warnings.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+
+/// Current version written into every line's `"v"` field.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Everything the scheduler knew (and decided) for one placement.
 ///
@@ -18,6 +45,13 @@ use std::path::Path;
 /// stayed on its entry node) and `scores` the per-candidate scorer
 /// values sampled *before* the charge-back debit, i.e. exactly what the
 /// decision was based on.
+///
+/// The fields after `latency_us` are new in schema v2: they capture the
+/// *inputs* of the decision (`req`, `at_us`, `demand_us`, `w`,
+/// `expected_us`, `restart`) and the admission verdict (`masters_ok`),
+/// which is what lets [`crate::sched::replay`] re-drive the decision and
+/// attribute a disagreement to a pipeline stage. Logs written by the v1
+/// schema parse with these fields defaulted.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DecisionRecord {
     /// 1-based decision sequence number within the scheduler.
@@ -44,15 +78,693 @@ pub struct DecisionRecord {
     pub redirected: bool,
     /// Transfer latency paid, in microseconds.
     pub latency_us: u64,
+    /// Driver request id (trace index); equals `seq` when the driver
+    /// did not annotate the request.
+    pub req: u64,
+    /// Decision time in microseconds of substrate time.
+    pub at_us: u64,
+    /// The request's actual service demand in microseconds (0 when the
+    /// driver did not annotate it).
+    pub demand_us: u64,
+    /// The sampled CPU weight `w` passed to `place`.
+    pub w: f64,
+    /// The expected-demand charge passed to `place`, in microseconds.
+    pub expected_us: u64,
+    /// The admission stage's verdict: whether masters were eligible for
+    /// this request.
+    pub masters_ok: bool,
+    /// Whether this decision re-placed a request lost to a node failure
+    /// (`replace_after_failure`).
+    pub restart: bool,
 }
 
-/// Observer invoked once per successful placement.
+/// One node's cumulative load counters as sampled at a monitor tick —
+/// the recorded form of an `ossim` `LoadSnapshot`, sufficient to replay
+/// `LoadMonitor::tick` exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSample {
+    /// Cumulative CPU busy time, microseconds.
+    pub cpu_busy_us: u64,
+    /// Cumulative disk busy time, microseconds.
+    pub disk_busy_us: u64,
+    /// Fraction of memory free at the tick.
+    pub mem_free_ratio: f64,
+    /// CPU ready-queue length at the tick.
+    pub ready_len: usize,
+    /// Disk queue length at the tick.
+    pub disk_queue_len: usize,
+    /// Live processes at the tick.
+    pub processes: usize,
+}
+
+impl NodeSample {
+    /// Record an `ossim` snapshot (drops the timestamp, which the tick
+    /// event carries once for all nodes).
+    pub fn from_snapshot(s: &msweb_ossim::LoadSnapshot) -> Self {
+        NodeSample {
+            cpu_busy_us: s.cpu_busy.as_micros(),
+            disk_busy_us: s.disk_busy.as_micros(),
+            mem_free_ratio: s.mem_free_ratio,
+            ready_len: s.ready_len,
+            disk_queue_len: s.disk_queue_len,
+            processes: s.processes,
+        }
+    }
+
+    /// Rebuild the `ossim` snapshot at tick time `at_us`.
+    pub fn to_snapshot(self, at_us: u64) -> msweb_ossim::LoadSnapshot {
+        msweb_ossim::LoadSnapshot {
+            at: msweb_simcore::SimTime(at_us),
+            cpu_busy: msweb_simcore::SimDuration::from_micros(self.cpu_busy_us),
+            disk_busy: msweb_simcore::SimDuration::from_micros(self.disk_busy_us),
+            mem_free_ratio: self.mem_free_ratio,
+            ready_len: self.ready_len,
+            disk_queue_len: self.disk_queue_len,
+            processes: self.processes,
+        }
+    }
+}
+
+/// Run-level identity emitted once at the head of a traced run: enough
+/// to rebuild the scheduler (and its deterministic RNG) for replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    /// Which substrate drove the run: `"sim"` or `"live"`.
+    pub substrate: String,
+    /// Cluster size `p`.
+    pub p: usize,
+    /// Resolved master count `m`.
+    pub m: usize,
+    /// Policy slug (`PolicyKind::slug`) the scheduler was built for.
+    pub policy: String,
+    /// Registry stage spec, when the run used a custom composition
+    /// rather than the built-in policy factory.
+    pub spec: Option<String>,
+    /// Dispatch RNG seed.
+    pub seed: u64,
+    /// Arrival-ratio prior seeding the reservation controller.
+    pub a0: f64,
+    /// Demand-ratio prior seeding the reservation controller.
+    pub r0: f64,
+    /// Master capacity reserve.
+    pub master_reserve: f64,
+    /// DNS cache skew of the front end.
+    pub dns_skew: f64,
+    /// Monitor period, microseconds.
+    pub monitor_period_us: u64,
+    /// Remote dispatch latency, microseconds.
+    pub remote_latency_us: u64,
+    /// Redirect round-trip penalty, microseconds.
+    pub redirect_rtt_us: u64,
+    /// Per-node speed factors (`None` = homogeneous).
+    pub speeds: Option<Vec<f64>>,
+}
+
+/// A dropped request: either the front end found no live node (the
+/// scheduler ran and consumed RNG draws before failing) or fail-over
+/// bookkeeping discarded it without consulting the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropRecord {
+    /// Driver request id.
+    pub req: u64,
+    /// Drop time in microseconds of substrate time.
+    pub at_us: u64,
+    /// Whether the request was dynamic.
+    pub dynamic: bool,
+    /// The sampled CPU weight that was (or would have been) passed to
+    /// the scheduler.
+    pub w: f64,
+    /// The expected-demand charge, microseconds.
+    pub expected_us: u64,
+    /// Whether the scheduler was actually invoked (and advanced its
+    /// RNG) before the drop — replay must re-drive such calls to stay
+    /// in lockstep.
+    pub redrive: bool,
+    /// Whether the drop happened on the fail-over path (a lost request
+    /// that was not restarted) rather than at the front end.
+    pub restart: bool,
+}
+
+/// One line of a schema-v2 decision log; see the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Run identity; first line of every traced run.
+    Meta(RunMeta),
+    /// One placement decision.
+    Decision(DecisionRecord),
+    /// A request completed on `node`.
+    Complete {
+        /// Driver request id.
+        req: u64,
+        /// Node the request completed on.
+        node: usize,
+        /// Whether the request's *class* was dynamic (note: a cached
+        /// CGI hit is placed as static but completes as dynamic here,
+        /// matching the reservation controller's response feed).
+        dynamic: bool,
+        /// Response time, microseconds.
+        response_us: u64,
+    },
+    /// A load-monitor tick.
+    Tick {
+        /// Tick time, microseconds.
+        at_us: u64,
+        /// Mean cluster utilisation fed to the reservation controller.
+        rho: f64,
+        /// Per-node cumulative counters, in node order.
+        nodes: Vec<NodeSample>,
+    },
+    /// A node was marked dead.
+    NodeDown {
+        /// Node index.
+        node: usize,
+    },
+    /// A node was revived.
+    NodeUp {
+        /// Node index.
+        node: usize,
+    },
+    /// A request was dropped.
+    Drop(DropRecord),
+    /// An event tag this version does not know (a newer schema);
+    /// parsed for forward compatibility, skipped by replay.
+    Unknown {
+        /// The unrecognised `"ev"` tag.
+        ev: String,
+    },
+}
+
+// ------------------------------------------------------------- encoding
+
+fn u(n: u64) -> Value {
+    Value::UInt(n)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn tagged(ev: &str, mut rest: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![
+        ("v", u(TRACE_SCHEMA_VERSION)),
+        ("ev", Value::Str(ev.to_string())),
+    ];
+    fields.append(&mut rest.iter_mut().map(|(k, v)| (*k, v.clone())).collect());
+    obj(fields)
+}
+
+fn decision_value(r: &DecisionRecord) -> Value {
+    tagged(
+        "decision",
+        vec![
+            ("seq", u(r.seq)),
+            ("dynamic", Value::Bool(r.dynamic)),
+            ("entry", u(r.entry as u64)),
+            ("candidates", r.candidates.to_value()),
+            ("scores", r.scores.to_value()),
+            ("theta_hat", Value::Float(r.theta_hat)),
+            ("theta2_star", Value::Float(r.theta2_star)),
+            ("chosen", u(r.chosen as u64)),
+            ("on_master", Value::Bool(r.on_master)),
+            ("redirected", Value::Bool(r.redirected)),
+            ("latency_us", u(r.latency_us)),
+            ("req", u(r.req)),
+            ("at_us", u(r.at_us)),
+            ("demand_us", u(r.demand_us)),
+            ("w", Value::Float(r.w)),
+            ("expected_us", u(r.expected_us)),
+            ("masters_ok", Value::Bool(r.masters_ok)),
+            ("restart", Value::Bool(r.restart)),
+        ],
+    )
+}
+
+/// Encode one event as a compact single-line JSON object (no trailing
+/// newline). [`parse_line`] inverts this exactly.
+pub fn encode_event(event: &TraceEvent) -> String {
+    let value = match event {
+        TraceEvent::Decision(r) => decision_value(r),
+        TraceEvent::Meta(m) => tagged(
+            "meta",
+            vec![
+                ("substrate", Value::Str(m.substrate.clone())),
+                ("p", u(m.p as u64)),
+                ("m", u(m.m as u64)),
+                ("policy", Value::Str(m.policy.clone())),
+                (
+                    "spec",
+                    match &m.spec {
+                        Some(s) => Value::Str(s.clone()),
+                        None => Value::Null,
+                    },
+                ),
+                ("seed", u(m.seed)),
+                ("a0", Value::Float(m.a0)),
+                ("r0", Value::Float(m.r0)),
+                ("master_reserve", Value::Float(m.master_reserve)),
+                ("dns_skew", Value::Float(m.dns_skew)),
+                ("monitor_period_us", u(m.monitor_period_us)),
+                ("remote_latency_us", u(m.remote_latency_us)),
+                ("redirect_rtt_us", u(m.redirect_rtt_us)),
+                (
+                    "speeds",
+                    match &m.speeds {
+                        Some(s) => s.to_value(),
+                        None => Value::Null,
+                    },
+                ),
+            ],
+        ),
+        TraceEvent::Complete {
+            req,
+            node,
+            dynamic,
+            response_us,
+        } => tagged(
+            "complete",
+            vec![
+                ("req", u(*req)),
+                ("node", u(*node as u64)),
+                ("dynamic", Value::Bool(*dynamic)),
+                ("response_us", u(*response_us)),
+            ],
+        ),
+        TraceEvent::Tick { at_us, rho, nodes } => tagged(
+            "tick",
+            vec![
+                ("at_us", u(*at_us)),
+                ("rho", Value::Float(*rho)),
+                (
+                    "nodes",
+                    Value::Array(
+                        nodes
+                            .iter()
+                            .map(|n| {
+                                Value::Array(vec![
+                                    u(n.cpu_busy_us),
+                                    u(n.disk_busy_us),
+                                    Value::Float(n.mem_free_ratio),
+                                    u(n.ready_len as u64),
+                                    u(n.disk_queue_len as u64),
+                                    u(n.processes as u64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        ),
+        TraceEvent::NodeDown { node } => tagged("node-down", vec![("node", u(*node as u64))]),
+        TraceEvent::NodeUp { node } => tagged("node-up", vec![("node", u(*node as u64))]),
+        TraceEvent::Drop(d) => tagged(
+            "drop",
+            vec![
+                ("req", u(d.req)),
+                ("at_us", u(d.at_us)),
+                ("dynamic", Value::Bool(d.dynamic)),
+                ("w", Value::Float(d.w)),
+                ("expected_us", u(d.expected_us)),
+                ("redrive", Value::Bool(d.redrive)),
+                ("restart", Value::Bool(d.restart)),
+            ],
+        ),
+        TraceEvent::Unknown { ev } => tagged(ev, vec![]),
+    };
+    value.to_json()
+}
+
+// -------------------------------------------------------------- parsing
+
+/// Typed view over a parsed JSON object with field-level error messages.
+struct Obj<'a> {
+    ev: &'a str,
+    fields: &'a [(String, Value)],
+}
+
+impl<'a> Obj<'a> {
+    fn get(&self, key: &str) -> Result<&'a Value, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("{} event missing field {key:?}", self.ev))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)?
+            .as_u64()
+            .ok_or_else(|| format!("{} field {key:?} is not an unsigned integer", self.ev))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        Ok(self.u64(key)? as usize)
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        self.get(key)?
+            .as_f64()
+            .ok_or_else(|| format!("{} field {key:?} is not a number", self.ev))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        self.get(key)?
+            .as_bool()
+            .ok_or_else(|| format!("{} field {key:?} is not a boolean", self.ev))
+    }
+
+    fn str(&self, key: &str) -> Result<String, String> {
+        Ok(self
+            .get(key)?
+            .as_str()
+            .ok_or_else(|| format!("{} field {key:?} is not a string", self.ev))?
+            .to_string())
+    }
+
+    fn usize_array(&self, key: &str) -> Result<Vec<usize>, String> {
+        self.get(key)?
+            .as_array()
+            .ok_or_else(|| format!("{} field {key:?} is not an array", self.ev))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| format!("{} field {key:?} has a non-integer item", self.ev))
+            })
+            .collect()
+    }
+
+    fn f64_array(&self, key: &str) -> Result<Vec<f64>, String> {
+        self.get(key)?
+            .as_array()
+            .ok_or_else(|| format!("{} field {key:?} is not an array", self.ev))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| format!("{} field {key:?} has a non-number item", self.ev))
+            })
+            .collect()
+    }
+
+    /// Collect warnings for fields outside `known` (forward compat:
+    /// a newer writer added fields this version does not understand).
+    fn warn_unknown(&self, known: &[&str], warnings: &mut Vec<String>) {
+        for (k, _) in self.fields {
+            if k != "v" && k != "ev" && !known.contains(&k.as_str()) {
+                warnings.push(format!("{} event has unknown field {k:?}", self.ev));
+            }
+        }
+    }
+}
+
+const DECISION_FIELDS: &[&str] = &[
+    "seq",
+    "dynamic",
+    "entry",
+    "candidates",
+    "scores",
+    "theta_hat",
+    "theta2_star",
+    "chosen",
+    "on_master",
+    "redirected",
+    "latency_us",
+    "req",
+    "at_us",
+    "demand_us",
+    "w",
+    "expected_us",
+    "masters_ok",
+    "restart",
+];
+
+/// Parse a decision object. `v1` relaxes the v2-only fields to their
+/// defaults (old logs predate them).
+fn parse_decision(o: &Obj<'_>, v1: bool) -> Result<DecisionRecord, String> {
+    let seq = o.u64("seq")?;
+    Ok(DecisionRecord {
+        seq,
+        dynamic: o.bool("dynamic")?,
+        entry: o.usize("entry")?,
+        candidates: o.usize_array("candidates")?,
+        scores: o.f64_array("scores")?,
+        theta_hat: o.f64("theta_hat")?,
+        theta2_star: o.f64("theta2_star")?,
+        chosen: o.usize("chosen")?,
+        on_master: o.bool("on_master")?,
+        redirected: o.bool("redirected")?,
+        latency_us: o.u64("latency_us")?,
+        req: if v1 { seq } else { o.u64("req")? },
+        at_us: if v1 { 0 } else { o.u64("at_us")? },
+        demand_us: if v1 { 0 } else { o.u64("demand_us")? },
+        w: if v1 { 0.0 } else { o.f64("w")? },
+        expected_us: if v1 { 0 } else { o.u64("expected_us")? },
+        masters_ok: if v1 { true } else { o.bool("masters_ok")? },
+        restart: if v1 { false } else { o.bool("restart")? },
+    })
+}
+
+/// Parse one JSONL line into a [`TraceEvent`].
+///
+/// Returns the event plus any warnings: schema-v1 lines, unknown
+/// fields, and newer-than-supported versions all parse with a warning
+/// instead of failing, so old and future logs stay readable. Only
+/// malformed JSON or a known event missing a required field is an
+/// error.
+pub fn parse_line(line: &str) -> Result<(TraceEvent, Vec<String>), String> {
+    let value = Value::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let fields = value
+        .as_object()
+        .ok_or_else(|| "line is not a JSON object".to_string())?;
+    let mut warnings = Vec::new();
+
+    let ev_tag = value.get("ev").and_then(Value::as_str);
+    let Some(ev) = ev_tag else {
+        // No "ev": a schema-v1 bare DecisionRecord line.
+        if value.get("seq").is_none() {
+            return Err("line has neither an \"ev\" tag nor a v1 \"seq\" field".to_string());
+        }
+        warnings.push("schema v1 decision record: replay fields defaulted".to_string());
+        let o = Obj {
+            ev: "decision",
+            fields,
+        };
+        o.warn_unknown(DECISION_FIELDS, &mut warnings);
+        return Ok((TraceEvent::Decision(parse_decision(&o, true)?), warnings));
+    };
+
+    match value.get("v").and_then(Value::as_u64) {
+        Some(v) if v > TRACE_SCHEMA_VERSION => warnings.push(format!(
+            "schema v{v} is newer than supported v{TRACE_SCHEMA_VERSION}; parsing best-effort"
+        )),
+        Some(_) => {}
+        None => warnings.push("tagged event without a \"v\" version field".to_string()),
+    }
+
+    let o = Obj { ev, fields };
+    let event = match ev {
+        "decision" => {
+            o.warn_unknown(DECISION_FIELDS, &mut warnings);
+            TraceEvent::Decision(parse_decision(&o, false)?)
+        }
+        "meta" => {
+            o.warn_unknown(
+                &[
+                    "substrate",
+                    "p",
+                    "m",
+                    "policy",
+                    "spec",
+                    "seed",
+                    "a0",
+                    "r0",
+                    "master_reserve",
+                    "dns_skew",
+                    "monitor_period_us",
+                    "remote_latency_us",
+                    "redirect_rtt_us",
+                    "speeds",
+                ],
+                &mut warnings,
+            );
+            TraceEvent::Meta(RunMeta {
+                substrate: o.str("substrate")?,
+                p: o.usize("p")?,
+                m: o.usize("m")?,
+                policy: o.str("policy")?,
+                spec: match o.get("spec")? {
+                    Value::Null => None,
+                    v => Some(
+                        v.as_str()
+                            .ok_or_else(|| "meta field \"spec\" is not a string".to_string())?
+                            .to_string(),
+                    ),
+                },
+                seed: o.u64("seed")?,
+                a0: o.f64("a0")?,
+                r0: o.f64("r0")?,
+                master_reserve: o.f64("master_reserve")?,
+                dns_skew: o.f64("dns_skew")?,
+                monitor_period_us: o.u64("monitor_period_us")?,
+                remote_latency_us: o.u64("remote_latency_us")?,
+                redirect_rtt_us: o.u64("redirect_rtt_us")?,
+                speeds: match o.get("speeds")? {
+                    Value::Null => None,
+                    _ => Some(o.f64_array("speeds")?),
+                },
+            })
+        }
+        "complete" => {
+            o.warn_unknown(&["req", "node", "dynamic", "response_us"], &mut warnings);
+            TraceEvent::Complete {
+                req: o.u64("req")?,
+                node: o.usize("node")?,
+                dynamic: o.bool("dynamic")?,
+                response_us: o.u64("response_us")?,
+            }
+        }
+        "tick" => {
+            o.warn_unknown(&["at_us", "rho", "nodes"], &mut warnings);
+            let nodes = o
+                .get("nodes")?
+                .as_array()
+                .ok_or_else(|| "tick field \"nodes\" is not an array".to_string())?
+                .iter()
+                .map(|row| {
+                    let cols = row
+                        .as_array()
+                        .filter(|c| c.len() == 6)
+                        .ok_or_else(|| "tick node row is not a 6-element array".to_string())?;
+                    Ok(NodeSample {
+                        cpu_busy_us: cols[0]
+                            .as_u64()
+                            .ok_or_else(|| "tick cpu_busy_us not an integer".to_string())?,
+                        disk_busy_us: cols[1]
+                            .as_u64()
+                            .ok_or_else(|| "tick disk_busy_us not an integer".to_string())?,
+                        mem_free_ratio: cols[2]
+                            .as_f64()
+                            .ok_or_else(|| "tick mem_free_ratio not a number".to_string())?,
+                        ready_len: cols[3]
+                            .as_u64()
+                            .ok_or_else(|| "tick ready_len not an integer".to_string())?
+                            as usize,
+                        disk_queue_len: cols[4]
+                            .as_u64()
+                            .ok_or_else(|| "tick disk_queue_len not an integer".to_string())?
+                            as usize,
+                        processes: cols[5]
+                            .as_u64()
+                            .ok_or_else(|| "tick processes not an integer".to_string())?
+                            as usize,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            TraceEvent::Tick {
+                at_us: o.u64("at_us")?,
+                rho: o.f64("rho")?,
+                nodes,
+            }
+        }
+        "node-down" => {
+            o.warn_unknown(&["node"], &mut warnings);
+            TraceEvent::NodeDown {
+                node: o.usize("node")?,
+            }
+        }
+        "node-up" => {
+            o.warn_unknown(&["node"], &mut warnings);
+            TraceEvent::NodeUp {
+                node: o.usize("node")?,
+            }
+        }
+        "drop" => {
+            o.warn_unknown(
+                &[
+                    "req",
+                    "at_us",
+                    "dynamic",
+                    "w",
+                    "expected_us",
+                    "redrive",
+                    "restart",
+                ],
+                &mut warnings,
+            );
+            TraceEvent::Drop(DropRecord {
+                req: o.u64("req")?,
+                at_us: o.u64("at_us")?,
+                dynamic: o.bool("dynamic")?,
+                w: o.f64("w")?,
+                expected_us: o.u64("expected_us")?,
+                redrive: o.bool("redrive")?,
+                restart: o.bool("restart")?,
+            })
+        }
+        other => {
+            warnings.push(format!("unknown event tag {other:?}: skipped"));
+            TraceEvent::Unknown {
+                ev: other.to_string(),
+            }
+        }
+    };
+    Ok((event, warnings))
+}
+
+/// A fully parsed decision log.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// The events, in file order.
+    pub events: Vec<TraceEvent>,
+    /// Parse warnings, each prefixed with its 1-based line number.
+    pub warnings: Vec<String>,
+}
+
+impl TraceLog {
+    /// Parse every non-empty line of `text`; see [`parse_line`] for the
+    /// warning-vs-error contract.
+    pub fn parse(text: &str) -> Result<TraceLog, String> {
+        let mut log = TraceLog::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (event, warnings) = parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            log.events.push(event);
+            log.warnings
+                .extend(warnings.into_iter().map(|w| format!("line {}: {w}", i + 1)));
+        }
+        Ok(log)
+    }
+
+    /// Read and parse a JSONL decision log from `path`.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<TraceLog> {
+        let text = std::fs::read_to_string(path)?;
+        TraceLog::parse(&text).map_err(io::Error::other)
+    }
+}
+
+// ------------------------------------------------------------ observers
+
+/// Observer invoked once per successful placement and once per
+/// scheduler-state event (completion, tick, liveness change, drop).
 ///
 /// Implementations should be cheap: the scheduler calls this on the
 /// per-request path (though only when an observer is installed).
 pub trait DecisionObserver {
     /// Handle one decision record.
     fn observe(&mut self, record: &DecisionRecord);
+
+    /// Handle one non-decision event. The default ignores it, so
+    /// pre-existing observers that only care about placements keep
+    /// working unchanged.
+    fn event(&mut self, event: &TraceEvent) {
+        let _ = event;
+    }
 }
 
 /// In-memory observer collecting every record; useful for tests and
@@ -61,11 +773,16 @@ pub trait DecisionObserver {
 pub struct CollectingObserver {
     /// Records observed so far, in decision order.
     pub records: Vec<DecisionRecord>,
+    /// Non-decision events observed so far, in emission order.
+    pub events: Vec<TraceEvent>,
 }
 
 impl DecisionObserver for CollectingObserver {
     fn observe(&mut self, record: &DecisionRecord) {
         self.records.push(record.clone());
+    }
+    fn event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
     }
 }
 
@@ -75,9 +792,12 @@ impl DecisionObserver for std::rc::Rc<std::cell::RefCell<CollectingObserver>> {
     fn observe(&mut self, record: &DecisionRecord) {
         self.borrow_mut().observe(record);
     }
+    fn event(&mut self, event: &TraceEvent) {
+        self.borrow_mut().event(event);
+    }
 }
 
-/// JSONL sink: one [`DecisionRecord`] serialised per line.
+/// JSONL sink: one [`TraceEvent`] serialised per line (schema v2).
 ///
 /// Write errors after creation are reported once to stderr and further
 /// records are discarded — tracing must never abort an experiment.
@@ -108,14 +828,11 @@ impl<W: Write> JsonlSink<W> {
             errored: false,
         }
     }
-}
 
-impl<W: Write> DecisionObserver for JsonlSink<W> {
-    fn observe(&mut self, record: &DecisionRecord) {
+    fn write_line(&mut self, line: &str) {
         if self.errored {
             return;
         }
-        let line = serde::to_json_string(record);
         if let Err(e) = writeln!(self.writer, "{line}") {
             eprintln!("trace-decisions: write failed, disabling sink: {e}");
             self.errored = true;
@@ -123,8 +840,194 @@ impl<W: Write> DecisionObserver for JsonlSink<W> {
     }
 }
 
+impl<W: Write> DecisionObserver for JsonlSink<W> {
+    fn observe(&mut self, record: &DecisionRecord) {
+        let line = decision_value(record).to_json();
+        self.write_line(&line);
+    }
+    fn event(&mut self, event: &TraceEvent) {
+        let line = encode_event(event);
+        self.write_line(&line);
+    }
+}
+
 impl<W: Write> Drop for JsonlSink<W> {
     fn drop(&mut self) {
         let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> DecisionRecord {
+        DecisionRecord {
+            seq: 7,
+            dynamic: true,
+            entry: 2,
+            candidates: vec![3, 1, 4],
+            scores: vec![0.5, 0.25, 1.75],
+            theta_hat: 0.125,
+            theta2_star: 0.5,
+            chosen: 1,
+            on_master: false,
+            redirected: false,
+            latency_us: 1000,
+            req: 42,
+            at_us: 123_456,
+            demand_us: 8_000,
+            w: 0.85,
+            expected_us: 16_000,
+            masters_ok: true,
+            restart: false,
+        }
+    }
+
+    #[test]
+    fn decision_round_trips() {
+        let event = TraceEvent::Decision(sample_record());
+        let line = encode_event(&event);
+        let (parsed, warnings) = parse_line(&line).unwrap();
+        assert_eq!(parsed, event);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = vec![
+            TraceEvent::Meta(RunMeta {
+                substrate: "sim".into(),
+                p: 8,
+                m: 3,
+                policy: "ms".into(),
+                spec: Some(
+                    "rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand"
+                        .into(),
+                ),
+                seed: 42,
+                a0: 0.13,
+                r0: 0.025,
+                master_reserve: 0.5,
+                dns_skew: 0.0,
+                monitor_period_us: 500_000,
+                remote_latency_us: 1000,
+                redirect_rtt_us: 80_000,
+                speeds: Some(vec![1.0, 2.0]),
+            }),
+            TraceEvent::Complete {
+                req: 9,
+                node: 4,
+                dynamic: true,
+                response_us: 52_000,
+            },
+            TraceEvent::Tick {
+                at_us: 500_000,
+                rho: 0.75,
+                nodes: vec![NodeSample {
+                    cpu_busy_us: 40_000,
+                    disk_busy_us: 10_000,
+                    mem_free_ratio: 0.9,
+                    ready_len: 2,
+                    disk_queue_len: 1,
+                    processes: 3,
+                }],
+            },
+            TraceEvent::NodeDown { node: 5 },
+            TraceEvent::NodeUp { node: 5 },
+            TraceEvent::Drop(DropRecord {
+                req: 11,
+                at_us: 900_000,
+                dynamic: true,
+                w: 0.6,
+                expected_us: 16_000,
+                redrive: true,
+                restart: false,
+            }),
+        ];
+        for event in events {
+            let line = encode_event(&event);
+            let (parsed, warnings) = parse_line(&line).unwrap();
+            assert_eq!(parsed, event, "line: {line}");
+            assert!(warnings.is_empty(), "{warnings:?}");
+        }
+    }
+
+    #[test]
+    fn v1_line_parses_with_warning() {
+        // A bare DecisionRecord object exactly as the v1 sink wrote it.
+        let line = r#"{"seq":3,"dynamic":true,"entry":1,"candidates":[2,0],"scores":[1.5,2.5],"theta_hat":0.1,"theta2_star":0.4,"chosen":2,"on_master":false,"redirected":false,"latency_us":1000}"#;
+        let (event, warnings) = parse_line(line).unwrap();
+        let TraceEvent::Decision(r) = event else {
+            panic!("expected decision");
+        };
+        assert_eq!(r.seq, 3);
+        assert_eq!(r.req, 3, "v1 defaults req to seq");
+        assert_eq!(r.w, 0.0);
+        assert!(r.masters_ok);
+        assert!(!r.restart);
+        assert!(
+            warnings.iter().any(|w| w.contains("v1")),
+            "expected a v1 warning, got {warnings:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_field_warns_but_parses() {
+        let mut line = encode_event(&TraceEvent::NodeDown { node: 1 });
+        line.truncate(line.len() - 1);
+        line.push_str(",\"flux\":9}");
+        let (event, warnings) = parse_line(&line).unwrap();
+        assert_eq!(event, TraceEvent::NodeDown { node: 1 });
+        assert!(warnings.iter().any(|w| w.contains("flux")), "{warnings:?}");
+    }
+
+    #[test]
+    fn newer_version_warns_but_parses() {
+        let line = r#"{"v":99,"ev":"node-up","node":2}"#;
+        let (event, warnings) = parse_line(line).unwrap();
+        assert_eq!(event, TraceEvent::NodeUp { node: 2 });
+        assert!(warnings.iter().any(|w| w.contains("newer")), "{warnings:?}");
+    }
+
+    #[test]
+    fn unknown_event_becomes_unknown_with_warning() {
+        let line = r#"{"v":2,"ev":"wormhole","x":1}"#;
+        let (event, warnings) = parse_line(line).unwrap();
+        assert_eq!(
+            event,
+            TraceEvent::Unknown {
+                ev: "wormhole".into()
+            }
+        );
+        assert!(!warnings.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("[1,2]").is_err());
+        assert!(parse_line(r#"{"x":1}"#).is_err());
+        // Known event missing a required field is an error, not a warning.
+        assert!(parse_line(r#"{"v":2,"ev":"complete","req":1}"#).is_err());
+    }
+
+    #[test]
+    fn sink_writes_parseable_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.event(&TraceEvent::NodeDown { node: 0 });
+            sink.observe(&sample_record());
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let log = TraceLog::parse(&text).unwrap();
+        assert_eq!(log.events.len(), 2);
+        assert!(log.warnings.is_empty());
+        assert_eq!(
+            log.events[1],
+            TraceEvent::Decision(sample_record()),
+            "sink decision line must round-trip"
+        );
     }
 }

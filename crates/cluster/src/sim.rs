@@ -24,7 +24,9 @@ use crate::config::{ClusterConfig, PolicyKind};
 use crate::failure::FailurePlan;
 use crate::loadinfo::LoadMonitor;
 use crate::metrics::{Level, Metrics, RunSummary};
-use crate::sched::{DecisionObserver, PolicyScheduler, Schedule};
+use crate::sched::{
+    DecisionObserver, DropRecord, NodeSample, PolicyScheduler, RunMeta, Schedule, TraceEvent,
+};
 
 /// Per-request bookkeeping.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +70,12 @@ pub struct ClusterSim<Sch: Schedule = PolicyScheduler> {
     recoveries: Vec<(SimTime, usize)>,
     /// Dynamic-content cache (Swala extension), when enabled.
     cache: Option<DynContentCache>,
+    /// Reservation priors the scheduler was seeded with, recorded in
+    /// the trace meta line so replay can rebuild the same controller.
+    priors: (f64, f64),
+    /// Registry spec label recorded in the trace meta line when the
+    /// scheduler is a custom composition rather than `config.policy`.
+    spec_label: Option<String>,
 }
 
 impl ClusterSim<PolicyScheduler> {
@@ -76,10 +84,12 @@ impl ClusterSim<PolicyScheduler> {
     /// controller and (when `masters` is `Auto`) the Theorem-1 planner.
     pub fn new(config: ClusterConfig, a0: f64, r0: f64) -> Self {
         let scheduler = PolicyScheduler::new(&config, a0, r0);
-        ClusterSim::with_scheduler(config, scheduler).with_mean_demands(
-            SimDuration::from_secs_f64(1.0 / 1200.0),
-            SimDuration::from_secs_f64(1.0 / 1200.0 / r0.max(1e-4)),
-        )
+        ClusterSim::with_scheduler(config, scheduler)
+            .with_priors(a0, r0)
+            .with_mean_demands(
+                SimDuration::from_secs_f64(1.0 / 1200.0),
+                SimDuration::from_secs_f64(1.0 / 1200.0 / r0.max(1e-4)),
+            )
     }
 }
 
@@ -115,12 +125,31 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             failures: FailurePlan::none(),
             failure_cursor: 0,
             recoveries: Vec::new(),
+            priors: (0.5, 0.05),
+            spec_label: None,
         }
     }
 
     /// Install a failure schedule (before `run`).
     pub fn with_failures(mut self, plan: FailurePlan) -> Self {
         self.failures = plan;
+        self
+    }
+
+    /// Record the reservation priors the scheduler was seeded with, so
+    /// the trace meta line reproduces them. [`ClusterSim::new`] sets
+    /// this automatically; callers of [`ClusterSim::with_scheduler`]
+    /// should pass the same `a0`/`r0` they composed the scheduler with.
+    pub fn with_priors(mut self, a0: f64, r0: f64) -> Self {
+        self.priors = (a0, r0);
+        self
+    }
+
+    /// Record a registry stage-spec label in the trace meta line (for
+    /// custom compositions, where `config.policy` alone does not
+    /// describe the scheduler).
+    pub fn with_spec_label(mut self, spec: impl Into<String>) -> Self {
+        self.spec_label = Some(spec.into());
         self
     }
 
@@ -160,6 +189,25 @@ impl<Sch: Schedule> ClusterSim<Sch> {
 
     /// Replay `trace` to completion and return the run summary.
     pub fn run(&mut self, trace: &Trace) -> RunSummary {
+        if self.scheduler.tracing() {
+            let meta = RunMeta {
+                substrate: "sim".to_string(),
+                p: self.config.p,
+                m: self.scheduler.masters(),
+                policy: self.config.policy.slug().to_string(),
+                spec: self.spec_label.clone(),
+                seed: self.config.seed,
+                a0: self.priors.0,
+                r0: self.priors.1,
+                master_reserve: self.config.master_reserve,
+                dns_skew: self.config.dns_skew,
+                monitor_period_us: self.config.monitor_period.as_micros(),
+                remote_latency_us: self.config.remote_latency.as_micros(),
+                redirect_rtt_us: self.config.redirect_rtt.as_micros(),
+                speeds: self.config.speeds.clone(),
+            };
+            self.scheduler.emit(&TraceEvent::Meta(meta));
+        }
         let total = trace.len();
         let mut meta: Vec<ReqMeta> = trace
             .requests
@@ -286,6 +334,14 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 self.scheduler
                     .reservation_mut()
                     .note_response(req.class.is_dynamic(), response);
+                if self.scheduler.tracing() {
+                    self.scheduler.emit(&TraceEvent::Complete {
+                        req: c.tag,
+                        node: m.node,
+                        dynamic: req.class.is_dynamic(),
+                        response_us: response.as_micros(),
+                    });
+                }
             }
         }
     }
@@ -314,26 +370,45 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         } else {
             self.mean_demand.0
         };
-        let placed = self.scheduler.place(
-            effectively_dynamic,
-            if cache_hit {
-                self.cache
-                    .as_ref()
-                    .expect("hit implies cache")
-                    .config()
-                    .hit_cpu_fraction
-            } else {
-                req.demand.cpu_fraction
-            },
-            expected,
-            &mut self.monitor,
-        );
+        let w = if cache_hit {
+            self.cache
+                .as_ref()
+                .expect("hit implies cache")
+                .config()
+                .hit_cpu_fraction
+        } else {
+            req.demand.cpu_fraction
+        };
+        let served_demand = if cache_hit {
+            self.cache
+                .as_ref()
+                .expect("hit implies cache")
+                .config()
+                .hit_service
+        } else {
+            req.demand.service
+        };
+        self.scheduler.note_request(idx as u64, t, served_demand);
+        let placed = self
+            .scheduler
+            .place(effectively_dynamic, w, expected, &mut self.monitor);
         let Ok(placement) = placed else {
             // Whole cluster dead: degrade gracefully instead of aborting
             // the experiment.
             meta[idx].state = ReqState::Dropped;
             *accounted += 1;
             self.metrics.note_dropped();
+            if self.scheduler.tracing() {
+                self.scheduler.emit(&TraceEvent::Drop(DropRecord {
+                    req: idx as u64,
+                    at_us: t.0,
+                    dynamic: effectively_dynamic,
+                    w,
+                    expected_us: expected.as_micros(),
+                    redrive: true,
+                    restart: false,
+                }));
+            }
             return;
         };
         meta[idx].on_master = placement.on_master
@@ -412,7 +487,10 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 continue;
             }
             let req = &trace.requests[idx];
-            let restarted = if event.restart_dynamic && req.class.is_dynamic() {
+            let attempt = event.restart_dynamic && req.class.is_dynamic();
+            let restarted = if attempt {
+                self.scheduler
+                    .note_request(idx as u64, t, req.demand.service);
                 self.scheduler
                     .replace_after_failure(
                         true,
@@ -436,6 +514,13 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 )));
             } else {
                 drop_req(meta, accounted, &mut self.metrics, idx);
+                self.emit_failure_drop(
+                    idx as u64,
+                    t,
+                    req.class.is_dynamic(),
+                    req.demand.cpu_fraction,
+                    attempt,
+                );
             }
         }
         // Requests in flight *towards* the dead node: re-route them too.
@@ -443,7 +528,9 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         for Reverse((at, seq, req, node)) in pending {
             if node == event.node && meta[req as usize].state == ReqState::Pending {
                 let r = &trace.requests[req as usize];
-                let restarted = if event.restart_dynamic && r.class.is_dynamic() {
+                let attempt = event.restart_dynamic && r.class.is_dynamic();
+                let restarted = if attempt {
+                    self.scheduler.note_request(req, t, r.demand.service);
                     self.scheduler
                         .replace_after_failure(
                             true,
@@ -466,11 +553,36 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     )));
                 } else {
                     drop_req(meta, accounted, &mut self.metrics, req as usize);
+                    self.emit_failure_drop(
+                        req,
+                        t,
+                        r.class.is_dynamic(),
+                        r.demand.cpu_fraction,
+                        attempt,
+                    );
                 }
             } else {
                 self.transfers.push(Reverse((at, seq, req, node)));
             }
         }
+    }
+
+    /// Emit a fail-over drop event: `redrive` records whether the
+    /// scheduler actually ran (and advanced its RNG) before the drop,
+    /// in which case `w` is the weight the failed call was given.
+    fn emit_failure_drop(&mut self, req: u64, t: SimTime, dynamic: bool, w: f64, redrive: bool) {
+        if !self.scheduler.tracing() {
+            return;
+        }
+        self.scheduler.emit(&TraceEvent::Drop(DropRecord {
+            req,
+            at_us: t.0,
+            dynamic,
+            w,
+            expected_us: self.mean_demand.1.as_micros(),
+            redrive,
+            restart: true,
+        }));
     }
 
     /// Load-monitor tick: refresh stale load info, update the
@@ -484,6 +596,13 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         let rho = self.monitor.mean_utilisation();
         self.scheduler.reservation_mut().update(rho);
         self.metrics.close_window();
+        if self.scheduler.tracing() {
+            self.scheduler.emit(&TraceEvent::Tick {
+                at_us: t.0,
+                rho,
+                nodes: snapshots.iter().map(NodeSample::from_snapshot).collect(),
+            });
+        }
     }
 
     /// Per-monitor-window mean stretch across the run — the convergence

@@ -1,8 +1,9 @@
 //! Property-based tests for the cluster scheduler.
 
+use msweb_cluster::sched::{encode_event, parse_line, DecisionRecord, RunMeta};
 use msweb_cluster::{
-    run_policy, ClusterConfig, Dispatcher, LoadMonitor, MasterSelection, PolicyKind,
-    SchedulerRegistry, StageSpec,
+    run_policy, ClusterConfig, Dispatcher, DropRecord, LoadMonitor, MasterSelection, NodeSample,
+    PolicyKind, SchedulerRegistry, StageSpec, TraceEvent,
 };
 use msweb_simcore::{SimDuration, SimTime};
 use msweb_workload::{ksu, ucb, DemandModel};
@@ -285,6 +286,245 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Schema-v2 decision records survive the JSONL round trip exactly:
+    /// encode → parse is the identity, with no warnings, for arbitrary
+    /// field values (including the v2 replay fields and restart flag).
+    #[test]
+    fn decision_records_round_trip_through_jsonl(
+        seq in any::<u64>(),
+        req in any::<u64>(),
+        entry in 0usize..256,
+        chosen in 0usize..256,
+        cand in prop::collection::vec((0usize..256, any::<f64>()), 0..9),
+        theta_hat in 0.0f64..=1.0,
+        theta2_star in 0.0f64..=1.0,
+        w in 0.0f64..=1.0,
+        latency_us in any::<u64>(),
+        at_us in any::<u64>(),
+        demand_us in any::<u64>(),
+        expected_us in any::<u64>(),
+        dynamic in any::<bool>(),
+        on_master in any::<bool>(),
+        redirected in any::<bool>(),
+        masters_ok in any::<bool>(),
+        restart in any::<bool>(),
+    ) {
+        let record = DecisionRecord {
+            seq,
+            dynamic,
+            entry,
+            candidates: cand.iter().map(|&(n, _)| n).collect(),
+            scores: cand.iter().map(|&(_, s)| s).collect(),
+            theta_hat,
+            theta2_star,
+            chosen,
+            on_master,
+            redirected,
+            latency_us,
+            req,
+            at_us,
+            demand_us,
+            w,
+            expected_us,
+            masters_ok,
+            restart,
+        };
+        let event = TraceEvent::Decision(record);
+        let line = encode_event(&event);
+        let (parsed, warnings) = parse_line(&line)
+            .map_err(|e| format!("round trip failed to parse: {e}\n{line}"))?;
+        prop_assert_eq!(parsed, event);
+        prop_assert_eq!(warnings, Vec::<String>::new());
+    }
+
+    /// The failure/lifecycle events (drop, node-down/up, complete, tick)
+    /// round-trip exactly too — these are what make `failure_recovery`
+    /// scenarios replayable from logs alone.
+    #[test]
+    fn lifecycle_events_round_trip_through_jsonl(
+        kind in 0u8..5,
+        req in any::<u64>(),
+        node in 0usize..256,
+        at_us in any::<u64>(),
+        us in any::<u64>(),
+        w in 0.0f64..=1.0,
+        rho in 0.0f64..=1.0,
+        dynamic in any::<bool>(),
+        redrive in any::<bool>(),
+        restart in any::<bool>(),
+        nodes in prop::collection::vec(
+            (any::<u64>(), any::<u64>(), 0.0f64..=1.0, 0usize..4096),
+            0..7,
+        ),
+    ) {
+        let event = match kind {
+            0 => TraceEvent::Drop(DropRecord {
+                req,
+                at_us,
+                dynamic,
+                w,
+                expected_us: us,
+                redrive,
+                restart,
+            }),
+            1 => TraceEvent::NodeDown { node },
+            2 => TraceEvent::NodeUp { node },
+            3 => TraceEvent::Complete {
+                req,
+                node,
+                dynamic,
+                response_us: us,
+            },
+            _ => TraceEvent::Tick {
+                at_us,
+                rho,
+                nodes: nodes
+                    .iter()
+                    .map(|&(cpu, disk, mem, len)| NodeSample {
+                        cpu_busy_us: cpu,
+                        disk_busy_us: disk,
+                        mem_free_ratio: mem,
+                        ready_len: len,
+                        disk_queue_len: len / 2,
+                        processes: len + 1,
+                    })
+                    .collect(),
+            },
+        };
+        let line = encode_event(&event);
+        let (parsed, warnings) = parse_line(&line)
+            .map_err(|e| format!("round trip failed to parse: {e}\n{line}"))?;
+        prop_assert_eq!(parsed, event);
+        prop_assert_eq!(warnings, Vec::<String>::new());
+    }
+
+    /// Meta lines round-trip, including awkward spec strings (quotes,
+    /// backslashes, newlines, non-ASCII) and optional per-node speeds.
+    #[test]
+    fn meta_events_round_trip_through_jsonl(
+        which in 0usize..8,
+        live in any::<bool>(),
+        spec_idx in any::<Option<u8>>(),
+        p in 1usize..256,
+        m in 0usize..256,
+        seed in any::<u64>(),
+        a0 in 0.01f64..=10.0,
+        r0 in 1e-4f64..=1.0,
+        master_reserve in 0.0f64..=1.0,
+        dns_skew in 0.0f64..=1.0,
+        monitor_period_us in any::<u64>(),
+        remote_latency_us in any::<u64>(),
+        redirect_rtt_us in any::<u64>(),
+        speeds in any::<Option<u8>>(),
+    ) {
+        const SPECS: [&str; 4] = [
+            "rotation/none/entry-only/rsrc-indexed/split-demand",
+            "rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand",
+            "a \"quoted\" spec with \\ backslash",
+            "sp\u{e9}c\nwith control\tchars \u{1f980}",
+        ];
+        let meta = RunMeta {
+            substrate: if live { "live" } else { "sim" }.to_string(),
+            p,
+            m,
+            policy: policies()[which].slug().to_string(),
+            spec: spec_idx.map(|i| SPECS[i as usize % SPECS.len()].to_string()),
+            seed,
+            a0,
+            r0,
+            master_reserve,
+            dns_skew,
+            monitor_period_us,
+            remote_latency_us,
+            redirect_rtt_us,
+            speeds: speeds.map(|k| (0..k as usize % 6).map(|i| 0.5 + i as f64).collect()),
+        };
+        let event = TraceEvent::Meta(meta);
+        let line = encode_event(&event);
+        let (parsed, warnings) = parse_line(&line)
+            .map_err(|e| format!("round trip failed to parse: {e}\n{line}"))?;
+        prop_assert_eq!(parsed, event);
+        prop_assert_eq!(warnings, Vec::<String>::new());
+    }
+
+    /// Forward/backward schema tolerance on arbitrary records: unknown
+    /// fields, newer versions, and v1 (bare-record) lines all parse with
+    /// a warning, never an error, and preserve every field they carry.
+    #[test]
+    fn schema_drift_warns_but_parses(
+        seq in 1u64..1_000_000,
+        entry in 0usize..64,
+        chosen in 0usize..64,
+        theta_hat in 0.0f64..=1.0,
+        theta2_star in 0.0f64..=1.0,
+        dynamic in any::<bool>(),
+        on_master in any::<bool>(),
+        latency_us in any::<u64>(),
+    ) {
+        let record = DecisionRecord {
+            seq,
+            dynamic,
+            entry,
+            candidates: vec![entry, chosen],
+            scores: vec![1.5, 0.5],
+            theta_hat,
+            theta2_star,
+            chosen,
+            on_master,
+            redirected: false,
+            latency_us,
+            req: seq - 1,
+            at_us: 7,
+            demand_us: 8,
+            w: 0.25,
+            expected_us: 9,
+            masters_ok: true,
+            restart: false,
+        };
+        let line = encode_event(&TraceEvent::Decision(record.clone()));
+
+        // Unknown field from some future schema: warn, keep the rest.
+        let extended = format!(
+            "{},\"zzz_future_field\":[1,2,{{\"k\":true}}]}}",
+            &line[..line.len() - 1]
+        );
+        let (parsed, warnings) = parse_line(&extended)
+            .map_err(|e| format!("unknown field became an error: {e}"))?;
+        prop_assert_eq!(&parsed, &TraceEvent::Decision(record.clone()));
+        prop_assert!(
+            warnings.iter().any(|w| w.contains("zzz_future_field")),
+            "expected an unknown-field warning, got {warnings:?}"
+        );
+
+        // Newer schema version: warn, parse on a best-effort basis.
+        let newer = line.replacen("{\"v\":2,", "{\"v\":3,", 1);
+        let (parsed, warnings) = parse_line(&newer)
+            .map_err(|e| format!("newer version became an error: {e}"))?;
+        prop_assert_eq!(&parsed, &TraceEvent::Decision(record.clone()));
+        prop_assert!(!warnings.is_empty(), "newer version should warn");
+
+        // A v1 line (bare record, no envelope): parses with defaulted
+        // replay fields and a warning.
+        let v1 = format!(
+            "{{\"seq\":{seq},\"dynamic\":{dynamic},\"entry\":{entry},\
+             \"candidates\":[{entry},{chosen}],\"scores\":[1.5,0.5],\
+             \"theta_hat\":{theta_hat},\"theta2_star\":{theta2_star},\
+             \"chosen\":{chosen},\"on_master\":{on_master},\
+             \"redirected\":false,\"latency_us\":{latency_us}}}"
+        );
+        let (parsed, warnings) =
+            parse_line(&v1).map_err(|e| format!("v1 line became an error: {e}"))?;
+        let TraceEvent::Decision(old) = parsed else {
+            return Err("v1 line did not parse as a decision".to_string());
+        };
+        prop_assert_eq!(old.seq, seq);
+        prop_assert_eq!(old.req, seq, "v1 defaults req to seq");
+        prop_assert_eq!(old.chosen, chosen);
+        prop_assert!(old.masters_ok, "v1 defaults masters_ok");
+        prop_assert!(!old.restart, "v1 defaults restart");
+        prop_assert!(!warnings.is_empty(), "v1 line should warn");
     }
 
     /// The cache never changes completion accounting, only speeds.

@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
-    ClusterConfig, Level, LoadMonitor, Metrics, PolicyKind, PolicyScheduler, RunSummary, Schedule,
+    ClusterConfig, DropRecord, Level, LoadMonitor, Metrics, NodeSample, PolicyKind,
+    PolicyScheduler, RunMeta, RunSummary, Schedule, TraceEvent,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimTime};
@@ -105,6 +106,15 @@ fn class_means(trace: &Trace) -> (f64, f64) {
 /// [`run_live_with`].
 pub fn live_scheduler(config: &LiveConfig, trace: &Trace) -> PolicyScheduler {
     let cc = config.cluster_config();
+    let (a0, r0) = live_priors(trace);
+    PolicyScheduler::new(&cc, a0, r0)
+}
+
+/// The reservation-controller priors a live run derives from `trace` —
+/// the same `(a0, r0)` pair [`live_scheduler`] seeds the scheduler with,
+/// recorded in the decision log's meta line so replay can rebuild an
+/// identical composition.
+pub fn live_priors(trace: &Trace) -> (f64, f64) {
     let summary = trace.summary();
     let a0 = if summary.arrival_ratio_a.is_finite() && summary.arrival_ratio_a > 0.0 {
         summary.arrival_ratio_a.clamp(0.01, 10.0)
@@ -113,7 +123,7 @@ pub fn live_scheduler(config: &LiveConfig, trace: &Trace) -> PolicyScheduler {
     };
     let (stat_mean, dyn_mean) = class_means(trace);
     let r0 = (stat_mean / dyn_mean).clamp(1e-4, 1.0);
-    PolicyScheduler::new(&cc, a0, r0)
+    (a0, r0)
 }
 
 /// Replay `trace` on a live thread-backed cluster; blocks until every
@@ -141,6 +151,25 @@ pub fn run_live_with<S: Schedule>(
     );
 
     let cc = config.cluster_config();
+    if scheduler.tracing() {
+        let (a0, r0) = live_priors(trace);
+        scheduler.emit(&TraceEvent::Meta(RunMeta {
+            substrate: "live".to_string(),
+            p: cc.p,
+            m: scheduler.masters(),
+            policy: cc.policy.slug().to_string(),
+            spec: None,
+            seed: cc.seed,
+            a0,
+            r0,
+            master_reserve: cc.master_reserve,
+            dns_skew: cc.dns_skew,
+            monitor_period_us: cc.monitor_period.as_micros(),
+            remote_latency_us: cc.remote_latency.as_micros(),
+            redirect_rtt_us: cc.redirect_rtt.as_micros(),
+            speeds: cc.speeds.clone(),
+        }));
+    }
     let (stat_mean, dyn_mean) = class_means(trace);
     // Charges are in wall (scaled) time, matching the monitor's window.
     let stat_charge = to_sim(config.scale(SimDuration::from_secs_f64(stat_mean)));
@@ -244,6 +273,14 @@ pub fn run_live_with<S: Schedule>(
         scheduler
             .reservation_mut()
             .note_response(req.class.is_dynamic(), response);
+        if scheduler.tracing() {
+            scheduler.emit(&TraceEvent::Complete {
+                req: d.id,
+                node: placed_node[d.id as usize],
+                dynamic: req.class.is_dynamic(),
+                response_us: response.as_micros(),
+            });
+        }
         *completed += 1;
     };
 
@@ -270,9 +307,15 @@ pub fn run_live_with<S: Schedule>(
                 let at = to_sim(now - t0);
                 let snaps = snapshot(&stats, SimTime(at.as_micros()));
                 monitor.tick(SimTime(at.as_micros()), &snaps);
-                scheduler
-                    .reservation_mut()
-                    .update(monitor.mean_utilisation());
+                let rho = monitor.mean_utilisation();
+                scheduler.reservation_mut().update(rho);
+                if scheduler.tracing() {
+                    scheduler.emit(&TraceEvent::Tick {
+                        at_us: at.as_micros(),
+                        rho,
+                        nodes: snaps.iter().map(NodeSample::from_snapshot).collect(),
+                    });
+                }
                 next_monitor += config.monitor_period;
                 continue;
             }
@@ -291,11 +334,25 @@ pub fn run_live_with<S: Schedule>(
         arrived_at[idx] = now;
         let dynamic = req.class.is_dynamic();
         let expected = if dynamic { dyn_charge } else { stat_charge };
+        let at_us = to_sim(now - t0).as_micros();
+        let scaled_demand = to_sim(Duration::from_nanos(
+            (req.demand.service.as_micros() as f64 * 1000.0 * config.time_scale) as u64,
+        ));
+        scheduler.note_request(idx as u64, SimTime(at_us), scaled_demand);
         let Ok(placement) =
             scheduler.place(dynamic, req.demand.cpu_fraction, expected, &mut monitor)
         else {
             // Whole cluster dead: degrade gracefully, as the simulator
             // does.
+            scheduler.emit(&TraceEvent::Drop(DropRecord {
+                req: idx as u64,
+                at_us,
+                dynamic,
+                w: req.demand.cpu_fraction,
+                expected_us: expected.as_micros(),
+                redrive: true,
+                restart: false,
+            }));
             metrics.note_dropped();
             dropped += 1;
             continue;

@@ -5,6 +5,7 @@
 //! msweb replay  --trace ksu --lambda 1000 --inv-r 80 --p 32 [--policy M/S] [--requests 20000]
 //! msweb import  --log access.log [--lambda 800] [--p 16]
 //! msweb traces
+//! msweb analyze --log decisions.jsonl [--spec <spec>] [--json] [--fail-on-divergence]
 //! msweb live    [--rate 40] [--requests 300] [--scale 0.2]
 //! msweb experiments [--id fig4b] [--jobs 8] [--json out.json] [--quick]
 //! ```
@@ -27,6 +28,7 @@ fn main() {
         "import" => cmd_import(&flags),
         "traces" => cmd_traces(),
         "live" => cmd_live(&flags),
+        "analyze" => cmd_analyze(&flags),
         "experiments" => cmd_experiments(&flags),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
@@ -53,6 +55,12 @@ USAGE:
   msweb live    [--rate <req/s>] [--requests <n>] [--scale <x>]
                   [--trace-decisions <path>]
                   run the thread-backed live cluster (6 nodes)
+  msweb analyze --log <decisions.jsonl> [--spec <stage-spec>] [--run <n>]
+                  [--json [path]] [--fail-on-divergence]
+                  replay a decision log: re-drive the recorded (or a
+                  counterfactual --spec) composition over the recorded
+                  stream and report per-stage divergence attribution and
+                  stretch/balance deltas
   msweb experiments [--id <experiment>] [--jobs <n>] [--json <path>]
                   [--quick] [--seed <s>] [--trace-decisions <path>]
                   regenerate the paper's tables/figures through the
@@ -344,6 +352,147 @@ fn cmd_replay(flags: &Flags) {
     }
     if let Some(path) = log {
         println!("\ndecision log written to {path}");
+    }
+}
+
+fn cmd_analyze(flags: &Flags) {
+    let path = flags.required("log");
+    let log = match TraceLog::read(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot read decision log {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut opts = ReplayOptions {
+        run: flags.usize("run", 0),
+        ..ReplayOptions::default()
+    };
+    if let Some(spec) = flags.get("spec") {
+        match StageSpec::parse(spec) {
+            Ok(s) => opts.spec = Some(s),
+            Err(e) => {
+                eprintln!("bad --spec: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = match analyze(&log, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot analyze {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match flags.get("json") {
+        // `--json` with no value streams to stdout; with a value it
+        // writes the file and keeps the human summary on stdout.
+        Some("") => print!("{}", report.to_json()),
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, report.to_json()) {
+                eprintln!("failed to write {out}: {e}");
+                std::process::exit(1);
+            }
+            print_analysis(&report);
+            println!("\nreport written to {out}");
+        }
+        None => print_analysis(&report),
+    }
+
+    if flags.get("fail-on-divergence").is_some() && report.divergent > 0 {
+        eprintln!(
+            "FAIL: {} of {} placements diverged under {}",
+            report.divergent, report.decisions, report.replay_spec
+        );
+        std::process::exit(1);
+    }
+}
+
+fn print_analysis(r: &AnalysisReport) {
+    println!(
+        "{} log, run {}/{}: policy {} on p={} (m={}, seed {})",
+        r.substrate,
+        r.run + 1,
+        r.runs,
+        r.policy,
+        r.p,
+        r.m,
+        r.seed
+    );
+    println!("  recorded composition  {}", r.baseline_spec);
+    if r.replay_spec != r.baseline_spec {
+        println!("  replayed composition  {}", r.replay_spec);
+    }
+    println!(
+        "  decisions {:>8}   divergent {:>6}  ({:.2}%)",
+        r.decisions,
+        r.divergent,
+        r.divergence_rate * 100.0
+    );
+    match &r.first_disagreement {
+        Some(d) => println!(
+            "  first disagreement at decision {} (request {}): {} stage",
+            d.seq,
+            d.req,
+            d.stage.as_str()
+        ),
+        None => println!("  replay is a fixed point of the log (no disagreement at any stage)"),
+    }
+    if !r.stage_attribution.is_empty() {
+        let parts: Vec<String> = r
+            .stage_attribution
+            .iter()
+            .map(|(stage, n)| format!("{stage} {n}"))
+            .collect();
+        println!("  divergence by stage   {}", parts.join(", "));
+    }
+    println!(
+        "  completions {:>6}   drops recorded {:>4}  replayed {:>4}  rescued {:>4}",
+        r.completions, r.drops_recorded, r.drops_replayed, r.rescued
+    );
+    if r.restarts_recorded > 0 {
+        println!("  failure restarts      {}", r.restarts_recorded);
+    }
+    if r.recorded_stretch > 0.0 {
+        println!("  recorded stretch      {:>8.3}", r.recorded_stretch);
+    }
+    println!(
+        "  model stretch         {:>8.3} -> {:>8.3}  (delta {:+.3})",
+        r.model_stretch_factual, r.model_stretch_counterfactual, r.model_stretch_delta
+    );
+    println!(
+        "  node-busy CV          {:>8.3} -> {:>8.3}  (delta {:+.3})",
+        r.node_busy_cv_factual, r.node_busy_cv_counterfactual, r.node_busy_cv_delta
+    );
+    for row in &r.divergences {
+        let cf = match row.counterfactual {
+            Some(n) => format!("{n}"),
+            None => "drop".to_string(),
+        };
+        println!(
+            "    seq {:>6} req {:>6}: node {} -> {}  ({} stage)",
+            row.seq,
+            row.req,
+            row.factual,
+            cf,
+            row.stage.as_str()
+        );
+    }
+    if r.divergences_truncated {
+        println!("    ... divergence list truncated");
+    }
+    if r.parse_warning_count > 0 {
+        println!("  parse warnings        {}", r.parse_warning_count);
+        for w in &r.parse_warnings {
+            println!("    {w}");
+        }
+        if (r.parse_warnings.len() as u64) < r.parse_warning_count {
+            println!("    ... warning list truncated");
+        }
+    }
+    if r.skipped_unknown_events > 0 {
+        println!("  unknown events        {}", r.skipped_unknown_events);
     }
 }
 

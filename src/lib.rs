@@ -61,12 +61,13 @@ pub use msweb_workload as workload;
 pub mod prelude {
     pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
-        plan_masters, run_policy, run_policy_with_observer, table2_grid, ClusterConfig, ClusterSim,
-        CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher,
-        DynScheduler, FailureEvent, FailurePlan, GridCell, JsonlSink, Level, LoadMonitor,
-        MasterSelection, Metrics, Placement, PlacementError, PolicyKind, PolicyScheduler,
-        ReservationController, RsrcPredictor, RunSummary, Schedule, Scheduler, SchedulerRegistry,
-        StageSpec,
+        analyze, plan_masters, run_policy, run_policy_with_observer, table2_grid, AnalysisReport,
+        ClusterConfig, ClusterSim, CollectingObserver, ConfigError, DecisionObserver,
+        DecisionRecord, Dispatcher, DropRecord, DynScheduler, FailureEvent, FailurePlan, GridCell,
+        JsonlSink, Level, LoadMonitor, MasterSelection, Metrics, Placement, PlacementError,
+        PolicyKind, PolicyScheduler, ReplayError, ReplayOptions, ReservationController,
+        RsrcPredictor, RunSummary, Schedule, Scheduler, SchedulerRegistry, StageKind, StageSpec,
+        TraceEvent, TraceLog,
     };
     pub use msweb_emu::{live_scheduler, run_live, run_live_with, LiveConfig};
     pub use msweb_ossim::{DemandSpec, Node, OsParams};

@@ -1,0 +1,270 @@
+//! Differential tests for the counterfactual decision-log replay
+//! analyzer (`cluster::sched::replay`, surfaced as `msweb analyze`).
+//!
+//! The core contract: a decision log replayed under its own recorded
+//! composition is a *fixed point* — zero divergent placements, no stage
+//! disagreement, identical model stretch and balance — for every
+//! built-in policy, at p = 32 and p = 128, on logs produced by the real
+//! simulator driver. And the analysis itself is deterministic: the same
+//! log analyzed twice renders byte-identical JSON.
+//!
+//! Golden `AnalysisReport` fixtures live in `tests/fixtures/golden/`;
+//! regenerate (only when a behaviour change is intended and reviewed)
+//! with:
+//!
+//! ```sh
+//! MSWEB_BLESS=1 cargo test --test decision_replay
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use msweb::prelude::*;
+
+const ALL_POLICIES: [PolicyKind; 8] = [
+    PolicyKind::Flat,
+    PolicyKind::MasterSlave,
+    PolicyKind::MsNoSampling,
+    PolicyKind::MsNoReservation,
+    PolicyKind::MsAllMasters,
+    PolicyKind::MsPrime,
+    PolicyKind::Redirect,
+    PolicyKind::Switch,
+];
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("msweb-replay-{}-{name}", std::process::id()));
+    p
+}
+
+/// Record a traced simulator run and parse the log back.
+fn record(policy: PolicyKind, p: usize, m: usize, n: usize, lambda: f64) -> (TraceLog, RunSummary) {
+    let trace = ucb()
+        .generate(n, &DemandModel::simulation(40.0), 7)
+        .scaled_to_rate(lambda);
+    let cfg = ClusterConfig::simulation(p, policy)
+        .with_masters(m)
+        .with_seed(11);
+    let path = tmp(&format!("{}-p{p}.jsonl", policy.slug()));
+    let sink = JsonlSink::create(&path).expect("create log");
+    let summary = run_policy_with_observer(cfg, &trace, Some(Box::new(sink)));
+    let log = TraceLog::read(&path).expect("parse log");
+    let _ = std::fs::remove_file(&path);
+    (log, summary)
+}
+
+/// Self-replay must reconstruct the recorded run exactly.
+fn assert_fixed_point(policy: PolicyKind, p: usize, m: usize, n: usize, lambda: f64) {
+    let (log, summary) = record(policy, p, m, n, lambda);
+    let report = analyze(&log, &ReplayOptions::default()).expect("analyze");
+    assert_eq!(report.p, p);
+    assert_eq!(
+        report.decisions, summary.completed,
+        "every completion was placed"
+    );
+    assert_eq!(
+        report.divergent,
+        0,
+        "{} p={p}: self-replay placed {} of {} requests differently",
+        policy.slug(),
+        report.divergent,
+        report.decisions
+    );
+    assert_eq!(
+        report.first_disagreement,
+        None,
+        "{} p={p}: self-replay disagreed at some stage",
+        policy.slug()
+    );
+    assert_eq!(report.counterfactual_dropped, 0);
+    assert_eq!(report.model_stretch_delta, 0.0);
+    assert_eq!(report.node_busy_cv_delta, 0.0);
+    assert_eq!(report.baseline_spec, report.replay_spec);
+}
+
+#[test]
+fn self_replay_is_a_fixed_point_for_every_policy_at_p32() {
+    for policy in ALL_POLICIES {
+        assert_fixed_point(policy, 32, 8, 800, 600.0);
+    }
+}
+
+#[test]
+fn self_replay_is_a_fixed_point_for_every_policy_at_p128() {
+    for policy in ALL_POLICIES {
+        assert_fixed_point(policy, 128, 16, 600, 1200.0);
+    }
+}
+
+#[test]
+fn analysis_is_deterministic_byte_for_byte() {
+    let (log, _) = record(PolicyKind::MasterSlave, 32, 8, 800, 600.0);
+    let a = analyze(&log, &ReplayOptions::default()).expect("first analysis");
+    let b = analyze(&log, &ReplayOptions::default()).expect("second analysis");
+    assert_eq!(a.to_json(), b.to_json(), "analysis is not deterministic");
+}
+
+/// The acceptance counterfactual: an M/S-with-reservation log replayed
+/// under a no-reservation admission must diverge, and the *first*
+/// disagreement must be attributed to the admission stage (the swapped
+/// stage), not downstream ones.
+#[test]
+fn no_reservation_counterfactual_diverges_at_admission() {
+    // A smaller, hotter cluster so the reservation actually gates
+    // placements during the run.
+    let (log, _) = record(PolicyKind::MasterSlave, 8, 4, 800, 400.0);
+    let spec =
+        StageSpec::parse("rotation-masters/none/level-split/rsrc-indexed-reserve/split-demand")
+            .expect("spec parses");
+    let opts = ReplayOptions {
+        spec: Some(spec),
+        run: 0,
+    };
+    let report = analyze(&log, &opts).expect("analyze");
+    assert!(
+        report.divergent > 0,
+        "removing the reservation should change placements"
+    );
+    let first = report
+        .first_disagreement
+        .as_ref()
+        .expect("divergent replay records its first disagreement");
+    assert_eq!(
+        first.stage,
+        StageKind::Admission,
+        "the swapped admission stage should disagree first, got {:?}",
+        first.stage
+    );
+    // The divergence shows up in the aggregate deltas too: placements
+    // moved, so per-node load assignment changed.
+    assert!(report.stage_attribution.values().sum::<u64>() == report.divergent);
+}
+
+/// Golden `AnalysisReport` fixtures: a self-replay and the
+/// no-reservation counterfactual of the same M/S log. Catches both
+/// analyzer drift and encoder drift.
+#[test]
+fn analysis_reports_match_golden_fixtures() {
+    let bless = std::env::var_os("MSWEB_BLESS").is_some();
+    let (log, _) = record(PolicyKind::MasterSlave, 32, 8, 800, 600.0);
+
+    let self_report = analyze(&log, &ReplayOptions::default()).expect("self analysis");
+    let cf_spec =
+        StageSpec::parse("rotation-masters/none/level-split/rsrc-indexed-reserve/split-demand")
+            .expect("spec parses");
+    let cf_report = analyze(
+        &log,
+        &ReplayOptions {
+            spec: Some(cf_spec),
+            run: 0,
+        },
+    )
+    .expect("counterfactual analysis");
+
+    let mut mismatches = Vec::new();
+    for (name, report) in [
+        ("analyze-ms-p32-self", &self_report),
+        ("analyze-ms-p32-vs-none", &cf_report),
+    ] {
+        let got = report.to_json();
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures/golden")
+            .join(format!("{name}.json"));
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {path:?}: {e}"));
+        if got != want {
+            mismatches.push(format!(
+                "{name}: report drifted from fixture {path:?}\n--- fixture\n{want}\n--- got\n{got}"
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n\n"));
+}
+
+/// End-to-end through the binary: record with `msweb replay`, analyze
+/// with `msweb analyze` — zero self-divergence (exit 0 under
+/// `--fail-on-divergence`), byte-identical JSON across two invocations,
+/// nonzero exit when the counterfactual spec diverges.
+#[test]
+fn analyze_cli_self_replay_reports_zero_divergence() {
+    let path = tmp("cli-analyze.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_msweb"))
+        .args([
+            "replay",
+            "--trace",
+            "ucb",
+            "--lambda",
+            "200",
+            "--p",
+            "32",
+            "--requests",
+            "500",
+            "--policy",
+            "M/S",
+            "--trace-decisions",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn msweb replay");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let analyze_json = || {
+        Command::new(env!("CARGO_BIN_EXE_msweb"))
+            .args([
+                "analyze",
+                "--log",
+                path.to_str().unwrap(),
+                "--json",
+                "--fail-on-divergence",
+            ])
+            .output()
+            .expect("spawn msweb analyze")
+    };
+    let first = analyze_json();
+    assert!(
+        first.status.success(),
+        "self-replay diverged:\n{}{}",
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = analyze_json();
+    assert_eq!(
+        first.stdout, second.stdout,
+        "analyze JSON is not byte-stable across runs"
+    );
+    let body = String::from_utf8_lossy(&first.stdout);
+    assert!(
+        body.contains("\"divergent\": 0"),
+        "unexpected report: {body}"
+    );
+
+    // The counterfactual spec must make --fail-on-divergence bite.
+    let cf = Command::new(env!("CARGO_BIN_EXE_msweb"))
+        .args([
+            "analyze",
+            "--log",
+            path.to_str().unwrap(),
+            "--spec",
+            "rotation-masters/none/level-split/rsrc-indexed-reserve/split-demand",
+            "--fail-on-divergence",
+        ])
+        .output()
+        .expect("spawn msweb analyze (counterfactual)");
+    assert!(
+        !cf.status.success(),
+        "counterfactual replay unexpectedly matched the log:\n{}",
+        String::from_utf8_lossy(&cf.stdout)
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

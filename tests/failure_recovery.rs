@@ -1,5 +1,9 @@
 //! End-to-end failure injection: node crashes, restart of dynamic work,
-//! recovery — the §2 fail-over story.
+//! recovery — the §2 fail-over story. The traced variants check that the
+//! failure path is fully replayable from the decision log alone:
+//! node-down/up and drop events land in the trace, restart placements
+//! are flagged, and `analyze` reconstructs the same drop counts the live
+//! `RunSummary` reported.
 
 use msweb::prelude::*;
 
@@ -115,6 +119,115 @@ fn redirect_crash_accounts_for_everything() {
         s.restarted > 0,
         "the restart-enabled crash should restart work"
     );
+}
+
+/// Run a traced M/S simulation under `plan` and return the parsed log
+/// with the run's summary.
+fn traced_failure_run(seed: u64, plan: FailurePlan) -> (TraceLog, RunSummary) {
+    let trace = workload(seed);
+    let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+    cfg.masters = MasterSelection::Fixed(3);
+    let mut path = std::env::temp_dir();
+    path.push(format!("msweb-fail-{}-{seed}.jsonl", std::process::id()));
+    let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
+    let sink = JsonlSink::create(&path).expect("create failure log");
+    sim.scheduler_mut().set_observer(Some(Box::new(sink)));
+    let s = sim.run(&trace);
+    // The sink buffers; dropping the sim drops the scheduler and the
+    // observer with it, flushing the tail of the log.
+    drop(sim);
+    let log = TraceLog::read(&path).expect("parse failure log");
+    let _ = std::fs::remove_file(&path);
+    (log, s)
+}
+
+/// One recovering restart-crash plus one fatal no-restart crash: the
+/// log must carry node-down, node-up, restart decisions *and* fail-over
+/// drops.
+fn two_crash_plan(span: SimDuration) -> FailurePlan {
+    FailurePlan::new(vec![
+        FailureEvent {
+            at: SimTime::ZERO + span.mul_f64(0.5),
+            node: 6,
+            restart_dynamic: true,
+            recover_at: Some(SimTime::ZERO + span.mul_f64(0.9)),
+        },
+        FailureEvent {
+            at: SimTime::ZERO + span.mul_f64(0.7),
+            node: 5,
+            restart_dynamic: false,
+            recover_at: None,
+        },
+    ])
+}
+
+#[test]
+fn failure_events_appear_in_the_decision_log() {
+    let span = workload(8).span();
+    let (log, s) = traced_failure_run(8, two_crash_plan(span));
+    assert!(s.restarted > 0, "restart crash should restart work");
+    assert!(s.dropped > 0, "no-restart crash should drop work");
+
+    let downs = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeDown { .. }))
+        .count();
+    let ups = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::NodeUp { .. }))
+        .count();
+    assert_eq!(downs, 2, "both crashes should be logged");
+    assert_eq!(ups, 1, "only node 6 recovers");
+
+    let restart_decisions = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Decision(r) if r.restart))
+        .count() as u64;
+    assert_eq!(
+        restart_decisions, s.restarted,
+        "each successful restart is a restart-flagged decision"
+    );
+
+    let drop_events: Vec<&DropRecord> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Drop(d) => Some(d),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(drop_events.len() as u64, s.dropped, "every drop is logged");
+    assert!(
+        drop_events.iter().all(|d| d.restart),
+        "these drops all happen on the fail-over path"
+    );
+}
+
+#[test]
+fn replayed_failure_run_matches_live_summary() {
+    let span = workload(8).span();
+    let (log, s) = traced_failure_run(8, two_crash_plan(span));
+
+    // The failure scenario must be reconstructible from the log alone:
+    // self-replay stays a fixed point across the crashes, and the
+    // analyzer's drop/restart accounting matches the live summary.
+    let report = analyze(&log, &ReplayOptions::default()).expect("analyze failure log");
+    assert_eq!(
+        report.divergent, 0,
+        "failure-path self-replay must stay in lockstep"
+    );
+    assert_eq!(report.first_disagreement, None);
+    assert_eq!(report.drops_recorded, s.dropped);
+    assert_eq!(
+        report.drops_replayed, s.dropped,
+        "replay should drop exactly the requests the live run dropped"
+    );
+    assert_eq!(report.restarts_recorded, s.restarted);
+    assert_eq!(report.completions, s.completed);
+    assert_eq!(report.rescued, 0, "a fixed point rescues nothing");
 }
 
 #[test]

@@ -1,12 +1,15 @@
 //! The `--trace-decisions` contract: both execution substrates — the
 //! event-driven simulator and the live thread-backed emulation — drive
 //! the *same* scheduler value, so the per-decision JSONL they emit is
-//! schema-identical (same keys, same order, one object per placement).
+//! schema-identical (same keys, same order, one object per placement),
+//! now wrapped in the v2 event stream (`meta` head line, `complete` and
+//! `tick` events interleaved) that `msweb analyze` replays.
 
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
 
+use msweb::bench::{tab3_traced, ExpConfig};
 use msweb::prelude::*;
 
 fn tmp(name: &str) -> PathBuf {
@@ -15,8 +18,8 @@ fn tmp(name: &str) -> PathBuf {
     p
 }
 
-/// The ordered key sequence of one JSONL line (vendored serde has no
-/// parser, so extract keys lexically: every `"key":` at object level).
+/// The ordered key sequence of one JSONL line (extracted lexically:
+/// every `"key":` at object level; no field nests another object).
 fn key_sequence(line: &str) -> Vec<String> {
     let mut keys = Vec::new();
     let mut rest = line;
@@ -33,11 +36,83 @@ fn key_sequence(line: &str) -> Vec<String> {
     keys
 }
 
+/// The schema-v2 decision-line key order (see `sched::trace`).
+const DECISION_SCHEMA: [&str; 20] = [
+    "v",
+    "ev",
+    "seq",
+    "dynamic",
+    "entry",
+    "candidates",
+    "scores",
+    "theta_hat",
+    "theta2_star",
+    "chosen",
+    "on_master",
+    "redirected",
+    "latency_us",
+    "req",
+    "at_us",
+    "demand_us",
+    "w",
+    "expected_us",
+    "masters_ok",
+    "restart",
+];
+
+fn decision_lines(log: &str) -> Vec<&str> {
+    log.lines()
+        .filter(|l| l.starts_with("{\"v\":2,\"ev\":\"decision\""))
+        .collect()
+}
+
 /// A Table-3-shaped workload: the six-node Sun-cluster demand model.
 fn tab3_trace(n: usize) -> Trace {
     ucb()
         .generate(n, &DemandModel::sun_cluster(40.0), 9)
         .scaled_to_rate(40.0)
+}
+
+/// Assert the full v2 contract on one substrate's log text.
+fn check_log(log: &str, substrate: &str, n: usize) {
+    // The stream parses cleanly — no warnings, every event known.
+    let parsed = TraceLog::parse(log).expect("log parses");
+    assert_eq!(parsed.warnings, Vec::<String>::new(), "{substrate} warned");
+
+    // First line is the run's meta event naming the substrate.
+    let first = log.lines().next().expect("non-empty log");
+    assert!(
+        first.starts_with(&format!(
+            "{{\"v\":2,\"ev\":\"meta\",\"substrate\":\"{substrate}\""
+        )),
+        "{substrate} log should open with its meta line: {first}"
+    );
+
+    // One decision per request, in scheduler-sequence order, plus one
+    // completion per request and at least one monitor tick.
+    let decisions = decision_lines(log);
+    assert_eq!(decisions.len(), n, "{substrate}: one decision per request");
+    for (i, line) in decisions.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"v\":2,\"ev\":\"decision\",\"seq\":{}", i + 1)),
+            "{substrate} decision {i} out of sequence: {line}"
+        );
+        assert_eq!(
+            key_sequence(line),
+            DECISION_SCHEMA,
+            "{substrate} decision {i} schema drifted"
+        );
+    }
+    let completes = log
+        .lines()
+        .filter(|l| l.starts_with("{\"v\":2,\"ev\":\"complete\""))
+        .count();
+    assert_eq!(completes, n, "{substrate}: one completion per request");
+    let ticks = log
+        .lines()
+        .filter(|l| l.starts_with("{\"v\":2,\"ev\":\"tick\""))
+        .count();
+    assert!(ticks >= 1, "{substrate}: monitor ticks should be recorded");
 }
 
 #[test]
@@ -69,56 +144,67 @@ fn sim_and_live_emit_schema_identical_jsonl() {
 
     let sim_log = std::fs::read_to_string(&sim_path).expect("read sim log");
     let live_log = std::fs::read_to_string(&live_path).expect("read live log");
-    let sim_lines: Vec<&str> = sim_log.lines().collect();
-    let live_lines: Vec<&str> = live_log.lines().collect();
 
-    // One record per placement; no failures injected, so exactly one per
-    // request on both substrates.
-    assert_eq!(
-        sim_lines.len(),
-        n,
-        "sim log should have one line per request"
-    );
-    assert_eq!(
-        live_lines.len(),
-        n,
-        "live log should have one line per request"
-    );
+    check_log(&sim_log, "sim", n);
+    check_log(&live_log, "live", n);
 
-    // Schema identity: every line of both logs carries the same keys in
-    // the same order.
-    let schema = key_sequence(sim_lines[0]);
+    // Schema identity across substrates: the decision records carry the
+    // same keys in the same order whichever substrate wrote them.
     assert_eq!(
-        schema,
-        vec![
-            "seq",
-            "dynamic",
-            "entry",
-            "candidates",
-            "scores",
-            "theta_hat",
-            "theta2_star",
-            "chosen",
-            "on_master",
-            "redirected",
-            "latency_us",
-        ],
-        "unexpected record schema"
+        key_sequence(decision_lines(&sim_log)[0]),
+        key_sequence(decision_lines(&live_log)[0]),
+        "sim and live decision schemas diverged"
     );
-    for (i, line) in sim_lines.iter().chain(live_lines.iter()).enumerate() {
-        assert_eq!(key_sequence(line), schema, "line {i} schema drifted");
-    }
-
-    // Both logs are ordered by the scheduler's own sequence counter.
-    for (i, line) in sim_lines.iter().enumerate() {
-        assert!(
-            line.starts_with(&format!("{{\"seq\":{}", i + 1)),
-            "sim line {i} out of sequence: {line}"
-        );
-    }
 
     let _ = std::fs::remove_file(&sim_path);
     let _ = std::fs::remove_file(&live_path);
+}
+
+/// The `experiments` binary's Table-3 path appends every replay — live
+/// and simulated — to one shared log through the same sink; the schema
+/// contract must hold there too (the satellite emission path).
+#[test]
+fn tab3_emission_path_shares_the_decision_schema() {
+    let path = tmp("tab3.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let exp = ExpConfig {
+        requests: 40,
+        live_requests: 40,
+        seed: 42,
+        jobs: 1,
+    };
+    let rows = tab3_traced(&exp, 0.05, Some(&path));
+    assert!(!rows.is_empty());
+
+    let log = std::fs::read_to_string(&path).expect("read tab3 log");
+    let parsed = TraceLog::parse(&log).expect("tab3 log parses");
+    assert_eq!(parsed.warnings, Vec::<String>::new());
+
+    // Every replay opens its own meta segment; both substrates appear.
+    let metas: Vec<&str> = log
+        .lines()
+        .filter(|l| l.starts_with("{\"v\":2,\"ev\":\"meta\""))
+        .collect();
+    assert!(metas.len() >= 2, "expected one meta line per replay");
+    assert!(
+        metas.iter().any(|l| l.contains("\"substrate\":\"live\""))
+            && metas.iter().any(|l| l.contains("\"substrate\":\"sim\"")),
+        "tab3 should log both substrates"
+    );
+
+    // Every decision line — whichever substrate, whichever policy —
+    // carries the identical v2 schema.
+    let decisions = decision_lines(&log);
+    assert!(!decisions.is_empty());
+    for line in &decisions {
+        assert_eq!(
+            key_sequence(line),
+            DECISION_SCHEMA,
+            "schema drifted: {line}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
@@ -148,7 +234,6 @@ fn replay_cli_writes_decision_log() {
         String::from_utf8_lossy(&out.stderr)
     );
     let log = std::fs::read_to_string(&path).expect("read CLI decision log");
-    assert_eq!(log.lines().count(), 400);
-    assert!(log.lines().all(|l| l.starts_with("{\"seq\":")));
+    check_log(&log, "sim", 400);
     let _ = std::fs::remove_file(&path);
 }

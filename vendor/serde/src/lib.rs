@@ -44,7 +44,342 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+/// Error produced by [`Value::parse`]: what went wrong and the byte
+/// offset in the input where parsing stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > 128 {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b) => self.err(format!("unexpected byte 0x{b:02x}")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `]` in array");
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err("expected string key in object");
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return self.err("expected `:` after object key");
+            }
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(fields));
+            }
+            if !self.eat(b',') {
+                return self.err("expected `,` or `}` in object");
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require a trailing \uXXXX.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return self.err("lone leading surrogate");
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return self.err("invalid trailing surrogate");
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        _ => return self.err(format!("invalid escape `\\{}`", esc as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar value.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    if width == 0 || start + width > self.bytes.len() {
+                        return self.err("invalid UTF-8 in string");
+                    }
+                    self.pos = start + width;
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8 in string"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return self.err("truncated \\u escape");
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return self.err("invalid hex digit in \\u escape"),
+            };
+            self.pos += 1;
+            code = (code << 4) | digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = match std::str::from_utf8(&self.bytes[start..self.pos]) {
+            Ok(t) => t,
+            Err(_) => return self.err("invalid number"),
+        };
+        if !is_float {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Int(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Float(x)),
+            Err(_) => self.err(format!("invalid number `{text}`")),
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf7 => 4,
+        _ => 0,
+    }
+}
+
 impl Value {
+    /// Parse one JSON document from `input`, requiring the whole string
+    /// (modulo surrounding whitespace) to be consumed.
+    ///
+    /// Integers without a fraction or exponent parse as [`Value::UInt`]
+    /// (or [`Value::Int`] when negative) so they round-trip exactly;
+    /// everything else numeric becomes [`Value::Float`]. Object key
+    /// order is preserved as written.
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.parse_value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return parser.err("trailing characters after JSON value");
+        }
+        Ok(value)
+    }
+
+    /// Borrow the fields of an object, or `None` for any other variant.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow the items of an array, or `None` for any other variant.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string contents, or `None` for any other variant.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, or `None` for any other variant.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is an unsigned (or non-negative
+    /// signed) integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by key (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
     /// Render as compact JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -167,6 +502,11 @@ pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
 /// Serialise any [`Serialize`] type to pretty-printed JSON.
 pub fn to_json_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
     value.to_value().to_json_pretty()
+}
+
+/// Parse one JSON document into a [`Value`] tree.
+pub fn from_json_str(input: &str) -> Result<Value, ParseError> {
+    Value::parse(input)
 }
 
 // ------------------------------------------------------------ primitives
@@ -338,5 +678,85 @@ mod tests {
     fn float_roundtrip_notation() {
         // Whole floats keep a ".0" so they parse back as floats.
         assert_eq!(2.0f64.to_value().to_json(), "2.0");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(Value::parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(Value::parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(Value::parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers_preserve_order() {
+        let v = Value::parse(r#"{"b":[1,null,{"x":-2.0}],"a":""}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "b".into(),
+                    Value::Array(vec![
+                        Value::UInt(1),
+                        Value::Null,
+                        Value::Object(vec![("x".into(), Value::Float(-2.0))]),
+                    ]),
+                ),
+                ("a".into(), Value::Str(String::new())),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Value::parse(r#""a\"b\\c\ndAé😀""#).unwrap();
+        assert_eq!(v, Value::Str("a\"b\\c\ndAé😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{\"a\":1} extra").is_err());
+        assert!(Value::parse("nul").is_err());
+        let err = Value::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let original = Value::Object(vec![
+            ("seq".into(), Value::UInt(3)),
+            ("theta".into(), Value::Float(0.125)),
+            ("who".into(), Value::Str("naïve \"quote\"".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Int(-1), Value::Bool(false)]),
+            ),
+            ("none".into(), Value::Null),
+        ]);
+        let parsed = Value::parse(&original.to_json()).unwrap();
+        assert_eq!(parsed, original);
+        let pretty = Value::parse(&original.to_json_pretty()).unwrap();
+        assert_eq!(pretty, original);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::parse(r#"{"n":5,"f":1.5,"s":"x","b":true,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
     }
 }
