@@ -186,6 +186,28 @@ fn bench_place(c: &mut Criterion) {
     }
 }
 
+/// The full placement pipeline with telemetry enabled — the issue's
+/// overhead budget is ≤5% over `place_indexed_*` (spans are sampled
+/// 1-in-64; the rest is plain counter bumps).
+fn bench_place_telemetry(c: &mut Criterion) {
+    let registry = SchedulerRegistry::builtin();
+    for p in SIZES {
+        c.bench_function(&format!("place_indexed_telemetry_p{p}"), |b| {
+            let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
+            cfg.masters = MasterSelection::Fixed((p / 4).max(1));
+            let spec = StageSpec::parse(
+                "rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand",
+            )
+            .unwrap();
+            let mut sched = registry.compose(&cfg, &spec, 0.25, 0.025).unwrap();
+            sched.set_telemetry_enabled(true);
+            let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+            let svc = SimDuration::from_millis(33);
+            b.iter(|| black_box(sched.place(true, 0.9, svc, &mut mon)))
+        });
+    }
+}
+
 fn bench_power_of_k_scan(c: &mut Criterion) {
     let p = 4096;
     let w = world(p);
@@ -201,6 +223,7 @@ criterion_group!(
     bench_scan,
     bench_choose_charge_cycle,
     bench_place,
+    bench_place_telemetry,
     bench_power_of_k_scan
 );
 criterion_main!(benches);

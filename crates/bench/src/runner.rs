@@ -26,7 +26,9 @@
 
 use std::fmt::Write as _;
 
+use msweb_cluster::{run_policy_telemetry, ClusterConfig, PolicyKind, TelemetrySnapshot};
 use msweb_queueing::Fig3Point;
+use msweb_workload::{ksu, DemandModel};
 use serde::Serialize;
 
 use crate::experiments::{
@@ -182,7 +184,7 @@ pub enum ReportData {
 }
 
 /// One experiment's complete result: identity, sizing, and data rows.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Which experiment this is.
     pub experiment: ExperimentId,
@@ -194,6 +196,28 @@ pub struct ExperimentReport {
     pub seed: u64,
     /// The result rows.
     pub data: ReportData,
+    /// Telemetry snapshot of the instrumented companion replay, when
+    /// [`ExperimentRunner::telemetry`] was enabled.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+// Hand-written (rather than derived) so the `telemetry` key appears
+// only when a snapshot was attached: existing report JSON stays
+// byte-identical for runs without telemetry.
+impl Serialize for ExperimentReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("experiment".to_string(), self.experiment.to_value()),
+            ("requests".to_string(), self.requests.to_value()),
+            ("live_requests".to_string(), self.live_requests.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ];
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry".to_string(), t.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Runs experiments against one [`ExpConfig`].
@@ -202,6 +226,7 @@ pub struct ExperimentRunner {
     exp: ExpConfig,
     live_time_scale: f64,
     trace_decisions: Option<std::path::PathBuf>,
+    telemetry: bool,
 }
 
 impl ExperimentRunner {
@@ -212,6 +237,7 @@ impl ExperimentRunner {
             exp,
             live_time_scale: 1.0,
             trace_decisions: None,
+            telemetry: false,
         }
     }
 
@@ -238,6 +264,20 @@ impl ExperimentRunner {
     /// append-mode log would interleave).
     pub fn trace_decisions(mut self, path: Option<std::path::PathBuf>) -> Self {
         self.trace_decisions = path;
+        self
+    }
+
+    /// Attach a telemetry snapshot to every produced report — the
+    /// `--telemetry` flag of `msweb experiments`. Experiments sweep
+    /// many cells (in parallel), so instead of instrumenting them all,
+    /// the runner executes one *canonical companion replay* — the KSU
+    /// master/slave cell at p = 32, λ = 1000/s, 1/r = 40, sized and
+    /// seeded like this configuration — with telemetry enabled, and
+    /// embeds its deterministic snapshot as the report's `telemetry`
+    /// block. Reports without telemetry serialise exactly as before
+    /// (the key is simply absent).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -293,6 +333,7 @@ impl ExperimentRunner {
             live_requests: exp.live_requests,
             seed: exp.seed,
             data,
+            telemetry: self.telemetry.then(|| companion_telemetry(exp)),
         }
     }
 
@@ -303,6 +344,18 @@ impl ExperimentRunner {
             .map(|id| self.run(id))
             .collect()
     }
+}
+
+/// The canonical instrumented companion replay: KSU trace, master/slave
+/// policy, p = 32, λ = 1000/s, 1/r = 40, at this configuration's request
+/// count and seed. Deterministic for a fixed `ExpConfig`, so reports
+/// with telemetry enabled stay byte-stable across re-runs.
+fn companion_telemetry(exp: &ExpConfig) -> TelemetrySnapshot {
+    let trace = ksu()
+        .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
+        .scaled_to_rate(1000.0);
+    let cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave).with_seed(exp.seed);
+    run_policy_telemetry(cfg, &trace).1
 }
 
 impl ExperimentReport {
@@ -633,7 +686,25 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"Fig3a\""), "{json}");
         assert!(json.contains("stretch_ms"), "{json}");
+        // Telemetry off by default: the key must be entirely absent so
+        // pre-existing report JSON stays byte-identical.
+        assert!(!json.contains("\"telemetry\""), "{json}");
         // Same config, same report.
+        assert_eq!(report, runner.run(ExperimentId::Fig3a));
+    }
+
+    #[test]
+    fn telemetry_report_carries_a_deterministic_block() {
+        let mut exp = ExpConfig::quick();
+        exp.requests = 500; // companion replay sizing; keep the test quick
+        let runner = ExperimentRunner::new(exp).telemetry(true);
+        let report = runner.run(ExperimentId::Fig3a);
+        let snap = report.telemetry.as_ref().expect("telemetry attached");
+        assert!(snap.sched.place_calls > 0);
+        assert_eq!(snap.node_busy.len(), 32);
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry\""), "{json}");
+        // Re-run equality: the companion replay is deterministic.
         assert_eq!(report, runner.run(ExperimentId::Fig3a));
     }
 

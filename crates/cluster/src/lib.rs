@@ -26,7 +26,10 @@
 //!   rejects;
 //! * [`failure::FailurePlan`] — §2's fail-over scenario: slave death and
 //!   dynamic-request restart;
-//! * [`metrics::Metrics`] — stretch factors per class and level.
+//! * [`metrics::Metrics`] — stretch factors per class and level;
+//! * [`telemetry`] — zero-cost-when-disabled live telemetry: pipeline
+//!   span timing, controller time series, node gauges, and the
+//!   Prometheus/JSON/`top` exposition surfaces.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +44,7 @@ pub mod rsrc;
 #[deny(missing_docs)]
 pub mod sched;
 pub mod sim;
+pub mod telemetry;
 
 pub use cache::{CacheConfig, DynContentCache};
 pub use config::{
@@ -58,4 +62,7 @@ pub use sched::{
     PolicyScheduler, ReplayError, ReplayOptions, RunMeta, Schedule, Scheduler, SchedulerRegistry,
     StageKind, StageSpec, TraceEvent, TraceLog,
 };
-pub use sim::{run_policy, run_policy_with_observer, ClusterSim};
+pub use sim::{policy_sim, run_policy, run_policy_telemetry, run_policy_with_observer, ClusterSim};
+pub use telemetry::{
+    render_top, SchedTelemetry, ScorerPaths, Stage, TelemetryProbe, TelemetrySnapshot, WindowSample,
+};

@@ -130,7 +130,16 @@ impl Metrics {
 
     /// Close the current measurement window (called at each monitor
     /// tick): the window's mean stretch is appended to the series.
-    /// Windows with no completions are skipped.
+    ///
+    /// Windows with no completions are *skipped entirely* rather than
+    /// recorded: an empty accumulator's mean stretch is `0/0 = NaN`,
+    /// and one NaN entry would poison every later consumer of
+    /// [`Metrics::window_series`] (head/tail convergence averages, the
+    /// experiment CSVs, telemetry JSON — where NaN is not even
+    /// representable). Skipping, rather than carrying the previous
+    /// window's value forward, keeps the series a record of *measured*
+    /// windows; consumers that need wall-clock alignment should use the
+    /// telemetry controller series, which samples every tick.
     pub fn close_window(&mut self) {
         if self.window_acc.count() > 0 {
             self.window_series.push(self.window_acc.stretch());
@@ -206,7 +215,16 @@ impl RunSummary {
     /// The paper's improvement metric:
     /// `(other.stretch / self.stretch − 1) × 100 %` — how much better
     /// `self` is than `other`.
+    ///
+    /// Returns 0.0 when either stretch is non-positive or non-finite
+    /// (e.g. a baseline run that completed nothing): a ratio against a
+    /// zero or NaN baseline is meaningless, and 0 % ("no measured
+    /// improvement") is the answer that keeps downstream tables sane.
     pub fn improvement_over_pct(&self, other: &RunSummary) -> f64 {
+        let measurable = |s: f64| s.is_finite() && s > 0.0;
+        if !measurable(self.stretch) || !measurable(other.stretch) {
+            return 0.0;
+        }
         (other.stretch / self.stretch - 1.0) * 100.0
     }
 }
@@ -217,6 +235,38 @@ mod tests {
 
     fn ms(x: u64) -> SimDuration {
         SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn empty_windows_never_reach_the_series() {
+        let mut m = Metrics::new();
+        // Zero-request windows before, between and after real ones must
+        // be skipped, never pushed as 0/0 = NaN entries.
+        m.close_window();
+        m.record(ms(20), ms(10), None);
+        m.close_window();
+        m.close_window();
+        m.record(ms(30), ms(10), None);
+        m.close_window();
+        assert_eq!(m.window_series().len(), 2);
+        assert!(m.window_series().iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn improvement_over_degenerate_baseline_is_zero() {
+        let mut a = Metrics::new();
+        a.record(ms(20), ms(10), None);
+        let good = a.summary();
+        assert!(good.improvement_over_pct(&good).abs() < 1e-12);
+        // A run that completed nothing has stretch 0; both directions
+        // of the comparison must degrade to "no measured improvement".
+        let empty = Metrics::new().summary();
+        assert_eq!(good.improvement_over_pct(&empty), 0.0);
+        assert_eq!(empty.improvement_over_pct(&good), 0.0);
+        let mut broken = good.clone();
+        broken.stretch = f64::NAN;
+        assert_eq!(good.improvement_over_pct(&broken), 0.0);
+        assert_eq!(broken.improvement_over_pct(&good), 0.0);
     }
 
     #[test]

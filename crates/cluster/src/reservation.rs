@@ -30,36 +30,53 @@ use msweb_simcore::SimDuration;
 /// is Theorem 1's `θm` for the implied (scale-free) workload, opened up
 /// to `θ2` when the flat model would be unstable.
 pub fn admission_cap(m: usize, p: usize, a: f64, r: f64, rho: f64) -> f64 {
+    admission_cap_reasoned(m, p, a, r, rho).0
+}
+
+/// [`admission_cap`] plus whether a clamp fired: the returned flag is
+/// true whenever the cap was *forced* — Theorem 1's midpoint fell
+/// outside `[0, θ2]`, degenerate measurements closed the cap, or
+/// flat-instability opened it to the analytic bound. `admission_cap`
+/// itself is this function's first component, byte for byte.
+pub fn admission_cap_reasoned(m: usize, p: usize, a: f64, r: f64, rho: f64) -> (f64, bool) {
     assert!(m >= 1 && m <= p, "bad m={m}, p={p}");
     if m == p {
-        return 1.0;
+        // Structural, not a clamp: an all-masters cluster has no slaves
+        // to reserve for.
+        return (1.0, false);
     }
     if !(a.is_finite() && a > 0.0 && r.is_finite() && r > 0.0) {
-        return 0.0;
+        return (0.0, true);
     }
     let theta2 = reservation_bound(m, p, a, r);
     if rho.is_nan() || rho <= 0.0 {
-        return 0.0;
+        return (0.0, true);
     }
     if rho >= 1.0 {
         // Offered load exceeds the cluster: beat-flat is vacuous; allow
         // masters to absorb up to the analytic upper bound. The bound is
         // a *cap fraction*, so clamp it to [0, 1] like the normal path
         // rather than letting an extreme (a, r) corner leak through.
-        return theta2.clamp(0.0, 1.0);
+        return (theta2.clamp(0.0, 1.0), true);
     }
     // Scale-free reconstruction: set mu_h = 1; offered = rho * p Erlangs.
     let offered = rho * p as f64;
     let lambda_h = offered / (1.0 + a / r);
     let Ok(w) = Workload::new(lambda_h, a * lambda_h, 1.0, r) else {
-        return 0.0;
+        return (0.0, true);
     };
     let Ok(model) = MsModel::new(w, p, m) else {
-        return 0.0;
+        return (0.0, true);
     };
     match model.theta_interval() {
-        Ok(iv) => iv.theta_mid().clamp(0.0, theta2.max(0.0)),
-        Err(_) => theta2.clamp(0.0, 1.0),
+        Ok(iv) => {
+            // theta_mid() already clamps at zero; recover the raw root
+            // midpoint to tell "free" from "forced to the edge".
+            let raw = (iv.theta1 + iv.theta2) / 2.0;
+            let hi = theta2.max(0.0);
+            (iv.theta_mid().clamp(0.0, hi), !(0.0..=hi).contains(&raw))
+        }
+        Err(_) => (theta2.clamp(0.0, 1.0), true),
     }
 }
 
@@ -88,6 +105,8 @@ pub struct ReservationController {
     a_hat: f64,
     r_hat: f64,
     rho_hat: f64,
+    // -- telemetry: cap recomputations where a clamp fired --
+    clamp_events: u64,
 }
 
 /// EWMA weight for new window measurements.
@@ -118,6 +137,7 @@ impl ReservationController {
             a_hat,
             r_hat,
             rho_hat,
+            clamp_events: 0,
         }
     }
 
@@ -134,6 +154,15 @@ impl ReservationController {
     /// The smoothed measured utilisation `ρ̂`.
     pub fn measured_rho(&self) -> f64 {
         self.rho_hat
+    }
+
+    /// How many [`ReservationController::update`] calls so far clamped
+    /// the cap (see [`admission_cap_reasoned`] for what counts). The
+    /// light-load clamp-to-zero is the *expected* steady state, so a
+    /// high count is normal; a telemetry series of this counter shows
+    /// when the controller left free-running midpoint territory.
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events
     }
 
     /// Record an arriving request (class mix measurement).
@@ -210,7 +239,12 @@ impl ReservationController {
                 self.r_hat = (1.0 - ALPHA) * self.r_hat + ALPHA * r_win;
             }
         }
-        self.cap = admission_cap(self.m, self.p, self.a_hat, self.r_hat, self.rho_hat);
+        let (cap, clamped) =
+            admission_cap_reasoned(self.m, self.p, self.a_hat, self.r_hat, self.rho_hat);
+        self.cap = cap;
+        if clamped {
+            self.clamp_events += 1;
+        }
         self.arrivals_static = 0;
         self.arrivals_dynamic = 0;
         self.resp_static_sum = 0.0;
@@ -286,6 +320,33 @@ mod tests {
     #[test]
     fn all_masters_cap_is_one() {
         assert_eq!(admission_cap(32, 32, 0.2, 0.02, 0.5), 1.0);
+    }
+
+    #[test]
+    fn reasoned_cap_matches_plain_and_flags_clamps() {
+        for (m, p) in [(1, 2), (6, 32), (9, 32), (31, 32)] {
+            for rho in [1e-9, 0.3, 0.5, 0.78, 0.95, 1.0, 1.5] {
+                let plain = admission_cap(m, p, 0.126, 1.0 / 80.0, rho);
+                let (cap, _) = admission_cap_reasoned(m, p, 0.126, 1.0 / 80.0, rho);
+                assert_eq!(plain.to_bits(), cap.to_bits(), "m={m} p={p} rho={rho}");
+            }
+        }
+        // Light load clamps the midpoint to zero; flat instability is a
+        // clamp to theta2; all-masters is structural, not a clamp.
+        assert!(admission_cap_reasoned(9, 32, 0.126, 1.0 / 80.0, 0.5).1);
+        assert!(admission_cap_reasoned(9, 32, 0.126, 1.0 / 80.0, 1.2).1);
+        assert_eq!(admission_cap_reasoned(32, 32, 0.2, 0.02, 0.5), (1.0, false));
+    }
+
+    #[test]
+    fn controller_counts_clamp_events() {
+        let mut c = ReservationController::new(9, 32, 0.126, 1.0 / 80.0, true);
+        assert_eq!(c.clamp_events(), 0);
+        // Light load: every window clamps the negative midpoint to zero.
+        for _ in 0..5 {
+            c.update(0.3);
+        }
+        assert_eq!(c.clamp_events(), 5);
     }
 
     #[test]

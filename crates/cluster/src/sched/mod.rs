@@ -35,6 +35,7 @@ use crate::config::PolicyKind;
 use crate::loadinfo::{LoadMonitor, NodeLoad};
 use crate::reservation::ReservationController;
 use crate::rsrc::RsrcPredictor;
+use crate::telemetry::{SchedTelemetry, ScorerPaths, SpanTimer, Stage, SPAN_SAMPLE_MASK};
 use msweb_simcore::rng::SimRng;
 use msweb_simcore::time::{SimDuration, SimTime};
 
@@ -185,6 +186,12 @@ pub trait Scorer {
         let _ = (ctx, node, sampled_w);
         0.0
     }
+    /// Cumulative counts of which internal path resolved each `choose`
+    /// call (tournament index vs dense-scan fallbacks), for scorers
+    /// that track them. `None` for scorers without internal paths.
+    fn path_counts(&self) -> Option<ScorerPaths> {
+        None
+    }
 }
 
 /// Stage 5: debit the expected demand of a placed request against the
@@ -240,6 +247,9 @@ impl Scorer for Box<dyn Scorer> {
     fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
         (**self).score(ctx, node, sampled_w)
     }
+    fn path_counts(&self) -> Option<ScorerPaths> {
+        (**self).path_counts()
+    }
 }
 
 impl ChargeBack for Box<dyn ChargeBack> {
@@ -293,6 +303,9 @@ pub struct Scheduler<E, A, C, S, G> {
     liveness: u64,
     seq: u64,
     observer: Option<Box<dyn DecisionObserver>>,
+    /// Live telemetry; `None` (the default) costs the hot path a single
+    /// pointer check, mirroring the observer.
+    telemetry: Option<Box<SchedTelemetry>>,
     /// Driver annotation for the next `place` call: (request id, decision
     /// time, actual service demand). Consumed (and cleared) by `place`
     /// whether or not the placement succeeds.
@@ -369,6 +382,7 @@ where
             liveness: 0,
             seq: 0,
             observer: None,
+            telemetry: None,
             pending: None,
             restarting: false,
         })
@@ -457,6 +471,31 @@ where
         }
     }
 
+    /// Enable (allocating fresh counters) or disable telemetry. When
+    /// disabled — the default — `place` pays only an `Option` check.
+    pub fn set_telemetry_enabled(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(Box::new(SchedTelemetry::new(self.p)));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    /// The accumulated scheduler-side telemetry, when enabled.
+    pub fn telemetry(&self) -> Option<&SchedTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// The scorer's internal path counters (indexed vs dense-scan
+    /// fallbacks), when the composed scorer tracks them. Always
+    /// available — the counters are maintained unconditionally because
+    /// they cost a `Cell` add on paths already chosen.
+    pub fn scorer_path_counts(&self) -> Option<ScorerPaths> {
+        self.scorer.path_counts()
+    }
+
     /// Annotate the next [`Scheduler::place`] call with the driver's
     /// request identity: request id, decision time, and the request's
     /// actual service demand. The annotation is consumed by the next
@@ -480,6 +519,13 @@ where
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
         let pending = self.pending.take();
+        // Wall-clock span timing is sampled (1 in SPAN_SAMPLE_EVERY
+        // decisions): an Instant pair per stage costs more than an
+        // uncontended placement, so timing every call would dominate.
+        let mut spans = match &self.telemetry {
+            Some(_) if self.seq & SPAN_SAMPLE_MASK == 0 => Some(SpanTimer::start()),
+            _ => None,
+        };
         let entry = {
             let mut ctx = StageCtx {
                 rng: &mut self.rng,
@@ -494,8 +540,20 @@ where
                 charge_log: monitor.charges(),
                 liveness_epoch: self.liveness,
             };
-            self.entry.select_entry(&mut ctx)?
+            match self.entry.select_entry(&mut ctx) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.stage_calls[Stage::Entry as usize] += 1;
+                        tel.no_live_nodes += 1;
+                    }
+                    return Err(e);
+                }
+            }
         };
+        if let Some(t) = &mut spans {
+            t.mark(Stage::Entry);
+        }
         self.reservation.note_arrival(dynamic);
         let w = self.rsrc.effective_w(sampled_w);
 
@@ -516,7 +574,13 @@ where
                 liveness_epoch: self.liveness,
             };
             let masters_ok = self.admission.master_eligible(&ctx);
+            if let Some(t) = &mut spans {
+                t.mark(Stage::Admission);
+            }
             let decision = self.candidates.collect(&ctx, dynamic, masters_ok, &mut buf);
+            if let Some(t) = &mut spans {
+                t.mark(Stage::Candidates);
+            }
             (masters_ok, decision)
         };
 
@@ -524,6 +588,9 @@ where
         let placement = match decision {
             CandidateDecision::Stay => {
                 self.charge.debit(monitor, entry, expected_service, w);
+                if let Some(t) = &mut spans {
+                    t.mark(Stage::Charge);
+                }
                 self.in_flight[entry] += 1;
                 Placement {
                     node: entry,
@@ -553,11 +620,24 @@ where
                     }
                     self.scorer.choose(&mut ctx, &buf, sampled_w)
                 };
+                if let Some(t) = &mut spans {
+                    t.mark(Stage::Scorer);
+                }
                 let Some(node) = chosen else {
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.stage_calls[Stage::Entry as usize] += 1;
+                        tel.stage_calls[Stage::Admission as usize] += 1;
+                        tel.stage_calls[Stage::Candidates as usize] += 1;
+                        tel.stage_calls[Stage::Scorer as usize] += 1;
+                        tel.no_live_nodes += 1;
+                    }
                     self.buf = buf;
                     return Err(PlacementError::NoLiveNodes);
                 };
                 self.charge.debit(monitor, node, expected_service, w);
+                if let Some(t) = &mut spans {
+                    t.mark(Stage::Charge);
+                }
                 self.in_flight[node] += 1;
                 let on_master = self.candidates.attributes_masters() && node < self.m;
                 self.admission
@@ -576,6 +656,30 @@ where
                 }
             }
         };
+
+        if let Some(tel) = &mut self.telemetry {
+            tel.place_calls += 1;
+            tel.stage_calls[Stage::Entry as usize] += 1;
+            tel.stage_calls[Stage::Admission as usize] += 1;
+            tel.stage_calls[Stage::Candidates as usize] += 1;
+            tel.stage_calls[Stage::Charge as usize] += 1;
+            match decision {
+                CandidateDecision::Stay => tel.stay_local += 1,
+                CandidateDecision::Remote => {
+                    tel.remote += 1;
+                    tel.stage_calls[Stage::Scorer as usize] += 1;
+                    tel.candidates_hist.record(buf.len() as u64);
+                }
+            }
+            if self.restarting {
+                tel.restarts += 1;
+            }
+            tel.node_charges[placement.node] += 1;
+            tel.latency_us_hist.record(placement.latency.as_micros());
+            if let Some(t) = &spans {
+                tel.fold_spans(t);
+            }
+        }
 
         self.seq += 1;
         if let Some(mut obs) = self.observer.take() {
@@ -670,6 +774,19 @@ pub trait Schedule {
     fn emit(&mut self, event: &TraceEvent);
     /// See [`Scheduler::note_request`].
     fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration);
+    /// See [`Scheduler::set_telemetry_enabled`]. Defaults to a no-op so
+    /// third-party `Schedule` impls keep compiling.
+    fn set_telemetry_enabled(&mut self, on: bool) {
+        let _ = on;
+    }
+    /// See [`Scheduler::telemetry`]. Defaults to `None`.
+    fn telemetry(&self) -> Option<&SchedTelemetry> {
+        None
+    }
+    /// See [`Scheduler::scorer_path_counts`]. Defaults to `None`.
+    fn scorer_path_counts(&self) -> Option<ScorerPaths> {
+        None
+    }
 }
 
 impl<E, A, C, S, G> Schedule for Scheduler<E, A, C, S, G>
@@ -730,6 +847,15 @@ where
     }
     fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration) {
         Scheduler::note_request(self, req, at, demand)
+    }
+    fn set_telemetry_enabled(&mut self, on: bool) {
+        Scheduler::set_telemetry_enabled(self, on)
+    }
+    fn telemetry(&self) -> Option<&SchedTelemetry> {
+        Scheduler::telemetry(self)
+    }
+    fn scorer_path_counts(&self) -> Option<ScorerPaths> {
+        Scheduler::scorer_path_counts(self)
     }
 }
 

@@ -16,9 +16,10 @@ use super::{
 use crate::config::{ClusterConfig, PolicyKind};
 use crate::loadinfo::LoadMonitor;
 use crate::reservation::ReservationController;
+use crate::telemetry::ScorerPaths;
 use msweb_simcore::rng::SimRng;
 use msweb_simcore::time::SimDuration;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// Draw an index in `[0, n)` with DNS-cache skew: weight of slot i is
 /// `(1 − skew)^i` (geometric concentration on the low-numbered,
@@ -285,6 +286,36 @@ pub struct MinRsrcScorer {
     /// Lazily synced decision index; `None` = always scan densely.
     /// Interior mutability keeps `Scorer::choose`'s `&self` contract.
     index: Option<RefCell<RsrcIndex>>,
+    /// Which path answered each `choose` call. Maintained
+    /// unconditionally (a `Cell` add on a branch already taken), read
+    /// back through [`Scorer::path_counts`].
+    paths: PathCells,
+}
+
+/// Interior-mutable path counters (the `&self` `choose` contract again).
+#[derive(Debug, Clone, Default)]
+struct PathCells {
+    indexed: Cell<u64>,
+    dense_unindexed: Cell<u64>,
+    dense_small: Cell<u64>,
+    dense_degenerate: Cell<u64>,
+    dense_no_range: Cell<u64>,
+}
+
+impl PathCells {
+    fn snapshot(&self) -> ScorerPaths {
+        ScorerPaths {
+            indexed: self.indexed.get(),
+            dense_unindexed: self.dense_unindexed.get(),
+            dense_small: self.dense_small.get(),
+            dense_degenerate: self.dense_degenerate.get(),
+            dense_no_range: self.dense_no_range.get(),
+        }
+    }
+}
+
+fn bump(cell: &Cell<u64>) {
+    cell.set(cell.get() + 1);
 }
 
 impl MinRsrcScorer {
@@ -293,6 +324,7 @@ impl MinRsrcScorer {
         MinRsrcScorer {
             master_reserve,
             index: None,
+            paths: PathCells::default(),
         }
     }
 
@@ -302,6 +334,7 @@ impl MinRsrcScorer {
         MinRsrcScorer {
             master_reserve,
             index: Some(RefCell::new(RsrcIndex::new(master_reserve))),
+            paths: PathCells::default(),
         }
     }
 
@@ -337,9 +370,11 @@ impl Scorer for MinRsrcScorer {
         sampled_w: f64,
     ) -> Option<usize> {
         let Some(cell) = &self.index else {
+            bump(&self.paths.dense_unindexed);
             return self.dense_choose(ctx, candidates, sampled_w);
         };
         if candidates.len() < INDEX_MIN_CANDIDATES {
+            bump(&self.paths.dense_small);
             return self.dense_choose(ctx, candidates, sampled_w);
         }
         let mut index = cell.borrow_mut();
@@ -350,6 +385,7 @@ impl Scorer for MinRsrcScorer {
             // (identical placements either way — this is purely a cost
             // switch).
             drop(index);
+            bump(&self.paths.dense_degenerate);
             return self.dense_choose(ctx, candidates, sampled_w);
         }
         // Structural check: the built-in candidate stages produce
@@ -368,6 +404,7 @@ impl Scorer for MinRsrcScorer {
         let Some((lo, hi)) = range else {
             // A custom candidate stage produced some other shape; the
             // index cannot answer for it, so score densely.
+            bump(&self.paths.dense_no_range);
             return self.dense_choose(ctx, candidates, sampled_w);
         };
         debug_assert!(
@@ -378,6 +415,7 @@ impl Scorer for MinRsrcScorer {
              custom candidate stages must produce whole-cluster or slave-level \
              live sets for indexed scoring"
         );
+        bump(&self.paths.indexed);
         index.choose_in_range(lo, hi, ctx.rsrc.effective_w(sampled_w), candidates)
     }
     fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
@@ -388,6 +426,9 @@ impl Scorer for MinRsrcScorer {
         };
         ctx.rsrc
             .cost_reserved(node, &ctx.loads[node], sampled_w, reserve)
+    }
+    fn path_counts(&self) -> Option<ScorerPaths> {
+        Some(self.paths.snapshot())
     }
 }
 
@@ -592,6 +633,9 @@ impl CandidateSet for CandidateStage {
 }
 
 /// Statically dispatched scoring stage covering every built-in policy.
+// One instance per scheduler, so the MinRsrc variant's size is not worth
+// a pointer chase on the per-decision `choose` path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ScoreStage {
     /// Minimum-RSRC scoring.
@@ -620,6 +664,12 @@ impl Scorer for ScoreStage {
             ScoreStage::MinRsrc(s) => s.score(ctx, node, sampled_w),
             ScoreStage::LeastConnections(s) => s.score(ctx, node, sampled_w),
             ScoreStage::Random(s) => s.score(ctx, node, sampled_w),
+        }
+    }
+    fn path_counts(&self) -> Option<ScorerPaths> {
+        match self {
+            ScoreStage::MinRsrc(s) => s.path_counts(),
+            ScoreStage::LeastConnections(_) | ScoreStage::Random(_) => None,
         }
     }
 }

@@ -27,6 +27,7 @@ use crate::metrics::{Level, Metrics, RunSummary};
 use crate::sched::{
     DecisionObserver, DropRecord, NodeSample, PolicyScheduler, RunMeta, Schedule, TraceEvent,
 };
+use crate::telemetry::{TelemetryProbe, TelemetrySnapshot, WindowSample};
 
 /// Per-request bookkeeping.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,9 @@ pub struct ClusterSim<Sch: Schedule = PolicyScheduler> {
     /// Registry spec label recorded in the trace meta line when the
     /// scheduler is a custom composition rather than `config.policy`.
     spec_label: Option<String>,
+    /// Driver-side telemetry probe (controller series, node gauges,
+    /// response histograms), when telemetry is enabled.
+    telemetry: Option<TelemetryProbe>,
 }
 
 impl ClusterSim<PolicyScheduler> {
@@ -127,6 +131,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             recoveries: Vec::new(),
             priors: (0.5, 0.05),
             spec_label: None,
+            telemetry: None,
         }
     }
 
@@ -158,6 +163,37 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     pub fn with_mean_demands(mut self, stat: SimDuration, dynamic: SimDuration) -> Self {
         self.mean_demand = (stat, dynamic);
         self
+    }
+
+    /// Enable live telemetry: turns on the scheduler's per-stage
+    /// counters/spans and installs a driver-side probe that samples the
+    /// reservation controller and node gauges at every monitor tick.
+    /// Read the result back with [`ClusterSim::telemetry_snapshot`].
+    pub fn with_telemetry(mut self) -> Self {
+        self.scheduler.set_telemetry_enabled(true);
+        self.telemetry = Some(TelemetryProbe::new());
+        self
+    }
+
+    /// Assemble the full telemetry snapshot for the run so far. `None`
+    /// unless [`ClusterSim::with_telemetry`] was called.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let probe = self.telemetry.as_ref()?;
+        let sched = self.scheduler.telemetry()?;
+        let policy = match &self.spec_label {
+            Some(spec) => spec.clone(),
+            None => self.config.policy.slug().to_string(),
+        };
+        Some(TelemetrySnapshot::assemble(
+            "sim",
+            &policy,
+            self.config.seed,
+            self.scheduler.masters(),
+            sched,
+            self.scheduler.scorer_path_counts(),
+            self.scheduler.reservation().clamp_events(),
+            probe,
+        ))
     }
 
     /// The resolved master count.
@@ -331,6 +367,9 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     None
                 };
                 self.metrics.record(response, req.demand.service, level);
+                if let Some(probe) = &self.telemetry {
+                    probe.record_response(req.class.is_dynamic(), response.as_micros());
+                }
                 self.scheduler
                     .reservation_mut()
                     .note_response(req.class.is_dynamic(), response);
@@ -594,7 +633,29 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         // (CPU + disk, which execute serially within one request) per
         // second of window, averaged across nodes.
         let rho = self.monitor.mean_utilisation();
+        // Capture the windowed master fraction before update() resets it.
+        let theta_hat = self.scheduler.reservation().master_fraction();
         self.scheduler.reservation_mut().update(rho);
+        if let Some(probe) = &self.telemetry {
+            let res = self.scheduler.reservation();
+            let (a_hat, r_hat) = res.measured();
+            probe.record_window(WindowSample {
+                at_us: t.0,
+                theta2_star: res.theta2_star(),
+                a_hat,
+                r_hat,
+                rho,
+                theta_hat,
+                clamp_events: res.clamp_events(),
+            });
+            let busy: Vec<f64> = self
+                .monitor
+                .all()
+                .iter()
+                .map(|l| 1.0 - l.cpu_idle_ratio)
+                .collect();
+            probe.set_node_busy(&busy);
+        }
         self.metrics.close_window();
         if self.scheduler.tracing() {
             self.scheduler.emit(&TraceEvent::Tick {
@@ -648,6 +709,31 @@ pub fn run_policy_with_observer(
     trace: &Trace,
     observer: Option<Box<dyn DecisionObserver>>,
 ) -> RunSummary {
+    let mut sim = policy_sim(config, trace);
+    if observer.is_some() {
+        sim.scheduler_mut().set_observer(observer);
+    }
+    sim.run(trace)
+}
+
+/// Like [`run_policy`], with telemetry enabled: returns the summary
+/// plus the assembled [`TelemetrySnapshot`] (substrate `"sim"`). For a
+/// fixed `config` and `trace` the snapshot is byte-deterministic.
+pub fn run_policy_telemetry(
+    config: ClusterConfig,
+    trace: &Trace,
+) -> (RunSummary, TelemetrySnapshot) {
+    let mut sim = policy_sim(config, trace).with_telemetry();
+    let summary = sim.run(trace);
+    let snap = sim.telemetry_snapshot().expect("telemetry enabled");
+    (summary, snap)
+}
+
+/// Build the [`ClusterSim`] that [`run_policy`] would run: reservation
+/// priors and mean class demands are estimated from `trace` itself.
+/// Exposed so callers can install an observer or enable telemetry
+/// before the replay while keeping the same estimation logic.
+pub fn policy_sim(config: ClusterConfig, trace: &Trace) -> ClusterSim<PolicyScheduler> {
     let summary = trace.summary();
     let a0 = summary.arrival_ratio_a.clamp(0.01, 10.0);
     // Estimate r0 from the demand means in the trace.
@@ -676,11 +762,7 @@ pub fn run_policy_with_observer(
     } else {
         stat_mean
     };
-    let mut sim = ClusterSim::new(config, a0, r0).with_mean_demands(stat_mean, dyn_mean);
-    if observer.is_some() {
-        sim.scheduler_mut().set_observer(observer);
-    }
-    sim.run(trace)
+    ClusterSim::new(config, a0, r0).with_mean_demands(stat_mean, dyn_mean)
 }
 
 #[cfg(test)]

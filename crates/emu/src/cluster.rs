@@ -11,13 +11,15 @@
 //! registry composition, or a [`PolicyScheduler`] with a
 //! `DecisionObserver` installed), built via [`live_scheduler`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
-    ClusterConfig, DropRecord, Level, LoadMonitor, Metrics, NodeSample, PolicyKind,
-    PolicyScheduler, RunMeta, RunSummary, Schedule, TraceEvent,
+    render_top, ClusterConfig, DropRecord, Level, LoadMonitor, Metrics, NodeSample, PolicyKind,
+    PolicyScheduler, RunMeta, RunSummary, SchedTelemetry, Schedule, TelemetryProbe,
+    TelemetrySnapshot, TraceEvent, WindowSample,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimTime};
@@ -139,16 +141,43 @@ pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
 /// [`run_live`] with an explicit scheduler value — the same
 /// [`Schedule`] surface `ClusterSim` drives, so simulator and live
 /// emulation literally share the scheduler.
-pub fn run_live_with<S: Schedule>(
+pub fn run_live_with<S: Schedule>(config: &LiveConfig, trace: &Trace, scheduler: S) -> RunSummary {
+    run_live_inner(config, trace, scheduler, None).0
+}
+
+/// [`run_live_with`] with live telemetry: enables the scheduler's
+/// per-stage counters, samples the reservation controller on every
+/// monitor tick (from the dispatcher thread, like the simulator) and
+/// runs a sampler thread that turns [`NodeStats`] counters into per-node
+/// busy gauges. With `top`, the sampler also prints a `top`-style table
+/// to stderr each monitor period. Returns the summary plus the
+/// assembled [`TelemetrySnapshot`] (substrate `"live"`).
+pub fn run_live_telemetry<S: Schedule>(
+    config: &LiveConfig,
+    trace: &Trace,
+    scheduler: S,
+    top: bool,
+) -> (RunSummary, TelemetrySnapshot) {
+    let (summary, snap) =
+        run_live_inner(config, trace, scheduler, Some((TelemetryProbe::new(), top)));
+    (summary, snap.expect("telemetry requested"))
+}
+
+fn run_live_inner<S: Schedule>(
     config: &LiveConfig,
     trace: &Trace,
     mut scheduler: S,
-) -> RunSummary {
+    telemetry: Option<(TelemetryProbe, bool)>,
+) -> (RunSummary, Option<TelemetrySnapshot>) {
     assert!(config.p >= 1);
     assert!(
         config.time_scale > 0.0 && config.time_scale.is_finite(),
         "bad time scale"
     );
+    if telemetry.is_some() {
+        scheduler.set_telemetry_enabled(true);
+    }
+    let probe_ref = telemetry.as_ref().map(|(p, _)| p);
 
     let cc = config.cluster_config();
     if scheduler.tracing() {
@@ -196,6 +225,54 @@ pub fn run_live_with<S: Schedule>(
         stats.push(st);
     }
     drop(done_tx);
+
+    // Sampler thread: converts NodeStats counters into busy-ratio
+    // gauges once per monitor period (and optionally renders `top`).
+    // It only ever reads the shared atomics and writes to the probe, so
+    // it stays entirely off the dispatch path.
+    let sampler = telemetry.as_ref().map(|(probe, top)| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let probe = probe.clone();
+        let stats: Vec<Arc<NodeStats>> = stats.iter().map(Arc::clone).collect();
+        let interval = config.monitor_period;
+        let top = *top;
+        let handle = std::thread::spawn(move || {
+            let step = interval.min(Duration::from_millis(25));
+            let mut prev_busy = vec![0u64; stats.len()];
+            let mut prev_t = Instant::now();
+            let mut next = prev_t + interval;
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(step);
+                let now = Instant::now();
+                if now < next {
+                    continue;
+                }
+                next = now + interval;
+                let wall = now.duration_since(prev_t).as_nanos().max(1) as f64;
+                prev_t = now;
+                let mut busy = Vec::with_capacity(stats.len());
+                let mut in_flight = Vec::with_capacity(stats.len());
+                let mut finished = Vec::with_capacity(stats.len());
+                for (i, s) in stats.iter().enumerate() {
+                    let b = s.cpu_busy_ns.load(Ordering::Relaxed)
+                        + s.io_busy_ns.load(Ordering::Relaxed);
+                    busy.push(((b.saturating_sub(prev_busy[i])) as f64 / wall).clamp(0.0, 1.0));
+                    prev_busy[i] = b;
+                    in_flight.push(s.in_flight.load(Ordering::Relaxed));
+                    finished.push(s.finished.load(Ordering::Relaxed));
+                }
+                probe.set_node_busy(&busy);
+                if top {
+                    eprint!(
+                        "{}",
+                        render_top(probe.last_window().as_ref(), &busy, &in_flight, &finished)
+                    );
+                }
+            }
+        });
+        (stop, handle)
+    });
 
     let t0 = Instant::now();
     let mut monitor = LoadMonitor::new(config.p, cc.monitor_period, SimTime::ZERO);
@@ -267,6 +344,9 @@ pub fn run_live_with<S: Schedule>(
             None
         };
         metrics.record(response, demand, level);
+        if let Some(probe) = probe_ref {
+            probe.record_response(req.class.is_dynamic(), response.as_micros());
+        }
         // Release the connection slot — keeps switch-style counts
         // truthful, matching the simulator's completion path.
         scheduler.note_completion(placed_node[d.id as usize]);
@@ -308,7 +388,23 @@ pub fn run_live_with<S: Schedule>(
                 let snaps = snapshot(&stats, SimTime(at.as_micros()));
                 monitor.tick(SimTime(at.as_micros()), &snaps);
                 let rho = monitor.mean_utilisation();
+                // Capture the windowed master fraction before update()
+                // resets it (same ordering as the simulator).
+                let theta_hat = scheduler.reservation().master_fraction();
                 scheduler.reservation_mut().update(rho);
+                if let Some(probe) = probe_ref {
+                    let res = scheduler.reservation();
+                    let (a_hat, r_hat) = res.measured();
+                    probe.record_window(WindowSample {
+                        at_us: at.as_micros(),
+                        theta2_star: res.theta2_star(),
+                        a_hat,
+                        r_hat,
+                        rho,
+                        theta_hat,
+                        clamp_events: res.clamp_events(),
+                    });
+                }
                 if scheduler.tracing() {
                     scheduler.emit(&TraceEvent::Tick {
                         at_us: at.as_micros(),
@@ -404,6 +500,39 @@ pub fn run_live_with<S: Schedule>(
     for h in handles {
         let _ = h.join();
     }
+    if let Some((stop, handle)) = sampler {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    if let Some(probe) = probe_ref {
+        // A replay shorter than one monitor period never ticks; leave
+        // at least one controller sample so the series is never empty.
+        if probe.window_count() == 0 {
+            let res = scheduler.reservation();
+            let (a_hat, r_hat) = res.measured();
+            probe.record_window(WindowSample {
+                at_us: to_sim(t0.elapsed()).as_micros(),
+                theta2_star: res.theta2_star(),
+                a_hat,
+                r_hat,
+                rho: monitor.mean_utilisation(),
+                theta_hat: res.master_fraction(),
+                clamp_events: res.clamp_events(),
+            });
+        }
+        // Leave a whole-run busy average in the gauges so even runs
+        // shorter than one sampler interval report `p` entries.
+        let wall = t0.elapsed().as_nanos().max(1) as f64;
+        let busy: Vec<f64> = stats
+            .iter()
+            .map(|s| {
+                let b =
+                    s.cpu_busy_ns.load(Ordering::Relaxed) + s.io_busy_ns.load(Ordering::Relaxed);
+                (b as f64 / wall).clamp(0.0, 1.0)
+            })
+            .collect();
+        probe.set_node_busy(&busy);
+    }
     // Feed the per-node busy time into the shared metrics type so the
     // live path fills the same balance fields (CV, peak-to-mean) the
     // simulator does — Table 3 rows then compare two complete
@@ -417,7 +546,23 @@ pub fn run_live_with<S: Schedule>(
         })
         .collect();
     metrics.set_node_busy(busy);
-    metrics.summary()
+    let snapshot = telemetry.map(|(probe, _)| {
+        let sched_tel = scheduler
+            .telemetry()
+            .cloned()
+            .unwrap_or_else(|| SchedTelemetry::new(cc.p));
+        TelemetrySnapshot::assemble(
+            "live",
+            cc.policy.slug(),
+            cc.seed,
+            scheduler.masters(),
+            &sched_tel,
+            scheduler.scorer_path_counts(),
+            scheduler.reservation().clamp_events(),
+            &probe,
+        )
+    });
+    (metrics.summary(), snapshot)
 }
 
 #[cfg(test)]
@@ -489,5 +634,37 @@ mod tests {
         let scheduler = live_scheduler(&cfg, &trace);
         let s = run_live_with(&cfg, &trace, scheduler);
         assert_eq!(s.completed, 24);
+    }
+
+    #[test]
+    fn live_telemetry_produces_a_complete_snapshot() {
+        let trace = tiny_trace(40, 40.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 2);
+        cfg.time_scale = 0.25;
+        cfg.monitor_period = Duration::from_millis(50);
+        let scheduler = live_scheduler(&cfg, &trace);
+        let (s, snap) = run_live_telemetry(&cfg, &trace, scheduler, false);
+        assert_eq!(s.completed, 40);
+        assert_eq!(snap.substrate, "live");
+        assert_eq!(snap.sched.place_calls, 40);
+        assert_eq!(snap.node_busy.len(), 6, "whole-run busy gauges");
+        assert!(
+            !snap.windows.is_empty(),
+            "a 50 ms monitor period must tick during the replay"
+        );
+        // The snapshot round-trips through its own JSON encoding.
+        let v = serde::Value::parse(&snap.to_json()).expect("parse own JSON");
+        let back = TelemetrySnapshot::from_value(&v).expect("decode own JSON");
+        assert_eq!(back, snap);
+        // The Prometheus rendering carries the headline series.
+        let prom = snap.to_prometheus();
+        for needle in [
+            "msweb_place_decisions_total",
+            "msweb_reservation_theta2_star",
+            "msweb_node_busy_ratio",
+            "msweb_stage_span_ns_total",
+        ] {
+            assert!(prom.contains(needle), "missing {needle}");
+        }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`dist`] — the distributions the workload and OS models draw from;
 //! * [`stats`] — Welford statistics, exact quantiles, time-weighted
 //!   integrals, and the paper's stretch-factor accumulator;
+//! * [`hist`] — fixed-footprint log-bucketed histograms
+//!   ([`LogHistogram`]) cheap enough for scheduler hot paths and
+//!   mergeable across parallel sweep workers;
 //! * [`pool`] — a scoped-thread worker pool ([`parallel_map`]) with
 //!   submission-order result collection, paired with the stateless
 //!   [`split_seed`] so parallel sweeps stay bit-identical to sequential
@@ -29,6 +32,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod hist;
 pub mod pool;
 pub mod rng;
 pub mod stats;
@@ -39,6 +43,7 @@ pub use dist::{
     ShiftedExponential, Uniform,
 };
 pub use event::{EventId, EventQueue};
+pub use hist::LogHistogram;
 pub use pool::{effective_workers, parallel_map};
 pub use rng::{split_seed, SimRng};
 pub use stats::{OnlineStats, Quantiles, StretchAccumulator, TimeWeighted};

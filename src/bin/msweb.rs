@@ -6,8 +6,9 @@
 //! msweb import  --log access.log [--lambda 800] [--p 16]
 //! msweb traces
 //! msweb analyze --log decisions.jsonl [--spec <spec>] [--json] [--fail-on-divergence]
-//! msweb live    [--rate 40] [--requests 300] [--scale 0.2]
-//! msweb experiments [--id fig4b] [--jobs 8] [--json out.json] [--quick]
+//! msweb live    [--rate 40] [--requests 300] [--scale 0.2] [--telemetry out.json] [--top]
+//! msweb experiments [--id fig4b] [--jobs 8] [--json out.json] [--quick] [--telemetry]
+//! msweb metrics-dump [--from snapshot.json]
 //! ```
 //!
 //! Every subcommand is a thin veneer over the public library API — the
@@ -30,6 +31,7 @@ fn main() {
         "live" => cmd_live(&flags),
         "analyze" => cmd_analyze(&flags),
         "experiments" => cmd_experiments(&flags),
+        "metrics-dump" => cmd_metrics_dump(&flags),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
             eprintln!("unknown subcommand: {other}\n");
@@ -48,13 +50,20 @@ USAGE:
   msweb replay  --trace <ucb|ksu|adl|dec> --lambda <req/s> [--inv-r <1/r>]
                   [--p <nodes>] [--policy <name>] [--requests <n>] [--seed <s>]
                   [--trace-decisions <path>]
-                  simulate a policy on a synthetic Table-1 trace
+                  [--telemetry <path>] [--metrics-out <path>]
+                  simulate a policy on a synthetic Table-1 trace;
+                  --telemetry writes the deterministic snapshot JSON and
+                  --metrics-out the Prometheus text dump (both need a
+                  single --policy run)
   msweb import  --log <file> [--lambda <req/s>] [--p <nodes>] [--requests <n>]
                   replay your own Common Log Format access log
   msweb traces    print the built-in trace characteristics (Table 1)
   msweb live    [--rate <req/s>] [--requests <n>] [--scale <x>]
                   [--trace-decisions <path>]
-                  run the thread-backed live cluster (6 nodes)
+                  [--telemetry <path>] [--metrics-out <path>] [--top]
+                  run the thread-backed live cluster (6 nodes); telemetry
+                  instruments the master/slave run, --top prints a live
+                  stderr table each monitor period
   msweb analyze --log <decisions.jsonl> [--spec <stage-spec>] [--run <n>]
                   [--json [path]] [--fail-on-divergence]
                   replay a decision log: re-drive the recorded (or a
@@ -63,10 +72,19 @@ USAGE:
                   stretch/balance deltas
   msweb experiments [--id <experiment>] [--jobs <n>] [--json <path>]
                   [--quick] [--seed <s>] [--trace-decisions <path>]
+                  [--telemetry [path]]
                   regenerate the paper's tables/figures through the
                   parallel sweep runner (default: all experiments on all
                   cores; ids: fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3
-                  ablation)
+                  ablation); --telemetry embeds an instrumented companion
+                  replay's snapshot in each report (and writes it to
+                  [path] when given)
+  msweb metrics-dump [--from <snapshot.json>] [--trace <name>]
+                  [--lambda <req/s>] [--p <nodes>] [--requests <n>]
+                  [--seed <s>] [--policy <name>]
+                  print a Prometheus text exposition to stdout: from a
+                  saved --telemetry snapshot with --from, otherwise from
+                  a fresh short instrumented simulation
 
 --trace-decisions logs every scheduling decision (entry node, candidate
 set, per-candidate RSRC scores, reservation state, chosen node, transfer
@@ -162,6 +180,25 @@ fn decision_sink_append(path: &str) -> Box<dyn DecisionObserver> {
             eprintln!("cannot open --trace-decisions file {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Write the snapshot to the `--telemetry` (JSON) and `--metrics-out`
+/// (Prometheus text) paths, whichever were requested.
+fn write_telemetry(snap: &TelemetrySnapshot, json_path: Option<&str>, prom_path: Option<&str>) {
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("failed to write --telemetry file {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry snapshot written to {path}");
+    }
+    if let Some(path) = prom_path {
+        if let Err(e) = std::fs::write(path, snap.to_prometheus()) {
+            eprintln!("failed to write --metrics-out file {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("prometheus dump written to {path}");
     }
 }
 
@@ -263,10 +300,12 @@ fn cmd_experiments(flags: &Flags) {
         ExpConfig::default()
     };
     exp.seed = flags.num("seed", exp.seed as f64) as u64;
+    let telemetry = flags.get("telemetry");
     let runner = ExperimentRunner::new(exp)
         .parallelism(jobs)
         .live_time_scale(if quick { 0.3 } else { 1.0 })
-        .trace_decisions(flags.get("trace-decisions").map(std::path::PathBuf::from));
+        .trace_decisions(flags.get("trace-decisions").map(std::path::PathBuf::from))
+        .telemetry(telemetry.is_some());
 
     let ids: Vec<ExperimentId> = match flags.get("id") {
         Some(name) => match ExperimentId::parse(name) {
@@ -294,6 +333,51 @@ fn cmd_experiments(flags: &Flags) {
         }
         println!("wrote {} report(s) to {path}", reports.len());
     }
+    // `--telemetry <path>` also writes the companion snapshot on its
+    // own; every report of one invocation embeds the same one (the
+    // runner's canonical replay depends only on the ExpConfig).
+    if let Some(path) = telemetry.filter(|p| !p.is_empty()) {
+        if let Some(snap) = reports.iter().find_map(|r| r.telemetry.as_ref()) {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!("failed to write --telemetry file {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("telemetry snapshot written to {path}");
+        }
+    }
+}
+
+/// `msweb metrics-dump`: a Prometheus text exposition on stdout — from
+/// a saved `--telemetry` snapshot (`--from`), or from a fresh short
+/// instrumented simulation (KSU master/slave cell by default).
+fn cmd_metrics_dump(flags: &Flags) {
+    if let Some(path) = flags.get("from") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        let snap = TelemetrySnapshot::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", snap.to_prometheus());
+        return;
+    }
+    let spec = trace_by_name(flags.get("trace").unwrap_or("ksu"));
+    let lambda = flags.num("lambda", 1000.0);
+    let p = flags.usize("p", 32);
+    let n = flags.usize("requests", 2_000);
+    let seed = flags.num("seed", 42.0) as u64;
+    let policy = policy_by_name(flags.get("policy").unwrap_or("ms"));
+    let trace = spec
+        .generate(n, &DemandModel::simulation(40.0), seed)
+        .scaled_to_rate(lambda);
+    let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let cfg = ClusterConfig::simulation(p, policy)
+        .with_masters(m)
+        .with_seed(seed);
+    let (_, snap) = run_policy_telemetry(cfg, &trace);
+    print!("{}", snap.to_prometheus());
 }
 
 fn cmd_replay(flags: &Flags) {
@@ -314,16 +398,33 @@ fn cmd_replay(flags: &Flags) {
     );
 
     let log = flags.get("trace-decisions");
+    let tele_json = flags.get("telemetry");
+    let metrics_out = flags.get("metrics-out");
     match flags.get("policy") {
         Some(name) => {
             let policy = policy_by_name(name);
             let cfg = ClusterConfig::simulation(p, policy)
                 .with_masters(m)
                 .with_seed(seed);
-            let s = run_policy_with_observer(cfg, &trace, log.map(decision_sink));
-            print_summary(policy.label(), &s);
+            if tele_json.is_some() || metrics_out.is_some() {
+                let mut sim = policy_sim(cfg, &trace).with_telemetry();
+                if let Some(path) = log {
+                    sim.scheduler_mut().set_observer(Some(decision_sink(path)));
+                }
+                let s = sim.run(&trace);
+                print_summary(policy.label(), &s);
+                let snap = sim.telemetry_snapshot().expect("telemetry enabled");
+                write_telemetry(&snap, tele_json, metrics_out);
+            } else {
+                let s = run_policy_with_observer(cfg, &trace, log.map(decision_sink));
+                print_summary(policy.label(), &s);
+            }
         }
         None => {
+            if tele_json.is_some() || metrics_out.is_some() {
+                eprintln!("--telemetry/--metrics-out need a single --policy replay");
+                std::process::exit(2);
+            }
             // Truncate the shared log once, then let every policy's
             // replay append to it.
             let mut first = true;
@@ -573,24 +674,38 @@ fn cmd_live(flags: &Flags) {
         n as f64 / rate * scale
     );
     let log = flags.get("trace-decisions");
+    let tele_json = flags.get("telemetry");
+    let metrics_out = flags.get("metrics-out");
+    let top = flags.get("top").is_some();
     let mut first = true;
     for (policy, m) in [(PolicyKind::Flat, 1), (PolicyKind::MasterSlave, 3)] {
         let mut cfg = LiveConfig::sun_cluster(policy, m);
         cfg.time_scale = scale;
-        let s = match log {
-            Some(path) => {
-                // The live path and the simulator share one scheduler
-                // type, so tracing works identically: build the run's
-                // scheduler, install the sink, hand it to the replay.
-                let mut scheduler = live_scheduler(&cfg, &trace);
-                scheduler.set_observer(Some(if first {
+        // Telemetry (and the --top table) instrument the master/slave
+        // run — the paper's policy and the run of interest.
+        let instrument = (tele_json.is_some() || metrics_out.is_some() || top)
+            && policy == PolicyKind::MasterSlave;
+        let s = if instrument || log.is_some() {
+            // The live path and the simulator share one scheduler
+            // type, so tracing works identically: build the run's
+            // scheduler, install the sink, hand it to the replay.
+            let mut scheduler = live_scheduler(&cfg, &trace);
+            scheduler.set_observer(log.map(|path| {
+                if first {
                     decision_sink(path)
                 } else {
                     decision_sink_append(path)
-                }));
+                }
+            }));
+            if instrument {
+                let (s, snap) = run_live_telemetry(&cfg, &trace, scheduler, top);
+                write_telemetry(&snap, tele_json, metrics_out);
+                s
+            } else {
                 run_live_with(&cfg, &trace, scheduler)
             }
-            None => run_live(&cfg, &trace),
+        } else {
+            run_live(&cfg, &trace)
         };
         first = false;
         println!("{:<9} live stretch {:>8.3}", policy.label(), s.stretch);

@@ -61,15 +61,16 @@ pub use msweb_workload as workload;
 pub mod prelude {
     pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
-        analyze, plan_masters, run_policy, run_policy_with_observer, table2_grid, AnalysisReport,
-        ClusterConfig, ClusterSim, CollectingObserver, ConfigError, DecisionObserver,
-        DecisionRecord, Dispatcher, DropRecord, DynScheduler, FailureEvent, FailurePlan, GridCell,
-        JsonlSink, Level, LoadMonitor, MasterSelection, Metrics, Placement, PlacementError,
-        PolicyKind, PolicyScheduler, ReplayError, ReplayOptions, ReservationController,
-        RsrcPredictor, RunSummary, Schedule, Scheduler, SchedulerRegistry, StageKind, StageSpec,
-        TraceEvent, TraceLog,
+        analyze, plan_masters, policy_sim, render_top, run_policy, run_policy_telemetry,
+        run_policy_with_observer, table2_grid, AnalysisReport, ClusterConfig, ClusterSim,
+        CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher, DropRecord,
+        DynScheduler, FailureEvent, FailurePlan, GridCell, JsonlSink, Level, LoadMonitor,
+        MasterSelection, Metrics, Placement, PlacementError, PolicyKind, PolicyScheduler,
+        ReplayError, ReplayOptions, ReservationController, RsrcPredictor, RunSummary,
+        SchedTelemetry, Schedule, Scheduler, SchedulerRegistry, ScorerPaths, StageKind, StageSpec,
+        TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog, WindowSample,
     };
-    pub use msweb_emu::{live_scheduler, run_live, run_live_with, LiveConfig};
+    pub use msweb_emu::{live_scheduler, run_live, run_live_telemetry, run_live_with, LiveConfig};
     pub use msweb_ossim::{DemandSpec, Node, OsParams};
     pub use msweb_queueing::{
         figure3, plan, reservation_bound, Fig3Config, FlatModel, HeteroCluster, MsModel,
