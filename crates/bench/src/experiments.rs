@@ -14,10 +14,9 @@ use std::path::Path;
 use std::time::Duration;
 
 use msweb_cluster::{
-    run_policy, run_policy_with_observer, table2_grid, ClusterConfig, GridCell, JsonlSink,
-    PolicyKind, RunSummary,
+    simulate, table2_grid, ClusterConfig, GridCell, JsonlSink, PolicyKind, RunOptions, RunSummary,
 };
-use msweb_emu::{live_scheduler, run_live, run_live_with, LiveConfig};
+use msweb_emu::{emulate, emulate_with, live_scheduler, LiveConfig, LiveRunOptions};
 use msweb_queueing::{plan, Fig3Config, Fig3Point, ThetaRule, Workload};
 use msweb_workload::{adl, all_traces, ksu, ucb, DemandModel, Trace, TraceSpec, TraceSummary};
 use serde::Serialize;
@@ -88,7 +87,7 @@ fn run_cell(cell: &GridCell, trace: &Trace, policy: PolicyKind, m: usize, seed: 
     let cfg = ClusterConfig::simulation(cell.p, policy)
         .with_masters(m)
         .with_seed(seed);
-    run_policy(cfg, trace)
+    simulate(cfg, trace, RunOptions::new()).summary
 }
 
 // ---------------------------------------------------------------- FIG 3
@@ -415,23 +414,22 @@ pub fn tab3_traced(exp: &ExpConfig, time_scale: f64, decision_log: Option<&Path>
                         if let Ok(sink) = JsonlSink::append(path) {
                             scheduler.set_observer(Some(Box::new(sink)));
                         }
-                        run_live_with(&live_cfg, &trace, scheduler)
+                        emulate_with(&live_cfg, &trace, scheduler, LiveRunOptions::new()).summary
                     }
-                    None => run_live(&live_cfg, &trace),
+                    None => emulate(&live_cfg, &trace, LiveRunOptions::new()).summary,
                 };
                 let sim_cfg = ClusterConfig::simulation(6, policy)
                     .with_masters(*m)
                     .with_mu_h(110.0)
                     .with_seed(seed);
-                let sim = match decision_log {
-                    Some(path) => run_policy_with_observer(
-                        sim_cfg,
-                        &trace,
-                        JsonlSink::append(path)
-                            .ok()
-                            .map(|s| Box::new(s) as Box<dyn msweb_cluster::DecisionObserver>),
-                    ),
-                    None => run_policy(sim_cfg, &trace),
+                let sim = {
+                    let mut opts = RunOptions::new();
+                    if let Some(path) = decision_log {
+                        if let Ok(sink) = JsonlSink::append(path) {
+                            opts = opts.observer(Box::new(sink));
+                        }
+                    }
+                    simulate(sim_cfg, &trace, opts).summary
                 };
                 (live, sim)
             };
@@ -482,7 +480,10 @@ pub fn ablation_staleness(exp: &ExpConfig) -> Vec<(u64, f64)> {
                 .with_masters(m)
                 .with_monitor_period(msweb_simcore::SimDuration::from_millis(period_ms))
                 .with_seed(seed);
-            (period_ms, run_policy(cfg, &trace).stretch)
+            (
+                period_ms,
+                simulate(cfg, &trace, RunOptions::new()).summary.stretch,
+            )
         })
 }
 
@@ -504,7 +505,10 @@ pub fn ablation_reserve(exp: &ExpConfig) -> Vec<(f64, f64)> {
                 .with_masters(m)
                 .with_master_reserve(reserve)
                 .with_seed(seed);
-            (reserve, run_policy(cfg, &trace).stretch)
+            (
+                reserve,
+                simulate(cfg, &trace, RunOptions::new()).summary.stretch,
+            )
         })
 }
 
@@ -555,7 +559,7 @@ pub fn ablation_frontend(exp: &ExpConfig) -> Vec<(&'static str, f64, f64)> {
                 .with_masters(m)
                 .with_dns_skew(skew)
                 .with_seed(seed);
-            let s = run_policy(cfg, &trace);
+            let s = simulate(cfg, &trace, RunOptions::new()).summary;
             (name, s.stretch, s.node_busy_cv)
         })
 }
@@ -573,7 +577,7 @@ pub fn ablation_cache(exp: &ExpConfig) -> (f64, f64, f64) {
     let base = ClusterConfig::simulation(32, PolicyKind::MasterSlave)
         .with_masters(m)
         .with_seed(exp.seed);
-    let uncached = run_policy(base.clone(), &trace);
+    let uncached = simulate(base.clone(), &trace, RunOptions::new()).summary;
 
     let cached_cfg = base.with_cache(msweb_cluster::CacheConfig::default_swala());
     let mut sim = msweb_cluster::ClusterSim::new(cached_cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
@@ -612,7 +616,7 @@ pub fn ablation_bursty(exp: &ExpConfig) -> Vec<(&'static str, f64, f64)> {
             let cfg = ClusterConfig::simulation(32, policy)
                 .with_masters(m)
                 .with_seed(seed);
-            run_policy(cfg, &trace).stretch
+            simulate(cfg, &trace, RunOptions::new()).summary.stretch
         });
     vec![
         ("Flat", stretches[0], stretches[1]),
@@ -653,7 +657,7 @@ pub fn ablation_hetero(exp: &ExpConfig) -> (f64, f64, f64) {
                 .with_masters(plan.masters.len())
                 .with_speeds(s)
                 .with_seed(seed);
-            run_policy(cfg, &trace).stretch
+            simulate(cfg, &trace, RunOptions::new()).summary.stretch
         });
     (analytic, stretches[0], stretches[1])
 }

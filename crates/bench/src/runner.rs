@@ -26,7 +26,7 @@
 
 use std::fmt::Write as _;
 
-use msweb_cluster::{run_policy_telemetry, ClusterConfig, PolicyKind, TelemetrySnapshot};
+use msweb_cluster::{simulate, ClusterConfig, PolicyKind, RunOptions, TelemetrySnapshot};
 use msweb_queueing::Fig3Point;
 use msweb_workload::{ksu, DemandModel};
 use serde::Serialize;
@@ -355,7 +355,9 @@ fn companion_telemetry(exp: &ExpConfig) -> TelemetrySnapshot {
         .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
         .scaled_to_rate(1000.0);
     let cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave).with_seed(exp.seed);
-    run_policy_telemetry(cfg, &trace).1
+    simulate(cfg, &trace, RunOptions::new().telemetry(true))
+        .telemetry
+        .expect("telemetry enabled")
 }
 
 impl ExperimentReport {

@@ -62,7 +62,12 @@ pub use sched::{
     PolicyScheduler, ReplayError, ReplayOptions, RunMeta, Schedule, Scheduler, SchedulerRegistry,
     StageKind, StageSpec, TraceEvent, TraceLog,
 };
-pub use sim::{policy_sim, run_policy, run_policy_telemetry, run_policy_with_observer, ClusterSim};
+pub use sim::{
+    policy_sim, policy_sim_from_stats, simulate, simulate_source, ClusterSim, RunOptions,
+    RunOutcome, WorkloadStats,
+};
+#[allow(deprecated)]
+pub use sim::{run_policy, run_policy_telemetry, run_policy_with_observer};
 pub use telemetry::{
     render_top, SchedTelemetry, ScorerPaths, Stage, TelemetryProbe, TelemetrySnapshot, WindowSample,
 };

@@ -11,13 +11,20 @@
 //! statically composed per-policy pipeline ([`PolicyScheduler`]) and
 //! custom registry compositions — the very same scheduler value the
 //! live emulation (`msweb-emu`) consumes.
+//!
+//! Workloads arrive as [`RequestSource`] streams: the driver holds only
+//! in-flight bookkeeping (a map keyed by admission sequence number), so
+//! peak memory is O(concurrent requests), not O(run length). A
+//! materialized [`Trace`] runs through the identical code path via its
+//! borrowing source adapter, which is what keeps the streamed and
+//! materialized summaries byte-identical.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
-use msweb_ossim::{DemandSpec, Node};
+use msweb_ossim::{Completion, DemandSpec, Node};
 use msweb_simcore::{SimDuration, SimTime};
-use msweb_workload::{Request, Trace};
+use msweb_workload::{Request, RequestSource, Trace};
 
 use crate::cache::DynContentCache;
 use crate::config::{ClusterConfig, PolicyKind};
@@ -29,9 +36,14 @@ use crate::sched::{
 };
 use crate::telemetry::{TelemetryProbe, TelemetrySnapshot, WindowSample};
 
-/// Per-request bookkeeping.
+/// Per-request bookkeeping for a request that has been admitted and not
+/// yet completed or dropped. Map membership *is* the pending state:
+/// completion and drop both remove the entry, so a stale event for a
+/// request simply misses the map.
 #[derive(Debug, Clone, Copy)]
-struct ReqMeta {
+struct InFlight {
+    /// The request itself (arrival, class, size, demand, cache key).
+    req: Request,
     /// Arrival time at the cluster front end.
     cluster_arrival: SimTime,
     /// Where the request was placed (for level attribution).
@@ -40,16 +52,10 @@ struct ReqMeta {
     node: usize,
     /// Whether the dynamic-content cache served this request.
     cache_hit: bool,
-    /// Lifecycle flag.
-    state: ReqState,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ReqState {
-    Pending,
-    Done,
-    Dropped,
-}
+/// Nodes per shard when per-tick node work runs parallel.
+const NODE_SHARD_CHUNK: usize = 512;
 
 /// A fully wired simulated cluster, generic over the scheduling
 /// pipeline it drives (defaults to the built-in per-policy pipeline).
@@ -80,6 +86,17 @@ pub struct ClusterSim<Sch: Schedule = PolicyScheduler> {
     /// Driver-side telemetry probe (controller series, node gauges,
     /// response histograms), when telemetry is enabled.
     telemetry: Option<TelemetryProbe>,
+    /// Admitted-but-unfinished requests, keyed by admission sequence.
+    in_flight: HashMap<u64, InFlight>,
+    /// Lazy-deletion index of node next-event times: (micros, node).
+    /// Every mutation of a node pushes its fresh next-event time, so the
+    /// minimum valid entry is the fleet's next internal event — O(log p)
+    /// per event instead of an O(p) scan.
+    node_events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Worker threads for per-tick node work (`1` = inline, `0` = all
+    /// cores). Sharding is bit-deterministic; see
+    /// [`ClusterSim::with_tick_workers`].
+    tick_workers: usize,
 }
 
 impl ClusterSim<PolicyScheduler> {
@@ -132,6 +149,9 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             priors: (0.5, 0.05),
             spec_label: None,
             telemetry: None,
+            in_flight: HashMap::new(),
+            node_events: BinaryHeap::new(),
+            tick_workers: 1,
         }
     }
 
@@ -162,6 +182,18 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     /// used to debit the stale load view after each placement.
     pub fn with_mean_demands(mut self, stat: SimDuration, dynamic: SimDuration) -> Self {
         self.mean_demand = (stat, dynamic);
+        self
+    }
+
+    /// Shard per-monitor-tick node work (snapshot collection and the
+    /// windowed-ratio refresh) across up to `workers` threads (`0` =
+    /// all cores, `1` = inline, the default). Every per-node computation
+    /// is a pure function of that node's state, and all cross-node
+    /// reductions stay sequential in node order — so the summary is
+    /// bit-identical at any worker count; sharding only buys wall-clock
+    /// time on clusters with thousands of nodes.
+    pub fn with_tick_workers(mut self, workers: usize) -> Self {
+        self.tick_workers = workers;
         self
     }
 
@@ -224,7 +256,18 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     }
 
     /// Replay `trace` to completion and return the run summary.
+    ///
+    /// Thin wrapper over [`ClusterSim::run_source`] via the trace's
+    /// borrowing source adapter — both paths execute the identical event
+    /// loop, so their summaries are byte-identical.
     pub fn run(&mut self, trace: &Trace) -> RunSummary {
+        self.run_source(trace.source())
+    }
+
+    /// Drive a [`RequestSource`] to completion and return the run
+    /// summary. Peak memory is bounded by the number of concurrently
+    /// in-flight requests; the source is consumed one request at a time.
+    pub fn run_source<S: RequestSource>(&mut self, mut source: S) -> RunSummary {
         if self.scheduler.tracing() {
             let meta = RunMeta {
                 substrate: "sim".to_string(),
@@ -244,33 +287,28 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             };
             self.scheduler.emit(&TraceEvent::Meta(meta));
         }
-        let total = trace.len();
-        let mut meta: Vec<ReqMeta> = trace
-            .requests
-            .iter()
-            .map(|r| ReqMeta {
-                cluster_arrival: r.arrival,
-                on_master: false,
-                node: 0,
-                cache_hit: false,
-                state: ReqState::Pending,
-            })
-            .collect();
-        let mut accounted = 0usize;
-        let mut next_arrival = 0usize;
+        // Seed the node-event index with whatever the fleet already has
+        // scheduled (non-empty only when resuming after a prior run).
+        for i in 0..self.nodes.len() {
+            self.note_node_event(i);
+        }
+        let mut peeked = source.next();
+        let mut admitted: u64 = 0;
         let mut guard: u64 = 0;
-        // Generous bound: every request can cause only finitely many
-        // events; the guard catches driver bugs, not real workloads.
-        let guard_limit: u64 = 10_000 * (total as u64 + 1_000);
 
-        while accounted < total {
+        while peeked.is_some() || !self.in_flight.is_empty() {
             guard += 1;
-            assert!(guard < guard_limit, "cluster simulation did not converge");
+            // Generous bound: every request can cause only finitely many
+            // events; the guard catches driver bugs, not real workloads.
+            assert!(
+                guard < 10_000 * (admitted + 1_000),
+                "cluster simulation did not converge"
+            );
 
             // Candidate event times.
-            let t_node = self.nodes.iter().filter_map(|n| n.next_event()).min();
+            let t_node = self.next_node_event();
             let t_transfer = self.transfers.peek().map(|Reverse((t, ..))| SimTime(*t));
-            let t_arrival = trace.requests.get(next_arrival).map(|r| r.arrival);
+            let t_arrival = peeked.as_ref().map(|r| r.arrival);
             let t_failure = self
                 .failures
                 .events()
@@ -278,7 +316,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 .map(|e| e.at);
             let t_recover = self.recoveries.first().map(|&(t, _)| t);
             // Monitor only matters while work remains; it never blocks
-            // termination because the loop exits on `accounted`.
+            // termination because the loop exits on the in-flight set.
             let t_monitor = Some(self.monitor.next_tick());
 
             let t = [
@@ -292,16 +330,26 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             // Tie order: node internals, transfers, arrivals, failures,
             // recoveries, monitor.
             if t_node == Some(t) {
-                self.step_nodes(t, trace, &mut meta, &mut accounted);
+                self.step_nodes(t);
             } else if t_transfer == Some(t) {
                 let Reverse((_, _, req, node)) = self.transfers.pop().expect("peeked");
-                self.deliver(trace, &mut meta, req as usize, node, t);
+                self.deliver(req, node, t);
             } else if t_arrival == Some(t) {
-                let idx = next_arrival;
-                next_arrival += 1;
-                self.admit(trace, &mut meta, idx, t, &mut accounted);
+                let req = peeked.take().expect("checked t_arrival");
+                peeked = source.next();
+                // The RequestSource contract requires non-decreasing
+                // arrival order; a violation would reorder admissions.
+                debug_assert!(
+                    peeked
+                        .as_ref()
+                        .is_none_or(|next| next.arrival >= req.arrival),
+                    "RequestSource yielded out-of-order arrivals"
+                );
+                let seq = admitted;
+                admitted += 1;
+                self.admit(req, seq, t);
             } else if t_failure == Some(t) {
-                self.fail_node(trace, &mut meta, &mut accounted, t);
+                self.fail_node(t);
             } else if t_recover == Some(t) {
                 let (_, node) = self.recoveries.remove(0);
                 self.scheduler.set_dead(node, false);
@@ -321,88 +369,114 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         self.metrics.summary()
     }
 
+    /// Record node `i`'s current next-event time in the lazy index.
+    /// Call after any mutation that can change it (submit, advance,
+    /// kill); stale entries are discarded on peek.
+    fn note_node_event(&mut self, i: usize) {
+        if let Some(t) = self.nodes[i].next_event() {
+            self.node_events.push(Reverse((t.0, i)));
+        }
+    }
+
+    /// The earliest live node event, discarding stale index entries.
+    fn next_node_event(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, i))) = self.node_events.peek() {
+            if self.nodes[i].next_event() == Some(SimTime(t)) {
+                return Some(SimTime(t));
+            }
+            self.node_events.pop();
+        }
+        None
+    }
+
     /// Advance every node whose next event is due at `t` (processing all
-    /// same-timestamp internal events), then collect completions.
-    fn step_nodes(
-        &mut self,
-        t: SimTime,
-        trace: &Trace,
-        meta: &mut [ReqMeta],
-        accounted: &mut usize,
-    ) {
-        for node in &mut self.nodes {
-            while node.next_event() == Some(t) {
-                node.advance(t);
+    /// same-timestamp internal events), then collect completions — in
+    /// node-id order both times, matching the dense scan the index
+    /// replaced. Nodes without a due event cannot hold undrained
+    /// completions (completions only appear during `advance`/`submit`,
+    /// and both drain immediately), so draining the due subset is
+    /// equivalent to draining the fleet.
+    fn step_nodes(&mut self, t: SimTime) {
+        let mut due: Vec<usize> = Vec::new();
+        while let Some(&Reverse((te, i))) = self.node_events.peek() {
+            if te > t.0 {
+                break;
+            }
+            self.node_events.pop();
+            if self.nodes[i].next_event() == Some(t) {
+                due.push(i);
             }
         }
-        for i in 0..self.nodes.len() {
-            for c in self.nodes[i].drain_completed() {
-                let req = &trace.requests[c.tag as usize];
-                let m = &mut meta[c.tag as usize];
-                if m.state != ReqState::Pending {
-                    continue; // stale completion after restart bookkeeping
-                }
-                m.state = ReqState::Done;
-                *accounted += 1;
-                self.scheduler.note_completion(m.node);
-                // A completed CGI miss installs its result for future hits.
-                if let (Some(cache), true, Some(key)) = (
-                    &mut self.cache,
-                    req.class.is_dynamic() && !m.cache_hit,
-                    req.cache_key,
-                ) {
-                    cache.insert(key, c.finished);
-                }
-                if m.cache_hit {
-                    self.metrics.note_cache_hit();
-                }
-                let response = c.finished - m.cluster_arrival;
-                let level = if req.class.is_dynamic() {
-                    Some(if m.on_master {
-                        Level::Master
-                    } else {
-                        Level::Slave
-                    })
-                } else {
-                    None
-                };
-                self.metrics.record(response, req.demand.service, level);
-                if let Some(probe) = &self.telemetry {
-                    probe.record_response(req.class.is_dynamic(), response.as_micros());
-                }
-                self.scheduler
-                    .reservation_mut()
-                    .note_response(req.class.is_dynamic(), response);
-                if self.scheduler.tracing() {
-                    self.scheduler.emit(&TraceEvent::Complete {
-                        req: c.tag,
-                        node: m.node,
-                        dynamic: req.class.is_dynamic(),
-                        response_us: response.as_micros(),
-                    });
-                }
+        due.sort_unstable();
+        due.dedup();
+        for &i in &due {
+            while self.nodes[i].next_event() == Some(t) {
+                self.nodes[i].advance(t);
             }
+            self.note_node_event(i);
+            for c in self.nodes[i].drain_completed() {
+                self.handle_completion(c, i);
+            }
+        }
+    }
+
+    /// Account one node completion: metrics, cache install, reservation
+    /// feedback, trace event. A tag with no in-flight entry is a stale
+    /// completion left over from restart bookkeeping and is skipped.
+    fn handle_completion(&mut self, c: Completion, node: usize) {
+        let Some(fl) = self.in_flight.remove(&c.tag) else {
+            return; // stale completion after restart bookkeeping
+        };
+        debug_assert_eq!(fl.node, node, "completion from unexpected node");
+        let req = fl.req;
+        self.scheduler.note_completion(fl.node);
+        // A completed CGI miss installs its result for future hits.
+        if let (Some(cache), true, Some(key)) = (
+            &mut self.cache,
+            req.class.is_dynamic() && !fl.cache_hit,
+            req.cache_key,
+        ) {
+            cache.insert(key, c.finished);
+        }
+        if fl.cache_hit {
+            self.metrics.note_cache_hit();
+        }
+        let response = c.finished - fl.cluster_arrival;
+        let level = if req.class.is_dynamic() {
+            Some(if fl.on_master {
+                Level::Master
+            } else {
+                Level::Slave
+            })
+        } else {
+            None
+        };
+        self.metrics.record(response, req.demand.service, level);
+        if let Some(probe) = &self.telemetry {
+            probe.record_response(req.class.is_dynamic(), response.as_micros());
+        }
+        self.scheduler
+            .reservation_mut()
+            .note_response(req.class.is_dynamic(), response);
+        if self.scheduler.tracing() {
+            self.scheduler.emit(&TraceEvent::Complete {
+                req: c.tag,
+                node: fl.node,
+                dynamic: req.class.is_dynamic(),
+                response_us: response.as_micros(),
+            });
         }
     }
 
     /// A request arrives at the front end: place it, or drop it (counted
     /// in the summary) when no live node exists.
-    fn admit(
-        &mut self,
-        trace: &Trace,
-        meta: &mut [ReqMeta],
-        idx: usize,
-        t: SimTime,
-        accounted: &mut usize,
-    ) {
-        let req = &trace.requests[idx];
+    fn admit(&mut self, req: Request, seq: u64, t: SimTime) {
         // Swala extension: a fresh cached result turns this CGI into a
         // cheap fetch served like a static request at the entry node.
         let cache_hit = match (&mut self.cache, req.class.is_dynamic(), req.cache_key) {
             (Some(cache), true, Some(key)) => cache.lookup(key, t),
             _ => false,
         };
-        meta[idx].cache_hit = cache_hit;
         let effectively_dynamic = req.class.is_dynamic() && !cache_hit;
         let expected = if effectively_dynamic {
             self.mean_demand.1
@@ -427,19 +501,17 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         } else {
             req.demand.service
         };
-        self.scheduler.note_request(idx as u64, t, served_demand);
+        self.scheduler.note_request(seq, t, served_demand);
         let placed = self
             .scheduler
             .place(effectively_dynamic, w, expected, &mut self.monitor);
         let Ok(placement) = placed else {
             // Whole cluster dead: degrade gracefully instead of aborting
             // the experiment.
-            meta[idx].state = ReqState::Dropped;
-            *accounted += 1;
             self.metrics.note_dropped();
             if self.scheduler.tracing() {
                 self.scheduler.emit(&TraceEvent::Drop(DropRecord {
-                    req: idx as u64,
+                    req: seq,
                     at_us: t.0,
                     dynamic: effectively_dynamic,
                     w,
@@ -450,59 +522,65 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             }
             return;
         };
-        meta[idx].on_master = placement.on_master
+        let on_master = placement.on_master
             || (!req.class.is_dynamic() && self.config.policy != PolicyKind::Flat);
+        self.in_flight.insert(
+            seq,
+            InFlight {
+                req,
+                cluster_arrival: t,
+                on_master,
+                node: placement.node,
+                cache_hit,
+            },
+        );
         if placement.latency.is_zero() {
-            self.deliver(trace, meta, idx, placement.node, t);
+            self.deliver(seq, placement.node, t);
         } else {
             self.transfer_seq += 1;
             self.transfers.push(Reverse((
                 (t + placement.latency).as_micros(),
                 self.transfer_seq,
-                idx as u64,
+                seq,
                 placement.node,
             )));
-            meta[idx].node = placement.node;
         }
     }
 
     /// Hand a request to its node.
-    fn deliver(
-        &mut self,
-        trace: &Trace,
-        meta: &mut [ReqMeta],
-        idx: usize,
-        node: usize,
-        t: SimTime,
-    ) {
-        let req = &trace.requests[idx];
-        let spec = if meta[idx].cache_hit {
+    fn deliver(&mut self, tag: u64, node: usize, t: SimTime) {
+        let fl = *self
+            .in_flight
+            .get(&tag)
+            .expect("delivery of request not in flight");
+        let spec = if fl.cache_hit {
             // Serve from the cache: static-fetch-scale demand, no fork.
             let cc = self.cache.as_ref().expect("hit implies cache").config();
             DemandSpec {
                 service: cc.hit_service,
                 cpu_fraction: cc.hit_cpu_fraction,
-                memory_pages: self.config.os.bytes_to_pages(req.bytes),
+                memory_pages: self.config.os.bytes_to_pages(fl.req.bytes),
                 is_cgi: false,
             }
         } else {
-            demand_to_spec(req, &self.config)
+            demand_to_spec(&fl.req, &self.config)
         };
-        meta[idx].node = node;
-        self.nodes[node].submit(&spec, t, idx as u64);
+        self.in_flight.get_mut(&tag).expect("checked above").node = node;
+        self.nodes[node].submit(&spec, t, tag);
+        self.note_node_event(node);
+        // A zero-work spec can complete inside submit; account it now so
+        // the event index never strands a finished request.
+        for c in self.nodes[node].drain_completed() {
+            self.handle_completion(c, node);
+        }
     }
 
     /// Kill the node named by the due failure event.
-    fn fail_node(
-        &mut self,
-        trace: &Trace,
-        meta: &mut [ReqMeta],
-        accounted: &mut usize,
-        t: SimTime,
-    ) {
+    fn fail_node(&mut self, t: SimTime) {
         let event = self.failures.events()[self.failure_cursor];
         self.failure_cursor += 1;
         let lost = self.nodes[event.node].kill_all();
+        self.note_node_event(event.node);
         self.scheduler.set_dead(event.node, true);
         if let Some(r) = event.recover_at {
             self.recoveries.push((r, event.node));
@@ -510,26 +588,14 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         }
         // Detection delay before restart: one monitor period.
         let detect = self.config.monitor_period;
-        fn drop_req(
-            meta: &mut [ReqMeta],
-            accounted: &mut usize,
-            metrics: &mut Metrics,
-            idx: usize,
-        ) {
-            meta[idx].state = ReqState::Dropped;
-            *accounted += 1;
-            metrics.note_dropped();
-        }
         for tag in lost {
-            let idx = tag as usize;
-            if meta[idx].state != ReqState::Pending {
+            let Some(fl) = self.in_flight.get(&tag).copied() else {
                 continue;
-            }
-            let req = &trace.requests[idx];
+            };
+            let req = fl.req;
             let attempt = event.restart_dynamic && req.class.is_dynamic();
             let restarted = if attempt {
-                self.scheduler
-                    .note_request(idx as u64, t, req.demand.service);
+                self.scheduler.note_request(tag, t, req.demand.service);
                 self.scheduler
                     .replace_after_failure(
                         true,
@@ -542,19 +608,21 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 None
             };
             if let Some(placement) = restarted {
-                meta[idx].on_master = placement.on_master;
+                let entry = self.in_flight.get_mut(&tag).expect("checked above");
+                entry.on_master = placement.on_master;
                 self.metrics.note_restarted();
                 self.transfer_seq += 1;
                 self.transfers.push(Reverse((
                     (t + detect + placement.latency).as_micros(),
                     self.transfer_seq,
-                    idx as u64,
+                    tag,
                     placement.node,
                 )));
             } else {
-                drop_req(meta, accounted, &mut self.metrics, idx);
+                self.in_flight.remove(&tag);
+                self.metrics.note_dropped();
                 self.emit_failure_drop(
-                    idx as u64,
+                    tag,
                     t,
                     req.class.is_dynamic(),
                     req.demand.cpu_fraction,
@@ -564,44 +632,49 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         }
         // Requests in flight *towards* the dead node: re-route them too.
         let pending: Vec<_> = std::mem::take(&mut self.transfers).into_vec();
-        for Reverse((at, seq, req, node)) in pending {
-            if node == event.node && meta[req as usize].state == ReqState::Pending {
-                let r = &trace.requests[req as usize];
-                let attempt = event.restart_dynamic && r.class.is_dynamic();
-                let restarted = if attempt {
-                    self.scheduler.note_request(req, t, r.demand.service);
-                    self.scheduler
-                        .replace_after_failure(
-                            true,
+        for Reverse((at, seq, tag, node)) in pending {
+            let fl = self.in_flight.get(&tag).copied();
+            match fl {
+                Some(fl) if node == event.node => {
+                    let r = fl.req;
+                    let attempt = event.restart_dynamic && r.class.is_dynamic();
+                    let restarted = if attempt {
+                        self.scheduler.note_request(tag, t, r.demand.service);
+                        self.scheduler
+                            .replace_after_failure(
+                                true,
+                                r.demand.cpu_fraction,
+                                self.mean_demand.1,
+                                &mut self.monitor,
+                            )
+                            .ok()
+                    } else {
+                        None
+                    };
+                    if let Some(placement) = restarted {
+                        self.metrics.note_restarted();
+                        self.transfer_seq += 1;
+                        self.transfers.push(Reverse((
+                            (t + detect + placement.latency).as_micros(),
+                            self.transfer_seq,
+                            tag,
+                            placement.node,
+                        )));
+                    } else {
+                        self.in_flight.remove(&tag);
+                        self.metrics.note_dropped();
+                        self.emit_failure_drop(
+                            tag,
+                            t,
+                            r.class.is_dynamic(),
                             r.demand.cpu_fraction,
-                            self.mean_demand.1,
-                            &mut self.monitor,
-                        )
-                        .ok()
-                } else {
-                    None
-                };
-                if let Some(placement) = restarted {
-                    self.metrics.note_restarted();
-                    self.transfer_seq += 1;
-                    self.transfers.push(Reverse((
-                        (t + detect + placement.latency).as_micros(),
-                        self.transfer_seq,
-                        req,
-                        placement.node,
-                    )));
-                } else {
-                    drop_req(meta, accounted, &mut self.metrics, req as usize);
-                    self.emit_failure_drop(
-                        req,
-                        t,
-                        r.class.is_dynamic(),
-                        r.demand.cpu_fraction,
-                        attempt,
-                    );
+                            attempt,
+                        );
+                    }
                 }
-            } else {
-                self.transfers.push(Reverse((at, seq, req, node)));
+                _ => {
+                    self.transfers.push(Reverse((at, seq, tag, node)));
+                }
             }
         }
     }
@@ -625,10 +698,20 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     }
 
     /// Load-monitor tick: refresh stale load info, update the
-    /// reservation controller.
+    /// reservation controller. Snapshot collection and the windowed
+    /// ratio refresh shard across [`ClusterSim::with_tick_workers`]
+    /// threads; the scalar folds that follow stay sequential in node
+    /// order, keeping the result bit-identical to the dense scan.
     fn tick_monitor(&mut self, t: SimTime) {
-        let snapshots: Vec<_> = self.nodes.iter().map(|n| n.load()).collect();
-        self.monitor.tick(t, &snapshots);
+        let snapshots: Vec<_> = if self.tick_workers == 1 {
+            self.nodes.iter().map(|n| n.load()).collect()
+        } else {
+            msweb_simcore::chunked_map(&self.nodes, NODE_SHARD_CHUNK, self.tick_workers, |_, n| {
+                n.load()
+            })
+        };
+        self.monitor
+            .tick_with_workers(t, &snapshots, self.tick_workers);
         // Mean per-node utilisation over the window: busy resource-time
         // (CPU + disk, which execute serially within one request) per
         // second of window, averaged across nodes.
@@ -683,86 +766,219 @@ fn demand_to_spec(req: &Request, config: &ClusterConfig) -> DemandSpec {
     }
 }
 
-/// Convenience: run one policy over a trace with default priors taken
-/// from the trace itself.
+/// Workload-derived priors and mean demands, estimated with one pass
+/// over the requests — the same estimates [`policy_sim`] has always
+/// made from a materialized trace, factored out so streaming callers
+/// can compute them from a generation pass (O(1) memory) and get
+/// bit-identical values: the summation order is the request order in
+/// both paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadStats {
+    /// Reservation prior `a0` (arrival ratio, clamped to [0.01, 10]).
+    pub a0: f64,
+    /// Reservation prior `r0` (demand ratio, clamped to [1e-4, 1]).
+    pub r0: f64,
+    /// Mean static service demand.
+    pub static_mean: SimDuration,
+    /// Mean dynamic service demand.
+    pub dynamic_mean: SimDuration,
+}
+
+impl WorkloadStats {
+    /// Estimate from any request stream (consumed).
+    pub fn from_requests<I: IntoIterator<Item = Request>>(requests: I) -> Self {
+        let (mut ds, mut nd, mut ss, mut ns) = (0.0f64, 0u64, 0.0f64, 0u64);
+        for r in requests {
+            if r.class.is_dynamic() {
+                ds += r.demand.service.as_secs_f64();
+                nd += 1;
+            } else {
+                ss += r.demand.service.as_secs_f64();
+                ns += 1;
+            }
+        }
+        let n = nd + ns;
+        let cgi_frac = if n > 0 { nd as f64 / n as f64 } else { 0.0 };
+        let arrival_ratio = if cgi_frac < 1.0 {
+            cgi_frac / (1.0 - cgi_frac)
+        } else {
+            f64::INFINITY
+        };
+        let a0 = arrival_ratio.clamp(0.01, 10.0);
+        let r0 = if nd > 0 && ns > 0 && ds > 0.0 {
+            ((ss / ns as f64) / (ds / nd as f64)).clamp(1e-4, 1.0)
+        } else {
+            0.05
+        };
+        let static_mean = if ns > 0 {
+            SimDuration::from_secs_f64(ss / ns as f64)
+        } else {
+            SimDuration::from_secs_f64(1.0 / 1200.0)
+        };
+        let dynamic_mean = if nd > 0 {
+            SimDuration::from_secs_f64(ds / nd as f64)
+        } else {
+            static_mean
+        };
+        WorkloadStats {
+            a0,
+            r0,
+            static_mean,
+            dynamic_mean,
+        }
+    }
+
+    /// Estimate from a materialized trace (not consumed).
+    pub fn from_trace(trace: &Trace) -> Self {
+        WorkloadStats::from_requests(trace.requests.iter().copied())
+    }
+}
+
+/// Options for one simulated run: the builder-style entry point that
+/// replaced the `run_policy` / `run_policy_with_observer` /
+/// `run_policy_telemetry` triplet.
 ///
 /// ```
-/// use msweb_cluster::{run_policy, ClusterConfig, PolicyKind};
+/// use msweb_cluster::{simulate, ClusterConfig, PolicyKind, RunOptions};
 /// use msweb_workload::{ucb, DemandModel};
 ///
 /// let trace = ucb()
 ///     .generate(500, &DemandModel::simulation(40.0), 1)
 ///     .scaled_to_rate(100.0);
-/// let summary = run_policy(ClusterConfig::simulation(8, PolicyKind::Flat), &trace);
-/// assert_eq!(summary.completed, 500);
-/// assert!(summary.stretch >= 1.0);
+/// let outcome = simulate(
+///     ClusterConfig::simulation(8, PolicyKind::Flat),
+///     &trace,
+///     RunOptions::new(),
+/// );
+/// assert_eq!(outcome.summary.completed, 500);
+/// assert!(outcome.summary.stretch >= 1.0);
+/// assert!(outcome.telemetry.is_none());
 /// ```
-pub fn run_policy(config: ClusterConfig, trace: &Trace) -> RunSummary {
-    run_policy_with_observer(config, trace, None)
+#[derive(Default)]
+pub struct RunOptions {
+    /// Per-decision observer (e.g. a [`crate::sched::JsonlSink`] backing
+    /// `--trace-decisions`), installed on the scheduler before replay.
+    pub observer: Option<Box<dyn DecisionObserver>>,
+    /// Enable telemetry collection; the snapshot comes back in
+    /// [`RunOutcome::telemetry`].
+    pub telemetry: bool,
 }
 
-/// Like [`run_policy`], with an optional per-decision observer (e.g. a
-/// [`crate::sched::JsonlSink`] backing `--trace-decisions`) installed
+impl RunOptions {
+    /// No observer, no telemetry.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Install a per-decision observer (builder style).
+    pub fn observer(mut self, observer: Box<dyn DecisionObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Enable telemetry collection (builder style).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+}
+
+/// What one simulated run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The run summary.
+    pub summary: RunSummary,
+    /// The telemetry snapshot, when [`RunOptions::telemetry`] was set.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+/// Run one policy over a materialized trace with priors estimated from
+/// the trace itself. See [`RunOptions`] for the observer/telemetry
+/// switches; use [`simulate_source`] to stream workloads too long to
+/// materialize.
+pub fn simulate(config: ClusterConfig, trace: &Trace, opts: RunOptions) -> RunOutcome {
+    let stats = WorkloadStats::from_trace(trace);
+    simulate_source(config, trace.source(), stats, opts)
+}
+
+/// Run one policy over a streaming [`RequestSource`]. The caller
+/// supplies [`WorkloadStats`] (from a measuring pass or analytically);
+/// peak memory is O(in-flight requests) regardless of stream length.
+pub fn simulate_source<S: RequestSource>(
+    config: ClusterConfig,
+    source: S,
+    stats: WorkloadStats,
+    opts: RunOptions,
+) -> RunOutcome {
+    let mut sim = policy_sim_from_stats(config, stats);
+    if opts.observer.is_some() {
+        sim.scheduler_mut().set_observer(opts.observer);
+    }
+    if opts.telemetry {
+        sim = sim.with_telemetry();
+    }
+    let summary = sim.run_source(source);
+    let telemetry = if opts.telemetry {
+        sim.telemetry_snapshot()
+    } else {
+        None
+    };
+    RunOutcome { summary, telemetry }
+}
+
+/// Convenience: run one policy over a trace with default priors taken
+/// from the trace itself.
+#[deprecated(note = "use simulate(config, trace, RunOptions::new()) instead")]
+pub fn run_policy(config: ClusterConfig, trace: &Trace) -> RunSummary {
+    simulate(config, trace, RunOptions::new()).summary
+}
+
+/// Like `run_policy`, with an optional per-decision observer installed
 /// on the scheduler before the replay.
+#[deprecated(note = "use simulate with RunOptions::new().observer(..) instead")]
 pub fn run_policy_with_observer(
     config: ClusterConfig,
     trace: &Trace,
     observer: Option<Box<dyn DecisionObserver>>,
 ) -> RunSummary {
-    let mut sim = policy_sim(config, trace);
-    if observer.is_some() {
-        sim.scheduler_mut().set_observer(observer);
-    }
-    sim.run(trace)
+    let opts = match observer {
+        Some(obs) => RunOptions::new().observer(obs),
+        None => RunOptions::new(),
+    };
+    simulate(config, trace, opts).summary
 }
 
-/// Like [`run_policy`], with telemetry enabled: returns the summary
-/// plus the assembled [`TelemetrySnapshot`] (substrate `"sim"`). For a
-/// fixed `config` and `trace` the snapshot is byte-deterministic.
+/// Like `run_policy`, with telemetry enabled: returns the summary plus
+/// the assembled [`TelemetrySnapshot`] (substrate `"sim"`). For a fixed
+/// `config` and `trace` the snapshot is byte-deterministic.
+#[deprecated(note = "use simulate with RunOptions::new().telemetry(true) instead")]
 pub fn run_policy_telemetry(
     config: ClusterConfig,
     trace: &Trace,
 ) -> (RunSummary, TelemetrySnapshot) {
-    let mut sim = policy_sim(config, trace).with_telemetry();
-    let summary = sim.run(trace);
-    let snap = sim.telemetry_snapshot().expect("telemetry enabled");
-    (summary, snap)
+    let outcome = simulate(config, trace, RunOptions::new().telemetry(true));
+    (
+        outcome.summary,
+        outcome.telemetry.expect("telemetry enabled"),
+    )
 }
 
-/// Build the [`ClusterSim`] that [`run_policy`] would run: reservation
+/// Build the [`ClusterSim`] that [`simulate`] would run: reservation
 /// priors and mean class demands are estimated from `trace` itself.
 /// Exposed so callers can install an observer or enable telemetry
 /// before the replay while keeping the same estimation logic.
 pub fn policy_sim(config: ClusterConfig, trace: &Trace) -> ClusterSim<PolicyScheduler> {
-    let summary = trace.summary();
-    let a0 = summary.arrival_ratio_a.clamp(0.01, 10.0);
-    // Estimate r0 from the demand means in the trace.
-    let (mut ds, mut nd, mut ss, mut ns) = (0.0f64, 0u64, 0.0f64, 0u64);
-    for r in &trace.requests {
-        if r.class.is_dynamic() {
-            ds += r.demand.service.as_secs_f64();
-            nd += 1;
-        } else {
-            ss += r.demand.service.as_secs_f64();
-            ns += 1;
-        }
-    }
-    let r0 = if nd > 0 && ns > 0 && ds > 0.0 {
-        ((ss / ns as f64) / (ds / nd as f64)).clamp(1e-4, 1.0)
-    } else {
-        0.05
-    };
-    let stat_mean = if ns > 0 {
-        SimDuration::from_secs_f64(ss / ns as f64)
-    } else {
-        SimDuration::from_secs_f64(1.0 / 1200.0)
-    };
-    let dyn_mean = if nd > 0 {
-        SimDuration::from_secs_f64(ds / nd as f64)
-    } else {
-        stat_mean
-    };
-    ClusterSim::new(config, a0, r0).with_mean_demands(stat_mean, dyn_mean)
+    policy_sim_from_stats(config, WorkloadStats::from_trace(trace))
+}
+
+/// Build the [`ClusterSim`] that [`simulate_source`] would run from
+/// pre-computed workload stats.
+pub fn policy_sim_from_stats(
+    config: ClusterConfig,
+    stats: WorkloadStats,
+) -> ClusterSim<PolicyScheduler> {
+    ClusterSim::new(config, stats.a0, stats.r0)
+        .with_mean_demands(stats.static_mean, stats.dynamic_mean)
 }
 
 #[cfg(test)]
@@ -777,11 +993,15 @@ mod tests {
             .scaled_to_rate(lambda)
     }
 
+    fn run_summary(config: ClusterConfig, trace: &Trace) -> RunSummary {
+        simulate(config, trace, RunOptions::new()).summary
+    }
+
     #[test]
     fn flat_run_completes_every_request() {
         let trace = small_trace(500, 20.0, 200.0);
         let cfg = ClusterConfig::simulation(8, PolicyKind::Flat);
-        let s = run_policy(cfg, &trace);
+        let s = run_summary(cfg, &trace);
         assert_eq!(s.completed, 500);
         assert!(s.stretch >= 1.0, "stretch {}", s.stretch);
     }
@@ -791,7 +1011,7 @@ mod tests {
         let trace = small_trace(500, 20.0, 200.0);
         let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
         cfg.masters = MasterSelection::Fixed(3);
-        let s = run_policy(cfg, &trace);
+        let s = run_summary(cfg, &trace);
         assert_eq!(s.completed, 500);
         assert!(s.stretch >= 1.0);
         // Static work exists and was measured.
@@ -805,9 +1025,49 @@ mod tests {
         let run = || {
             let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
             cfg.masters = MasterSelection::Fixed(2);
-            run_policy(cfg, &trace)
+            run_summary(cfg, &trace)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn streamed_source_matches_materialized_run() {
+        let trace = small_trace(400, 40.0, 250.0);
+        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+        cfg.masters = MasterSelection::Fixed(3);
+        let materialized = simulate(cfg.clone(), &trace, RunOptions::new()).summary;
+        let stats = WorkloadStats::from_trace(&trace);
+        let streamed =
+            simulate_source(cfg, trace.clone().into_source(), stats, RunOptions::new()).summary;
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let trace = small_trace(200, 20.0, 150.0);
+        let cfg = ClusterConfig::simulation(4, PolicyKind::Flat);
+        let a = run_policy(cfg.clone(), &trace);
+        let b = run_policy_with_observer(cfg.clone(), &trace, None);
+        assert_eq!(a, b);
+        let (c, snap) = run_policy_telemetry(cfg, &trace);
+        assert_eq!(a.completed, c.completed);
+        assert!(!snap.windows.is_empty() || snap.windows.is_empty());
+    }
+
+    #[test]
+    fn tick_workers_do_not_change_the_summary() {
+        let trace = small_trace(600, 40.0, 300.0);
+        let run_with = |workers: usize| {
+            let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
+            cfg.masters = MasterSelection::Fixed(3);
+            let mut sim = policy_sim(cfg, &trace).with_tick_workers(workers);
+            sim.run(&trace)
+        };
+        let sequential = run_with(1);
+        for workers in [2, 4, 0] {
+            assert_eq!(sequential, run_with(workers), "workers={workers}");
+        }
     }
 
     #[test]
@@ -815,7 +1075,7 @@ mod tests {
         // A nearly idle cluster: responses ~ demands.
         let trace = small_trace(100, 20.0, 5.0);
         let cfg = ClusterConfig::simulation(8, PolicyKind::Flat);
-        let s = run_policy(cfg, &trace);
+        let s = run_summary(cfg, &trace);
         assert!(
             s.stretch < 1.6,
             "idle cluster should have stretch near 1, got {}",
@@ -825,11 +1085,11 @@ mod tests {
 
     #[test]
     fn heavier_load_increases_stretch() {
-        let light = run_policy(
+        let light = run_summary(
             ClusterConfig::simulation(8, PolicyKind::Flat),
             &small_trace(400, 40.0, 50.0),
         );
-        let heavy = run_policy(
+        let heavy = run_summary(
             ClusterConfig::simulation(8, PolicyKind::Flat),
             &small_trace(400, 40.0, 400.0),
         );
@@ -849,10 +1109,10 @@ mod tests {
             .scaled_to_rate(250.0);
         let mut ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
         ms_cfg.masters = MasterSelection::Fixed(4);
-        let ms = run_policy(ms_cfg, &trace);
+        let ms = run_summary(ms_cfg, &trace);
         let mut nr_cfg = ClusterConfig::simulation(8, PolicyKind::MsNoReservation);
         nr_cfg.masters = MasterSelection::Fixed(4);
-        let nr = run_policy(nr_cfg, &trace);
+        let nr = run_summary(nr_cfg, &trace);
         assert!(
             ms.stretch <= nr.stretch * 1.05,
             "M/S {} should not lose to M/S-nr {}",
@@ -895,7 +1155,7 @@ mod tests {
 
         let mut base = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
         base.masters = MasterSelection::Fixed(3);
-        let uncached = run_policy(base.clone(), &trace);
+        let uncached = run_summary(base.clone(), &trace);
         assert_eq!(uncached.cache_hits, 0);
 
         let mut cached_cfg = base;

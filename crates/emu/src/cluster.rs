@@ -1,16 +1,20 @@
 //! The live cluster: real threads, real time, the *same* scheduler
 //! value as the simulator.
 //!
-//! [`run_live`] replays a trace against `p` node worker threads using
+//! [`emulate`] replays a workload against `p` node worker threads using
 //! `msweb-cluster`'s scheduling pipeline, [`LoadMonitor`] and
 //! [`Metrics`] unchanged — so the validation experiment (the paper's
 //! Table 3) compares the *same scheduling code* executing against the
 //! simulated OS model versus real wall-clock execution, exactly as the
 //! paper compared its simulator against the Sun-cluster prototype.
-//! [`run_live_with`] accepts any [`Schedule`] implementation (e.g. a
+//! [`emulate_with`] accepts any [`Schedule`] implementation (e.g. a
 //! registry composition, or a [`PolicyScheduler`] with a
-//! `DecisionObserver` installed), built via [`live_scheduler`].
+//! `DecisionObserver` installed), built via [`live_scheduler`];
+//! [`emulate_source`] drives a streaming [`RequestSource`], holding
+//! only in-flight bookkeeping, so live runs scale to workloads too long
+//! to materialize.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -19,11 +23,11 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
     render_top, ClusterConfig, DropRecord, Level, LoadMonitor, Metrics, NodeSample, PolicyKind,
     PolicyScheduler, RunMeta, RunSummary, SchedTelemetry, Schedule, TelemetryProbe,
-    TelemetrySnapshot, TraceEvent, WindowSample,
+    TelemetrySnapshot, TraceEvent, WindowSample, WorkloadStats,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimTime};
-use msweb_workload::Trace;
+use msweb_workload::{RequestSource, Trace};
 
 use crate::job::{Done, Job, NodeMsg};
 use crate::node::{node_worker, NodeParams, NodeStats};
@@ -102,10 +106,10 @@ fn class_means(trace: &Trace) -> (f64, f64) {
 }
 
 /// Build the scheduler a live run of `config` over `trace` uses —
-/// exactly the value [`run_live`] constructs internally. Build it
+/// exactly the value [`emulate`] constructs internally. Build it
 /// yourself (to install an observer, or to substitute a registry
 /// composition for the same `ClusterConfig`) and hand it to
-/// [`run_live_with`].
+/// [`emulate_with`].
 pub fn live_scheduler(config: &LiveConfig, trace: &Trace) -> PolicyScheduler {
     let cc = config.cluster_config();
     let (a0, r0) = live_priors(trace);
@@ -128,44 +132,161 @@ pub fn live_priors(trace: &Trace) -> (f64, f64) {
     (a0, r0)
 }
 
+/// The workload statistics a live run derives from `trace`: the
+/// [`live_priors`] pair plus the class demand means used to charge the
+/// stale load view. [`emulate_source`] takes this value directly so
+/// streaming callers can compute it from a measuring pass (or
+/// analytically) without materializing the workload.
+pub fn live_stats(trace: &Trace) -> WorkloadStats {
+    let (a0, r0) = live_priors(trace);
+    let (stat_mean, dyn_mean) = class_means(trace);
+    WorkloadStats {
+        a0,
+        r0,
+        static_mean: SimDuration::from_secs_f64(stat_mean),
+        dynamic_mean: SimDuration::from_secs_f64(dyn_mean),
+    }
+}
+
+/// Options for one live run: the builder-style entry point that replaced
+/// the `run_live` / `run_live_with` / `run_live_telemetry` triplet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveRunOptions {
+    /// Enable live telemetry: scheduler per-stage counters, controller
+    /// samples each monitor tick, and a sampler thread turning node
+    /// counters into busy gauges. The snapshot comes back in
+    /// [`LiveOutcome::telemetry`].
+    pub telemetry: bool,
+    /// Also render a `top`-style table to stderr each monitor period
+    /// (implies nothing unless `telemetry` is set).
+    pub top: bool,
+}
+
+impl LiveRunOptions {
+    /// No telemetry, no `top` rendering.
+    pub fn new() -> Self {
+        LiveRunOptions::default()
+    }
+
+    /// Enable telemetry collection (builder style).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Enable the `top`-style stderr rendering (builder style; only
+    /// effective together with telemetry).
+    pub fn top(mut self, on: bool) -> Self {
+        self.top = on;
+        self
+    }
+}
+
+/// What one live run produced.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// The run summary (same type as the simulator's).
+    pub summary: RunSummary,
+    /// The telemetry snapshot (substrate `"live"`), when
+    /// [`LiveRunOptions::telemetry`] was set.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
 /// Replay `trace` on a live thread-backed cluster; blocks until every
 /// request completes and returns the same summary type the simulator
-/// produces. Response times and demands are reported in *scaled* time, so
-/// stretch factors are directly comparable with simulation runs of the
-/// same workload.
-pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
+/// produces. Response times and demands are reported in *scaled* time,
+/// so stretch factors are directly comparable with simulation runs of
+/// the same workload.
+pub fn emulate(config: &LiveConfig, trace: &Trace, opts: LiveRunOptions) -> LiveOutcome {
     let scheduler = live_scheduler(config, trace);
-    run_live_with(config, trace, scheduler)
+    emulate_with(config, trace, scheduler, opts)
 }
 
-/// [`run_live`] with an explicit scheduler value — the same
-/// [`Schedule`] surface `ClusterSim` drives, so simulator and live
-/// emulation literally share the scheduler.
+/// [`emulate`] with an explicit scheduler value — the same [`Schedule`]
+/// surface `ClusterSim` drives, so simulator and live emulation
+/// literally share the scheduler.
+pub fn emulate_with<S: Schedule>(
+    config: &LiveConfig,
+    trace: &Trace,
+    scheduler: S,
+    opts: LiveRunOptions,
+) -> LiveOutcome {
+    emulate_source(config, trace.source(), live_stats(trace), scheduler, opts)
+}
+
+/// Drive a streaming [`RequestSource`] on the live cluster. The caller
+/// supplies [`WorkloadStats`] (see [`live_stats`] for the materialized
+/// equivalent); per-request bookkeeping is dropped on completion, so
+/// memory stays O(in-flight requests) regardless of stream length.
+pub fn emulate_source<S: Schedule, Src: RequestSource>(
+    config: &LiveConfig,
+    source: Src,
+    stats: WorkloadStats,
+    scheduler: S,
+    opts: LiveRunOptions,
+) -> LiveOutcome {
+    let telemetry = if opts.telemetry {
+        Some((TelemetryProbe::new(), opts.top))
+    } else {
+        None
+    };
+    let (summary, snapshot) = run_live_inner(config, source, stats, scheduler, telemetry);
+    LiveOutcome {
+        summary,
+        telemetry: snapshot,
+    }
+}
+
+/// Replay `trace` on a live cluster with a policy-built scheduler.
+#[deprecated(note = "use emulate(config, trace, LiveRunOptions::new()) instead")]
+pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
+    emulate(config, trace, LiveRunOptions::new()).summary
+}
+
+/// Like `run_live`, with an explicit scheduler value.
+#[deprecated(note = "use emulate_with(config, trace, scheduler, LiveRunOptions::new()) instead")]
 pub fn run_live_with<S: Schedule>(config: &LiveConfig, trace: &Trace, scheduler: S) -> RunSummary {
-    run_live_inner(config, trace, scheduler, None).0
+    emulate_with(config, trace, scheduler, LiveRunOptions::new()).summary
 }
 
-/// [`run_live_with`] with live telemetry: enables the scheduler's
-/// per-stage counters, samples the reservation controller on every
-/// monitor tick (from the dispatcher thread, like the simulator) and
-/// runs a sampler thread that turns [`NodeStats`] counters into per-node
-/// busy gauges. With `top`, the sampler also prints a `top`-style table
-/// to stderr each monitor period. Returns the summary plus the
-/// assembled [`TelemetrySnapshot`] (substrate `"live"`).
+/// Like `run_live_with`, with telemetry enabled: returns the summary
+/// plus the assembled [`TelemetrySnapshot`] (substrate `"live"`).
+#[deprecated(note = "use emulate_with with LiveRunOptions::new().telemetry(true) instead")]
 pub fn run_live_telemetry<S: Schedule>(
     config: &LiveConfig,
     trace: &Trace,
     scheduler: S,
     top: bool,
 ) -> (RunSummary, TelemetrySnapshot) {
-    let (summary, snap) =
-        run_live_inner(config, trace, scheduler, Some((TelemetryProbe::new(), top)));
-    (summary, snap.expect("telemetry requested"))
+    let outcome = emulate_with(
+        config,
+        trace,
+        scheduler,
+        LiveRunOptions::new().telemetry(true).top(top),
+    );
+    (
+        outcome.summary,
+        outcome.telemetry.expect("telemetry requested"),
+    )
 }
 
-fn run_live_inner<S: Schedule>(
+/// Per-request bookkeeping for a live request between placement and
+/// completion. Map membership replaces the old trace-length vectors:
+/// entries are dropped on completion, so the working set tracks the
+/// number of requests actually in flight.
+#[derive(Debug, Clone, Copy)]
+struct LiveFlight {
+    dynamic: bool,
+    service: SimDuration,
+    on_master: bool,
+    node: usize,
+    arrived: Instant,
+}
+
+fn run_live_inner<S: Schedule, Src: RequestSource>(
     config: &LiveConfig,
-    trace: &Trace,
+    mut source: Src,
+    stats: WorkloadStats,
     mut scheduler: S,
     telemetry: Option<(TelemetryProbe, bool)>,
 ) -> (RunSummary, Option<TelemetrySnapshot>) {
@@ -181,7 +302,6 @@ fn run_live_inner<S: Schedule>(
 
     let cc = config.cluster_config();
     if scheduler.tracing() {
-        let (a0, r0) = live_priors(trace);
         scheduler.emit(&TraceEvent::Meta(RunMeta {
             substrate: "live".to_string(),
             p: cc.p,
@@ -189,8 +309,8 @@ fn run_live_inner<S: Schedule>(
             policy: cc.policy.slug().to_string(),
             spec: None,
             seed: cc.seed,
-            a0,
-            r0,
+            a0: stats.a0,
+            r0: stats.r0,
             master_reserve: cc.master_reserve,
             dns_skew: cc.dns_skew,
             monitor_period_us: cc.monitor_period.as_micros(),
@@ -199,10 +319,9 @@ fn run_live_inner<S: Schedule>(
             speeds: cc.speeds.clone(),
         }));
     }
-    let (stat_mean, dyn_mean) = class_means(trace);
     // Charges are in wall (scaled) time, matching the monitor's window.
-    let stat_charge = to_sim(config.scale(SimDuration::from_secs_f64(stat_mean)));
-    let dyn_charge = to_sim(config.scale(SimDuration::from_secs_f64(dyn_mean)));
+    let stat_charge = to_sim(config.scale(stats.static_mean));
+    let dyn_charge = to_sim(config.scale(stats.dynamic_mean));
 
     // Spawn the node workers.
     let params = NodeParams {
@@ -212,7 +331,7 @@ fn run_live_inner<S: Schedule>(
     };
     let (done_tx, done_rx): (Sender<Done>, Receiver<Done>) = unbounded();
     let mut senders: Vec<Sender<NodeMsg>> = Vec::with_capacity(config.p);
-    let mut stats: Vec<Arc<NodeStats>> = Vec::with_capacity(config.p);
+    let mut stats_shared: Vec<Arc<NodeStats>> = Vec::with_capacity(config.p);
     let mut handles = Vec::with_capacity(config.p);
     for _ in 0..config.p {
         let (tx, rx) = unbounded();
@@ -222,7 +341,7 @@ fn run_live_inner<S: Schedule>(
         let p = params.clone();
         handles.push(std::thread::spawn(move || node_worker(rx, dtx, st2, p)));
         senders.push(tx);
-        stats.push(st);
+        stats_shared.push(st);
     }
     drop(done_tx);
 
@@ -234,7 +353,7 @@ fn run_live_inner<S: Schedule>(
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let probe = probe.clone();
-        let stats: Vec<Arc<NodeStats>> = stats.iter().map(Arc::clone).collect();
+        let stats: Vec<Arc<NodeStats>> = stats_shared.iter().map(Arc::clone).collect();
         let interval = config.monitor_period;
         let top = *top;
         let handle = std::thread::spawn(move || {
@@ -279,14 +398,13 @@ fn run_live_inner<S: Schedule>(
     let mut metrics = Metrics::new();
     let remote_latency = config.scale(SimDuration::from_millis(1));
 
-    // Per-request bookkeeping: placement level/node for attribution and
-    // connection-count release.
-    let mut on_master: Vec<bool> = vec![false; trace.len()];
-    let mut placed_node: Vec<usize> = vec![0; trace.len()];
-    let mut arrived_at: Vec<Instant> = vec![t0; trace.len()];
+    // Per-request bookkeeping, dropped on completion: placement
+    // level/node for attribution and connection-count release.
+    let mut in_flight: HashMap<u64, LiveFlight> = HashMap::new();
     let mut next_monitor = t0 + config.monitor_period;
     // Pending remote transfers: (send-at, node, job).
     let mut transfers: Vec<(Instant, usize, Job)> = Vec::new();
+    let mut admitted = 0usize;
     let mut completed = 0usize;
     let mut dropped = 0usize;
 
@@ -322,20 +440,21 @@ fn run_live_inner<S: Schedule>(
             .collect()
     };
 
+    let time_scale = config.time_scale;
     let handle_done = |d: Done,
-                       arrived_at: &[Instant],
-                       on_master: &[bool],
-                       placed_node: &[usize],
+                       in_flight: &mut HashMap<u64, LiveFlight>,
                        metrics: &mut Metrics,
                        scheduler: &mut S,
                        completed: &mut usize| {
-        let req = &trace.requests[d.id as usize];
-        let response = to_sim(d.finished - arrived_at[d.id as usize]);
+        let fl = in_flight
+            .remove(&d.id)
+            .expect("completion for request not in flight");
+        let response = to_sim(d.finished - fl.arrived);
         let demand = to_sim(Duration::from_nanos(
-            (req.demand.service.as_micros() as f64 * 1000.0 * config.time_scale) as u64,
+            (fl.service.as_micros() as f64 * 1000.0 * time_scale) as u64,
         ));
-        let level = if req.class.is_dynamic() {
-            Some(if on_master[d.id as usize] {
+        let level = if fl.dynamic {
+            Some(if fl.on_master {
                 Level::Master
             } else {
                 Level::Slave
@@ -345,19 +464,19 @@ fn run_live_inner<S: Schedule>(
         };
         metrics.record(response, demand, level);
         if let Some(probe) = probe_ref {
-            probe.record_response(req.class.is_dynamic(), response.as_micros());
+            probe.record_response(fl.dynamic, response.as_micros());
         }
         // Release the connection slot — keeps switch-style counts
         // truthful, matching the simulator's completion path.
-        scheduler.note_completion(placed_node[d.id as usize]);
+        scheduler.note_completion(fl.node);
         scheduler
             .reservation_mut()
-            .note_response(req.class.is_dynamic(), response);
+            .note_response(fl.dynamic, response);
         if scheduler.tracing() {
             scheduler.emit(&TraceEvent::Complete {
                 req: d.id,
-                node: placed_node[d.id as usize],
-                dynamic: req.class.is_dynamic(),
+                node: fl.node,
+                dynamic: fl.dynamic,
                 response_us: response.as_micros(),
             });
         }
@@ -365,7 +484,9 @@ fn run_live_inner<S: Schedule>(
     };
 
     // Replay loop.
-    for (idx, req) in trace.requests.iter().enumerate() {
+    let mut next_req = source.next();
+    while let Some(req) = next_req {
+        let idx = admitted as u64;
         let target = t0 + config.scale(req.arrival - SimTime::ZERO);
         // Until the arrival is due: collect completions, tick the
         // monitor, flush transfers.
@@ -373,9 +494,7 @@ fn run_live_inner<S: Schedule>(
             while let Ok(d) = done_rx.try_recv() {
                 handle_done(
                     d,
-                    &arrived_at,
-                    &on_master,
-                    &placed_node,
+                    &mut in_flight,
                     &mut metrics,
                     &mut scheduler,
                     &mut completed,
@@ -385,7 +504,7 @@ fn run_live_inner<S: Schedule>(
             deliver_due(&mut transfers, &senders, now);
             if now >= next_monitor {
                 let at = to_sim(now - t0);
-                let snaps = snapshot(&stats, SimTime(at.as_micros()));
+                let snaps = snapshot(&stats_shared, SimTime(at.as_micros()));
                 monitor.tick(SimTime(at.as_micros()), &snaps);
                 let rho = monitor.mean_utilisation();
                 // Capture the windowed master fraction before update()
@@ -427,21 +546,22 @@ fn run_live_inner<S: Schedule>(
 
         // Place the request.
         let now = Instant::now();
-        arrived_at[idx] = now;
+        admitted += 1;
+        next_req = source.next();
         let dynamic = req.class.is_dynamic();
         let expected = if dynamic { dyn_charge } else { stat_charge };
         let at_us = to_sim(now - t0).as_micros();
         let scaled_demand = to_sim(Duration::from_nanos(
             (req.demand.service.as_micros() as f64 * 1000.0 * config.time_scale) as u64,
         ));
-        scheduler.note_request(idx as u64, SimTime(at_us), scaled_demand);
+        scheduler.note_request(idx, SimTime(at_us), scaled_demand);
         let Ok(placement) =
             scheduler.place(dynamic, req.demand.cpu_fraction, expected, &mut monitor)
         else {
             // Whole cluster dead: degrade gracefully, as the simulator
             // does.
             scheduler.emit(&TraceEvent::Drop(DropRecord {
-                req: idx as u64,
+                req: idx,
                 at_us,
                 dynamic,
                 w: req.demand.cpu_fraction,
@@ -453,12 +573,20 @@ fn run_live_inner<S: Schedule>(
             dropped += 1;
             continue;
         };
-        on_master[idx] = placement.on_master;
-        placed_node[idx] = placement.node;
+        in_flight.insert(
+            idx,
+            LiveFlight {
+                dynamic,
+                service: req.demand.service,
+                on_master: placement.on_master,
+                node: placement.node,
+                arrived: now,
+            },
+        );
         let cpu = config.scale(req.demand.service.mul_f64(req.demand.cpu_fraction));
         let io = config.scale(req.demand.service).saturating_sub(cpu);
         let job = Job {
-            id: idx as u64,
+            id: idx,
             cpu,
             io,
             dynamic,
@@ -472,15 +600,13 @@ fn run_live_inner<S: Schedule>(
     }
 
     // Drain: flush transfers, then wait for all completions.
-    while completed + dropped < trace.len() {
+    while completed + dropped < admitted {
         let now = Instant::now();
         deliver_due(&mut transfers, &senders, now);
         match done_rx.recv_timeout(Duration::from_millis(5)) {
             Ok(d) => handle_done(
                 d,
-                &arrived_at,
-                &on_master,
-                &placed_node,
+                &mut in_flight,
                 &mut metrics,
                 &mut scheduler,
                 &mut completed,
@@ -523,7 +649,7 @@ fn run_live_inner<S: Schedule>(
         // Leave a whole-run busy average in the gauges so even runs
         // shorter than one sampler interval report `p` entries.
         let wall = t0.elapsed().as_nanos().max(1) as f64;
-        let busy: Vec<f64> = stats
+        let busy: Vec<f64> = stats_shared
             .iter()
             .map(|s| {
                 let b =
@@ -537,7 +663,7 @@ fn run_live_inner<S: Schedule>(
     // live path fills the same balance fields (CV, peak-to-mean) the
     // simulator does — Table 3 rows then compare two complete
     // `RunSummary` values instead of a hand-picked subset.
-    let busy: Vec<f64> = stats
+    let busy: Vec<f64> = stats_shared
         .iter()
         .map(|s| {
             (s.cpu_busy_ns.load(std::sync::atomic::Ordering::Relaxed)
@@ -582,7 +708,7 @@ mod tests {
         let mut cfg = LiveConfig::sun_cluster(PolicyKind::Flat, 1);
         cfg.time_scale = 0.05;
         cfg.monitor_period = Duration::from_millis(50);
-        let s = run_live(&cfg, &trace);
+        let s = emulate(&cfg, &trace, LiveRunOptions::new()).summary;
         assert_eq!(s.completed, 60);
         assert!(s.stretch >= 1.0, "stretch {}", s.stretch);
     }
@@ -593,7 +719,7 @@ mod tests {
         let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 3);
         cfg.time_scale = 0.05;
         cfg.monitor_period = Duration::from_millis(50);
-        let s = run_live(&cfg, &trace);
+        let s = emulate(&cfg, &trace, LiveRunOptions::new()).summary;
         assert_eq!(s.completed, 60);
         assert!(s.stretch >= 1.0);
         assert!(s.completed_static > 0);
@@ -616,7 +742,7 @@ mod tests {
         let trace = tiny_trace(12, 4.0);
         let mut cfg = LiveConfig::sun_cluster(PolicyKind::Flat, 1);
         cfg.time_scale = 0.5;
-        let s = run_live(&cfg, &trace);
+        let s = emulate(&cfg, &trace, LiveRunOptions::new()).summary;
         assert_eq!(s.completed, 12);
         assert!(
             s.stretch < 3.0,
@@ -626,14 +752,52 @@ mod tests {
     }
 
     #[test]
-    fn run_live_with_accepts_an_explicit_scheduler() {
+    fn emulate_with_accepts_an_explicit_scheduler() {
         let trace = tiny_trace(24, 30.0);
         let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 2);
         cfg.time_scale = 0.05;
         cfg.monitor_period = Duration::from_millis(50);
         let scheduler = live_scheduler(&cfg, &trace);
-        let s = run_live_with(&cfg, &trace, scheduler);
+        let s = emulate_with(&cfg, &trace, scheduler, LiveRunOptions::new()).summary;
         assert_eq!(s.completed, 24);
+    }
+
+    #[test]
+    fn emulate_source_streams_the_workload() {
+        let trace = tiny_trace(24, 30.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 2);
+        cfg.time_scale = 0.05;
+        cfg.monitor_period = Duration::from_millis(50);
+        let scheduler = live_scheduler(&cfg, &trace);
+        let stats = live_stats(&trace);
+        let s = emulate_source(
+            &cfg,
+            trace.clone().into_source(),
+            stats,
+            scheduler,
+            LiveRunOptions::new(),
+        )
+        .summary;
+        assert_eq!(s.completed, 24);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let trace = tiny_trace(16, 30.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::Flat, 1);
+        cfg.time_scale = 0.05;
+        cfg.monitor_period = Duration::from_millis(50);
+        let s = run_live(&cfg, &trace);
+        assert_eq!(s.completed, 16);
+        let scheduler = live_scheduler(&cfg, &trace);
+        let s2 = run_live_with(&cfg, &trace, scheduler);
+        assert_eq!(s2.completed, 16);
+        let scheduler = live_scheduler(&cfg, &trace);
+        let (s3, snap) = run_live_telemetry(&cfg, &trace, scheduler, false);
+        assert_eq!(s3.completed, 16);
+        assert_eq!(snap.substrate, "live");
     }
 
     #[test]
@@ -643,7 +807,14 @@ mod tests {
         cfg.time_scale = 0.25;
         cfg.monitor_period = Duration::from_millis(50);
         let scheduler = live_scheduler(&cfg, &trace);
-        let (s, snap) = run_live_telemetry(&cfg, &trace, scheduler, false);
+        let outcome = emulate_with(
+            &cfg,
+            &trace,
+            scheduler,
+            LiveRunOptions::new().telemetry(true),
+        );
+        let s = outcome.summary;
+        let snap = outcome.telemetry.expect("telemetry requested");
         assert_eq!(s.completed, 40);
         assert_eq!(snap.substrate, "live");
         assert_eq!(snap.sched.place_calls, 40);

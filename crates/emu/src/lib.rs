@@ -20,7 +20,12 @@ pub mod job;
 pub mod node;
 pub mod timing;
 
-pub use cluster::{live_scheduler, run_live, run_live_telemetry, run_live_with, LiveConfig};
+pub use cluster::{
+    emulate, emulate_source, emulate_with, live_priors, live_scheduler, live_stats, LiveConfig,
+    LiveOutcome, LiveRunOptions,
+};
+#[allow(deprecated)]
+pub use cluster::{run_live, run_live_telemetry, run_live_with};
 pub use job::{Done, Job, NodeMsg};
 pub use node::{node_worker, NodeParams, NodeStats};
 pub use timing::{calibrate, wait_for, wait_until, Calibration};

@@ -44,7 +44,7 @@ pub use dist::{
 };
 pub use event::{EventId, EventQueue};
 pub use hist::LogHistogram;
-pub use pool::{effective_workers, parallel_map};
+pub use pool::{chunked_map, effective_workers, parallel_map};
 pub use rng::{split_seed, SimRng};
 pub use stats::{OnlineStats, Quantiles, StretchAccumulator, TimeWeighted};
 pub use time::{SimDuration, SimTime};

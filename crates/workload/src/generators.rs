@@ -22,6 +22,7 @@ use serde::Serialize;
 use crate::cgi::{CgiKind, CgiModel};
 use crate::fileset::FileSet;
 use crate::request::{Request, RequestClass, ServiceDemand};
+use crate::source::RequestSource;
 use crate::trace::Trace;
 
 /// Published characteristics of one source log (a Table 1 row).
@@ -370,14 +371,22 @@ impl TraceSpec {
     /// assert!((trace.mean_rate() - 500.0).abs() < 5.0);
     /// ```
     pub fn generate(&self, n: usize, demand: &DemandModel, seed: u64) -> Trace {
+        Trace::new(self.name, self.stream(n, demand, seed).collect())
+    }
+
+    /// Stream `n` requests without materializing them: the same sequence
+    /// [`TraceSpec::generate`] produces (`generate` is defined as
+    /// `stream(...).collect()`), but in O(1) memory. Use this for runs
+    /// too long to hold in RAM; see [`RequestSource`] for the contract.
+    pub fn stream(&self, n: usize, demand: &DemandModel, seed: u64) -> GenSource {
         let mut master = SimRng::seed_from_u64(seed ^ 0x6d73_7765_625f_7472);
-        let mut arrivals_rng = master.split(1);
-        let mut class_rng = master.split(2);
-        let mut size_rng = master.split(3);
-        let mut demand_rng = master.split(4);
+        let arrivals_rng = master.split(1);
+        let class_rng = master.split(2);
+        let size_rng = master.split(3);
+        let demand_rng = master.split(4);
 
         let fileset = FileSet::specweb96();
-        let mut arrivals = ArrivalSampler::new(demand.arrivals, self.mean_interval_s);
+        let arrivals = ArrivalSampler::new(demand.arrivals, self.mean_interval_s);
         // Web transfer sizes are heavy-tailed; CV ~ 1.5 is typical of the
         // era's logs.
         let html_size = LogNormal::from_mean_cv(self.mean_html_bytes as f64, 1.5);
@@ -398,53 +407,122 @@ impl TraceSpec {
         let zipf = demand
             .query_popularity
             .map(|(q, s_exp)| ZipfKeys::new(q, s_exp));
-        let mut key_rng = master.split(5);
+        let key_rng = master.split(5);
 
-        let mut t = SimTime::ZERO;
-        let mut t_s = 0.0f64;
-        let mut requests = Vec::with_capacity(n);
-        for id in 0..n {
-            if id > 0 {
-                t_s = arrivals.next_after(t_s, &mut arrivals_rng);
-                t = SimTime::from_secs_f64(t_s);
-            }
-            let is_cgi = class_rng.gen_bool(cgi_frac);
-            let (class, bytes, dem) = if is_cgi {
-                let bytes = cgi_size.sample(&mut size_rng).max(64.0) as u64;
-                let service = cgi_model.sample_service(&mut demand_rng);
-                (
-                    RequestClass::Dynamic,
-                    bytes,
-                    ServiceDemand {
-                        service,
-                        cpu_fraction: cgi_model.cpu_weight(),
-                        memory_bytes: cgi_model.sample_memory(&mut demand_rng),
-                    },
-                )
-            } else {
-                let raw = html_size.sample(&mut size_rng).max(64.0) as u64;
-                let bytes = fileset.closest(raw);
-                let service =
-                    SimDuration::from_secs_f64(static_service.sample(&mut demand_rng).max(1e-6));
-                (
-                    RequestClass::Static,
-                    bytes,
-                    ServiceDemand {
-                        service,
-                        cpu_fraction: demand.static_w,
-                        memory_bytes: bytes,
-                    },
-                )
-            };
-            let mut req = Request::new(id as u64, t, class, bytes, dem);
-            if is_cgi {
-                if let Some(z) = &zipf {
-                    req = req.with_cache_key(z.sample(&mut key_rng));
-                }
-            }
-            requests.push(req);
+        GenSource {
+            name: self.name,
+            arrivals_rng,
+            class_rng,
+            size_rng,
+            demand_rng,
+            key_rng,
+            fileset,
+            arrivals,
+            html_size,
+            cgi_size,
+            cgi_frac,
+            cgi_model,
+            static_service,
+            static_w: demand.static_w,
+            zipf,
+            t: SimTime::ZERO,
+            t_s: 0.0,
+            next_id: 0,
+            remaining: n,
         }
-        Trace::new(self.name, requests)
+    }
+}
+
+/// The streaming generator behind [`TraceSpec::stream`]: a few hundred
+/// bytes of RNG and sampler state standing in for the whole request
+/// vector. Yields exactly the sequence `generate` would collect.
+pub struct GenSource {
+    name: &'static str,
+    arrivals_rng: SimRng,
+    class_rng: SimRng,
+    size_rng: SimRng,
+    demand_rng: SimRng,
+    key_rng: SimRng,
+    fileset: FileSet,
+    arrivals: ArrivalSampler,
+    html_size: LogNormal,
+    cgi_size: LogNormal,
+    cgi_frac: f64,
+    cgi_model: CgiModel,
+    static_service: ShiftedExponential,
+    static_w: f64,
+    zipf: Option<ZipfKeys>,
+    t: SimTime,
+    t_s: f64,
+    next_id: u64,
+    remaining: usize,
+}
+
+impl Iterator for GenSource {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+
+        if id > 0 {
+            self.t_s = self.arrivals.next_after(self.t_s, &mut self.arrivals_rng);
+            self.t = SimTime::from_secs_f64(self.t_s);
+        }
+        let is_cgi = self.class_rng.gen_bool(self.cgi_frac);
+        let (class, bytes, dem) = if is_cgi {
+            let bytes = self.cgi_size.sample(&mut self.size_rng).max(64.0) as u64;
+            let service = self.cgi_model.sample_service(&mut self.demand_rng);
+            (
+                RequestClass::Dynamic,
+                bytes,
+                ServiceDemand {
+                    service,
+                    cpu_fraction: self.cgi_model.cpu_weight(),
+                    memory_bytes: self.cgi_model.sample_memory(&mut self.demand_rng),
+                },
+            )
+        } else {
+            let raw = self.html_size.sample(&mut self.size_rng).max(64.0) as u64;
+            let bytes = self.fileset.closest(raw);
+            let service = SimDuration::from_secs_f64(
+                self.static_service.sample(&mut self.demand_rng).max(1e-6),
+            );
+            (
+                RequestClass::Static,
+                bytes,
+                ServiceDemand {
+                    service,
+                    cpu_fraction: self.static_w,
+                    memory_bytes: bytes,
+                },
+            )
+        };
+        let mut req = Request::new(id, self.t, class, bytes, dem);
+        if is_cgi {
+            if let Some(z) = &self.zipf {
+                req = req.with_cache_key(z.sample(&mut self.key_rng));
+            }
+        }
+        Some(req)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl RequestSource for GenSource {
+    fn source_name(&self) -> &str {
+        self.name
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.remaining)
     }
 }
 

@@ -18,11 +18,15 @@ pub mod clf;
 pub mod fileset;
 pub mod generators;
 pub mod request;
+pub mod source;
 pub mod trace;
 
 pub use cgi::{CgiKind, CgiModel};
 pub use clf::{parse_clf, trace_from_clf, trace_to_clf, ClfError, ClfRecord};
 pub use fileset::FileSet;
-pub use generators::{adl, all_traces, dec, ksu, replayed_traces, ucb, DemandModel, TraceSpec};
+pub use generators::{
+    adl, all_traces, dec, ksu, replayed_traces, ucb, DemandModel, GenSource, TraceSpec,
+};
 pub use request::{Request, RequestClass, ServiceDemand};
+pub use source::{RateScaling, RequestSource, ScaledSource, SliceSource, TraceSource};
 pub use trace::{Trace, TraceSummary};

@@ -79,39 +79,21 @@ impl Trace {
     /// intervals among requests so that requests in each log are issued to
     /// the cluster at various fast rates"). Relative spacing (burstiness)
     /// is preserved; ids, classes, sizes, demands are untouched.
+    ///
+    /// The transform is shared with [`Trace::scaled_source`], which
+    /// applies it on the fly without materializing a second vector.
     pub fn scaled_to_rate(&self, lambda: f64) -> Trace {
-        assert!(
-            lambda > 0.0 && lambda.is_finite(),
-            "bad target rate {lambda}"
-        );
-        let current = self.mean_rate();
-        if current <= 0.0 {
-            // Zero-span trace: space arrivals uniformly at the target rate.
-            let gap = SimDuration::from_secs_f64(1.0 / lambda);
-            let requests = self
-                .requests
-                .iter()
-                .enumerate()
-                .map(|(i, r)| Request {
-                    arrival: SimTime::ZERO + gap.mul(i as u64),
-                    ..*r
-                })
-                .collect();
-            return Trace::new(self.name.clone(), requests);
-        }
-        let factor = current / lambda;
         let t0 = self
             .requests
             .first()
             .map(|r| r.arrival)
             .unwrap_or(SimTime::ZERO);
+        let scaling = crate::source::RateScaling::to_rate(self.mean_rate(), t0, lambda);
         let requests = self
             .requests
             .iter()
-            .map(|r| Request {
-                arrival: SimTime::ZERO + (r.arrival - t0).mul_f64(factor),
-                ..*r
-            })
+            .enumerate()
+            .map(|(i, r)| scaling.apply(i as u64, *r))
             .collect();
         Trace::new(self.name.clone(), requests)
     }

@@ -54,7 +54,7 @@ fn main() {
         PolicyKind::Switch,
     ] {
         let cfg = ClusterConfig::simulation(16, policy).with_masters(m);
-        let r = run_policy(cfg, &trace);
+        let r = simulate(cfg, &trace, RunOptions::new()).summary;
         println!(
             "{:<8} stretch {:.3}  (static {:.3}, dynamic {:.3})",
             policy.label(),

@@ -82,11 +82,13 @@ fn main() {
     println!("UCB x 12k requests at {lambda}/s on p={p} (m={m}, 1/r={inv_r})\n");
     let switch_level = run_spec("least-connections/none/level-split/min-rsrc/split-demand");
     let p2c = run_spec("least-connections/none/level-split/rsrc-p2c/split-demand");
-    let ms = run_policy(config.clone(), &trace);
-    let flat = run_policy(
+    let ms = simulate(config.clone(), &trace, RunOptions::new()).summary;
+    let flat = simulate(
         ClusterConfig::simulation(p, PolicyKind::Flat).with_seed(99),
         &trace,
-    );
+        RunOptions::new(),
+    )
+    .summary;
 
     println!("{:<44} stretch", "composition");
     for (name, s) in [

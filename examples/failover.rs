@@ -23,7 +23,7 @@ fn main() {
     let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
 
     // Baseline: no failures.
-    let baseline = run_policy(cfg.clone(), &trace);
+    let baseline = simulate(cfg.clone(), &trace, RunOptions::new()).summary;
 
     // Crash slave 6 a third of the way in; it recovers near the end.
     let crash_at = SimTime::ZERO + span.mul_f64(0.33);

@@ -49,7 +49,7 @@ fn main() {
         let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
             .with_masters(cluster.masters.len())
             .with_speeds(s);
-        run_policy(cfg, &trace)
+        simulate(cfg, &trace, RunOptions::new()).summary
     };
 
     let slow_masters = run_with(true);

@@ -41,13 +41,13 @@ fn main() {
         live_cfg.time_scale = 0.1;
         live_cfg.monitor_period = std::time::Duration::from_millis(100);
         let t0 = std::time::Instant::now();
-        let live = run_live(&live_cfg, &trace);
+        let live = emulate(&live_cfg, &trace, LiveRunOptions::new()).summary;
 
         // Simulated run of the same workload on 110-req/s nodes.
         let sim_cfg = ClusterConfig::simulation(6, policy)
             .with_masters(m)
             .with_mu_h(110.0);
-        let sim = run_policy(sim_cfg, &trace);
+        let sim = simulate(sim_cfg, &trace, RunOptions::new()).summary;
 
         println!(
             "{:<8} live stretch {:>7.3} | simulated {:>7.3}   ({:.1}s wall)",

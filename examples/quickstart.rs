@@ -26,9 +26,14 @@ fn main() {
 
     // 3. Replay under both architectures.
     let ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(m);
-    let ms = run_policy(ms_cfg, &trace);
+    let ms = simulate(ms_cfg, &trace, RunOptions::new()).summary;
 
-    let flat = run_policy(ClusterConfig::simulation(8, PolicyKind::Flat), &trace);
+    let flat = simulate(
+        ClusterConfig::simulation(8, PolicyKind::Flat),
+        &trace,
+        RunOptions::new(),
+    )
+    .summary;
 
     // 4. Report the paper's metric.
     println!();

@@ -45,7 +45,7 @@ fn main() {
         );
         for pk in &policies {
             let cfg = ClusterConfig::simulation(p, *pk).with_masters(m);
-            let s = run_policy(cfg, &trace);
+            let s = simulate(cfg, &trace, RunOptions::new()).summary;
             print!("{:>9.3}", s.stretch);
         }
         println!("   (m={m})");

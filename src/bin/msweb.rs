@@ -32,6 +32,7 @@ fn main() {
         "analyze" => cmd_analyze(&flags),
         "experiments" => cmd_experiments(&flags),
         "metrics-dump" => cmd_metrics_dump(&flags),
+        "scale" => cmd_scale(&flags),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
             eprintln!("unknown subcommand: {other}\n");
@@ -85,6 +86,15 @@ USAGE:
                   print a Prometheus text exposition to stdout: from a
                   saved --telemetry snapshot with --from, otherwise from
                   a fresh short instrumented simulation
+  msweb scale   [--p <list>] [--n <list>] [--trace <name>] [--seed <s>]
+                  [--lambda-per-p <req/s/node>] [--tick-workers <w>]
+                  [--out BENCH_scale.json] [--test] [--skip-parity]
+                  stream p x n scale cells (default 1k,4k,10k nodes x
+                  1M,10M requests) through the indexed M/S composition,
+                  record wall-clock + peak RSS into BENCH_scale.json and
+                  enforce the scale budget (peak RSS <= 1 GiB, streamed
+                  == materialized summaries); --test runs the CI smoke
+                  grid (p=1000, n=100k)
 
 --trace-decisions logs every scheduling decision (entry node, candidate
 set, per-candidate RSRC scores, reservation state, chosen node, transfer
@@ -376,7 +386,8 @@ fn cmd_metrics_dump(flags: &Flags) {
     let cfg = ClusterConfig::simulation(p, policy)
         .with_masters(m)
         .with_seed(seed);
-    let (_, snap) = run_policy_telemetry(cfg, &trace);
+    let outcome = simulate(cfg, &trace, RunOptions::new().telemetry(true));
+    let snap = outcome.telemetry.expect("telemetry enabled");
     print!("{}", snap.to_prometheus());
 }
 
@@ -416,7 +427,11 @@ fn cmd_replay(flags: &Flags) {
                 let snap = sim.telemetry_snapshot().expect("telemetry enabled");
                 write_telemetry(&snap, tele_json, metrics_out);
             } else {
-                let s = run_policy_with_observer(cfg, &trace, log.map(decision_sink));
+                let mut opts = RunOptions::new();
+                if let Some(path) = log {
+                    opts = opts.observer(decision_sink(path));
+                }
+                let s = simulate(cfg, &trace, opts).summary;
                 print_summary(policy.label(), &s);
             }
         }
@@ -438,15 +453,16 @@ fn cmd_replay(flags: &Flags) {
                 let cfg = ClusterConfig::simulation(p, policy)
                     .with_masters(m)
                     .with_seed(seed);
-                let observer = log.map(|path| {
-                    if first {
+                let mut opts = RunOptions::new();
+                if let Some(path) = log {
+                    opts = opts.observer(if first {
                         decision_sink(path)
                     } else {
                         decision_sink_append(path)
-                    }
-                });
+                    });
+                }
                 first = false;
-                let s = run_policy_with_observer(cfg, &trace, observer);
+                let s = simulate(cfg, &trace, opts).summary;
                 println!("{:<9} stretch {:>8.3}", policy.label(), s.stretch);
             }
         }
@@ -635,7 +651,7 @@ fn cmd_import(flags: &Flags) {
         PolicyKind::Switch,
     ] {
         let cfg = ClusterConfig::simulation(p, policy).with_masters(m);
-        let r = run_policy(cfg, &trace);
+        let r = simulate(cfg, &trace, RunOptions::new()).summary;
         println!("{:<9} stretch {:>8.3}", policy.label(), r.stretch);
     }
 }
@@ -698,19 +714,241 @@ fn cmd_live(flags: &Flags) {
                 }
             }));
             if instrument {
-                let (s, snap) = run_live_telemetry(&cfg, &trace, scheduler, top);
+                let outcome = emulate_with(
+                    &cfg,
+                    &trace,
+                    scheduler,
+                    LiveRunOptions::new().telemetry(true).top(top),
+                );
+                let snap = outcome.telemetry.expect("telemetry enabled");
                 write_telemetry(&snap, tele_json, metrics_out);
-                s
+                outcome.summary
             } else {
-                run_live_with(&cfg, &trace, scheduler)
+                emulate_with(&cfg, &trace, scheduler, LiveRunOptions::new()).summary
             }
         } else {
-            run_live(&cfg, &trace)
+            emulate(&cfg, &trace, LiveRunOptions::new()).summary
         };
         first = false;
         println!("{:<9} live stretch {:>8.3}", policy.label(), s.stretch);
     }
     if let Some(path) = log {
         println!("\ndecision log written to {path}");
+    }
+}
+
+/// Process-wide peak RSS (`VmHWM`) in bytes, read from
+/// `/proc/self/status`; 0 when unavailable (non-Linux hosts). The
+/// high-water mark is monotone over the process lifetime, so a final
+/// reading bounds every cell that ran before it.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+#[derive(serde::Serialize)]
+struct ScaleCell {
+    p: usize,
+    n: usize,
+    lambda: f64,
+    spec: String,
+    wall_s: f64,
+    /// Process peak RSS after this cell (monotone across cells).
+    peak_rss_bytes: u64,
+    throughput_req_per_s: f64,
+    completed: u64,
+    dropped: u64,
+    stretch: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ScaleParity {
+    p: usize,
+    n: usize,
+    byte_identical: bool,
+}
+
+#[derive(serde::Serialize)]
+struct ScaleReport {
+    trace: String,
+    seed: u64,
+    lambda_per_p: f64,
+    tick_workers: usize,
+    budget_max_rss_bytes: u64,
+    cells: Vec<ScaleCell>,
+    parity: Vec<ScaleParity>,
+    budget_ok: bool,
+}
+
+/// Parse a comma-separated size list with optional `k`/`M` suffixes
+/// (`"1k,4k,10k"` → `[1000, 4000, 10000]`).
+fn parse_size_list(s: &str, flag: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|tok| {
+            let t = tok.trim();
+            let (digits, mult) = match t.chars().last() {
+                Some('k') | Some('K') => (&t[..t.len() - 1], 1_000usize),
+                Some('m') | Some('M') => (&t[..t.len() - 1], 1_000_000usize),
+                _ => (t, 1),
+            };
+            digits
+                .parse::<usize>()
+                .ok()
+                .map(|v| v * mult)
+                .unwrap_or_else(|| {
+                    eprintln!("--{flag} expects sizes like 1000 or 10k,1M, got '{t}'");
+                    std::process::exit(2);
+                })
+        })
+        .collect()
+}
+
+fn cmd_scale(flags: &Flags) {
+    const GIB: u64 = 1 << 30;
+    let test_mode = flags.get("test").is_some();
+    let spec = trace_by_name(flags.get("trace").unwrap_or("ucb"));
+    let seed = flags.num("seed", 42.0) as u64;
+    let per_p = flags.num("lambda-per-p", 31.25);
+    let tick_workers = flags.usize("tick-workers", 0);
+    let out = flags.get("out").unwrap_or("BENCH_scale.json");
+    let default_p = if test_mode { "1000" } else { "1000,4000,10000" };
+    let default_n = if test_mode {
+        "100000"
+    } else {
+        "1000000,10000000"
+    };
+    let p_list = parse_size_list(flags.get("p").unwrap_or(default_p), "p");
+    let n_list = parse_size_list(flags.get("n").unwrap_or(default_n), "n");
+    let demand = DemandModel::simulation(40.0);
+    let inv_r = 40.0;
+    let registry = SchedulerRegistry::builtin();
+    let stage_spec = StageSpec::for_policy(PolicyKind::MasterSlave);
+
+    // Parity gate first (small, so it never disturbs the RSS story):
+    // the streamed run must be byte-identical to the materialized one.
+    let mut parity = Vec::new();
+    if flags.get("skip-parity").is_none() {
+        for p in [32usize, 128] {
+            let n = 20_000;
+            let lambda = per_p * p as f64;
+            let trace = spec.generate(n, &demand, seed).scaled_to_rate(lambda);
+            let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
+            let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+                .with_masters(m)
+                .with_seed(seed);
+            let materialized = simulate(cfg.clone(), &trace, RunOptions::new()).summary;
+            let stats = WorkloadStats::from_trace(&trace);
+            let streamed = simulate_source(cfg, trace.source(), stats, RunOptions::new()).summary;
+            let byte_identical =
+                serde::to_json_string(&materialized) == serde::to_json_string(&streamed);
+            println!(
+                "parity p={p:<4} n={n}: streamed {} materialized",
+                if byte_identical { "==" } else { "!=" }
+            );
+            parity.push(ScaleParity {
+                p,
+                n,
+                byte_identical,
+            });
+        }
+    }
+
+    // Scale cells, smallest first so each cell's RSS reading is
+    // dominated by itself or a larger predecessor.
+    let mut cells = Vec::new();
+    for &n in &n_list {
+        for &p in &p_list {
+            let lambda = per_p * p as f64;
+            // Measure the generator's natural arrival rate (and the
+            // workload stats) from a bounded probe prefix — the arrival
+            // process is stationary, so a 50k sample pins the scaling
+            // factor without materializing the full workload.
+            let probe = spec.generate(n.min(50_000), &demand, seed);
+            let t0 = probe
+                .requests
+                .first()
+                .map(|r| r.arrival)
+                .unwrap_or(SimTime::ZERO);
+            let scaling = RateScaling::to_rate(probe.mean_rate(), t0, lambda);
+            let stats = WorkloadStats::from_trace(&probe);
+            let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
+            let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+                .with_masters(m)
+                .with_seed(seed);
+            let scheduler = registry
+                .compose(&cfg, &stage_spec, stats.a0, stats.r0)
+                .unwrap_or_else(|e| {
+                    eprintln!("compose failed: {e}");
+                    std::process::exit(1);
+                });
+            let mut sim = ClusterSim::with_scheduler(cfg, scheduler)
+                .with_priors(stats.a0, stats.r0)
+                .with_mean_demands(stats.static_mean, stats.dynamic_mean)
+                .with_spec_label(stage_spec.render())
+                .with_tick_workers(tick_workers);
+            let source = ScaledSource::new(spec.stream(n, &demand, seed), scaling);
+            let started = std::time::Instant::now();
+            let s = sim.run_source(source);
+            let wall_s = started.elapsed().as_secs_f64();
+            let rss = peak_rss_bytes();
+            println!(
+                "p={p:<6} n={n:<9} lambda={lambda:<9.0} wall {wall_s:>8.2}s  \
+                 {:>9.0} req/s  peak RSS {:>7.1} MiB  stretch {:.3}",
+                n as f64 / wall_s,
+                rss as f64 / (1024.0 * 1024.0),
+                s.stretch
+            );
+            cells.push(ScaleCell {
+                p,
+                n,
+                lambda,
+                spec: stage_spec.render(),
+                wall_s,
+                peak_rss_bytes: rss,
+                throughput_req_per_s: n as f64 / wall_s,
+                completed: s.completed,
+                dropped: s.dropped,
+                stretch: s.stretch,
+            });
+        }
+    }
+
+    let final_rss = peak_rss_bytes();
+    let rss_ok = final_rss <= GIB || final_rss == 0;
+    let parity_ok = parity.iter().all(|p| p.byte_identical);
+    let report = ScaleReport {
+        trace: spec.name.to_string(),
+        seed,
+        lambda_per_p: per_p,
+        tick_workers,
+        budget_max_rss_bytes: GIB,
+        cells,
+        parity,
+        budget_ok: rss_ok && parity_ok,
+    };
+    if let Err(e) = std::fs::write(out, serde::to_json_string_pretty(&report) + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nscale report written to {out}");
+    if !rss_ok {
+        eprintln!(
+            "BUDGET VIOLATION: peak RSS {:.1} MiB exceeds the 1 GiB scale budget",
+            final_rss as f64 / (1024.0 * 1024.0)
+        );
+    }
+    if !parity_ok {
+        eprintln!("BUDGET VIOLATION: streamed summary diverged from materialized replay");
+    }
+    if !(rss_ok && parity_ok) {
+        std::process::exit(1);
     }
 }

@@ -35,9 +35,14 @@
 //!
 //! // ...then replay under the paper's policy and the flat baseline.
 //! let ms = ClusterConfig::simulation(16, PolicyKind::MasterSlave).with_masters(m);
-//! let ms_run = run_policy(ms, &trace);
+//! let ms_run = simulate(ms, &trace, RunOptions::new()).summary;
 //!
-//! let flat_run = run_policy(ClusterConfig::simulation(16, PolicyKind::Flat), &trace);
+//! let flat_run = simulate(
+//!     ClusterConfig::simulation(16, PolicyKind::Flat),
+//!     &trace,
+//!     RunOptions::new(),
+//! )
+//! .summary;
 //!
 //! assert!(ms_run.stretch <= flat_run.stretch * 1.1);
 //! println!(
@@ -61,16 +66,24 @@ pub use msweb_workload as workload;
 pub mod prelude {
     pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
-        analyze, plan_masters, policy_sim, render_top, run_policy, run_policy_telemetry,
-        run_policy_with_observer, table2_grid, AnalysisReport, ClusterConfig, ClusterSim,
+        analyze, plan_masters, policy_sim, policy_sim_from_stats, render_top, simulate,
+        simulate_source, table2_grid, AnalysisReport, ClusterConfig, ClusterSim,
         CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher, DropRecord,
         DynScheduler, FailureEvent, FailurePlan, GridCell, JsonlSink, Level, LoadMonitor,
         MasterSelection, Metrics, Placement, PlacementError, PolicyKind, PolicyScheduler,
-        ReplayError, ReplayOptions, ReservationController, RsrcPredictor, RunSummary,
-        SchedTelemetry, Schedule, Scheduler, SchedulerRegistry, ScorerPaths, StageKind, StageSpec,
-        TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog, WindowSample,
+        ReplayError, ReplayOptions, ReservationController, RsrcPredictor, RunOptions, RunOutcome,
+        RunSummary, SchedTelemetry, Schedule, Scheduler, SchedulerRegistry, ScorerPaths, StageKind,
+        StageSpec, TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog, WindowSample,
+        WorkloadStats,
     };
-    pub use msweb_emu::{live_scheduler, run_live, run_live_telemetry, run_live_with, LiveConfig};
+    #[allow(deprecated)]
+    pub use msweb_cluster::{run_policy, run_policy_telemetry, run_policy_with_observer};
+    pub use msweb_emu::{
+        emulate, emulate_source, emulate_with, live_scheduler, live_stats, LiveConfig, LiveOutcome,
+        LiveRunOptions,
+    };
+    #[allow(deprecated)]
+    pub use msweb_emu::{run_live, run_live_telemetry, run_live_with};
     pub use msweb_ossim::{DemandSpec, Node, OsParams};
     pub use msweb_queueing::{
         figure3, plan, reservation_bound, Fig3Config, FlatModel, HeteroCluster, MsModel,
@@ -78,7 +91,8 @@ pub mod prelude {
     };
     pub use msweb_simcore::{SimDuration, SimRng, SimTime};
     pub use msweb_workload::{
-        adl, all_traces, dec, ksu, replayed_traces, ucb, CgiKind, DemandModel, FileSet, Request,
-        RequestClass, ServiceDemand, Trace, TraceSpec,
+        adl, all_traces, dec, ksu, replayed_traces, ucb, CgiKind, DemandModel, FileSet, GenSource,
+        RateScaling, Request, RequestClass, RequestSource, ScaledSource, ServiceDemand, Trace,
+        TraceSpec,
     };
 }

@@ -27,7 +27,7 @@ fn simulated_flat(lambda: f64, a_pct_cgi: f64, inv_r: f64, p: usize, seed: u64) 
         .generate(10_000, &DemandModel::simulation(inv_r), seed)
         .scaled_to_rate(lambda);
     let cfg = ClusterConfig::simulation(p, PolicyKind::Flat);
-    run_policy(cfg, &trace).stretch
+    simulate(cfg, &trace, RunOptions::new()).summary.stretch
 }
 
 fn analytic_flat(lambda: f64, a_pct_cgi: f64, inv_r: f64, p: usize) -> f64 {
@@ -80,7 +80,7 @@ fn theorem1_choice_wins_in_simulation_too() {
     let run_m = |m: usize| {
         let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
         cfg.masters = MasterSelection::Fixed(m);
-        run_policy(cfg, &trace).stretch
+        simulate(cfg, &trace, RunOptions::new()).summary.stretch
     };
     let planned = run_m(m_star);
     let too_few = run_m(1);

@@ -48,7 +48,7 @@ fn record(policy: PolicyKind, p: usize, m: usize, n: usize, lambda: f64) -> (Tra
         .with_seed(11);
     let path = tmp(&format!("{}-p{p}.jsonl", policy.slug()));
     let sink = JsonlSink::create(&path).expect("create log");
-    let summary = run_policy_with_observer(cfg, &trace, Some(Box::new(sink)));
+    let summary = simulate(cfg, &trace, RunOptions::new().observer(Box::new(sink))).summary;
     let log = TraceLog::read(&path).expect("parse log");
     let _ = std::fs::remove_file(&path);
     (log, summary)

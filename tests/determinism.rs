@@ -12,7 +12,7 @@ fn full_pipeline(policy: PolicyKind, seed: u64) -> RunSummary {
     let mut cfg = ClusterConfig::simulation(16, policy);
     cfg.masters = MasterSelection::Fixed(m);
     cfg.seed = seed;
-    run_policy(cfg, &trace)
+    simulate(cfg, &trace, RunOptions::new()).summary
 }
 
 #[test]

@@ -237,7 +237,7 @@ fn crash_degrades_but_does_not_wedge_performance() {
 
     let mut base_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
     base_cfg.masters = MasterSelection::Fixed(3);
-    let healthy = run_policy(base_cfg.clone(), &trace);
+    let healthy = simulate(base_cfg.clone(), &trace, RunOptions::new()).summary;
 
     let mut sim = ClusterSim::new(base_cfg, adl().arrival_ratio_a(), 1.0 / 40.0)
         .with_failures(FailurePlan::crash(6, mid));

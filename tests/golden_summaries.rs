@@ -44,7 +44,7 @@ fn golden_run(policy: PolicyKind) -> RunSummary {
     let cfg = ClusterConfig::simulation(8, policy)
         .with_masters(3)
         .with_seed(11);
-    run_policy(cfg, &trace)
+    simulate(cfg, &trace, RunOptions::new()).summary
 }
 
 fn fixture_path(policy: PolicyKind) -> std::path::PathBuf {

@@ -10,7 +10,7 @@ fn live(policy: PolicyKind, m: usize, trace: &Trace, scale: f64) -> RunSummary {
     let mut cfg = LiveConfig::sun_cluster(policy, m);
     cfg.time_scale = scale;
     cfg.monitor_period = Duration::from_millis(100);
-    run_live(&cfg, trace)
+    emulate(&cfg, trace, LiveRunOptions::new()).summary
 }
 
 #[test]

@@ -22,7 +22,7 @@ fn stretch(
     let mut cfg = ClusterConfig::simulation(p, policy);
     cfg.masters = MasterSelection::Fixed(m);
     cfg.seed = seed ^ 0xABCD;
-    run_policy(cfg, &trace).stretch
+    simulate(cfg, &trace, RunOptions::new()).summary.stretch
 }
 
 fn planned_m(spec: &TraceSpec, lambda: f64, inv_r: f64, p: usize) -> usize {
@@ -176,7 +176,7 @@ fn summary(
     let mut cfg = ClusterConfig::simulation(p, policy);
     cfg.masters = MasterSelection::Fixed(m);
     cfg.seed = seed ^ 0xABCD;
-    run_policy(cfg, &trace)
+    simulate(cfg, &trace, RunOptions::new()).summary
 }
 
 #[test]

@@ -18,8 +18,18 @@ fn simulated_switch_lands_between_pooled_and_flat_analytics() {
     let trace = spec
         .generate(15_000, &DemandModel::simulation(inv_r), 7)
         .scaled_to_rate(lambda);
-    let switch = run_policy(ClusterConfig::simulation(p, PolicyKind::Switch), &trace);
-    let flat = run_policy(ClusterConfig::simulation(p, PolicyKind::Flat), &trace);
+    let switch = simulate(
+        ClusterConfig::simulation(p, PolicyKind::Switch),
+        &trace,
+        RunOptions::new(),
+    )
+    .summary;
+    let flat = simulate(
+        ClusterConfig::simulation(p, PolicyKind::Flat),
+        &trace,
+        RunOptions::new(),
+    )
+    .summary;
 
     assert!(
         switch.stretch < flat.stretch,
@@ -68,7 +78,7 @@ fn ms_advantage_survives_flash_crowds() {
         let trace = spec.generate(12_000, &demand, 3).scaled_to_rate(lambda);
         let mut cfg = ClusterConfig::simulation(32, policy);
         cfg.masters = MasterSelection::Fixed(m);
-        run_policy(cfg, &trace).stretch
+        simulate(cfg, &trace, RunOptions::new()).summary.stretch
     };
     let flat_bursty = run(true, PolicyKind::Flat);
     let ms_bursty = run(true, PolicyKind::MasterSlave);
@@ -94,7 +104,7 @@ fn bursty_trace_replays_completely_under_every_policy() {
     ] {
         let mut cfg = ClusterConfig::simulation(8, policy);
         cfg.masters = MasterSelection::Fixed(3);
-        let s = run_policy(cfg, &trace);
+        let s = simulate(cfg, &trace, RunOptions::new()).summary;
         assert_eq!(s.completed, 3_000, "{policy:?}");
     }
 }

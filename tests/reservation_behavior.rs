@@ -13,7 +13,7 @@ fn masters_take_no_dynamics_under_comfortable_load() {
     let m = plan_masters(32, 800.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
     let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
     cfg.masters = MasterSelection::Fixed(m);
-    let s = run_policy(cfg, &trace);
+    let s = simulate(cfg, &trace, RunOptions::new()).summary;
     let frac = s.dynamic_on_master as f64 / s.completed_dynamic.max(1) as f64;
     assert!(
         frac < 0.05,
@@ -31,7 +31,7 @@ fn masters_absorb_overflow_under_heavy_load() {
     let m = plan_masters(32, 3200.0, spec.arrival_ratio_a(), 1.0 / 80.0, 1200.0);
     let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
     cfg.masters = MasterSelection::Fixed(m);
-    let s = run_policy(cfg, &trace);
+    let s = simulate(cfg, &trace, RunOptions::new()).summary;
     assert!(
         s.dynamic_on_master > 0,
         "near saturation the reservation should open and recruit masters"
@@ -50,8 +50,13 @@ fn static_requests_protected_relative_to_flat() {
 
     let mut ms_cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
     ms_cfg.masters = MasterSelection::Fixed(m);
-    let ms = run_policy(ms_cfg, &trace);
-    let flat = run_policy(ClusterConfig::simulation(32, PolicyKind::Flat), &trace);
+    let ms = simulate(ms_cfg, &trace, RunOptions::new()).summary;
+    let flat = simulate(
+        ClusterConfig::simulation(32, PolicyKind::Flat),
+        &trace,
+        RunOptions::new(),
+    )
+    .summary;
 
     assert!(
         ms.stretch_static < flat.stretch_static * 0.8,
@@ -72,7 +77,7 @@ fn no_reservation_floods_masters() {
     let run = |policy| {
         let mut cfg = ClusterConfig::simulation(32, policy);
         cfg.masters = MasterSelection::Fixed(m);
-        run_policy(cfg, &trace)
+        simulate(cfg, &trace, RunOptions::new()).summary
     };
     let ms = run(PolicyKind::MasterSlave);
     let nr = run(PolicyKind::MsNoReservation);
@@ -103,7 +108,7 @@ fn monitor_staleness_degrades_gracefully() {
         let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
         cfg.masters = MasterSelection::Fixed(m);
         cfg.monitor_period = SimDuration::from_millis(period_ms);
-        run_policy(cfg, &trace).stretch
+        simulate(cfg, &trace, RunOptions::new()).summary.stretch
     };
     let fresh = run(100);
     let stale = run(4000);

@@ -21,7 +21,9 @@ fn instrumented_run(p: usize) -> TelemetrySnapshot {
     let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
         .with_masters(m)
         .with_seed(42);
-    run_policy_telemetry(cfg, &trace).1
+    simulate(cfg, &trace, RunOptions::new().telemetry(true))
+        .telemetry
+        .expect("telemetry enabled")
 }
 
 fn fixture_path(p: usize) -> std::path::PathBuf {
@@ -96,7 +98,14 @@ fn sim_and_live_snapshots_share_one_schema() {
     let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 3);
     cfg.time_scale = 0.05;
     let scheduler = live_scheduler(&cfg, &trace);
-    let (_, live) = run_live_telemetry(&cfg, &trace, scheduler, false);
+    let live = emulate_with(
+        &cfg,
+        &trace,
+        scheduler,
+        LiveRunOptions::new().telemetry(true),
+    )
+    .telemetry
+    .expect("telemetry enabled");
     assert_eq!(live.substrate, "live");
     assert_eq!(sim.substrate, "sim");
 

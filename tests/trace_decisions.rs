@@ -127,7 +127,7 @@ fn sim_and_live_emit_schema_identical_jsonl() {
         .with_mu_h(110.0)
         .with_seed(21);
     let sink = JsonlSink::create(&sim_path).expect("create sim log");
-    let sim_summary = run_policy_with_observer(sim_cfg, &trace, Some(Box::new(sink)));
+    let sim_summary = simulate(sim_cfg, &trace, RunOptions::new().observer(Box::new(sink))).summary;
     assert_eq!(sim_summary.completed, n as u64);
 
     // Live run, traced — same scheduler type, same observer type.
@@ -139,7 +139,7 @@ fn sim_and_live_emit_schema_identical_jsonl() {
     let mut scheduler = live_scheduler(&live_cfg, &trace);
     let sink = JsonlSink::create(&live_path).expect("create live log");
     scheduler.set_observer(Some(Box::new(sink)));
-    let live_summary = run_live_with(&live_cfg, &trace, scheduler);
+    let live_summary = emulate_with(&live_cfg, &trace, scheduler, LiveRunOptions::new()).summary;
     assert_eq!(live_summary.completed, n as u64);
 
     let sim_log = std::fs::read_to_string(&sim_path).expect("read sim log");
