@@ -21,8 +21,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use msweb_cluster::sched::stages::{MinRsrcScorer, PowerOfKScorer};
 use msweb_cluster::sched::{Scorer, StageCtx};
 use msweb_cluster::{
-    ClusterConfig, LoadMonitor, MasterSelection, PolicyKind, ReservationController, RsrcPredictor,
-    SchedulerRegistry, StageSpec,
+    AttainedService, ClusterConfig, LoadMonitor, PolicyKind, ReqKnowledge, ReservationController,
+    RsrcPredictor, SchedulerRegistry, StageSpec,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimRng, SimTime};
@@ -37,6 +37,7 @@ struct World {
     reservation: ReservationController,
     dead: Vec<bool>,
     in_flight: Vec<u32>,
+    attained: AttainedService,
     m: usize,
     candidates: Vec<usize>,
 }
@@ -64,6 +65,7 @@ fn world(p: usize) -> World {
         reservation: ReservationController::new(m, p, 0.25, 0.025, true),
         dead: vec![false; p],
         in_flight: vec![0; p],
+        attained: AttainedService::new(p),
         m,
         candidates: (0..p).collect(),
     }
@@ -82,6 +84,7 @@ fn ctx<'a>(w: &'a World, rng: &'a mut SimRng) -> StageCtx<'a> {
         load_epoch: w.monitor.epoch(),
         charge_log: w.monitor.charges(),
         liveness_epoch: 0,
+        attained: &w.attained,
     }
 }
 
@@ -91,8 +94,9 @@ fn assert_equivalent(w: &World, dense: &MinRsrcScorer, indexed: &MinRsrcScorer) 
         let sampled_w = i as f64 / 31.0;
         let mut ra = SimRng::seed_from_u64(i);
         let mut rb = SimRng::seed_from_u64(i);
-        let a = dense.choose(&mut ctx(w, &mut ra), &w.candidates, sampled_w);
-        let b = indexed.choose(&mut ctx(w, &mut rb), &w.candidates, sampled_w);
+        let know = ReqKnowledge::exact(sampled_w, SimDuration::from_millis(33));
+        let a = dense.choose(&mut ctx(w, &mut ra), &w.candidates, know);
+        let b = indexed.choose(&mut ctx(w, &mut rb), &w.candidates, know);
         assert_eq!(a, b, "indexed argmin diverged from dense at w={sampled_w}");
     }
 }
@@ -110,7 +114,11 @@ fn bench_scan(c: &mut Criterion) {
                 b.iter(|| {
                     i = i.wrapping_add(1);
                     let sampled_w = (i % 101) as f64 / 100.0;
-                    black_box(scorer.choose(&mut ctx(&w, &mut rng), &w.candidates, sampled_w))
+                    black_box(scorer.choose(
+                        &mut ctx(&w, &mut rng),
+                        &w.candidates,
+                        ReqKnowledge::exact(sampled_w, SimDuration::from_millis(33)),
+                    ))
                 })
             });
         }
@@ -152,7 +160,11 @@ fn bench_choose_charge_cycle(c: &mut Criterion) {
                         w.monitor.tick(now, &snaps);
                     }
                     let node = scorer
-                        .choose(&mut ctx(&w, &mut rng), &w.candidates, 0.7)
+                        .choose(
+                            &mut ctx(&w, &mut rng),
+                            &w.candidates,
+                            ReqKnowledge::exact(0.7, svc),
+                        )
                         .unwrap();
                     w.monitor.charge(node, svc, svc);
                     black_box(node)
@@ -172,7 +184,7 @@ fn bench_place(c: &mut Criterion) {
         ] {
             c.bench_function(&format!("place_{name}_p{p}"), |b| {
                 let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-                cfg.masters = MasterSelection::Fixed((p / 4).max(1));
+                cfg = cfg.with_masters((p / 4).max(1));
                 let spec = StageSpec::parse(&format!(
                     "rotation-masters/reservation/level-split/{scorer}/split-demand"
                 ))
@@ -180,7 +192,7 @@ fn bench_place(c: &mut Criterion) {
                 let mut sched = registry.compose(&cfg, &spec, 0.25, 0.025).unwrap();
                 let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
                 let svc = SimDuration::from_millis(33);
-                b.iter(|| black_box(sched.place(true, 0.9, svc, &mut mon)))
+                b.iter(|| black_box(sched.place(true, ReqKnowledge::exact(0.9, svc), &mut mon)))
             });
         }
     }
@@ -194,7 +206,7 @@ fn bench_place_telemetry(c: &mut Criterion) {
     for p in SIZES {
         c.bench_function(&format!("place_indexed_telemetry_p{p}"), |b| {
             let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed((p / 4).max(1));
+            cfg = cfg.with_masters((p / 4).max(1));
             let spec = StageSpec::parse(
                 "rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand",
             )
@@ -203,7 +215,7 @@ fn bench_place_telemetry(c: &mut Criterion) {
             sched.set_telemetry_enabled(true);
             let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
             let svc = SimDuration::from_millis(33);
-            b.iter(|| black_box(sched.place(true, 0.9, svc, &mut mon)))
+            b.iter(|| black_box(sched.place(true, ReqKnowledge::exact(0.9, svc), &mut mon)))
         });
     }
 }
@@ -214,7 +226,13 @@ fn bench_power_of_k_scan(c: &mut Criterion) {
     let scorer = PowerOfKScorer::new(4, 0.0);
     c.bench_function("scan_p2of4_p4096", |b| {
         let mut rng = SimRng::seed_from_u64(7);
-        b.iter(|| black_box(scorer.choose(&mut ctx(&w, &mut rng), &w.candidates, 0.7)))
+        b.iter(|| {
+            black_box(scorer.choose(
+                &mut ctx(&w, &mut rng),
+                &w.candidates,
+                ReqKnowledge::exact(0.7, SimDuration::from_millis(33)),
+            ))
+        })
     });
 }
 

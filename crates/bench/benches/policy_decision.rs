@@ -2,18 +2,17 @@
 //! thousands of arrivals per second.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use msweb_cluster::{ClusterConfig, Dispatcher, LoadMonitor, MasterSelection, PolicyKind};
+use msweb_cluster::{ClusterConfig, Dispatcher, LoadMonitor, PolicyKind, ReqKnowledge};
 use msweb_simcore::{SimDuration, SimTime};
 
 fn bench_place(c: &mut Criterion) {
     for (name, p) in [("p32", 32), ("p128", 128)] {
         c.bench_function(&format!("dispatcher_place_dynamic_{name}"), |b| {
-            let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed(p / 4);
+            let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave).with_masters(p / 4);
             let mut d = Dispatcher::new(&cfg, 0.25, 0.025);
             let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
             let svc = SimDuration::from_millis(33);
-            b.iter(|| black_box(d.place(true, 0.9, svc, &mut mon)))
+            b.iter(|| black_box(d.place(true, ReqKnowledge::exact(0.9, svc), &mut mon)))
         });
     }
 }

@@ -683,6 +683,145 @@ pub fn ablation_theta_rule() -> (f64, f64) {
     (mid_sum / n as f64, num_sum / n as f64)
 }
 
+// ------------------------------------------------------- UNKNOWN SIZES
+
+/// Policy specs compared by [`unknown_sizes`]: the paper's RSRC pipeline
+/// against the three attained-service scorers. All four share the
+/// reservation admission and level-split candidate stages so the
+/// comparison isolates the scoring rule; the demand-blind `attained`
+/// admission stage is exercised separately by the golden fixtures.
+pub const UNKNOWN_SIZES_POLICIES: [(&str, &str); 4] = [
+    (
+        "rsrc",
+        "rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand",
+    ),
+    (
+        "gittins",
+        "rotation-masters/reservation/level-split/gittins/split-demand",
+    ),
+    (
+        "serpt",
+        "rotation-masters/reservation/level-split/serpt/split-demand",
+    ),
+    (
+        "las",
+        "rotation-masters/reservation/level-split/las/split-demand",
+    ),
+];
+
+/// One cell of the unknown-sizes sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct UnknownSizesRow {
+    /// Demand-visibility regime (`exact`, `noisy`, `hidden`).
+    pub visibility: String,
+    /// Policy label from [`UNKNOWN_SIZES_POLICIES`].
+    pub policy: String,
+    /// End-to-end mean stretch from the run summary.
+    pub stretch: f64,
+    /// Placement-quality model stretch (Eq. 5 replayed over the
+    /// decision log) — isolates routing from queueing noise.
+    pub model_stretch: f64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// The unknown-sizes experiment: how does the paper's RSRC placement
+/// degrade as the per-request demand declarations it scores on go from
+/// exact to noisy to absent — and do the attained-service policies
+/// (which never look at declarations) take over?
+///
+/// Every (visibility, policy) cell replays the same UCB trace on the
+/// same p=32 cluster under common random numbers, so differences are
+/// attributable to the information regime alone.
+pub fn unknown_sizes(exp: &ExpConfig) -> Vec<UnknownSizesRow> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use msweb_cluster::{ClusterSim, CollectingObserver, SchedulerRegistry, StageSpec};
+    use msweb_workload::DemandVisibility;
+
+    let p = 32;
+    let inv_r = 40.0;
+    let a0 = ucb().arrival_ratio_a();
+    let r0 = 1.0 / inv_r;
+    let trace = ucb()
+        .generate(exp.requests, &DemandModel::simulation(inv_r), exp.seed)
+        .scaled_to_rate(2_000.0);
+
+    /// One sweep cell: a visibility regime crossed with a policy spec.
+    type Cell = (
+        (&'static str, DemandVisibility),
+        (&'static str, &'static str),
+    );
+
+    let visibilities: [(&str, DemandVisibility); 3] = [
+        ("exact", DemandVisibility::Exact),
+        ("noisy", DemandVisibility::Noisy(1.0)),
+        ("hidden", DemandVisibility::Hidden),
+    ];
+    let cells: Vec<Cell> = visibilities
+        .iter()
+        .flat_map(|&vis| UNKNOWN_SIZES_POLICIES.iter().map(move |&pol| (vis, pol)))
+        .collect();
+
+    Sweep::new(cells, exp.seed)
+        .common_seed()
+        .parallelism(exp.jobs)
+        .run(|&((vis_label, vis), (pol_label, spec)), seed| {
+            let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+                .with_masters(p / 4)
+                .with_seed(seed);
+            let spec = StageSpec::parse(spec).expect("unknown-sizes specs are well-formed");
+            let mut scheduler = SchedulerRegistry::builtin()
+                .compose(&cfg, &spec, a0, r0)
+                .expect("unknown-sizes pipeline composes");
+            let observer: Rc<RefCell<CollectingObserver>> = Rc::default();
+            scheduler.set_observer(Some(Box::new(Rc::clone(&observer))));
+            let mut sim = ClusterSim::with_scheduler(cfg, scheduler)
+                .with_priors(a0, r0)
+                .with_visibility(vis);
+            let summary = sim.run(&trace);
+            let placements: Vec<(usize, u64, u64)> = observer
+                .borrow()
+                .records
+                .iter()
+                .map(|r| (r.chosen, r.at_us, r.demand_us))
+                .collect();
+            UnknownSizesRow {
+                visibility: vis_label.to_string(),
+                policy: pol_label.to_string(),
+                stretch: summary.stretch,
+                model_stretch: msweb_cluster::sched::model_stretch(&placements, p, None),
+                completed: summary.completed,
+            }
+        })
+}
+
+/// The acceptance gate for `msweb experiments --unknown-sizes --test`:
+/// under each demand-blind regime (`noisy`, `hidden`), at least one
+/// attained-service policy must beat RSRC on model stretch.
+pub fn unknown_sizes_check(rows: &[UnknownSizesRow]) -> Result<(), String> {
+    for regime in ["noisy", "hidden"] {
+        let rsrc = rows
+            .iter()
+            .find(|r| r.visibility == regime && r.policy == "rsrc")
+            .ok_or_else(|| format!("no RSRC row for the {regime} regime"))?;
+        let best = rows
+            .iter()
+            .filter(|r| r.visibility == regime && r.policy != "rsrc")
+            .min_by(|a, b| a.model_stretch.total_cmp(&b.model_stretch))
+            .ok_or_else(|| format!("no attained rows for the {regime} regime"))?;
+        if best.model_stretch >= rsrc.model_stretch {
+            return Err(format!(
+                "{regime}: best attained policy ({}, model stretch {:.4}) does not beat \
+                 RSRC ({:.4})",
+                best.policy, best.model_stretch, rsrc.model_stretch
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +889,25 @@ mod tests {
         for r in &rows {
             assert!(r.fixed.completed > 0 && r.adaptive.completed > 0);
         }
+    }
+
+    #[test]
+    fn unknown_sizes_attained_beats_rsrc_when_blind() {
+        let rows = unknown_sizes(&ExpConfig::quick());
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            println!(
+                "{:<8} {:<8} stretch {:.4} model {:.4} completed {}",
+                r.visibility, r.policy, r.stretch, r.model_stretch, r.completed
+            );
+            assert!(
+                r.completed > 0,
+                "{}/{} completed nothing",
+                r.visibility,
+                r.policy
+            );
+        }
+        unknown_sizes_check(&rows).unwrap();
     }
 
     #[test]

@@ -224,53 +224,52 @@ pub enum MasterSelection {
 /// assert!(cfg.validate().is_ok());
 /// ```
 ///
-/// The fields remain `pub` for pattern matching and struct-update syntax,
-/// but direct mutation is deprecated in favour of the builder methods —
-/// the builder keeps construction sites robust against future field
-/// additions and reads as a single expression.
+/// Fields are private: construction goes through the builder methods
+/// (robust against future field additions, reads as one expression) and
+/// inspection through the same-named accessor methods.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of nodes.
-    pub p: usize,
+    p: usize,
     /// Master-count selection (ignored by Flat).
-    pub masters: MasterSelection,
+    masters: MasterSelection,
     /// Scheduling policy.
-    pub policy: PolicyKind,
+    policy: PolicyKind,
     /// Per-node OS parameters.
-    pub os: OsParams,
+    os: OsParams,
     /// Static service rate of one node, requests/second (`μ_h`); used by
     /// Theorem-1 planning. The demands themselves come from the trace.
-    pub mu_h: f64,
+    mu_h: f64,
     /// Load-information update period (the rstat sampling interval).
-    pub monitor_period: SimDuration,
+    monitor_period: SimDuration,
     /// Remote CGI dispatch latency, excluding fork (paper: 1 ms TCP
     /// connection time).
-    pub remote_latency: SimDuration,
+    remote_latency: SimDuration,
     /// Client round-trip penalty for the Redirect baseline (a 1999 WAN
     /// RTT; irrelevant to other policies).
-    pub redirect_rtt: SimDuration,
+    redirect_rtt: SimDuration,
     /// Fraction of each master's CPU and disk capacity reserved for
     /// static processing (§4's "reserve a certain amount of CPU and I/O
     /// ... on each master node"). Dynamic placement sees masters as this
     /// much busier, so they only absorb CGI overflow once slaves are
     /// loaded past the reserve. Ignored by Flat/M/S-nr/M/S′.
-    pub master_reserve: f64,
+    master_reserve: f64,
     /// Per-node CPU speed factors; `None` = homogeneous. Length must be
     /// `p` when present.
-    pub speeds: Option<Vec<f64>>,
+    speeds: Option<Vec<f64>>,
     /// Dynamic-content cache (the Swala extension); `None` disables
     /// caching (the paper's main experiments: "Our work in this paper
     /// does not consider CGI caching").
-    pub cache: Option<CacheConfig>,
+    cache: Option<CacheConfig>,
     /// DNS client-side caching skew for the front end, in [0, 1): 0 is
     /// ideal uniform rotation; larger values concentrate arrivals on the
     /// nodes whose addresses clients have cached (§2: "DNS round-robin
     /// rotation does not evenly distribute the load among servers, due to
     /// ... DNS entry caching"). Entry node i is drawn with weight
     /// `(1 − skew)^i`.
-    pub dns_skew: f64,
+    dns_skew: f64,
     /// RNG seed for dispatch decisions.
-    pub seed: u64,
+    seed: u64,
 }
 
 impl ClusterConfig {
@@ -359,6 +358,93 @@ impl ClusterConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Switch the scheduling policy, keeping every other parameter.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the client round-trip penalty charged by the Redirect
+    /// baseline.
+    pub fn with_redirect_rtt(mut self, rtt: SimDuration) -> Self {
+        self.redirect_rtt = rtt;
+        self
+    }
+
+    /// Replace the master-selection rule wholesale (see
+    /// [`ClusterConfig::with_masters`] / [`ClusterConfig::with_auto_masters`]
+    /// for the common cases).
+    pub fn with_master_selection(mut self, masters: MasterSelection) -> Self {
+        self.masters = masters;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Master-count selection rule (resolve with
+    /// [`ClusterConfig::resolve_masters`]).
+    pub fn masters(&self) -> MasterSelection {
+        self.masters
+    }
+
+    /// Scheduling policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Per-node OS parameters.
+    pub fn os(&self) -> &OsParams {
+        &self.os
+    }
+
+    /// Static service rate `μ_h` used by Theorem-1 planning.
+    pub fn mu_h(&self) -> f64 {
+        self.mu_h
+    }
+
+    /// Load-information update period.
+    pub fn monitor_period(&self) -> SimDuration {
+        self.monitor_period
+    }
+
+    /// Remote CGI dispatch latency.
+    pub fn remote_latency(&self) -> SimDuration {
+        self.remote_latency
+    }
+
+    /// Client round-trip penalty for the Redirect baseline.
+    pub fn redirect_rtt(&self) -> SimDuration {
+        self.redirect_rtt
+    }
+
+    /// Fraction of master capacity reserved for static work.
+    pub fn master_reserve(&self) -> f64 {
+        self.master_reserve
+    }
+
+    /// Per-node CPU speed factors; `None` = homogeneous.
+    pub fn speeds(&self) -> Option<&[f64]> {
+        self.speeds.as_deref()
+    }
+
+    /// Dynamic-content cache configuration, when enabled.
+    pub fn cache(&self) -> Option<&CacheConfig> {
+        self.cache.as_ref()
+    }
+
+    /// DNS client-side caching skew in `[0, 1)`.
+    pub fn dns_skew(&self) -> f64 {
+        self.dns_skew
+    }
+
+    /// Dispatch-decision RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Resolve the number of masters for this configuration.

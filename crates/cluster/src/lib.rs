@@ -57,17 +57,15 @@ pub use metrics::{Level, Metrics, RunSummary};
 pub use reservation::ReservationController;
 pub use rsrc::RsrcPredictor;
 pub use sched::{
-    analyze, AnalysisReport, CollectingObserver, ComposeError, DecisionObserver, DecisionRecord,
-    Dispatcher, DropRecord, DynScheduler, JsonlSink, NodeSample, Placement, PlacementError,
-    PolicyScheduler, ReplayError, ReplayOptions, RunMeta, Schedule, Scheduler, SchedulerRegistry,
-    StageKind, StageSpec, TraceEvent, TraceLog,
+    analyze, AnalysisReport, AttainedService, CollectingObserver, ComposeError, DecisionObserver,
+    DecisionRecord, Dispatcher, DropRecord, DynScheduler, JsonlSink, NodeSample, Placement,
+    PlacementError, PolicyScheduler, Provenance, ReplayError, ReplayOptions, ReqKnowledge, RunMeta,
+    Schedule, Scheduler, SchedulerRegistry, StageKind, StageSpec, TraceEvent, TraceLog,
 };
 pub use sim::{
     policy_sim, policy_sim_from_stats, simulate, simulate_source, ClusterSim, RunOptions,
     RunOutcome, WorkloadStats,
 };
-#[allow(deprecated)]
-pub use sim::{run_policy, run_policy_telemetry, run_policy_with_observer};
 pub use telemetry::{
     render_top, SchedTelemetry, ScorerPaths, Stage, TelemetryProbe, TelemetrySnapshot, WindowSample,
 };

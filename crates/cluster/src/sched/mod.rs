@@ -8,7 +8,7 @@
 //! `Dispatcher` into five stage traits — [`EntrySelector`],
 //! [`Admission`], [`CandidateSet`], [`Scorer`] and [`ChargeBack`] —
 //! composed into a [`Scheduler`] value that both the event-driven
-//! simulator (`ClusterSim`) and the live emulation (`emu::run_live`)
+//! simulator (`ClusterSim`) and the live emulation (`emu::emulate`)
 //! consume unchanged.
 //!
 //! [`PolicyKind`] is now a thin factory: [`PolicyScheduler::new`] maps
@@ -25,6 +25,7 @@
 //! installed.
 
 pub mod index;
+pub mod knowledge;
 pub mod registry;
 pub mod replay;
 pub mod stages;
@@ -40,8 +41,9 @@ use msweb_simcore::rng::SimRng;
 use msweb_simcore::time::{SimDuration, SimTime};
 
 pub use index::RsrcIndex;
+pub use knowledge::{AttainedService, Provenance, ReqKnowledge};
 pub use registry::{ComposeError, SchedulerRegistry, StageSpec};
-pub use replay::{analyze, AnalysisReport, ReplayError, ReplayOptions, StageKind};
+pub use replay::{analyze, model_stretch, AnalysisReport, ReplayError, ReplayOptions, StageKind};
 pub use stages::{AdmissionStage, CandidateStage, ChargeStage, EntryStage, ScoreStage};
 pub use trace::{
     encode_event, parse_line, CollectingObserver, DecisionObserver, DecisionRecord, DropRecord,
@@ -117,6 +119,9 @@ pub struct StageCtx<'a> {
     /// load-state mirrors (the decision index) can detect deaths and
     /// revivals without scanning `dead`.
     pub liveness_epoch: u64,
+    /// Per-in-flight attained-service accounting fed by the driving
+    /// substrate; the demand signal size-oblivious stages rank by.
+    pub attained: &'a AttainedService,
 }
 
 impl StageCtx<'_> {
@@ -144,13 +149,14 @@ pub trait EntrySelector {
 }
 
 /// Stage 2: admission control for master nodes (the reservation
-/// controller of §4.2, or a no-op).
+/// controller of §4.2, an attained-service backlog gate, or a no-op).
 pub trait Admission {
     /// Whether the composed scheduler should run its reservation
     /// controller in enforcing mode (used at construction time).
     fn enforces_reservation(&self) -> bool;
-    /// Whether masters may receive dynamic requests right now.
-    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool;
+    /// Whether masters may receive dynamic requests right now, given
+    /// the declared knowledge about the request.
+    fn master_eligible(&self, ctx: &StageCtx<'_>, know: ReqKnowledge) -> bool;
     /// Record the final placement level with the controller.
     fn note_placement(&self, reservation: &mut ReservationController, on_master: bool);
 }
@@ -178,12 +184,19 @@ pub trait CandidateSet {
 /// Stage 4: pick one node from the (shuffled) candidate set.
 pub trait Scorer {
     /// Choose the best candidate, or `None` when the set is empty.
-    fn choose(&self, ctx: &mut StageCtx<'_>, candidates: &[usize], sampled_w: f64)
-        -> Option<usize>;
+    /// `know` is the request's *declared* demand knowledge; scorers
+    /// that rank by attained service read [`StageCtx::attained`]
+    /// instead of trusting it.
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        know: ReqKnowledge,
+    ) -> Option<usize>;
     /// Score a single node for tracing purposes (lower is better for
     /// cost-based scorers). Never called on the hot path.
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
-        let _ = (ctx, node, sampled_w);
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
+        let _ = (ctx, node, know);
         0.0
     }
     /// Cumulative counts of which internal path resolved each `choose`
@@ -198,8 +211,11 @@ pub trait Scorer {
 /// stale load view so back-to-back decisions within one monitor window
 /// see the earlier commitments.
 pub trait ChargeBack {
-    /// Charge `expected` service demand (CPU weight `w`) to `node`.
-    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64);
+    /// Charge the request's declared expected demand to `node`. The
+    /// scheduler hands this stage knowledge whose `w` has already been
+    /// passed through [`RsrcPredictor::effective_w`] (clamped, with the
+    /// no-sampling fallback applied).
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, know: ReqKnowledge);
 }
 
 impl EntrySelector for Box<dyn EntrySelector> {
@@ -212,8 +228,8 @@ impl Admission for Box<dyn Admission> {
     fn enforces_reservation(&self) -> bool {
         (**self).enforces_reservation()
     }
-    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool {
-        (**self).master_eligible(ctx)
+    fn master_eligible(&self, ctx: &StageCtx<'_>, know: ReqKnowledge) -> bool {
+        (**self).master_eligible(ctx, know)
     }
     fn note_placement(&self, reservation: &mut ReservationController, on_master: bool) {
         (**self).note_placement(reservation, on_master)
@@ -240,12 +256,12 @@ impl Scorer for Box<dyn Scorer> {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        sampled_w: f64,
+        know: ReqKnowledge,
     ) -> Option<usize> {
-        (**self).choose(ctx, candidates, sampled_w)
+        (**self).choose(ctx, candidates, know)
     }
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
-        (**self).score(ctx, node, sampled_w)
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
+        (**self).score(ctx, node, know)
     }
     fn path_counts(&self) -> Option<ScorerPaths> {
         (**self).path_counts()
@@ -253,8 +269,8 @@ impl Scorer for Box<dyn Scorer> {
 }
 
 impl ChargeBack for Box<dyn ChargeBack> {
-    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
-        (**self).debit(monitor, node, expected, w)
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, know: ReqKnowledge) {
+        (**self).debit(monitor, node, know)
     }
 }
 
@@ -279,7 +295,7 @@ pub struct Stages<E, A, C, S, G> {
 /// Built-in policies use the statically dispatched
 /// [`PolicyScheduler`] alias; registry compositions use the boxed
 /// [`DynScheduler`]. Both implement [`Schedule`], the driver-facing
-/// surface consumed by `ClusterSim` and `emu::run_live`.
+/// surface consumed by `ClusterSim` and `emu::emulate`.
 pub struct Scheduler<E, A, C, S, G> {
     entry: E,
     admission: A,
@@ -313,6 +329,10 @@ pub struct Scheduler<E, A, C, S, G> {
     /// Set while `replace_after_failure` runs so the emitted record is
     /// marked as a post-failure restart.
     restarting: bool,
+    /// Attained-service books, fed by the driver through the
+    /// [`Schedule::note_service_*`](Schedule::note_service_start)
+    /// calls and read by stages through [`StageCtx::attained`].
+    attained: AttainedService,
 }
 
 /// Statically dispatched scheduler covering every built-in
@@ -352,11 +372,11 @@ where
         r0: f64,
     ) -> Result<Self, crate::config::ConfigError> {
         config.validate()?;
-        let p = config.p;
+        let p = config.p();
         let m = config.resolve_masters();
-        let use_sampling = config.policy != PolicyKind::MsNoSampling;
-        let rsrc = match &config.speeds {
-            Some(s) => RsrcPredictor::with_speeds(s.clone(), use_sampling),
+        let use_sampling = config.policy() != PolicyKind::MsNoSampling;
+        let rsrc = match config.speeds() {
+            Some(s) => RsrcPredictor::with_speeds(s.to_vec(), use_sampling),
             None => RsrcPredictor::homogeneous(p, use_sampling),
         };
         let enforce = stages.admission.enforces_reservation();
@@ -372,10 +392,10 @@ where
             m,
             rsrc,
             reservation,
-            remote_latency: config.remote_latency,
-            redirect_rtt: config.redirect_rtt,
-            pay_redirect: config.policy == PolicyKind::Redirect,
-            rng: SimRng::seed_from_u64(config.seed ^ 0xd15b),
+            remote_latency: config.remote_latency(),
+            redirect_rtt: config.redirect_rtt(),
+            pay_redirect: config.policy() == PolicyKind::Redirect,
+            rng: SimRng::seed_from_u64(config.seed() ^ 0xd15b),
             buf: Vec::with_capacity(p),
             dead: vec![false; p],
             in_flight: vec![0; p],
@@ -385,6 +405,7 @@ where
             telemetry: None,
             pending: None,
             restarting: false,
+            attained: AttainedService::new(p),
         })
     }
 
@@ -507,15 +528,14 @@ where
 
     /// Run the pipeline for one request.
     ///
-    /// `dynamic` distinguishes CGI-class requests from statics,
-    /// `sampled_w` is the request's sampled CPU weight (Eq. 5 `w`),
-    /// `expected_service` its expected demand for charge-back, and
-    /// `monitor` the shared (stale) load view.
+    /// `dynamic` distinguishes CGI-class requests from statics, `know`
+    /// carries the request's *declared* demand knowledge (Eq. 5 `w`,
+    /// the expected demand for charge-back, and its provenance), and
+    /// `monitor` is the shared (stale) load view.
     pub fn place(
         &mut self,
         dynamic: bool,
-        sampled_w: f64,
-        expected_service: SimDuration,
+        know: ReqKnowledge,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
         let pending = self.pending.take();
@@ -539,6 +559,7 @@ where
                 load_epoch: monitor.epoch(),
                 charge_log: monitor.charges(),
                 liveness_epoch: self.liveness,
+                attained: &self.attained,
             };
             match self.entry.select_entry(&mut ctx) {
                 Ok(entry) => entry,
@@ -555,7 +576,9 @@ where
             t.mark(Stage::Entry);
         }
         self.reservation.note_arrival(dynamic);
-        let w = self.rsrc.effective_w(sampled_w);
+        // The charge-back stage sees the *effective* weight (clamped,
+        // no-sampling fallback applied); scorers keep the declaration.
+        let charge_know = know.with_w(self.rsrc.effective_w(know.w));
 
         let mut buf = std::mem::take(&mut self.buf);
         buf.clear();
@@ -572,8 +595,9 @@ where
                 load_epoch: monitor.epoch(),
                 charge_log: monitor.charges(),
                 liveness_epoch: self.liveness,
+                attained: &self.attained,
             };
-            let masters_ok = self.admission.master_eligible(&ctx);
+            let masters_ok = self.admission.master_eligible(&ctx, know);
             if let Some(t) = &mut spans {
                 t.mark(Stage::Admission);
             }
@@ -587,7 +611,7 @@ where
         let mut trace_scores: Vec<f64> = Vec::new();
         let placement = match decision {
             CandidateDecision::Stay => {
-                self.charge.debit(monitor, entry, expected_service, w);
+                self.charge.debit(monitor, entry, charge_know);
                 if let Some(t) = &mut spans {
                     t.mark(Stage::Charge);
                 }
@@ -613,12 +637,12 @@ where
                         load_epoch: monitor.epoch(),
                         charge_log: monitor.charges(),
                         liveness_epoch: self.liveness,
+                        attained: &self.attained,
                     };
                     if self.observer.is_some() {
-                        trace_scores
-                            .extend(buf.iter().map(|&n| self.scorer.score(&ctx, n, sampled_w)));
+                        trace_scores.extend(buf.iter().map(|&n| self.scorer.score(&ctx, n, know)));
                     }
-                    self.scorer.choose(&mut ctx, &buf, sampled_w)
+                    self.scorer.choose(&mut ctx, &buf, know)
                 };
                 if let Some(t) = &mut spans {
                     t.mark(Stage::Scorer);
@@ -634,7 +658,7 @@ where
                     self.buf = buf;
                     return Err(PlacementError::NoLiveNodes);
                 };
-                self.charge.debit(monitor, node, expected_service, w);
+                self.charge.debit(monitor, node, charge_know);
                 if let Some(t) = &mut spans {
                     t.mark(Stage::Charge);
                 }
@@ -699,8 +723,8 @@ where
                 req,
                 at_us: at.0,
                 demand_us: demand.as_micros(),
-                w: sampled_w,
-                expected_us: expected_service.as_micros(),
+                w: know.w,
+                expected_us: know.expected.as_micros(),
                 masters_ok,
                 restart: self.restarting,
             };
@@ -717,12 +741,11 @@ where
     pub fn replace_after_failure(
         &mut self,
         dynamic: bool,
-        sampled_w: f64,
-        expected_service: SimDuration,
+        know: ReqKnowledge,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
         self.restarting = true;
-        let placed = self.place(dynamic, sampled_w, expected_service, monitor);
+        let placed = self.place(dynamic, know, monitor);
         self.restarting = false;
         let mut placement = placed?;
         if placement.latency.is_zero() {
@@ -730,26 +753,55 @@ where
         }
         Ok(placement)
     }
+
+    /// Begin attained-service accounting for request `tag` on `node`
+    /// (service has started; attained time is zero).
+    pub fn note_service_start(&mut self, node: usize, tag: u64) {
+        self.attained.start(node, tag);
+    }
+
+    /// Raise request `tag`'s attained service (from the driver's tick
+    /// accounting; monotone, and the driver caps it at the truth).
+    pub fn note_service_progress(&mut self, node: usize, tag: u64, attained: SimDuration) {
+        self.attained.progress(node, tag, attained);
+    }
+
+    /// Close the attained-service books for request `tag`: it completed
+    /// having received exactly `total` service. This is a sanctioned
+    /// truth leak — at completion the size is observable by definition.
+    pub fn note_service_end(&mut self, node: usize, tag: u64, total: SimDuration) {
+        self.attained.finish(node, tag, total);
+    }
+
+    /// Drop request `tag`'s attained-service entry without completing
+    /// it (the request was lost to a node failure).
+    pub fn note_service_lost(&mut self, node: usize, tag: u64) {
+        self.attained.forget(node, tag);
+    }
+
+    /// The attained-service books (read-only; tests and size-oblivious
+    /// analysis).
+    pub fn attained(&self) -> &AttainedService {
+        &self.attained
+    }
 }
 
 /// Driver-facing surface of a composed scheduler: everything
-/// `ClusterSim` and `emu::run_live` need, independent of the concrete
+/// `ClusterSim` and `emu::emulate` need, independent of the concrete
 /// stage types. Implemented by every [`Scheduler`] instantiation.
 pub trait Schedule {
     /// See [`Scheduler::place`].
     fn place(
         &mut self,
         dynamic: bool,
-        sampled_w: f64,
-        expected_service: SimDuration,
+        know: ReqKnowledge,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError>;
     /// See [`Scheduler::replace_after_failure`].
     fn replace_after_failure(
         &mut self,
         dynamic: bool,
-        sampled_w: f64,
-        expected_service: SimDuration,
+        know: ReqKnowledge,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError>;
     /// See [`Scheduler::masters`].
@@ -787,6 +839,28 @@ pub trait Schedule {
     fn scorer_path_counts(&self) -> Option<ScorerPaths> {
         None
     }
+    /// See [`Scheduler::note_service_start`]. Defaults to a no-op so
+    /// third-party `Schedule` impls keep compiling.
+    fn note_service_start(&mut self, node: usize, tag: u64) {
+        let _ = (node, tag);
+    }
+    /// See [`Scheduler::note_service_progress`]. Defaults to a no-op.
+    fn note_service_progress(&mut self, node: usize, tag: u64, attained: SimDuration) {
+        let _ = (node, tag, attained);
+    }
+    /// See [`Scheduler::note_service_end`]. Defaults to a no-op.
+    fn note_service_end(&mut self, node: usize, tag: u64, total: SimDuration) {
+        let _ = (node, tag, total);
+    }
+    /// See [`Scheduler::note_service_lost`]. Defaults to a no-op.
+    fn note_service_lost(&mut self, node: usize, tag: u64) {
+        let _ = (node, tag);
+    }
+    /// See [`Scheduler::attained`]. Defaults to `None` for impls that
+    /// do not track attained service.
+    fn attained(&self) -> Option<&AttainedService> {
+        None
+    }
 }
 
 impl<E, A, C, S, G> Schedule for Scheduler<E, A, C, S, G>
@@ -800,20 +874,18 @@ where
     fn place(
         &mut self,
         dynamic: bool,
-        sampled_w: f64,
-        expected_service: SimDuration,
+        know: ReqKnowledge,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
-        Scheduler::place(self, dynamic, sampled_w, expected_service, monitor)
+        Scheduler::place(self, dynamic, know, monitor)
     }
     fn replace_after_failure(
         &mut self,
         dynamic: bool,
-        sampled_w: f64,
-        expected_service: SimDuration,
+        know: ReqKnowledge,
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
-        Scheduler::replace_after_failure(self, dynamic, sampled_w, expected_service, monitor)
+        Scheduler::replace_after_failure(self, dynamic, know, monitor)
     }
     fn masters(&self) -> usize {
         Scheduler::masters(self)
@@ -856,6 +928,21 @@ where
     }
     fn scorer_path_counts(&self) -> Option<ScorerPaths> {
         Scheduler::scorer_path_counts(self)
+    }
+    fn note_service_start(&mut self, node: usize, tag: u64) {
+        Scheduler::note_service_start(self, node, tag)
+    }
+    fn note_service_progress(&mut self, node: usize, tag: u64, attained: SimDuration) {
+        Scheduler::note_service_progress(self, node, tag, attained)
+    }
+    fn note_service_end(&mut self, node: usize, tag: u64, total: SimDuration) {
+        Scheduler::note_service_end(self, node, tag, total)
+    }
+    fn note_service_lost(&mut self, node: usize, tag: u64) {
+        Scheduler::note_service_lost(self, node, tag)
+    }
+    fn attained(&self) -> Option<&AttainedService> {
+        Some(Scheduler::attained(self))
     }
 }
 

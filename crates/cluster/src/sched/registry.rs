@@ -7,9 +7,10 @@
 //! policies are built from.
 
 use super::stages::{
-    CpuOnlyCharge, EntryOnly, LeastConnectionsEntry, LeastConnectionsScorer, LevelCandidates,
-    MinRsrcScorer, NoAdmission, PinnedCandidates, PowerOfKScorer, RandomScorer,
-    ReservationAdmission, RotationEntry, SplitDemandCharge,
+    AttainedAdmission, CpuOnlyCharge, EntryOnly, GittinsScorer, LasScorer, LeastConnectionsEntry,
+    LeastConnectionsScorer, LevelCandidates, MinRsrcScorer, NoAdmission, PinnedCandidates,
+    PowerOfKScorer, RandomScorer, ReservationAdmission, RotationEntry, SerptScorer,
+    SplitDemandCharge,
 };
 use super::{
     Admission, CandidateSet, ChargeBack, DynScheduler, EntrySelector, Scheduler, Scorer, Stages,
@@ -223,9 +224,9 @@ impl SchedulerRegistry {
     /// | kind | names |
     /// |---|---|
     /// | entry | `rotation`, `rotation-masters`, `least-connections` |
-    /// | admission | `reservation`, `reservation-observe`, `none` |
+    /// | admission | `reservation`, `reservation-observe`, `attained`, `none` |
     /// | candidates | `level-split`, `pinned-slaves`, `entry-only` |
-    /// | scorer | `min-rsrc`, `min-rsrc-reserve`, `rsrc-indexed`, `rsrc-indexed-reserve`, `rsrc-p2:<k>`, `least-connections`, `random` |
+    /// | scorer | `min-rsrc`, `min-rsrc-reserve`, `rsrc-indexed`, `rsrc-indexed-reserve`, `rsrc-p2:<k>`, `least-connections`, `random`, `gittins`, `serpt`, `las` |
     /// | charge | `split-demand`, `cpu-only` |
     ///
     /// Parameterised stages read their parameters (DNS skew, master
@@ -237,14 +238,17 @@ impl SchedulerRegistry {
     /// ([`super::index`]); `rsrc-p2:<k>` is the approximate
     /// power-of-k-choices rule (`k ≥ 1` uniform samples per decision),
     /// registered as a *family* — the part after `:` is parsed as the
-    /// sample count.
+    /// sample count. `gittins`/`serpt`/`las` rank by attained service
+    /// (see [`super::knowledge`]) and stay meaningful when demand
+    /// declarations are hidden or noisy; `attained` admission is their
+    /// size-oblivious master-protection counterpart.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register_entry("rotation", |c| {
-            Box::new(RotationEntry::over_all(c.dns_skew))
+            Box::new(RotationEntry::over_all(c.dns_skew()))
         });
         r.register_entry("rotation-masters", |c| {
-            Box::new(RotationEntry::over_masters(c.dns_skew))
+            Box::new(RotationEntry::over_masters(c.dns_skew()))
         });
         r.register_entry("least-connections", |_| Box::new(LeastConnectionsEntry));
         r.register_admission("reservation", |_| {
@@ -253,17 +257,18 @@ impl SchedulerRegistry {
         r.register_admission("reservation-observe", |_| {
             Box::new(ReservationAdmission { enforce: false })
         });
+        r.register_admission("attained", |_| Box::new(AttainedAdmission));
         r.register_admission("none", |_| Box::new(NoAdmission));
         r.register_candidates("level-split", |_| Box::new(LevelCandidates));
         r.register_candidates("pinned-slaves", |c| Box::new(PinnedCandidates::slaves(c)));
         r.register_candidates("entry-only", |_| Box::new(EntryOnly));
         r.register_scorer("min-rsrc", |_| Box::new(MinRsrcScorer::dense(0.0)));
         r.register_scorer("min-rsrc-reserve", |c| {
-            Box::new(MinRsrcScorer::dense(c.master_reserve))
+            Box::new(MinRsrcScorer::dense(c.master_reserve()))
         });
         r.register_scorer("rsrc-indexed", |_| Box::new(MinRsrcScorer::indexed(0.0)));
         r.register_scorer("rsrc-indexed-reserve", |c| {
-            Box::new(MinRsrcScorer::indexed(c.master_reserve))
+            Box::new(MinRsrcScorer::indexed(c.master_reserve()))
         });
         r.register_scorer_family("rsrc-p2", |c, arg| {
             let k: usize = arg
@@ -272,10 +277,13 @@ impl SchedulerRegistry {
             if k == 0 {
                 return Err("sample count must be at least 1".to_string());
             }
-            Ok(Box::new(PowerOfKScorer::new(k, c.master_reserve)))
+            Ok(Box::new(PowerOfKScorer::new(k, c.master_reserve())))
         });
         r.register_scorer("least-connections", |_| Box::new(LeastConnectionsScorer));
         r.register_scorer("random", |_| Box::new(RandomScorer));
+        r.register_scorer("gittins", |_| Box::new(GittinsScorer));
+        r.register_scorer("serpt", |_| Box::new(SerptScorer));
+        r.register_scorer("las", |_| Box::new(LasScorer));
         r.register_charge("split-demand", |_| Box::new(SplitDemandCharge));
         r.register_charge("cpu-only", |_| Box::new(CpuOnlyCharge));
         r

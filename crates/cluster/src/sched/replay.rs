@@ -45,7 +45,7 @@ use msweb_simcore::{SimDuration, SimTime};
 
 use super::registry::{SchedulerRegistry, StageSpec};
 use super::trace::{DecisionRecord, TraceEvent, TraceLog, TRACE_SCHEMA_VERSION};
-use super::{CollectingObserver, ComposeError, RunMeta};
+use super::{CollectingObserver, ComposeError, ReqKnowledge, RunMeta};
 use crate::config::{ClusterConfig, PolicyKind};
 use serde::Value;
 
@@ -421,8 +421,8 @@ fn config_from_meta(meta: &RunMeta) -> Result<(ClusterConfig, PolicyKind), Repla
         .with_dns_skew(meta.dns_skew)
         .with_monitor_period(SimDuration::from_micros(meta.monitor_period_us))
         .with_remote_latency(SimDuration::from_micros(meta.remote_latency_us))
-        .with_seed(meta.seed);
-    cfg.redirect_rtt = SimDuration::from_micros(meta.redirect_rtt_us);
+        .with_seed(meta.seed)
+        .with_redirect_rtt(SimDuration::from_micros(meta.redirect_rtt_us));
     if let Some(speeds) = &meta.speeds {
         cfg = cfg.with_speeds(speeds.clone());
     }
@@ -478,6 +478,16 @@ fn first_divergent_stage(f: &DecisionRecord, c: &DecisionRecord) -> Option<Stage
 /// model, so the *difference* isolates the placement decisions from the
 /// model's simplifications (no memory, no disk phases, no transfers).
 fn ps_model_stretch(placements: &[(usize, u64, u64)], p: usize, speeds: Option<&[f64]>) -> f64 {
+    model_stretch(placements, p, speeds)
+}
+
+/// Public entry to the replay analyzer's processor-sharing stretch
+/// model, for experiments that compare placement lists produced outside
+/// a decision log (e.g. the `unknown-sizes` sweep). `placements` is
+/// `(node, arrival µs, true demand µs)` per request; `speeds` optionally
+/// scales per-node capacity. See [`ReplayReport::model_stretch_factual`]
+/// for the modelling caveats.
+pub fn model_stretch(placements: &[(usize, u64, u64)], p: usize, speeds: Option<&[f64]>) -> f64 {
     // Per node: (arrival s, service s on this node, raw demand s).
     let mut per_node: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); p];
     for &(node, at_us, demand_us) in placements {
@@ -609,7 +619,8 @@ pub fn analyze(log: &TraceLog, opts: &ReplayOptions) -> Result<AnalysisReport, R
     let mut scheduler = registry.compose(&cfg, &replay_spec, meta.a0, meta.r0)?;
     let collector = std::rc::Rc::new(std::cell::RefCell::new(CollectingObserver::default()));
     scheduler.set_observer(Some(Box::new(collector.clone())));
-    let mut monitor = crate::loadinfo::LoadMonitor::new(meta.p, cfg.monitor_period, SimTime::ZERO);
+    let mut monitor =
+        crate::loadinfo::LoadMonitor::new(meta.p, cfg.monitor_period(), SimTime::ZERO);
 
     let mut report = AnalysisReport {
         schema_version: TRACE_SCHEMA_VERSION,
@@ -679,20 +690,14 @@ pub fn analyze(log: &TraceLog, opts: &ReplayOptions) -> Result<AnalysisReport, R
                     SimTime(f.at_us),
                     SimDuration::from_micros(f.demand_us),
                 );
+                // Replay re-declares exactly what the recorded run
+                // declared (`w`/`expected_us` are the declaration; the
+                // truth lives in `demand_us` via `note_request`).
+                let know = ReqKnowledge::exact(f.w, SimDuration::from_micros(f.expected_us));
                 let placed = if f.restart {
-                    scheduler.replace_after_failure(
-                        f.dynamic,
-                        f.w,
-                        SimDuration::from_micros(f.expected_us),
-                        &mut monitor,
-                    )
+                    scheduler.replace_after_failure(f.dynamic, know, &mut monitor)
                 } else {
-                    scheduler.place(
-                        f.dynamic,
-                        f.w,
-                        SimDuration::from_micros(f.expected_us),
-                        &mut monitor,
-                    )
+                    scheduler.place(f.dynamic, know, &mut monitor)
                 };
                 if f.chosen < meta.p {
                     let speed = speeds.map_or(1.0, |s| s[f.chosen]).max(1e-9);
@@ -804,20 +809,11 @@ pub fn analyze(log: &TraceLog, opts: &ReplayOptions) -> Result<AnalysisReport, R
                     // lockstep. A different composition may even manage
                     // to place the request.
                     scheduler.note_request(d.req, SimTime(d.at_us), SimDuration::ZERO);
+                    let know = ReqKnowledge::exact(d.w, SimDuration::from_micros(d.expected_us));
                     let placed = if d.restart {
-                        scheduler.replace_after_failure(
-                            d.dynamic,
-                            d.w,
-                            SimDuration::from_micros(d.expected_us),
-                            &mut monitor,
-                        )
+                        scheduler.replace_after_failure(d.dynamic, know, &mut monitor)
                     } else {
-                        scheduler.place(
-                            d.dynamic,
-                            d.w,
-                            SimDuration::from_micros(d.expected_us),
-                            &mut monitor,
-                        )
+                        scheduler.place(d.dynamic, know, &mut monitor)
                     };
                     match placed {
                         Ok(_) => {

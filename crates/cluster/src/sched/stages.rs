@@ -10,8 +10,8 @@
 
 use super::index::{RsrcIndex, INDEX_MIN_CANDIDATES};
 use super::{
-    Admission, CandidateDecision, CandidateSet, ChargeBack, EntrySelector, PlacementError, Scorer,
-    StageCtx, Stages,
+    Admission, CandidateDecision, CandidateSet, ChargeBack, EntrySelector, PlacementError,
+    ReqKnowledge, Scorer, StageCtx, Stages,
 };
 use crate::config::{ClusterConfig, PolicyKind};
 use crate::loadinfo::LoadMonitor;
@@ -142,7 +142,7 @@ impl Admission for ReservationAdmission {
     fn enforces_reservation(&self) -> bool {
         self.enforce
     }
-    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool {
+    fn master_eligible(&self, ctx: &StageCtx<'_>, _know: ReqKnowledge) -> bool {
         // With m = p there is no slave level to protect.
         ctx.masters == ctx.nodes() || ctx.reservation.master_eligible()
     }
@@ -160,8 +160,36 @@ impl Admission for NoAdmission {
     fn enforces_reservation(&self) -> bool {
         false
     }
-    fn master_eligible(&self, _ctx: &StageCtx<'_>) -> bool {
+    fn master_eligible(&self, _ctx: &StageCtx<'_>, _know: ReqKnowledge) -> bool {
         true
+    }
+    fn note_placement(&self, _reservation: &mut ReservationController, _on_master: bool) {}
+}
+
+/// Attained-service-aware admission: masters take dynamic requests only
+/// while their per-node attained backlog (service already sunk into
+/// in-flight work) stays at or below the slave level's. A size-oblivious
+/// stand-in for the reservation controller — it needs no demand
+/// declarations at all, only the [`AttainedService`](super::AttainedService)
+/// feed, so it composes honestly with `Hidden` demands.
+#[derive(Debug, Clone, Default)]
+pub struct AttainedAdmission;
+
+impl Admission for AttainedAdmission {
+    fn enforces_reservation(&self) -> bool {
+        false
+    }
+    fn master_eligible(&self, ctx: &StageCtx<'_>, _know: ReqKnowledge) -> bool {
+        let p = ctx.nodes();
+        let m = ctx.masters;
+        if m == 0 || m >= p {
+            return true;
+        }
+        let level_mean = |lo: usize, hi: usize| {
+            let sum: u64 = (lo..hi).map(|n| ctx.attained.total(n).as_micros()).sum();
+            sum as f64 / (hi - lo) as f64
+        };
+        level_mean(0, m) <= level_mean(m, p)
     }
     fn note_placement(&self, _reservation: &mut ReservationController, _on_master: bool) {}
 }
@@ -216,7 +244,7 @@ impl PinnedCandidates {
     /// Pin dynamics to the would-be slave set of `config` (the last
     /// `p − m` nodes; all nodes when `m = p`).
     pub fn slaves(config: &ClusterConfig) -> Self {
-        let p = config.p;
+        let p = config.p();
         let m = config.resolve_masters();
         let nodes = if m < p {
             (m..p).collect()
@@ -367,8 +395,9 @@ impl Scorer for MinRsrcScorer {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        sampled_w: f64,
+        know: ReqKnowledge,
     ) -> Option<usize> {
+        let sampled_w = know.w;
         let Some(cell) = &self.index else {
             bump(&self.paths.dense_unindexed);
             return self.dense_choose(ctx, candidates, sampled_w);
@@ -418,14 +447,14 @@ impl Scorer for MinRsrcScorer {
         bump(&self.paths.indexed);
         index.choose_in_range(lo, hi, ctx.rsrc.effective_w(sampled_w), candidates)
     }
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
         let reserve = if node < ctx.masters {
             self.master_reserve
         } else {
             0.0
         };
         ctx.rsrc
-            .cost_reserved(node, &ctx.loads[node], sampled_w, reserve)
+            .cost_reserved(node, &ctx.loads[node], know.w, reserve)
     }
     fn path_counts(&self) -> Option<ScorerPaths> {
         Some(self.paths.snapshot())
@@ -461,7 +490,7 @@ impl Scorer for PowerOfKScorer {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        sampled_w: f64,
+        know: ReqKnowledge,
     ) -> Option<usize> {
         if candidates.is_empty() {
             return None;
@@ -471,7 +500,7 @@ impl Scorer for PowerOfKScorer {
         for _ in 0..self.k {
             let n = candidates[ctx.rng.gen_index(candidates.len())];
             let reserve = if n < m { self.master_reserve } else { 0.0 };
-            let c = ctx.rsrc.cost_reserved(n, &ctx.loads[n], sampled_w, reserve);
+            let c = ctx.rsrc.cost_reserved(n, &ctx.loads[n], know.w, reserve);
             match best {
                 Some((_, bc)) if bc <= c => {}
                 _ => best = Some((n, c)),
@@ -479,14 +508,14 @@ impl Scorer for PowerOfKScorer {
         }
         best.map(|(n, _)| n)
     }
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
         let reserve = if node < ctx.masters {
             self.master_reserve
         } else {
             0.0
         };
         ctx.rsrc
-            .cost_reserved(node, &ctx.loads[node], sampled_w, reserve)
+            .cost_reserved(node, &ctx.loads[node], know.w, reserve)
     }
 }
 
@@ -500,11 +529,11 @@ impl Scorer for LeastConnectionsScorer {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        _sampled_w: f64,
+        _know: ReqKnowledge,
     ) -> Option<usize> {
         candidates.iter().copied().min_by_key(|&n| ctx.in_flight[n])
     }
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, _sampled_w: f64) -> f64 {
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, _know: ReqKnowledge) -> f64 {
         ctx.in_flight[node] as f64
     }
 }
@@ -518,7 +547,7 @@ impl Scorer for RandomScorer {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        _sampled_w: f64,
+        _know: ReqKnowledge,
     ) -> Option<usize> {
         if candidates.is_empty() {
             return None;
@@ -527,15 +556,118 @@ impl Scorer for RandomScorer {
     }
 }
 
+/// Floor on per-job expected remaining work, keeping SERPT scores
+/// strictly positive even when attained service has overtaken the
+/// declared expectation.
+const SERPT_FLOOR_US: u64 = 1;
+
+/// Gittins-style scoring under a heavy-tailed (Pareto-like) demand
+/// prior: a job that has already attained `a` has posterior mean
+/// remaining work growing with `a`, so a node's penalty is
+/// `Σ_j (expected + attained_j)` over its in-flight jobs — the node
+/// whose backlog is *least likely to clear soon* scores worst. Uses the
+/// declared `expected` only as a population prior (identical for every
+/// candidate under `Hidden`), never per-request truth.
+///
+/// See PAPERS.md: "Optimal Multiserver Scheduling with Unknown Job
+/// Sizes in Heavy Traffic" (Scully, Grosof, Harchol-Balter) for why
+/// attained-service indices are the right primitive when sampling fails.
+#[derive(Debug, Clone, Default)]
+pub struct GittinsScorer;
+
+impl Scorer for GittinsScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        know: ReqKnowledge,
+    ) -> Option<usize> {
+        choose_min(self, ctx, candidates, know)
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
+        let prior = know.expected.as_micros();
+        ctx.attained
+            .per_job(node)
+            .map(|a| (prior + a.as_micros()) as f64)
+            .sum()
+    }
+}
+
+/// Shortest-expected-remaining-processing-time scoring: a node's
+/// penalty is `Σ_j max(expected − attained_j, floor)` — the work the
+/// population prior says is still owed to its in-flight jobs. The
+/// light-tail counterpart of [`GittinsScorer`] (under exponential-ish
+/// demands, service already attained mostly *reduces* what remains).
+#[derive(Debug, Clone, Default)]
+pub struct SerptScorer;
+
+impl Scorer for SerptScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        know: ReqKnowledge,
+    ) -> Option<usize> {
+        choose_min(self, ctx, candidates, know)
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
+        let prior = know.expected.as_micros();
+        ctx.attained
+            .per_job(node)
+            .map(|a| prior.saturating_sub(a.as_micros()).max(SERPT_FLOOR_US) as f64)
+            .sum()
+    }
+}
+
+/// Least-attained-service scoring: a node's penalty is the raw attained
+/// service of its in-flight jobs, `Σ_j attained_j`. Fully
+/// size-oblivious — it ignores the declaration entirely, so its
+/// placements are invariant under every [`Provenance`](super::Provenance).
+#[derive(Debug, Clone, Default)]
+pub struct LasScorer;
+
+impl Scorer for LasScorer {
+    fn choose(
+        &self,
+        ctx: &mut StageCtx<'_>,
+        candidates: &[usize],
+        know: ReqKnowledge,
+    ) -> Option<usize> {
+        choose_min(self, ctx, candidates, know)
+    }
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, _know: ReqKnowledge) -> f64 {
+        ctx.attained.total(node).as_micros() as f64
+    }
+}
+
+/// Shared argmin for the attained-service scorers: first strict minimum
+/// over the (pre-shuffled) candidate order, no RNG draws.
+fn choose_min<S: Scorer + ?Sized>(
+    scorer: &S,
+    ctx: &mut StageCtx<'_>,
+    candidates: &[usize],
+    know: ReqKnowledge,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &n in candidates {
+        let s = scorer.score(ctx, n, know);
+        match best {
+            Some((_, bs)) if bs <= s => {}
+            _ => best = Some((n, s)),
+        }
+    }
+    best.map(|(n, _)| n)
+}
+
 /// Debit the expected demand split into CPU and disk shares by the
 /// request's effective CPU weight `w`.
 #[derive(Debug, Clone, Default)]
 pub struct SplitDemandCharge;
 
 impl ChargeBack for SplitDemandCharge {
-    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
-        let cpu = expected.mul_f64(w);
-        let disk = expected.saturating_sub(cpu);
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, know: ReqKnowledge) {
+        let cpu = know.expected.mul_f64(know.w);
+        let disk = know.expected.saturating_sub(cpu);
         monitor.charge(node, cpu, disk);
     }
 }
@@ -545,8 +677,8 @@ impl ChargeBack for SplitDemandCharge {
 pub struct CpuOnlyCharge;
 
 impl ChargeBack for CpuOnlyCharge {
-    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
-        monitor.charge(node, expected.mul_f64(w), SimDuration::ZERO);
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, know: ReqKnowledge) {
+        monitor.charge(node, know.expected.mul_f64(know.w), SimDuration::ZERO);
     }
 }
 
@@ -573,6 +705,8 @@ impl EntrySelector for EntryStage {
 pub enum AdmissionStage {
     /// Reservation-controller admission.
     Reservation(ReservationAdmission),
+    /// Attained-service-backlog admission.
+    Attained(AttainedAdmission),
     /// No admission control.
     None(NoAdmission),
 }
@@ -581,18 +715,21 @@ impl Admission for AdmissionStage {
     fn enforces_reservation(&self) -> bool {
         match self {
             AdmissionStage::Reservation(s) => s.enforces_reservation(),
+            AdmissionStage::Attained(s) => s.enforces_reservation(),
             AdmissionStage::None(s) => s.enforces_reservation(),
         }
     }
-    fn master_eligible(&self, ctx: &StageCtx<'_>) -> bool {
+    fn master_eligible(&self, ctx: &StageCtx<'_>, know: ReqKnowledge) -> bool {
         match self {
-            AdmissionStage::Reservation(s) => s.master_eligible(ctx),
-            AdmissionStage::None(s) => s.master_eligible(ctx),
+            AdmissionStage::Reservation(s) => s.master_eligible(ctx, know),
+            AdmissionStage::Attained(s) => s.master_eligible(ctx, know),
+            AdmissionStage::None(s) => s.master_eligible(ctx, know),
         }
     }
     fn note_placement(&self, reservation: &mut ReservationController, on_master: bool) {
         match self {
             AdmissionStage::Reservation(s) => s.note_placement(reservation, on_master),
+            AdmissionStage::Attained(s) => s.note_placement(reservation, on_master),
             AdmissionStage::None(s) => s.note_placement(reservation, on_master),
         }
     }
@@ -644,6 +781,12 @@ pub enum ScoreStage {
     LeastConnections(LeastConnectionsScorer),
     /// Uniform-random scoring.
     Random(RandomScorer),
+    /// Gittins-style attained-service scoring.
+    Gittins(GittinsScorer),
+    /// Shortest-expected-remaining scoring.
+    Serpt(SerptScorer),
+    /// Least-attained-service scoring.
+    Las(LasScorer),
 }
 
 impl Scorer for ScoreStage {
@@ -651,25 +794,31 @@ impl Scorer for ScoreStage {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        sampled_w: f64,
+        know: ReqKnowledge,
     ) -> Option<usize> {
         match self {
-            ScoreStage::MinRsrc(s) => s.choose(ctx, candidates, sampled_w),
-            ScoreStage::LeastConnections(s) => s.choose(ctx, candidates, sampled_w),
-            ScoreStage::Random(s) => s.choose(ctx, candidates, sampled_w),
+            ScoreStage::MinRsrc(s) => s.choose(ctx, candidates, know),
+            ScoreStage::LeastConnections(s) => s.choose(ctx, candidates, know),
+            ScoreStage::Random(s) => s.choose(ctx, candidates, know),
+            ScoreStage::Gittins(s) => s.choose(ctx, candidates, know),
+            ScoreStage::Serpt(s) => s.choose(ctx, candidates, know),
+            ScoreStage::Las(s) => s.choose(ctx, candidates, know),
         }
     }
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
         match self {
-            ScoreStage::MinRsrc(s) => s.score(ctx, node, sampled_w),
-            ScoreStage::LeastConnections(s) => s.score(ctx, node, sampled_w),
-            ScoreStage::Random(s) => s.score(ctx, node, sampled_w),
+            ScoreStage::MinRsrc(s) => s.score(ctx, node, know),
+            ScoreStage::LeastConnections(s) => s.score(ctx, node, know),
+            ScoreStage::Random(s) => s.score(ctx, node, know),
+            ScoreStage::Gittins(s) => s.score(ctx, node, know),
+            ScoreStage::Serpt(s) => s.score(ctx, node, know),
+            ScoreStage::Las(s) => s.score(ctx, node, know),
         }
     }
     fn path_counts(&self) -> Option<ScorerPaths> {
         match self {
             ScoreStage::MinRsrc(s) => s.path_counts(),
-            ScoreStage::LeastConnections(_) | ScoreStage::Random(_) => None,
+            _ => None,
         }
     }
 }
@@ -685,10 +834,10 @@ pub enum ChargeStage {
 }
 
 impl ChargeBack for ChargeStage {
-    fn debit(&self, monitor: &mut LoadMonitor, node: usize, expected: SimDuration, w: f64) {
+    fn debit(&self, monitor: &mut LoadMonitor, node: usize, know: ReqKnowledge) {
         match self {
-            ChargeStage::Split(s) => s.debit(monitor, node, expected, w),
-            ChargeStage::CpuOnly(s) => s.debit(monitor, node, expected, w),
+            ChargeStage::Split(s) => s.debit(monitor, node, know),
+            ChargeStage::CpuOnly(s) => s.debit(monitor, node, know),
         }
     }
 }
@@ -698,13 +847,17 @@ impl ChargeBack for ChargeStage {
 pub fn for_policy(
     config: &ClusterConfig,
 ) -> Stages<EntryStage, AdmissionStage, CandidateStage, ScoreStage, ChargeStage> {
-    let skew = config.dns_skew;
+    let skew = config.dns_skew();
     let enforce = !matches!(
-        config.policy,
+        config.policy(),
         PolicyKind::MsNoReservation | PolicyKind::Flat | PolicyKind::MsPrime
     );
-    let master_reserve = if enforce { config.master_reserve } else { 0.0 };
-    match config.policy {
+    let master_reserve = if enforce {
+        config.master_reserve()
+    } else {
+        0.0
+    };
+    match config.policy() {
         PolicyKind::Flat => Stages {
             entry: EntryStage::Rotation(RotationEntry::over_all(skew)),
             admission: AdmissionStage::None(NoAdmission),

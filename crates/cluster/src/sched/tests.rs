@@ -1,5 +1,4 @@
 use super::*;
-use crate::config::MasterSelection;
 use msweb_simcore::SimTime;
 
 fn monitor(p: usize) -> LoadMonitor {
@@ -11,9 +10,13 @@ fn svc() -> SimDuration {
     SimDuration::from_millis(10)
 }
 
+/// Exact declaration over the tests' standard demand.
+fn k(w: f64) -> ReqKnowledge {
+    ReqKnowledge::exact(w, svc())
+}
+
 fn dispatcher(policy: PolicyKind, p: usize, m: usize) -> Dispatcher {
-    let mut cfg = ClusterConfig::simulation(p, policy);
-    cfg.masters = MasterSelection::Fixed(m);
+    let cfg = ClusterConfig::simulation(p, policy).with_masters(m);
     Dispatcher::new(&cfg, 0.25, 0.025)
 }
 
@@ -22,7 +25,7 @@ fn static_requests_stay_on_masters_for_ms() {
     let mut d = dispatcher(PolicyKind::MasterSlave, 32, 8);
     let mut mon = monitor(32);
     for _ in 0..200 {
-        let p = d.place(false, 0.5, svc(), &mut mon).unwrap();
+        let p = d.place(false, k(0.5), &mut mon).unwrap();
         assert!(p.node < 8, "static landed on slave {}", p.node);
         assert!(p.latency.is_zero());
         assert!(p.on_master);
@@ -40,7 +43,7 @@ fn static_requests_spread_everywhere_for_flat_and_msprime() {
         let mut mon = monitor(16);
         let mut seen = [false; 16];
         for _ in 0..800 {
-            seen[d.place(false, 0.5, svc(), &mut mon).unwrap().node] = true;
+            seen[d.place(false, k(0.5), &mut mon).unwrap().node] = true;
         }
         assert!(
             seen.iter().all(|&s| s),
@@ -54,7 +57,7 @@ fn flat_never_redirects_dynamics() {
     let mut d = dispatcher(PolicyKind::Flat, 8, 2);
     let mut mon = monitor(8);
     for _ in 0..100 {
-        let p = d.place(true, 0.9, svc(), &mut mon).unwrap();
+        let p = d.place(true, k(0.9), &mut mon).unwrap();
         assert!(p.latency.is_zero());
     }
 }
@@ -64,7 +67,7 @@ fn msprime_pins_dynamics() {
     let mut d = dispatcher(PolicyKind::MsPrime, 16, 4);
     let mut mon = monitor(16);
     for _ in 0..200 {
-        let p = d.place(true, 0.9, svc(), &mut mon).unwrap();
+        let p = d.place(true, k(0.9), &mut mon).unwrap();
         assert!(p.node >= 4, "dynamic on static node {}", p.node);
     }
 }
@@ -77,7 +80,7 @@ fn ms_reservation_caps_master_placements() {
     let mut on_master = 0;
     let n = 2000;
     for _ in 0..n {
-        if d.place(true, 0.9, svc(), &mut mon).unwrap().on_master {
+        if d.place(true, k(0.9), &mut mon).unwrap().on_master {
             on_master += 1;
         }
     }
@@ -96,7 +99,7 @@ fn ms_nr_floods_masters_when_idle() {
     let mut mon = monitor(32);
     let mut on_master = 0;
     for _ in 0..2000 {
-        if d.place(true, 0.9, svc(), &mut mon).unwrap().on_master {
+        if d.place(true, k(0.9), &mut mon).unwrap().on_master {
             on_master += 1;
         }
     }
@@ -110,7 +113,7 @@ fn remote_latency_charged_only_when_moving() {
     let mut d = dispatcher(PolicyKind::MasterSlave, 4, 2);
     let mut mon = monitor(4);
     for _ in 0..200 {
-        let p = d.place(true, 0.9, svc(), &mut mon).unwrap();
+        let p = d.place(true, k(0.9), &mut mon).unwrap();
         if p.node >= 2 {
             assert_eq!(p.latency, SimDuration::from_millis(1));
         }
@@ -123,7 +126,7 @@ fn redirect_pays_round_trip() {
     let mut mon = monitor(4);
     let mut paid = false;
     for _ in 0..100 {
-        let p = d.place(true, 0.9, svc(), &mut mon).unwrap();
+        let p = d.place(true, k(0.9), &mut mon).unwrap();
         if p.node != 0 {
             assert!(p.latency >= SimDuration::from_millis(80));
             paid = true;
@@ -139,9 +142,9 @@ fn dead_nodes_are_avoided() {
     d.set_dead(5, true);
     d.set_dead(6, true);
     for _ in 0..300 {
-        let p = d.place(true, 0.5, svc(), &mut mon).unwrap();
+        let p = d.place(true, k(0.5), &mut mon).unwrap();
         assert!(p.node != 5 && p.node != 6);
-        let s = d.place(false, 0.5, svc(), &mut mon).unwrap();
+        let s = d.place(false, k(0.5), &mut mon).unwrap();
         assert!(s.node != 5 && s.node != 6);
     }
     d.set_dead(5, false);
@@ -154,7 +157,7 @@ fn switch_balances_connection_counts() {
     let mut mon = monitor(8);
     // 64 placements with no completions: counts must be exactly even.
     for _ in 0..64 {
-        d.place(false, 0.5, svc(), &mut mon).unwrap();
+        d.place(false, k(0.5), &mut mon).unwrap();
     }
     for n in 0..8 {
         assert_eq!(d.in_flight(n), 8, "node {n} unbalanced");
@@ -162,20 +165,19 @@ fn switch_balances_connection_counts() {
     // Completions free capacity and the switch reuses it first.
     d.note_completion(3);
     d.note_completion(3);
-    let p = d.place(true, 0.9, svc(), &mut mon).unwrap();
+    let p = d.place(true, k(0.9), &mut mon).unwrap();
     assert_eq!(p.node, 3);
     assert!(p.latency.is_zero());
 }
 
 #[test]
 fn dns_skew_concentrates_entries() {
-    let mut cfg = ClusterConfig::simulation(16, PolicyKind::Flat);
-    cfg.dns_skew = 0.5;
+    let cfg = ClusterConfig::simulation(16, PolicyKind::Flat).with_dns_skew(0.5);
     let mut d = Dispatcher::new(&cfg, 0.25, 0.025);
     let mut mon = monitor(16);
     let mut counts = [0u32; 16];
     for _ in 0..4000 {
-        counts[d.place(false, 0.5, svc(), &mut mon).unwrap().node] += 1;
+        counts[d.place(false, k(0.5), &mut mon).unwrap().node] += 1;
     }
     // Geometric weights: node 0 should get about half the traffic and
     // the tail almost nothing.
@@ -189,7 +191,7 @@ fn zero_skew_is_uniform() {
     let mut mon = monitor(16);
     let mut counts = [0u32; 16];
     for _ in 0..8000 {
-        counts[d.place(false, 0.5, svc(), &mut mon).unwrap().node] += 1;
+        counts[d.place(false, k(0.5), &mut mon).unwrap().node] += 1;
     }
     for (n, &c) in counts.iter().enumerate() {
         let freq = c as f64 / 8000.0;
@@ -202,7 +204,7 @@ fn failure_replacement_pays_latency() {
     let mut d = dispatcher(PolicyKind::MasterSlave, 8, 2);
     let mut mon = monitor(8);
     for _ in 0..50 {
-        let p = d.replace_after_failure(true, 0.9, svc(), &mut mon).unwrap();
+        let p = d.replace_after_failure(true, k(0.9), &mut mon).unwrap();
         assert!(!p.latency.is_zero());
     }
 }
@@ -226,13 +228,13 @@ fn dead_cluster_yields_typed_error_for_every_policy() {
         }
         for dynamic in [false, true] {
             assert_eq!(
-                d.place(dynamic, 0.5, svc(), &mut mon),
+                d.place(dynamic, k(0.5), &mut mon),
                 Err(PlacementError::NoLiveNodes),
                 "{kind:?} did not surface the dead cluster"
             );
         }
         assert_eq!(
-            d.replace_after_failure(true, 0.5, svc(), &mut mon),
+            d.replace_after_failure(true, k(0.5), &mut mon),
             Err(PlacementError::NoLiveNodes)
         );
     }
@@ -242,7 +244,7 @@ fn dead_cluster_yields_typed_error_for_every_policy() {
 fn completion_bookkeeping_saturates_at_zero() {
     let mut d = dispatcher(PolicyKind::Switch, 4, 1);
     let mut mon = monitor(4);
-    let p = d.place(true, 0.5, svc(), &mut mon).unwrap();
+    let p = d.place(true, k(0.5), &mut mon).unwrap();
     assert_eq!(d.in_flight(p.node), 1);
     d.note_completion(p.node);
     assert_eq!(d.in_flight(p.node), 0);
@@ -257,7 +259,7 @@ fn observer_records_every_decision() {
     let collector = Rc::new(RefCell::new(CollectingObserver::default()));
     d.set_observer(Some(Box::new(Rc::clone(&collector))));
     for i in 0..20 {
-        d.place(i % 2 == 0, 0.7, svc(), &mut mon).unwrap();
+        d.place(i % 2 == 0, k(0.7), &mut mon).unwrap();
     }
     d.set_observer(None);
     let records = std::mem::take(&mut collector.borrow_mut().records);
@@ -291,7 +293,7 @@ fn registry_composes_a_working_scheduler() {
         .expect("all stages registered");
     let mut mon = monitor(8);
     for _ in 0..100 {
-        let p = sched.place(true, 0.8, svc(), &mut mon).unwrap();
+        let p = sched.place(true, k(0.8), &mut mon).unwrap();
         assert!(p.node < 8);
     }
 }
@@ -330,8 +332,7 @@ fn stage_spec_rejects_wrong_arity() {
 fn pipeline_matches_legacy_dispatcher_draw_for_draw() {
     // A composed DynScheduler with the same stages as the built-in
     // PolicyScheduler must make identical decisions under the same seed.
-    let mut cfg = ClusterConfig::simulation(12, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(3);
+    let cfg = ClusterConfig::simulation(12, PolicyKind::MasterSlave).with_masters(3);
     let mut builtin = Dispatcher::new(&cfg, 0.25, 0.025);
     let registry = SchedulerRegistry::builtin();
     let spec =
@@ -342,8 +343,8 @@ fn pipeline_matches_legacy_dispatcher_draw_for_draw() {
     let mut mon_b = monitor(12);
     for i in 0..500 {
         let dynamic = i % 3 == 0;
-        let a = builtin.place(dynamic, 0.8, svc(), &mut mon_a).unwrap();
-        let b = composed.place(dynamic, 0.8, svc(), &mut mon_b).unwrap();
+        let a = builtin.place(dynamic, k(0.8), &mut mon_a).unwrap();
+        let b = composed.place(dynamic, k(0.8), &mut mon_b).unwrap();
         assert_eq!(a, b, "decision {i} diverged");
     }
 }
@@ -375,8 +376,7 @@ fn indexed_scorer_matches_dense_scan_draw_for_draw() {
     // same argmin, same tie-breaks — across ticks (rebuild), charges
     // (sift) and liveness changes (rebuild), at a cluster size where
     // the indexed path is actually taken (candidates >= 16).
-    let mut cfg = ClusterConfig::simulation(48, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(12);
+    let cfg = ClusterConfig::simulation(48, PolicyKind::MasterSlave).with_masters(12);
     let registry = SchedulerRegistry::builtin();
     let dense_spec =
         StageSpec::parse("rotation-masters/reservation/level-split/min-rsrc-reserve/split-demand")
@@ -407,8 +407,8 @@ fn indexed_scorer_matches_dense_scan_draw_for_draw() {
         }
         let dynamic = step % 3 != 0;
         let w = ((step * 13) % 101) as f64 / 100.0;
-        let a = dense.place(dynamic, w, svc(), &mut mon_a).unwrap();
-        let b = indexed.place(dynamic, w, svc(), &mut mon_b).unwrap();
+        let a = dense.place(dynamic, k(w), &mut mon_a).unwrap();
+        let b = indexed.place(dynamic, k(w), &mut mon_b).unwrap();
         assert_eq!(a, b, "decision {step} diverged");
     }
 }
@@ -423,7 +423,7 @@ fn registry_resolves_parameterised_scorer_family() {
         .expect("rsrc-p2:4 is a valid scorer spec");
     let mut mon = monitor(8);
     for _ in 0..50 {
-        assert!(sched.place(true, 0.6, svc(), &mut mon).unwrap().node < 8);
+        assert!(sched.place(true, k(0.6), &mut mon).unwrap().node < 8);
     }
 }
 
@@ -460,8 +460,7 @@ fn power_of_k_concentrates_on_the_cheap_node() {
     // With one idle node in a busy cluster, k = 32 samples over p = 16
     // nodes miss the idle node with probability (15/16)^32 ~ 0.13, so a
     // large majority of dynamics must land there.
-    let mut cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(4);
+    let cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave).with_masters(4);
     let registry = SchedulerRegistry::builtin();
     let spec = StageSpec::parse("rotation/none/level-split/rsrc-p2:32/split-demand").unwrap();
     let mut sched = registry.compose(&cfg, &spec, 0.25, 0.025).unwrap();
@@ -486,7 +485,7 @@ fn power_of_k_concentrates_on_the_cheap_node() {
     let n = 400;
     for _ in 0..n {
         let node = sched
-            .place(true, 0.5, SimDuration::ZERO, &mut mon)
+            .place(true, ReqKnowledge::exact(0.5, SimDuration::ZERO), &mut mon)
             .unwrap()
             .node;
         if node == 9 {

@@ -23,8 +23,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use msweb_ossim::{Completion, DemandSpec, Node};
-use msweb_simcore::{SimDuration, SimTime};
-use msweb_workload::{Request, RequestSource, Trace};
+use msweb_simcore::{rng::split_seed, SimDuration, SimRng, SimTime};
+use msweb_workload::{DemandVisibility, Request, RequestSource, Trace};
 
 use crate::cache::DynContentCache;
 use crate::config::{ClusterConfig, PolicyKind};
@@ -32,7 +32,8 @@ use crate::failure::FailurePlan;
 use crate::loadinfo::LoadMonitor;
 use crate::metrics::{Level, Metrics, RunSummary};
 use crate::sched::{
-    DecisionObserver, DropRecord, NodeSample, PolicyScheduler, RunMeta, Schedule, TraceEvent,
+    DecisionObserver, DropRecord, NodeSample, PolicyScheduler, ReqKnowledge, RunMeta, Schedule,
+    TraceEvent,
 };
 use crate::telemetry::{TelemetryProbe, TelemetrySnapshot, WindowSample};
 
@@ -52,10 +53,21 @@ struct InFlight {
     node: usize,
     /// Whether the dynamic-content cache served this request.
     cache_hit: bool,
+    /// True service demand actually being served (cache-hit adjusted) —
+    /// ground truth the scheduler never sees directly; it closes the
+    /// attained-service books at completion.
+    served: SimDuration,
+    /// When service started on the current node; `None` while the
+    /// request is still in transfer.
+    started: Option<SimTime>,
 }
 
 /// Nodes per shard when per-tick node work runs parallel.
 const NODE_SHARD_CHUNK: usize = 512;
+
+/// `split_seed` label for the demand-noise stream, disjoint from the
+/// workload generators' labels (1..=5) and stable across runs.
+const NOISE_RNG_LABEL: u64 = 0xD15E;
 
 /// A fully wired simulated cluster, generic over the scheduling
 /// pipeline it drives (defaults to the built-in per-policy pipeline).
@@ -88,6 +100,12 @@ pub struct ClusterSim<Sch: Schedule = PolicyScheduler> {
     telemetry: Option<TelemetryProbe>,
     /// Admitted-but-unfinished requests, keyed by admission sequence.
     in_flight: HashMap<u64, InFlight>,
+    /// What the scheduler is told about each request's demand.
+    visibility: DemandVisibility,
+    /// Dedicated noise stream for `DemandVisibility::Noisy`. Never
+    /// drawn from under any other regime, so enabling the field cannot
+    /// perturb the scheduler's RNG sequence (the golden fixtures).
+    noise_rng: SimRng,
     /// Lazy-deletion index of node next-event times: (micros, node).
     /// Every mutation of a node pushes its fresh next-event time, so the
     /// minimum valid entry is the fleet's next internal event — O(log p)
@@ -122,14 +140,15 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     /// [`ClusterSim::with_mean_demands`].
     pub fn with_scheduler(config: ClusterConfig, scheduler: Sch) -> Self {
         config.validate().expect("invalid cluster configuration");
-        let nodes: Vec<Node> = (0..config.p)
-            .map(|i| match &config.speeds {
-                Some(s) => Node::with_speed(i, config.os.clone(), s[i]),
-                None => Node::new(i, config.os.clone()),
+        let nodes: Vec<Node> = (0..config.p())
+            .map(|i| match config.speeds() {
+                Some(s) => Node::with_speed(i, config.os().clone(), s[i]),
+                None => Node::new(i, config.os().clone()),
             })
             .collect();
-        let monitor = LoadMonitor::new(config.p, config.monitor_period, SimTime::ZERO);
-        let cache = config.cache.map(DynContentCache::new);
+        let monitor = LoadMonitor::new(config.p(), config.monitor_period(), SimTime::ZERO);
+        let cache = config.cache().cloned().map(DynContentCache::new);
+        let noise_rng = SimRng::seed_from_u64(split_seed(config.seed(), NOISE_RNG_LABEL));
         ClusterSim {
             config,
             nodes,
@@ -150,9 +169,20 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             spec_label: None,
             telemetry: None,
             in_flight: HashMap::new(),
+            visibility: DemandVisibility::Exact,
+            noise_rng,
             node_events: BinaryHeap::new(),
             tick_workers: 1,
         }
+    }
+
+    /// Choose what the scheduler is told about each request's demand
+    /// (before `run`). The default, [`DemandVisibility::Exact`], keeps
+    /// the paper's idealised-sampling behaviour and draws nothing from
+    /// the noise stream.
+    pub fn with_visibility(mut self, visibility: DemandVisibility) -> Self {
+        self.visibility = visibility;
+        self
     }
 
     /// Install a failure schedule (before `run`).
@@ -214,12 +244,12 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         let sched = self.scheduler.telemetry()?;
         let policy = match &self.spec_label {
             Some(spec) => spec.clone(),
-            None => self.config.policy.slug().to_string(),
+            None => self.config.policy().slug().to_string(),
         };
         Some(TelemetrySnapshot::assemble(
             "sim",
             &policy,
-            self.config.seed,
+            self.config.seed(),
             self.scheduler.masters(),
             sched,
             self.scheduler.scorer_path_counts(),
@@ -271,19 +301,19 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         if self.scheduler.tracing() {
             let meta = RunMeta {
                 substrate: "sim".to_string(),
-                p: self.config.p,
+                p: self.config.p(),
                 m: self.scheduler.masters(),
-                policy: self.config.policy.slug().to_string(),
+                policy: self.config.policy().slug().to_string(),
                 spec: self.spec_label.clone(),
-                seed: self.config.seed,
+                seed: self.config.seed(),
                 a0: self.priors.0,
                 r0: self.priors.1,
-                master_reserve: self.config.master_reserve,
-                dns_skew: self.config.dns_skew,
-                monitor_period_us: self.config.monitor_period.as_micros(),
-                remote_latency_us: self.config.remote_latency.as_micros(),
-                redirect_rtt_us: self.config.redirect_rtt.as_micros(),
-                speeds: self.config.speeds.clone(),
+                master_reserve: self.config.master_reserve(),
+                dns_skew: self.config.dns_skew(),
+                monitor_period_us: self.config.monitor_period().as_micros(),
+                remote_latency_us: self.config.remote_latency().as_micros(),
+                redirect_rtt_us: self.config.redirect_rtt().as_micros(),
+                speeds: self.config.speeds().map(<[f64]>::to_vec),
             };
             self.scheduler.emit(&TraceEvent::Meta(meta));
         }
@@ -430,6 +460,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         debug_assert_eq!(fl.node, node, "completion from unexpected node");
         let req = fl.req;
         self.scheduler.note_completion(fl.node);
+        self.scheduler.note_service_end(fl.node, c.tag, fl.served);
         // A completed CGI miss installs its result for future hits.
         if let (Some(cache), true, Some(key)) = (
             &mut self.cache,
@@ -468,6 +499,26 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         }
     }
 
+    /// Produce the declaration the scheduler will be shown for a request
+    /// whose true CPU weight is `w` and whose class-mean demand is
+    /// `expected`, under the run's visibility regime. Only `Noisy` draws
+    /// from the dedicated noise stream.
+    fn declare(&mut self, w: f64, expected: SimDuration) -> ReqKnowledge {
+        match self.visibility {
+            DemandVisibility::Exact => ReqKnowledge::exact(w, expected),
+            DemandVisibility::Sampled => ReqKnowledge::sampled(w, expected),
+            DemandVisibility::Noisy(sigma) => {
+                let dw = sigma * (2.0 * self.noise_rng.next_f64() - 1.0);
+                let dx = sigma * (2.0 * self.noise_rng.next_f64() - 1.0);
+                ReqKnowledge::noisy(
+                    (w + dw).clamp(0.0, 1.0),
+                    expected.mul_f64((1.0 + dx).max(0.05)),
+                )
+            }
+            DemandVisibility::Hidden => ReqKnowledge::hidden(expected),
+        }
+    }
+
     /// A request arrives at the front end: place it, or drop it (counted
     /// in the summary) when no live node exists.
     fn admit(&mut self, req: Request, seq: u64, t: SimTime) {
@@ -502,9 +553,10 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             req.demand.service
         };
         self.scheduler.note_request(seq, t, served_demand);
+        let know = self.declare(w, expected);
         let placed = self
             .scheduler
-            .place(effectively_dynamic, w, expected, &mut self.monitor);
+            .place(effectively_dynamic, know, &mut self.monitor);
         let Ok(placement) = placed else {
             // Whole cluster dead: degrade gracefully instead of aborting
             // the experiment.
@@ -514,8 +566,8 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     req: seq,
                     at_us: t.0,
                     dynamic: effectively_dynamic,
-                    w,
-                    expected_us: expected.as_micros(),
+                    w: know.w,
+                    expected_us: know.expected.as_micros(),
                     redrive: true,
                     restart: false,
                 }));
@@ -523,7 +575,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             return;
         };
         let on_master = placement.on_master
-            || (!req.class.is_dynamic() && self.config.policy != PolicyKind::Flat);
+            || (!req.class.is_dynamic() && self.config.policy() != PolicyKind::Flat);
         self.in_flight.insert(
             seq,
             InFlight {
@@ -532,6 +584,8 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 on_master,
                 node: placement.node,
                 cache_hit,
+                served: served_demand,
+                started: None,
             },
         );
         if placement.latency.is_zero() {
@@ -559,13 +613,18 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             DemandSpec {
                 service: cc.hit_service,
                 cpu_fraction: cc.hit_cpu_fraction,
-                memory_pages: self.config.os.bytes_to_pages(fl.req.bytes),
+                memory_pages: self.config.os().bytes_to_pages(fl.req.bytes),
                 is_cgi: false,
             }
         } else {
             demand_to_spec(&fl.req, &self.config)
         };
-        self.in_flight.get_mut(&tag).expect("checked above").node = node;
+        {
+            let entry = self.in_flight.get_mut(&tag).expect("checked above");
+            entry.node = node;
+            entry.started = Some(t);
+        }
+        self.scheduler.note_service_start(node, tag);
         self.nodes[node].submit(&spec, t, tag);
         self.note_node_event(node);
         // A zero-work spec can complete inside submit; account it now so
@@ -587,22 +646,22 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             self.recoveries.sort_by_key(|&(t, _)| t);
         }
         // Detection delay before restart: one monitor period.
-        let detect = self.config.monitor_period;
+        let detect = self.config.monitor_period();
         for tag in lost {
             let Some(fl) = self.in_flight.get(&tag).copied() else {
                 continue;
             };
             let req = fl.req;
+            // The crash loses whatever service the request had attained.
+            self.scheduler.note_service_lost(event.node, tag);
             let attempt = event.restart_dynamic && req.class.is_dynamic();
+            let mut drop_w = req.demand.cpu_fraction;
             let restarted = if attempt {
                 self.scheduler.note_request(tag, t, req.demand.service);
+                let know = self.declare(req.demand.cpu_fraction, self.mean_demand.1);
+                drop_w = know.w;
                 self.scheduler
-                    .replace_after_failure(
-                        true,
-                        req.demand.cpu_fraction,
-                        self.mean_demand.1,
-                        &mut self.monitor,
-                    )
+                    .replace_after_failure(true, know, &mut self.monitor)
                     .ok()
             } else {
                 None
@@ -610,6 +669,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             if let Some(placement) = restarted {
                 let entry = self.in_flight.get_mut(&tag).expect("checked above");
                 entry.on_master = placement.on_master;
+                entry.started = None;
                 self.metrics.note_restarted();
                 self.transfer_seq += 1;
                 self.transfers.push(Reverse((
@@ -621,13 +681,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             } else {
                 self.in_flight.remove(&tag);
                 self.metrics.note_dropped();
-                self.emit_failure_drop(
-                    tag,
-                    t,
-                    req.class.is_dynamic(),
-                    req.demand.cpu_fraction,
-                    attempt,
-                );
+                self.emit_failure_drop(tag, t, req.class.is_dynamic(), drop_w, attempt);
             }
         }
         // Requests in flight *towards* the dead node: re-route them too.
@@ -638,15 +692,13 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 Some(fl) if node == event.node => {
                     let r = fl.req;
                     let attempt = event.restart_dynamic && r.class.is_dynamic();
+                    let mut drop_w = r.demand.cpu_fraction;
                     let restarted = if attempt {
                         self.scheduler.note_request(tag, t, r.demand.service);
+                        let know = self.declare(r.demand.cpu_fraction, self.mean_demand.1);
+                        drop_w = know.w;
                         self.scheduler
-                            .replace_after_failure(
-                                true,
-                                r.demand.cpu_fraction,
-                                self.mean_demand.1,
-                                &mut self.monitor,
-                            )
+                            .replace_after_failure(true, know, &mut self.monitor)
                             .ok()
                     } else {
                         None
@@ -663,13 +715,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     } else {
                         self.in_flight.remove(&tag);
                         self.metrics.note_dropped();
-                        self.emit_failure_drop(
-                            tag,
-                            t,
-                            r.class.is_dynamic(),
-                            r.demand.cpu_fraction,
-                            attempt,
-                        );
+                        self.emit_failure_drop(tag, t, r.class.is_dynamic(), drop_w, attempt);
                     }
                 }
                 _ => {
@@ -703,6 +749,19 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     /// threads; the scalar folds that follow stay sequential in node
     /// order, keeping the result bit-identical to the dense scan.
     fn tick_monitor(&mut self, t: SimTime) {
+        // Feed attained service from the same accounting cadence the
+        // load view refreshes at: elapsed service time on the current
+        // node, capped at the true demand. Per-tag maxima make the feed
+        // independent of map iteration order.
+        {
+            let scheduler = &mut self.scheduler;
+            for (&tag, fl) in self.in_flight.iter() {
+                if let Some(started) = fl.started {
+                    let attained = (t - started).min(fl.served);
+                    scheduler.note_service_progress(fl.node, tag, attained);
+                }
+            }
+        }
         let snapshots: Vec<_> = if self.tick_workers == 1 {
             self.nodes.iter().map(|n| n.load()).collect()
         } else {
@@ -761,7 +820,7 @@ fn demand_to_spec(req: &Request, config: &ClusterConfig) -> DemandSpec {
     DemandSpec {
         service: req.demand.service,
         cpu_fraction: req.demand.cpu_fraction,
-        memory_pages: config.os.bytes_to_pages(req.demand.memory_bytes),
+        memory_pages: config.os().bytes_to_pages(req.demand.memory_bytes),
         is_cgi: req.class.is_dynamic(),
     }
 }
@@ -862,10 +921,13 @@ pub struct RunOptions {
     /// Enable telemetry collection; the snapshot comes back in
     /// [`RunOutcome::telemetry`].
     pub telemetry: bool,
+    /// What the scheduler is told about each request's demand; defaults
+    /// to [`DemandVisibility::Exact`] (the paper's regime).
+    pub visibility: DemandVisibility,
 }
 
 impl RunOptions {
-    /// No observer, no telemetry.
+    /// No observer, no telemetry, exact demand visibility.
     pub fn new() -> Self {
         RunOptions::default()
     }
@@ -879,6 +941,12 @@ impl RunOptions {
     /// Enable telemetry collection (builder style).
     pub fn telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Choose the demand-visibility regime (builder style).
+    pub fn visibility(mut self, visibility: DemandVisibility) -> Self {
+        self.visibility = visibility;
         self
     }
 }
@@ -910,7 +978,7 @@ pub fn simulate_source<S: RequestSource>(
     stats: WorkloadStats,
     opts: RunOptions,
 ) -> RunOutcome {
-    let mut sim = policy_sim_from_stats(config, stats);
+    let mut sim = policy_sim_from_stats(config, stats).with_visibility(opts.visibility);
     if opts.observer.is_some() {
         sim.scheduler_mut().set_observer(opts.observer);
     }
@@ -924,43 +992,6 @@ pub fn simulate_source<S: RequestSource>(
         None
     };
     RunOutcome { summary, telemetry }
-}
-
-/// Convenience: run one policy over a trace with default priors taken
-/// from the trace itself.
-#[deprecated(note = "use simulate(config, trace, RunOptions::new()) instead")]
-pub fn run_policy(config: ClusterConfig, trace: &Trace) -> RunSummary {
-    simulate(config, trace, RunOptions::new()).summary
-}
-
-/// Like `run_policy`, with an optional per-decision observer installed
-/// on the scheduler before the replay.
-#[deprecated(note = "use simulate with RunOptions::new().observer(..) instead")]
-pub fn run_policy_with_observer(
-    config: ClusterConfig,
-    trace: &Trace,
-    observer: Option<Box<dyn DecisionObserver>>,
-) -> RunSummary {
-    let opts = match observer {
-        Some(obs) => RunOptions::new().observer(obs),
-        None => RunOptions::new(),
-    };
-    simulate(config, trace, opts).summary
-}
-
-/// Like `run_policy`, with telemetry enabled: returns the summary plus
-/// the assembled [`TelemetrySnapshot`] (substrate `"sim"`). For a fixed
-/// `config` and `trace` the snapshot is byte-deterministic.
-#[deprecated(note = "use simulate with RunOptions::new().telemetry(true) instead")]
-pub fn run_policy_telemetry(
-    config: ClusterConfig,
-    trace: &Trace,
-) -> (RunSummary, TelemetrySnapshot) {
-    let outcome = simulate(config, trace, RunOptions::new().telemetry(true));
-    (
-        outcome.summary,
-        outcome.telemetry.expect("telemetry enabled"),
-    )
 }
 
 /// Build the [`ClusterSim`] that [`simulate`] would run: reservation
@@ -984,7 +1015,6 @@ pub fn policy_sim_from_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MasterSelection;
     use msweb_workload::{ksu, ucb, DemandModel};
 
     fn small_trace(n: usize, inv_r: f64, lambda: f64) -> Trace {
@@ -1009,8 +1039,7 @@ mod tests {
     #[test]
     fn ms_run_completes_every_request() {
         let trace = small_trace(500, 20.0, 200.0);
-        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(3);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
         let s = run_summary(cfg, &trace);
         assert_eq!(s.completed, 500);
         assert!(s.stretch >= 1.0);
@@ -1023,8 +1052,7 @@ mod tests {
     fn runs_are_deterministic() {
         let trace = small_trace(300, 40.0, 150.0);
         let run = || {
-            let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed(2);
+            let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(2);
             run_summary(cfg, &trace)
         };
         assert_eq!(run(), run());
@@ -1033,8 +1061,7 @@ mod tests {
     #[test]
     fn streamed_source_matches_materialized_run() {
         let trace = small_trace(400, 40.0, 250.0);
-        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(3);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
         let materialized = simulate(cfg.clone(), &trace, RunOptions::new()).summary;
         let stats = WorkloadStats::from_trace(&trace);
         let streamed =
@@ -1043,24 +1070,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let trace = small_trace(200, 20.0, 150.0);
-        let cfg = ClusterConfig::simulation(4, PolicyKind::Flat);
-        let a = run_policy(cfg.clone(), &trace);
-        let b = run_policy_with_observer(cfg.clone(), &trace, None);
-        assert_eq!(a, b);
-        let (c, snap) = run_policy_telemetry(cfg, &trace);
-        assert_eq!(a.completed, c.completed);
-        assert!(!snap.windows.is_empty() || snap.windows.is_empty());
-    }
-
-    #[test]
     fn tick_workers_do_not_change_the_summary() {
         let trace = small_trace(600, 40.0, 300.0);
         let run_with = |workers: usize| {
-            let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed(3);
+            let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
             let mut sim = policy_sim(cfg, &trace).with_tick_workers(workers);
             sim.run(&trace)
         };
@@ -1107,11 +1120,9 @@ mod tests {
         let trace = ksu()
             .generate(1500, &DemandModel::simulation(40.0), 7)
             .scaled_to_rate(250.0);
-        let mut ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        ms_cfg.masters = MasterSelection::Fixed(4);
+        let ms_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(4);
         let ms = run_summary(ms_cfg, &trace);
-        let mut nr_cfg = ClusterConfig::simulation(8, PolicyKind::MsNoReservation);
-        nr_cfg.masters = MasterSelection::Fixed(4);
+        let nr_cfg = ClusterConfig::simulation(8, PolicyKind::MsNoReservation).with_masters(4);
         let nr = run_summary(nr_cfg, &trace);
         assert!(
             ms.stretch <= nr.stretch * 1.05,
@@ -1124,8 +1135,7 @@ mod tests {
     #[test]
     fn window_series_tracks_the_run() {
         let trace = small_trace(2_000, 40.0, 300.0);
-        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(3);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
         let mut sim = ClusterSim::new(cfg, 0.13, 1.0 / 40.0);
         sim.run(&trace);
         let series = sim.stretch_series();
@@ -1153,13 +1163,11 @@ mod tests {
         let demand = DemandModel::simulation(40.0).with_query_popularity(20, 1.1);
         let trace = adl().generate(3_000, &demand, 13).scaled_to_rate(400.0);
 
-        let mut base = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        base.masters = MasterSelection::Fixed(3);
+        let base = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
         let uncached = run_summary(base.clone(), &trace);
         assert_eq!(uncached.cache_hits, 0);
 
-        let mut cached_cfg = base;
-        cached_cfg.cache = Some(crate::cache::CacheConfig::default_swala());
+        let cached_cfg = base.with_cache(crate::cache::CacheConfig::default_swala());
         let mut sim = ClusterSim::new(cached_cfg, 0.8, 1.0 / 40.0);
         let cached = sim.run(&trace);
         let (hits, misses, _, _) = sim.cache_stats().unwrap();
@@ -1178,8 +1186,7 @@ mod tests {
     #[test]
     fn failure_drops_or_restarts_everything() {
         let trace = small_trace(400, 20.0, 200.0);
-        let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(3);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(3);
         let mut sim = ClusterSim::new(cfg, 0.13, 0.05)
             .with_failures(FailurePlan::crash(5, SimTime::from_millis(500)));
         let s = sim.run(&trace);
@@ -1193,8 +1200,7 @@ mod tests {
     #[test]
     fn failed_node_receives_nothing_after_crash() {
         let trace = small_trace(300, 20.0, 300.0);
-        let mut cfg = ClusterConfig::simulation(4, PolicyKind::Flat);
-        cfg.seed = 9;
+        let cfg = ClusterConfig::simulation(4, PolicyKind::Flat).with_seed(9);
         let mut sim = ClusterSim::new(cfg, 0.13, 0.05)
             .with_failures(FailurePlan::crash(3, SimTime::from_millis(100)));
         let s = sim.run(&trace);
@@ -1204,8 +1210,7 @@ mod tests {
     #[test]
     fn recovery_restores_the_node() {
         let trace = small_trace(600, 20.0, 200.0);
-        let mut cfg = ClusterConfig::simulation(4, PolicyKind::Flat);
-        cfg.seed = 11;
+        let cfg = ClusterConfig::simulation(4, PolicyKind::Flat).with_seed(11);
         let plan = FailurePlan::new(vec![crate::failure::FailureEvent {
             at: SimTime::from_millis(200),
             node: 2,
@@ -1220,8 +1225,7 @@ mod tests {
     #[test]
     fn whole_cluster_death_drops_instead_of_panicking() {
         let trace = small_trace(300, 20.0, 400.0);
-        let mut cfg = ClusterConfig::simulation(2, PolicyKind::Flat);
-        cfg.seed = 3;
+        let cfg = ClusterConfig::simulation(2, PolicyKind::Flat).with_seed(3);
         let plan = FailurePlan::new(
             (0..2)
                 .map(|node| crate::failure::FailureEvent {

@@ -2,8 +2,8 @@
 
 use msweb_cluster::sched::{encode_event, parse_line, DecisionRecord, RunMeta};
 use msweb_cluster::{
-    simulate, ClusterConfig, Dispatcher, DropRecord, LoadMonitor, MasterSelection, NodeSample,
-    PolicyKind, RunOptions, SchedulerRegistry, StageSpec, TraceEvent,
+    simulate, ClusterConfig, Dispatcher, DropRecord, LoadMonitor, NodeSample, PolicyKind,
+    ReqKnowledge, RunOptions, SchedulerRegistry, StageSpec, TraceEvent,
 };
 use msweb_simcore::{SimDuration, SimTime};
 use msweb_workload::{ksu, ucb, DemandModel};
@@ -38,8 +38,8 @@ proptest! {
         let policy = policies()[which];
         let m = ((p as f64 * m_frac) as usize).clamp(1, p - 1);
         let mut cfg = ClusterConfig::simulation(p, policy);
-        cfg.masters = MasterSelection::Fixed(m);
-        cfg.seed = seed;
+        cfg = cfg.with_masters(m);
+        cfg = cfg.with_seed(seed);
         let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
         let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
         let dead = dead_node.map(|n| n as usize % p);
@@ -52,7 +52,7 @@ proptest! {
         let svc = SimDuration::from_millis(10);
         for i in 0..200u64 {
             let dynamic = i % 3 == 0;
-            let pl = d.place(dynamic, 0.7, svc, &mut mon).unwrap();
+            let pl = d.place(dynamic, ReqKnowledge::exact(0.7, svc), &mut mon).unwrap();
             prop_assert!(pl.node < p, "node {} out of range", pl.node);
             if let Some(n) = dead {
                 prop_assert!(pl.node != n, "{policy:?} placed on dead node");
@@ -70,15 +70,15 @@ proptest! {
     fn reservation_cap_respected(p in 4usize..40, seed in any::<u64>()) {
         let m = (p / 4).max(1);
         let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(m);
-        cfg.seed = seed;
+        cfg = cfg.with_masters(m);
+        cfg = cfg.with_seed(seed);
         let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
         let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
         let svc = SimDuration::from_millis(10);
         let n = 500;
         let mut on_master = 0u32;
         for _ in 0..n {
-            if d.place(true, 0.7, svc, &mut mon).unwrap().on_master {
+            if d.place(true, ReqKnowledge::exact(0.7, svc), &mut mon).unwrap().on_master {
                 on_master += 1;
             }
         }
@@ -96,14 +96,14 @@ proptest! {
         let policy = policies()[which];
         let run = || {
             let mut cfg = ClusterConfig::simulation(16, policy);
-            cfg.masters = MasterSelection::Fixed(4);
-            cfg.seed = seed;
+            cfg = cfg.with_masters(4);
+            cfg = cfg.with_seed(seed);
             let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
             let mut mon =
                 LoadMonitor::new(16, SimDuration::from_millis(500), SimTime::ZERO);
             (0..100u64)
                 .map(|i| {
-                    d.place(i % 2 == 0, 0.5, SimDuration::from_millis(5), &mut mon)
+                    d.place(i % 2 == 0, ReqKnowledge::exact(0.5, SimDuration::from_millis(5)), &mut mon)
                         .unwrap()
                         .node
                 })
@@ -127,8 +127,8 @@ proptest! {
             .generate(n, &DemandModel::simulation(40.0), seed)
             .scaled_to_rate(lambda);
         let mut cfg = ClusterConfig::simulation(8, policy);
-        cfg.masters = MasterSelection::Fixed(3);
-        cfg.seed = seed;
+        cfg = cfg.with_masters(3);
+        cfg = cfg.with_seed(seed);
         let s = simulate(cfg, &trace, RunOptions::new()).summary;
         prop_assert_eq!(s.completed, n as u64);
         prop_assert_eq!(s.completed_static + s.completed_dynamic, n as u64);
@@ -148,8 +148,8 @@ proptest! {
         let policy = policies()[which];
         let p = 8;
         let mut cfg = ClusterConfig::simulation(p, policy);
-        cfg.masters = MasterSelection::Fixed(3);
-        cfg.seed = seed;
+        cfg = cfg.with_masters(3);
+        cfg = cfg.with_seed(seed);
         let mut d = Dispatcher::new(&cfg, 0.3, 0.02);
         let mut mon = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
         let svc = SimDuration::from_millis(10);
@@ -159,7 +159,7 @@ proptest! {
             match op {
                 // Place a request (alternate static/dynamic).
                 0 | 1 => {
-                    if let Ok(pl) = d.place(step.is_multiple_of(2), 0.6, svc, &mut mon) {
+                    if let Ok(pl) = d.place(step.is_multiple_of(2), ReqKnowledge::exact(0.6, svc), &mut mon) {
                         outstanding.push(pl.node);
                     }
                 }
@@ -179,7 +179,7 @@ proptest! {
                         if *slot == victim {
                             d.note_completion(victim);
                             if let Ok(pl) =
-                                d.replace_after_failure(true, 0.6, svc, &mut mon)
+                                d.replace_after_failure(true, ReqKnowledge::exact(0.6, svc), &mut mon)
                             {
                                 *slot = pl.node;
                             }
@@ -218,8 +218,8 @@ proptest! {
             ))
             .unwrap();
             let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-            cfg.masters = MasterSelection::Fixed(m);
-            cfg.seed = seed;
+            cfg = cfg.with_masters(m);
+            cfg = cfg.with_seed(seed);
             registry.compose(&cfg, &spec, 0.3, 0.02).unwrap()
         };
         let mut dense = mk("min-rsrc-reserve");
@@ -280,8 +280,8 @@ proptest! {
                 _ => {
                     let dynamic = op % 2 == 0;
                     let w = (arg % 101) as f64 / 100.0;
-                    let a = dense.place(dynamic, w, svc, &mut mon_a).unwrap();
-                    let b = indexed.place(dynamic, w, svc, &mut mon_b).unwrap();
+                    let a = dense.place(dynamic, ReqKnowledge::exact(w, svc), &mut mon_a).unwrap();
+                    let b = indexed.place(dynamic, ReqKnowledge::exact(w, svc), &mut mon_b).unwrap();
                     prop_assert_eq!(a.node, b.node, "placement at step {} diverged", step);
                 }
             }
@@ -535,9 +535,9 @@ proptest! {
             .generate(400, &demand, seed)
             .scaled_to_rate(150.0);
         let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(3);
-        cfg.cache = Some(msweb_cluster::CacheConfig::default_swala());
-        cfg.seed = seed;
+        cfg = cfg.with_masters(3);
+        cfg = cfg.with_cache(msweb_cluster::CacheConfig::default_swala());
+        cfg = cfg.with_seed(seed);
         let s = simulate(cfg, &trace, RunOptions::new()).summary;
         prop_assert_eq!(s.completed, 400);
         prop_assert!(s.cache_hits <= s.completed_dynamic);
@@ -594,6 +594,72 @@ proptest! {
                 sharded.mean_utilisation().to_bits(),
                 "mean utilisation diverged at tick {}", tick
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attained-service accounting is conserved on the simulation
+    /// substrate for every visibility level and attained-service
+    /// scorer, with and without a mid-run crash: progress never
+    /// overruns the true demand, the books close for every request
+    /// (nothing left in flight), exactly the completed requests are
+    /// folded into the completion counters, and the completed service
+    /// time equals the workload's true demand when everything ran to
+    /// completion (and never exceeds it otherwise).
+    #[test]
+    fn attained_service_is_conserved_in_simulation(
+        n in 100usize..300,
+        rate in 50.0f64..300.0,
+        seed in any::<u64>(),
+        vis in 0usize..4,
+        which in 0usize..3,
+        crash in any::<bool>(),
+    ) {
+        use msweb_cluster::{ClusterSim, FailurePlan};
+        use msweb_workload::DemandVisibility;
+
+        let trace = ucb()
+            .generate(n, &DemandModel::simulation(40.0), seed)
+            .scaled_to_rate(rate);
+        let cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave)
+            .with_masters(3)
+            .with_seed(seed ^ 0x5ca1e);
+        let scorer = ["gittins", "serpt", "las"][which];
+        let spec = StageSpec::parse(&format!(
+            "rotation-masters/attained/level-split/{scorer}/split-demand"
+        ))
+        .unwrap();
+        let registry = SchedulerRegistry::builtin();
+        let scheduler = registry.compose(&cfg, &spec, 0.25, 0.025).unwrap();
+        let visibility = [
+            DemandVisibility::Exact,
+            DemandVisibility::Sampled,
+            DemandVisibility::Noisy(0.3),
+            DemandVisibility::Hidden,
+        ][vis];
+        let mut sim = ClusterSim::with_scheduler(cfg, scheduler)
+            .with_priors(0.25, 0.025)
+            .with_visibility(visibility);
+        if crash {
+            sim = sim.with_failures(FailurePlan::crash(5, SimTime::from_millis(300)));
+        }
+        let s = sim.run(&trace);
+        let att = sim.scheduler().attained();
+        prop_assert_eq!(att.in_flight(), 0, "books left open");
+        prop_assert_eq!(att.overruns(), 0, "attained exceeded true demand");
+        prop_assert_eq!(att.completed(), s.completed as u64);
+        let true_total: u64 = trace
+            .requests
+            .iter()
+            .map(|r| r.demand.service.as_micros())
+            .sum();
+        if s.completed == n as u64 && s.restarted == 0 {
+            prop_assert_eq!(att.completed_time().as_micros(), true_total);
+        } else {
+            prop_assert!(att.completed_time().as_micros() <= true_total);
         }
     }
 }

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
     render_top, ClusterConfig, DropRecord, Level, LoadMonitor, Metrics, NodeSample, PolicyKind,
-    PolicyScheduler, RunMeta, RunSummary, SchedTelemetry, Schedule, TelemetryProbe,
+    PolicyScheduler, ReqKnowledge, RunMeta, RunSummary, SchedTelemetry, Schedule, TelemetryProbe,
     TelemetrySnapshot, TraceEvent, WindowSample, WorkloadStats,
 };
 use msweb_ossim::LoadSnapshot;
@@ -237,39 +237,6 @@ pub fn emulate_source<S: Schedule, Src: RequestSource>(
     }
 }
 
-/// Replay `trace` on a live cluster with a policy-built scheduler.
-#[deprecated(note = "use emulate(config, trace, LiveRunOptions::new()) instead")]
-pub fn run_live(config: &LiveConfig, trace: &Trace) -> RunSummary {
-    emulate(config, trace, LiveRunOptions::new()).summary
-}
-
-/// Like `run_live`, with an explicit scheduler value.
-#[deprecated(note = "use emulate_with(config, trace, scheduler, LiveRunOptions::new()) instead")]
-pub fn run_live_with<S: Schedule>(config: &LiveConfig, trace: &Trace, scheduler: S) -> RunSummary {
-    emulate_with(config, trace, scheduler, LiveRunOptions::new()).summary
-}
-
-/// Like `run_live_with`, with telemetry enabled: returns the summary
-/// plus the assembled [`TelemetrySnapshot`] (substrate `"live"`).
-#[deprecated(note = "use emulate_with with LiveRunOptions::new().telemetry(true) instead")]
-pub fn run_live_telemetry<S: Schedule>(
-    config: &LiveConfig,
-    trace: &Trace,
-    scheduler: S,
-    top: bool,
-) -> (RunSummary, TelemetrySnapshot) {
-    let outcome = emulate_with(
-        config,
-        trace,
-        scheduler,
-        LiveRunOptions::new().telemetry(true).top(top),
-    );
-    (
-        outcome.summary,
-        outcome.telemetry.expect("telemetry requested"),
-    )
-}
-
 /// Per-request bookkeeping for a live request between placement and
 /// completion. Map membership replaces the old trace-length vectors:
 /// entries are dropped on completion, so the working set tracks the
@@ -281,6 +248,10 @@ struct LiveFlight {
     on_master: bool,
     node: usize,
     arrived: Instant,
+    /// When the job reaches its node (dispatch, or transfer delivery
+    /// for remote placements) — the origin for attained-service
+    /// progress reports.
+    started: Instant,
 }
 
 fn run_live_inner<S: Schedule, Src: RequestSource>(
@@ -304,19 +275,19 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
     if scheduler.tracing() {
         scheduler.emit(&TraceEvent::Meta(RunMeta {
             substrate: "live".to_string(),
-            p: cc.p,
+            p: cc.p(),
             m: scheduler.masters(),
-            policy: cc.policy.slug().to_string(),
+            policy: cc.policy().slug().to_string(),
             spec: None,
-            seed: cc.seed,
+            seed: cc.seed(),
             a0: stats.a0,
             r0: stats.r0,
-            master_reserve: cc.master_reserve,
-            dns_skew: cc.dns_skew,
-            monitor_period_us: cc.monitor_period.as_micros(),
-            remote_latency_us: cc.remote_latency.as_micros(),
-            redirect_rtt_us: cc.redirect_rtt.as_micros(),
-            speeds: cc.speeds.clone(),
+            master_reserve: cc.master_reserve(),
+            dns_skew: cc.dns_skew(),
+            monitor_period_us: cc.monitor_period().as_micros(),
+            remote_latency_us: cc.remote_latency().as_micros(),
+            redirect_rtt_us: cc.redirect_rtt().as_micros(),
+            speeds: cc.speeds().map(<[f64]>::to_vec),
         }));
     }
     // Charges are in wall (scaled) time, matching the monitor's window.
@@ -394,7 +365,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
     });
 
     let t0 = Instant::now();
-    let mut monitor = LoadMonitor::new(config.p, cc.monitor_period, SimTime::ZERO);
+    let mut monitor = LoadMonitor::new(config.p, cc.monitor_period(), SimTime::ZERO);
     let mut metrics = Metrics::new();
     let remote_latency = config.scale(SimDuration::from_millis(1));
 
@@ -469,6 +440,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
         // Release the connection slot — keeps switch-style counts
         // truthful, matching the simulator's completion path.
         scheduler.note_completion(fl.node);
+        scheduler.note_service_end(fl.node, d.id, demand);
         scheduler
             .reservation_mut()
             .note_response(fl.dynamic, response);
@@ -506,6 +478,19 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
                 let at = to_sim(now - t0);
                 let snaps = snapshot(&stats_shared, SimTime(at.as_micros()));
                 monitor.tick(SimTime(at.as_micros()), &snaps);
+                // Feed attained service: wall-clock time on-node (which
+                // *is* scaled time), capped at the scaled demand —
+                // mirrors the simulator's per-tick progress reports.
+                for (&id, fl) in in_flight.iter() {
+                    if now < fl.started {
+                        continue;
+                    }
+                    let cap = to_sim(Duration::from_nanos(
+                        (fl.service.as_micros() as f64 * 1000.0 * time_scale) as u64,
+                    ));
+                    let attained = to_sim(now - fl.started).min(cap);
+                    scheduler.note_service_progress(fl.node, id, attained);
+                }
                 let rho = monitor.mean_utilisation();
                 // Capture the windowed master fraction before update()
                 // resets it (same ordering as the simulator).
@@ -555,23 +540,29 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             (req.demand.service.as_micros() as f64 * 1000.0 * config.time_scale) as u64,
         ));
         scheduler.note_request(idx, SimTime(at_us), scaled_demand);
-        let Ok(placement) =
-            scheduler.place(dynamic, req.demand.cpu_fraction, expected, &mut monitor)
-        else {
+        // The live front-end only ever knows the class-mean charge, not
+        // the request's true demand — declare it as a sampled estimate.
+        let know = ReqKnowledge::sampled(req.demand.cpu_fraction, expected);
+        let Ok(placement) = scheduler.place(dynamic, know, &mut monitor) else {
             // Whole cluster dead: degrade gracefully, as the simulator
             // does.
             scheduler.emit(&TraceEvent::Drop(DropRecord {
                 req: idx,
                 at_us,
                 dynamic,
-                w: req.demand.cpu_fraction,
-                expected_us: expected.as_micros(),
+                w: know.w,
+                expected_us: know.expected.as_micros(),
                 redrive: true,
                 restart: false,
             }));
             metrics.note_dropped();
             dropped += 1;
             continue;
+        };
+        let started = if placement.latency.is_zero() {
+            now
+        } else {
+            now + remote_latency
         };
         in_flight.insert(
             idx,
@@ -581,8 +572,10 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
                 on_master: placement.on_master,
                 node: placement.node,
                 arrived: now,
+                started,
             },
         );
+        scheduler.note_service_start(placement.node, idx);
         let cpu = config.scale(req.demand.service.mul_f64(req.demand.cpu_fraction));
         let io = config.scale(req.demand.service).saturating_sub(cpu);
         let job = Job {
@@ -676,11 +669,11 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
         let sched_tel = scheduler
             .telemetry()
             .cloned()
-            .unwrap_or_else(|| SchedTelemetry::new(cc.p));
+            .unwrap_or_else(|| SchedTelemetry::new(cc.p()));
         TelemetrySnapshot::assemble(
             "live",
-            cc.policy.slug(),
-            cc.seed,
+            cc.policy().slug(),
+            cc.seed(),
             scheduler.masters(),
             &sched_tel,
             scheduler.scorer_path_counts(),
@@ -780,24 +773,6 @@ mod tests {
         .summary;
         assert_eq!(s.completed, 24);
         assert_eq!(s.dropped, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let trace = tiny_trace(16, 30.0);
-        let mut cfg = LiveConfig::sun_cluster(PolicyKind::Flat, 1);
-        cfg.time_scale = 0.05;
-        cfg.monitor_period = Duration::from_millis(50);
-        let s = run_live(&cfg, &trace);
-        assert_eq!(s.completed, 16);
-        let scheduler = live_scheduler(&cfg, &trace);
-        let s2 = run_live_with(&cfg, &trace, scheduler);
-        assert_eq!(s2.completed, 16);
-        let scheduler = live_scheduler(&cfg, &trace);
-        let (s3, snap) = run_live_telemetry(&cfg, &trace, scheduler, false);
-        assert_eq!(s3.completed, 16);
-        assert_eq!(snap.substrate, "live");
     }
 
     #[test]

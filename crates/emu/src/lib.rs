@@ -24,8 +24,6 @@ pub use cluster::{
     emulate, emulate_source, emulate_with, live_priors, live_scheduler, live_stats, LiveConfig,
     LiveOutcome, LiveRunOptions,
 };
-#[allow(deprecated)]
-pub use cluster::{run_live, run_live_telemetry, run_live_with};
 pub use job::{Done, Job, NodeMsg};
 pub use node::{node_worker, NodeParams, NodeStats};
 pub use timing::{calibrate, wait_for, wait_until, Calibration};

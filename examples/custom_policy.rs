@@ -34,19 +34,19 @@ impl Scorer for PowerOfTwoRsrc {
         &self,
         ctx: &mut StageCtx<'_>,
         candidates: &[usize],
-        sampled_w: f64,
+        know: ReqKnowledge,
     ) -> Option<usize> {
         if candidates.is_empty() {
             return None;
         }
         let a = candidates[ctx.rng.gen_index(candidates.len())];
         let b = candidates[ctx.rng.gen_index(candidates.len())];
-        let cost = |n: usize| ctx.rsrc.cost(n, &ctx.loads[n], sampled_w);
+        let cost = |n: usize| ctx.rsrc.cost(n, &ctx.loads[n], know.w);
         Some(if cost(b) < cost(a) { b } else { a })
     }
 
-    fn score(&self, ctx: &StageCtx<'_>, node: usize, sampled_w: f64) -> f64 {
-        ctx.rsrc.cost(node, &ctx.loads[node], sampled_w)
+    fn score(&self, ctx: &StageCtx<'_>, node: usize, know: ReqKnowledge) -> f64 {
+        ctx.rsrc.cost(node, &ctx.loads[node], know.w)
     }
 }
 

@@ -15,7 +15,10 @@ use msweb::prelude::*;
 
 fn run(trace: &Trace, cache: Option<CacheConfig>, m: usize) -> (RunSummary, Option<f64>) {
     let mut cfg = ClusterConfig::simulation(16, PolicyKind::MasterSlave).with_masters(m);
-    cfg.cache = cache; // Option on purpose: None is the uncached baseline.
+    // Option on purpose: None is the uncached baseline.
+    if let Some(cache) = cache {
+        cfg = cfg.with_cache(cache);
+    }
     let mut sim = msweb::cluster::ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0);
     let summary = sim.run(trace);
     let ratio = sim

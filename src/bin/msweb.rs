@@ -80,6 +80,14 @@ USAGE:
                   ablation); --telemetry embeds an instrumented companion
                   replay's snapshot in each report (and writes it to
                   [path] when given)
+  msweb experiments --unknown-sizes [--quick] [--jobs <n>] [--seed <s>]
+                  [--json <path>] [--test]
+                  sweep demand visibility (exact/noisy/hidden) x policy
+                  (RSRC vs the attained-service scorers gittins/serpt/
+                  las) and report end-to-end and model stretch per cell;
+                  --test runs the CI smoke grid and fails unless an
+                  attained policy beats RSRC under noisy and hidden
+                  declarations
   msweb metrics-dump [--from <snapshot.json>] [--trace <name>]
                   [--lambda <req/s>] [--p <nodes>] [--requests <n>]
                   [--seed <s>] [--policy <name>]
@@ -302,6 +310,10 @@ fn cmd_plan(flags: &Flags) {
 }
 
 fn cmd_experiments(flags: &Flags) {
+    if flags.get("unknown-sizes").is_some() {
+        cmd_unknown_sizes(flags);
+        return;
+    }
     let quick = flags.get("quick").is_some();
     let jobs = flags.usize("jobs", 0);
     let mut exp = if quick {
@@ -360,6 +372,63 @@ fn cmd_experiments(flags: &Flags) {
 /// `msweb metrics-dump`: a Prometheus text exposition on stdout — from
 /// a saved `--telemetry` snapshot (`--from`), or from a fresh short
 /// instrumented simulation (KSU master/slave cell by default).
+/// `msweb experiments --unknown-sizes`: the demand-visibility sweep —
+/// what happens to placement quality when per-request demand
+/// declarations decay from exact to noisy to absent.
+fn cmd_unknown_sizes(flags: &Flags) {
+    let test = flags.get("test").is_some();
+    let quick = test || flags.get("quick").is_some();
+    let mut exp = if quick {
+        msweb::bench::ExpConfig::quick()
+    } else {
+        msweb::bench::ExpConfig::default()
+    };
+    exp.seed = flags.num("seed", exp.seed as f64) as u64;
+    exp.jobs = flags.usize("jobs", exp.jobs);
+
+    let rows = msweb::bench::unknown_sizes(&exp);
+    println!(
+        "unknown-sizes sweep: UCB x {} requests, p=32, visibility x policy\n",
+        exp.requests
+    );
+    println!(
+        "{:<10} {:<9} {:>9} {:>14}",
+        "visibility", "policy", "stretch", "model stretch"
+    );
+    let mut last_vis = "";
+    for r in &rows {
+        if r.visibility != last_vis && !last_vis.is_empty() {
+            println!();
+        }
+        last_vis = &r.visibility;
+        println!(
+            "{:<10} {:<9} {:>9.3} {:>14.4}",
+            r.visibility, r.policy, r.stretch, r.model_stretch
+        );
+    }
+
+    if let Some(path) = flags.get("json") {
+        let json = serde::to_json_string_pretty(&rows) + "\n";
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {} rows to {path}", rows.len());
+    }
+
+    match msweb::bench::unknown_sizes_check(&rows) {
+        Ok(()) => println!(
+            "\nOK: an attained-service policy beats RSRC under noisy and hidden declarations"
+        ),
+        Err(msg) => {
+            eprintln!("\nunknown-sizes gate failed: {msg}");
+            if test {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_metrics_dump(flags: &Flags) {
     if let Some(path) = flags.get("from") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -67,23 +67,19 @@ pub mod prelude {
     pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
         analyze, plan_masters, policy_sim, policy_sim_from_stats, render_top, simulate,
-        simulate_source, table2_grid, AnalysisReport, ClusterConfig, ClusterSim,
+        simulate_source, table2_grid, AnalysisReport, AttainedService, ClusterConfig, ClusterSim,
         CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher, DropRecord,
         DynScheduler, FailureEvent, FailurePlan, GridCell, JsonlSink, Level, LoadMonitor,
         MasterSelection, Metrics, Placement, PlacementError, PolicyKind, PolicyScheduler,
-        ReplayError, ReplayOptions, ReservationController, RsrcPredictor, RunOptions, RunOutcome,
-        RunSummary, SchedTelemetry, Schedule, Scheduler, SchedulerRegistry, ScorerPaths, StageKind,
-        StageSpec, TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog, WindowSample,
-        WorkloadStats,
+        Provenance, ReplayError, ReplayOptions, ReqKnowledge, ReservationController, RsrcPredictor,
+        RunOptions, RunOutcome, RunSummary, SchedTelemetry, Schedule, Scheduler, SchedulerRegistry,
+        ScorerPaths, StageKind, StageSpec, TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog,
+        WindowSample, WorkloadStats,
     };
-    #[allow(deprecated)]
-    pub use msweb_cluster::{run_policy, run_policy_telemetry, run_policy_with_observer};
     pub use msweb_emu::{
         emulate, emulate_source, emulate_with, live_scheduler, live_stats, LiveConfig, LiveOutcome,
         LiveRunOptions,
     };
-    #[allow(deprecated)]
-    pub use msweb_emu::{run_live, run_live_telemetry, run_live_with};
     pub use msweb_ossim::{DemandSpec, Node, OsParams};
     pub use msweb_queueing::{
         figure3, plan, reservation_bound, Fig3Config, FlatModel, HeteroCluster, MsModel,
@@ -91,8 +87,8 @@ pub mod prelude {
     };
     pub use msweb_simcore::{SimDuration, SimRng, SimTime};
     pub use msweb_workload::{
-        adl, all_traces, dec, ksu, replayed_traces, ucb, CgiKind, DemandModel, FileSet, GenSource,
-        RateScaling, Request, RequestClass, RequestSource, ScaledSource, ServiceDemand, Trace,
-        TraceSpec,
+        adl, all_traces, dec, ksu, replayed_traces, ucb, CgiKind, DemandModel, DemandVisibility,
+        FileSet, GenSource, RateScaling, Request, RequestClass, RequestSource, ScaledSource,
+        ServiceDemand, Trace, TraceSpec,
     };
 }

@@ -79,7 +79,7 @@ fn theorem1_choice_wins_in_simulation_too() {
 
     let run_m = |m: usize| {
         let mut cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(m);
+        cfg = cfg.with_masters(m);
         simulate(cfg, &trace, RunOptions::new()).summary.stretch
     };
     let planned = run_m(m_star);

@@ -28,7 +28,7 @@ fn golden_trace(p: usize) -> Trace {
         .scaled_to_rate(37.5 * p as f64)
 }
 
-/// The same `(a0, r0, mean demands)` estimation `run_policy` performs,
+/// The same `(a0, r0, mean demands)` estimation `simulate` performs,
 /// so the composed runs see the scheduler parameters the built-in run
 /// sees.
 fn trace_params(trace: &Trace) -> (f64, f64, SimDuration, SimDuration) {

@@ -10,8 +10,8 @@ fn full_pipeline(policy: PolicyKind, seed: u64) -> RunSummary {
         .scaled_to_rate(600.0);
     let m = plan_masters(16, 600.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
     let mut cfg = ClusterConfig::simulation(16, policy);
-    cfg.masters = MasterSelection::Fixed(m);
-    cfg.seed = seed;
+    cfg = cfg.with_masters(m);
+    cfg = cfg.with_seed(seed);
     simulate(cfg, &trace, RunOptions::new()).summary
 }
 
@@ -60,7 +60,7 @@ fn failure_runs_are_deterministic() {
         .scaled_to_rate(400.0);
     let run = || {
         let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(3);
+        cfg = cfg.with_masters(3);
         let mut sim = ClusterSim::new(cfg, spec.arrival_ratio_a(), 1.0 / 40.0)
             .with_failures(FailurePlan::crash(6, SimTime::from_secs(2)));
         sim.run(&trace)

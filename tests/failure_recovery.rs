@@ -17,7 +17,7 @@ fn workload(seed: u64) -> Trace {
 fn slave_crash_restarts_dynamics_and_loses_nothing_else() {
     let trace = workload(1);
     let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(3);
+    cfg = cfg.with_masters(3);
     let mid = SimTime::ZERO + trace.span().mul_f64(0.5);
     let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0)
         .with_failures(FailurePlan::crash(6, mid));
@@ -32,7 +32,7 @@ fn slave_crash_restarts_dynamics_and_loses_nothing_else() {
 fn crash_without_restart_drops_in_flight_work() {
     let trace = workload(2);
     let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(3);
+    cfg = cfg.with_masters(3);
     let mid = SimTime::ZERO + trace.span().mul_f64(0.5);
     let plan = FailurePlan::new(vec![FailureEvent {
         at: mid,
@@ -55,7 +55,7 @@ fn multiple_failures_still_account_for_everything() {
     let trace = workload(3);
     let span = trace.span();
     let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(3);
+    cfg = cfg.with_masters(3);
     let plan = FailurePlan::new(vec![
         FailureEvent {
             at: SimTime::ZERO + span.mul_f64(0.3),
@@ -96,7 +96,7 @@ fn redirect_crash_accounts_for_everything() {
     // accounting must be unaffected.
     let trace = workload(6);
     let mut cfg = ClusterConfig::simulation(8, PolicyKind::Redirect);
-    cfg.masters = MasterSelection::Fixed(3);
+    cfg = cfg.with_masters(3);
     let span = trace.span();
     let plan = FailurePlan::new(vec![
         FailureEvent {
@@ -126,7 +126,7 @@ fn redirect_crash_accounts_for_everything() {
 fn traced_failure_run(seed: u64, plan: FailurePlan) -> (TraceLog, RunSummary) {
     let trace = workload(seed);
     let mut cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(3);
+    cfg = cfg.with_masters(3);
     let mut path = std::env::temp_dir();
     path.push(format!("msweb-fail-{}-{seed}.jsonl", std::process::id()));
     let mut sim = ClusterSim::new(cfg, adl().arrival_ratio_a(), 1.0 / 40.0).with_failures(plan);
@@ -236,7 +236,7 @@ fn crash_degrades_but_does_not_wedge_performance() {
     let mid = SimTime::ZERO + trace.span().mul_f64(0.4);
 
     let mut base_cfg = ClusterConfig::simulation(8, PolicyKind::MasterSlave);
-    base_cfg.masters = MasterSelection::Fixed(3);
+    base_cfg = base_cfg.with_masters(3);
     let healthy = simulate(base_cfg.clone(), &trace, RunOptions::new()).summary;
 
     let mut sim = ClusterSim::new(base_cfg, adl().arrival_ratio_a(), 1.0 / 40.0)

@@ -1,0 +1,72 @@
+//! Golden fixtures for the attained-service scorers (`gittins`, `serpt`,
+//! `las`) at p ∈ {32, 128} under `DemandVisibility::Hidden` — the regime
+//! these policies exist for, where the scheduler sees no per-request
+//! demand and must rank nodes by service received so far.
+//!
+//! Regenerate (only when a behaviour change is intended and reviewed)
+//! with:
+//!
+//! ```sh
+//! MSWEB_BLESS=1 cargo test --test golden_attained
+//! ```
+
+use msweb::prelude::*;
+
+const SCORERS: [&str; 3] = ["gittins", "serpt", "las"];
+const SIZES: [usize; 2] = [32, 128];
+
+fn golden_run(scorer: &str, p: usize) -> RunSummary {
+    let inv_r = 40.0;
+    let a0 = ucb().arrival_ratio_a();
+    let r0 = 1.0 / inv_r;
+    // Load scales with the cluster so both sizes run at the same
+    // per-node utilisation as the p=8 policy fixtures.
+    let rate = 300.0 * (p as f64 / 8.0);
+    let trace = ucb()
+        .generate(1_500, &DemandModel::simulation(inv_r), 7)
+        .scaled_to_rate(rate);
+    let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+        .with_masters(p / 4)
+        .with_seed(11);
+    let spec = format!("rotation-masters/attained/level-split/{scorer}/split-demand");
+    let spec = StageSpec::parse(&spec).expect("well-formed stage spec");
+    let scheduler = SchedulerRegistry::builtin()
+        .compose(&cfg, &spec, a0, r0)
+        .expect("attained pipeline composes");
+    let mut sim = ClusterSim::with_scheduler(cfg, scheduler)
+        .with_priors(a0, r0)
+        .with_visibility(DemandVisibility::Hidden);
+    sim.run(&trace)
+}
+
+fn fixture_path(scorer: &str, p: usize) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(format!("{scorer}-hidden-p{p}.json"))
+}
+
+#[test]
+fn attained_scorer_summaries_match_fixtures() {
+    let bless = std::env::var_os("MSWEB_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for scorer in SCORERS {
+        for p in SIZES {
+            let got = serde::to_json_string_pretty(&golden_run(scorer, p));
+            let path = fixture_path(scorer, p);
+            if bless {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {path:?}: {e}"));
+            if got != want {
+                mismatches.push(format!(
+                    "{scorer} p={p}: summary drifted from fixture {path:?}\n\
+                     --- fixture\n{want}\n--- got\n{got}"
+                ));
+            }
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n\n"));
+}

@@ -20,8 +20,8 @@ fn stretch(
         .generate(n, &DemandModel::simulation(inv_r), seed)
         .scaled_to_rate(lambda);
     let mut cfg = ClusterConfig::simulation(p, policy);
-    cfg.masters = MasterSelection::Fixed(m);
-    cfg.seed = seed ^ 0xABCD;
+    cfg = cfg.with_masters(m);
+    cfg = cfg.with_seed(seed ^ 0xABCD);
     simulate(cfg, &trace, RunOptions::new()).summary.stretch
 }
 
@@ -174,8 +174,8 @@ fn summary(
         .generate(n, &DemandModel::simulation(inv_r), seed)
         .scaled_to_rate(lambda);
     let mut cfg = ClusterConfig::simulation(p, policy);
-    cfg.masters = MasterSelection::Fixed(m);
-    cfg.seed = seed ^ 0xABCD;
+    cfg = cfg.with_masters(m);
+    cfg = cfg.with_seed(seed ^ 0xABCD);
     simulate(cfg, &trace, RunOptions::new()).summary
 }
 

@@ -76,8 +76,7 @@ fn ms_advantage_survives_flash_crowds() {
             demand = demand.with_bursty_arrivals(3.0, 0.25, 40.0);
         }
         let trace = spec.generate(12_000, &demand, 3).scaled_to_rate(lambda);
-        let mut cfg = ClusterConfig::simulation(32, policy);
-        cfg.masters = MasterSelection::Fixed(m);
+        let cfg = ClusterConfig::simulation(32, policy).with_masters(m);
         simulate(cfg, &trace, RunOptions::new()).summary.stretch
     };
     let flat_bursty = run(true, PolicyKind::Flat);
@@ -102,8 +101,7 @@ fn bursty_trace_replays_completely_under_every_policy() {
         PolicyKind::MasterSlave,
         PolicyKind::Switch,
     ] {
-        let mut cfg = ClusterConfig::simulation(8, policy);
-        cfg.masters = MasterSelection::Fixed(3);
+        let cfg = ClusterConfig::simulation(8, policy).with_masters(3);
         let s = simulate(cfg, &trace, RunOptions::new()).summary;
         assert_eq!(s.completed, 3_000, "{policy:?}");
     }

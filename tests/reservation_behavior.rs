@@ -12,7 +12,7 @@ fn masters_take_no_dynamics_under_comfortable_load() {
         .scaled_to_rate(800.0); // ~11% of a 32-node cluster
     let m = plan_masters(32, 800.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
     let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(m);
+    cfg = cfg.with_masters(m);
     let s = simulate(cfg, &trace, RunOptions::new()).summary;
     let frac = s.dynamic_on_master as f64 / s.completed_dynamic.max(1) as f64;
     assert!(
@@ -30,7 +30,7 @@ fn masters_absorb_overflow_under_heavy_load() {
         .scaled_to_rate(3200.0);
     let m = plan_masters(32, 3200.0, spec.arrival_ratio_a(), 1.0 / 80.0, 1200.0);
     let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
-    cfg.masters = MasterSelection::Fixed(m);
+    cfg = cfg.with_masters(m);
     let s = simulate(cfg, &trace, RunOptions::new()).summary;
     assert!(
         s.dynamic_on_master > 0,
@@ -49,7 +49,7 @@ fn static_requests_protected_relative_to_flat() {
     let m = plan_masters(32, 1000.0, spec.arrival_ratio_a(), 1.0 / 80.0, 1200.0);
 
     let mut ms_cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
-    ms_cfg.masters = MasterSelection::Fixed(m);
+    ms_cfg = ms_cfg.with_masters(m);
     let ms = simulate(ms_cfg, &trace, RunOptions::new()).summary;
     let flat = simulate(
         ClusterConfig::simulation(32, PolicyKind::Flat),
@@ -76,7 +76,7 @@ fn no_reservation_floods_masters() {
 
     let run = |policy| {
         let mut cfg = ClusterConfig::simulation(32, policy);
-        cfg.masters = MasterSelection::Fixed(m);
+        cfg = cfg.with_masters(m);
         simulate(cfg, &trace, RunOptions::new()).summary
     };
     let ms = run(PolicyKind::MasterSlave);
@@ -106,8 +106,8 @@ fn monitor_staleness_degrades_gracefully() {
     let m = plan_masters(32, 1500.0, spec.arrival_ratio_a(), 1.0 / 40.0, 1200.0);
     let run = |period_ms: u64| {
         let mut cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave);
-        cfg.masters = MasterSelection::Fixed(m);
-        cfg.monitor_period = SimDuration::from_millis(period_ms);
+        cfg = cfg.with_masters(m);
+        cfg = cfg.with_monitor_period(SimDuration::from_millis(period_ms));
         simulate(cfg, &trace, RunOptions::new()).summary.stretch
     };
     let fresh = run(100);
