@@ -648,10 +648,12 @@ pub fn ablation_hetero(exp: &ExpConfig) -> (f64, f64, f64) {
         .parallelism(exp.jobs)
         .run(|&slow_masters, seed| {
             let mut s = speeds.clone();
+            // total_cmp: a NaN speed must not panic the whole sweep
+            // (it sorts last and surfaces in the cell's own metrics).
             if slow_masters {
-                s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                s.sort_by(|a, b| a.total_cmp(b));
             } else {
-                s.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                s.sort_by(|a, b| b.total_cmp(a));
             }
             let cfg = ClusterConfig::simulation(speeds.len(), PolicyKind::MasterSlave)
                 .with_masters(plan.masters.len())

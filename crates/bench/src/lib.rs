@@ -20,11 +20,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod pareto;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use experiments::*;
+pub use pareto::{
+    pareto, pareto_check, CellStatus, FrontierRow, ParetoReport, ParetoRow, StageGrid,
+};
 pub use runner::{
     AblationReport, ExperimentId, ExperimentReport, ExperimentRunner, Fig3Row, ReportData,
 };

@@ -57,13 +57,21 @@ impl Table {
     }
 }
 
-/// Format a float with the given decimals.
+/// Format a float with the given decimals. Non-finite values (the
+/// signature of a degenerate cell) render as `-` instead of `NaN`/`inf`
+/// so tables stay readable and width-stable.
 pub fn f(x: f64, decimals: usize) -> String {
+    if !x.is_finite() {
+        return "-".to_string();
+    }
     format!("{x:.decimals$}")
 }
 
-/// Format a percentage with sign.
+/// Format a percentage with sign; non-finite renders as `-`.
 pub fn pct(x: f64) -> String {
+    if !x.is_finite() {
+        return "-".to_string();
+    }
     format!("{x:+.1}%")
 }
 
@@ -97,5 +105,13 @@ mod tests {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(pct(12.34), "+12.3%");
         assert_eq!(pct(-5.0), "-5.0%");
+    }
+
+    #[test]
+    fn non_finite_renders_as_dash() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(f(x, 3), "-");
+            assert_eq!(pct(x), "-");
+        }
     }
 }

@@ -99,6 +99,15 @@ impl<C: Sync> Sweep<C> {
     /// results in cell order. `worker` must be a pure function of its
     /// arguments (plus captured immutable state) for the determinism
     /// guarantee to hold.
+    ///
+    /// `worker` must also **not panic**: a panicking worker poisons the
+    /// scoped thread pool and aborts the whole sweep, losing every
+    /// other cell's result. Degenerate-prone workers (grid searches
+    /// over compositions that may complete nothing or produce NaN
+    /// metrics — see [`mod@crate::pareto`]) should classify failures
+    /// into a typed row (e.g.
+    /// [`CellStatus::Degenerate`](crate::pareto::CellStatus)) and
+    /// return it, so one broken cell costs one row, not the sweep.
     pub fn run<R, F>(&self, worker: F) -> Vec<R>
     where
         R: Send,
@@ -144,6 +153,25 @@ mod tests {
         for i in 0..10 {
             assert_eq!(sweep.seed_for(i), 1234);
         }
+    }
+
+    #[test]
+    fn degenerate_cells_come_back_as_values_not_panics() {
+        // The contract degenerate-prone workers rely on: a cell that
+        // "fails" returns an Err value and the sweep carries it home in
+        // cell order alongside the successes.
+        let cells: Vec<u64> = (0..16).collect();
+        let out: Vec<Result<u64, String>> = Sweep::new(cells, 5).parallelism(4).run(|&c, _| {
+            if c % 3 == 0 {
+                Err(format!("degenerate cell {c}"))
+            } else {
+                Ok(c)
+            }
+        });
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[0], Err("degenerate cell 0".to_string()));
+        assert_eq!(out[1], Ok(1));
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 6);
     }
 
     #[test]

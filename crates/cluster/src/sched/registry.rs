@@ -339,6 +339,44 @@ impl SchedulerRegistry {
         self.scorer_families.insert(family.into(), Box::new(f));
     }
 
+    /// Registered entry-selector names, sorted (the registry is
+    /// `BTreeMap`-keyed, so enumeration order is deterministic). The
+    /// accessors exist so grid searches — `bench::pareto`'s
+    /// `StageGrid` — can enumerate the composable stage space without
+    /// this crate hard-coding it twice.
+    pub fn entry_names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Registered admission names, sorted.
+    pub fn admission_names(&self) -> Vec<String> {
+        self.admissions.keys().cloned().collect()
+    }
+
+    /// Registered candidate-set names, sorted.
+    pub fn candidate_names(&self) -> Vec<String> {
+        self.candidates.keys().cloned().collect()
+    }
+
+    /// Registered exact scorer names, sorted. Parameterised families
+    /// are listed separately by
+    /// [`SchedulerRegistry::scorer_family_names`] — an instance such as
+    /// `rsrc-p2:2` only exists once an argument is chosen.
+    pub fn scorer_names(&self) -> Vec<String> {
+        self.scorers.keys().cloned().collect()
+    }
+
+    /// Registered scorer *family* names, sorted (resolve as
+    /// `family:arg`).
+    pub fn scorer_family_names(&self) -> Vec<String> {
+        self.scorer_families.keys().cloned().collect()
+    }
+
+    /// Registered charge-back names, sorted.
+    pub fn charge_names(&self) -> Vec<String> {
+        self.charges.keys().cloned().collect()
+    }
+
     /// Register (or replace) a charge-back factory under `name`.
     pub fn register_charge(
         &mut self,
@@ -409,5 +447,157 @@ impl SchedulerRegistry {
                 .chain(self.scorer_families.keys().map(|f| format!("{f}:<arg>")))
                 .collect(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(2)
+    }
+
+    #[test]
+    fn spec_parse_render_is_a_fixed_point() {
+        for slug in [
+            "rotation/none/entry-only/rsrc-indexed/split-demand",
+            "least-connections/reservation/level-split/rsrc-p2:2/cpu-only",
+            "rotation-masters/attained/pinned-slaves/las/split-demand",
+        ] {
+            let spec = StageSpec::parse(slug).unwrap();
+            assert_eq!(spec.render(), slug);
+            assert_eq!(StageSpec::parse(&spec.render()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn builtin_policy_specs_round_trip() {
+        for policy in [
+            PolicyKind::Flat,
+            PolicyKind::MsPrime,
+            PolicyKind::MsAllMasters,
+            PolicyKind::Switch,
+            PolicyKind::MsNoReservation,
+            PolicyKind::MasterSlave,
+        ] {
+            let spec = StageSpec::for_policy(policy);
+            assert_eq!(
+                StageSpec::parse(&spec.render()).unwrap(),
+                spec,
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "a/b/c/d",
+            "a/b/c/d/e/f",
+            "rotation/none/entry-only/min-rsrc",
+        ] {
+            match StageSpec::parse(bad) {
+                Err(ComposeError::BadSpec(s)) => assert_eq!(s, bad),
+                other => panic!("{bad:?}: expected BadSpec, got {other:?}"),
+            }
+        }
+        // Trailing-empty part still has five segments and parses; the
+        // empty *name* then fails stage lookup, not spec splitting.
+        let spec = StageSpec::parse("rotation/none/entry-only/min-rsrc/").unwrap();
+        assert_eq!(spec.charge, "");
+    }
+
+    #[test]
+    fn unknown_stage_errors_name_the_kind_and_list_alternatives() {
+        let reg = SchedulerRegistry::builtin();
+        let cases = [
+            ("nope/none/entry-only/min-rsrc/split-demand", "entry"),
+            (
+                "rotation/nope/entry-only/min-rsrc/split-demand",
+                "admission",
+            ),
+            ("rotation/none/nope/min-rsrc/split-demand", "candidates"),
+            ("rotation/none/entry-only/nope/split-demand", "scorer"),
+            ("rotation/none/entry-only/min-rsrc/nope", "charge"),
+        ];
+        for (slug, expect_kind) in cases {
+            let spec = StageSpec::parse(slug).unwrap();
+            match reg.compose(&cfg(), &spec, 0.4, 0.025) {
+                Err(ComposeError::UnknownStage {
+                    kind,
+                    name,
+                    available,
+                }) => {
+                    assert_eq!(kind, expect_kind, "{slug}");
+                    assert_eq!(name, "nope");
+                    assert!(!available.is_empty(), "{slug}: empty alternatives");
+                }
+                Err(other) => panic!("{slug}: expected UnknownStage, got {other:?}"),
+                Ok(_) => panic!("{slug}: unexpectedly composed"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_family_arguments_are_typed_errors() {
+        let reg = SchedulerRegistry::builtin();
+        for scorer in ["rsrc-p2:0", "rsrc-p2:x", "rsrc-p2:"] {
+            let slug = format!("rotation/none/entry-only/{scorer}/split-demand");
+            let spec = StageSpec::parse(&slug).unwrap();
+            match reg.compose(&cfg(), &spec, 0.4, 0.025) {
+                Err(ComposeError::BadStageArg { kind, name, reason }) => {
+                    assert_eq!(kind, "scorer");
+                    assert_eq!(name, scorer);
+                    assert!(!reason.is_empty());
+                }
+                Err(other) => panic!("{scorer}: expected BadStageArg, got {other:?}"),
+                Ok(_) => panic!("{scorer}: unexpectedly composed"),
+            }
+        }
+    }
+
+    #[test]
+    fn name_accessors_match_the_builtin_table() {
+        let reg = SchedulerRegistry::builtin();
+        assert_eq!(
+            reg.entry_names(),
+            ["least-connections", "rotation", "rotation-masters"]
+        );
+        assert_eq!(
+            reg.admission_names(),
+            ["attained", "none", "reservation", "reservation-observe"]
+        );
+        assert_eq!(
+            reg.candidate_names(),
+            ["entry-only", "level-split", "pinned-slaves"]
+        );
+        assert_eq!(reg.scorer_family_names(), ["rsrc-p2"]);
+        assert_eq!(reg.charge_names(), ["cpu-only", "split-demand"]);
+        // Every enumerable (entry, admission, candidates, scorer,
+        // charge) combination composes: the accessors and the factory
+        // maps cannot drift apart.
+        let cfg = cfg();
+        for entry in reg.entry_names() {
+            for admission in reg.admission_names() {
+                for candidates in reg.candidate_names() {
+                    for scorer in reg.scorer_names() {
+                        for charge in reg.charge_names() {
+                            let spec = StageSpec {
+                                entry: entry.clone(),
+                                admission: admission.clone(),
+                                candidates: candidates.clone(),
+                                scorer: scorer.clone(),
+                                charge: charge.clone(),
+                            };
+                            reg.compose(&cfg, &spec, 0.4, 0.025).unwrap_or_else(|e| {
+                                panic!("{} does not compose: {e}", spec.render())
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -502,8 +502,10 @@ pub fn model_stretch(placements: &[(usize, u64, u64)], p: usize, speeds: Option<
     let mut count = 0u64;
     for jobs in &mut per_node {
         // Log order is time order within a run, but sort defensively
-        // (stable, so equal-time jobs keep log order).
-        jobs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        // (stable, so equal-time jobs keep log order). total_cmp: a
+        // degenerate log with NaN times must yield NaN stretch, not a
+        // panic.
+        jobs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let queue: Vec<(f64, f64)> = jobs.iter().map(|&(at, service, _)| (at, service)).collect();
         for (i, response) in simulate_ps(&queue).into_iter().enumerate() {
             // Stretch against the *raw* demand, like the recorded

@@ -88,6 +88,16 @@ USAGE:
                   --test runs the CI smoke grid and fails unless an
                   attained policy beats RSRC under noisy and hidden
                   declarations
+  msweb experiments --pareto [--grid <filter>] [--quick] [--jobs <n>]
+                  [--seed <s>] [--requests <n>] [--json <path>] [--test]
+                  enumerate every registry-composable stage combination
+                  (pruned), score each on (model stretch, node-busy CV,
+                  drop rate) under common random numbers, and print the
+                  Pareto front with first-divergent-stage attribution
+                  vs the RSRC baseline; --grid keeps only specs whose
+                  slug contains <filter>; --test runs the bounded CI
+                  smoke grid twice and fails on an empty front, a
+                  missing hybrid, or byte-nondeterminism
   msweb metrics-dump [--from <snapshot.json>] [--trace <name>]
                   [--lambda <req/s>] [--p <nodes>] [--requests <n>]
                   [--seed <s>] [--policy <name>]
@@ -147,18 +157,43 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
+    /// A finite numeric flag. Malformed or non-finite values (`abc`,
+    /// `NaN`, `inf`) are a hard error naming the offending flag — never
+    /// a silent fallback to the default.
     fn num(&self, key: &str, default: f64) -> f64 {
         match self.get(key) {
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() => x,
+                _ => {
+                    eprintln!("--{key} expects a finite number, got '{v}'");
+                    std::process::exit(2);
+                }
+            },
+            None => default,
+        }
+    }
+
+    /// A non-negative integer flag, parsed directly (no silent
+    /// truncation of fractional values, no negative-to-zero cast).
+    fn usize(&self, key: &str, default: usize) -> usize {
+        match self.get(key) {
             Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("--{key} expects a number, got '{v}'");
+                eprintln!("--{key} expects a non-negative integer, got '{v}'");
                 std::process::exit(2);
             }),
             None => default,
         }
     }
 
-    fn usize(&self, key: &str, default: usize) -> usize {
-        self.num(key, default as f64) as usize
+    /// A `u64` flag (seeds), parsed directly like [`Flags::usize`].
+    fn u64(&self, key: &str, default: u64) -> u64 {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects a non-negative integer, got '{v}'");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
     }
 
     fn required(&self, key: &str) -> &str {
@@ -310,6 +345,10 @@ fn cmd_plan(flags: &Flags) {
 }
 
 fn cmd_experiments(flags: &Flags) {
+    if flags.get("pareto").is_some() {
+        cmd_pareto(flags);
+        return;
+    }
     if flags.get("unknown-sizes").is_some() {
         cmd_unknown_sizes(flags);
         return;
@@ -321,7 +360,7 @@ fn cmd_experiments(flags: &Flags) {
     } else {
         ExpConfig::default()
     };
-    exp.seed = flags.num("seed", exp.seed as f64) as u64;
+    exp.seed = flags.u64("seed", exp.seed);
     let telemetry = flags.get("telemetry");
     let runner = ExperimentRunner::new(exp)
         .parallelism(jobs)
@@ -383,7 +422,7 @@ fn cmd_unknown_sizes(flags: &Flags) {
     } else {
         msweb::bench::ExpConfig::default()
     };
-    exp.seed = flags.num("seed", exp.seed as f64) as u64;
+    exp.seed = flags.u64("seed", exp.seed);
     exp.jobs = flags.usize("jobs", exp.jobs);
 
     let rows = msweb::bench::unknown_sizes(&exp);
@@ -429,6 +468,76 @@ fn cmd_unknown_sizes(flags: &Flags) {
     }
 }
 
+/// `msweb experiments --pareto`: the stage-space Pareto sweep — every
+/// registry-composable pipeline scored on (model stretch, node-busy CV,
+/// drop rate), the 3-D front extracted deterministically, and each
+/// frontier point attributed to its first divergent stage vs the RSRC
+/// baseline. `--test` runs the bounded smoke grid twice and fails on an
+/// empty front, a missing hybrid, or byte-nondeterminism.
+fn cmd_pareto(flags: &Flags) {
+    use msweb::bench::{pareto, pareto_check, StageGrid};
+    let test = flags.get("test").is_some();
+    let quick = test || flags.get("quick").is_some();
+    let mut exp = if quick {
+        msweb::bench::ExpConfig::quick()
+    } else {
+        msweb::bench::ExpConfig::default()
+    };
+    exp.seed = flags.u64("seed", exp.seed);
+    exp.jobs = flags.usize("jobs", exp.jobs);
+    exp.requests = flags.usize("requests", exp.requests);
+
+    let mut grid = if test {
+        StageGrid::smoke()
+    } else {
+        StageGrid::full(&SchedulerRegistry::builtin())
+    };
+    if let Some(filter) = flags.get("grid") {
+        grid = grid.with_filter(filter);
+    }
+
+    let report = pareto(&exp, &grid);
+    print!("{}", report.render());
+
+    match flags.get("json") {
+        // `--json` with no value streams to stdout; with a value it
+        // writes the file and keeps the human table on stdout.
+        Some("") => print!("{}", report.to_json()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote the frontier report to {path}");
+        }
+        None => {}
+    }
+
+    if test {
+        // Byte-determinism gate: the identical configuration must
+        // serialise identically on a second full run.
+        let again = pareto(&exp, &grid);
+        if report.to_json() != again.to_json() {
+            eprintln!("pareto gate failed: two identical runs produced different JSON");
+            std::process::exit(1);
+        }
+        println!("determinism: two runs byte-identical");
+    }
+
+    match pareto_check(&report) {
+        Ok(()) => println!(
+            "OK: non-empty front with >=1 hybrid, every point attributed vs {}",
+            report.baseline
+        ),
+        Err(msg) => {
+            eprintln!("pareto gate failed: {msg}");
+            if test {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_metrics_dump(flags: &Flags) {
     if let Some(path) = flags.get("from") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -446,7 +555,7 @@ fn cmd_metrics_dump(flags: &Flags) {
     let lambda = flags.num("lambda", 1000.0);
     let p = flags.usize("p", 32);
     let n = flags.usize("requests", 2_000);
-    let seed = flags.num("seed", 42.0) as u64;
+    let seed = flags.u64("seed", 42);
     let policy = policy_by_name(flags.get("policy").unwrap_or("ms"));
     let trace = spec
         .generate(n, &DemandModel::simulation(40.0), seed)
@@ -466,7 +575,7 @@ fn cmd_replay(flags: &Flags) {
     let inv_r = flags.num("inv-r", 40.0);
     let p = flags.usize("p", 32);
     let n = flags.usize("requests", 20_000);
-    let seed = flags.num("seed", 42.0) as u64;
+    let seed = flags.u64("seed", 42);
 
     let trace = spec
         .generate(n, &DemandModel::simulation(inv_r), seed)
@@ -884,7 +993,7 @@ fn cmd_scale(flags: &Flags) {
     const GIB: u64 = 1 << 30;
     let test_mode = flags.get("test").is_some();
     let spec = trace_by_name(flags.get("trace").unwrap_or("ucb"));
-    let seed = flags.num("seed", 42.0) as u64;
+    let seed = flags.u64("seed", 42);
     let per_p = flags.num("lambda-per-p", 31.25);
     let tick_workers = flags.usize("tick-workers", 0);
     let out = flags.get("out").unwrap_or("BENCH_scale.json");

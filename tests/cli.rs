@@ -153,3 +153,71 @@ fn experiments_rejects_unknown_id() {
     let out = msweb(&["experiments", "--id", "fig9z"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn malformed_numeric_flags_are_hard_errors_naming_the_flag() {
+    // (args, flag named in the error) — malformed, fractional-where-
+    // integer, and non-finite values must all hard-error, never fall
+    // back to a default silently.
+    let cases: &[(&[&str], &str)] = &[
+        (&["live", "--scale", "abc"], "--scale"),
+        (&["replay", "--trace", "ucb", "--lambda", "NaN"], "--lambda"),
+        (&["replay", "--trace", "ucb", "--lambda", "inf"], "--lambda"),
+        (
+            &[
+                "replay",
+                "--trace",
+                "ucb",
+                "--lambda",
+                "200",
+                "--requests",
+                "1.5",
+            ],
+            "--requests",
+        ),
+        (
+            &[
+                "replay", "--trace", "ucb", "--lambda", "200", "--seed", "-3",
+            ],
+            "--seed",
+        ),
+        (
+            &["experiments", "--pareto", "--test", "--jobs", "two"],
+            "--jobs",
+        ),
+    ];
+    for (args, flag) in cases {
+        let out = msweb(args);
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(flag),
+            "{args:?}: error must name {flag}: {err}"
+        );
+    }
+}
+
+#[test]
+fn pareto_smoke_grid_prints_attributed_front() {
+    // Tiny filtered smoke grid so the debug binary stays fast; the full
+    // gate (two-run determinism + hybrid check) runs in CI on the
+    // release binary.
+    let out = msweb(&[
+        "experiments",
+        "--pareto",
+        "--quick",
+        "--requests",
+        "200",
+        "--grid",
+        "level-split",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PARETO"), "{stdout}");
+    assert!(stdout.contains("first divergent stage"), "{stdout}");
+    assert!(stdout.contains("front:"), "{stdout}");
+}
