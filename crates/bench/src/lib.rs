@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod pareto;
+pub mod regions;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -28,6 +29,10 @@ pub mod sweep;
 pub use experiments::*;
 pub use pareto::{
     pareto, pareto_check, CellStatus, FrontierRow, ParetoReport, ParetoRow, StageGrid,
+};
+pub use regions::{
+    regions, regions_check, RegionScenarioRow, RegionsReport, ScenarioVerdict, REGION_POLICIES,
+    SCENARIOS,
 };
 pub use runner::{
     AblationReport, ExperimentId, ExperimentReport, ExperimentRunner, Fig3Row, ReportData,

@@ -212,6 +212,7 @@ impl StageGrid {
                         for charge in &self.charges {
                             out.enumerated += 1;
                             let spec = StageSpec {
+                                region: None,
                                 entry: entry.clone(),
                                 admission: admission.clone(),
                                 candidates: candidates.clone(),

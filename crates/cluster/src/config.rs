@@ -8,6 +8,7 @@ use msweb_simcore::SimDuration;
 use serde::Serialize;
 
 use crate::cache::CacheConfig;
+use crate::sched::region::RegionTopology;
 
 /// Why a [`ClusterConfig`] was rejected by [`ClusterConfig::validate`].
 ///
@@ -43,6 +44,9 @@ pub enum ConfigError {
     /// Every node would be a master under an M/S policy that needs at
     /// least one slave (use [`PolicyKind::MsAllMasters`] for that).
     NoSlave,
+    /// The region topology is inconsistent with the cluster shape
+    /// (message from [`RegionTopology::validate`]).
+    Region(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -66,6 +70,7 @@ impl fmt::Display for ConfigError {
             ConfigError::NoSlave => {
                 write!(f, "M/S needs at least one slave (use MsAllMasters)")
             }
+            ConfigError::Region(msg) => write!(f, "invalid region topology: {msg}"),
         }
     }
 }
@@ -268,6 +273,9 @@ pub struct ClusterConfig {
     /// ... DNS entry caching"). Entry node i is drawn with weight
     /// `(1 − skew)^i`.
     dns_skew: f64,
+    /// Multi-region topology; `None` (the default) is the classic
+    /// single-cluster front tier with no region stage.
+    regions: Option<RegionTopology>,
     /// RNG seed for dispatch decisions.
     seed: u64,
 }
@@ -289,6 +297,7 @@ impl ClusterConfig {
             speeds: None,
             cache: None,
             dns_skew: 0.0,
+            regions: None,
             seed: 0x5eed,
         }
     }
@@ -351,6 +360,13 @@ impl ClusterConfig {
     /// Set the remote CGI dispatch latency.
     pub fn with_remote_latency(mut self, latency: SimDuration) -> Self {
         self.remote_latency = latency;
+        self
+    }
+
+    /// Install a multi-region topology (validated against `p` and the
+    /// resolved master count by [`ClusterConfig::validate`]).
+    pub fn with_regions(mut self, regions: RegionTopology) -> Self {
+        self.regions = Some(regions);
         self
     }
 
@@ -442,6 +458,11 @@ impl ClusterConfig {
         self.dns_skew
     }
 
+    /// Multi-region topology, when one is installed.
+    pub fn regions(&self) -> Option<&RegionTopology> {
+        self.regions.as_ref()
+    }
+
     /// Dispatch-decision RNG seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -496,6 +517,9 @@ impl ClusterConfig {
                     return Err(ConfigError::NoSlave);
                 }
             }
+        }
+        if let Some(regions) = &self.regions {
+            regions.validate(self.p, m).map_err(ConfigError::Region)?;
         }
         Ok(())
     }
@@ -669,6 +693,23 @@ mod tests {
     fn validation_rejects_all_masters_for_ms() {
         let c = ClusterConfig::simulation(8, PolicyKind::MasterSlave).with_masters(8);
         assert_eq!(c.validate(), Err(ConfigError::NoSlave));
+    }
+
+    #[test]
+    fn validation_checks_region_topology() {
+        let ok = ClusterConfig::simulation(32, PolicyKind::MasterSlave)
+            .with_masters(6)
+            .with_regions(RegionTopology::even(32, 6, 3));
+        assert!(ok.validate().is_ok());
+        // Topology built for a different master count than the config
+        // resolves: the ranges no longer partition [0, m).
+        let bad = ClusterConfig::simulation(32, PolicyKind::MasterSlave)
+            .with_masters(5)
+            .with_regions(RegionTopology::even(32, 6, 3));
+        match bad.validate() {
+            Err(ConfigError::Region(msg)) => assert!(!msg.is_empty()),
+            other => panic!("expected ConfigError::Region, got {other:?}"),
+        }
     }
 
     #[test]

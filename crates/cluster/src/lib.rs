@@ -58,9 +58,10 @@ pub use reservation::ReservationController;
 pub use rsrc::RsrcPredictor;
 pub use sched::{
     analyze, AnalysisReport, AttainedService, CollectingObserver, ComposeError, DecisionObserver,
-    DecisionRecord, Dispatcher, DropRecord, DynScheduler, JsonlSink, NodeSample, Placement,
-    PlacementError, PolicyScheduler, Provenance, ReplayError, ReplayOptions, ReqKnowledge, RunMeta,
-    Schedule, Scheduler, SchedulerRegistry, StageKind, StageSpec, TraceEvent, TraceLog,
+    DecisionRecord, Dispatcher, DropRecord, DynScheduler, GreedyRegion, JsonlSink, NearestRegion,
+    NodeSample, Placement, PlacementError, PolicyScheduler, Provenance, RegionSelector,
+    RegionTopology, RegionView, ReplayError, ReplayOptions, ReqKnowledge, RunMeta, Schedule,
+    Scheduler, SchedulerRegistry, StageKind, StageSpec, TraceEvent, TraceLog,
 };
 pub use sim::{
     policy_sim, policy_sim_from_stats, simulate, simulate_source, ClusterSim, RunOptions,

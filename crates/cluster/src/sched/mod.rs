@@ -26,6 +26,7 @@
 
 pub mod index;
 pub mod knowledge;
+pub mod region;
 pub mod registry;
 pub mod replay;
 pub mod stages;
@@ -42,6 +43,7 @@ use msweb_simcore::time::{SimDuration, SimTime};
 
 pub use index::RsrcIndex;
 pub use knowledge::{AttainedService, Provenance, ReqKnowledge};
+pub use region::{GreedyRegion, NearestRegion, RegionSelector, RegionTopology, RegionView};
 pub use registry::{ComposeError, SchedulerRegistry, StageSpec};
 pub use replay::{analyze, model_stretch, AnalysisReport, ReplayError, ReplayOptions, StageKind};
 pub use stages::{AdmissionStage, CandidateStage, ChargeStage, EntryStage, ScoreStage};
@@ -274,6 +276,19 @@ impl ChargeBack for Box<dyn ChargeBack> {
     }
 }
 
+/// Optional stage 0 state: a region selector plus the topology it
+/// selects over, and a scratch liveness mask restricting the rest of
+/// the pipeline to the chosen region.
+struct RegionState {
+    selector: Box<dyn RegionSelector>,
+    topo: RegionTopology,
+    /// `masked[i] = dead[i] || i ∉ chosen region`, refilled per
+    /// placement and handed to the downstream stages as their `dead`
+    /// view, so entry/candidates/scorer confine themselves to the
+    /// region without knowing regions exist.
+    masked: Vec<bool>,
+}
+
 /// Bundle of the five pipeline stages handed to [`Scheduler::compose`].
 pub struct Stages<E, A, C, S, G> {
     /// Entry selection stage.
@@ -329,6 +344,13 @@ pub struct Scheduler<E, A, C, S, G> {
     /// Set while `replace_after_failure` runs so the emitted record is
     /// marked as a post-failure restart.
     restarting: bool,
+    /// Optional region front tier (stage 0); `None` keeps the classic
+    /// five-stage pipeline byte-identical.
+    region: Option<RegionState>,
+    /// Client origin tag for the next `place` call, set by the driver
+    /// through [`Schedule::note_origin`]; consumed (reset to 0) by
+    /// `place`.
+    pending_origin: usize,
     /// Attained-service books, fed by the driver through the
     /// [`Schedule::note_service_*`](Schedule::note_service_start)
     /// calls and read by stages through [`StageCtx::attained`].
@@ -405,8 +427,35 @@ where
             telemetry: None,
             pending: None,
             restarting: false,
+            region: None,
+            pending_origin: 0,
             attained: AttainedService::new(p),
         })
+    }
+
+    /// Install a region front tier: every subsequent placement first
+    /// picks a region with `selector`, then runs the five classic
+    /// stages confined to that region's nodes. The topology must
+    /// already have been validated against this scheduler's
+    /// configuration (the registry path does this via
+    /// [`ClusterConfig::with_regions`]).
+    pub fn set_region_stage(&mut self, topo: RegionTopology, selector: Box<dyn RegionSelector>) {
+        self.region = Some(RegionState {
+            selector,
+            topo,
+            masked: vec![false; self.p],
+        });
+    }
+
+    /// The installed region topology, when a region stage is active.
+    pub fn region_topology(&self) -> Option<&RegionTopology> {
+        self.region.as_ref().map(|rs| &rs.topo)
+    }
+
+    /// Tag the next [`Scheduler::place`] call with the client origin
+    /// region index. Ignored when no region stage is installed.
+    pub fn note_origin(&mut self, origin: usize) {
+        self.pending_origin = origin;
     }
 
     /// Number of master nodes (0 for level-free compositions).
@@ -539,6 +588,7 @@ where
         monitor: &mut LoadMonitor,
     ) -> Result<Placement, PlacementError> {
         let pending = self.pending.take();
+        let origin = std::mem::take(&mut self.pending_origin);
         // Wall-clock span timing is sampled (1 in SPAN_SAMPLE_EVERY
         // decisions): an Instant pair per stage costs more than an
         // uncontended placement, so timing every call would dominate.
@@ -546,10 +596,48 @@ where
             Some(_) if self.seq & SPAN_SAMPLE_MASK == 0 => Some(SpanTimer::start()),
             _ => None,
         };
+        // Stage 0: region selection. The selector sees the *unmasked*
+        // cluster; its choice is then folded into a masked liveness
+        // view so every downstream stage operates inside the region.
+        let region_sel = match &mut self.region {
+            Some(rs) => {
+                let view = RegionView {
+                    dead: &self.dead,
+                    in_flight: &self.in_flight,
+                    masters: self.m,
+                    at_us: pending.map_or(0, |(_, at, _)| at.0),
+                };
+                let Some(r) = rs.selector.select(origin, &rs.topo, &view) else {
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.stage_calls[Stage::Entry as usize] += 1;
+                        tel.no_live_nodes += 1;
+                    }
+                    return Err(PlacementError::NoLiveNodes);
+                };
+                for (i, slot) in rs.masked.iter_mut().enumerate() {
+                    *slot = self.dead[i] || !rs.topo.contains(r, i);
+                }
+                Some(r)
+            }
+            None => None,
+        };
+        // Downstream stages read liveness through the region mask. The
+        // mask changes per placement, so the effective liveness epoch
+        // must change too (the RSRC index caches its live set by
+        // epoch); `seq` increments every placement, making the blend
+        // strictly increasing. Regionless pipelines keep the plain
+        // epoch and are byte-identical to before.
+        let (eff_dead, eff_epoch): (&[bool], u64) = match &self.region {
+            Some(rs) => (
+                &rs.masked,
+                self.liveness.wrapping_add(self.seq).wrapping_add(1),
+            ),
+            None => (&self.dead, self.liveness),
+        };
         let entry = {
             let mut ctx = StageCtx {
                 rng: &mut self.rng,
-                dead: &self.dead,
+                dead: eff_dead,
                 in_flight: &self.in_flight,
                 masters: self.m,
                 rsrc: &self.rsrc,
@@ -558,7 +646,7 @@ where
                 monitor_id: monitor.id(),
                 load_epoch: monitor.epoch(),
                 charge_log: monitor.charges(),
-                liveness_epoch: self.liveness,
+                liveness_epoch: eff_epoch,
                 attained: &self.attained,
             };
             match self.entry.select_entry(&mut ctx) {
@@ -585,7 +673,7 @@ where
         let (masters_ok, decision) = {
             let ctx = StageCtx {
                 rng: &mut self.rng,
-                dead: &self.dead,
+                dead: eff_dead,
                 in_flight: &self.in_flight,
                 masters: self.m,
                 rsrc: &self.rsrc,
@@ -594,7 +682,7 @@ where
                 monitor_id: monitor.id(),
                 load_epoch: monitor.epoch(),
                 charge_log: monitor.charges(),
-                liveness_epoch: self.liveness,
+                liveness_epoch: eff_epoch,
                 attained: &self.attained,
             };
             let masters_ok = self.admission.master_eligible(&ctx, know);
@@ -609,7 +697,7 @@ where
         };
 
         let mut trace_scores: Vec<f64> = Vec::new();
-        let placement = match decision {
+        let mut placement = match decision {
             CandidateDecision::Stay => {
                 self.charge.debit(monitor, entry, charge_know);
                 if let Some(t) = &mut spans {
@@ -627,7 +715,7 @@ where
                 let chosen = {
                     let mut ctx = StageCtx {
                         rng: &mut self.rng,
-                        dead: &self.dead,
+                        dead: eff_dead,
                         in_flight: &self.in_flight,
                         masters: self.m,
                         rsrc: &self.rsrc,
@@ -636,7 +724,7 @@ where
                         monitor_id: monitor.id(),
                         load_epoch: monitor.epoch(),
                         charge_log: monitor.charges(),
-                        liveness_epoch: self.liveness,
+                        liveness_epoch: eff_epoch,
                         attained: &self.attained,
                     };
                     if self.observer.is_some() {
@@ -680,6 +768,11 @@ where
                 }
             }
         };
+        // The origin→region hop is paid by every request entering the
+        // region, on top of any intra-cluster transfer latency.
+        if let (Some(rs), Some(r)) = (&self.region, region_sel) {
+            placement.latency += SimDuration::from_micros(rs.topo.latency_us(origin, r));
+        }
 
         if let Some(tel) = &mut self.telemetry {
             tel.place_calls += 1;
@@ -699,6 +792,12 @@ where
                 tel.restarts += 1;
             }
             tel.node_charges[placement.node] += 1;
+            if let (Some(rs), Some(r)) = (&self.region, region_sel) {
+                if tel.region_charges.is_empty() {
+                    tel.region_charges = vec![0; rs.topo.regions()];
+                }
+                tel.region_charges[r] += 1;
+            }
             tel.latency_us_hist.record(placement.latency.as_micros());
             if let Some(t) = &spans {
                 tel.fold_spans(t);
@@ -727,6 +826,8 @@ where
                 expected_us: know.expected.as_micros(),
                 masters_ok,
                 restart: self.restarting,
+                origin,
+                region: region_sel,
             };
             obs.observe(&record);
             self.observer = Some(obs);
@@ -826,6 +927,16 @@ pub trait Schedule {
     fn emit(&mut self, event: &TraceEvent);
     /// See [`Scheduler::note_request`].
     fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration);
+    /// See [`Scheduler::note_origin`]. Defaults to a no-op so
+    /// third-party `Schedule` impls (and region-free pipelines) keep
+    /// compiling unchanged.
+    fn note_origin(&mut self, origin: usize) {
+        let _ = origin;
+    }
+    /// See [`Scheduler::region_topology`]. Defaults to `None`.
+    fn region_topology(&self) -> Option<&RegionTopology> {
+        None
+    }
     /// See [`Scheduler::set_telemetry_enabled`]. Defaults to a no-op so
     /// third-party `Schedule` impls keep compiling.
     fn set_telemetry_enabled(&mut self, on: bool) {
@@ -919,6 +1030,12 @@ where
     }
     fn note_request(&mut self, req: u64, at: SimTime, demand: SimDuration) {
         Scheduler::note_request(self, req, at, demand)
+    }
+    fn note_origin(&mut self, origin: usize) {
+        Scheduler::note_origin(self, origin)
+    }
+    fn region_topology(&self) -> Option<&RegionTopology> {
+        Scheduler::region_topology(self)
     }
     fn set_telemetry_enabled(&mut self, on: bool) {
         Scheduler::set_telemetry_enabled(self, on)

@@ -6,6 +6,7 @@
 //! [`SchedulerRegistry::builtin`] pre-registers every stage the paper's
 //! policies are built from.
 
+use super::region::{GreedyRegion, NearestRegion, RegionSelector};
 use super::stages::{
     AttainedAdmission, CpuOnlyCharge, EntryOnly, GittinsScorer, LasScorer, LeastConnectionsEntry,
     LeastConnectionsScorer, LevelCandidates, MinRsrcScorer, NoAdmission, PinnedCandidates,
@@ -18,6 +19,7 @@ use super::{
 use crate::config::{ClusterConfig, ConfigError, PolicyKind};
 use std::collections::BTreeMap;
 
+type RegionFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn RegionSelector>>;
 type EntryFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn EntrySelector>>;
 type AdmissionFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn Admission>>;
 type CandidateFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn CandidateSet>>;
@@ -25,13 +27,23 @@ type ScorerFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn Scorer>>;
 type ScorerFamilyFactory = Box<dyn Fn(&ClusterConfig, &str) -> Result<Box<dyn Scorer>, String>>;
 type ChargeFactory = Box<dyn Fn(&ClusterConfig) -> Box<dyn ChargeBack>>;
 
-/// Names of the five stages a composition is assembled from.
+/// Names of the stages a composition is assembled from.
 ///
 /// Parse one from `"entry/admission/candidates/scorer/charge"` with
 /// [`StageSpec::parse`], e.g.
 /// `"least-connections/none/level-split/min-rsrc/split-demand"`.
+/// Multi-region compositions prepend an optional sixth leading part,
+/// `"region/entry/admission/candidates/scorer/charge"`, naming the
+/// region-selector stage that runs before entry selection (e.g.
+/// `"region-greedy/rotation/none/level-split/rsrc-indexed/split-demand"`);
+/// it composes only over a configuration carrying a
+/// [`crate::RegionTopology`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageSpec {
+    /// Region-selector stage name, when the composition has a
+    /// multi-region front tier. `None` renders back to the plain
+    /// five-part form.
+    pub region: Option<String>,
     /// Entry-selector stage name.
     pub entry: String,
     /// Admission stage name.
@@ -45,13 +57,20 @@ pub struct StageSpec {
 }
 
 impl StageSpec {
-    /// Parse a `/`-separated five-part stage spec.
+    /// Parse a `/`-separated stage spec: five parts, or six with a
+    /// leading region-selector name.
     pub fn parse(spec: &str) -> Result<Self, ComposeError> {
         let parts: Vec<&str> = spec.split('/').map(str::trim).collect();
-        let [entry, admission, candidates, scorer, charge]: [&str; 5] = parts
-            .try_into()
-            .map_err(|_| ComposeError::BadSpec(spec.to_string()))?;
+        let (region, rest): (Option<&str>, &[&str]) = match parts.as_slice() {
+            [region, rest @ ..] if rest.len() == 5 => (Some(region), rest),
+            rest if rest.len() == 5 => (None, rest),
+            _ => return Err(ComposeError::BadSpec(spec.to_string())),
+        };
+        let [entry, admission, candidates, scorer, charge] = rest else {
+            unreachable!("rest.len() == 5 checked above");
+        };
         Ok(StageSpec {
+            region: region.map(str::to_string),
             entry: entry.to_string(),
             admission: admission.to_string(),
             candidates: candidates.to_string(),
@@ -113,6 +132,7 @@ impl StageSpec {
             ),
         };
         StageSpec {
+            region: None,
             entry: entry.to_string(),
             admission: admission.to_string(),
             candidates: candidates.to_string(),
@@ -121,20 +141,31 @@ impl StageSpec {
         }
     }
 
+    /// Attach a region-selector stage (builder style).
+    pub fn with_region(mut self, region: impl Into<String>) -> Self {
+        self.region = Some(region.into());
+        self
+    }
+
     /// Render back to the `/`-separated form accepted by
     /// [`StageSpec::parse`].
     pub fn render(&self) -> String {
-        format!(
+        let core = format!(
             "{}/{}/{}/{}/{}",
             self.entry, self.admission, self.candidates, self.scorer, self.charge
-        )
+        );
+        match &self.region {
+            Some(region) => format!("{region}/{core}"),
+            None => core,
+        }
     }
 }
 
 /// Why a composition could not be built.
 #[derive(Debug)]
 pub enum ComposeError {
-    /// A stage spec string did not have five `/`-separated parts.
+    /// A stage spec string did not have five `/`-separated parts (six
+    /// with the optional leading region part).
     BadSpec(String),
     /// A stage name is not registered; lists what is.
     UnknownStage {
@@ -163,7 +194,8 @@ impl std::fmt::Display for ComposeError {
         match self {
             ComposeError::BadSpec(s) => write!(
                 f,
-                "bad stage spec {s:?}: expected entry/admission/candidates/scorer/charge"
+                "bad stage spec {s:?}: expected \
+                 [region/]entry/admission/candidates/scorer/charge"
             ),
             ComposeError::UnknownStage {
                 kind,
@@ -192,6 +224,7 @@ impl From<ConfigError> for ComposeError {
 
 /// String-keyed stage factories; see the [module docs](self).
 pub struct SchedulerRegistry {
+    regions: BTreeMap<String, RegionFactory>,
     entries: BTreeMap<String, EntryFactory>,
     admissions: BTreeMap<String, AdmissionFactory>,
     candidates: BTreeMap<String, CandidateFactory>,
@@ -210,6 +243,7 @@ impl SchedulerRegistry {
     /// An empty registry with no stages registered.
     pub fn empty() -> Self {
         SchedulerRegistry {
+            regions: BTreeMap::new(),
             entries: BTreeMap::new(),
             admissions: BTreeMap::new(),
             candidates: BTreeMap::new(),
@@ -223,6 +257,7 @@ impl SchedulerRegistry {
     ///
     /// | kind | names |
     /// |---|---|
+    /// | region | `region-nearest`, `region-greedy` |
     /// | entry | `rotation`, `rotation-masters`, `least-connections` |
     /// | admission | `reservation`, `reservation-observe`, `attained`, `none` |
     /// | candidates | `level-split`, `pinned-slaves`, `entry-only` |
@@ -244,6 +279,8 @@ impl SchedulerRegistry {
     /// size-oblivious master-protection counterpart.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
+        r.register_region("region-nearest", |_| Box::new(NearestRegion));
+        r.register_region("region-greedy", |_| Box::new(GreedyRegion));
         r.register_entry("rotation", |c| {
             Box::new(RotationEntry::over_all(c.dns_skew()))
         });
@@ -287,6 +324,17 @@ impl SchedulerRegistry {
         r.register_charge("split-demand", |_| Box::new(SplitDemandCharge));
         r.register_charge("cpu-only", |_| Box::new(CpuOnlyCharge));
         r
+    }
+
+    /// Register (or replace) a region-selector factory under `name`.
+    /// Region stages only compose over configurations that carry a
+    /// region topology ([`ClusterConfig::with_regions`]).
+    pub fn register_region(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&ClusterConfig) -> Box<dyn RegionSelector> + 'static,
+    ) {
+        self.regions.insert(name.into(), Box::new(f));
     }
 
     /// Register (or replace) an entry-selector factory under `name`.
@@ -346,6 +394,11 @@ impl SchedulerRegistry {
     /// this crate hard-coding it twice.
     pub fn entry_names(&self) -> Vec<String> {
         self.entries.keys().cloned().collect()
+    }
+
+    /// Registered region-selector names, sorted.
+    pub fn region_names(&self) -> Vec<String> {
+        self.regions.keys().cloned().collect()
     }
 
     /// Registered admission names, sorted.
@@ -415,7 +468,22 @@ impl SchedulerRegistry {
             scorer: self.resolve_scorer(config, &spec.scorer)?,
             charge: get(&self.charges, "charge", &spec.charge)?(config),
         };
-        Ok(Scheduler::compose(config, stages, a0, r0)?)
+        let mut scheduler = Scheduler::compose(config, stages, a0, r0)?;
+        if let Some(region) = &spec.region {
+            let factory = get(&self.regions, "region", region)?;
+            let topo = config
+                .regions()
+                .ok_or_else(|| ComposeError::BadStageArg {
+                    kind: "region",
+                    name: region.clone(),
+                    reason: "configuration has no region topology \
+                             (ClusterConfig::with_regions)"
+                        .to_string(),
+                })?
+                .clone();
+            scheduler.set_region_stage(topo, factory(config));
+        }
+        Ok(scheduler)
     }
 
     /// Resolve a scorer name: exact registrations first, then
@@ -464,6 +532,8 @@ mod tests {
             "rotation/none/entry-only/rsrc-indexed/split-demand",
             "least-connections/reservation/level-split/rsrc-p2:2/cpu-only",
             "rotation-masters/attained/pinned-slaves/las/split-demand",
+            "region-greedy/rotation/none/level-split/rsrc-indexed/split-demand",
+            "region-nearest/least-connections/none/entry-only/rsrc-indexed/cpu-only",
         ] {
             let spec = StageSpec::parse(slug).unwrap();
             assert_eq!(spec.render(), slug);
@@ -495,7 +565,7 @@ mod tests {
         for bad in [
             "",
             "a/b/c/d",
-            "a/b/c/d/e/f",
+            "a/b/c/d/e/f/g",
             "rotation/none/entry-only/min-rsrc",
         ] {
             match StageSpec::parse(bad) {
@@ -504,9 +574,13 @@ mod tests {
             }
         }
         // Trailing-empty part still has five segments and parses; the
-        // empty *name* then fails stage lookup, not spec splitting.
+        // empty *name* then fails stage lookup, not spec splitting. A
+        // six-part spec parses with the first part as the region stage.
         let spec = StageSpec::parse("rotation/none/entry-only/min-rsrc/").unwrap();
         assert_eq!(spec.charge, "");
+        let spec = StageSpec::parse("a/b/c/d/e/f").unwrap();
+        assert_eq!(spec.region.as_deref(), Some("a"));
+        assert_eq!(spec.entry, "b");
     }
 
     #[test]
@@ -521,6 +595,10 @@ mod tests {
             ("rotation/none/nope/min-rsrc/split-demand", "candidates"),
             ("rotation/none/entry-only/nope/split-demand", "scorer"),
             ("rotation/none/entry-only/min-rsrc/nope", "charge"),
+            (
+                "nope/rotation/none/entry-only/min-rsrc/split-demand",
+                "region",
+            ),
         ];
         for (slug, expect_kind) in cases {
             let spec = StageSpec::parse(slug).unwrap();
@@ -559,8 +637,39 @@ mod tests {
     }
 
     #[test]
+    fn region_specs_compose_only_over_region_topologies() {
+        use crate::RegionTopology;
+        let reg = SchedulerRegistry::builtin();
+        let spec =
+            StageSpec::parse("region-nearest/rotation/none/level-split/rsrc-indexed/split-demand")
+                .unwrap();
+        // Without a topology the spec is a typed error, not a panic.
+        match reg.compose(&cfg(), &spec, 0.4, 0.025) {
+            Err(ComposeError::BadStageArg { kind, name, reason }) => {
+                assert_eq!(kind, "region");
+                assert_eq!(name, "region-nearest");
+                assert!(reason.contains("region topology"), "{reason}");
+            }
+            Err(other) => panic!("expected BadStageArg, got {other:?}"),
+            Ok(_) => panic!("composed without a region topology"),
+        }
+        // With one, both built-in selectors compose and the scheduler
+        // reports the installed topology.
+        let cfg = cfg().with_regions(RegionTopology::even(8, 2, 2));
+        for region in reg.region_names() {
+            let spec = spec.clone().with_region(region.clone());
+            let sched = reg
+                .compose(&cfg, &spec, 0.4, 0.025)
+                .unwrap_or_else(|e| panic!("{region}: {e}"));
+            let topo = sched.region_topology().expect("topology installed");
+            assert_eq!(topo.regions(), 2);
+        }
+    }
+
+    #[test]
     fn name_accessors_match_the_builtin_table() {
         let reg = SchedulerRegistry::builtin();
+        assert_eq!(reg.region_names(), ["region-greedy", "region-nearest"]);
         assert_eq!(
             reg.entry_names(),
             ["least-connections", "rotation", "rotation-masters"]
@@ -585,6 +694,7 @@ mod tests {
                     for scorer in reg.scorer_names() {
                         for charge in reg.charge_names() {
                             let spec = StageSpec {
+                                region: None,
                                 entry: entry.clone(),
                                 admission: admission.clone(),
                                 candidates: candidates.clone(),

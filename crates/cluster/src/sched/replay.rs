@@ -62,6 +62,9 @@ const MAX_WARNINGS: usize = 16;
 /// The pipeline stage a divergent placement is attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum StageKind {
+    /// Region selection disagreed (only reachable when at least one of
+    /// the compared compositions carries a region stage).
+    Region,
     /// Entry selection disagreed.
     Entry,
     /// The admission verdict (`masters_ok`) or reservation state
@@ -80,6 +83,7 @@ impl StageKind {
     /// Stable lowercase name used in reports.
     pub fn as_str(self) -> &'static str {
         match self {
+            StageKind::Region => "region",
             StageKind::Entry => "entry",
             StageKind::Admission => "admission",
             StageKind::Candidates => "candidates",
@@ -278,21 +282,30 @@ impl AnalysisReport {
                 ("stage", Value::Str(d.stage.as_str().to_string())),
             ]),
         };
-        let attribution = obj([
+        // The `region` key only appears when a region stage was in play
+        // (a 6-part spec on either side); regionless reports keep the
+        // historical 5-key attribution object byte-for-byte.
+        let region_stage = self.baseline_spec.matches('/').count() == 5
+            || self.replay_spec.matches('/').count() == 5;
+        let mut stages = vec![
             StageKind::Entry,
             StageKind::Admission,
             StageKind::Candidates,
             StageKind::Charge,
             StageKind::Scorer,
-        ]
-        .into_iter()
-        .map(|s| {
-            (
-                s.as_str(),
-                Value::UInt(self.stage_attribution.get(s.as_str()).copied().unwrap_or(0)),
-            )
-        })
-        .collect());
+        ];
+        if region_stage {
+            stages.insert(0, StageKind::Region);
+        }
+        let attribution = obj(stages
+            .into_iter()
+            .map(|s| {
+                (
+                    s.as_str(),
+                    Value::UInt(self.stage_attribution.get(s.as_str()).copied().unwrap_or(0)),
+                )
+            })
+            .collect());
         let rows = Value::Array(
             self.divergences
                 .iter()
@@ -426,12 +439,18 @@ fn config_from_meta(meta: &RunMeta) -> Result<(ClusterConfig, PolicyKind), Repla
     if let Some(speeds) = &meta.speeds {
         cfg = cfg.with_speeds(speeds.clone());
     }
+    if let Some(regions) = &meta.regions {
+        cfg = cfg.with_regions(regions.clone());
+    }
     Ok((cfg, policy))
 }
 
 /// Compare a recorded decision against its replayed counterpart and
 /// return the first stage that disagreed, in pipeline order.
 fn first_divergent_stage(f: &DecisionRecord, c: &DecisionRecord) -> Option<StageKind> {
+    if f.region != c.region {
+        return Some(StageKind::Region);
+    }
     if f.entry != c.entry {
         return Some(StageKind::Entry);
     }
@@ -692,6 +711,7 @@ pub fn analyze(log: &TraceLog, opts: &ReplayOptions) -> Result<AnalysisReport, R
                     SimTime(f.at_us),
                     SimDuration::from_micros(f.demand_us),
                 );
+                scheduler.note_origin(f.origin);
                 // Replay re-declares exactly what the recorded run
                 // declared (`w`/`expected_us` are the declaration; the
                 // truth lives in `demand_us` via `note_request`).
@@ -811,6 +831,7 @@ pub fn analyze(log: &TraceLog, opts: &ReplayOptions) -> Result<AnalysisReport, R
                     // lockstep. A different composition may even manage
                     // to place the request.
                     scheduler.note_request(d.req, SimTime(d.at_us), SimDuration::ZERO);
+                    scheduler.note_origin(d.origin);
                     let know = ReqKnowledge::exact(d.w, SimDuration::from_micros(d.expected_us));
                     let placed = if d.restart {
                         scheduler.replace_after_failure(d.dynamic, know, &mut monitor)

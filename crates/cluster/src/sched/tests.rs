@@ -324,8 +324,11 @@ fn registry_reports_unknown_stage_names() {
 #[test]
 fn stage_spec_rejects_wrong_arity() {
     assert!(StageSpec::parse("a/b/c").is_err());
-    assert!(StageSpec::parse("a/b/c/d/e/f").is_err());
+    assert!(StageSpec::parse("a/b/c/d/e/f/g").is_err());
     assert!(StageSpec::parse("rotation/none/entry-only/random/cpu-only").is_ok());
+    // Six parts parse as region + the classic five.
+    let spec = StageSpec::parse("region-nearest/rotation/none/entry-only/random/cpu-only").unwrap();
+    assert_eq!(spec.region.as_deref(), Some("region-nearest"));
 }
 
 #[test]
@@ -522,6 +525,8 @@ fn jsonl_sink_writes_one_line_per_record() {
             expected_us: 0,
             masters_ok: true,
             restart: false,
+            origin: 0,
+            region: None,
         };
         sink.observe(&record);
         sink.observe(&record);

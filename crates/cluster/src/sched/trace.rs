@@ -30,6 +30,7 @@
 //! fields defaulted and reports a warning instead of an error. Unknown
 //! fields and newer schema versions likewise degrade to warnings.
 
+use super::region::RegionTopology;
 use serde::{Serialize, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
@@ -96,6 +97,15 @@ pub struct DecisionRecord {
     /// Whether this decision re-placed a request lost to a node failure
     /// (`replace_after_failure`).
     pub restart: bool,
+    /// Client origin region index the driver tagged the request with.
+    /// Only meaningful (and only serialised) when `region` is `Some`;
+    /// region-free logs parse it back as 0.
+    pub origin: usize,
+    /// Region chosen by the region stage, `None` when the pipeline has
+    /// no region front tier. `origin` and `region` are serialised only
+    /// when this is `Some`, so region-free logs keep the exact pre-
+    /// region field set.
+    pub region: Option<usize>,
 }
 
 /// One node's cumulative load counters as sampled at a monitor tick —
@@ -178,6 +188,10 @@ pub struct RunMeta {
     pub redirect_rtt_us: u64,
     /// Per-node speed factors (`None` = homogeneous).
     pub speeds: Option<Vec<f64>>,
+    /// Region topology, when the run used a region front tier.
+    /// Serialised only when `Some`, so region-free logs keep the exact
+    /// pre-region field set.
+    pub regions: Option<RegionTopology>,
 }
 
 /// A dropped request: either the front end found no live node (the
@@ -203,6 +217,11 @@ pub struct DropRecord {
     /// Whether the drop happened on the fail-over path (a lost request
     /// that was not restarted) rather than at the front end.
     pub restart: bool,
+    /// Client origin region of the dropped request; 0 for regionless
+    /// workloads (serialised only when non-zero, so regionless logs are
+    /// byte-identical to older ones). Replay re-drives the drop with
+    /// the same origin to stay in lockstep under region outages.
+    pub origin: usize,
 }
 
 /// One line of a schema-v2 decision log; see the [module docs](self).
@@ -279,29 +298,31 @@ fn tagged(ev: &str, mut rest: Vec<(&str, Value)>) -> Value {
 }
 
 fn decision_value(r: &DecisionRecord) -> Value {
-    tagged(
-        "decision",
-        vec![
-            ("seq", u(r.seq)),
-            ("dynamic", Value::Bool(r.dynamic)),
-            ("entry", u(r.entry as u64)),
-            ("candidates", r.candidates.to_value()),
-            ("scores", r.scores.to_value()),
-            ("theta_hat", Value::Float(r.theta_hat)),
-            ("theta2_star", Value::Float(r.theta2_star)),
-            ("chosen", u(r.chosen as u64)),
-            ("on_master", Value::Bool(r.on_master)),
-            ("redirected", Value::Bool(r.redirected)),
-            ("latency_us", u(r.latency_us)),
-            ("req", u(r.req)),
-            ("at_us", u(r.at_us)),
-            ("demand_us", u(r.demand_us)),
-            ("w", Value::Float(r.w)),
-            ("expected_us", u(r.expected_us)),
-            ("masters_ok", Value::Bool(r.masters_ok)),
-            ("restart", Value::Bool(r.restart)),
-        ],
-    )
+    let mut fields = vec![
+        ("seq", u(r.seq)),
+        ("dynamic", Value::Bool(r.dynamic)),
+        ("entry", u(r.entry as u64)),
+        ("candidates", r.candidates.to_value()),
+        ("scores", r.scores.to_value()),
+        ("theta_hat", Value::Float(r.theta_hat)),
+        ("theta2_star", Value::Float(r.theta2_star)),
+        ("chosen", u(r.chosen as u64)),
+        ("on_master", Value::Bool(r.on_master)),
+        ("redirected", Value::Bool(r.redirected)),
+        ("latency_us", u(r.latency_us)),
+        ("req", u(r.req)),
+        ("at_us", u(r.at_us)),
+        ("demand_us", u(r.demand_us)),
+        ("w", Value::Float(r.w)),
+        ("expected_us", u(r.expected_us)),
+        ("masters_ok", Value::Bool(r.masters_ok)),
+        ("restart", Value::Bool(r.restart)),
+    ];
+    if let Some(region) = r.region {
+        fields.push(("origin", u(r.origin as u64)));
+        fields.push(("region", u(region as u64)));
+    }
+    tagged("decision", fields)
 }
 
 /// Encode one event as a compact single-line JSON object (no trailing
@@ -309,9 +330,8 @@ fn decision_value(r: &DecisionRecord) -> Value {
 pub fn encode_event(event: &TraceEvent) -> String {
     let value = match event {
         TraceEvent::Decision(r) => decision_value(r),
-        TraceEvent::Meta(m) => tagged(
-            "meta",
-            vec![
+        TraceEvent::Meta(m) => {
+            let mut fields = vec![
                 ("substrate", Value::Str(m.substrate.clone())),
                 ("p", u(m.p as u64)),
                 ("m", u(m.m as u64)),
@@ -338,8 +358,12 @@ pub fn encode_event(event: &TraceEvent) -> String {
                         None => Value::Null,
                     },
                 ),
-            ],
-        ),
+            ];
+            if let Some(regions) = &m.regions {
+                fields.push(("regions", regions.to_value()));
+            }
+            tagged("meta", fields)
+        }
         TraceEvent::Complete {
             req,
             node,
@@ -381,9 +405,8 @@ pub fn encode_event(event: &TraceEvent) -> String {
         ),
         TraceEvent::NodeDown { node } => tagged("node-down", vec![("node", u(*node as u64))]),
         TraceEvent::NodeUp { node } => tagged("node-up", vec![("node", u(*node as u64))]),
-        TraceEvent::Drop(d) => tagged(
-            "drop",
-            vec![
+        TraceEvent::Drop(d) => {
+            let mut fields = vec![
                 ("req", u(d.req)),
                 ("at_us", u(d.at_us)),
                 ("dynamic", Value::Bool(d.dynamic)),
@@ -391,8 +414,12 @@ pub fn encode_event(event: &TraceEvent) -> String {
                 ("expected_us", u(d.expected_us)),
                 ("redrive", Value::Bool(d.redrive)),
                 ("restart", Value::Bool(d.restart)),
-            ],
-        ),
+            ];
+            if d.origin != 0 {
+                fields.push(("origin", u(d.origin as u64)));
+            }
+            tagged("drop", fields)
+        }
         TraceEvent::Unknown { ev } => tagged(ev, vec![]),
     };
     value.to_json()
@@ -408,11 +435,14 @@ struct Obj<'a> {
 
 impl<'a> Obj<'a> {
     fn get(&self, key: &str) -> Result<&'a Value, String> {
-        self.fields
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.opt(key)
             .ok_or_else(|| format!("{} event missing field {key:?}", self.ev))
+    }
+
+    /// Optional field lookup for fields written conditionally (the
+    /// region extensions): absence is `None`, not an error.
+    fn opt(&self, key: &str) -> Option<&'a Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     fn u64(&self, key: &str) -> Result<u64, String> {
@@ -500,6 +530,8 @@ const DECISION_FIELDS: &[&str] = &[
     "expected_us",
     "masters_ok",
     "restart",
+    "origin",
+    "region",
 ];
 
 /// Parse a decision object. `v1` relaxes the v2-only fields to their
@@ -525,6 +557,21 @@ fn parse_decision(o: &Obj<'_>, v1: bool) -> Result<DecisionRecord, String> {
         expected_us: if v1 { 0 } else { o.u64("expected_us")? },
         masters_ok: if v1 { true } else { o.bool("masters_ok")? },
         restart: if v1 { false } else { o.bool("restart")? },
+        origin: match o.opt("origin") {
+            None => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| "decision field \"origin\" is not an unsigned integer".to_string())?
+                as usize,
+        },
+        region: match o.opt("region") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                Some(v.as_u64().ok_or_else(|| {
+                    "decision field \"region\" is not an unsigned integer".to_string()
+                })? as usize)
+            }
+        },
     })
 }
 
@@ -588,6 +635,7 @@ pub fn parse_line(line: &str) -> Result<(TraceEvent, Vec<String>), String> {
                     "remote_latency_us",
                     "redirect_rtt_us",
                     "speeds",
+                    "regions",
                 ],
                 &mut warnings,
             );
@@ -615,6 +663,13 @@ pub fn parse_line(line: &str) -> Result<(TraceEvent, Vec<String>), String> {
                 speeds: match o.get("speeds")? {
                     Value::Null => None,
                     _ => Some(o.f64_array("speeds")?),
+                },
+                regions: match o.opt("regions") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(
+                        RegionTopology::from_value(v)
+                            .map_err(|e| format!("meta field \"regions\": {e}"))?,
+                    ),
                 },
             })
         }
@@ -692,6 +747,7 @@ pub fn parse_line(line: &str) -> Result<(TraceEvent, Vec<String>), String> {
                     "expected_us",
                     "redrive",
                     "restart",
+                    "origin",
                 ],
                 &mut warnings,
             );
@@ -703,6 +759,12 @@ pub fn parse_line(line: &str) -> Result<(TraceEvent, Vec<String>), String> {
                 expected_us: o.u64("expected_us")?,
                 redrive: o.bool("redrive")?,
                 restart: o.bool("restart")?,
+                origin: match o.opt("origin") {
+                    None => 0,
+                    Some(v) => v.as_u64().ok_or_else(|| {
+                        "drop field \"origin\" is not an unsigned integer".to_string()
+                    })? as usize,
+                },
             })
         }
         other => {
@@ -881,6 +943,8 @@ mod tests {
             expected_us: 16_000,
             masters_ok: true,
             restart: false,
+            origin: 0,
+            region: None,
         }
     }
 
@@ -914,6 +978,7 @@ mod tests {
                 remote_latency_us: 1000,
                 redirect_rtt_us: 80_000,
                 speeds: Some(vec![1.0, 2.0]),
+                regions: None,
             }),
             TraceEvent::Complete {
                 req: 9,
@@ -943,6 +1008,7 @@ mod tests {
                 expected_us: 16_000,
                 redrive: true,
                 restart: false,
+                origin: 0,
             }),
         ];
         for event in events {
@@ -951,6 +1017,67 @@ mod tests {
             assert_eq!(parsed, event, "line: {line}");
             assert!(warnings.is_empty(), "{warnings:?}");
         }
+    }
+
+    #[test]
+    fn region_fields_round_trip_and_stay_off_regionless_lines() {
+        // Regionless decisions must not grow the origin/region keys —
+        // the 20-key line schema is a fixture contract.
+        let plain = encode_event(&TraceEvent::Decision(sample_record()));
+        assert!(!plain.contains("\"origin\""), "{plain}");
+        assert!(!plain.contains("\"region\""), "{plain}");
+
+        let mut tagged = sample_record();
+        tagged.origin = 2;
+        tagged.region = Some(1);
+        let event = TraceEvent::Decision(tagged);
+        let line = encode_event(&event);
+        let (parsed, warnings) = parse_line(&line).unwrap();
+        assert_eq!(parsed, event);
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        let meta = TraceEvent::Meta(RunMeta {
+            substrate: "sim".into(),
+            p: 12,
+            m: 3,
+            policy: "ms".into(),
+            spec: Some("region-nearest/rotation-masters/reservation/level-split/rsrc-indexed-reserve/split-demand".into()),
+            seed: 7,
+            a0: 0.13,
+            r0: 0.025,
+            master_reserve: 0.5,
+            dns_skew: 0.0,
+            monitor_period_us: 500_000,
+            remote_latency_us: 1000,
+            redirect_rtt_us: 80_000,
+            speeds: None,
+            regions: Some(RegionTopology::even(12, 3, 3)),
+        });
+        let line = encode_event(&meta);
+        let (parsed, warnings) = parse_line(&line).unwrap();
+        assert_eq!(parsed, meta);
+        assert!(warnings.is_empty(), "{warnings:?}");
+
+        // Drops carry the origin only when it is non-zero.
+        let mut drop = DropRecord {
+            req: 11,
+            at_us: 900_000,
+            dynamic: true,
+            w: 0.6,
+            expected_us: 16_000,
+            redrive: true,
+            restart: false,
+            origin: 0,
+        };
+        let plain = encode_event(&TraceEvent::Drop(drop.clone()));
+        assert!(!plain.contains("\"origin\""), "{plain}");
+        drop.origin = 3;
+        let event = TraceEvent::Drop(drop);
+        let line = encode_event(&event);
+        assert!(line.contains("\"origin\":3"), "{line}");
+        let (parsed, warnings) = parse_line(&line).unwrap();
+        assert_eq!(parsed, event);
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

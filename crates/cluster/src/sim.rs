@@ -314,6 +314,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 remote_latency_us: self.config.remote_latency().as_micros(),
                 redirect_rtt_us: self.config.redirect_rtt().as_micros(),
                 speeds: self.config.speeds().map(<[f64]>::to_vec),
+                regions: self.scheduler.region_topology().cloned(),
             };
             self.scheduler.emit(&TraceEvent::Meta(meta));
         }
@@ -553,6 +554,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             req.demand.service
         };
         self.scheduler.note_request(seq, t, served_demand);
+        self.scheduler.note_origin(req.origin);
         let know = self.declare(w, expected);
         let placed = self
             .scheduler
@@ -570,6 +572,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     expected_us: know.expected.as_micros(),
                     redrive: true,
                     restart: false,
+                    origin: req.origin,
                 }));
             }
             return;
@@ -658,6 +661,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             let mut drop_w = req.demand.cpu_fraction;
             let restarted = if attempt {
                 self.scheduler.note_request(tag, t, req.demand.service);
+                self.scheduler.note_origin(req.origin);
                 let know = self.declare(req.demand.cpu_fraction, self.mean_demand.1);
                 drop_w = know.w;
                 self.scheduler
@@ -681,7 +685,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             } else {
                 self.in_flight.remove(&tag);
                 self.metrics.note_dropped();
-                self.emit_failure_drop(tag, t, req.class.is_dynamic(), drop_w, attempt);
+                self.emit_failure_drop(tag, t, req.class.is_dynamic(), drop_w, attempt, req.origin);
             }
         }
         // Requests in flight *towards* the dead node: re-route them too.
@@ -695,6 +699,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     let mut drop_w = r.demand.cpu_fraction;
                     let restarted = if attempt {
                         self.scheduler.note_request(tag, t, r.demand.service);
+                        self.scheduler.note_origin(r.origin);
                         let know = self.declare(r.demand.cpu_fraction, self.mean_demand.1);
                         drop_w = know.w;
                         self.scheduler
@@ -715,7 +720,14 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                     } else {
                         self.in_flight.remove(&tag);
                         self.metrics.note_dropped();
-                        self.emit_failure_drop(tag, t, r.class.is_dynamic(), drop_w, attempt);
+                        self.emit_failure_drop(
+                            tag,
+                            t,
+                            r.class.is_dynamic(),
+                            drop_w,
+                            attempt,
+                            r.origin,
+                        );
                     }
                 }
                 _ => {
@@ -728,7 +740,15 @@ impl<Sch: Schedule> ClusterSim<Sch> {
     /// Emit a fail-over drop event: `redrive` records whether the
     /// scheduler actually ran (and advanced its RNG) before the drop,
     /// in which case `w` is the weight the failed call was given.
-    fn emit_failure_drop(&mut self, req: u64, t: SimTime, dynamic: bool, w: f64, redrive: bool) {
+    fn emit_failure_drop(
+        &mut self,
+        req: u64,
+        t: SimTime,
+        dynamic: bool,
+        w: f64,
+        redrive: bool,
+        origin: usize,
+    ) {
         if !self.scheduler.tracing() {
             return;
         }
@@ -740,6 +760,7 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             expected_us: self.mean_demand.1.as_micros(),
             redrive,
             restart: true,
+            origin,
         }));
     }
 

@@ -176,6 +176,10 @@ pub struct SchedTelemetry {
     pub stage_samples: [u64; STAGE_COUNT],
     /// Per-node successful-placement (charge) counts; length `p`.
     pub node_charges: Vec<u64>,
+    /// Per-region successful-placement counts when a region stage is
+    /// installed; empty otherwise (sized lazily on the first charge so
+    /// regionless runs serialise byte-identically to older snapshots).
+    pub region_charges: Vec<u64>,
     /// Candidate-set size per scored (remote) decision.
     pub candidates_hist: LogHistogram,
     /// Transfer latency per placement, microseconds.
@@ -195,6 +199,7 @@ impl SchedTelemetry {
             stage_ns: [0; STAGE_COUNT],
             stage_samples: [0; STAGE_COUNT],
             node_charges: vec![0; p],
+            region_charges: Vec::new(),
             candidates_hist: LogHistogram::new(),
             latency_us_hist: LogHistogram::new(),
         }
@@ -493,9 +498,8 @@ impl TelemetrySnapshot {
                     ("series", Value::Array(windows)),
                 ]),
             ),
-            (
-                "nodes",
-                obj(vec![
+            ("nodes", {
+                let mut nodes = vec![
                     (
                         "busy",
                         Value::Array(self.node_busy.iter().map(|&b| fnum(b)).collect()),
@@ -504,8 +508,15 @@ impl TelemetrySnapshot {
                         "charges",
                         Value::Array(self.sched.node_charges.iter().map(|&c| u(c)).collect()),
                     ),
-                ]),
-            ),
+                ];
+                if !self.sched.region_charges.is_empty() {
+                    nodes.push((
+                        "region_charges",
+                        Value::Array(self.sched.region_charges.iter().map(|&c| u(c)).collect()),
+                    ));
+                }
+                obj(nodes)
+            }),
             (
                 "hists",
                 obj(vec![
@@ -640,6 +651,13 @@ impl TelemetrySnapshot {
         }
         for (i, c) in charges.iter().enumerate() {
             sched.node_charges[i] = c.as_u64().ok_or("non-integer node charge count")?;
+        }
+        if let Some(region_charges) = nodes.get("region_charges").and_then(Value::as_array) {
+            for c in region_charges {
+                sched
+                    .region_charges
+                    .push(c.as_u64().ok_or("non-integer region charge count")?);
+            }
         }
 
         let hists = v.get("hists").ok_or("missing 'hists'")?;
@@ -826,6 +844,17 @@ impl TelemetrySnapshot {
         for (i, c) in self.sched.node_charges.iter().enumerate() {
             let _ = writeln!(w, "msweb_node_charges_total{{node=\"{i}\"}} {c}");
         }
+        if !self.sched.region_charges.is_empty() {
+            let _ = writeln!(
+                w,
+                "# HELP msweb_region_charges_total Placements charged to each \
+                 front-tier region by the region-selector stage."
+            );
+            let _ = writeln!(w, "# TYPE msweb_region_charges_total counter");
+            for (i, c) in self.sched.region_charges.iter().enumerate() {
+                let _ = writeln!(w, "msweb_region_charges_total{{region=\"{i}\"}} {c}");
+            }
+        }
 
         prom_histogram(
             w,
@@ -1002,6 +1031,26 @@ mod tests {
         let back = TelemetrySnapshot::from_value(&parsed).expect("snapshot decodes");
         assert_eq!(back, snap);
         assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn region_charges_round_trip_and_stay_off_regionless_snapshots() {
+        let regionless = sample_snapshot();
+        assert!(!regionless.to_json().contains("region_charges"));
+        assert!(!regionless
+            .to_prometheus()
+            .contains("msweb_region_charges_total"));
+
+        let mut snap = sample_snapshot();
+        snap.sched.region_charges = vec![70, 30];
+        let json = snap.to_json();
+        assert!(json.contains("region_charges"));
+        let back = TelemetrySnapshot::from_json(&json).expect("snapshot decodes");
+        assert_eq!(back.sched.region_charges, [70, 30]);
+        assert_eq!(back, snap);
+        assert!(snap
+            .to_prometheus()
+            .contains("msweb_region_charges_total{region=\"1\"} 30"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use msweb_cluster::sched::{encode_event, parse_line, DecisionRecord, RunMeta};
 use msweb_cluster::{
     simulate, ClusterConfig, Dispatcher, DropRecord, LoadMonitor, NodeSample, PolicyKind,
-    ReqKnowledge, RunOptions, SchedulerRegistry, StageSpec, TraceEvent,
+    RegionTopology, ReqKnowledge, RunOptions, SchedulerRegistry, StageSpec, TraceEvent,
 };
 use msweb_simcore::{SimDuration, SimTime};
 use msweb_workload::{ksu, ucb, DemandModel};
@@ -310,6 +310,8 @@ proptest! {
         redirected in any::<bool>(),
         masters_ok in any::<bool>(),
         restart in any::<bool>(),
+        origin in 0usize..8,
+        region in any::<Option<bool>>(),
     ) {
         let record = DecisionRecord {
             seq,
@@ -330,6 +332,8 @@ proptest! {
             expected_us,
             masters_ok,
             restart,
+            origin: if region.is_some() { origin } else { 0 },
+            region: region.map(usize::from),
         };
         let event = TraceEvent::Decision(record);
         let line = encode_event(&event);
@@ -368,6 +372,7 @@ proptest! {
                 expected_us: us,
                 redrive,
                 restart,
+                origin: node % 8,
             }),
             1 => TraceEvent::NodeDown { node },
             2 => TraceEvent::NodeUp { node },
@@ -418,6 +423,7 @@ proptest! {
         remote_latency_us in any::<u64>(),
         redirect_rtt_us in any::<u64>(),
         speeds in any::<Option<u8>>(),
+        regions in any::<bool>(),
     ) {
         const SPECS: [&str; 4] = [
             "rotation/none/entry-only/rsrc-indexed/split-demand",
@@ -440,6 +446,7 @@ proptest! {
             remote_latency_us,
             redirect_rtt_us,
             speeds: speeds.map(|k| (0..k as usize % 6).map(|i| 0.5 + i as f64).collect()),
+            regions: regions.then(|| RegionTopology::even(p.max(2), p.max(2) / 2, 2)),
         };
         let event = TraceEvent::Meta(meta);
         let line = encode_event(&event);
@@ -482,6 +489,8 @@ proptest! {
             expected_us: 9,
             masters_ok: true,
             restart: false,
+            origin: 0,
+            region: None,
         };
         let line = encode_event(&TraceEvent::Decision(record.clone()));
 
@@ -660,6 +669,118 @@ proptest! {
             prop_assert_eq!(att.completed_time().as_micros(), true_total);
         } else {
             prop_assert!(att.completed_time().as_micros() <= true_total);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Region-capacity conservation: driving a region-composed
+    /// scheduler directly through an arbitrary interleaving of
+    /// placements (with migrating origins), completions, and node
+    /// kill/recover toggles, every successful placement lands in a
+    /// region that had a live master and spare capacity at decision
+    /// time, the placement itself never pushes a region past its
+    /// capacity, and `NoLiveNodes` is returned exactly when no region
+    /// is eligible. Failures shrink to a minimal op sequence.
+    #[test]
+    fn region_guard_conserves_capacity_under_outages_and_migrations(
+        seed in any::<u64>(),
+        k in 2usize..5,
+        masters_per in 1usize..3,
+        slaves_per in 1usize..4,
+        node_capacity in 1u32..4,
+        greedy in any::<bool>(),
+        ops in prop::collection::vec(
+            (0usize..8, 0usize..64, any::<bool>(), 0usize..3),
+            1..160,
+        ),
+    ) {
+        let m = k * masters_per;
+        let p = m + k * slaves_per;
+        let topo = RegionTopology::even(p, m, k).with_node_capacity(node_capacity);
+        let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+            .with_masters(m)
+            .with_seed(seed)
+            .with_regions(topo.clone());
+        let policy = if greedy { "region-greedy" } else { "region-nearest" };
+        let spec = StageSpec::for_policy(PolicyKind::MasterSlave).with_region(policy);
+        let mut sched = SchedulerRegistry::builtin()
+            .compose(&cfg, &spec, 0.25, 0.025)
+            .expect("region pipeline composes");
+        let mut monitor = LoadMonitor::new(p, SimDuration::from_millis(500), SimTime::ZERO);
+
+        let region_load = |sched: &dyn Fn(usize) -> u32, r: usize| {
+            let counts: Vec<u32> = (0..p).map(sched).collect();
+            topo.region_in_flight(r, &counts)
+        };
+
+        let mut outstanding: Vec<usize> = Vec::new();
+        let mut req = 0u64;
+        let mut t_us = 0u64;
+        for (origin, sel, dynamic, action) in ops {
+            match action {
+                // An outage (or recovery) of one node; whole-region
+                // outages arise from repeated toggles.
+                0 => {
+                    let node = sel % p;
+                    let dead = sched.is_dead(node);
+                    sched.set_dead(node, !dead);
+                }
+                // A completion frees capacity in the serving region.
+                1 => {
+                    if !outstanding.is_empty() {
+                        let node = outstanding.swap_remove(sel % outstanding.len());
+                        sched.note_completion(node);
+                    }
+                }
+                // A placement from a (possibly migrated) origin.
+                _ => {
+                    req += 1;
+                    t_us += 1_000;
+                    let demand = SimDuration::from_micros(8_000);
+                    sched.note_request(req, SimTime(t_us), demand);
+                    sched.note_origin(origin);
+                    let dead: Vec<bool> = (0..p).map(|n| sched.is_dead(n)).collect();
+                    let before: Vec<u64> = (0..k)
+                        .map(|r| region_load(&|n| sched.in_flight(n), r))
+                        .collect();
+                    match sched.place(dynamic, ReqKnowledge::exact(0.4, demand), &mut monitor) {
+                        Ok(placement) => {
+                            let r = topo.region_of(placement.node);
+                            prop_assert!(
+                                topo.has_live_master(r, &dead, m),
+                                "req {} placed into region {} with no live master",
+                                req, r
+                            );
+                            prop_assert!(
+                                before[r] < topo.capacity(r),
+                                "req {} entered region {} already at capacity {}",
+                                req, r, topo.capacity(r)
+                            );
+                            let after = region_load(&|n| sched.in_flight(n), r);
+                            prop_assert!(
+                                after <= topo.capacity(r),
+                                "region {} exceeded capacity: {} > {}",
+                                r, after, topo.capacity(r)
+                            );
+                            outstanding.push(placement.node);
+                        }
+                        Err(_) => {
+                            for (r, &load) in before.iter().enumerate() {
+                                prop_assert!(
+                                    !topo.has_live_master(r, &dead, m)
+                                        || load >= topo.capacity(r),
+                                    "NoLiveNodes returned while region {} was eligible \
+                                     (live master, load {}/{})",
+                                    r, load, topo.capacity(r)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -52,6 +52,10 @@ pub struct LiveConfig {
     pub master_reserve: f64,
     /// Dispatch RNG seed.
     pub seed: u64,
+    /// Stage-spec label recorded in the decision log's meta line when
+    /// the caller drives [`emulate_with`] with a registry composition
+    /// (`None` for plain policy runs).
+    pub spec: Option<String>,
 }
 
 impl LiveConfig {
@@ -65,7 +69,15 @@ impl LiveConfig {
             monitor_period: Duration::from_millis(250),
             master_reserve: 0.5,
             seed: 0x50e5,
+            spec: None,
         }
+    }
+
+    /// Record a stage-spec label in the decision log's meta line
+    /// (builder style).
+    pub fn with_spec(mut self, spec: impl Into<String>) -> Self {
+        self.spec = Some(spec.into());
+        self
     }
 
     /// The simulator-side configuration this live cluster mirrors; the
@@ -278,7 +290,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             p: cc.p(),
             m: scheduler.masters(),
             policy: cc.policy().slug().to_string(),
-            spec: None,
+            spec: config.spec.clone(),
             seed: cc.seed(),
             a0: stats.a0,
             r0: stats.r0,
@@ -288,6 +300,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             remote_latency_us: cc.remote_latency().as_micros(),
             redirect_rtt_us: cc.redirect_rtt().as_micros(),
             speeds: cc.speeds().map(<[f64]>::to_vec),
+            regions: scheduler.region_topology().cloned(),
         }));
     }
     // Charges are in wall (scaled) time, matching the monitor's window.
@@ -367,7 +380,6 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
     let t0 = Instant::now();
     let mut monitor = LoadMonitor::new(config.p, cc.monitor_period(), SimTime::ZERO);
     let mut metrics = Metrics::new();
-    let remote_latency = config.scale(SimDuration::from_millis(1));
 
     // Per-request bookkeeping, dropped on completion: placement
     // level/node for attribution and connection-count release.
@@ -540,6 +552,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             (req.demand.service.as_micros() as f64 * 1000.0 * config.time_scale) as u64,
         ));
         scheduler.note_request(idx, SimTime(at_us), scaled_demand);
+        scheduler.note_origin(req.origin);
         // The live front-end only ever knows the class-mean charge, not
         // the request's true demand — declare it as a sampled estimate.
         let know = ReqKnowledge::sampled(req.demand.cpu_fraction, expected);
@@ -554,15 +567,19 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
                 expected_us: know.expected.as_micros(),
                 redrive: true,
                 restart: false,
+                origin: req.origin,
             }));
             metrics.note_dropped();
             dropped += 1;
             continue;
         };
+        // Scale the placement's own transfer latency (remote hop plus
+        // any region round-trip) instead of a fixed constant, so the
+        // live substrate charges the same delay the simulator does.
         let started = if placement.latency.is_zero() {
             now
         } else {
-            now + remote_latency
+            now + config.scale(placement.latency)
         };
         in_flight.insert(
             idx,
@@ -588,7 +605,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
         if placement.latency.is_zero() {
             let _ = senders[placement.node].send(NodeMsg::Run(job));
         } else {
-            transfers.push((now + remote_latency, placement.node, job));
+            transfers.push((now + config.scale(placement.latency), placement.node, job));
         }
     }
 
@@ -773,6 +790,36 @@ mod tests {
         .summary;
         assert_eq!(s.completed, 24);
         assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn live_region_run_charges_regions_and_completes() {
+        use msweb_cluster::{RegionTopology, SchedulerRegistry, StageSpec};
+        let trace = tiny_trace(40, 40.0);
+        let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 2);
+        cfg.time_scale = 0.05;
+        cfg.monitor_period = Duration::from_millis(50);
+        let slug = "region-nearest/rotation-masters/reservation/level-split/\
+                    rsrc-indexed-reserve/split-demand";
+        cfg = cfg.with_spec(slug);
+        let cc = cfg
+            .cluster_config()
+            .with_regions(RegionTopology::even(6, 2, 2));
+        let spec = StageSpec::parse(slug).unwrap();
+        let (a0, r0) = live_priors(&trace);
+        let scheduler = SchedulerRegistry::builtin()
+            .compose(&cc, &spec, a0, r0)
+            .unwrap();
+        let outcome = emulate_with(
+            &cfg,
+            &trace,
+            scheduler,
+            LiveRunOptions::new().telemetry(true),
+        );
+        assert_eq!(outcome.summary.completed, 40);
+        let snap = outcome.telemetry.expect("telemetry requested");
+        assert_eq!(snap.sched.region_charges.len(), 2);
+        assert_eq!(snap.sched.region_charges.iter().sum::<u64>(), 40);
     }
 
     #[test]

@@ -153,6 +153,90 @@ impl ArrivalModel {
     }
 }
 
+/// Client-origin region mix for multi-region workloads: a
+/// piecewise-constant schedule of per-region arrival weights.
+///
+/// The phase active at arrival time `t` is
+/// `(t / phase_len_s) % phases.len()`; each arriving request draws its
+/// origin from that phase's weights, from a dedicated RNG stream
+/// (split label 6) so enabling a mix perturbs none of the other
+/// generator streams — region-free traces stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionMix {
+    /// Per-phase origin weights; every row is one phase, `regions()`
+    /// long, nonnegative with a positive sum.
+    phases: Vec<Vec<f64>>,
+    /// Phase length in seconds.
+    phase_len_s: f64,
+}
+
+impl RegionMix {
+    /// A mix with explicit phase weights. Panics on an empty schedule,
+    /// ragged rows, negative weights or a non-positive row sum.
+    pub fn new(phases: Vec<Vec<f64>>, phase_len_s: f64) -> Self {
+        assert!(!phases.is_empty(), "region mix needs at least one phase");
+        let k = phases[0].len();
+        assert!(k > 0, "region mix needs at least one region");
+        assert!(
+            phase_len_s > 0.0 && phase_len_s.is_finite(),
+            "bad phase length {phase_len_s}"
+        );
+        for row in &phases {
+            assert_eq!(row.len(), k, "ragged region-mix phase");
+            assert!(
+                row.iter().all(|w| *w >= 0.0 && w.is_finite()),
+                "negative or non-finite region weight"
+            );
+            assert!(row.iter().sum::<f64>() > 0.0, "all-zero region-mix phase");
+        }
+        RegionMix {
+            phases,
+            phase_len_s,
+        }
+    }
+
+    /// A time-invariant uniform mix over `k` regions.
+    pub fn uniform(k: usize) -> Self {
+        RegionMix::new(vec![vec![1.0; k]], 1.0)
+    }
+
+    /// A diurnal rotation: `k` phases of `phase_len_s` seconds, phase
+    /// `i` sending `hot_weight` from region `i` and weight 1 from each
+    /// other region — traffic's centre of gravity walks around the
+    /// region ring.
+    pub fn rotating(k: usize, hot_weight: f64, phase_len_s: f64) -> Self {
+        assert!(hot_weight >= 1.0 && hot_weight.is_finite());
+        let phases = (0..k)
+            .map(|hot| {
+                (0..k)
+                    .map(|r| if r == hot { hot_weight } else { 1.0 })
+                    .collect()
+            })
+            .collect();
+        RegionMix::new(phases, phase_len_s)
+    }
+
+    /// Number of origin regions.
+    pub fn regions(&self) -> usize {
+        self.phases[0].len()
+    }
+
+    /// Draw the origin for an arrival at `t_s` seconds.
+    pub fn origin_at(&self, t_s: f64, rng: &mut SimRng) -> usize {
+        let phase = ((t_s / self.phase_len_s).max(0.0) as usize) % self.phases.len();
+        let weights = &self.phases[phase];
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.next_f64() * total;
+        for (r, w) in weights.iter().enumerate() {
+            u -= w;
+            if u < 0.0 {
+                return r;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
 /// How much of a request's demand the *scheduler* is allowed to see.
 ///
 /// Generation always attaches the true demand to every request — the
@@ -202,6 +286,9 @@ pub struct DemandModel {
     pub arrivals: ArrivalModel,
     /// How much of the attached demands schedulers should be shown.
     pub visibility: DemandVisibility,
+    /// Client-origin region mix; `None` (the default) tags every
+    /// request with origin 0 and draws nothing from the region stream.
+    pub region_mix: Option<RegionMix>,
 }
 
 impl DemandModel {
@@ -216,6 +303,7 @@ impl DemandModel {
             query_popularity: None,
             arrivals: ArrivalModel::Poisson,
             visibility: DemandVisibility::Exact,
+            region_mix: None,
         }
     }
 
@@ -230,6 +318,7 @@ impl DemandModel {
             query_popularity: None,
             arrivals: ArrivalModel::Poisson,
             visibility: DemandVisibility::Exact,
+            region_mix: None,
         }
     }
 
@@ -264,6 +353,13 @@ impl DemandModel {
     /// The visibility regime this workload was generated for.
     pub fn visibility(&self) -> DemandVisibility {
         self.visibility
+    }
+
+    /// Tag generated requests with client-origin regions drawn from
+    /// `mix` (builder style).
+    pub fn with_region_mix(mut self, mix: RegionMix) -> Self {
+        self.region_mix = Some(mix);
+        self
     }
 
     /// Use a bursty ON/OFF arrival process (builder style).
@@ -458,6 +554,10 @@ impl TraceSpec {
             .query_popularity
             .map(|(q, s_exp)| ZipfKeys::new(q, s_exp));
         let key_rng = master.split(5);
+        // Split unconditionally (splitting costs one master draw after
+        // every other stream is already fixed), draw only when a mix is
+        // configured — so region-free traces stay byte-identical.
+        let region_rng = master.split(6);
 
         GenSource {
             name: self.name,
@@ -475,6 +575,8 @@ impl TraceSpec {
             static_service,
             static_w: demand.static_w,
             zipf,
+            region_mix: demand.region_mix.clone(),
+            region_rng,
             t: SimTime::ZERO,
             t_s: 0.0,
             next_id: 0,
@@ -502,6 +604,8 @@ pub struct GenSource {
     static_service: ShiftedExponential,
     static_w: f64,
     zipf: Option<ZipfKeys>,
+    region_mix: Option<RegionMix>,
+    region_rng: SimRng,
     t: SimTime,
     t_s: f64,
     next_id: u64,
@@ -557,6 +661,9 @@ impl Iterator for GenSource {
             if let Some(z) = &self.zipf {
                 req = req.with_cache_key(z.sample(&mut self.key_rng));
             }
+        }
+        if let Some(mix) = &self.region_mix {
+            req = req.with_origin(mix.origin_at(self.t_s, &mut self.region_rng));
         }
         Some(req)
     }
@@ -770,6 +877,66 @@ mod tests {
     #[should_panic(expected = "negative OFF rate")]
     fn bursty_validation_rejects_impossible_mult() {
         let _ = DemandModel::simulation(40.0).with_bursty_arrivals(10.0, 0.5, 30.0);
+    }
+
+    #[test]
+    fn region_mix_draws_origins_without_perturbing_the_trace() {
+        let spec = ucb();
+        let plain = spec.generate(5_000, &DemandModel::simulation(40.0), 21);
+        assert!(plain.requests.iter().all(|r| r.origin == 0));
+
+        let mixed = spec.generate(
+            5_000,
+            &DemandModel::simulation(40.0).with_region_mix(RegionMix::uniform(3)),
+            21,
+        );
+        // Everything except the origin tag is byte-identical: the mix
+        // draws only from its own dedicated stream.
+        for (a, b) in plain.requests.iter().zip(&mixed.requests) {
+            assert_eq!(a, &Request { origin: 0, ..*b });
+        }
+        let mut seen = [0u32; 3];
+        for r in &mixed.requests {
+            seen[r.origin] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 1_000),
+            "uniform mix skewed: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn rotating_mix_walks_the_hot_region() {
+        let mix = RegionMix::rotating(3, 50.0, 10.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        for phase in 0..3 {
+            let t_s = phase as f64 * 10.0 + 5.0;
+            let mut counts = [0u32; 3];
+            for _ in 0..500 {
+                counts[mix.origin_at(t_s, &mut rng)] += 1;
+            }
+            let hot = counts[phase];
+            assert!(
+                counts
+                    .iter()
+                    .enumerate()
+                    .all(|(r, &c)| r == phase || hot > c * 5),
+                "phase {phase}: {counts:?}"
+            );
+        }
+        // The schedule wraps around.
+        let mut rng2 = SimRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..500 {
+            counts[mix.origin_at(35.0, &mut rng2)] += 1;
+        }
+        assert!(counts[0] > counts[1] * 5 && counts[0] > counts[2] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn region_mix_rejects_ragged_phases() {
+        let _ = RegionMix::new(vec![vec![1.0, 1.0], vec![1.0]], 10.0);
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub use cgi::{CgiKind, CgiModel};
 pub use clf::{parse_clf, trace_from_clf, trace_to_clf, ClfError, ClfRecord};
 pub use fileset::FileSet;
 pub use generators::{
-    adl, all_traces, dec, ksu, replayed_traces, ucb, DemandModel, DemandVisibility, GenSource,
-    TraceSpec,
+    adl, all_traces, dec, ksu, replayed_traces, ucb, ArrivalModel, DemandModel, DemandVisibility,
+    GenSource, RegionMix, TraceSpec,
 };
 pub use request::{Request, RequestClass, ServiceDemand};
 pub use source::{RateScaling, RequestSource, ScaledSource, SliceSource, TraceSource};

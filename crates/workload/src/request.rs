@@ -64,6 +64,10 @@ pub struct Request {
     /// static requests and for workloads generated without query
     /// popularity modelling.
     pub cache_key: Option<u64>,
+    /// Client origin region index (multi-region front tier). Workloads
+    /// generated without a region mix leave it 0; schedulers without a
+    /// region stage ignore it.
+    pub origin: usize,
 }
 
 impl Request {
@@ -82,12 +86,19 @@ impl Request {
             bytes,
             demand,
             cache_key: None,
+            origin: 0,
         }
     }
 
     /// Attach a content key (builder style).
     pub fn with_cache_key(mut self, key: u64) -> Self {
         self.cache_key = Some(key);
+        self
+    }
+
+    /// Tag the request with a client origin region (builder style).
+    pub fn with_origin(mut self, origin: usize) -> Self {
+        self.origin = origin;
         self
     }
 }

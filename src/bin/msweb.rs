@@ -98,6 +98,15 @@ USAGE:
                   slug contains <filter>; --test runs the bounded CI
                   smoke grid twice and fails on an empty front, a
                   missing hybrid, or byte-nondeterminism
+  msweb experiments --regions [--quick] [--seed <s>] [--requests <n>]
+                  [--json <path>] [--test]
+                  drive the multi-region front tier through three
+                  scenarios (diurnal rotation, migrating flash crowd,
+                  region outage) x the two region selectors
+                  (region-nearest, region-greedy) and compare them on
+                  latency-weighted model stretch; --test runs the
+                  bounded grid twice and fails on nondeterminism, an
+                  incomplete grid, or greedy not winning flash-crowd
   msweb metrics-dump [--from <snapshot.json>] [--trace <name>]
                   [--lambda <req/s>] [--p <nodes>] [--requests <n>]
                   [--seed <s>] [--policy <name>]
@@ -345,6 +354,10 @@ fn cmd_plan(flags: &Flags) {
 }
 
 fn cmd_experiments(flags: &Flags) {
+    if flags.get("regions").is_some() {
+        cmd_regions(flags);
+        return;
+    }
     if flags.get("pareto").is_some() {
         cmd_pareto(flags);
         return;
@@ -538,6 +551,67 @@ fn cmd_pareto(flags: &Flags) {
     }
 }
 
+/// `msweb experiments --regions`: the multi-region scenario grid —
+/// three scenarios (diurnal rotation, migrating flash crowd, region
+/// outage) x the two region selectors, scored on latency-weighted
+/// model stretch. `--test` runs the bounded grid twice and fails on
+/// byte-nondeterminism, an incomplete grid, or the greedy selector not
+/// beating `region-nearest` in the flash-crowd scenario.
+fn cmd_regions(flags: &Flags) {
+    use msweb::bench::{regions, regions_check};
+    let test = flags.get("test").is_some();
+    let quick = test || flags.get("quick").is_some();
+    let mut exp = if quick {
+        msweb::bench::ExpConfig::quick()
+    } else {
+        msweb::bench::ExpConfig::default()
+    };
+    exp.seed = flags.u64("seed", exp.seed);
+    exp.requests = flags.usize("requests", exp.requests);
+
+    let report = regions(&exp);
+    print!("{}", report.render());
+
+    match flags.get("json") {
+        // `--json` with no value streams to stdout; with a value it
+        // writes the file and keeps the human table on stdout.
+        Some("") => print!("{}", report.to_json()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote the scenario report to {path}");
+        }
+        None => {}
+    }
+
+    if test {
+        // Byte-determinism gate: the identical configuration must
+        // serialise identically on a second full run.
+        let again = regions(&exp);
+        if report.to_json() != again.to_json() {
+            eprintln!("regions gate failed: two identical runs produced different JSON");
+            std::process::exit(1);
+        }
+        println!("determinism: two runs byte-identical");
+    }
+
+    match regions_check(&report) {
+        Ok(()) => println!(
+            "OK: full {}x{} grid, region-greedy wins flash-crowd on latency-weighted stretch",
+            msweb::bench::SCENARIOS.len(),
+            msweb::bench::REGION_POLICIES.len()
+        ),
+        Err(msg) => {
+            eprintln!("regions gate failed: {msg}");
+            if test {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_metrics_dump(flags: &Flags) {
     if let Some(path) = flags.get("from") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -650,6 +724,29 @@ fn cmd_replay(flags: &Flags) {
     }
 }
 
+/// Render the stage catalogue for `--spec` error messages, one line
+/// per pipeline stage, generated from the live registry so the list
+/// can never drift from what actually composes.
+fn registered_stages() -> String {
+    let reg = SchedulerRegistry::builtin();
+    let line = |label: &str, names: Vec<String>| format!("  {label:<12} {}\n", names.join(" "));
+    format!(
+        "registered stages ([region/]entry/admission/candidates/scorer/charge):\n{}{}{}{}{}{}",
+        line("region:", reg.region_names()),
+        line("entry:", reg.entry_names()),
+        line("admission:", reg.admission_names()),
+        line("candidates:", reg.candidate_names()),
+        line(
+            "scorer:",
+            reg.scorer_names()
+                .into_iter()
+                .chain(reg.scorer_family_names().into_iter().map(|f| f + ":<arg>"))
+                .collect(),
+        ),
+        line("charge:", reg.charge_names()),
+    )
+}
+
 fn cmd_analyze(flags: &Flags) {
     let path = flags.required("log");
     let log = match TraceLog::read(path) {
@@ -668,6 +765,7 @@ fn cmd_analyze(flags: &Flags) {
             Ok(s) => opts.spec = Some(s),
             Err(e) => {
                 eprintln!("bad --spec: {e}");
+                eprint!("{}", registered_stages());
                 std::process::exit(2);
             }
         }

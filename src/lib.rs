@@ -69,10 +69,11 @@ pub mod prelude {
         analyze, plan_masters, policy_sim, policy_sim_from_stats, render_top, simulate,
         simulate_source, table2_grid, AnalysisReport, AttainedService, ClusterConfig, ClusterSim,
         CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher, DropRecord,
-        DynScheduler, FailureEvent, FailurePlan, GridCell, JsonlSink, Level, LoadMonitor,
-        MasterSelection, Metrics, Placement, PlacementError, PolicyKind, PolicyScheduler,
-        Provenance, ReplayError, ReplayOptions, ReqKnowledge, ReservationController, RsrcPredictor,
-        RunOptions, RunOutcome, RunSummary, SchedTelemetry, Schedule, Scheduler, SchedulerRegistry,
+        DynScheduler, FailureEvent, FailurePlan, GreedyRegion, GridCell, JsonlSink, Level,
+        LoadMonitor, MasterSelection, Metrics, NearestRegion, Placement, PlacementError,
+        PolicyKind, PolicyScheduler, Provenance, RegionSelector, RegionTopology, RegionView,
+        ReplayError, ReplayOptions, ReqKnowledge, ReservationController, RsrcPredictor, RunOptions,
+        RunOutcome, RunSummary, SchedTelemetry, Schedule, Scheduler, SchedulerRegistry,
         ScorerPaths, StageKind, StageSpec, TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog,
         WindowSample, WorkloadStats,
     };
@@ -88,7 +89,7 @@ pub mod prelude {
     pub use msweb_simcore::{SimDuration, SimRng, SimTime};
     pub use msweb_workload::{
         adl, all_traces, dec, ksu, replayed_traces, ucb, CgiKind, DemandModel, DemandVisibility,
-        FileSet, GenSource, RateScaling, Request, RequestClass, RequestSource, ScaledSource,
-        ServiceDemand, Trace, TraceSpec,
+        FileSet, GenSource, RateScaling, RegionMix, Request, RequestClass, RequestSource,
+        ScaledSource, ServiceDemand, Trace, TraceSpec,
     };
 }

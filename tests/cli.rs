@@ -197,6 +197,91 @@ fn malformed_numeric_flags_are_hard_errors_naming_the_flag() {
     }
 }
 
+/// The `--spec` error help must list exactly the stages the registry
+/// can compose — derived from `SchedulerRegistry`'s name accessors, so
+/// the rendered catalogue can never drift from the real stage space
+/// (it used to hard-code the old five-stage pipeline).
+#[test]
+fn analyze_bad_spec_lists_the_registry_stage_catalogue() {
+    use msweb::cluster::SchedulerRegistry;
+
+    // A tiny real log so the parser reaches the --spec validation.
+    let path = std::env::temp_dir().join(format!("msweb_cli_badspec_{}.jsonl", std::process::id()));
+    let rec = msweb(&[
+        "replay",
+        "--trace",
+        "ucb",
+        "--lambda",
+        "200",
+        "--p",
+        "8",
+        "--requests",
+        "20",
+        "--policy",
+        "M/S",
+        "--trace-decisions",
+        path.to_str().unwrap(),
+    ]);
+    assert!(rec.status.success());
+
+    let out = msweb(&[
+        "analyze",
+        "--log",
+        path.to_str().unwrap(),
+        "--spec",
+        "bogus/x",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("[region/]entry/admission/candidates/scorer/charge"),
+        "error must show the six-part spec shape: {err}"
+    );
+
+    let reg = SchedulerRegistry::builtin();
+    let scorers: Vec<String> = reg
+        .scorer_names()
+        .into_iter()
+        .chain(reg.scorer_family_names().into_iter().map(|f| f + ":<arg>"))
+        .collect();
+    for (label, names) in [
+        ("region:", reg.region_names()),
+        ("entry:", reg.entry_names()),
+        ("admission:", reg.admission_names()),
+        ("candidates:", reg.candidate_names()),
+        ("scorer:", scorers),
+        ("charge:", reg.charge_names()),
+    ] {
+        let line = format!("  {label:<12} {}", names.join(" "));
+        assert!(
+            err.lines().any(|l| l == line),
+            "stage list must render {line:?} from the registry, got:\n{err}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn regions_smoke_grid_prints_scenario_verdicts() {
+    // Tiny request count so the debug binary stays fast; the full gate
+    // (two-run determinism + flash-crowd verdict) runs in CI on the
+    // release binary.
+    let out = msweb(&["experiments", "--regions", "--quick", "--requests", "400"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGIONS"), "{stdout}");
+    for scenario in ["diurnal", "flash-crowd", "outage"] {
+        assert!(stdout.contains(scenario), "missing {scenario}: {stdout}");
+    }
+    for policy in ["region-nearest", "region-greedy"] {
+        assert!(stdout.contains(policy), "missing {policy}: {stdout}");
+    }
+}
+
 #[test]
 fn pareto_smoke_grid_prints_attributed_front() {
     // Tiny filtered smoke grid so the debug binary stays fast; the full

@@ -187,6 +187,114 @@ fn analysis_reports_match_golden_fixtures() {
     assert!(mismatches.is_empty(), "{}", mismatches.join("\n\n"));
 }
 
+/// Record a region-composed run — three-region ring, region-0 outage
+/// mid-run with recovery, a cost series that makes the cost-aware
+/// greedy selector leave the expensive home region — and parse the log
+/// back.
+fn record_region_outage(region_policy: &str) -> TraceLog {
+    let p = 12;
+    let m = 3;
+    let regions = 3;
+    let n = 600;
+    let lambda = 400.0;
+    // Region 0 is 15x as expensive as its neighbours: `region-greedy`
+    // sends origin-0 traffic abroad from the first request, while
+    // `region-nearest` (latency argmin) keeps it home — a divergence
+    // rooted in the region stage itself, with every downstream stage
+    // identical.
+    let topo = RegionTopology::even(p, m, regions)
+        .with_cost(vec![vec![15.0], vec![1.0], vec![1.0]], 1_000_000);
+    let (ms, me) = topo.master_range(0);
+    let (ss, se) = topo.slave_range(0);
+    let replay_us = (n as f64 / lambda * 1e6) as u64;
+    let failures = FailurePlan::new(
+        (ms..me)
+            .chain(ss..se)
+            .map(|node| FailureEvent {
+                at: SimTime(replay_us / 4),
+                node,
+                restart_dynamic: true,
+                recover_at: Some(SimTime(replay_us * 6 / 10)),
+            })
+            .collect(),
+    );
+    let mix = RegionMix::uniform(regions);
+    let trace = ucb()
+        .generate(n, &DemandModel::simulation(40.0).with_region_mix(mix), 7)
+        .scaled_to_rate(lambda);
+    let a0 = ucb().arrival_ratio_a();
+    let r0 = 1.0 / 40.0;
+    let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+        .with_masters(m)
+        .with_seed(11)
+        .with_regions(topo);
+    let spec = StageSpec::for_policy(PolicyKind::MasterSlave).with_region(region_policy);
+    let mut scheduler = SchedulerRegistry::builtin()
+        .compose(&cfg, &spec, a0, r0)
+        .expect("region pipeline composes");
+    let path = tmp(&format!("region-outage-{region_policy}.jsonl"));
+    let sink = JsonlSink::create(&path).expect("create log");
+    scheduler.set_observer(Some(Box::new(sink)));
+    let mut sim = ClusterSim::with_scheduler(cfg, scheduler)
+        .with_priors(a0, r0)
+        .with_spec_label(spec.render())
+        .with_failures(failures);
+    sim.run(&trace);
+    drop(sim);
+    let log = TraceLog::read(&path).expect("parse log");
+    let _ = std::fs::remove_file(&path);
+    log
+}
+
+/// A region-outage log is a self-replay fixed point, and re-driving it
+/// with the region stage swapped out diverges *at the region stage* —
+/// the first disagreement is attributed to `region`, not `entry` or
+/// anything downstream.
+#[test]
+fn region_outage_counterfactual_diverges_at_region_stage() {
+    let log = record_region_outage("region-nearest");
+
+    let self_report = analyze(&log, &ReplayOptions::default()).expect("self analysis");
+    assert_eq!(
+        self_report.divergent, 0,
+        "region-outage self-replay must be a fixed point"
+    );
+    assert_eq!(self_report.first_disagreement, None);
+
+    let swapped = StageSpec::parse(
+        "region-greedy/rotation-masters/reservation/level-split/\
+         rsrc-indexed-reserve/split-demand",
+    )
+    .expect("spec parses");
+    let report = analyze(
+        &log,
+        &ReplayOptions {
+            spec: Some(swapped),
+            run: 0,
+        },
+    )
+    .expect("counterfactual analysis");
+    assert!(
+        report.divergent > 0,
+        "swapping the region selector should change placements"
+    );
+    let first = report
+        .first_disagreement
+        .as_ref()
+        .expect("divergent replay records its first disagreement");
+    assert_eq!(
+        first.stage,
+        StageKind::Region,
+        "the swapped region stage should disagree first, got {:?}",
+        first.stage
+    );
+    assert!(
+        report.stage_attribution.get("region").copied().unwrap_or(0) > 0,
+        "region divergence should appear in the stage attribution: {:?}",
+        report.stage_attribution
+    );
+}
+
 /// End-to-end through the binary: record with `msweb replay`, analyze
 /// with `msweb analyze` — zero self-divergence (exit 0 under
 /// `--fail-on-divergence`), byte-identical JSON across two invocations,
