@@ -26,7 +26,9 @@
 
 use std::fmt::Write as _;
 
-use msweb_cluster::{simulate, ClusterConfig, PolicyKind, RunOptions, TelemetrySnapshot};
+use msweb_cluster::{
+    simulate, ClusterConfig, PolicyKind, RunOptions, SeriesRecorder, TelemetrySnapshot,
+};
 use msweb_queueing::Fig3Point;
 use msweb_workload::{ksu, DemandModel};
 use serde::Serialize;
@@ -344,18 +346,37 @@ impl ExperimentRunner {
             .map(|id| self.run(id))
             .collect()
     }
+
+    /// Run the canonical companion replay once with a windowed series
+    /// recorder streaming to `path` — the `--telemetry-series` flag of
+    /// `msweb experiments`. Returns the number of window records
+    /// written. The replay is the same one `--telemetry` snapshots, so
+    /// for a fixed [`ExpConfig`] the file is byte-deterministic.
+    pub fn write_telemetry_series(&self, path: &str) -> std::io::Result<u64> {
+        let recorder = SeriesRecorder::create(path)?;
+        let outcome = companion_run(
+            &self.exp,
+            RunOptions::new().telemetry(true).series(recorder),
+        );
+        Ok(outcome.series.map(|r| r.records()).unwrap_or(0))
+    }
 }
 
 /// The canonical instrumented companion replay: KSU trace, master/slave
 /// policy, p = 32, λ = 1000/s, 1/r = 40, at this configuration's request
 /// count and seed. Deterministic for a fixed `ExpConfig`, so reports
 /// with telemetry enabled stay byte-stable across re-runs.
-fn companion_telemetry(exp: &ExpConfig) -> TelemetrySnapshot {
+fn companion_run(exp: &ExpConfig, opts: RunOptions) -> msweb_cluster::RunOutcome {
     let trace = ksu()
         .generate(exp.requests, &DemandModel::simulation(40.0), exp.seed)
         .scaled_to_rate(1000.0);
     let cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave).with_seed(exp.seed);
-    simulate(cfg, &trace, RunOptions::new().telemetry(true))
+    simulate(cfg, &trace, opts)
+}
+
+/// The companion replay's telemetry snapshot (see [`companion_run`]).
+fn companion_telemetry(exp: &ExpConfig) -> TelemetrySnapshot {
+    companion_run(exp, RunOptions::new().telemetry(true))
         .telemetry
         .expect("telemetry enabled")
 }

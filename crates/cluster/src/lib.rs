@@ -67,6 +67,11 @@ pub use sim::{
     policy_sim, policy_sim_from_stats, simulate, simulate_source, ClusterSim, RunOptions,
     RunOutcome, WorkloadStats,
 };
+pub use telemetry::series::{SeriesMeta, SeriesRecorder, SeriesWindowInput, SharedSeriesBuffer};
+pub use telemetry::slo::{
+    check_log, AlertEvent, BurnWindow, SloCheckReport, SloEngine, SloRule, SloRules, SloSignal,
+    WindowSignals,
+};
 pub use telemetry::{
     render_top, SchedTelemetry, ScorerPaths, Stage, TelemetryProbe, TelemetrySnapshot, WindowSample,
 };

@@ -129,7 +129,8 @@ impl Metrics {
     }
 
     /// Close the current measurement window (called at each monitor
-    /// tick): the window's mean stretch is appended to the series.
+    /// tick): the window's mean stretch is appended to the series and
+    /// returned, or `None` when the window completed nothing.
     ///
     /// Windows with no completions are *skipped entirely* rather than
     /// recorded: an empty accumulator's mean stretch is `0/0 = NaN`,
@@ -139,11 +140,17 @@ impl Metrics {
     /// representable). Skipping, rather than carrying the previous
     /// window's value forward, keeps the series a record of *measured*
     /// windows; consumers that need wall-clock alignment should use the
-    /// telemetry controller series, which samples every tick.
-    pub fn close_window(&mut self) {
+    /// telemetry controller series, which samples every tick. The
+    /// returned `Option` carries the same skip to the series recorder
+    /// and the SLO engine, which render/treat it as unmeasured.
+    pub fn close_window(&mut self) -> Option<f64> {
         if self.window_acc.count() > 0 {
-            self.window_series.push(self.window_acc.stretch());
+            let stretch = self.window_acc.stretch();
+            self.window_series.push(stretch);
             self.window_acc = StretchAccumulator::new();
+            Some(stretch)
+        } else {
+            None
         }
     }
 
@@ -155,6 +162,11 @@ impl Metrics {
     /// Completed request count.
     pub fn completed(&self) -> u64 {
         self.overall.count()
+    }
+
+    /// Requests lost to failures so far (cumulative).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Current mean stretch factor.

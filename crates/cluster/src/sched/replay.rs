@@ -861,6 +861,12 @@ pub fn analyze(log: &TraceLog, opts: &ReplayOptions) -> Result<AnalysisReport, R
                     report.drops_replayed += 1;
                 }
             }
+            // SLO alerts are derived data (re-computable from the
+            // surrounding events by `msweb slo-check`): they mutate no
+            // scheduler state and replay skips them without touching
+            // the report, so logs with and without rules attached
+            // analyze byte-identically.
+            TraceEvent::Alert { .. } => {}
             TraceEvent::Unknown { .. } => report.skipped_unknown_events += 1,
         }
     }

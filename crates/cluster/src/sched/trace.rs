@@ -23,6 +23,7 @@
 //! | `tick` | monitor tick | cumulative per-node busy counters, ρ |
 //! | `node-down` / `node-up` | liveness change | node index |
 //! | `drop` | request dropped | request, class, whether the scheduler ran |
+//! | `alert` | SLO burn-rate rule fired (only when rules attached) | rule, signal, observed vs budget |
 //!
 //! Schema v1 lines (bare [`DecisionRecord`] objects with no `"v"`/`"ev"`
 //! tags, as written before the replay analyzer existed) still parse:
@@ -265,6 +266,28 @@ pub enum TraceEvent {
     },
     /// A request was dropped.
     Drop(DropRecord),
+    /// An SLO burn-rate alert fired by the telemetry SLO engine
+    /// (see [`crate::telemetry::slo`]). Emitted only when a run is
+    /// driven with SLO rules attached, so logs from rule-less runs stay
+    /// byte-identical to older ones; replay skips it (the alert is
+    /// derived data, re-computable from the surrounding events by
+    /// `msweb slo-check`).
+    Alert {
+        /// Window end the alert fired at, microseconds.
+        at_us: u64,
+        /// Name of the rule that fired.
+        rule: String,
+        /// Signal the rule watches (`stretch`, `drop_rate`, `clamp_rate`).
+        signal: String,
+        /// Rolling-window length, in monitor windows.
+        windows: u64,
+        /// Burn-rate threshold (multiple of the budget).
+        burn_rate: f64,
+        /// Observed rolling mean of the signal.
+        observed: f64,
+        /// The rule's budget for the signal.
+        budget: f64,
+    },
     /// An event tag this version does not know (a newer schema);
     /// parsed for forward compatibility, skipped by replay.
     Unknown {
@@ -420,6 +443,26 @@ pub fn encode_event(event: &TraceEvent) -> String {
             }
             tagged("drop", fields)
         }
+        TraceEvent::Alert {
+            at_us,
+            rule,
+            signal,
+            windows,
+            burn_rate,
+            observed,
+            budget,
+        } => tagged(
+            "alert",
+            vec![
+                ("at_us", u(*at_us)),
+                ("rule", Value::Str(rule.clone())),
+                ("signal", Value::Str(signal.clone())),
+                ("windows", u(*windows)),
+                ("burn_rate", Value::Float(*burn_rate)),
+                ("observed", Value::Float(*observed)),
+                ("budget", Value::Float(*budget)),
+            ],
+        ),
         TraceEvent::Unknown { ev } => tagged(ev, vec![]),
     };
     value.to_json()
@@ -767,6 +810,29 @@ pub fn parse_line(line: &str) -> Result<(TraceEvent, Vec<String>), String> {
                 },
             })
         }
+        "alert" => {
+            o.warn_unknown(
+                &[
+                    "at_us",
+                    "rule",
+                    "signal",
+                    "windows",
+                    "burn_rate",
+                    "observed",
+                    "budget",
+                ],
+                &mut warnings,
+            );
+            TraceEvent::Alert {
+                at_us: o.u64("at_us")?,
+                rule: o.str("rule")?,
+                signal: o.str("signal")?,
+                windows: o.u64("windows")?,
+                burn_rate: o.f64("burn_rate")?,
+                observed: o.f64("observed")?,
+                budget: o.f64("budget")?,
+            }
+        }
         other => {
             warnings.push(format!("unknown event tag {other:?}: skipped"));
             TraceEvent::Unknown {
@@ -1010,6 +1076,15 @@ mod tests {
                 restart: false,
                 origin: 0,
             }),
+            TraceEvent::Alert {
+                at_us: 2_500_000,
+                rule: "stretch-burn".into(),
+                signal: "stretch".into(),
+                windows: 6,
+                burn_rate: 2.0,
+                observed: 3.25,
+                budget: 1.5,
+            },
         ];
         for event in events {
             let line = encode_event(&event);

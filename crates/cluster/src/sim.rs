@@ -35,6 +35,8 @@ use crate::sched::{
     DecisionObserver, DropRecord, NodeSample, PolicyScheduler, ReqKnowledge, RunMeta, Schedule,
     TraceEvent,
 };
+use crate::telemetry::series::{SeriesMeta, SeriesRecorder, SeriesWindowInput};
+use crate::telemetry::slo::SloEngine;
 use crate::telemetry::{TelemetryProbe, TelemetrySnapshot, WindowSample};
 
 /// Per-request bookkeeping for a request that has been admitted and not
@@ -98,6 +100,12 @@ pub struct ClusterSim<Sch: Schedule = PolicyScheduler> {
     /// Driver-side telemetry probe (controller series, node gauges,
     /// response histograms), when telemetry is enabled.
     telemetry: Option<TelemetryProbe>,
+    /// Windowed time-series recorder (one JSONL record per monitor
+    /// tick), when attached.
+    series: Option<SeriesRecorder>,
+    /// SLO burn-rate engine evaluated at every monitor tick, when
+    /// rules are attached.
+    slo: Option<SloEngine>,
     /// Admitted-but-unfinished requests, keyed by admission sequence.
     in_flight: HashMap<u64, InFlight>,
     /// What the scheduler is told about each request's demand.
@@ -168,6 +176,8 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             priors: (0.5, 0.05),
             spec_label: None,
             telemetry: None,
+            series: None,
+            slo: None,
             in_flight: HashMap::new(),
             visibility: DemandVisibility::Exact,
             noise_rng,
@@ -237,15 +247,56 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         self
     }
 
+    /// Attach a windowed time-series recorder: one JSONL record per
+    /// monitor tick, streamed to the recorder's sink (O(1) driver
+    /// memory — only the previous tick's cumulative counters are
+    /// retained for delta computation). Implies the scheduler's
+    /// per-stage telemetry counters, so the per-window placement and
+    /// stage deltas are real rather than null; the counters never
+    /// influence placement decisions, so summaries and decision logs
+    /// are byte-identical with and without a recorder attached.
+    pub fn with_series(mut self, recorder: SeriesRecorder) -> Self {
+        self.scheduler.set_telemetry_enabled(true);
+        self.series = Some(recorder);
+        self
+    }
+
+    /// Attach an SLO burn-rate engine, evaluated at every monitor
+    /// tick. Fired alerts go to stderr, and — only when decision
+    /// tracing is active — to the log as `alert` events, so rule-less
+    /// logs stay byte-identical.
+    pub fn with_slo(mut self, engine: SloEngine) -> Self {
+        self.slo = Some(engine);
+        self
+    }
+
+    /// The attached SLO engine, if any (e.g. to read
+    /// [`SloEngine::alerts_fired`] after a run).
+    pub fn slo_engine(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
+    }
+
+    /// Take back the attached series recorder (flushing is the
+    /// caller's concern; the recorder also flushes on drop).
+    pub fn take_series(&mut self) -> Option<SeriesRecorder> {
+        self.series.take()
+    }
+
+    /// The policy label reported in telemetry: the registry spec when
+    /// one was recorded, the policy slug otherwise.
+    fn policy_label(&self) -> String {
+        match &self.spec_label {
+            Some(spec) => spec.clone(),
+            None => self.config.policy().slug().to_string(),
+        }
+    }
+
     /// Assemble the full telemetry snapshot for the run so far. `None`
     /// unless [`ClusterSim::with_telemetry`] was called.
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
         let probe = self.telemetry.as_ref()?;
         let sched = self.scheduler.telemetry()?;
-        let policy = match &self.spec_label {
-            Some(spec) => spec.clone(),
-            None => self.config.policy().slug().to_string(),
-        };
+        let policy = self.policy_label();
         Some(TelemetrySnapshot::assemble(
             "sim",
             &policy,
@@ -317,6 +368,19 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 regions: self.scheduler.region_topology().cloned(),
             };
             self.scheduler.emit(&TraceEvent::Meta(meta));
+        }
+        if self.series.is_some() {
+            let policy = self.policy_label();
+            let meta = SeriesMeta {
+                substrate: "sim",
+                policy: &policy,
+                p: self.config.p(),
+                m: self.scheduler.masters(),
+                seed: self.config.seed(),
+            };
+            if let Some(rec) = &mut self.series {
+                rec.begin(&meta);
+            }
         }
         // Seed the node-event index with whatever the fleet already has
         // scheduled (non-empty only when resuming after a prior run).
@@ -397,6 +461,9 @@ impl<Sch: Schedule> ClusterSim<Sch> {
             })
             .collect();
         self.metrics.set_node_busy(busy);
+        if let Some(rec) = &mut self.series {
+            rec.flush();
+        }
         self.metrics.summary()
     }
 
@@ -799,10 +866,14 @@ impl<Sch: Schedule> ClusterSim<Sch> {
         // Capture the windowed master fraction before update() resets it.
         let theta_hat = self.scheduler.reservation().master_fraction();
         self.scheduler.reservation_mut().update(rho);
-        if let Some(probe) = &self.telemetry {
+        // The window sample and busy gauges feed the probe and the
+        // series recorder alike; compute them once when either wants
+        // them (pure reads — skipping them cannot change the run).
+        let mut window = None;
+        if self.telemetry.is_some() || self.series.is_some() {
             let res = self.scheduler.reservation();
             let (a_hat, r_hat) = res.measured();
-            probe.record_window(WindowSample {
+            let sample = WindowSample {
                 at_us: t.0,
                 theta2_star: res.theta2_star(),
                 a_hat,
@@ -810,22 +881,51 @@ impl<Sch: Schedule> ClusterSim<Sch> {
                 rho,
                 theta_hat,
                 clamp_events: res.clamp_events(),
-            });
+            };
             let busy: Vec<f64> = self
                 .monitor
                 .all()
                 .iter()
                 .map(|l| 1.0 - l.cpu_idle_ratio)
                 .collect();
-            probe.set_node_busy(&busy);
+            if let Some(probe) = &self.telemetry {
+                probe.record_window(sample);
+                probe.set_node_busy(&busy);
+            }
+            window = Some((sample, busy));
         }
-        self.metrics.close_window();
+        let window_stretch = self.metrics.close_window();
+        if let Some(rec) = &mut self.series {
+            let (sample, busy) = window.as_ref().expect("window computed when series is on");
+            rec.record(&SeriesWindowInput {
+                window: sample,
+                sched: self.scheduler.telemetry(),
+                node_busy: busy,
+                window_stretch,
+                drops: self.metrics.dropped(),
+            });
+        }
         if self.scheduler.tracing() {
             self.scheduler.emit(&TraceEvent::Tick {
                 at_us: t.0,
                 rho,
                 nodes: snapshots.iter().map(NodeSample::from_snapshot).collect(),
             });
+        }
+        if let Some(engine) = self.slo.as_mut() {
+            let alerts = engine.observe_cumulative(
+                t.0,
+                window_stretch,
+                self.metrics.completed(),
+                self.metrics.dropped(),
+                self.scheduler.reservation().clamp_events(),
+            );
+            for alert in &alerts {
+                eprintln!("{}", alert.to_line());
+                if self.scheduler.tracing() {
+                    self.scheduler.emit(&alert.to_trace_event());
+                }
+            }
         }
     }
 
@@ -945,6 +1045,13 @@ pub struct RunOptions {
     /// What the scheduler is told about each request's demand; defaults
     /// to [`DemandVisibility::Exact`] (the paper's regime).
     pub visibility: DemandVisibility,
+    /// Windowed time-series recorder (one JSONL record per monitor
+    /// tick), streamed to its sink during the run and handed back in
+    /// [`RunOutcome::series`].
+    pub series: Option<SeriesRecorder>,
+    /// SLO burn-rate rules evaluated at every monitor tick; the engine
+    /// comes back in [`RunOutcome::slo`].
+    pub slo: Option<SloEngine>,
 }
 
 impl RunOptions {
@@ -970,6 +1077,18 @@ impl RunOptions {
         self.visibility = visibility;
         self
     }
+
+    /// Attach a windowed time-series recorder (builder style).
+    pub fn series(mut self, recorder: SeriesRecorder) -> Self {
+        self.series = Some(recorder);
+        self
+    }
+
+    /// Attach SLO burn-rate rules (builder style).
+    pub fn slo(mut self, engine: SloEngine) -> Self {
+        self.slo = Some(engine);
+        self
+    }
 }
 
 /// What one simulated run produced.
@@ -979,6 +1098,12 @@ pub struct RunOutcome {
     pub summary: RunSummary,
     /// The telemetry snapshot, when [`RunOptions::telemetry`] was set.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// The series recorder, flushed, when [`RunOptions::series`] was
+    /// set (e.g. to read [`SeriesRecorder::records`]).
+    pub series: Option<SeriesRecorder>,
+    /// The SLO engine after the run, when [`RunOptions::slo`] was set
+    /// (e.g. to read [`SloEngine::alerts_fired`]).
+    pub slo: Option<SloEngine>,
 }
 
 /// Run one policy over a materialized trace with priors estimated from
@@ -1006,13 +1131,26 @@ pub fn simulate_source<S: RequestSource>(
     if opts.telemetry {
         sim = sim.with_telemetry();
     }
+    if let Some(recorder) = opts.series {
+        sim = sim.with_series(recorder);
+    }
+    if let Some(engine) = opts.slo {
+        sim = sim.with_slo(engine);
+    }
     let summary = sim.run_source(source);
     let telemetry = if opts.telemetry {
         sim.telemetry_snapshot()
     } else {
         None
     };
-    RunOutcome { summary, telemetry }
+    let series = sim.take_series();
+    let slo = sim.slo.take();
+    RunOutcome {
+        summary,
+        telemetry,
+        series,
+        slo,
+    }
 }
 
 /// Build the [`ClusterSim`] that [`simulate`] would run: reservation

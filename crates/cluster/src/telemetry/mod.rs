@@ -29,7 +29,21 @@
 //! `msweb_place_decisions_total` counts exactly the `"ev":"decision"`
 //! lines a traced run would emit, and the `msweb_reservation_*` gauges
 //! are the `tick`-event fields sampled as a time series.
+//!
+//! Two submodules build on the snapshot layer:
+//!
+//! * [`series`] — the windowed time-series recorder: one JSONL record
+//!   per monitor window carrying counter/histogram *deltas*, streamed
+//!   to a sink in O(1) memory (`--telemetry-series`);
+//! * [`slo`] — the declarative SLO engine: multi-window burn-rate
+//!   rules over the per-window signals, emitting typed
+//!   [`AlertEvent`](slo::AlertEvent)s and re-derivable from a decision
+//!   log alone (`msweb slo-check`).
 
+pub mod series;
+pub mod slo;
+
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -235,9 +249,20 @@ pub struct WindowSample {
     pub clamp_events: u64,
 }
 
+/// How many controller windows a [`TelemetryProbe`] retains. Older
+/// samples are evicted ring-buffer style so a million-window
+/// `msweb scale` run stays O(1) in probe memory (the full series is
+/// available by streaming it: see [`series::SeriesRecorder`]); runs
+/// shorter than the cap — every golden-fixture run — retain everything
+/// and serialise exactly as before the cap existed.
+pub const WINDOW_RING_CAP: usize = 4096;
+
 #[derive(Debug, Default)]
 struct ProbeInner {
-    windows: Vec<WindowSample>,
+    windows: VecDeque<WindowSample>,
+    /// Total windows ever recorded (≥ `windows.len()` once the ring
+    /// wraps).
+    windows_seen: u64,
     node_busy: Vec<f64>,
     response_static_us: LogHistogram,
     response_dynamic_us: LogHistogram,
@@ -257,9 +282,15 @@ impl TelemetryProbe {
         TelemetryProbe::default()
     }
 
-    /// Append one controller window sample.
+    /// Append one controller window sample, evicting the oldest once
+    /// [`WINDOW_RING_CAP`] samples are retained.
     pub fn record_window(&self, sample: WindowSample) {
-        self.inner.lock().unwrap().windows.push(sample);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.windows.len() == WINDOW_RING_CAP {
+            inner.windows.pop_front();
+        }
+        inner.windows.push_back(sample);
+        inner.windows_seen += 1;
     }
 
     /// Replace the per-node busy gauges with the latest window's view.
@@ -281,12 +312,13 @@ impl TelemetryProbe {
 
     /// The most recent controller window sample, if any.
     pub fn last_window(&self) -> Option<WindowSample> {
-        self.inner.lock().unwrap().windows.last().copied()
+        self.inner.lock().unwrap().windows.back().copied()
     }
 
-    /// Number of controller windows recorded so far.
+    /// Number of controller windows recorded so far (total seen, even
+    /// after the retention ring has evicted the oldest samples).
     pub fn window_count(&self) -> usize {
-        self.inner.lock().unwrap().windows.len()
+        self.inner.lock().unwrap().windows_seen as usize
     }
 
     /// The latest per-node busy gauges.
@@ -356,7 +388,7 @@ impl TelemetrySnapshot {
             sched: sched.clone(),
             scorer_paths,
             clamp_events,
-            windows: inner.windows.clone(),
+            windows: inner.windows.iter().copied().collect(),
             node_busy: inner.node_busy.clone(),
             response_static_us: inner.response_static_us.clone(),
             response_dynamic_us: inner.response_dynamic_us.clone(),
@@ -364,21 +396,39 @@ impl TelemetrySnapshot {
     }
 }
 
-fn u(n: u64) -> Value {
+pub(crate) fn u(n: u64) -> Value {
     Value::UInt(n)
 }
 
-fn fnum(x: f64) -> Value {
+pub(crate) fn fnum(x: f64) -> Value {
     Value::Float(x)
 }
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
         fields
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     )
+}
+
+/// Escape a string for use as a Prometheus label *value*: the text
+/// exposition format requires `\`, `"` and newline escaped inside the
+/// quoted value. Registry spec slugs, scenario names and trace names
+/// are caller-supplied, so the run-identity labels must go through
+/// this.
+pub fn prom_label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 fn hist_value(h: &LogHistogram) -> Value {
@@ -700,7 +750,11 @@ impl TelemetrySnapshot {
         let _ = writeln!(
             w,
             "msweb_run_info{{substrate=\"{}\",policy=\"{}\",p=\"{}\",m=\"{}\",seed=\"{}\"}} 1",
-            self.substrate, self.policy, self.p, self.m, self.seed
+            prom_label_escape(&self.substrate),
+            prom_label_escape(&self.policy),
+            self.p,
+            self.m,
+            self.seed
         );
 
         let _ = writeln!(
@@ -1079,6 +1133,57 @@ mod tests {
         ] {
             assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
         }
+    }
+
+    #[test]
+    fn run_info_labels_are_escaped() {
+        let mut snap = sample_snapshot();
+        snap.policy = "spec\"with\\quotes\nand newline".to_string();
+        let prom = snap.to_prometheus();
+        assert!(
+            prom.contains("policy=\"spec\\\"with\\\\quotes\\nand newline\""),
+            "{prom}"
+        );
+        assert!(!prom.contains("policy=\"spec\"with"), "{prom}");
+    }
+
+    #[test]
+    fn region_charge_gauges_carry_help_and_type() {
+        let mut snap = sample_snapshot();
+        snap.sched.region_charges = vec![70, 30];
+        let prom = snap.to_prometheus();
+        let charges = prom
+            .find("msweb_region_charges_total{")
+            .expect("region charge series present");
+        let help = prom
+            .find("# HELP msweb_region_charges_total")
+            .expect("HELP line present");
+        let typ = prom
+            .find("# TYPE msweb_region_charges_total")
+            .expect("TYPE line present");
+        assert!(help < typ && typ < charges, "header lines precede series");
+    }
+
+    #[test]
+    fn probe_window_ring_is_bounded_but_counts_everything() {
+        let probe = TelemetryProbe::new();
+        let total = WINDOW_RING_CAP + 100;
+        for i in 0..total {
+            probe.record_window(WindowSample {
+                at_us: i as u64,
+                theta2_star: 0.4,
+                a_hat: 0.25,
+                r_hat: 0.025,
+                rho: 0.5,
+                theta_hat: 0.3,
+                clamp_events: 0,
+            });
+        }
+        assert_eq!(probe.window_count(), total);
+        assert_eq!(probe.last_window().unwrap().at_us, total as u64 - 1);
+        let inner = probe.inner.lock().unwrap();
+        assert_eq!(inner.windows.len(), WINDOW_RING_CAP);
+        assert_eq!(inner.windows.front().unwrap().at_us, 100);
     }
 
     #[test]

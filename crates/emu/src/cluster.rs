@@ -22,14 +22,16 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use msweb_cluster::{
     render_top, ClusterConfig, DropRecord, Level, LoadMonitor, Metrics, NodeSample, PolicyKind,
-    PolicyScheduler, ReqKnowledge, RunMeta, RunSummary, SchedTelemetry, Schedule, TelemetryProbe,
-    TelemetrySnapshot, TraceEvent, WindowSample, WorkloadStats,
+    PolicyScheduler, ReqKnowledge, RunMeta, RunSummary, SchedTelemetry, Schedule, SeriesMeta,
+    SeriesRecorder, SeriesWindowInput, SloEngine, TelemetryProbe, TelemetrySnapshot, TraceEvent,
+    WindowSample, WorkloadStats,
 };
 use msweb_ossim::LoadSnapshot;
 use msweb_simcore::{SimDuration, SimTime};
 use msweb_workload::{RequestSource, Trace};
 
 use crate::job::{Done, Job, NodeMsg};
+use crate::metrics_http::MetricsServer;
 use crate::node::{node_worker, NodeParams, NodeStats};
 use crate::timing::wait_until;
 
@@ -162,7 +164,7 @@ pub fn live_stats(trace: &Trace) -> WorkloadStats {
 
 /// Options for one live run: the builder-style entry point that replaced
 /// the `run_live` / `run_live_with` / `run_live_telemetry` triplet.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Default)]
 pub struct LiveRunOptions {
     /// Enable live telemetry: scheduler per-stage counters, controller
     /// samples each monitor tick, and a sampler thread turning node
@@ -172,10 +174,24 @@ pub struct LiveRunOptions {
     /// Also render a `top`-style table to stderr each monitor period
     /// (implies nothing unless `telemetry` is set).
     pub top: bool,
+    /// Windowed time-series recorder: one JSONL record per monitor
+    /// tick, same schema as the simulator's (only `at_us` and the busy
+    /// gauges are wall-clock-derived). Implies the telemetry probe and
+    /// sampler thread.
+    pub series: Option<SeriesRecorder>,
+    /// SLO burn-rate rules evaluated at every monitor tick; fired
+    /// alerts go to stderr and — when decision tracing is active — to
+    /// the log as `alert` events.
+    pub slo: Option<SloEngine>,
+    /// A bound `/metrics` endpoint to publish live Prometheus text to,
+    /// once per monitor tick. Implies the telemetry probe. Binding is
+    /// the caller's job ([`MetricsServer::bind`]) so address errors
+    /// surface before the run starts.
+    pub metrics: Option<MetricsServer>,
 }
 
 impl LiveRunOptions {
-    /// No telemetry, no `top` rendering.
+    /// No telemetry, no `top` rendering, nothing attached.
     pub fn new() -> Self {
         LiveRunOptions::default()
     }
@@ -192,6 +208,24 @@ impl LiveRunOptions {
         self.top = on;
         self
     }
+
+    /// Attach a windowed time-series recorder (builder style).
+    pub fn series(mut self, recorder: SeriesRecorder) -> Self {
+        self.series = Some(recorder);
+        self
+    }
+
+    /// Attach SLO burn-rate rules (builder style).
+    pub fn slo(mut self, engine: SloEngine) -> Self {
+        self.slo = Some(engine);
+        self
+    }
+
+    /// Attach a bound live `/metrics` endpoint (builder style).
+    pub fn metrics(mut self, server: MetricsServer) -> Self {
+        self.metrics = Some(server);
+        self
+    }
 }
 
 /// What one live run produced.
@@ -202,6 +236,12 @@ pub struct LiveOutcome {
     /// The telemetry snapshot (substrate `"live"`), when
     /// [`LiveRunOptions::telemetry`] was set.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// The series recorder, flushed, when [`LiveRunOptions::series`]
+    /// was set.
+    pub series: Option<SeriesRecorder>,
+    /// The SLO engine after the run, when [`LiveRunOptions::slo`] was
+    /// set (e.g. to read [`SloEngine::alerts_fired`]).
+    pub slo: Option<SloEngine>,
 }
 
 /// Replay `trace` on a live thread-backed cluster; blocks until every
@@ -237,16 +277,7 @@ pub fn emulate_source<S: Schedule, Src: RequestSource>(
     scheduler: S,
     opts: LiveRunOptions,
 ) -> LiveOutcome {
-    let telemetry = if opts.telemetry {
-        Some((TelemetryProbe::new(), opts.top))
-    } else {
-        None
-    };
-    let (summary, snapshot) = run_live_inner(config, source, stats, scheduler, telemetry);
-    LiveOutcome {
-        summary,
-        telemetry: snapshot,
-    }
+    run_live_inner(config, source, stats, scheduler, opts)
 }
 
 /// Per-request bookkeeping for a live request between placement and
@@ -271,13 +302,26 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
     mut source: Src,
     stats: WorkloadStats,
     mut scheduler: S,
-    telemetry: Option<(TelemetryProbe, bool)>,
-) -> (RunSummary, Option<TelemetrySnapshot>) {
+    mut opts: LiveRunOptions,
+) -> LiveOutcome {
     assert!(config.p >= 1);
     assert!(
         config.time_scale > 0.0 && config.time_scale.is_finite(),
         "bad time scale"
     );
+    // The series recorder and the metrics endpoint both read the probe
+    // (busy gauges) and the scheduler counters, so they imply them even
+    // when the caller did not ask for a snapshot back.
+    let want_snapshot = opts.telemetry;
+    let probe_needed = opts.telemetry || opts.series.is_some() || opts.metrics.is_some();
+    let telemetry = if probe_needed {
+        Some((TelemetryProbe::new(), opts.top && opts.telemetry))
+    } else {
+        None
+    };
+    let mut series = opts.series.take();
+    let mut slo = opts.slo.take();
+    let metrics_server = opts.metrics.take();
     if telemetry.is_some() {
         scheduler.set_telemetry_enabled(true);
     }
@@ -302,6 +346,19 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             speeds: cc.speeds().map(<[f64]>::to_vec),
             regions: scheduler.region_topology().cloned(),
         }));
+    }
+    if let Some(rec) = &mut series {
+        let policy = match &config.spec {
+            Some(spec) => spec.clone(),
+            None => cc.policy().slug().to_string(),
+        };
+        rec.begin(&SeriesMeta {
+            substrate: "live",
+            policy: &policy,
+            p: cc.p(),
+            m: scheduler.masters(),
+            seed: cc.seed(),
+        });
     }
     // Charges are in wall (scaled) time, matching the monitor's window.
     let stat_charge = to_sim(config.scale(stats.static_mean));
@@ -508,10 +565,11 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
                 // resets it (same ordering as the simulator).
                 let theta_hat = scheduler.reservation().master_fraction();
                 scheduler.reservation_mut().update(rho);
-                if let Some(probe) = probe_ref {
+                let mut window = None;
+                if probe_ref.is_some() {
                     let res = scheduler.reservation();
                     let (a_hat, r_hat) = res.measured();
-                    probe.record_window(WindowSample {
+                    let sample = WindowSample {
                         at_us: at.as_micros(),
                         theta2_star: res.theta2_star(),
                         a_hat,
@@ -519,6 +577,24 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
                         rho,
                         theta_hat,
                         clamp_events: res.clamp_events(),
+                    };
+                    if let Some(probe) = probe_ref {
+                        probe.record_window(sample);
+                    }
+                    window = Some(sample);
+                }
+                let window_stretch = metrics.close_window();
+                if let Some(rec) = &mut series {
+                    let sample = window.as_ref().expect("series implies the probe");
+                    // Busy gauges come from the sampler thread's latest
+                    // pass (wall-clock, like `at_us`).
+                    let busy = probe_ref.map(TelemetryProbe::node_busy).unwrap_or_default();
+                    rec.record(&SeriesWindowInput {
+                        window: sample,
+                        sched: scheduler.telemetry(),
+                        node_busy: &busy,
+                        window_stretch,
+                        drops: metrics.dropped(),
                     });
                 }
                 if scheduler.tracing() {
@@ -527,6 +603,38 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
                         rho,
                         nodes: snaps.iter().map(NodeSample::from_snapshot).collect(),
                     });
+                }
+                if let Some(engine) = &mut slo {
+                    let alerts = engine.observe_cumulative(
+                        at.as_micros(),
+                        window_stretch,
+                        metrics.completed(),
+                        metrics.dropped(),
+                        scheduler.reservation().clamp_events(),
+                    );
+                    for alert in &alerts {
+                        eprintln!("{}", alert.to_line());
+                        if scheduler.tracing() {
+                            scheduler.emit(&alert.to_trace_event());
+                        }
+                    }
+                }
+                if let (Some(server), Some(probe)) = (&metrics_server, probe_ref) {
+                    let sched_tel = scheduler
+                        .telemetry()
+                        .cloned()
+                        .unwrap_or_else(|| SchedTelemetry::new(cc.p()));
+                    let snap = TelemetrySnapshot::assemble(
+                        "live",
+                        cc.policy().slug(),
+                        cc.seed(),
+                        scheduler.masters(),
+                        &sched_tel,
+                        scheduler.scorer_path_counts(),
+                        scheduler.reservation().clamp_events(),
+                        probe,
+                    );
+                    server.publish(snap.to_prometheus());
                 }
                 next_monitor += config.monitor_period;
                 continue;
@@ -668,6 +776,20 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             })
             .collect();
         probe.set_node_busy(&busy);
+        // The same guarantee for the series: a replay shorter than one
+        // monitor period still yields one (whole-run) record.
+        if let Some(rec) = &mut series {
+            if rec.records() == 0 {
+                let sample = probe.last_window().expect("fallback window recorded");
+                rec.record(&SeriesWindowInput {
+                    window: &sample,
+                    sched: scheduler.telemetry(),
+                    node_busy: &busy,
+                    window_stretch: metrics.close_window(),
+                    drops: metrics.dropped(),
+                });
+            }
+        }
     }
     // Feed the per-node busy time into the shared metrics type so the
     // live path fills the same balance fields (CV, peak-to-mean) the
@@ -682,7 +804,7 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
         })
         .collect();
     metrics.set_node_busy(busy);
-    let snapshot = telemetry.map(|(probe, _)| {
+    let snapshot = telemetry.filter(|_| want_snapshot).map(|(probe, _)| {
         let sched_tel = scheduler
             .telemetry()
             .cloned()
@@ -698,7 +820,22 @@ fn run_live_inner<S: Schedule, Src: RequestSource>(
             &probe,
         )
     });
-    (metrics.summary(), snapshot)
+    if let Some(rec) = &mut series {
+        rec.flush();
+    }
+    // One last publish so a scrape racing the run's end sees the final
+    // numbers (the endpoint itself lives until the server is dropped).
+    if let Some(server) = &metrics_server {
+        if let Some(snap) = &snapshot {
+            server.publish(snap.to_prometheus());
+        }
+    }
+    LiveOutcome {
+        summary: metrics.summary(),
+        telemetry: snapshot,
+        series,
+        slo,
+    }
 }
 
 #[cfg(test)]

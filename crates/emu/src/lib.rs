@@ -17,6 +17,7 @@
 
 pub mod cluster;
 pub mod job;
+pub mod metrics_http;
 pub mod node;
 pub mod timing;
 
@@ -25,5 +26,6 @@ pub use cluster::{
     LiveOutcome, LiveRunOptions,
 };
 pub use job::{Done, Job, NodeMsg};
+pub use metrics_http::MetricsServer;
 pub use node::{node_worker, NodeParams, NodeStats};
 pub use timing::{calibrate, wait_for, wait_until, Calibration};

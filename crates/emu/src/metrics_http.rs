@@ -1,0 +1,173 @@
+//! A dependency-free Prometheus scrape endpoint for live runs.
+//!
+//! [`MetricsServer::bind`] opens a `std::net::TcpListener` and spawns
+//! one poll thread that answers `GET /metrics` with the most recently
+//! [`MetricsServer::publish`]ed exposition text (Prometheus text
+//! format 0.0.4 — the same text `TelemetrySnapshot::to_prometheus`
+//! renders). The server never touches the dispatch path: the run loop
+//! publishes a fresh snapshot once per monitor tick, scrapes read the
+//! shared string under a mutex held only for the copy.
+//!
+//! The protocol support is deliberately minimal — enough for
+//! `curl`/Prometheus: one request per connection, the request line is
+//! parsed for method and path, everything else is ignored, and the
+//! response closes the connection. Anything that is not
+//! `GET /metrics` gets a 404.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the poll thread sleeps between accept attempts. Scrape
+/// latency is bounded by this plus the response write.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection socket timeout: a stalled scraper cannot wedge the
+/// poll thread for longer than this.
+const CONN_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A live `/metrics` endpoint backed by one poll thread.
+///
+/// Dropping the server stops the thread and closes the listener.
+#[derive(Debug)]
+pub struct MetricsServer {
+    text: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`; port 0 picks a free port)
+    /// and start serving. The endpoint answers immediately — with an
+    /// empty body until the first [`MetricsServer::publish`].
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let text = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let text2 = Arc::clone(&text);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Serve inline: scrapers are few and the body is
+                        // small, so one connection at a time is plenty.
+                        let body = text2.lock().map(|t| t.clone()).unwrap_or_default();
+                        serve_one(stream, &body);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        });
+        Ok(MetricsServer {
+            text,
+            stop,
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the resolved port when 0 was asked for).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replace the exposition text served to the next scrape.
+    pub fn publish(&self, text: String) {
+        if let Ok(mut t) = self.text.lock() {
+            *t = text;
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Answer one connection: parse the request line, respond, close.
+fn serve_one(mut stream: TcpStream, body: &str) {
+    let _ = stream.set_read_timeout(Some(CONN_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(CONN_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    // Read until the end of the request head (or timeout/overflow).
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or_default();
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?"))
+    {
+        ("200 OK", body)
+    } else {
+        ("404 Not Found", "not found\n")
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(request.as_bytes()).expect("write");
+        let mut out = String::new();
+        conn.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_published_text_and_404s_elsewhere() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        // Before any publish: 200 with an empty body.
+        let early = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(early.starts_with("HTTP/1.1 200 OK\r\n"), "{early}");
+        server.publish("msweb_stretch 1.25\n".to_string());
+        let ok = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.ends_with("msweb_stretch 1.25\n"), "{ok}");
+        // Publishing again replaces the body.
+        server.publish("msweb_stretch 2.5\n".to_string());
+        let again = scrape(addr, "GET /metrics?x=1 HTTP/1.1\r\n\r\n");
+        assert!(again.ends_with("msweb_stretch 2.5\n"), "{again}");
+        let missing = scrape(addr, "GET /other HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let post = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 404"), "{post}");
+    }
+}

@@ -220,6 +220,109 @@ impl LogHistogram {
         }
         h
     }
+
+    /// What was recorded since `baseline` — a strictly earlier copy of
+    /// this cumulative histogram. Because recording only ever adds,
+    /// per-bucket subtraction is exact; the delta carries buckets,
+    /// count and sum only (a window's min/max are *not* recoverable by
+    /// subtraction, so [`HistDelta`] deliberately has no such fields).
+    ///
+    /// Debug builds assert the monotonicity precondition; release
+    /// builds saturate instead of wrapping.
+    pub fn delta_since(&self, baseline: &LogHistogram) -> HistDelta {
+        debug_assert!(
+            self.count >= baseline.count,
+            "delta_since baseline is newer than self"
+        );
+        let mut buckets = Vec::new();
+        for (i, (&now, &then)) in self.counts.iter().zip(&baseline.counts).enumerate() {
+            debug_assert!(now >= then, "bucket {i} shrank between snapshots");
+            let d = now.saturating_sub(then);
+            if d > 0 {
+                buckets.push((i, d));
+            }
+        }
+        HistDelta {
+            buckets,
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+        }
+    }
+}
+
+/// The observations a cumulative [`LogHistogram`] gained between two
+/// snapshots: sparse `(bucket index, count)` pairs plus total count and
+/// sum. Deltas are mergeable (bucket-wise addition), so a run's
+/// per-window deltas re-merge exactly to the end-of-run histogram's
+/// bucket contents, count, and sum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistDelta {
+    /// Occupied buckets as ascending `(index, count)` pairs.
+    pub buckets: Vec<(usize, u64)>,
+    /// Observations gained.
+    pub count: u64,
+    /// Sum gained (saturating, like [`LogHistogram::record_n`]).
+    pub sum: u64,
+}
+
+impl HistDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        HistDelta::default()
+    }
+
+    /// True when nothing was recorded in the window.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merge another delta into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistDelta) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: Vec<(usize, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        while let (Some(&&(ia, ca)), Some(&&(ib, cb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ia, ca));
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((ib, cb));
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ia, ca + cb));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The delta's buckets, count and sum as a histogram (min/max are
+    /// lost to windowing and read as the bucketed extremes' bounds).
+    pub fn to_histogram(&self) -> LogHistogram {
+        let (min, max) = match (self.buckets.first(), self.buckets.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => (
+                LogHistogram::bucket_bounds(lo).0,
+                LogHistogram::bucket_bounds(hi).1,
+            ),
+            _ => (0, 0),
+        };
+        LogHistogram::from_sparse(&self.buckets, self.sum, min, max)
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +430,49 @@ mod tests {
         let pairs: Vec<(usize, u64)> = sparse.iter().map(|&(i, _, _, c)| (i, c)).collect();
         let back = LogHistogram::from_sparse(&pairs, h.sum(), h.min(), h.max());
         assert_eq!(back, h);
+    }
+
+    #[test]
+    fn window_deltas_remerge_to_the_cumulative_histogram() {
+        let mut h = LogHistogram::new();
+        let mut baseline = h.clone();
+        let mut total = HistDelta::new();
+        // Three "monitor windows" of recording, deltas taken at each
+        // boundary, must re-merge to exactly the cumulative contents.
+        for window in [&[1u64, 50, 50][..], &[][..], &[7_000, 50, 123_456, 2][..]] {
+            for &v in window {
+                h.record(v);
+            }
+            let d = h.delta_since(&baseline);
+            assert_eq!(d.count, window.len() as u64);
+            assert_eq!(d.sum, window.iter().sum::<u64>());
+            total.merge(&d);
+            baseline = h.clone();
+        }
+        assert_eq!(total.count, h.count());
+        assert_eq!(total.sum, h.sum());
+        let pairs: Vec<(usize, u64)> = h
+            .nonzero_buckets()
+            .iter()
+            .map(|&(i, _, _, c)| (i, c))
+            .collect();
+        assert_eq!(total.buckets, pairs);
+        let back = total.to_histogram();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.nonzero_buckets(), h.nonzero_buckets());
+    }
+
+    #[test]
+    fn empty_delta_is_inert() {
+        let h = LogHistogram::new();
+        let d = h.delta_since(&h);
+        assert!(d.is_empty());
+        assert!(d.buckets.is_empty());
+        let mut acc = HistDelta::new();
+        acc.merge(&d);
+        assert!(acc.is_empty());
+        assert_eq!(d.to_histogram(), LogHistogram::new());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use dist::{
     ShiftedExponential, Uniform,
 };
 pub use event::{EventId, EventQueue};
-pub use hist::LogHistogram;
+pub use hist::{HistDelta, LogHistogram};
 pub use pool::{chunked_map, effective_workers, parallel_map};
 pub use rng::{split_seed, SimRng};
 pub use stats::{OnlineStats, Quantiles, StretchAccumulator, TimeWeighted};

@@ -26,7 +26,17 @@ fn main() {
     let cfg = ClusterConfig::simulation(32, PolicyKind::MasterSlave)
         .with_masters(m)
         .with_seed(42);
-    let mut sim = policy_sim(cfg, &trace).with_telemetry();
+    // A declarative SLO on the same series: stretch budget 2.5 with a
+    // fast one-window page and a slow four-window burn. `ALERT …` lines
+    // land on stderr as the offending windows close, mid-run.
+    let rules = SloRules::from_json(
+        r#"{"rules": [{"name": "stretch", "signal": "stretch", "budget": 2.5,
+            "burn": [{"windows": 1, "rate": 1.15}, {"windows": 4, "rate": 1.0}]}]}"#,
+    )
+    .expect("rules parse");
+    let mut sim = policy_sim(cfg, &trace)
+        .with_telemetry()
+        .with_slo(SloEngine::new(rules));
     let summary = sim.run(&trace);
     let snap = sim.telemetry_snapshot().expect("telemetry enabled");
 
@@ -54,5 +64,9 @@ fn main() {
             s
         );
     }
-    println!("\noverall stretch {:.3}", summary.stretch);
+    let alerts = sim.slo_engine().map(|e| e.alerts_fired()).unwrap_or(0);
+    println!(
+        "\noverall stretch {:.3} ({alerts} SLO alerts fired)",
+        summary.stretch
+    );
 }

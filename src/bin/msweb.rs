@@ -6,7 +6,9 @@
 //! msweb import  --log access.log [--lambda 800] [--p 16]
 //! msweb traces
 //! msweb analyze --log decisions.jsonl [--spec <spec>] [--json] [--fail-on-divergence]
+//! msweb slo-check --log decisions.jsonl --rules rules.json [--json]
 //! msweb live    [--rate 40] [--requests 300] [--scale 0.2] [--telemetry out.json] [--top]
+//!               [--serve-metrics 127.0.0.1:9100] [--telemetry-series out.jsonl]
 //! msweb experiments [--id fig4b] [--jobs 8] [--json out.json] [--quick] [--telemetry]
 //! msweb metrics-dump [--from snapshot.json]
 //! ```
@@ -30,6 +32,7 @@ fn main() {
         "traces" => cmd_traces(),
         "live" => cmd_live(&flags),
         "analyze" => cmd_analyze(&flags),
+        "slo-check" => cmd_slo_check(&flags),
         "experiments" => cmd_experiments(&flags),
         "metrics-dump" => cmd_metrics_dump(&flags),
         "scale" => cmd_scale(&flags),
@@ -52,34 +55,51 @@ USAGE:
                   [--p <nodes>] [--policy <name>] [--requests <n>] [--seed <s>]
                   [--trace-decisions <path>]
                   [--telemetry <path>] [--metrics-out <path>]
+                  [--telemetry-series <path>] [--slo-rules <rules.json>]
                   simulate a policy on a synthetic Table-1 trace;
-                  --telemetry writes the deterministic snapshot JSON and
-                  --metrics-out the Prometheus text dump (both need a
-                  single --policy run)
+                  --telemetry writes the deterministic snapshot JSON,
+                  --metrics-out the Prometheus text dump,
+                  --telemetry-series the per-monitor-window JSONL time
+                  series, and --slo-rules evaluates burn-rate rules
+                  during the run (alerts on stderr, and in the decision
+                  log when --trace-decisions is active); all need a
+                  single --policy run
   msweb import  --log <file> [--lambda <req/s>] [--p <nodes>] [--requests <n>]
                   replay your own Common Log Format access log
   msweb traces    print the built-in trace characteristics (Table 1)
   msweb live    [--rate <req/s>] [--requests <n>] [--scale <x>]
                   [--trace-decisions <path>]
                   [--telemetry <path>] [--metrics-out <path>] [--top]
+                  [--telemetry-series <path>] [--slo-rules <rules.json>]
+                  [--serve-metrics <addr>]
                   run the thread-backed live cluster (6 nodes); telemetry
                   instruments the master/slave run, --top prints a live
-                  stderr table each monitor period
+                  stderr table each monitor period, --serve-metrics
+                  answers Prometheus scrapes (GET /metrics) at <addr>
+                  (e.g. 127.0.0.1:9100; port 0 picks one) while the
+                  master/slave run executes
   msweb analyze --log <decisions.jsonl> [--spec <stage-spec>] [--run <n>]
                   [--json [path]] [--fail-on-divergence]
                   replay a decision log: re-drive the recorded (or a
                   counterfactual --spec) composition over the recorded
                   stream and report per-stage divergence attribution and
                   stretch/balance deltas
+  msweb slo-check --log <decisions.jsonl> --rules <rules.json> [--json]
+                  re-derive the per-window signals (stretch, drop rate,
+                  clamping) from a decision log and evaluate the SLO
+                  burn-rate rules over them; deterministic for a fixed
+                  log, exits 1 when any rule fired
   msweb experiments [--id <experiment>] [--jobs <n>] [--json <path>]
                   [--quick] [--seed <s>] [--trace-decisions <path>]
-                  [--telemetry [path]]
+                  [--telemetry [path]] [--telemetry-series <path>]
                   regenerate the paper's tables/figures through the
                   parallel sweep runner (default: all experiments on all
                   cores; ids: fig3a fig3b tab1 tab2 fig4a fig4b fig5 tab3
                   ablation); --telemetry embeds an instrumented companion
                   replay's snapshot in each report (and writes it to
-                  [path] when given)
+                  [path] when given); --telemetry-series streams the
+                  companion replay's per-window JSONL time series to
+                  <path>
   msweb experiments --unknown-sizes [--quick] [--jobs <n>] [--seed <s>]
                   [--json <path>] [--test]
                   sweep demand visibility (exact/noisy/hidden) x policy
@@ -243,6 +263,27 @@ fn decision_sink_append(path: &str) -> Box<dyn DecisionObserver> {
             std::process::exit(1);
         }
     }
+}
+
+/// Load and validate an SLO rules document; exits on I/O or grammar
+/// errors (a requested rule set that cannot be evaluated is an error).
+fn load_slo_rules(path: &str) -> SloRules {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read --slo-rules file {path}: {e}");
+        std::process::exit(1);
+    });
+    SloRules::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bad --slo-rules file {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Open a `--telemetry-series` JSONL sink; exits on I/O failure.
+fn series_sink(path: &str) -> SeriesRecorder {
+    SeriesRecorder::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create --telemetry-series file {path}: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// Write the snapshot to the `--telemetry` (JSON) and `--metrics-out`
@@ -417,6 +458,18 @@ fn cmd_experiments(flags: &Flags) {
                 std::process::exit(1);
             }
             println!("telemetry snapshot written to {path}");
+        }
+    }
+    // `--telemetry-series <path>` streams the same canonical companion
+    // replay's per-window time series (byte-deterministic for a fixed
+    // seed and sizing).
+    if let Some(path) = flags.get("telemetry-series") {
+        match runner.write_telemetry_series(path) {
+            Ok(records) => println!("telemetry series ({records} windows) written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write --telemetry-series file {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -663,6 +716,8 @@ fn cmd_replay(flags: &Flags) {
     let log = flags.get("trace-decisions");
     let tele_json = flags.get("telemetry");
     let metrics_out = flags.get("metrics-out");
+    let series_path = flags.get("telemetry-series");
+    let slo_rules = flags.get("slo-rules").map(load_slo_rules);
     match flags.get("policy") {
         Some(name) => {
             let policy = policy_by_name(name);
@@ -671,11 +726,20 @@ fn cmd_replay(flags: &Flags) {
                 .with_seed(seed);
             if tele_json.is_some() || metrics_out.is_some() {
                 let mut sim = policy_sim(cfg, &trace).with_telemetry();
+                if let Some(path) = series_path {
+                    sim = sim.with_series(series_sink(path));
+                }
+                if let Some(rules) = slo_rules {
+                    sim = sim.with_slo(SloEngine::new(rules));
+                }
                 if let Some(path) = log {
                     sim.scheduler_mut().set_observer(Some(decision_sink(path)));
                 }
                 let s = sim.run(&trace);
                 print_summary(policy.label(), &s);
+                if let Some(engine) = sim.slo_engine() {
+                    println!("slo alerts fired: {}", engine.alerts_fired());
+                }
                 let snap = sim.telemetry_snapshot().expect("telemetry enabled");
                 write_telemetry(&snap, tele_json, metrics_out);
             } else {
@@ -683,13 +747,32 @@ fn cmd_replay(flags: &Flags) {
                 if let Some(path) = log {
                     opts = opts.observer(decision_sink(path));
                 }
-                let s = simulate(cfg, &trace, opts).summary;
-                print_summary(policy.label(), &s);
+                if let Some(path) = series_path {
+                    opts = opts.series(series_sink(path));
+                }
+                if let Some(rules) = slo_rules {
+                    opts = opts.slo(SloEngine::new(rules));
+                }
+                let outcome = simulate(cfg, &trace, opts);
+                print_summary(policy.label(), &outcome.summary);
+                if let Some(engine) = &outcome.slo {
+                    println!("slo alerts fired: {}", engine.alerts_fired());
+                }
+            }
+            if let Some(path) = series_path {
+                println!("telemetry series written to {path}");
             }
         }
         None => {
-            if tele_json.is_some() || metrics_out.is_some() {
-                eprintln!("--telemetry/--metrics-out need a single --policy replay");
+            if tele_json.is_some()
+                || metrics_out.is_some()
+                || series_path.is_some()
+                || slo_rules.is_some()
+            {
+                eprintln!(
+                    "--telemetry/--metrics-out/--telemetry-series/--slo-rules need a \
+                     single --policy replay"
+                );
                 std::process::exit(2);
             }
             // Truncate the shared log once, then let every policy's
@@ -798,6 +881,37 @@ fn cmd_analyze(flags: &Flags) {
             "FAIL: {} of {} placements diverged under {}",
             report.divergent, report.decisions, report.replay_spec
         );
+        std::process::exit(1);
+    }
+}
+
+/// `msweb slo-check`: evaluate SLO burn-rate rules against a decision
+/// log. The per-window signals are re-derived from the log alone, so
+/// the verdict is byte-deterministic for a fixed log and rule set;
+/// exits 1 when any rule fired.
+fn cmd_slo_check(flags: &Flags) {
+    let path = flags.required("log");
+    let rules = load_slo_rules(flags.required("rules"));
+    let log = match TraceLog::read(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot read decision log {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match check_log(&log, &rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot slo-check {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if flags.get("json").is_some() {
+        println!("{}", report.to_value().to_json_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.breached() {
         std::process::exit(1);
     }
 }
@@ -968,14 +1082,33 @@ fn cmd_live(flags: &Flags) {
     let log = flags.get("trace-decisions");
     let tele_json = flags.get("telemetry");
     let metrics_out = flags.get("metrics-out");
+    let series_path = flags.get("telemetry-series");
+    let mut slo_rules = flags.get("slo-rules").map(load_slo_rules);
     let top = flags.get("top").is_some();
+    // Bind the scrape endpoint before any run starts, so address errors
+    // surface immediately and scrapers can connect from the first
+    // moment (the body fills in once the instrumented run begins).
+    let mut metrics_server = flags.get("serve-metrics").map(|addr| {
+        let server = MetricsServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind --serve-metrics address {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("serving live metrics at http://{}/metrics", server.addr());
+        server
+    });
     let mut first = true;
     for (policy, m) in [(PolicyKind::Flat, 1), (PolicyKind::MasterSlave, 3)] {
         let mut cfg = LiveConfig::sun_cluster(policy, m);
         cfg.time_scale = scale;
-        // Telemetry (and the --top table) instrument the master/slave
-        // run — the paper's policy and the run of interest.
-        let instrument = (tele_json.is_some() || metrics_out.is_some() || top)
+        // Telemetry (and the --top table, series, SLO rules and the
+        // scrape endpoint) instrument the master/slave run — the
+        // paper's policy and the run of interest.
+        let instrument = (tele_json.is_some()
+            || metrics_out.is_some()
+            || top
+            || series_path.is_some()
+            || slo_rules.is_some()
+            || metrics_server.is_some())
             && policy == PolicyKind::MasterSlave;
         let s = if instrument || log.is_some() {
             // The live path and the simulator share one scheduler
@@ -990,14 +1123,28 @@ fn cmd_live(flags: &Flags) {
                 }
             }));
             if instrument {
-                let outcome = emulate_with(
-                    &cfg,
-                    &trace,
-                    scheduler,
-                    LiveRunOptions::new().telemetry(true).top(top),
-                );
-                let snap = outcome.telemetry.expect("telemetry enabled");
-                write_telemetry(&snap, tele_json, metrics_out);
+                let mut opts = LiveRunOptions::new()
+                    .telemetry(tele_json.is_some() || metrics_out.is_some() || top)
+                    .top(top);
+                if let Some(path) = series_path {
+                    opts = opts.series(series_sink(path));
+                }
+                if let Some(rules) = slo_rules.take() {
+                    opts = opts.slo(SloEngine::new(rules));
+                }
+                if let Some(server) = metrics_server.take() {
+                    opts = opts.metrics(server);
+                }
+                let outcome = emulate_with(&cfg, &trace, scheduler, opts);
+                if let Some(snap) = &outcome.telemetry {
+                    write_telemetry(snap, tele_json, metrics_out);
+                }
+                if let Some(engine) = &outcome.slo {
+                    println!("slo alerts fired: {}", engine.alerts_fired());
+                }
+                if let Some(path) = series_path {
+                    println!("telemetry series written to {path}");
+                }
                 outcome.summary
             } else {
                 emulate_with(&cfg, &trace, scheduler, LiveRunOptions::new()).summary
@@ -1052,6 +1199,22 @@ struct ScaleParity {
     byte_identical: bool,
 }
 
+/// The telemetry-neutrality gate: the largest cell re-run with the
+/// probe and a streaming series recorder attached must not move peak
+/// RSS by more than a fixed margin — the probe's window ring and the
+/// recorder's delta baseline are O(1) in run length, so any O(windows)
+/// or O(requests) growth shows up here.
+#[derive(serde::Serialize)]
+struct ScaleTelemetryCheck {
+    p: usize,
+    n: usize,
+    wall_s: f64,
+    rss_before_bytes: u64,
+    rss_after_bytes: u64,
+    budget_max_delta_bytes: u64,
+    ok: bool,
+}
+
 #[derive(serde::Serialize)]
 struct ScaleReport {
     trace: String,
@@ -1061,6 +1224,7 @@ struct ScaleReport {
     budget_max_rss_bytes: u64,
     cells: Vec<ScaleCell>,
     parity: Vec<ScaleParity>,
+    telemetry: ScaleTelemetryCheck,
     budget_ok: bool,
 }
 
@@ -1197,9 +1361,71 @@ fn cmd_scale(flags: &Flags) {
         }
     }
 
+    // Telemetry-neutrality gate: repeat the largest cell with the
+    // window probe and a streaming series recorder attached (records
+    // drained to a sink). Both are O(1) in run length — the probe keeps
+    // a bounded window ring, the recorder only its delta baseline — so
+    // the process high-water mark must not move by more than a fixed
+    // margin relative to the identical uninstrumented cell that just
+    // set it.
+    const TELEMETRY_DELTA_BUDGET: u64 = 128 * 1024 * 1024;
+    let telemetry = {
+        let p = p_list.iter().copied().max().unwrap_or(32);
+        let n = n_list.iter().copied().max().unwrap_or(20_000);
+        let lambda = per_p * p as f64;
+        let probe = spec.generate(n.min(50_000), &demand, seed);
+        let t0 = probe
+            .requests
+            .first()
+            .map(|r| r.arrival)
+            .unwrap_or(SimTime::ZERO);
+        let scaling = RateScaling::to_rate(probe.mean_rate(), t0, lambda);
+        let stats = WorkloadStats::from_trace(&probe);
+        let m = plan_masters(p, lambda, spec.arrival_ratio_a(), 1.0 / inv_r, 1200.0);
+        let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+            .with_masters(m)
+            .with_seed(seed);
+        let scheduler = registry
+            .compose(&cfg, &stage_spec, stats.a0, stats.r0)
+            .unwrap_or_else(|e| {
+                eprintln!("compose failed: {e}");
+                std::process::exit(1);
+            });
+        let rss_before = peak_rss_bytes();
+        let recorder = SeriesRecorder::to_writer(Box::new(std::io::sink()));
+        let mut sim = ClusterSim::with_scheduler(cfg, scheduler)
+            .with_priors(stats.a0, stats.r0)
+            .with_mean_demands(stats.static_mean, stats.dynamic_mean)
+            .with_spec_label(stage_spec.render())
+            .with_tick_workers(tick_workers)
+            .with_series(recorder);
+        let source = ScaledSource::new(spec.stream(n, &demand, seed), scaling);
+        let started = std::time::Instant::now();
+        let _ = sim.run_source(source);
+        let wall_s = started.elapsed().as_secs_f64();
+        let rss_after = peak_rss_bytes();
+        let delta = rss_after.saturating_sub(rss_before);
+        let ok = rss_after == 0 || delta <= TELEMETRY_DELTA_BUDGET;
+        println!(
+            "telemetry p={p:<6} n={n:<9} wall {wall_s:>8.2}s  RSS delta {:>7.1} MiB  ({})",
+            delta as f64 / (1024.0 * 1024.0),
+            if ok { "neutral" } else { "OVER BUDGET" }
+        );
+        ScaleTelemetryCheck {
+            p,
+            n,
+            wall_s,
+            rss_before_bytes: rss_before,
+            rss_after_bytes: rss_after,
+            budget_max_delta_bytes: TELEMETRY_DELTA_BUDGET,
+            ok,
+        }
+    };
+
     let final_rss = peak_rss_bytes();
     let rss_ok = final_rss <= GIB || final_rss == 0;
     let parity_ok = parity.iter().all(|p| p.byte_identical);
+    let telemetry_ok = telemetry.ok;
     let report = ScaleReport {
         trace: spec.name.to_string(),
         seed,
@@ -1208,7 +1434,8 @@ fn cmd_scale(flags: &Flags) {
         budget_max_rss_bytes: GIB,
         cells,
         parity,
-        budget_ok: rss_ok && parity_ok,
+        telemetry,
+        budget_ok: rss_ok && parity_ok && telemetry_ok,
     };
     if let Err(e) = std::fs::write(out, serde::to_json_string_pretty(&report) + "\n") {
         eprintln!("cannot write {out}: {e}");
@@ -1224,7 +1451,14 @@ fn cmd_scale(flags: &Flags) {
     if !parity_ok {
         eprintln!("BUDGET VIOLATION: streamed summary diverged from materialized replay");
     }
-    if !(rss_ok && parity_ok) {
+    if !telemetry_ok {
+        eprintln!(
+            "BUDGET VIOLATION: telemetry instrumentation moved peak RSS by more \
+             than {} MiB",
+            TELEMETRY_DELTA_BUDGET / (1024 * 1024)
+        );
+    }
+    if !(rss_ok && parity_ok && telemetry_ok) {
         std::process::exit(1);
     }
 }

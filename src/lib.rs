@@ -66,7 +66,7 @@ pub use msweb_workload as workload;
 pub mod prelude {
     pub use msweb_bench::{ExpConfig, ExperimentId, ExperimentReport, ExperimentRunner, Sweep};
     pub use msweb_cluster::{
-        analyze, plan_masters, policy_sim, policy_sim_from_stats, render_top, simulate,
+        analyze, check_log, plan_masters, policy_sim, policy_sim_from_stats, render_top, simulate,
         simulate_source, table2_grid, AnalysisReport, AttainedService, ClusterConfig, ClusterSim,
         CollectingObserver, ConfigError, DecisionObserver, DecisionRecord, Dispatcher, DropRecord,
         DynScheduler, FailureEvent, FailurePlan, GreedyRegion, GridCell, JsonlSink, Level,
@@ -74,12 +74,12 @@ pub mod prelude {
         PolicyKind, PolicyScheduler, Provenance, RegionSelector, RegionTopology, RegionView,
         ReplayError, ReplayOptions, ReqKnowledge, ReservationController, RsrcPredictor, RunOptions,
         RunOutcome, RunSummary, SchedTelemetry, Schedule, Scheduler, SchedulerRegistry,
-        ScorerPaths, StageKind, StageSpec, TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog,
-        WindowSample, WorkloadStats,
+        ScorerPaths, SeriesRecorder, SloCheckReport, SloEngine, SloRules, StageKind, StageSpec,
+        TelemetryProbe, TelemetrySnapshot, TraceEvent, TraceLog, WindowSample, WorkloadStats,
     };
     pub use msweb_emu::{
         emulate, emulate_source, emulate_with, live_scheduler, live_stats, LiveConfig, LiveOutcome,
-        LiveRunOptions,
+        LiveRunOptions, MetricsServer,
     };
     pub use msweb_ossim::{DemandSpec, Node, OsParams};
     pub use msweb_queueing::{

@@ -1,0 +1,239 @@
+//! Windowed telemetry series and SLO engine guarantees: the series
+//! JSONL and the `slo-check` report are byte-deterministic for a fixed
+//! seed/spec (at p = 32 and p = 128) and match golden fixtures; the sim
+//! and live substrates emit one series schema; and histogram window
+//! deltas re-merge exactly into the cumulative end-of-run histogram.
+//!
+//! Regenerate the fixtures (only when a schema change is intended and
+//! reviewed) with:
+//!
+//! ```sh
+//! MSWEB_BLESS=1 cargo test --test series_slo
+//! ```
+
+use std::path::PathBuf;
+
+use msweb::prelude::*;
+use msweb::simcore::{HistDelta, LogHistogram};
+use proptest::prelude::*;
+
+/// SLO rules exercising all three signals; the stretch burn pair
+/// mirrors the fast/slow page-alert idiom.
+const RULES: &str = r#"{
+  "rules": [
+    {"name": "stretch-page", "signal": "stretch", "budget": 2.0,
+     "burn": [{"windows": 1, "rate": 3.0}, {"windows": 5, "rate": 1.0}]},
+    {"name": "drop-budget", "signal": "drop_rate", "budget": 0.01,
+     "burn": [{"windows": 3, "rate": 1.0}]},
+    {"name": "clamp-budget", "signal": "clamp_rate", "budget": 0.5,
+     "burn": [{"windows": 4, "rate": 1.0}]}
+  ]
+}"#;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("msweb-series-{}-{name}", std::process::id()));
+    p
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(name)
+}
+
+fn assert_matches_fixture(got: &str, name: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("MSWEB_BLESS").is_some() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path:?}: {e}"));
+    assert_eq!(got, want, "output drifted from fixture {path:?}");
+}
+
+/// The canonical instrumented replay (same workload as the telemetry
+/// snapshot fixtures): KSU trace, master/slave, λ = 1000/s, seed 42.
+fn series_run(p: usize) -> String {
+    let trace = ksu()
+        .generate(2_000, &DemandModel::simulation(40.0), 42)
+        .scaled_to_rate(1_000.0);
+    let m = plan_masters(p, 1_000.0, ksu().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+        .with_masters(m)
+        .with_seed(42);
+    let buf = msweb::cluster::SharedSeriesBuffer::new();
+    let rec = SeriesRecorder::to_writer(Box::new(buf.clone()));
+    let outcome = simulate(cfg, &trace, RunOptions::new().series(rec));
+    let rec = outcome.series.expect("series recorder handed back");
+    assert!(rec.records() > 0, "run emitted at least one window record");
+    buf.contents()
+}
+
+/// Record a traced master/slave run at `p` and parse the log back.
+fn traced_log(p: usize) -> TraceLog {
+    let trace = ksu()
+        .generate(2_000, &DemandModel::simulation(40.0), 42)
+        .scaled_to_rate(1_000.0);
+    let m = plan_masters(p, 1_000.0, ksu().arrival_ratio_a(), 1.0 / 40.0, 1200.0);
+    let cfg = ClusterConfig::simulation(p, PolicyKind::MasterSlave)
+        .with_masters(m)
+        .with_seed(42);
+    let path = tmp(&format!("slo-p{p}.jsonl"));
+    let sink = JsonlSink::create(&path).expect("create log");
+    let _ = simulate(cfg, &trace, RunOptions::new().observer(Box::new(sink)));
+    let log = TraceLog::read(&path).expect("parse log");
+    let _ = std::fs::remove_file(&path);
+    log
+}
+
+#[test]
+fn series_jsonl_is_byte_deterministic_and_matches_fixtures() {
+    for p in [32, 128] {
+        let first = series_run(p);
+        let second = series_run(p);
+        assert_eq!(
+            first, second,
+            "series JSONL must be byte-identical across runs at p={p}"
+        );
+        assert_matches_fixture(&first, &format!("series-p{p}.jsonl"));
+    }
+}
+
+#[test]
+fn slo_check_report_is_byte_deterministic_and_matches_fixtures() {
+    let rules = SloRules::from_json(RULES).expect("rules parse");
+    for p in [32, 128] {
+        let log = traced_log(p);
+        let first = check_log(&log, &rules).expect("check").render();
+        let second = check_log(&log, &rules).expect("check").render();
+        assert_eq!(
+            first, second,
+            "slo-check output must be byte-identical across checks at p={p}"
+        );
+        assert_matches_fixture(&first, &format!("slo-check-p{p}.txt"));
+    }
+}
+
+#[test]
+fn slo_check_is_deterministic_over_a_live_log() {
+    let trace = ucb()
+        .generate(60, &DemandModel::sun_cluster(40.0), 11)
+        .scaled_to_rate(40.0);
+    let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 3);
+    cfg.time_scale = 0.05;
+    let path = tmp("live-slo.jsonl");
+    let sink = JsonlSink::create(&path).expect("create log");
+    let mut scheduler = live_scheduler(&cfg, &trace);
+    scheduler.set_observer(Some(Box::new(sink)));
+    let _ = emulate_with(&cfg, &trace, scheduler, LiveRunOptions::new());
+    let log = TraceLog::read(&path).expect("parse log");
+    let _ = std::fs::remove_file(&path);
+    let rules = SloRules::from_json(RULES).expect("rules parse");
+    // The live log's timestamps are wall-clock, so its *content* varies
+    // run to run — but checking one fixed log is a pure function.
+    let first = check_log(&log, &rules).expect("check").render();
+    let second = check_log(&log, &rules).expect("check").render();
+    assert_eq!(first, second, "slo-check over a fixed live log is pure");
+}
+
+/// Every object key path in a JSON value, arrays descended through
+/// their first element.
+fn key_shape(v: &serde::Value, path: &str, out: &mut Vec<String>) {
+    match v {
+        serde::Value::Object(fields) => {
+            for (k, child) in fields {
+                let p = format!("{path}.{k}");
+                out.push(p.clone());
+                key_shape(child, &p, out);
+            }
+        }
+        serde::Value::Array(items) => {
+            if let Some(first) = items.first() {
+                key_shape(first, &format!("{path}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn shape_of_lines(jsonl: &str) -> Vec<Vec<String>> {
+    jsonl
+        .lines()
+        .take(2) // header + first window record pin the schema
+        .map(|line| {
+            let v = serde::Value::parse(line).expect("series line parses");
+            let mut keys = Vec::new();
+            key_shape(&v, "", &mut keys);
+            keys
+        })
+        .collect()
+}
+
+#[test]
+fn sim_and_live_series_share_one_schema() {
+    let sim = series_run(32);
+
+    let trace = ucb()
+        .generate(60, &DemandModel::sun_cluster(40.0), 11)
+        .scaled_to_rate(40.0);
+    let mut cfg = LiveConfig::sun_cluster(PolicyKind::MasterSlave, 3);
+    cfg.time_scale = 0.05;
+    let buf = msweb::cluster::SharedSeriesBuffer::new();
+    let rec = SeriesRecorder::to_writer(Box::new(buf.clone()));
+    let scheduler = live_scheduler(&cfg, &trace);
+    let outcome = emulate_with(&cfg, &trace, scheduler, LiveRunOptions::new().series(rec));
+    let rec = outcome.series.expect("series recorder handed back");
+    assert!(rec.records() > 0, "live run emitted a window record");
+    let live = buf.contents();
+
+    let sim_header = serde::Value::parse(sim.lines().next().unwrap()).unwrap();
+    let live_header = serde::Value::parse(live.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        sim_header.get("substrate").and_then(serde::Value::as_str),
+        Some("sim")
+    );
+    assert_eq!(
+        live_header.get("substrate").and_then(serde::Value::as_str),
+        Some("live")
+    );
+
+    assert_eq!(
+        shape_of_lines(&sim),
+        shape_of_lines(&live),
+        "sim and live series lines must expose the same key paths"
+    );
+}
+
+proptest! {
+    /// Re-merging every window's histogram delta must reconstruct the
+    /// cumulative end-of-run histogram exactly — the algebra that lets
+    /// a scraper integrate the series back into snapshot totals.
+    #[test]
+    fn histogram_window_deltas_remerge_exactly(
+        windows in prop::collection::vec(
+            prop::collection::vec(0u64..2_000_000, 0..40),
+            1..12,
+        )
+    ) {
+        let mut cumulative = LogHistogram::new();
+        let mut baseline = LogHistogram::new();
+        let mut merged = HistDelta::new();
+        for window in &windows {
+            for &v in window {
+                cumulative.record(v);
+            }
+            let delta = cumulative.delta_since(&baseline);
+            merged.merge(&delta);
+            baseline = cumulative.clone();
+        }
+        let rebuilt = merged.to_histogram();
+        prop_assert_eq!(rebuilt.count(), cumulative.count());
+        prop_assert_eq!(rebuilt.sum(), cumulative.sum());
+        let strip = |h: &LogHistogram| -> Vec<(usize, u64)> {
+            h.nonzero_buckets().iter().map(|&(i, c, _, _)| (i, c)).collect()
+        };
+        prop_assert_eq!(strip(&rebuilt), strip(&cumulative));
+    }
+}
